@@ -1,0 +1,42 @@
+"""Shared benchmark plumbing.
+
+Every benchmark both (a) times a representative operation through the
+``benchmark`` fixture and (b) emits the experiment's table — the rows
+EXPERIMENTS.md records — via the ``report`` fixture, which prints it and
+appends it to ``benchmarks/results/<experiment>.txt`` so the output
+survives pytest's capture.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.reporting import Table
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+class Reporter:
+    """Collects and persists experiment tables for one bench module."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        # Fresh file per run of this module.
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+    def emit(self, table: Table) -> None:
+        rendered = table.render()
+        print("\n" + rendered + "\n")
+        with open(self.path, "a", encoding="utf-8") as f:
+            f.write(rendered)
+            f.write("\n\n")
+
+
+@pytest.fixture(scope="module")
+def report(request) -> Reporter:
+    """Module-scoped table reporter named after the bench module."""
+    module = request.module.__name__.split(".")[-1]
+    return Reporter(module)

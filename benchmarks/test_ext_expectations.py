@@ -1,0 +1,107 @@
+"""EXT — receiver-side expectations: matching throughput and latency.
+
+Characterizes the receiver-role extension: arrival-matching cost as the
+number of concurrently pending expectations grows, and the decision
+latency distribution (arrival-triggered vs deadline-triggered).
+"""
+
+import pytest
+
+from repro.core.expectations import ExpectationService
+from repro.harness.reporting import Table
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+
+def build(pending, queues=4):
+    clock = SimulatedClock()
+    scheduler = EventScheduler(clock)
+    manager = QueueManager("QM.R", clock)
+    service = ExpectationService(manager, scheduler=scheduler)
+    expectations = [
+        service.expect(f"Q.{i % queues}", within_ms=10_000_000,
+                       selector=f"tag = {i}", min_count=1)
+        for i in range(pending)
+    ]
+    return clock, scheduler, manager, service, expectations
+
+
+@pytest.mark.parametrize("pending", [10, 100, 1_000])
+def test_arrival_matching_cost(benchmark, pending):
+    clock, scheduler, manager, service, expectations = build(pending)
+    counter = {"i": 0}
+
+    def arrival():
+        counter["i"] += 1
+        manager.put(
+            "Q.0", Message(body=None, properties={"tag": -counter["i"]})
+        )  # matches nothing: pure matching-scan cost
+
+    benchmark.pedantic(arrival, rounds=50, iterations=2)
+
+
+def test_ext_expectations_table(benchmark, report):
+    import time
+
+    table = Table(
+        "EXT: expectation matching — arrivals/sec vs pending expectations",
+        ["pending", "arrivals", "wall ms", "arrivals/s", "met"],
+    )
+    for pending in (10, 100, 1_000):
+        clock, scheduler, manager, service, expectations = build(pending)
+        start = time.perf_counter()
+        for i in range(pending):
+            manager.put(
+                f"Q.{i % 4}", Message(body=None, properties={"tag": i})
+            )
+        wall_ms = (time.perf_counter() - start) * 1e3
+        met = sum(1 for e in expectations if e.met)
+        table.add_row(
+            [pending, pending, wall_ms, pending / (wall_ms / 1e3), met]
+        )
+        assert met == pending
+    report.emit(table)
+    clock, scheduler, manager, service, expectations = build(100)
+    benchmark.pedantic(
+        lambda: manager.put("Q.0", Message(body=None, properties={"tag": -1})),
+        rounds=100,
+    )
+
+
+def test_ext_expectation_decision_latency(benchmark, report):
+    table = Table(
+        "EXT: expectation decision latency (virtual ms)",
+        ["trigger", "registered at", "decided at", "latency"],
+    )
+    # Arrival-triggered: decided the instant the message lands.
+    clock = SimulatedClock()
+    scheduler = EventScheduler(clock)
+    manager = QueueManager("QM.R", clock)
+    service = ExpectationService(manager, scheduler=scheduler)
+    expectation = service.expect("Q", within_ms=10_000)
+    scheduler.run_until(400)
+    manager.put("Q", Message(body=None))
+    table.add_row(["arrival", 0, expectation.decided_at_ms,
+                   expectation.decided_at_ms])
+    assert expectation.decided_at_ms == 400
+    # Deadline-triggered: decided exactly at the deadline.
+    late = service.expect("Q2", within_ms=1_000)
+    scheduler.run_all()
+    table.add_row(["deadline", 400, late.decided_at_ms,
+                   late.decided_at_ms - 400])
+    assert late.decided_at_ms == 1_400
+    report.emit(table)
+
+    def roundtrip():
+        clock = SimulatedClock()
+        scheduler = EventScheduler(clock)
+        manager = QueueManager("QM.R", clock)
+        service = ExpectationService(manager, scheduler=scheduler)
+        expectation = service.expect("Q", within_ms=1_000)
+        manager.put("Q", Message(body=None))
+        return expectation
+
+    result = benchmark.pedantic(roundtrip, rounds=30)
+    assert result.met

@@ -1,0 +1,120 @@
+"""FIG10 — the D-Sphere service (paper Fig. 10, section 3).
+
+Characterizes Dependency-Spheres: group-commit cost vs sphere size
+(member messages + object resources), the abort path, and group-outcome
+correctness (one bad member fails everything; object veto fails
+everything).
+
+Expected shape: sphere cost is linear in members; the atomicity
+guarantees hold at every size.
+"""
+
+import pytest
+
+from repro.core.builder import destination, destination_set
+from repro.dsphere.context import DSphereOutcome
+from repro.harness.reporting import Table
+from repro.objects.kvstore import TransactionalKVStore
+from repro.workloads.scenarios import Testbed
+
+
+def run_sphere(members, object_writes, fail_one=False, abort=False):
+    bed = Testbed(["R1"], latency_ms=5)
+    store = TransactionalKVStore("db")
+    sphere = bed.dsphere.begin_DS()
+    tx = sphere.object_tx
+    if object_writes:
+        tx.enlist(store)
+        for i in range(object_writes):
+            store.put(f"k{i}", i, tx_id=tx.tx_id)
+    condition = destination_set(
+        destination("Q.R1", manager="QM.R1", recipient="R1",
+                    msg_pick_up_time=10_000),
+        evaluation_timeout=12_000,
+    )
+    doomed = destination_set(
+        destination("Q.NOBODY", manager="QM.R1", msg_pick_up_time=100),
+        evaluation_timeout=200,
+    )
+    for i in range(members):
+        is_last = i == members - 1
+        bed.dsphere.send_message(
+            {"i": i}, doomed if (fail_one and is_last) else condition
+        )
+    if abort:
+        bed.dsphere.abort_DS("bench abort")
+    else:
+        bed.dsphere.commit_DS()
+        bed.at(100, lambda: bed.receiver("R1").read_all("Q.R1"))
+    bed.run_all()
+    assert sphere.is_complete
+    return bed, sphere, store
+
+
+@pytest.mark.parametrize("members", [1, 8, 32])
+def test_sphere_commit_benchmark(benchmark, members):
+    bed, sphere, store = benchmark.pedantic(
+        lambda: run_sphere(members, object_writes=4), rounds=5
+    )
+    assert sphere.group_outcome is DSphereOutcome.SUCCESS
+
+
+def test_fig10_size_sweep(benchmark, report):
+    import time
+
+    table = Table(
+        "FIG10: D-Sphere group commit vs size (sphere of N messages + 4 DB writes)",
+        ["members", "outcome", "wall ms", "comps released", "db committed"],
+    )
+    for members in (1, 4, 16, 64):
+        start = time.perf_counter()
+        bed, sphere, store = run_sphere(members, object_writes=4)
+        wall_ms = (time.perf_counter() - start) * 1e3
+        table.add_row(
+            [
+                members,
+                sphere.group_outcome.value,
+                wall_ms,
+                bed.service.stats.compensations_released,
+                store.get("k0") is not None,
+            ]
+        )
+        assert sphere.group_outcome is DSphereOutcome.SUCCESS
+        assert store.get("k0") == 0
+    report.emit(table)
+    benchmark.pedantic(lambda: run_sphere(16, 4), rounds=5)
+
+
+def test_fig10_atomicity_table(benchmark, report):
+    table = Table(
+        "FIG10: group-outcome atomicity (8-member spheres)",
+        ["scenario", "group outcome", "comps released", "db state"],
+    )
+    scenarios = [
+        ("all members succeed", dict(), DSphereOutcome.SUCCESS, 0, "committed"),
+        ("one member fails", dict(fail_one=True), DSphereOutcome.FAILURE, 8, "rolled back"),
+        ("abort_DS", dict(abort=True), DSphereOutcome.FAILURE, 8, "rolled back"),
+    ]
+    for label, kwargs, expected_outcome, expected_comps, expected_db in scenarios:
+        bed, sphere, store = run_sphere(8, object_writes=4, **kwargs)
+        db_state = "committed" if store.get("k0") is not None else "rolled back"
+        table.add_row(
+            [
+                label,
+                sphere.group_outcome.value,
+                bed.service.stats.compensations_released,
+                db_state,
+            ]
+        )
+        assert sphere.group_outcome is expected_outcome, label
+        assert bed.service.stats.compensations_released == expected_comps, label
+        assert db_state == expected_db, label
+    report.emit(table)
+    benchmark.pedantic(lambda: run_sphere(8, 4, fail_one=True), rounds=5)
+
+
+def test_fig10_abort_benchmark(benchmark):
+    bed, sphere, store = benchmark.pedantic(
+        lambda: run_sphere(8, object_writes=4, abort=True), rounds=5
+    )
+    assert sphere.group_outcome is DSphereOutcome.FAILURE

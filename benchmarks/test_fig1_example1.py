@@ -1,0 +1,78 @@
+"""FIG1+4 — Example 1, the group-meeting notification (paper Figs. 1 & 4).
+
+Reproduces the scenario end to end and characterizes it: outcome and
+decision latency across receiver-behaviour variants, exercising the full
+Figure 4 condition tree (root pick-up window, required processing on one
+destination, 2-of-3 subset processing).
+"""
+
+import pytest
+
+from repro.harness.reporting import Table
+from repro.harness.runner import run_example1
+from repro.workloads.receivers import ReceiverMode
+from repro.workloads.scenarios import DAY_MS, HOUR_MS
+
+
+def test_success_story_benchmark(benchmark):
+    """Time the complete virtual-day scenario (send -> 4 receivers ->
+    evaluation -> outcome) as executed wall-clock."""
+    result = benchmark(run_example1)
+    assert result.succeeded
+
+
+VARIANTS = [
+    # (label, kwargs, expected success)
+    ("paper success story", {}, True),
+    ("R4 reads late (day 3)", {"r4_react_ms": 3 * DAY_MS}, False),
+    ("R4 never reacts", {"r4_mode": ReceiverMode.IGNORE}, False),
+    ("R3 only reads", {"r3_mode": ReceiverMode.READ}, False),
+    ("only 1 subset processor", {"r2_mode": ReceiverMode.READ,
+                                 "r4_mode": ReceiverMode.READ}, False),
+    ("alternate 2 processors", {"r1_mode": ReceiverMode.READ,
+                                "r4_mode": ReceiverMode.PROCESS_COMMIT}, True),
+    ("everyone instant", {"r1_react_ms": HOUR_MS, "r2_react_ms": HOUR_MS,
+                          "r3_react_ms": HOUR_MS, "r4_react_ms": HOUR_MS}, True),
+]
+
+
+def test_fig1_variant_table(benchmark, report):
+    table = Table(
+        "FIG1+4: Example 1 variants (group meeting, 4 recipients)",
+        ["variant", "outcome", "decided (virt. days)", "acks", "comp released"],
+    )
+    for label, kwargs, expect_success in VARIANTS:
+        result = run_example1(**kwargs)
+        assert result.succeeded is expect_success, label
+        table.add_row(
+            [
+                label,
+                result.outcome.outcome.value,
+                result.outcome.decided_at_ms / DAY_MS,
+                result.outcome.acks_received,
+                result.testbed.service.stats.compensations_released,
+            ]
+        )
+    report.emit(table)
+    benchmark(lambda: run_example1(r4_mode=ReceiverMode.IGNORE))
+
+
+def test_fig1_latency_sensitivity(benchmark, report):
+    """Channel latency does not change outcomes at day-scale deadlines."""
+    table = Table(
+        "FIG1+4: channel-latency sensitivity",
+        ["latency (ms)", "outcome", "standard msgs", "acks"],
+    )
+    for latency in (0, 50, 1_000, 60_000):
+        result = run_example1(latency_ms=latency)
+        table.add_row(
+            [
+                latency,
+                result.outcome.outcome.value,
+                result.testbed.service.stats.standard_messages_generated,
+                result.outcome.acks_received,
+            ]
+        )
+        assert result.succeeded
+    report.emit(table)
+    benchmark(lambda: run_example1(latency_ms=1_000))

@@ -1,0 +1,64 @@
+"""FIG2+5 — Example 2, the air-traffic shared queue (paper Figs. 2 & 5).
+
+Any-one-of-N pick-up within 20 seconds, 21-second evaluation timeout.
+Characterizes decision latency vs. controller reaction time (early
+success detection) and the timeout-bounded failure path.
+"""
+
+import pytest
+
+from repro.harness.reporting import Table
+from repro.harness.runner import run_example2
+from repro.workloads.scenarios import SECOND_MS
+
+
+def test_flight_scenario_benchmark(benchmark):
+    result = benchmark(run_example2)
+    assert result.succeeded
+
+
+def test_fig2_reaction_sweep(benchmark, report):
+    """Decision time tracks the pick-up: early reads decide early; the
+    failure case decides exactly at the evaluation timeout (21s)."""
+    table = Table(
+        "FIG2+5: Example 2 — controller reaction sweep (20s window, 21s timeout)",
+        ["reaction (s)", "outcome", "decided at (s)", "picked by"],
+    )
+    for reaction_s in (1, 5, 10, 15, 19, 25, None):
+        result = run_example2(
+            first_reaction_ms=None if reaction_s is None else reaction_s * SECOND_MS
+        )
+        picked = result.extras["picked_by"]
+        table.add_row(
+            [
+                "never" if reaction_s is None else reaction_s,
+                result.outcome.outcome.value,
+                result.outcome.decided_at_ms / SECOND_MS,
+                picked[0] if picked else "--",
+            ]
+        )
+        if reaction_s is not None and reaction_s <= 19:
+            assert result.succeeded
+        else:
+            assert not result.succeeded
+            assert result.outcome.decided_at_ms == 21 * SECOND_MS
+    report.emit(table)
+    benchmark(lambda: run_example2(first_reaction_ms=5 * SECOND_MS))
+
+
+def test_fig2_controller_count(benchmark, report):
+    """The shared queue delivers each flight to exactly one controller
+    regardless of how many poll it."""
+    table = Table(
+        "FIG2+5: controller-count sweep (single-consume shared queue)",
+        ["controllers", "outcome", "distinct claimants"],
+    )
+    for count in (1, 2, 4, 8):
+        result = run_example2(controllers=count, first_reaction_ms=2 * SECOND_MS)
+        table.add_row(
+            [count, result.outcome.outcome.value, len(result.extras["picked_by"])]
+        )
+        assert result.succeeded
+        assert len(result.extras["picked_by"]) == 1
+    report.emit(table)
+    benchmark(lambda: run_example2(controllers=8, first_reaction_ms=2 * SECOND_MS))

@@ -1,0 +1,114 @@
+"""FIG3 — the condition object model (paper Figure 3).
+
+Measures the cost of building, validating, and (de)serializing condition
+trees as they grow in width (destinations per set) and depth (nesting),
+establishing that condition management is negligible next to messaging.
+"""
+
+import json
+
+import pytest
+
+from repro.core.builder import destination, destination_set
+from repro.core.serialize import condition_from_dict, condition_to_dict
+from repro.harness.reporting import Table
+
+
+def wide_tree(width: int):
+    return destination_set(
+        *[
+            destination(f"Q.{i}", recipient=f"R{i}")
+            for i in range(width)
+        ],
+        msg_pick_up_time=10_000,
+        min_nr_pick_up=max(1, width // 2),
+    )
+
+
+def deep_tree(depth: int):
+    node = destination_set(
+        destination("Q.LEAF0", recipient="R0"), msg_pick_up_time=10_000
+    )
+    for level in range(1, depth):
+        node = destination_set(
+            destination(f"Q.LEAF{level}", recipient=f"R{level}"),
+            node,
+            msg_pick_up_time=10_000 + level,
+        )
+    return node
+
+
+@pytest.mark.parametrize("width", [4, 16, 64])
+def test_build_and_validate_wide(benchmark, width):
+    def build():
+        tree = wide_tree(width)
+        tree.validate()
+        return tree
+
+    tree = benchmark(build)
+    assert len(list(tree.destinations())) == width
+
+
+@pytest.mark.parametrize("depth", [2, 8, 32])
+def test_build_and_validate_deep(benchmark, depth):
+    def build():
+        tree = deep_tree(depth)
+        tree.validate()
+        return tree
+
+    tree = benchmark(build)
+    assert len(list(tree.destinations())) == depth
+
+
+@pytest.mark.parametrize("width", [4, 16, 64])
+def test_serialize_roundtrip(benchmark, width):
+    tree = wide_tree(width)
+
+    def roundtrip():
+        return condition_from_dict(
+            json.loads(json.dumps(condition_to_dict(tree)))
+        )
+
+    restored = benchmark(roundtrip)
+    assert len(list(restored.destinations())) == width
+
+
+def test_fig3_table(benchmark, report):
+    """Summary table: model-operation costs across shapes."""
+    import timeit
+
+    table = Table(
+        "FIG3: condition object model operation cost (microseconds/op)",
+        ["shape", "build+validate", "to_dict", "from_dict"],
+    )
+    for label, factory in (
+        ("4 wide", lambda: wide_tree(4)),
+        ("64 wide", lambda: wide_tree(64)),
+        ("8 deep", lambda: deep_tree(8)),
+        ("32 deep", lambda: deep_tree(32)),
+    ):
+        tree = factory()
+        wire = condition_to_dict(tree)
+        n = 200
+        build_us = timeit.timeit(
+            lambda: factory().validate(), number=n
+        ) / n * 1e6
+        to_us = timeit.timeit(lambda: condition_to_dict(tree), number=n) / n * 1e6
+        from_us = timeit.timeit(
+            lambda: condition_from_dict(wire), number=n
+        ) / n * 1e6
+        table.add_row([label, build_us, to_us, from_us])
+    report.emit(table)
+    # Anchor the pytest-benchmark stats on the paper's own Figure 4 tree.
+    example1 = lambda: destination_set(
+        destination("Q.R3", recipient="R3", msg_processing_time=700),
+        destination_set(
+            destination("Q.R1", recipient="R1"),
+            destination("Q.R2", recipient="R2"),
+            destination("Q.R4", recipient="R4"),
+            msg_processing_time=1_100,
+            min_nr_processing=2,
+        ),
+        msg_pick_up_time=200,
+    )
+    benchmark(lambda: example1().validate())

@@ -1,0 +1,123 @@
+"""FIG8 — the compensation queue (paper Fig. 8, section 2.6).
+
+Sweeps the message failure rate and reports the compensation machinery's
+behaviour: staged vs released vs discarded compensations, in-queue
+cancellations (original never read) vs delivered compensations (original
+consumed), and the wall-clock cost of staging + releasing.
+
+Expected shape: staging cost is paid on *every* send (the paper's
+reliability design); release cost only on failures; unread originals
+never reach applications (they cancel in-queue).
+"""
+
+import pytest
+
+from repro.core.builder import destination, destination_set
+from repro.harness.reporting import Table
+from repro.workloads.scenarios import Testbed
+
+
+def simple_failure_run(total, fail_count):
+    """Cleaner sweep: fail_count messages go to a queue nobody reads."""
+    bed = Testbed(["R1", "DEAD"], latency_ms=5)
+    live = destination_set(
+        destination("Q.R1", manager="QM.R1", recipient="R1",
+                    msg_pick_up_time=1_000),
+        evaluation_timeout=2_000,
+    )
+    dead = destination_set(
+        destination("Q.DEAD", manager="QM.DEAD", recipient="DEAD",
+                    msg_pick_up_time=1_000),
+        evaluation_timeout=2_000,
+    )
+    for i in range(total):
+        bed.service.send_message(
+            {"i": i},
+            dead if i < fail_count else live,
+            compensation={"undo": i},
+        )
+    bed.at(100, lambda: bed.receiver("R1").read_all("Q.R1"))
+    bed.run_all()
+    return bed
+
+
+@pytest.mark.parametrize("failure_pct", [0, 25, 100])
+def test_compensation_sweep_benchmark(benchmark, failure_pct):
+    total = 40
+    result = benchmark.pedantic(
+        lambda: simple_failure_run(total, total * failure_pct // 100),
+        rounds=5,
+    )
+
+
+def test_fig8_table(benchmark, report):
+    table = Table(
+        "FIG8: compensation behaviour vs failure rate (40 messages/run)",
+        ["failure %", "staged", "released", "discarded",
+         "cancelled in-queue", "delivered to app"],
+    )
+    for failure_pct in (0, 10, 25, 50, 100):
+        total = 40
+        fail_count = total * failure_pct // 100
+        bed = simple_failure_run(total, fail_count)
+        stats = bed.service.stats
+        comp = bed.service.compensation
+        # Failed messages' compensations were released to Q.DEAD where the
+        # unread originals cancel against them on the next read attempt.
+        dead_receiver = bed.receiver("DEAD")
+        assert dead_receiver.read_message("Q.DEAD") is None
+        table.add_row(
+            [
+                failure_pct,
+                stats.compensations_staged,
+                stats.compensations_released,
+                comp.discarded_count,
+                dead_receiver.stats.cancellations,
+                dead_receiver.stats.compensations_delivered,
+            ]
+        )
+        assert stats.compensations_staged == total
+        assert stats.compensations_released == fail_count
+        assert comp.discarded_count == total - fail_count
+        assert dead_receiver.stats.cancellations == fail_count
+        assert dead_receiver.stats.compensations_delivered == 0
+    report.emit(table)
+    benchmark.pedantic(lambda: simple_failure_run(40, 10), rounds=5)
+
+
+def test_fig8_delivered_compensation_path(benchmark, report):
+    """The read-then-fail path: originals consumed, compensation must be
+    DELIVERED (not cancelled)."""
+    table = Table(
+        "FIG8: compensation delivery when the original was consumed late",
+        ["messages", "read late", "delivered comps", "cancelled"],
+    )
+
+    def run(total):
+        bed = Testbed(["R1"], latency_ms=5)
+        condition = destination_set(
+            destination("Q.R1", manager="QM.R1", recipient="R1",
+                        msg_pick_up_time=500),
+            evaluation_timeout=5_000,
+        )
+        for i in range(total):
+            bed.service.send_message({"i": i}, condition,
+                                     compensation={"undo": i})
+        # Read everything AFTER the pick-up deadline: messages fail, but
+        # the originals were consumed, so compensations are delivered.
+        bed.at(1_000, lambda: bed.receiver("R1").read_all("Q.R1"))
+        bed.run_all()
+        comps = [
+            m for m in bed.receiver("R1").read_all("Q.R1") if m.is_compensation
+        ]
+        return bed, comps
+
+    for total in (5, 20):
+        bed, comps = run(total)
+        table.add_row(
+            [total, total, len(comps), bed.receiver("R1").stats.cancellations]
+        )
+        assert len(comps) == total
+        assert bed.receiver("R1").stats.cancellations == 0
+    report.emit(table)
+    benchmark.pedantic(lambda: run(10), rounds=5)

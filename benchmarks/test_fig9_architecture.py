@@ -1,0 +1,223 @@
+"""FIG9 — the full conditional-messaging architecture (paper Fig. 9).
+
+End-to-end characterization of the whole system under a mixed workload,
+and the head-to-head against the application-managed baseline on the one
+condition shape both can express (all-of-N pick-up within a window).
+
+Expected shape: the middleware matches the hand-rolled baseline's
+end-to-end behaviour within a small constant factor while running its
+full monitoring/logging/compensation machinery — the paper's argument
+that the infrastructure "is [what] the application would have to create"
+anyway.
+"""
+
+import pytest
+
+from repro.baseline.app_managed import AppManagedReceiver, AppManagedSender, AppOutcome
+from repro.core.builder import destination, destination_set
+from repro.harness.reporting import Table
+from repro.mq.manager import QueueManager
+from repro.mq.network import MessageNetwork
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.scenarios import Testbed
+
+
+def run_conditional_workload(messages, fan_out=3, receivers=6, seed=0):
+    bed = Testbed([f"N{i}" for i in range(receivers)], latency_ms=5)
+    spec = WorkloadSpec(
+        messages=messages,
+        fan_out=fan_out,
+        pick_up_window_ms=30_000,
+        on_time_probability=0.9,
+        inter_send_gap_ms=50,
+        seed=seed,
+    )
+    result = WorkloadGenerator(bed, spec).run()
+    bed.run_all()
+    outcomes = [bed.service.outcome(c) for c in result.cmids]
+    assert all(o is not None for o in outcomes)
+    return bed, result, outcomes
+
+
+def run_baseline_workload(messages, fan_out=3, receivers=6, seed=0):
+    """The same all-of-N pick-up workload over the raw-MOM baseline."""
+    import random
+
+    clock = SimulatedClock()
+    scheduler = EventScheduler(clock)
+    network = MessageNetwork(scheduler=scheduler, seed=seed)
+    sender_qm = network.add_manager(QueueManager("QM.SENDER", clock))
+    endpoint = {}
+    for i in range(receivers):
+        qm = network.add_manager(QueueManager(f"QM.N{i}", clock))
+        network.connect("QM.SENDER", f"QM.N{i}", latency_ms=5)
+        endpoint[f"N{i}"] = AppManagedReceiver(qm, f"N{i}")
+    sender = AppManagedSender(sender_qm)
+    rng = random.Random(seed)
+    ids = []
+    names = list(endpoint)
+    for index in range(messages):
+        start = (index * fan_out) % receivers
+        chosen = [names[(start + i) % receivers] for i in range(fan_out)]
+
+        def fire(chosen=chosen):
+            msg_id = sender.send_tracked(
+                {"i": len(ids)},
+                [(f"QM.{n}", f"Q.{n}") for n in chosen],
+                deadline_ms=30_000,
+            )
+            ids.append(msg_id)
+            for name in chosen:
+                on_time = rng.random() < 0.9
+                react = rng.randint(1, 15_000) if on_time else 60_000
+                scheduler.call_later(
+                    react, lambda n=name: endpoint[n].read_and_ack(f"Q.{n}")
+                )
+
+        scheduler.call_later(index * 50, fire)
+    # The baseline sender must poll; poll every second of virtual time.
+    def poll_loop(remaining=120):
+        sender.poll()
+        if remaining:
+            scheduler.call_later(1_000, lambda: poll_loop(remaining - 1))
+
+    scheduler.call_later(1_000, poll_loop)
+    scheduler.run_all()
+    sender.poll()
+    return sender, ids
+
+
+@pytest.mark.parametrize("messages", [50, 200])
+def test_conditional_mixed_workload(benchmark, messages):
+    bed, result, outcomes = benchmark.pedantic(
+        lambda: run_conditional_workload(messages), rounds=3
+    )
+    assert len(outcomes) == messages
+
+
+def test_fig9_throughput_table(benchmark, report):
+    import time
+
+    table = Table(
+        "FIG9: end-to-end mixed workload (fan-out 3, 90% on-time receivers)",
+        ["messages", "wall ms", "msgs/s (wall)", "success", "failure",
+         "std msgs", "acks processed"],
+    )
+    for messages in (50, 200, 500):
+        start = time.perf_counter()
+        bed, result, outcomes = run_conditional_workload(messages)
+        wall_ms = (time.perf_counter() - start) * 1e3
+        successes = sum(1 for o in outcomes if o.succeeded)
+        table.add_row(
+            [
+                messages,
+                wall_ms,
+                messages / (wall_ms / 1e3),
+                successes,
+                messages - successes,
+                bed.service.stats.standard_messages_generated,
+                bed.service.evaluation.stats.acks_processed,
+            ]
+        )
+    report.emit(table)
+    benchmark.pedantic(lambda: run_conditional_workload(50), rounds=3)
+
+
+def test_fig9_middleware_vs_baseline(benchmark, report):
+    """Same expressible workload, both stacks: outcomes must agree in
+    shape, and the middleware's wall-clock cost stays within a small
+    factor despite doing strictly more (logging, staging, tx acks)."""
+    import time
+
+    table = Table(
+        "FIG9: conditional middleware vs application-managed baseline",
+        ["stack", "messages", "wall ms", "successes",
+         "crash-safe compensation", "processing conditions", "nested/min-max"],
+    )
+    messages = 100
+    start = time.perf_counter()
+    bed, result, outcomes = run_conditional_workload(messages, seed=4)
+    cond_ms = (time.perf_counter() - start) * 1e3
+    cond_successes = sum(1 for o in outcomes if o.succeeded)
+    table.add_row(
+        ["conditional", messages, cond_ms, cond_successes, True, True, True]
+    )
+    start = time.perf_counter()
+    sender, ids = run_baseline_workload(messages, seed=4)
+    base_ms = (time.perf_counter() - start) * 1e3
+    base_successes = sum(
+        1 for i in ids if sender.outcome(i) is AppOutcome.SUCCESS
+    )
+    table.add_row(
+        ["baseline", messages, base_ms, base_successes, False, False, False]
+    )
+    report.emit(table)
+    # Shape assertions: both stacks see a high-but-not-total success rate
+    # from the same 90% on-time behaviour.
+    assert 0.5 < cond_successes / messages <= 1.0
+    assert 0.5 < base_successes / messages <= 1.0
+    benchmark.pedantic(lambda: run_baseline_workload(50), rounds=3)
+
+
+#: What the application writes when the middleware manages conditions:
+#: define the condition, send, read, observe the outcome.  This is the
+#: complete application-side artifact for the workload above.
+MIDDLEWARE_APP_CODE = '''
+condition = destination_set(
+    *[destination(q, manager=m, recipient=r) for m, q, r in targets],
+    msg_pick_up_time=30_000,
+)
+cmid = service.send_message(order, condition, compensation=cancel_doc)
+# receiver side:
+message = receiver.read_message(inbox)          # ack is implicit
+# sender side, later:
+outcome = service.outcome(cmid)                  # or poll DS.OUTCOME.Q
+'''
+
+
+def _code_lines(text: str) -> int:
+    lines = 0
+    in_doc = False
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith('"""') or line.startswith("'''"):
+            if not (len(line) > 3 and line.endswith(('"""', "'''"))):
+                in_doc = not in_doc
+            continue
+        if in_doc or line.startswith("#"):
+            continue
+        lines += 1
+    return lines
+
+
+def test_fig9_code_burden(benchmark, report):
+    """The paper's central claim, counted: 'conditional messaging shifts
+    the responsibilities for implementing the management of conditions on
+    messages from the application to the middleware.'"""
+    import os
+
+    import repro.baseline.app_managed as baseline_module
+
+    baseline_path = baseline_module.__file__
+    with open(baseline_path, encoding="utf-8") as f:
+        baseline_lines = _code_lines(f.read())
+    app_lines = _code_lines(MIDDLEWARE_APP_CODE)
+    table = Table(
+        "FIG9: application-side code burden for condition management",
+        ["approach", "app artifact lines", "expressiveness"],
+    )
+    table.add_row(
+        ["application-managed (baseline module)", baseline_lines,
+         "flat k-of-N pick-up only"]
+    )
+    table.add_row(
+        ["conditional messaging (app snippet)", app_lines,
+         "nested sets, processing, anonymous, compensation"]
+    )
+    report.emit(table)
+    assert baseline_lines > 10 * app_lines  # an order of magnitude, measured
+    benchmark.pedantic(lambda: _code_lines(MIDDLEWARE_APP_CODE), rounds=20)

@@ -1,0 +1,130 @@
+"""SCALE — evaluation-manager scaling (paper section 2.5).
+
+The evaluation manager correlates every incoming acknowledgment on one
+shared DS.ACK.Q to the right conditional message.  This bench sweeps
+
+* the number of concurrently pending conditional messages, and
+* the acknowledgment volume,
+
+measuring ack-processing cost.  Expected shape: per-ack work is O(size of
+that message's own condition + its acks), independent of how many *other*
+messages are pending (dict correlation, no scans).
+"""
+
+import pytest
+
+from repro.core.acks import Acknowledgment, AckKind, ack_to_message
+from repro.core.builder import destination, destination_set
+from repro.core.evaluation import EvaluationManager
+from repro.harness.reporting import Table
+from repro.mq.manager import QueueManager
+from repro.sim.clock import SimulatedClock
+
+
+def build(pending, fan_out=4):
+    clock = SimulatedClock()
+    manager = QueueManager("QM.S", clock)
+    decided = []
+    evaluation = EvaluationManager(
+        manager, "DS.ACK.Q", on_decided=decided.append, scheduler=None
+    )
+    for m in range(pending):
+        condition = destination_set(
+            *[
+                destination(f"Q.{i}", manager="QM.S", recipient=f"R{i}")
+                for i in range(fan_out)
+            ],
+            msg_pick_up_time=1_000_000,
+        )
+        evaluation.register(f"CM-{m:06d}", condition, 0, 2_000_000)
+    return manager, evaluation, decided
+
+
+def one_ack(cmid, i=0):
+    return ack_to_message(
+        Acknowledgment(
+            cmid=cmid,
+            kind=AckKind.READ,
+            queue=f"Q.{i}",
+            manager="QM.S",
+            recipient=f"R{i}",
+            read_time_ms=10,
+            commit_time_ms=None,
+            original_message_id=f"m{i}",
+        )
+    )
+
+
+@pytest.mark.parametrize("pending", [10, 100, 1_000])
+def test_ack_processing_vs_pending_population(benchmark, pending):
+    """Cost of processing one ack while N other messages are pending."""
+    manager, evaluation, decided = build(pending)
+    target = f"CM-{pending - 1:06d}"
+    counter = {"i": 0}
+
+    def process_one_ack():
+        # Rotate destinations so the record never completes.
+        counter["i"] = (counter["i"] + 1) % 3
+        manager.put("DS.ACK.Q", one_ack(target, counter["i"]))
+        evaluation.record(target).acks.clear()
+
+    benchmark.pedantic(process_one_ack, rounds=100, iterations=1)
+
+
+def test_scale_table(benchmark, report):
+    import time
+
+    table = Table(
+        "SCALE: evaluation manager — ack throughput vs pending population",
+        ["pending msgs", "acks pumped", "wall ms", "acks/s", "decided"],
+    )
+    for pending in (10, 100, 1_000):
+        manager, evaluation, decided = build(pending, fan_out=4)
+        # Complete every message: 4 acks each.
+        start = time.perf_counter()
+        for m in range(pending):
+            for i in range(4):
+                manager.put("DS.ACK.Q", one_ack(f"CM-{m:06d}", i))
+        wall_ms = (time.perf_counter() - start) * 1e3
+        acks = pending * 4
+        table.add_row(
+            [pending, acks, wall_ms, acks / (wall_ms / 1e3), len(decided)]
+        )
+        assert len(decided) == pending
+        assert all(d.succeeded for d in decided)
+    report.emit(table)
+    manager, evaluation, decided = build(100)
+    benchmark.pedantic(
+        lambda: manager.put("DS.ACK.Q", one_ack("CM-000050")),
+        rounds=100,
+    )
+
+
+def test_scale_condition_size(benchmark, report):
+    """Per-ack evaluation cost vs the message's own condition size."""
+    import time
+
+    table = Table(
+        "SCALE: evaluation cost vs condition fan-out (single pending message)",
+        ["fan-out", "acks to decide", "wall ms", "us/ack"],
+    )
+    for fan_out in (2, 8, 32, 128):
+        manager, evaluation, decided = build(1, fan_out=fan_out)
+        start = time.perf_counter()
+        for i in range(fan_out):
+            manager.put("DS.ACK.Q", one_ack("CM-000000", i))
+        wall_ms = (time.perf_counter() - start) * 1e3
+        table.add_row(
+            [fan_out, fan_out, wall_ms, wall_ms * 1e3 / fan_out]
+        )
+        assert len(decided) == 1
+    report.emit(table)
+    manager, evaluation, decided = build(1, fan_out=32)
+    counter = {"i": 0}
+
+    def pump_one():
+        counter["i"] = (counter["i"] + 1) % 31
+        manager.put("DS.ACK.Q", one_ack("CM-000000", counter["i"]))
+        evaluation.record("CM-000000").acks.clear()
+
+    benchmark.pedantic(pump_one, rounds=100)

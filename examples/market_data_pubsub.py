@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Conditional messaging over publish/subscribe: market-data distribution.
+
+The paper scopes conditional messaging over "message queuing and
+publish/subscribe systems" (section 2) and names pub/sub extensions as
+future work (section 4.2).  This example exercises that model:
+
+* a market-data hub runs a :class:`TopicBroker` with hierarchical topics
+  (``px.nyse.ibm``, ``px.nasdaq.*`` ...) and selector-filtered
+  subscriptions;
+* a *trading halt* notice is sent as a **conditional** message to the
+  ``px.nyse`` topic: at least 3 distinct desks must confirm receipt
+  within 10 seconds, otherwise the halt is escalated and compensated
+  (desks that never saw it get nothing; desks that did get a retraction).
+
+Run: ``python examples/market_data_pubsub.py``
+"""
+
+from repro.core import ConditionalMessagingReceiver, destination, destination_set
+from repro.core.service import ConditionalMessagingService
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.mq.network import MessageNetwork
+from repro.mq.pubsub import SUBSCRIPTION_QUEUE_PREFIX, TopicBroker, topic_queue_name
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+SECOND = 1_000
+
+
+def main() -> None:
+    clock = SimulatedClock()
+    scheduler = EventScheduler(clock)
+    network = MessageNetwork(scheduler=scheduler, seed=3)
+    exchange = network.add_manager(QueueManager("QM.EXCHANGE", clock))
+    hub = network.add_manager(QueueManager("QM.HUB", clock))
+    network.connect("QM.EXCHANGE", "QM.HUB", latency_ms=5)
+
+    broker = TopicBroker(hub)
+    broker.define_topic("px.nyse")
+
+    # --- plain pub/sub traffic: ticks flow to selector-filtered feeds ----
+    broker.subscribe("px.#", "tape", durable=True)
+    broker.subscribe("px.nyse", "big-prints", selector="size >= 10000")
+    for size in (500, 25_000, 900, 18_000):
+        exchange.put_remote(
+            "QM.HUB",
+            topic_queue_name("px.nyse"),
+            Message(body={"sym": "IBM", "size": size},
+                    properties={"size": size}),
+        )
+    scheduler.run_all()
+    tape_count = hub.depth(SUBSCRIPTION_QUEUE_PREFIX + "tape")
+    big_count = hub.depth(SUBSCRIPTION_QUEUE_PREFIX + "big-prints")
+    print(f"tape feed got {tape_count} ticks; big-prints filter kept {big_count}")
+
+    # --- the conditional part: a trading-halt notice -----------------------
+    desks = []
+    for name in ("desk-a", "desk-b", "desk-c", "desk-d"):
+        broker.subscribe("px.nyse", name)
+        desks.append(
+            (ConditionalMessagingReceiver(hub, recipient_id=name),
+             SUBSCRIPTION_QUEUE_PREFIX + name)
+        )
+
+    service = ConditionalMessagingService(exchange, scheduler=scheduler)
+    halt_condition = destination_set(
+        destination(topic_queue_name("px.nyse"), manager="QM.HUB"),
+        msg_pick_up_time=10 * SECOND,
+        anonymous_min_pick_up=3,          # >=3 distinct desks must confirm
+        evaluation_timeout=11 * SECOND,
+    )
+
+    def run_halt(title: str, confirming_desks: int) -> None:
+        cmid = service.send_message(
+            {"halt": "IBM", "reason": "volatility"},
+            halt_condition,
+            compensation={"retract": "IBM halt"},
+        )
+        # Desks poll their subscription queues with staggered delays; the
+        # tape/big-prints feeds ignore the halt (they are not conditional
+        # readers) — their copies count for nothing.
+        for index, (receiver, queue) in enumerate(desks[:confirming_desks]):
+            scheduler.call_later(
+                (index + 1) * SECOND,
+                lambda r=receiver, q=queue: r.read_message(q),
+            )
+        scheduler.run_all()
+        outcome = service.outcome(cmid)
+        print(f"\n{title}")
+        print(f"  halt outcome: {outcome.outcome.value} "
+              f"(decided at {outcome.decided_at_ms / SECOND:.1f}s, "
+              f"{outcome.acks_received} desk confirmations)")
+        for reason in outcome.reasons:
+            print(f"  reason: {reason}")
+        if not outcome.succeeded:
+            confirmed, retracted, silent = 0, 0, 0
+            for receiver, queue in desks:
+                message = receiver.read_message(queue)
+                if message is not None and message.is_compensation:
+                    retracted += 1
+                elif receiver.stats.cancellations:
+                    silent += 1
+            print(f"  retractions delivered to {retracted} confirming desk(s);"
+                  f" unread copies cancelled in-queue")
+
+    run_halt("scenario 1: three desks confirm in time", confirming_desks=3)
+    run_halt("scenario 2: only two desks confirm", confirming_desks=2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Example 1 from the paper: the group-meeting notification workflow.
+
+A meeting notice goes to four named recipients (Figure 1) under the
+Figure 4 condition tree:
+
+* all four must acknowledge receipt within two days,
+* Receiver3 must successfully *process* the notice (update its calendar
+  database) a week ahead of the meeting,
+* at least two of the other three must process it by the subset deadline.
+
+The whole thing runs inside a Dependency-Sphere together with a room
+reservation on a transactional database (paper section 3): if the
+notification fails, the room reservation rolls back and every recipient
+gets a compensation (the meeting cancellation).
+
+Run: ``python examples/meeting_workflow.py``
+"""
+
+from repro.objects import TransactionalKVStore
+from repro.workloads import Testbed, ReceiverScript, ScriptedReceiver
+from repro.workloads.receivers import ReceiverMode
+from repro.workloads.scenarios import DAY_MS, HOUR_MS, build_example1_condition
+
+MEETING = {"title": "quarterly planning", "room": "42", "when": "in two weeks"}
+
+
+def run_scenario(title: str, r4_reacts: bool) -> None:
+    print(f"\n=== {title} ===")
+    bed = Testbed(["R1", "R2", "R3", "R4"], latency_ms=50)
+    rooms = TransactionalKVStore("room-reservations")
+
+    # Begin the Dependency-Sphere; reserve the room inside its object
+    # transaction, then send the conditional notification as a member.
+    sphere = bed.dsphere.begin_DS()
+    object_tx = sphere.object_tx
+    object_tx.enlist(rooms)
+    rooms.put("room-42", "reserved", tx_id=object_tx.tx_id)
+
+    condition = build_example1_condition(bed)
+    cmid = bed.dsphere.send_message(
+        MEETING, condition, compensation={"cancelled": MEETING["title"]}
+    )
+    bed.dsphere.commit_DS()
+    print(f"sent {cmid} inside {sphere.ds_id}; room 42 reservation pending")
+
+    # Receiver behaviour: R1-R3 process (transactional read + commit)
+    # within hours; R4 reads (or, in the failure run, never reacts).
+    scripts = {
+        "R1": ReceiverScript("Q.R1", 3 * HOUR_MS, ReceiverMode.PROCESS_COMMIT, 60_000),
+        "R2": ReceiverScript("Q.R2", 5 * HOUR_MS, ReceiverMode.PROCESS_COMMIT, 60_000),
+        "R3": ReceiverScript("Q.R3", 8 * HOUR_MS, ReceiverMode.PROCESS_COMMIT, 60_000),
+        "R4": ReceiverScript(
+            "Q.R4",
+            30 * HOUR_MS,
+            ReceiverMode.READ if r4_reacts else ReceiverMode.IGNORE,
+        ),
+    }
+    for name, script in scripts.items():
+        ScriptedReceiver(bed.receiver(name), bed.scheduler, script).start()
+
+    bed.run_all()
+
+    outcome = bed.service.outcome(cmid)
+    days = outcome.decided_at_ms / DAY_MS
+    print(f"message outcome: {outcome.outcome.value} after {days:.2f} virtual days")
+    for reason in outcome.reasons:
+        print(f"  reason: {reason}")
+    print(f"sphere outcome:  {sphere.group_outcome.value}")
+    print(f"room 42:         {rooms.get('room-42', default='NOT reserved')}")
+
+    if not outcome.succeeded:
+        # The compensation (meeting cancellation) reaches everyone who
+        # consumed the original; unread originals cancel silently.
+        for name in ("R1", "R2", "R3", "R4"):
+            receiver = bed.receiver(name)
+            message = receiver.read_message(bed.queue_of(name))
+            if message is not None and message.is_compensation:
+                print(f"  {name} received cancellation: {message.body}")
+            else:
+                print(f"  {name}: original cancelled in-queue "
+                      f"(cancellations={receiver.stats.cancellations})")
+
+
+def main() -> None:
+    run_scenario("success: everyone acts in time", r4_reacts=True)
+    run_scenario("failure: R4 never picks the notice up", r4_reacts=False)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Air-sector handover: sender conditions and receiver expectations together.
+
+The paper sketches this setting in §3: "the flight distribution example
+... may be part of a larger business process for handing over
+responsibilities for flights leaving one air sector and entering another
+one."  This example builds that process with *both* participant roles'
+conditions:
+
+* **Sector WEST (sender side)** hands a flight over: the handover message
+  must be picked up by the EAST sector within 30 s (a paper-§2 sender
+  condition inside a Dependency-Sphere together with WEST's own flight-
+  registry update — if EAST never takes the flight, WEST keeps it and the
+  registry change rolls back);
+* **Sector EAST (receiver side)** independently *expects* the handover:
+  controllers know from the flight plan that BA117 should arrive within
+  60 s; if no handover message shows up, EAST raises its own alarm — a
+  receiver-role condition (``repro.core.expectations``).
+
+Run: ``python examples/sector_handover.py``
+"""
+
+from repro.core import ConditionalMessagingReceiver, destination, destination_set
+from repro.core.expectations import ExpectationService
+from repro.objects import TransactionalKVStore
+from repro.workloads import Testbed
+
+SECOND = 1_000
+
+
+def run(title: str, east_takes_flight: bool, link_up: bool = True) -> None:
+    print(f"\n=== {title} ===")
+    bed = Testbed(["EAST"], latency_ms=100)
+    if not link_up:
+        bed.network.stop_channel("QM.SENDER", "QM.EAST")
+    registry = TransactionalKVStore("west-flight-registry")
+    registry.put("BA117", "owned-by-west")
+
+    east = bed.receiver("EAST")
+    east_expectations = ExpectationService(
+        bed.manager_of("EAST"), scheduler=bed.scheduler
+    )
+
+    # EAST's receiver-side condition: a handover must arrive within 60s.
+    alarms = []
+    expectation = east_expectations.expect(
+        "Q.EAST",
+        within_ms=60 * SECOND,
+        on_decided=lambda e: alarms.append(e) if not e.met else None,
+    )
+
+    # WEST's sender-side condition, inside a D-Sphere with the registry
+    # update: EAST must pick the handover up within 30s.
+    sphere = bed.dsphere.begin_DS()
+    tx = sphere.object_tx
+    tx.enlist(registry)
+    registry.put("BA117", "handed-to-east", tx_id=tx.tx_id)
+    bed.dsphere.send_message(
+        {"flight": "BA117", "heading": "east"},
+        destination_set(
+            destination("Q.EAST", manager="QM.EAST", recipient="EAST",
+                        msg_pick_up_time=30 * SECOND),
+            evaluation_timeout=31 * SECOND,
+            msg_priority=8,
+        ),
+        compensation={"flight": "BA117", "action": "handover-cancelled"},
+    )
+    bed.dsphere.commit_DS()
+
+    if east_takes_flight:
+        def east_reads():
+            message = east.read_message("Q.EAST")
+            if message is not None:
+                print(f"  EAST accepted: {message.body}")
+        bed.at(5 * SECOND, east_reads)
+
+    bed.run_all()
+
+    print(f"  WEST sphere outcome: {sphere.group_outcome.value}")
+    print(f"  WEST registry says:  BA117 -> {registry.get('BA117')}")
+    print(f"  EAST expectation:    {expectation.outcome.value}"
+          f" (decided at {expectation.decided_at_ms / SECOND:.1f}s)")
+    if alarms:
+        print("  EAST raised an alarm: expected handover never arrived")
+
+
+def main() -> None:
+    run("flight BA117 handed over cleanly", east_takes_flight=True)
+    # Note the asymmetry: the handover ARRIVED at EAST (its arrival
+    # expectation is met) but was never picked up, so WEST's pick-up
+    # condition fails and WEST keeps the flight — each side's condition
+    # answers its own question.
+    run("EAST never picks the handover up", east_takes_flight=False)
+    run("the inter-sector link is down", east_takes_flight=True, link_up=False)
+
+
+if __name__ == "__main__":
+    main()

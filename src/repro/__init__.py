@@ -1,0 +1,72 @@
+"""Conditional messaging: reliable messaging extended with application conditions.
+
+A faithful, from-scratch reproduction of *"Extending Reliable Messaging
+with Application Conditions"* (Tai, Mikalsen, Rouvellou, Sutton -- IBM
+T.J. Watson Research Center, ICDCS 2002), together with every substrate
+the paper's system depends on:
+
+* :mod:`repro.mq` -- a message-oriented middleware (mini MQSeries/JMS):
+  queue managers, persistent priority queues, syncpoint transactions,
+  selectors, store-and-forward channels;
+* :mod:`repro.objects` -- distributed object transactions (mini OTS/JTS):
+  two-phase commit, transactional resources, a transactional KV store;
+* :mod:`repro.core` -- **the paper's contribution**: condition object
+  model, conditional send, implicit acknowledgments, evaluation manager,
+  compensation and success notifications;
+* :mod:`repro.dsphere` -- Dependency-Spheres: atomic groups of
+  conditional messages and object transactions;
+* :mod:`repro.baseline` -- the application-managed status quo, for
+  comparison;
+* :mod:`repro.workloads` / :mod:`repro.harness` -- testbeds, scripted
+  receivers, workload generators, metrics, and experiment runners;
+* :mod:`repro.sim` -- the deterministic virtual clock everything runs on.
+
+Quickstart::
+
+    from repro.workloads import Testbed
+    from repro.core import destination, destination_set
+
+    bed = Testbed(["ALICE", "BOB"], latency_ms=10)
+    cond = destination_set(
+        destination("Q.ALICE", manager="QM.ALICE", recipient="ALICE"),
+        destination("Q.BOB", manager="QM.BOB", recipient="BOB"),
+        msg_pick_up_time=5_000,
+    )
+    cmid = bed.service.send_message("hello", cond)
+    bed.at(1_000, lambda: bed.receiver("ALICE").read_message("Q.ALICE"))
+    bed.at(2_000, lambda: bed.receiver("BOB").read_message("Q.BOB"))
+    bed.run_all()
+    print(bed.service.outcome(cmid).outcome)   # MessageOutcome.SUCCESS
+"""
+
+from repro.core import (
+    Condition,
+    ConditionalMessagingReceiver,
+    ConditionalMessagingService,
+    Destination,
+    DestinationSet,
+    MessageOutcome,
+    OutcomeRecord,
+    destination,
+    destination_set,
+)
+from repro.dsphere import DSphereOutcome, DSphereService
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Condition",
+    "Destination",
+    "DestinationSet",
+    "destination",
+    "destination_set",
+    "ConditionalMessagingService",
+    "ConditionalMessagingReceiver",
+    "MessageOutcome",
+    "OutcomeRecord",
+    "DSphereService",
+    "DSphereOutcome",
+    "ReproError",
+    "__version__",
+]

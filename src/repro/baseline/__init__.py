@@ -1,0 +1,18 @@
+"""Baselines: what applications build without conditional messaging.
+
+The paper's motivating claim is that "with current middleware,
+applications themselves are forced to implement the management of such
+conditions on messages as part of the application" (section 1).  This
+package implements that status quo — the same Example-1/Example-2
+conditions hand-coded over the raw MOM API — so the benchmarks can
+compare the middleware solution against the application-managed one on
+performance, code burden, and feature coverage.
+"""
+
+from repro.baseline.app_managed import (
+    AppManagedReceiver,
+    AppManagedSender,
+    AppOutcome,
+)
+
+__all__ = ["AppManagedSender", "AppManagedReceiver", "AppOutcome"]

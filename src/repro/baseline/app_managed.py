@@ -1,0 +1,194 @@
+"""Application-managed condition tracking over the raw MOM API.
+
+This is the paper's *anti-pattern*, implemented honestly: the sender
+application hand-rolls its own acknowledgment protocol, timeout tracking,
+and outcome bookkeeping for one fixed condition shape — "all N recipients
+must acknowledge receipt within T milliseconds" (a flat subset of what
+the middleware's condition trees express).  The receiver application must
+know the sender's ad-hoc protocol and send explicit acknowledgments
+itself.
+
+Deliberate limitations (they ARE the point of the comparison):
+
+* only flat all-of-N / k-of-N pick-up deadlines — no nesting, no
+  per-destination processing deadlines, no anonymous counts;
+* no transactional-processing acknowledgments — the receiver acks at
+  read time whether or not its processing later fails;
+* no staged compensation — on failure the sender synthesizes cancel
+  messages *after the fact*, so a sender crash loses the ability to
+  compensate;
+* no logging queues, so nothing is recoverable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+
+_baseline_seq = itertools.count(1)
+
+#: Ad-hoc property names this application invented for its protocol.
+PROP_APP_MSG_ID = "APP_MSG_ID"
+PROP_APP_ACK_TO_MANAGER = "APP_ACK_TO_MANAGER"
+PROP_APP_ACK_TO_QUEUE = "APP_ACK_TO_QUEUE"
+PROP_APP_IS_ACK = "APP_IS_ACK"
+PROP_APP_IS_CANCEL = "APP_IS_CANCEL"
+
+
+class AppOutcome(Enum):
+    """Outcome of a tracked send."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"
+    PENDING = "pending"
+
+
+@dataclass
+class _Tracked:
+    """Sender-side bookkeeping for one fan-out send."""
+
+    app_msg_id: str
+    destinations: List[Tuple[str, str]]
+    deadline_ms: int
+    min_acks: int
+    acked_by: List[str] = field(default_factory=list)
+    outcome: AppOutcome = AppOutcome.PENDING
+    cancels_sent: bool = False
+
+
+class AppManagedSender:
+    """A sender application tracking acknowledgments by hand."""
+
+    ACK_QUEUE = "APP.ACK.Q"
+
+    def __init__(self, manager: QueueManager) -> None:
+        self.manager = manager
+        manager.ensure_queue(self.ACK_QUEUE)
+        self._tracked: Dict[str, _Tracked] = {}
+
+    def send_tracked(
+        self,
+        body: Any,
+        destinations: List[Tuple[str, str]],
+        deadline_ms: int,
+        min_acks: Optional[int] = None,
+    ) -> str:
+        """Fan a message out and start tracking acknowledgments.
+
+        Args:
+            destinations: (manager, queue) pairs.
+            deadline_ms: Relative pick-up deadline.
+            min_acks: Required acknowledgment count (default: all).
+        """
+        app_msg_id = f"APP-{next(_baseline_seq):08d}"
+        now = self.manager.clock.now_ms()
+        for manager_name, queue_name in destinations:
+            message = Message(
+                body=body,
+                correlation_id=app_msg_id,
+                properties={
+                    PROP_APP_MSG_ID: app_msg_id,
+                    PROP_APP_ACK_TO_MANAGER: self.manager.name,
+                    PROP_APP_ACK_TO_QUEUE: self.ACK_QUEUE,
+                },
+            )
+            self.manager.put_remote(manager_name, queue_name, message)
+        self._tracked[app_msg_id] = _Tracked(
+            app_msg_id=app_msg_id,
+            destinations=list(destinations),
+            deadline_ms=now + deadline_ms,
+            min_acks=min_acks if min_acks is not None else len(destinations),
+        )
+        return app_msg_id
+
+    def poll(self) -> None:
+        """Drain acknowledgments and time out overdue sends.
+
+        The application must remember to call this regularly — one of the
+        burdens the middleware removes.
+        """
+        while True:
+            ack = self.manager.get_wait(self.ACK_QUEUE)
+            if ack is None:
+                break
+            body = ack.body
+            tracked = self._tracked.get(body.get("app_msg_id", ""))
+            if tracked is None or tracked.outcome is not AppOutcome.PENDING:
+                continue
+            if body.get("read_time_ms", 0) <= tracked.deadline_ms:
+                tracked.acked_by.append(body.get("recipient", "?"))
+                if len(tracked.acked_by) >= tracked.min_acks:
+                    tracked.outcome = AppOutcome.SUCCESS
+        now = self.manager.clock.now_ms()
+        for tracked in self._tracked.values():
+            if tracked.outcome is AppOutcome.PENDING and now > tracked.deadline_ms:
+                tracked.outcome = AppOutcome.FAILURE
+                self._send_cancels(tracked)
+
+    def outcome(self, app_msg_id: str) -> AppOutcome:
+        """Current outcome of a tracked send."""
+        tracked = self._tracked.get(app_msg_id)
+        return tracked.outcome if tracked else AppOutcome.FAILURE
+
+    def _send_cancels(self, tracked: _Tracked) -> None:
+        # Synthesized at failure time — if this process had crashed, no
+        # cancel would ever be sent (contrast: DS.COMP.Q staging).
+        if tracked.cancels_sent:
+            return
+        tracked.cancels_sent = True
+        for manager_name, queue_name in tracked.destinations:
+            self.manager.put_remote(
+                manager_name,
+                queue_name,
+                Message(
+                    body=None,
+                    correlation_id=tracked.app_msg_id,
+                    properties={
+                        PROP_APP_MSG_ID: tracked.app_msg_id,
+                        PROP_APP_IS_CANCEL: True,
+                    },
+                ),
+            )
+
+
+class AppManagedReceiver:
+    """A receiver application speaking the sender's ad-hoc ack protocol."""
+
+    def __init__(self, manager: QueueManager, recipient_id: str) -> None:
+        self.manager = manager
+        self.recipient_id = recipient_id
+
+    def read_and_ack(self, queue_name: str) -> Optional[Message]:
+        """Read the next message; manually acknowledge tracked ones.
+
+        Cancel messages are returned to the application, which must know
+        how to undo whatever it did — there is no middleware pairing of
+        originals and cancels here.
+        """
+        self.manager.ensure_queue(queue_name)
+        message = self.manager.get_wait(queue_name)
+        if message is None:
+            return None
+        if message.has_property(PROP_APP_MSG_ID) and not message.get_property(
+            PROP_APP_IS_CANCEL, False
+        ):
+            ack_manager = str(message.get_property(PROP_APP_ACK_TO_MANAGER))
+            ack_queue = str(message.get_property(PROP_APP_ACK_TO_QUEUE))
+            self.manager.put_remote(
+                ack_manager,
+                ack_queue,
+                Message(
+                    body={
+                        "app_msg_id": message.get_property(PROP_APP_MSG_ID),
+                        "recipient": self.recipient_id,
+                        "read_time_ms": self.manager.clock.now_ms(),
+                    },
+                    properties={PROP_APP_IS_ACK: True},
+                ),
+            )
+        return message

@@ -1,0 +1,58 @@
+"""Conditional messaging — the paper's primary contribution.
+
+Conditional messaging is *"messaging in which messages are associated with
+application-defined conditions on message delivery and message processing
+in order to define and determine a messaging outcome of success or
+failure"* (paper section 2).
+
+The package follows the paper's structure:
+
+* :mod:`repro.core.conditions` — the Composite object model of
+  ``Condition`` / ``Destination`` / ``DestinationSet`` (section 2.2);
+* :mod:`repro.core.sender` — associating conditions with messages and
+  generating the standard messages that implement a conditional message
+  (section 2.3);
+* :mod:`repro.core.receiver` + :mod:`repro.core.acks` — the receiver-side
+  service producing implicit acknowledgments of receipt and of
+  transactional processing (section 2.4);
+* :mod:`repro.core.evaluation` + :mod:`repro.core.satisfaction` — the
+  evaluation manager deciding success or failure (section 2.5);
+* :mod:`repro.core.outcome` + :mod:`repro.core.compensation` — success
+  notifications and compensation messages (section 2.6);
+* :mod:`repro.core.service` — the sender-side facade wiring the system
+  queues ``DS.SLOG.Q``, ``DS.ACK.Q``, ``DS.COMP.Q``, ``DS.OUTCOME.Q``
+  together (section 2.7, Figure 9).
+"""
+
+from repro.core.conditions import Condition, Destination, DestinationSet
+from repro.core.builder import destination, destination_set
+from repro.core.serialize import condition_from_dict, condition_to_dict
+from repro.core.xmlform import condition_from_xml, condition_to_xml
+from repro.core.satisfaction import EvalState, evaluate_condition
+from repro.core.expectations import ExpectationOutcome, ExpectationService
+from repro.core.outcome import MessageOutcome, OutcomeRecord
+from repro.core.service import ConditionalMessagingService
+from repro.core.receiver import ConditionalMessagingReceiver, ReceivedMessage
+from repro.core.templates import ConditionTemplates
+
+__all__ = [
+    "Condition",
+    "Destination",
+    "DestinationSet",
+    "destination",
+    "destination_set",
+    "condition_to_dict",
+    "condition_from_dict",
+    "condition_to_xml",
+    "condition_from_xml",
+    "EvalState",
+    "evaluate_condition",
+    "MessageOutcome",
+    "OutcomeRecord",
+    "ConditionalMessagingService",
+    "ConditionalMessagingReceiver",
+    "ReceivedMessage",
+    "ConditionTemplates",
+    "ExpectationService",
+    "ExpectationOutcome",
+]

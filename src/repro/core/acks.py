@@ -1,0 +1,124 @@
+"""Internal acknowledgment messages (paper section 2.4).
+
+Two kinds of implicit acknowledgments exist:
+
+* **READ** — a successful *non-transactional* read of a message by a final
+  recipient (carries the read timestamp);
+* **PROCESSED** — a successful *transactional* read, generated only when
+  the recipient's transaction commits (carries both the read timestamp
+  and the commit timestamp; the paper equates transactional-read commit
+  with processing success).
+
+"There will never be two acknowledgments generated for one receiver
+reading one message" — the receiver-side system emits exactly one of the
+two kinds per consumed message.
+
+Acknowledgments travel as ordinary (standard) messages back to the
+sender-side ``DS.ACK.Q``, so the monitoring channel enjoys the same
+reliable delivery as the primary messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.core import control
+from repro.errors import ConditionalMessagingError
+from repro.mq.message import Message
+
+
+class AckKind(Enum):
+    """The two acknowledgment kinds of section 2.4."""
+
+    READ = "read"
+    PROCESSED = "processed"
+
+
+@dataclass(frozen=True)
+class Acknowledgment:
+    """Decoded acknowledgment content.
+
+    Attributes:
+        cmid: Conditional message being acknowledged.
+        kind: READ (non-transactional) or PROCESSED (transactional commit).
+        queue: Destination queue the message was consumed from.
+        manager: Queue manager hosting that queue.
+        recipient: Identity of the final recipient (application-declared,
+            or a generated consumer id for anonymous readers).
+        read_time_ms: When the message was read from the queue, on the
+            shared simulation clock.
+        commit_time_ms: When the recipient's transaction committed
+            (PROCESSED acks only).
+        original_message_id: Standard-message id that was consumed.
+    """
+
+    cmid: str
+    kind: AckKind
+    queue: str
+    manager: str
+    recipient: str
+    read_time_ms: int
+    commit_time_ms: Optional[int]
+    original_message_id: str
+
+    def processing_time_ms(self) -> Optional[int]:
+        """Commit timestamp for PROCESSED acks, else ``None``."""
+        return self.commit_time_ms if self.kind is AckKind.PROCESSED else None
+
+
+def ack_to_message(ack: Acknowledgment) -> Message:
+    """Encode an acknowledgment as a standard message for the ack queue.
+
+    Acknowledgments are persistent and high priority: losing one would
+    turn a satisfied condition into a spurious failure, and the evaluation
+    manager wants them promptly.
+    """
+    body = {
+        "cmid": ack.cmid,
+        "kind": ack.kind.value,
+        "queue": ack.queue,
+        "manager": ack.manager,
+        "recipient": ack.recipient,
+        "read_time_ms": ack.read_time_ms,
+        "commit_time_ms": ack.commit_time_ms,
+        "original_message_id": ack.original_message_id,
+    }
+    return Message(
+        body=body,
+        correlation_id=ack.cmid,
+        priority=7,
+        properties={
+            control.PROP_CMID: ack.cmid,
+            control.PROP_KIND: control.KIND_ACK,
+        },
+    )
+
+
+def ack_from_message(message: Message) -> Acknowledgment:
+    """Decode an acknowledgment message; raises on malformed content."""
+    body = message.body
+    if not isinstance(body, dict):
+        raise ConditionalMessagingError(
+            f"acknowledgment message {message.message_id} has a non-dict body"
+        )
+    try:
+        return Acknowledgment(
+            cmid=body["cmid"],
+            kind=AckKind(body["kind"]),
+            queue=body["queue"],
+            manager=body["manager"],
+            recipient=body["recipient"],
+            read_time_ms=int(body["read_time_ms"]),
+            commit_time_ms=(
+                int(body["commit_time_ms"])
+                if body.get("commit_time_ms") is not None
+                else None
+            ),
+            original_message_id=body.get("original_message_id", ""),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ConditionalMessagingError(
+            f"malformed acknowledgment message {message.message_id}: {exc}"
+        ) from exc

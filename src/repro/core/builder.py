@@ -1,0 +1,89 @@
+"""Fluent helpers for building condition trees.
+
+The raw classes in :mod:`repro.core.conditions` mirror the paper's object
+model; these helpers make application code read like the paper's prose::
+
+    cond = destination_set(
+        destination("Q.R3", recipient="Receiver3",
+                    msg_processing_time=WEEK_BEFORE_MEETING),
+        destination_set(
+            destination("Q.R1", recipient="Receiver1"),
+            destination("Q.R2", recipient="Receiver2"),
+            destination("Q.R4", recipient="Receiver4"),
+            msg_processing_time=THREE_DAYS_BEFORE_MEETING,
+            min_nr_processing=2,
+        ),
+        msg_pick_up_time=TWO_DAYS,
+    )
+
+which is exactly the destSetRoot/destSet1 structure of the paper's
+Figure 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.conditions import Condition, Destination, DestinationSet
+
+
+def destination(
+    queue: str,
+    manager: Optional[str] = None,
+    recipient: Optional[str] = None,
+    copies: int = 1,
+    msg_pick_up_time: Optional[int] = None,
+    msg_processing_time: Optional[int] = None,
+    msg_expiry: Optional[int] = None,
+    msg_persistence: Optional[bool] = None,
+    msg_priority: Optional[int] = None,
+) -> Destination:
+    """Build a leaf :class:`~repro.core.conditions.Destination`."""
+    return Destination(
+        queue=queue,
+        manager=manager,
+        recipient=recipient,
+        copies=copies,
+        msg_pick_up_time=msg_pick_up_time,
+        msg_processing_time=msg_processing_time,
+        msg_expiry=msg_expiry,
+        msg_persistence=msg_persistence,
+        msg_priority=msg_priority,
+    )
+
+
+def destination_set(
+    *members: Union[Condition, Destination, DestinationSet],
+    msg_pick_up_time: Optional[int] = None,
+    msg_processing_time: Optional[int] = None,
+    min_nr_pick_up: Optional[int] = None,
+    max_nr_pick_up: Optional[int] = None,
+    min_nr_processing: Optional[int] = None,
+    max_nr_processing: Optional[int] = None,
+    anonymous_min_pick_up: Optional[int] = None,
+    anonymous_max_pick_up: Optional[int] = None,
+    anonymous_min_processing: Optional[int] = None,
+    anonymous_max_processing: Optional[int] = None,
+    msg_expiry: Optional[int] = None,
+    msg_persistence: Optional[bool] = None,
+    msg_priority: Optional[int] = None,
+    evaluation_timeout: Optional[int] = None,
+) -> DestinationSet:
+    """Build a :class:`~repro.core.conditions.DestinationSet` from members."""
+    return DestinationSet(
+        members=list(members),
+        msg_pick_up_time=msg_pick_up_time,
+        msg_processing_time=msg_processing_time,
+        min_nr_pick_up=min_nr_pick_up,
+        max_nr_pick_up=max_nr_pick_up,
+        min_nr_processing=min_nr_processing,
+        max_nr_processing=max_nr_processing,
+        anonymous_min_pick_up=anonymous_min_pick_up,
+        anonymous_max_pick_up=anonymous_max_pick_up,
+        anonymous_min_processing=anonymous_min_processing,
+        anonymous_max_processing=anonymous_max_processing,
+        msg_expiry=msg_expiry,
+        msg_persistence=msg_persistence,
+        msg_priority=msg_priority,
+        evaluation_timeout=evaluation_timeout,
+    )

@@ -1,0 +1,239 @@
+"""The evaluation manager (paper section 2.5).
+
+"The conditional messaging system comprises an evaluation manager that
+reads incoming acknowledgment messages of the designated acknowledgment
+queue and interprets them accordingly."  The manager:
+
+* keeps one :class:`EvaluationRecord` per in-flight conditional message;
+* drains ``DS.ACK.Q`` (it subscribes to the queue, so acknowledgments are
+  processed the moment the middleware delivers them), sorting
+  acknowledgments to the right record by conditional message id;
+* re-runs the pure satisfaction algorithm on every acknowledgment and at
+  the per-message evaluation timeout;
+* on a final state, emits an :class:`~repro.core.outcome.OutcomeRecord`
+  through a callback (the service turns it into outcome notifications and
+  outcome actions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.acks import Acknowledgment, ack_from_message
+from repro.core.conditions import Condition
+from repro.core.outcome import MessageOutcome, OutcomeRecord
+from repro.core.satisfaction import EvalState, evaluate_condition
+from repro.errors import UnknownConditionalMessageError
+from repro.mq.manager import QueueManager
+from repro.sim.scheduler import EventScheduler, ScheduledEvent
+
+
+@dataclass
+class EvaluationRecord:
+    """Evaluation state for one in-flight conditional message."""
+
+    cmid: str
+    condition: Condition
+    send_time_ms: int
+    evaluation_timeout_ms: Optional[int]
+    acks: List[Acknowledgment] = field(default_factory=list)
+    decided: Optional[OutcomeRecord] = None
+    timeout_event: Optional[ScheduledEvent] = None
+
+    @property
+    def pending(self) -> bool:
+        """True while no final outcome has been decided."""
+        return self.decided is None
+
+
+@dataclass
+class EvaluationStats:
+    """Counters for benchmark reporting."""
+
+    acks_processed: int = 0
+    evaluations_run: int = 0
+    decided_success: int = 0
+    decided_failure: int = 0
+    decided_by_timeout: int = 0
+
+
+class EvaluationManager:
+    """Correlates acknowledgments and decides message outcomes."""
+
+    def __init__(
+        self,
+        manager: QueueManager,
+        ack_queue: str,
+        on_decided: Callable[[OutcomeRecord], None],
+        scheduler: Optional[EventScheduler] = None,
+        push: bool = True,
+    ) -> None:
+        """``push=True`` (default) subscribes to the ack queue so every
+        arriving acknowledgment is evaluated immediately; ``push=False``
+        leaves acks parked until :meth:`pump`/:meth:`poll` — the polled
+        deployment mode the ablation benchmarks compare against."""
+        self.manager = manager
+        self.ack_queue = ack_queue
+        self.scheduler = scheduler
+        self._on_decided = on_decided
+        self._records: Dict[str, EvaluationRecord] = {}
+        self.stats = EvaluationStats()
+        manager.ensure_queue(ack_queue)
+        if push:
+            manager.queue(ack_queue).subscribe(lambda _message: self.pump())
+
+    # -- registration ------------------------------------------------------------
+
+    def register(
+        self,
+        cmid: str,
+        condition: Condition,
+        send_time_ms: int,
+        evaluation_timeout_ms: Optional[int],
+    ) -> EvaluationRecord:
+        """Start evaluating a newly sent conditional message.
+
+        The first evaluation runs immediately: a condition with no
+        requirements is SATISFIED at send time.
+        """
+        record = EvaluationRecord(
+            cmid=cmid,
+            condition=condition,
+            send_time_ms=send_time_ms,
+            evaluation_timeout_ms=evaluation_timeout_ms,
+        )
+        self._records[cmid] = record
+        if evaluation_timeout_ms is not None and self.scheduler is not None:
+            record.timeout_event = self.scheduler.call_at(
+                send_time_ms + evaluation_timeout_ms,
+                lambda: self._on_timeout(cmid),
+                label=f"eval-timeout {cmid}",
+            )
+        self.evaluate(cmid)
+        return record
+
+    def record(self, cmid: str) -> EvaluationRecord:
+        """Look up a record; raises for unknown ids."""
+        try:
+            return self._records[cmid]
+        except KeyError:
+            raise UnknownConditionalMessageError(cmid) from None
+
+    def pending_count(self) -> int:
+        """Number of messages still awaiting an outcome."""
+        return sum(1 for r in self._records.values() if r.pending)
+
+    # -- ack intake -----------------------------------------------------------------
+
+    def pump(self) -> int:
+        """Drain the acknowledgment queue; returns acks processed.
+
+        Unknown conditional message ids (e.g. acks arriving after recovery
+        lost the record, or stray traffic) are dropped after counting —
+        the queue must not wedge on them.
+        """
+        processed = 0
+        while True:
+            message = self.manager.get_wait(self.ack_queue)
+            if message is None:
+                return processed
+            ack = ack_from_message(message)
+            processed += 1
+            self.stats.acks_processed += 1
+            record = self._records.get(ack.cmid)
+            if record is None or not record.pending:
+                continue
+            record.acks.append(ack)
+            self.evaluate(ack.cmid)
+
+    # -- evaluation --------------------------------------------------------------------
+
+    def evaluate(self, cmid: str) -> EvalState:
+        """Re-run the satisfaction algorithm for one message."""
+        record = self.record(cmid)
+        if not record.pending:
+            return (
+                EvalState.SATISFIED
+                if record.decided.outcome is MessageOutcome.SUCCESS
+                else EvalState.VIOLATED
+            )
+        self.stats.evaluations_run += 1
+        result = evaluate_condition(
+            record.condition,
+            record.acks,
+            record.send_time_ms,
+            self.manager.clock.now_ms(),
+            evaluation_timeout_ms=record.evaluation_timeout_ms,
+            default_manager=self.manager.name,
+        )
+        if result.is_final():
+            self._decide(record, result.state, result.reasons)
+        return result.state
+
+    def poll(self) -> int:
+        """Evaluate every pending record against the current clock.
+
+        Needed in scheduler-less (synchronous) deployments, where no event
+        fires at the evaluation timeout; returns how many records were
+        decided by this poll.
+        """
+        decided = 0
+        for cmid in list(self._records):
+            record = self._records[cmid]
+            if record.pending:
+                self.evaluate(cmid)
+                if not record.pending:
+                    decided += 1
+        return decided
+
+    def force_decide(
+        self, cmid: str, outcome: MessageOutcome, reason: str
+    ) -> Optional[OutcomeRecord]:
+        """Terminate an evaluation with a dictated outcome.
+
+        Used by the Dependency-Sphere layer: aborting a sphere fails its
+        still-pending messages immediately rather than waiting for their
+        deadlines.  Returns the record, or ``None`` if already decided.
+        """
+        record = self.record(cmid)
+        if not record.pending:
+            return None
+        state = (
+            EvalState.SATISFIED
+            if outcome is MessageOutcome.SUCCESS
+            else EvalState.VIOLATED
+        )
+        self._decide(record, state, [reason])
+        return record.decided
+
+    def _on_timeout(self, cmid: str) -> None:
+        record = self._records.get(cmid)
+        if record is None or not record.pending:
+            return
+        self.stats.decided_by_timeout += 1
+        self.evaluate(cmid)
+
+    def _decide(
+        self, record: EvaluationRecord, state: EvalState, reasons: List[str]
+    ) -> None:
+        outcome = (
+            MessageOutcome.SUCCESS
+            if state is EvalState.SATISFIED
+            else MessageOutcome.FAILURE
+        )
+        record.decided = OutcomeRecord(
+            cmid=record.cmid,
+            outcome=outcome,
+            decided_at_ms=self.manager.clock.now_ms(),
+            acks_received=len(record.acks),
+            reasons=list(reasons),
+        )
+        if record.timeout_event is not None:
+            record.timeout_event.cancel()
+            record.timeout_event = None
+        if outcome is MessageOutcome.SUCCESS:
+            self.stats.decided_success += 1
+        else:
+            self.stats.decided_failure += 1
+        self._on_decided(record.decided)

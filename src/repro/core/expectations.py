@@ -1,0 +1,197 @@
+"""Receiver-side conditions: expectations on *incoming* messages.
+
+The paper defines conditional messaging generally over participant roles:
+"conditions can be specified by which the sender of a message may define
+delivery failure ... or, conditions can be specified by which a
+subscriber may define processing success of a request message"
+(section 2).  Its prototype covers the sender role; this module covers
+the receiver/subscriber role:
+
+a receiver registers an **expectation** — "a matching message must arrive
+on this queue within T milliseconds (and, optionally, at least N of
+them)" — and the middleware monitors arrivals and decides an expectation
+outcome of success or failure, symmetric to the sender-side evaluation.
+
+Example: an air-traffic controller expects the neighbouring sector's
+hand-over message within 60 seconds of a flight's departure; a market
+data consumer expects at least 5 price updates per second-long window.
+
+Expectations are local (no wire protocol needed — the middleware already
+sees every arrival), which is why the receiver role is so much lighter
+than the sender role and why the paper could defer it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional
+
+from repro.errors import ConditionalMessagingError
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.mq.selectors import Selector, compile_selector
+from repro.sim.scheduler import EventScheduler, ScheduledEvent
+
+_exp_seq = itertools.count(1)
+
+
+class ExpectationOutcome(Enum):
+    """Decided outcome of an expectation."""
+
+    MET = "met"
+    FAILED = "failed"
+
+
+@dataclass
+class Expectation:
+    """One registered receiver-side condition."""
+
+    exp_id: str
+    queue: str
+    selector: Optional[Selector]
+    deadline_ms: int           # absolute, on the local clock
+    min_count: int
+    matched: List[Message] = field(default_factory=list)
+    outcome: Optional[ExpectationOutcome] = None
+    decided_at_ms: Optional[int] = None
+    _timeout_event: Optional[ScheduledEvent] = None
+    _timeout_deferred: bool = False
+
+    @property
+    def pending(self) -> bool:
+        """True while undecided."""
+        return self.outcome is None
+
+    @property
+    def met(self) -> bool:
+        """True once decided MET."""
+        return self.outcome is ExpectationOutcome.MET
+
+
+class ExpectationService:
+    """Monitors queues for expected arrivals and decides outcomes.
+
+    Matching observes *arrivals* (queue puts); it does not consume
+    messages — the application still reads them through its normal
+    (conditional or plain) receive path.
+    """
+
+    def __init__(
+        self,
+        manager: QueueManager,
+        scheduler: Optional[EventScheduler] = None,
+    ) -> None:
+        self.manager = manager
+        self.scheduler = scheduler
+        self._expectations: List[Expectation] = []
+        self._watched: set = set()
+        self._callbacks: dict = {}
+
+    # -- registration -----------------------------------------------------------
+
+    def expect(
+        self,
+        queue: str,
+        within_ms: int,
+        selector: Optional[str] = None,
+        min_count: int = 1,
+        on_decided: Optional[Callable[[Expectation], None]] = None,
+    ) -> Expectation:
+        """Register an expectation on ``queue``.
+
+        Args:
+            within_ms: Relative deadline from now.
+            selector: Optional JMS selector messages must match.
+            min_count: How many matching arrivals are required.
+            on_decided: Callback invoked once with the decided expectation.
+        """
+        if within_ms < 0:
+            raise ConditionalMessagingError("within_ms must be >= 0")
+        if min_count < 1:
+            raise ConditionalMessagingError("min_count must be >= 1")
+        self.manager.ensure_queue(queue)
+        expectation = Expectation(
+            exp_id=f"EXP-{next(_exp_seq):06d}",
+            queue=queue,
+            selector=compile_selector(selector),
+            deadline_ms=self.manager.clock.now_ms() + within_ms,
+            min_count=min_count,
+        )
+        if on_decided is not None:
+            self._callbacks[expectation.exp_id] = on_decided
+        self._expectations.append(expectation)
+        if queue not in self._watched:
+            self._watched.add(queue)
+            self.manager.queue(queue).subscribe(
+                lambda message, queue=queue: self._on_arrival(queue, message)
+            )
+        # Messages already waiting count as arrivals (the expectation is
+        # about having the message by the deadline, however it got there).
+        for message in self.manager.browse(queue):
+            self._match(expectation, message)
+        if expectation.pending and self.scheduler is not None:
+            expectation._timeout_event = self.scheduler.call_at(
+                expectation.deadline_ms,
+                lambda: self._on_timeout(expectation),
+                label=f"expectation {expectation.exp_id}",
+            )
+        return expectation
+
+    def pending_count(self) -> int:
+        """Expectations still undecided."""
+        return sum(1 for e in self._expectations if e.pending)
+
+    def poll(self) -> int:
+        """Decide overdue expectations (scheduler-less mode); returns count."""
+        decided = 0
+        now = self.manager.clock.now_ms()
+        for expectation in self._expectations:
+            if expectation.pending and now >= expectation.deadline_ms:
+                self._decide(expectation, ExpectationOutcome.FAILED)
+                decided += 1
+        return decided
+
+    # -- internals -------------------------------------------------------------
+
+    def _on_arrival(self, queue: str, message: Message) -> None:
+        for expectation in self._expectations:
+            if expectation.pending and expectation.queue == queue:
+                self._match(expectation, message)
+
+    def _match(self, expectation: Expectation, message: Message) -> None:
+        if expectation.selector is not None and not expectation.selector(message):
+            return
+        if self.manager.clock.now_ms() > expectation.deadline_ms:
+            return  # late arrival; the timeout will fail it
+        expectation.matched.append(message)
+        if len(expectation.matched) >= expectation.min_count:
+            self._decide(expectation, ExpectationOutcome.MET)
+
+    def _on_timeout(self, expectation: Expectation) -> None:
+        if not expectation.pending:
+            return
+        # The deadline is inclusive: an arrival scheduled for this same
+        # instant must win the tie.  Defer the failure decision once, by
+        # a zero-delay event, so any same-time arrivals (which were
+        # enqueued before this recheck) are matched first.
+        if not expectation._timeout_deferred and self.scheduler is not None:
+            expectation._timeout_deferred = True
+            self.scheduler.call_later(
+                0,
+                lambda: self._on_timeout(expectation),
+                label=f"expectation-final {expectation.exp_id}",
+            )
+            return
+        self._decide(expectation, ExpectationOutcome.FAILED)
+
+    def _decide(self, expectation: Expectation, outcome: ExpectationOutcome) -> None:
+        expectation.outcome = outcome
+        expectation.decided_at_ms = self.manager.clock.now_ms()
+        if expectation._timeout_event is not None:
+            expectation._timeout_event.cancel()
+            expectation._timeout_event = None
+        callback = self._callbacks.pop(expectation.exp_id, None)
+        if callback is not None:
+            callback(expectation)

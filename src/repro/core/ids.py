@@ -1,0 +1,28 @@
+"""Conditional-message id generation and correlation helpers.
+
+Every conditional message has a unique id (``CM-...``) that the system
+uses to correlate (paper sections 2.3-2.6):
+
+* the N generated standard messages with the conditional message,
+* incoming acknowledgments on the shared ``DS.ACK.Q`` with the right
+  evaluation,
+* staged compensation messages with the original they undo,
+* outcome notifications with the application's send call.
+"""
+
+from __future__ import annotations
+
+import itertools
+import uuid
+
+_cm_seq = itertools.count(1)
+
+
+def new_conditional_message_id() -> str:
+    """Return a unique conditional message id."""
+    return f"CM-{next(_cm_seq):08d}-{uuid.uuid4().hex[:12]}"
+
+
+def is_conditional_message_id(value: str) -> bool:
+    """Cheap shape check used when decoding control properties."""
+    return isinstance(value, str) and value.startswith("CM-")

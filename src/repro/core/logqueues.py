@@ -1,0 +1,108 @@
+"""Persistent log entries for the DS.SLOG.Q and DS.RLOG.Q queues.
+
+The conditional messaging system "creates a log entry for the outgoing
+messages and stores the log entry persistently on a local message queue
+(DS.SLOG.Q)" and, on the receiver side, "creates a log entry for each
+consumed message and puts the log entry on the persistent receiver log
+queue (DS.RLOG.Q)" (paper sections 2.3-2.4).
+
+Using *queues* as logs keeps the whole system inside the reliable-
+messaging substrate — exactly the paper's design point — and lets the
+receiver's compensation logic answer "has the original been consumed?" by
+browsing DS.RLOG.Q.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.mq.message import Message
+
+#: Default system queue names (paper, Figure 9).
+SENDER_LOG_QUEUE = "DS.SLOG.Q"
+ACK_QUEUE = "DS.ACK.Q"
+COMPENSATION_QUEUE = "DS.COMP.Q"
+OUTCOME_QUEUE = "DS.OUTCOME.Q"
+RECEIVER_LOG_QUEUE = "DS.RLOG.Q"
+
+
+@dataclass(frozen=True)
+class SenderLogEntry:
+    """One outgoing conditional message, as journaled on DS.SLOG.Q."""
+
+    cmid: str
+    send_time_ms: int
+    condition: Dict[str, Any]  # wire form (see repro.core.serialize)
+    destinations: List[Dict[str, str]]  # [{"manager":..., "queue":...}, ...]
+    evaluation_timeout_ms: Optional[int]
+    has_compensation: bool
+
+    def to_message(self) -> Message:
+        """Encode as a persistent log message."""
+        return Message(
+            body={
+                "cmid": self.cmid,
+                "send_time_ms": self.send_time_ms,
+                "condition": self.condition,
+                "destinations": self.destinations,
+                "evaluation_timeout_ms": self.evaluation_timeout_ms,
+                "has_compensation": self.has_compensation,
+            },
+            correlation_id=self.cmid,
+        )
+
+    @classmethod
+    def from_message(cls, message: Message) -> "SenderLogEntry":
+        """Decode a log message back into an entry."""
+        body = message.body
+        return cls(
+            cmid=body["cmid"],
+            send_time_ms=int(body["send_time_ms"]),
+            condition=body["condition"],
+            destinations=list(body["destinations"]),
+            evaluation_timeout_ms=body.get("evaluation_timeout_ms"),
+            has_compensation=bool(body.get("has_compensation", False)),
+        )
+
+
+@dataclass(frozen=True)
+class ReceiverLogEntry:
+    """One consumed conditional message, as journaled on DS.RLOG.Q."""
+
+    cmid: str
+    original_message_id: str
+    queue: str
+    recipient: str
+    read_time_ms: int
+    transactional: bool
+    commit_time_ms: Optional[int] = None
+
+    def to_message(self) -> Message:
+        """Encode as a persistent log message."""
+        return Message(
+            body={
+                "cmid": self.cmid,
+                "original_message_id": self.original_message_id,
+                "queue": self.queue,
+                "recipient": self.recipient,
+                "read_time_ms": self.read_time_ms,
+                "transactional": self.transactional,
+                "commit_time_ms": self.commit_time_ms,
+            },
+            correlation_id=self.cmid,
+        )
+
+    @classmethod
+    def from_message(cls, message: Message) -> "ReceiverLogEntry":
+        """Decode a log message back into an entry."""
+        body = message.body
+        return cls(
+            cmid=body["cmid"],
+            original_message_id=body["original_message_id"],
+            queue=body["queue"],
+            recipient=body["recipient"],
+            read_time_ms=int(body["read_time_ms"]),
+            transactional=bool(body["transactional"]),
+            commit_time_ms=body.get("commit_time_ms"),
+        )

@@ -1,0 +1,68 @@
+"""Outcome records and notifications (paper sections 2.5-2.6).
+
+When the evaluation of a conditional message completes, "an outcome
+notification of success or failure is sent to the sender's DS.OUTCOME.Q".
+The application correlates outcomes with its send calls via the
+conditional message id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List
+
+from repro.core import control
+from repro.mq.message import Message
+
+
+class MessageOutcome(Enum):
+    """Final outcome of a conditional message."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"
+
+
+@dataclass(frozen=True)
+class OutcomeRecord:
+    """The decided outcome of one conditional message."""
+
+    cmid: str
+    outcome: MessageOutcome
+    decided_at_ms: int
+    acks_received: int
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> bool:
+        """True for SUCCESS outcomes."""
+        return self.outcome is MessageOutcome.SUCCESS
+
+    def to_message(self) -> Message:
+        """Encode as a notification message for DS.OUTCOME.Q."""
+        return Message(
+            body={
+                "cmid": self.cmid,
+                "outcome": self.outcome.value,
+                "decided_at_ms": self.decided_at_ms,
+                "acks_received": self.acks_received,
+                "reasons": list(self.reasons),
+            },
+            correlation_id=self.cmid,
+            properties={
+                control.PROP_CMID: self.cmid,
+                control.PROP_KIND: control.KIND_OUTCOME,
+            },
+        )
+
+    @classmethod
+    def from_message(cls, message: Message) -> "OutcomeRecord":
+        """Decode a notification message."""
+        body = message.body
+        return cls(
+            cmid=body["cmid"],
+            outcome=MessageOutcome(body["outcome"]),
+            decided_at_ms=int(body["decided_at_ms"]),
+            acks_received=int(body["acks_received"]),
+            reasons=list(body.get("reasons", [])),
+        )

@@ -1,0 +1,343 @@
+"""Receiver-side conditional messaging service (paper section 2.4, Fig. 7).
+
+Final recipients read conditional messages through this service, which:
+
+* generates the **implicit acknowledgments** — an acknowledgment of
+  non-transactional read immediately after the get, or an acknowledgment
+  of transactional read *bound to the commit* of the receiver's
+  transaction (via the demarcation facade ``begin_tx``/``commit_tx``/
+  ``abort_tx``);
+* routes acknowledgments back to the sender's acknowledgment queue using
+  the routing information the sender stamped on the message;
+* logs every consumed message to the persistent receiver log queue
+  ``DS.RLOG.Q``;
+* implements the compensation read rules of section 2.6: an original and
+  its compensation that are both still in the queue cancel each other
+  out; a compensation whose original *was* consumed (RLOG entry exists)
+  is delivered to the application flagged as compensation; any other
+  compensation is discarded.
+
+A receiver "can also be a sender of a conditional message" — nothing here
+prevents attaching a :class:`~repro.core.service.ConditionalMessagingService`
+to the same queue manager.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.core import control
+from repro.core.acks import Acknowledgment, AckKind, ack_to_message
+from repro.core.logqueues import RECEIVER_LOG_QUEUE, ReceiverLogEntry
+from repro.errors import NoTransactionError, TransactionActiveError
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.mq.transactions import MQTransaction
+
+
+@dataclass(frozen=True)
+class ReceivedMessage:
+    """What the application sees for one consumed message."""
+
+    body: Any
+    cmid: Optional[str]
+    kind: str  # control.KIND_* or "plain" for non-conditional traffic
+    queue: str
+    read_time_ms: int
+    message: Message
+    processing_required: bool = False
+
+    @property
+    def is_conditional(self) -> bool:
+        """True if the message came from a conditional messaging sender."""
+        return self.cmid is not None
+
+    @property
+    def is_compensation(self) -> bool:
+        """True for a delivered compensation message."""
+        return self.kind == control.KIND_COMPENSATION
+
+    @property
+    def is_success_notification(self) -> bool:
+        """True for a success notification."""
+        return self.kind == control.KIND_SUCCESS_NOTIFICATION
+
+
+@dataclass
+class ReceiverStats:
+    """Counters for tests and benchmark reporting."""
+
+    reads: int = 0
+    transactional_reads: int = 0
+    acks_sent: int = 0
+    cancellations: int = 0
+    compensations_delivered: int = 0
+    compensations_discarded: int = 0
+
+
+class ConditionalMessagingReceiver:
+    """Receiver-side facade over a queue manager."""
+
+    def __init__(
+        self,
+        manager: QueueManager,
+        recipient_id: Optional[str] = None,
+        rlog_queue: str = RECEIVER_LOG_QUEUE,
+    ) -> None:
+        self.manager = manager
+        #: Identity carried in acknowledgments.  Explicit ids let senders
+        #: name this recipient in conditions; anonymous receivers get a
+        #: generated consumer id (still needed for distinct-recipient
+        #: counting of anonymous conditions).
+        self.recipient_id = recipient_id or f"anon-{uuid.uuid4().hex[:10]}"
+        self.rlog_queue = rlog_queue
+        self.manager.ensure_queue(rlog_queue)
+        self._transaction: Optional[MQTransaction] = None
+        self.stats = ReceiverStats()
+
+    # -- transaction demarcation facade (paper: begin_tx / commit_tx) ---------
+
+    def begin_tx(self) -> MQTransaction:
+        """Begin a messaging transaction for subsequent reads."""
+        if self._transaction is not None and self._transaction.active:
+            raise TransactionActiveError("a receiver transaction is already active")
+        self._transaction = self.manager.begin()
+        return self._transaction
+
+    def commit_tx(self) -> None:
+        """Commit; acknowledgments for transactional reads fire now."""
+        if self._transaction is None or not self._transaction.active:
+            raise NoTransactionError("no active receiver transaction")
+        transaction = self._transaction
+        self._transaction = None
+        transaction.commit()
+
+    def abort_tx(self) -> None:
+        """Roll back; consumed messages return to their queues, no acks."""
+        if self._transaction is None or not self._transaction.active:
+            raise NoTransactionError("no active receiver transaction")
+        transaction = self._transaction
+        self._transaction = None
+        transaction.rollback()
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while a receiver transaction is active."""
+        return self._transaction is not None and self._transaction.active
+
+    # -- reading ----------------------------------------------------------------
+
+    def read_message(self, queue_name: str) -> Optional[ReceivedMessage]:
+        """Read the next message from ``queue_name`` (the paper's readMessage).
+
+        Returns ``None`` when no deliverable message is available.  The
+        special compensation behaviour (cancellation, conditional
+        delivery) happens transparently inside this call.
+        """
+        self.manager.ensure_queue(queue_name)
+        self._cancel_pairs(queue_name)
+        while True:
+            message = self.manager.get_wait(
+                queue_name, transaction=self._transaction
+            )
+            if message is None:
+                return None
+            if not control.is_conditional(message):
+                self.stats.reads += 1
+                return ReceivedMessage(
+                    body=message.body,
+                    cmid=None,
+                    kind="plain",
+                    queue=queue_name,
+                    read_time_ms=self.manager.clock.now_ms(),
+                    message=message,
+                )
+            info = control.extract_control(message)
+            if info.kind == control.KIND_ORIGINAL:
+                return self._deliver_original(queue_name, message, info)
+            if info.kind == control.KIND_COMPENSATION:
+                delivered = self._handle_compensation(queue_name, message, info)
+                if delivered is not None:
+                    return delivered
+                continue  # discarded; keep reading
+            if info.kind == control.KIND_SUCCESS_NOTIFICATION:
+                self.stats.reads += 1
+                return ReceivedMessage(
+                    body=message.body,
+                    cmid=info.cmid,
+                    kind=info.kind,
+                    queue=queue_name,
+                    read_time_ms=self.manager.clock.now_ms(),
+                    message=message,
+                )
+            # Unknown conditional kind: deliver as-is rather than lose it.
+            self.stats.reads += 1
+            return ReceivedMessage(
+                body=message.body,
+                cmid=info.cmid,
+                kind=info.kind,
+                queue=queue_name,
+                read_time_ms=self.manager.clock.now_ms(),
+                message=message,
+            )
+
+    def read_all(self, queue_name: str, limit: Optional[int] = None) -> List[ReceivedMessage]:
+        """Drain all currently deliverable messages (up to ``limit``)."""
+        received: List[ReceivedMessage] = []
+        while limit is None or len(received) < limit:
+            message = self.read_message(queue_name)
+            if message is None:
+                break
+            received.append(message)
+        return received
+
+    # -- internals: original delivery -----------------------------------------------
+
+    def _deliver_original(
+        self, queue_name: str, message: Message, info: control.ControlInfo
+    ) -> ReceivedMessage:
+        read_time = self.manager.clock.now_ms()
+        self.stats.reads += 1
+        if self._transaction is not None and self._transaction.active:
+            self.stats.transactional_reads += 1
+            transaction = self._transaction
+            # The receiver log entry joins the receiver's transaction: if
+            # the transaction rolls back, the message returns to the queue
+            # and the consumption was never logged.
+            log_entry = ReceiverLogEntry(
+                cmid=info.cmid,
+                original_message_id=message.message_id,
+                queue=queue_name,
+                recipient=self.recipient_id,
+                read_time_ms=read_time,
+                transactional=True,
+            )
+            self.manager.put(
+                self.rlog_queue, log_entry.to_message(), transaction=transaction
+            )
+            transaction.on_commit(
+                lambda commit_ms: self._send_ack(
+                    info,
+                    AckKind.PROCESSED,
+                    queue_name,
+                    read_time,
+                    commit_ms,
+                    message.message_id,
+                )
+            )
+        else:
+            log_entry = ReceiverLogEntry(
+                cmid=info.cmid,
+                original_message_id=message.message_id,
+                queue=queue_name,
+                recipient=self.recipient_id,
+                read_time_ms=read_time,
+                transactional=False,
+            )
+            self.manager.put(self.rlog_queue, log_entry.to_message())
+            self._send_ack(
+                info, AckKind.READ, queue_name, read_time, None, message.message_id
+            )
+        return ReceivedMessage(
+            body=message.body,
+            cmid=info.cmid,
+            kind=control.KIND_ORIGINAL,
+            queue=queue_name,
+            read_time_ms=read_time,
+            message=message,
+            processing_required=info.processing_required,
+        )
+
+    def _send_ack(
+        self,
+        info: control.ControlInfo,
+        kind: AckKind,
+        queue_name: str,
+        read_time_ms: int,
+        commit_time_ms: Optional[int],
+        original_message_id: str,
+    ) -> None:
+        # Acknowledge against the destination the SENDER addressed (from
+        # the control properties), not the physical queue consumed from:
+        # for plain queues they coincide, but a topic's fan-out copies are
+        # consumed from per-subscription queues while the condition names
+        # the topic.
+        addressed_queue = info.dest_queue or queue_name
+        addressed_manager = info.dest_manager or self.manager.name
+        ack = Acknowledgment(
+            cmid=info.cmid,
+            kind=kind,
+            queue=addressed_queue,
+            manager=addressed_manager,
+            recipient=self.recipient_id,
+            read_time_ms=read_time_ms,
+            commit_time_ms=commit_time_ms,
+            original_message_id=original_message_id,
+        )
+        self.manager.put_remote(
+            info.ack_manager, info.ack_queue, ack_to_message(ack)
+        )
+        self.stats.acks_sent += 1
+
+    # -- internals: compensation rules -------------------------------------------------
+
+    def _cancel_pairs(self, queue_name: str) -> int:
+        """Cancel original/compensation pairs still co-resident in the queue.
+
+        "In case that both the original message and the compensation
+        message are in the queue ... both messages cancel each other out
+        and will be deleted from the queue."
+        """
+        queue = self.manager.queue(queue_name)
+        originals: Dict[str, List[str]] = {}
+        compensations: Dict[str, List[str]] = {}
+        for message in queue.browse():
+            if not control.is_conditional(message):
+                continue
+            kind = control.message_kind(message)
+            cmid = str(message.get_property(control.PROP_CMID))
+            if kind == control.KIND_ORIGINAL:
+                originals.setdefault(cmid, []).append(message.message_id)
+            elif kind == control.KIND_COMPENSATION:
+                compensations.setdefault(cmid, []).append(message.message_id)
+        cancelled = 0
+        for cmid, comp_ids in compensations.items():
+            orig_ids = originals.get(cmid, [])
+            for comp_id, orig_id in zip(comp_ids, orig_ids):
+                queue.get_by_id(comp_id)
+                queue.get_by_id(orig_id)
+                cancelled += 1
+        self.stats.cancellations += cancelled
+        return cancelled
+
+    def _consumed_here(self, cmid: str) -> bool:
+        """True if DS.RLOG.Q records a consumption of ``cmid``."""
+        for message in self.manager.browse(self.rlog_queue):
+            body = message.body
+            if isinstance(body, dict) and body.get("cmid") == cmid:
+                return True
+        return False
+
+    def _handle_compensation(
+        self, queue_name: str, message: Message, info: control.ControlInfo
+    ) -> Optional[ReceivedMessage]:
+        """Apply the delivery rule for a compensation we just consumed.
+
+        The co-resident case was handled by :meth:`_cancel_pairs` before
+        the get; reaching here means no matching original remains in the
+        queue.  Deliver only if the original was consumed locally.
+        """
+        if self._consumed_here(info.cmid):
+            self.stats.compensations_delivered += 1
+            return ReceivedMessage(
+                body=message.body,
+                cmid=info.cmid,
+                kind=control.KIND_COMPENSATION,
+                queue=queue_name,
+                read_time_ms=self.manager.clock.now_ms(),
+                message=message,
+            )
+        self.stats.compensations_discarded += 1
+        return None

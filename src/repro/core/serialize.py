@@ -1,0 +1,104 @@
+"""Condition tree <-> plain-dict wire form.
+
+Conditions are defined "independently of a message ... [which] allows
+conditions to be reused for different messages" (paper section 2.3); the
+wire form lets applications store condition templates, ship them between
+processes, and lets the sender journal the condition with the SLOG entry
+so evaluation state is recoverable after a crash.
+
+The encoding is a nested dict with a ``"type"`` discriminator, stable
+across versions and round-trip exact for every attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.conditions import Condition, Destination, DestinationSet
+from repro.errors import ConditionSerializationError
+
+_COMMON_ATTRIBUTES = (
+    "msg_pick_up_time",
+    "msg_processing_time",
+    "msg_expiry",
+    "msg_persistence",
+    "msg_priority",
+    "evaluation_timeout",
+)
+
+_SET_ATTRIBUTES = (
+    "min_nr_pick_up",
+    "max_nr_pick_up",
+    "min_nr_processing",
+    "max_nr_processing",
+    "anonymous_min_pick_up",
+    "anonymous_max_pick_up",
+    "anonymous_min_processing",
+    "anonymous_max_processing",
+)
+
+
+def condition_to_dict(condition: Condition) -> Dict[str, Any]:
+    """Encode a condition tree as a JSON-able dict."""
+    common = {
+        name: getattr(condition, name)
+        for name in _COMMON_ATTRIBUTES
+        if getattr(condition, name) is not None
+    }
+    if isinstance(condition, Destination):
+        record: Dict[str, Any] = {"type": "destination", "queue": condition.queue}
+        if condition.manager is not None:
+            record["manager"] = condition.manager
+        if condition.recipient is not None:
+            record["recipient"] = condition.recipient
+        if condition.copies != 1:
+            record["copies"] = condition.copies
+        record.update(common)
+        return record
+    if isinstance(condition, DestinationSet):
+        record = {"type": "destination_set"}
+        record.update(common)
+        for name in _SET_ATTRIBUTES:
+            value = getattr(condition, name)
+            if value is not None:
+                record[name] = value
+        record["members"] = [
+            condition_to_dict(child) for child in condition.children()
+        ]
+        return record
+    raise ConditionSerializationError(
+        f"cannot serialize condition node of type {type(condition).__name__}"
+    )
+
+
+def condition_from_dict(record: Dict[str, Any]) -> Condition:
+    """Decode the wire form back into a condition tree."""
+    if not isinstance(record, dict):
+        raise ConditionSerializationError(f"expected a dict, got {type(record).__name__}")
+    node_type = record.get("type")
+    common = {
+        name: record[name] for name in _COMMON_ATTRIBUTES if name in record
+    }
+    if node_type == "destination":
+        try:
+            queue = record["queue"]
+        except KeyError:
+            raise ConditionSerializationError(
+                "destination record missing 'queue'"
+            ) from None
+        return Destination(
+            queue=queue,
+            manager=record.get("manager"),
+            recipient=record.get("recipient"),
+            copies=record.get("copies", 1),
+            **common,
+        )
+    if node_type == "destination_set":
+        set_attributes = {
+            name: record[name] for name in _SET_ATTRIBUTES if name in record
+        }
+        members = [
+            condition_from_dict(child) for child in record.get("members", [])
+        ]
+        return DestinationSet(members=members, **set_attributes, **common)
+    raise ConditionSerializationError(f"unknown condition type {node_type!r}")

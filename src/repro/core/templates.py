@@ -1,0 +1,92 @@
+"""Condition templates: reusable, parameterizable condition definitions.
+
+Paper §2.3: "The separation of condition definition and condition
+representation from message creation allows conditions to be reused for
+different messages.  Specific conditions may apply to all messages
+processed by a messaging application, to groups of messages processed by
+the application, or (most generally) to individual messages."
+
+A :class:`ConditionTemplates` registry holds named factories; a template
+is registered once (often at application start, or loaded from its wire
+form) and instantiated per send with the parameters that vary —
+deadlines, recipients, fan-out::
+
+    templates = ConditionTemplates()
+    templates.register(
+        "notify-team",
+        lambda team, window: destination_set(
+            *[destination(f"Q.{m}", recipient=m) for m in team],
+            msg_pick_up_time=window,
+        ),
+    )
+    condition = templates.build("notify-team", team=["R1", "R2"], window=DAY)
+
+Static (parameterless) conditions can be registered directly; the
+registry clones them per use by round-tripping through the wire form, so
+one template instance can never be aliased across in-flight messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Union
+
+from repro.core.conditions import Condition
+from repro.core.serialize import condition_from_dict, condition_to_dict
+from repro.errors import ConditionError
+
+TemplateFactory = Callable[..., Condition]
+
+
+class ConditionTemplates:
+    """Named registry of condition templates."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, TemplateFactory] = {}
+
+    def register(
+        self, name: str, template: Union[Condition, TemplateFactory]
+    ) -> None:
+        """Register a template under ``name``.
+
+        ``template`` is either a factory callable (parameterized
+        templates) or a finished :class:`Condition` (static templates —
+        stored by value via the wire form, so later mutation of the
+        original object does not affect the template).
+        """
+        if not name:
+            raise ConditionError("template name must be non-empty")
+        if name in self._factories:
+            raise ConditionError(f"template already registered: {name!r}")
+        if isinstance(template, Condition):
+            template.validate()
+            frozen = condition_to_dict(template)
+            self._factories[name] = lambda: condition_from_dict(frozen)
+        elif callable(template):
+            self._factories[name] = template
+        else:
+            raise ConditionError(
+                f"template must be a Condition or a factory, got {template!r}"
+            )
+
+    def build(self, name: str, **params: Any) -> Condition:
+        """Instantiate a template; the result is validated before return."""
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise ConditionError(f"unknown template: {name!r}") from None
+        condition = factory(**params)
+        if not isinstance(condition, Condition):
+            raise ConditionError(
+                f"template {name!r} produced {type(condition).__name__},"
+                " not a Condition"
+            )
+        condition.validate()
+        return condition
+
+    def names(self) -> List[str]:
+        """Registered template names."""
+        return list(self._factories)
+
+    def unregister(self, name: str) -> None:
+        """Remove a template (missing names are tolerated)."""
+        self._factories.pop(name, None)

@@ -1,0 +1,173 @@
+"""XML representation of conditions (paper section 4.2 future work).
+
+"In our future work, we plan to extend the model for Web environments.
+This includes more flexible representation of conditions, use of XML in
+messaging, and message delivery through standards such as SOAP."
+
+This module provides that representation: a condition tree serializes to
+an XML document whose attribute names follow the paper's own vocabulary
+(``MsgPickUpTime``, ``MinNrProcessing``, ...), so the Figure 4 tree reads
+as::
+
+    <DestinationSet MsgPickUpTime="172800000">
+      <Destination QueueName="Q.R3" Recipient="Receiver3"
+                   MsgProcessingTime="604800000"/>
+      <DestinationSet MsgProcessingTime="950400000" MinNrProcessing="2">
+        <Destination QueueName="Q.R1" Recipient="Receiver1"/>
+        <Destination QueueName="Q.R2" Recipient="Receiver2"/>
+        <Destination QueueName="Q.R4" Recipient="Receiver4"/>
+      </DestinationSet>
+    </DestinationSet>
+
+Round-trips are exact for every attribute; parsing validates shape and
+types and raises :class:`ConditionSerializationError` on bad documents.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Optional
+
+from repro.core.conditions import Condition, Destination, DestinationSet
+from repro.errors import ConditionSerializationError
+
+#: (python attribute, XML attribute, type) for attributes shared by all nodes.
+_COMMON_ATTRS = (
+    ("msg_pick_up_time", "MsgPickUpTime", int),
+    ("msg_processing_time", "MsgProcessingTime", int),
+    ("msg_expiry", "MsgExpiry", int),
+    ("msg_persistence", "MsgPersistence", bool),
+    ("msg_priority", "MsgPriority", int),
+    ("evaluation_timeout", "EvaluationTimeout", int),
+)
+
+_SET_ATTRS = (
+    ("min_nr_pick_up", "MinNrPickUp", int),
+    ("max_nr_pick_up", "MaxNrPickUp", int),
+    ("min_nr_processing", "MinNrProcessing", int),
+    ("max_nr_processing", "MaxNrProcessing", int),
+    ("anonymous_min_pick_up", "AnonymousMinPickUp", int),
+    ("anonymous_max_pick_up", "AnonymousMaxPickUp", int),
+    ("anonymous_min_processing", "AnonymousMinProcessing", int),
+    ("anonymous_max_processing", "AnonymousMaxProcessing", int),
+)
+
+
+def _set_attrs(element: ET.Element, node: Condition, specs) -> None:
+    for py_name, xml_name, kind in specs:
+        value = getattr(node, py_name)
+        if value is None:
+            continue
+        if kind is bool:
+            element.set(xml_name, "true" if value else "false")
+        else:
+            element.set(xml_name, str(value))
+
+
+def _to_element(node: Condition) -> ET.Element:
+    if isinstance(node, Destination):
+        element = ET.Element("Destination")
+        element.set("QueueName", node.queue)
+        if node.manager is not None:
+            element.set("Manager", node.manager)
+        if node.recipient is not None:
+            element.set("Recipient", node.recipient)
+        if node.copies != 1:
+            element.set("Copies", str(node.copies))
+        _set_attrs(element, node, _COMMON_ATTRS)
+        return element
+    if isinstance(node, DestinationSet):
+        element = ET.Element("DestinationSet")
+        _set_attrs(element, node, _COMMON_ATTRS)
+        _set_attrs(element, node, _SET_ATTRS)
+        for child in node.children():
+            element.append(_to_element(child))
+        return element
+    raise ConditionSerializationError(
+        f"cannot serialize condition node of type {type(node).__name__}"
+    )
+
+
+def condition_to_xml(condition: Condition) -> str:
+    """Serialize a condition tree to an XML string."""
+    element = _to_element(condition)
+    ET.indent(element)
+    return ET.tostring(element, encoding="unicode")
+
+
+def _read_attrs(element: ET.Element, specs, consumed: set) -> dict:
+    values = {}
+    for py_name, xml_name, kind in specs:
+        raw = element.get(xml_name)
+        if raw is None:
+            continue
+        consumed.add(xml_name)
+        if kind is bool:
+            if raw not in ("true", "false"):
+                raise ConditionSerializationError(
+                    f"{xml_name} must be 'true' or 'false', got {raw!r}"
+                )
+            values[py_name] = raw == "true"
+        else:
+            try:
+                values[py_name] = int(raw)
+            except ValueError:
+                raise ConditionSerializationError(
+                    f"{xml_name} must be an integer, got {raw!r}"
+                ) from None
+    return values
+
+
+def _from_element(element: ET.Element) -> Condition:
+    consumed: set = set()
+    if element.tag == "Destination":
+        queue = element.get("QueueName")
+        if not queue:
+            raise ConditionSerializationError(
+                "Destination element requires a QueueName attribute"
+            )
+        consumed.update({"QueueName", "Manager", "Recipient", "Copies"})
+        common = _read_attrs(element, _COMMON_ATTRS, consumed)
+        copies_raw = element.get("Copies", "1")
+        try:
+            copies = int(copies_raw)
+        except ValueError:
+            raise ConditionSerializationError(
+                f"Copies must be an integer, got {copies_raw!r}"
+            ) from None
+        _reject_unknown(element, consumed)
+        if len(element):
+            raise ConditionSerializationError(
+                "Destination elements must not have children"
+            )
+        return Destination(
+            queue=queue,
+            manager=element.get("Manager"),
+            recipient=element.get("Recipient"),
+            copies=copies,
+            **common,
+        )
+    if element.tag == "DestinationSet":
+        common = _read_attrs(element, _COMMON_ATTRS, consumed)
+        set_attrs = _read_attrs(element, _SET_ATTRS, consumed)
+        _reject_unknown(element, consumed)
+        members = [_from_element(child) for child in element]
+        return DestinationSet(members=members, **set_attrs, **common)
+    raise ConditionSerializationError(f"unknown element <{element.tag}>")
+
+
+def _reject_unknown(element: ET.Element, consumed: set) -> None:
+    unknown = set(element.keys()) - consumed
+    if unknown:
+        raise ConditionSerializationError(
+            f"unknown attributes on <{element.tag}>: {sorted(unknown)}"
+        )
+
+
+def condition_from_xml(text: str) -> Condition:
+    """Parse an XML condition document back into a condition tree."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ConditionSerializationError(f"malformed XML: {exc}") from exc
+    return _from_element(root)

@@ -1,0 +1,26 @@
+"""Dependency-Spheres: atomic groups of conditional messages (paper §3).
+
+A Dependency-Sphere (D-Sphere) is "a global context inside of which
+various conditional messages may occur", demarcated with ``begin_DS`` /
+``commit_DS`` / ``abort_DS``.  Unlike a messaging transaction, the
+messages of a D-Sphere are *sent immediately* — what the sphere defers is
+the **outcome actions**: success notifications and compensations wait for
+the sphere's group outcome, which is success only if every member message
+succeeded (and, when distributed object requests joined the sphere, the
+object transaction committed).
+"""
+
+from repro.dsphere.context import DSphere, DSphereState, DSphereOutcome
+from repro.dsphere.coordinator import DSphereService
+from repro.dsphere.coupling import CoupledSender, CouplingMode
+from repro.dsphere.integration import ProcessingTransaction
+
+__all__ = [
+    "DSphere",
+    "DSphereState",
+    "DSphereOutcome",
+    "DSphereService",
+    "CoupledSender",
+    "CouplingMode",
+    "ProcessingTransaction",
+]

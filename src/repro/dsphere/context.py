@@ -1,0 +1,81 @@
+"""D-Sphere context object: identity, membership, and lifecycle state."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.core.outcome import MessageOutcome, OutcomeRecord
+from repro.objects.txmanager import ObjectTransaction
+
+_ds_seq = itertools.count(1)
+
+
+class DSphereState(Enum):
+    """Lifecycle of a Dependency-Sphere."""
+
+    ACTIVE = "active"          # accepting messages and object requests
+    COMMITTING = "committing"  # commit_DS called; awaiting message outcomes
+    COMPLETED = "completed"    # group outcome decided, actions applied
+
+
+class DSphereOutcome(Enum):
+    """Group outcome of a Dependency-Sphere."""
+
+    SUCCESS = "success"
+    FAILURE = "failure"
+
+
+def new_dsphere_id() -> str:
+    """Return a unique D-Sphere id."""
+    return f"DS-{next(_ds_seq):06d}"
+
+
+@dataclass
+class DSphere:
+    """One Dependency-Sphere.
+
+    Created by :meth:`repro.dsphere.coordinator.DSphereService.begin_DS`;
+    applications interact with it through the service's verbs and read
+    the fields here.
+    """
+
+    ds_id: str = field(default_factory=new_dsphere_id)
+    state: DSphereState = DSphereState.ACTIVE
+    #: member conditional message ids in send order
+    message_ids: List[str] = field(default_factory=list)
+    #: individual outcomes as evaluation decides them
+    message_outcomes: Dict[str, OutcomeRecord] = field(default_factory=dict)
+    #: the sphere's object transaction (when object middleware is wired)
+    object_tx: Optional[ObjectTransaction] = None
+    #: decided group outcome
+    group_outcome: Optional[DSphereOutcome] = None
+    #: why the sphere failed (empty on success)
+    failure_reasons: List[str] = field(default_factory=list)
+    #: True when abort_DS (or a sphere timeout) terminated the sphere
+    aborted: bool = False
+
+    @property
+    def is_complete(self) -> bool:
+        """True once the group outcome is decided and actions applied."""
+        return self.state is DSphereState.COMPLETED
+
+    def undecided_messages(self) -> List[str]:
+        """Member messages whose individual outcome is still pending."""
+        return [m for m in self.message_ids if m not in self.message_outcomes]
+
+    def any_message_failed(self) -> bool:
+        """True if any decided member message failed."""
+        return any(
+            record.outcome is MessageOutcome.FAILURE
+            for record in self.message_outcomes.values()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DSphere({self.ds_id}, {self.state.value},"
+            f" messages={len(self.message_ids)},"
+            f" outcome={self.group_outcome.value if self.group_outcome else None})"
+        )

@@ -1,0 +1,274 @@
+"""The D-Sphere service: demarcation verbs and group-outcome coordination.
+
+Implements paper section 3:
+
+* ``begin_DS`` opens a sphere (and, when object middleware is attached,
+  an object transaction whose resources join the sphere);
+* conditional messages sent through the service while a sphere is active
+  become members: they are dispatched immediately (monitoring and
+  evaluation run as usual) but their outcome *actions* are deferred;
+* ``commit_DS`` declares the intent to complete; the sphere completes
+  once every member outcome is known.  Group success requires every
+  message to succeed and the object transaction to commit; any failure
+  fails the whole sphere;
+* ``abort_DS`` (or the sphere timeout) fails the sphere outright:
+  pending member evaluations are terminated as failures, the object
+  transaction rolls back, and compensations are released for every
+  member message;
+* on completion, outcome actions run for all members against the *group*
+  outcome — success notifications on group success, compensation
+  messages on group failure (section 3.1).
+
+Recovery note: D-Sphere membership is sender-process state (the paper
+specifies no D-Sphere recovery protocol).  After a sender crash,
+``ConditionalMessagingService.recover_from_log`` resumes member
+evaluations as standalone messages — their outcome *actions* then follow
+their individual outcomes rather than a group outcome.  This is the safe
+direction (compensations still fire for failures); applications needing
+group-atomic recovery must re-demarcate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.core.conditions import Condition
+from repro.core.outcome import MessageOutcome, OutcomeRecord
+from repro.core.service import ConditionalMessagingService
+from repro.dsphere.context import DSphere, DSphereOutcome, DSphereState
+from repro.errors import (
+    DSphereActiveError,
+    NoDSphereError,
+    TransactionRolledBackError,
+)
+from repro.objects.txmanager import TransactionManager
+from repro.sim.scheduler import EventScheduler, ScheduledEvent
+
+
+@dataclass
+class DSphereStats:
+    """Counters for tests and benchmark reporting."""
+
+    begun: int = 0
+    committed: int = 0
+    aborted: int = 0
+    timed_out: int = 0
+    group_successes: int = 0
+    group_failures: int = 0
+
+
+class DSphereService:
+    """Demarcation and coordination of Dependency-Spheres.
+
+    Args:
+        messaging: The sender's conditional messaging service.
+        txmanager: Optional object-transaction middleware; when provided,
+            ``begin_DS`` opens an object transaction so distributed object
+            requests join the sphere implicitly.
+        scheduler: Simulation scheduler (required for sphere timeouts).
+    """
+
+    def __init__(
+        self,
+        messaging: ConditionalMessagingService,
+        txmanager: Optional[TransactionManager] = None,
+        scheduler: Optional[EventScheduler] = None,
+    ) -> None:
+        self.messaging = messaging
+        self.txmanager = txmanager
+        self.scheduler = scheduler
+        self._current: Optional[DSphere] = None
+        self._timeout_event: Optional[ScheduledEvent] = None
+        self._completed: List[DSphere] = []
+        self._completion_listeners: dict = {}
+        self.stats = DSphereStats()
+
+    def on_complete(self, sphere: DSphere, callback) -> None:
+        """Run ``callback(sphere)`` when the sphere completes.
+
+        Fires immediately if the sphere already completed.  Used by the
+        coupling layer to release/drop forward-dependent sends.
+        """
+        if sphere.is_complete:
+            callback(sphere)
+            return
+        self._completion_listeners.setdefault(sphere.ds_id, []).append(callback)
+
+    # -- demarcation verbs (paper section 3.1) ---------------------------------
+
+    def begin_DS(self, timeout_ms: Optional[int] = None) -> DSphere:
+        """Open a Dependency-Sphere and make it current."""
+        if self._current is not None and not self._current.is_complete:
+            raise DSphereActiveError(
+                f"D-Sphere {self._current.ds_id} is still {self._current.state.value}"
+            )
+        sphere = DSphere()
+        if self.txmanager is not None:
+            sphere.object_tx = self.txmanager.begin()
+        self._current = sphere
+        if timeout_ms is not None and self.scheduler is not None:
+            self._timeout_event = self.scheduler.call_later(
+                timeout_ms,
+                lambda: self._on_timeout(sphere),
+                label=f"ds-timeout {sphere.ds_id}",
+            )
+        self.stats.begun += 1
+        return sphere
+
+    def send_message(
+        self,
+        body: Any,
+        condition: Condition,
+        compensation: Any = None,
+        evaluation_timeout_ms: Optional[int] = None,
+    ) -> str:
+        """Send a conditional message as a member of the current sphere.
+
+        "Conditional messages that are part of a D-Sphere ... are sent
+        immediately to all distributed destinations required, and are not
+        bound to the D-Sphere commit."
+        """
+        sphere = self.require_current()
+        cmid = self.messaging.send_message(
+            body,
+            condition,
+            compensation=compensation,
+            evaluation_timeout_ms=evaluation_timeout_ms,
+            _defer_actions=lambda record: self._on_member_decided(sphere, record),
+        )
+        sphere.message_ids.append(cmid)
+        return cmid
+
+    def commit_DS(self) -> DSphere:
+        """Request group commit; the sphere completes once outcomes land.
+
+        Returns the sphere.  Completion may be immediate (all member
+        outcomes already decided) or later, when the last member outcome
+        arrives; check :attr:`DSphere.is_complete` / ``group_outcome``.
+        """
+        sphere = self.require_current()
+        sphere.state = DSphereState.COMMITTING
+        self._try_complete(sphere)
+        return sphere
+
+    def abort_DS(self, reason: str = "abort_DS called") -> DSphere:
+        """Fail the sphere: terminate members, roll back, compensate.
+
+        Valid while the sphere is ACTIVE or COMMITTING (a sphere timeout
+        may fire while commit waits for straggler outcomes).
+        """
+        sphere = self._current
+        if sphere is None or sphere.is_complete:
+            raise NoDSphereError("no active Dependency-Sphere")
+        sphere.aborted = True
+        sphere.failure_reasons.append(reason)
+        for cmid in sphere.undecided_messages():
+            self.messaging.evaluation.force_decide(
+                cmid, MessageOutcome.FAILURE, reason
+            )
+        # force_decide routes through the deferral callback, so every
+        # member now has a recorded outcome; complete as failure.
+        sphere.state = DSphereState.COMMITTING
+        self._complete(sphere, DSphereOutcome.FAILURE)
+        self.stats.aborted += 1
+        return sphere
+
+    # -- inspection --------------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[DSphere]:
+        """The sphere accepting work, or ``None``."""
+        if self._current is not None and not self._current.is_complete:
+            return self._current
+        return None
+
+    def require_current(self) -> DSphere:
+        """The active sphere; raises :class:`NoDSphereError` otherwise."""
+        sphere = self.current
+        if sphere is None:
+            raise NoDSphereError("no active Dependency-Sphere")
+        if sphere.state is not DSphereState.ACTIVE:
+            raise NoDSphereError(
+                f"D-Sphere {sphere.ds_id} is {sphere.state.value}"
+            )
+        return sphere
+
+    @property
+    def completed(self) -> List[DSphere]:
+        """Completed spheres, oldest first."""
+        return list(self._completed)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _on_member_decided(self, sphere: DSphere, record: OutcomeRecord) -> None:
+        sphere.message_outcomes[record.cmid] = record
+        if record.outcome is MessageOutcome.FAILURE:
+            sphere.failure_reasons.append(
+                f"message {record.cmid} failed: {'; '.join(record.reasons)}"
+            )
+            # A failed member poisons the object transaction right away.
+            if sphere.object_tx is not None and sphere.object_tx.active:
+                sphere.object_tx.set_rollback_only()
+        if sphere.state is DSphereState.COMMITTING:
+            self._try_complete(sphere)
+
+    def _on_timeout(self, sphere: DSphere) -> None:
+        if sphere.is_complete:
+            return
+        self.stats.timed_out += 1
+        if self._current is sphere:
+            self.abort_DS(reason="D-Sphere timeout")
+
+    def _try_complete(self, sphere: DSphere) -> None:
+        if sphere.is_complete or sphere.undecided_messages():
+            return
+        group = (
+            DSphereOutcome.FAILURE
+            if (sphere.any_message_failed() or sphere.aborted)
+            else DSphereOutcome.SUCCESS
+        )
+        self._complete(sphere, group)
+        if not sphere.aborted:
+            self.stats.committed += 1
+
+    def _complete(self, sphere: DSphere, group: DSphereOutcome) -> None:
+        if sphere.is_complete:
+            return
+        # Object transaction first: its vote can still veto group success
+        # ("In case that a transactional object request fails, the
+        # D-Sphere as a whole fails", section 3.2).
+        if sphere.object_tx is not None and sphere.object_tx.active:
+            if group is DSphereOutcome.SUCCESS:
+                try:
+                    sphere.object_tx.commit()
+                except TransactionRolledBackError as exc:
+                    group = DSphereOutcome.FAILURE
+                    sphere.failure_reasons.append(
+                        f"object transaction rolled back: {exc}"
+                    )
+            else:
+                sphere.object_tx.rollback()
+        # Now the deferred per-message outcome actions, against the group
+        # outcome (section 3.1).
+        message_outcome = (
+            MessageOutcome.SUCCESS
+            if group is DSphereOutcome.SUCCESS
+            else MessageOutcome.FAILURE
+        )
+        for cmid in sphere.message_ids:
+            self.messaging.apply_outcome_actions(cmid, message_outcome)
+        sphere.group_outcome = group
+        sphere.state = DSphereState.COMPLETED
+        if group is DSphereOutcome.SUCCESS:
+            self.stats.group_successes += 1
+        else:
+            self.stats.group_failures += 1
+        if self._timeout_event is not None:
+            self._timeout_event.cancel()
+            self._timeout_event = None
+        self._completed.append(sphere)
+        if self._current is sphere:
+            self._current = None
+        for callback in self._completion_listeners.pop(sphere.ds_id, []):
+            callback(sphere)

@@ -1,0 +1,95 @@
+"""Receiver-side integration: message processing transactions.
+
+The paper (via its reference [15]) models the receiver's unit of work —
+read a conditional message, update transactional objects, optionally send
+replies — as a *message processing transaction*.  This helper composes
+
+* the receiver's messaging transaction (whose commit triggers the
+  implicit processing acknowledgment, section 2.4), and
+* an object transaction over any enlisted resources (databases, objects)
+
+into one atomic outcome via the two-phase coordinator: the acknowledgment
+of processing success is emitted exactly when the whole unit of work
+commits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.receiver import ConditionalMessagingReceiver, ReceivedMessage
+from repro.errors import TransactionRolledBackError
+from repro.objects.mqresource import MQTransactionResource
+from repro.objects.txmanager import ObjectTransaction, TransactionManager
+
+
+class ProcessingTransaction:
+    """One receiver-side atomic unit: message read + object updates.
+
+    Usage::
+
+        ptx = ProcessingTransaction(receiver, txmanager)
+        ptx.begin()
+        msg = ptx.read_message("ORDERS.Q")
+        calendar.state_put(...)         # enlists via txmanager.current
+        ptx.commit()                     # 2PC: objects + message consumption
+
+    On ``rollback()`` (or a failed commit) the message returns to its
+    queue with an incremented backout count and no acknowledgment is
+    generated — the middleware behaviour the paper's monitoring relies
+    on.
+    """
+
+    def __init__(
+        self,
+        receiver: ConditionalMessagingReceiver,
+        txmanager: TransactionManager,
+    ) -> None:
+        self.receiver = receiver
+        self.txmanager = txmanager
+        self._object_tx: Optional[ObjectTransaction] = None
+
+    def begin(self) -> "ProcessingTransaction":
+        """Start the combined unit of work."""
+        self._object_tx = self.txmanager.begin()
+        mq_tx = self.receiver.begin_tx()
+        self._object_tx.enlist(MQTransactionResource(mq_tx))
+        return self
+
+    def read_message(self, queue_name: str) -> Optional[ReceivedMessage]:
+        """Read a conditional message inside the unit of work."""
+        return self.receiver.read_message(queue_name)
+
+    def commit(self) -> None:
+        """Two-phase commit across the object resources and the read.
+
+        Raises :class:`TransactionRolledBackError` when any participant
+        vetoes; the message is then back on its queue.
+        """
+        if self._object_tx is None:
+            raise TransactionRolledBackError("processing transaction not begun")
+        object_tx, self._object_tx = self._object_tx, None
+        # Clear the receiver's notion of an active tx: the object
+        # transaction now owns the messaging transaction through the
+        # resource adapter.
+        self.receiver._transaction = None
+        object_tx.commit()
+
+    def rollback(self) -> None:
+        """Abandon the unit of work."""
+        if self._object_tx is None:
+            return
+        object_tx, self._object_tx = self._object_tx, None
+        self.receiver._transaction = None
+        object_tx.rollback()
+
+    def __enter__(self) -> "ProcessingTransaction":
+        return self.begin()
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self._object_tx is None:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()

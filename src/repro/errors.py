@@ -1,0 +1,170 @@
+"""Exception hierarchy for the conditional messaging system.
+
+All exceptions raised by this library derive from :class:`ReproError`, so
+applications can catch one base class.  The hierarchy mirrors the layering
+of the system: MOM substrate errors, object-transaction errors, condition
+errors, and Dependency-Sphere errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Message-oriented middleware (repro.mq)
+# ---------------------------------------------------------------------------
+
+
+class MQError(ReproError):
+    """Base class for message-oriented-middleware errors."""
+
+
+class QueueNotFoundError(MQError):
+    """A named queue does not exist on the queue manager."""
+
+    def __init__(self, queue_name: str) -> None:
+        super().__init__(f"queue not found: {queue_name!r}")
+        self.queue_name = queue_name
+
+
+class QueueExistsError(MQError):
+    """Attempt to define a queue whose name is already taken."""
+
+    def __init__(self, queue_name: str) -> None:
+        super().__init__(f"queue already exists: {queue_name!r}")
+        self.queue_name = queue_name
+
+
+class QueueFullError(MQError):
+    """A put would exceed the queue's maximum depth."""
+
+    def __init__(self, queue_name: str, max_depth: int) -> None:
+        super().__init__(f"queue {queue_name!r} full (max depth {max_depth})")
+        self.queue_name = queue_name
+        self.max_depth = max_depth
+
+
+class EmptyQueueError(MQError):
+    """A non-waiting get found no matching message."""
+
+    def __init__(self, queue_name: str) -> None:
+        super().__init__(f"no message available on queue {queue_name!r}")
+        self.queue_name = queue_name
+
+
+class QueueManagerNotFoundError(MQError):
+    """A remote queue manager name could not be resolved on the network."""
+
+    def __init__(self, manager_name: str) -> None:
+        super().__init__(f"queue manager not found: {manager_name!r}")
+        self.manager_name = manager_name
+
+
+class ChannelError(MQError):
+    """A channel between queue managers failed or is undefined."""
+
+
+class SelectorError(MQError):
+    """A message selector expression is syntactically or semantically bad."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction errors (messaging and object layers)."""
+
+
+class NoTransactionError(TransactionError):
+    """An operation required an active transaction but none exists."""
+
+
+class TransactionActiveError(TransactionError):
+    """An operation is illegal while a transaction is active."""
+
+
+class TransactionRolledBackError(TransactionError):
+    """The transaction was rolled back (by choice, conflict, or failure)."""
+
+
+class HeuristicMixedError(TransactionError):
+    """Two-phase commit reached a mixed outcome (should never happen)."""
+
+
+class ConnectionClosedError(MQError):
+    """Operation attempted on a closed connection or session."""
+
+
+class MessageTooLargeError(MQError):
+    """Message body exceeds the queue manager's configured maximum."""
+
+    def __init__(self, size: int, limit: int) -> None:
+        super().__init__(f"message of {size} bytes exceeds limit {limit}")
+        self.size = size
+        self.limit = limit
+
+
+class PersistenceError(MQError):
+    """Journal write, read, or recovery failure."""
+
+
+# ---------------------------------------------------------------------------
+# Conditional messaging (repro.core)
+# ---------------------------------------------------------------------------
+
+
+class ConditionError(ReproError):
+    """Base class for condition definition/typing problems."""
+
+
+class ConditionValidationError(ConditionError):
+    """A condition tree is structurally invalid (see message for detail)."""
+
+
+class ConditionSerializationError(ConditionError):
+    """A condition could not be encoded to or decoded from wire form."""
+
+
+class ConditionalMessagingError(ReproError):
+    """Base class for errors in the conditional messaging service."""
+
+
+class UnknownConditionalMessageError(ConditionalMessagingError):
+    """A conditional-message id is not known to this service instance."""
+
+    def __init__(self, cmid: str) -> None:
+        super().__init__(f"unknown conditional message id: {cmid!r}")
+        self.cmid = cmid
+
+
+class NotConditionalMessageError(ConditionalMessagingError):
+    """A message read through the conditional API lacks control properties."""
+
+
+class EvaluationError(ConditionalMessagingError):
+    """The evaluation manager hit an internal inconsistency."""
+
+
+class CompensationError(ConditionalMessagingError):
+    """Compensation staging or release failed."""
+
+
+# ---------------------------------------------------------------------------
+# Dependency-Spheres (repro.dsphere)
+# ---------------------------------------------------------------------------
+
+
+class DSphereError(ReproError):
+    """Base class for Dependency-Sphere errors."""
+
+
+class NoDSphereError(DSphereError):
+    """An operation required an active D-Sphere but none is open."""
+
+
+class DSphereActiveError(DSphereError):
+    """begin_DS called while a D-Sphere is already active on the context."""
+
+
+class DSphereAbortedError(DSphereError):
+    """The D-Sphere was aborted (explicitly, by timeout, or by failure)."""

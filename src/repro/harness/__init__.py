@@ -1,0 +1,25 @@
+"""Experiment harness: metrics, runners, and table reporting.
+
+The paper reports no numeric tables; EXPERIMENTS.md defines the scenario
+and characterization experiments this reproduction runs for each figure.
+This package provides the shared machinery: latency/throughput metric
+collection with percentiles, experiment runners that assemble testbeds
+and sweeps, and fixed-width table rendering for the benchmark output.
+"""
+
+from repro.harness.inspect import format_snapshot, snapshot_manager, snapshot_service
+from repro.harness.metrics import LatencyStats, MetricSeries
+from repro.harness.reporting import Table
+from repro.harness.runner import ExperimentResult, run_example1, run_example2
+
+__all__ = [
+    "LatencyStats",
+    "MetricSeries",
+    "Table",
+    "ExperimentResult",
+    "run_example1",
+    "run_example2",
+    "snapshot_manager",
+    "snapshot_service",
+    "format_snapshot",
+]

@@ -1,0 +1,77 @@
+"""System introspection: one-call snapshots of a running deployment.
+
+Debugging a distributed messaging system means asking "where is
+everything right now?"  :func:`snapshot_manager` captures one queue
+manager's state (queue depths, dead letters, channel backlogs);
+:func:`snapshot_service` adds the conditional messaging view (pending
+evaluations, staged compensations, outcome counts).  Snapshots are plain
+dicts, so tests can assert on them and operators can dump them as JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.service import ConditionalMessagingService
+from repro.mq.manager import DEAD_LETTER_QUEUE, QueueManager
+from repro.mq.network import XMIT_PREFIX
+
+
+def snapshot_manager(manager: QueueManager) -> Dict[str, Any]:
+    """Capture a queue manager's observable state."""
+    queues: Dict[str, Any] = {}
+    transit = 0
+    for name in manager.queue_names():
+        queue = manager.queue(name)
+        queues[name] = {
+            "depth": queue.depth(),
+            "total_depth": queue.total_depth(),
+            "puts": queue.stats.puts,
+            "gets": queue.stats.gets,
+            "expired": queue.stats.expired,
+            "backouts": queue.stats.backouts,
+            "high_water": queue.stats.high_water_depth,
+        }
+        if name.startswith(XMIT_PREFIX):
+            transit += queue.depth()
+    return {
+        "manager": manager.name,
+        "queues": queues,
+        "dead_letters": manager.depth(DEAD_LETTER_QUEUE),
+        "in_transit": transit,
+        "journaled": manager.journal is not None,
+    }
+
+
+def snapshot_service(service: ConditionalMessagingService) -> Dict[str, Any]:
+    """Capture the sender-side conditional messaging state."""
+    evaluation = service.evaluation
+    return {
+        "manager": snapshot_manager(service.manager),
+        "pending_evaluations": evaluation.pending_count(),
+        "acks_processed": evaluation.stats.acks_processed,
+        "evaluations_run": evaluation.stats.evaluations_run,
+        "decided_success": evaluation.stats.decided_success,
+        "decided_failure": evaluation.stats.decided_failure,
+        "decided_by_timeout": evaluation.stats.decided_by_timeout,
+        "conditional_sends": service.stats.conditional_sends,
+        "standard_messages_generated": service.stats.standard_messages_generated,
+        "compensations_staged_total": service.stats.compensations_staged,
+        "compensations_pending": service.compensation.pending(),
+        "compensations_released": service.stats.compensations_released,
+        "success_notifications_sent": service.stats.success_notifications_sent,
+        "recovery_log_depth": service.manager.depth(service.slog_queue),
+    }
+
+
+def format_snapshot(snapshot: Dict[str, Any], indent: int = 0) -> str:
+    """Render a snapshot as an indented text block (for logs/REPL)."""
+    pad = "  " * indent
+    lines = []
+    for key, value in snapshot.items():
+        if isinstance(value, dict):
+            lines.append(f"{pad}{key}:")
+            lines.append(format_snapshot(value, indent + 1))
+        else:
+            lines.append(f"{pad}{key}: {value}")
+    return "\n".join(lines)

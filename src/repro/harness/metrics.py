@@ -1,0 +1,82 @@
+"""Metric collection: latency series with percentile summaries."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class LatencyStats:
+    """Summary statistics over a sample of latencies (milliseconds)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def from_samples(cls, samples: List[float]) -> "LatencyStats":
+        """Compute summary stats; raises on an empty sample."""
+        if not samples:
+            raise ValueError("cannot summarize an empty sample")
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=percentile(ordered, 50),
+            p95=percentile(ordered, 95),
+            p99=percentile(ordered, 99),
+        )
+
+
+def percentile(ordered: List[float], pct: float) -> float:
+    """Nearest-rank-interpolated percentile of a pre-sorted sample."""
+    if not ordered:
+        raise ValueError("cannot take a percentile of an empty sample")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+class MetricSeries:
+    """Named collections of samples, accumulated during an experiment."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[float]] = {}
+
+    def record(self, name: str, value: float) -> None:
+        """Append one sample to a named series."""
+        self._series.setdefault(name, []).append(float(value))
+
+    def samples(self, name: str) -> List[float]:
+        """Raw samples for a series (empty list if absent)."""
+        return list(self._series.get(name, []))
+
+    def stats(self, name: str) -> Optional[LatencyStats]:
+        """Summary stats for a series, or ``None`` if it has no samples."""
+        samples = self._series.get(name)
+        if not samples:
+            return None
+        return LatencyStats.from_samples(samples)
+
+    def names(self) -> List[str]:
+        """All series names."""
+        return list(self._series)
+
+    def merge(self, other: "MetricSeries") -> None:
+        """Fold another collection's samples into this one."""
+        for name in other.names():
+            self._series.setdefault(name, []).extend(other.samples(name))

@@ -1,0 +1,71 @@
+"""Fixed-width table rendering for benchmark output.
+
+Benchmarks print the rows EXPERIMENTS.md records; keeping the renderer in
+the library (rather than each bench) makes the output uniform and lets
+tests assert on the structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+
+class Table:
+    """A simple fixed-width text table.
+
+    Example::
+
+        table = Table("FIG6: send overhead", ["fan-out", "raw put", "conditional"])
+        table.add_row([1, "12.1us", "31.9us"])
+        print(table.render())
+    """
+
+    def __init__(self, title: str, columns: Sequence[str]) -> None:
+        self.title = title
+        self.columns = list(columns)
+        self._rows: List[List[str]] = []
+
+    def add_row(self, values: Sequence[Any]) -> None:
+        """Append a row; values are stringified (floats to 3 decimals)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append([_format_cell(value) for value in values])
+
+    @property
+    def rows(self) -> List[List[str]]:
+        """Rendered cell values (for assertions)."""
+        return [list(row) for row in self._rows]
+
+    def render(self) -> str:
+        """Render the table as a fixed-width string block."""
+        widths = [len(column) for column in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * max(len(self.title), 1)]
+        header = "  ".join(
+            column.ljust(widths[i]) for i, column in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self._rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        """Print the rendered table with surrounding blank lines."""
+        print()
+        print(self.render())
+        print()
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

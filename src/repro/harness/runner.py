@@ -1,0 +1,146 @@
+"""Experiment runners: canned end-to-end scenario executions.
+
+Each runner assembles a testbed, drives the scenario to quiescence, and
+returns a structured :class:`ExperimentResult` that both the benchmarks
+and the integration tests consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.outcome import OutcomeRecord
+from repro.workloads.receivers import ReceiverMode, ReceiverScript, ScriptedReceiver
+from repro.workloads.scenarios import (
+    SECOND_MS,
+    Testbed,
+    build_example1_condition,
+    build_example2_condition,
+)
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome and bookkeeping of one scenario run."""
+
+    outcome: OutcomeRecord
+    testbed: Testbed
+    cmid: str
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def succeeded(self) -> bool:
+        """True when the conditional message succeeded."""
+        return self.outcome.succeeded
+
+
+def run_example1(
+    r1_react_ms: int = 3 * 3_600 * SECOND_MS,
+    r2_react_ms: int = 5 * 3_600 * SECOND_MS,
+    r3_react_ms: int = 8 * 3_600 * SECOND_MS,
+    r4_react_ms: int = 30 * 3_600 * SECOND_MS,
+    r1_mode: ReceiverMode = ReceiverMode.PROCESS_COMMIT,
+    r2_mode: ReceiverMode = ReceiverMode.PROCESS_COMMIT,
+    r3_mode: ReceiverMode = ReceiverMode.PROCESS_COMMIT,
+    r4_mode: ReceiverMode = ReceiverMode.READ,
+    latency_ms: int = 50,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run Example 1 (group meeting, Figures 1/4) to completion.
+
+    Defaults give the paper's success story: all four read within two
+    days, Receiver3 processes within a week, and two of the other three
+    (R1, R2) process within the subset window while R4 only reads.
+    """
+    testbed = Testbed(["R1", "R2", "R3", "R4"], latency_ms=latency_ms, seed=seed)
+    condition = build_example1_condition(testbed)
+    cmid = testbed.service.send_message(
+        {"meeting": "quarterly planning"}, condition, compensation={"cancelled": True}
+    )
+    reacts = {
+        "R1": (r1_react_ms, r1_mode),
+        "R2": (r2_react_ms, r2_mode),
+        "R3": (r3_react_ms, r3_mode),
+        "R4": (r4_react_ms, r4_mode),
+    }
+    scripts: Dict[str, ScriptedReceiver] = {}
+    for name, (react, mode) in reacts.items():
+        script = ScriptedReceiver(
+            testbed.receiver(name),
+            testbed.scheduler,
+            ReceiverScript(
+                queue=testbed.queue_of(name),
+                react_after_ms=react,
+                mode=mode,
+                process_ms=60 * SECOND_MS,
+            ),
+        )
+        script.start()
+        scripts[name] = script
+    testbed.run_all()
+    outcome = testbed.service.outcome(cmid)
+    assert outcome is not None, "example 1 must decide by its timeout"
+    return ExperimentResult(
+        outcome=outcome,
+        testbed=testbed,
+        cmid=cmid,
+        extras={"scripts": scripts},
+    )
+
+
+def run_example2(
+    controllers: int = 4,
+    first_reaction_ms: Optional[int] = 5 * SECOND_MS,
+    pick_up_window_ms: int = 20 * SECOND_MS,
+    latency_ms: int = 20,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Run Example 2 (air traffic control, Figures 2/5) to completion.
+
+    ``first_reaction_ms=None`` models the failure case: no controller
+    reads the flight message, the 21-second evaluation timeout fires, and
+    the staged compensation cancels the unread original.
+    """
+    testbed = Testbed(["TOWER"], latency_ms=latency_ms, seed=seed)
+    condition = build_example2_condition(
+        shared_queue="Q.CENTRAL",
+        manager="QM.TOWER",
+        pick_up_window_ms=pick_up_window_ms,
+        evaluation_timeout_ms=pick_up_window_ms + SECOND_MS,
+    )
+    cmid = testbed.service.send_message(
+        {"flight": "BA117", "runway": "27L"}, condition
+    )
+    # All controllers poll the shared queue; only the first getter wins.
+    tower = testbed.receivers["TOWER"]
+    from repro.core.receiver import ConditionalMessagingReceiver
+
+    controller_endpoints = [
+        ConditionalMessagingReceiver(tower.manager, recipient_id=f"controller-{i}")
+        for i in range(controllers)
+    ]
+    picked: List[str] = []
+    if first_reaction_ms is not None:
+        def first_pick() -> None:
+            message = controller_endpoints[0].read_message("Q.CENTRAL")
+            if message is not None:
+                picked.append(controller_endpoints[0].recipient_id)
+
+        testbed.at(first_reaction_ms, first_pick)
+        for i, endpoint in enumerate(controller_endpoints[1:], start=1):
+            def late_pick(endpoint=endpoint) -> None:
+                message = endpoint.read_message("Q.CENTRAL")
+                if message is not None:
+                    picked.append(endpoint.recipient_id)
+
+            testbed.at(first_reaction_ms + i * SECOND_MS, late_pick)
+    testbed.run_all()
+    outcome = testbed.service.outcome(cmid)
+    assert outcome is not None, "example 2 must decide by its timeout"
+    return ExperimentResult(
+        outcome=outcome,
+        testbed=testbed,
+        cmid=cmid,
+        extras={"picked_by": picked, "controllers": controller_endpoints},
+    )

@@ -1,0 +1,51 @@
+"""Message-oriented middleware substrate (a from-scratch mini MQSeries/JMS).
+
+The conditional messaging layer (``repro.core``) is, per the paper, "a
+simple indirection to standard messaging middleware".  This package *is*
+that standard middleware: queue managers hosting persistent priority
+queues, syncpoint (transactional) get/put, JMS-style sessions, message
+selectors, dead-letter handling, and store-and-forward channels connecting
+queue managers across a simulated network.
+
+Public surface:
+
+* :class:`~repro.mq.message.Message` and
+  :class:`~repro.mq.message.MessageBuilder` — immutable-ish message records
+  with headers, typed properties, priority, persistence, and expiry.
+* :class:`~repro.mq.manager.QueueManager` — names and hosts queues, owns a
+  journal for persistent messages, exposes put/get/browse.
+* :class:`~repro.mq.transactions.MQTransaction` — syncpoint semantics:
+  transactional gets return messages to the queue on rollback (with a
+  backout count), transactional puts become visible only at commit.
+* :class:`~repro.mq.network.MessageNetwork` — connects queue managers with
+  channels that have latency/jitter/loss; remote puts are store-and-forward
+  via transmission queues.
+* :mod:`repro.mq.session` — a small JMS-flavoured Connection/Session/
+  Producer/Consumer API over the above.
+"""
+
+from repro.mq.message import Message, MessageBuilder, DeliveryMode
+from repro.mq.queue import MessageQueue, QueueStats
+from repro.mq.manager import QueueManager
+from repro.mq.transactions import MQTransaction
+from repro.mq.network import MessageNetwork, Channel
+from repro.mq.selectors import compile_selector, Selector
+from repro.mq.session import Connection, Session, MessageProducer, MessageConsumer
+
+__all__ = [
+    "Message",
+    "MessageBuilder",
+    "DeliveryMode",
+    "MessageQueue",
+    "QueueStats",
+    "QueueManager",
+    "MQTransaction",
+    "MessageNetwork",
+    "Channel",
+    "compile_selector",
+    "Selector",
+    "Connection",
+    "Session",
+    "MessageProducer",
+    "MessageConsumer",
+]

@@ -1,0 +1,114 @@
+"""Dead-letter queue handling: inspection and reprocessing.
+
+Messages land on ``SYSTEM.DEAD.LETTER.QUEUE`` when they expire, exceed
+the backout threshold, or (with queue auto-creation off) arrive for an
+unknown queue — each stamped with a ``DLQ_REASON`` property.  Real
+deployments run a *DLQ handler* that inspects, retries, or discards
+them; this module is that handler.
+
+Usage::
+
+    handler = DeadLetterHandler(manager)
+    handler.summary()                       # {"expired": 3, ...}
+    handler.retry(reason="backout-threshold")   # back to origin queues
+    handler.discard(older_than_ms=DAY)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.mq.manager import DEAD_LETTER_QUEUE, QueueManager
+from repro.mq.message import Message
+
+#: Property the queue manager stamps when dead-lettering.
+PROP_DLQ_REASON = "DLQ_REASON"
+
+
+@dataclass
+class RetryResult:
+    """What a retry pass did."""
+
+    retried: int = 0
+    skipped: int = 0
+
+
+class DeadLetterHandler:
+    """Inspects and reprocesses one manager's dead-letter queue."""
+
+    def __init__(self, manager: QueueManager) -> None:
+        self.manager = manager
+
+    # -- inspection ---------------------------------------------------------
+
+    def depth(self) -> int:
+        """Messages currently dead-lettered."""
+        return self.manager.depth(DEAD_LETTER_QUEUE)
+
+    def summary(self) -> Dict[str, int]:
+        """Counts by dead-letter reason."""
+        counts: Dict[str, int] = {}
+        for message in self.manager.browse(DEAD_LETTER_QUEUE):
+            reason = str(message.get_property(PROP_DLQ_REASON, "unknown"))
+            counts[reason] = counts.get(reason, 0) + 1
+        return counts
+
+    def browse(self, reason: Optional[str] = None) -> List[Message]:
+        """Dead messages, optionally filtered by reason."""
+        return [
+            message
+            for message in self.manager.browse(DEAD_LETTER_QUEUE)
+            if reason is None or message.get_property(PROP_DLQ_REASON) == reason
+        ]
+
+    # -- reprocessing ---------------------------------------------------------
+
+    def retry(
+        self,
+        reason: Optional[str] = None,
+        reset_backout: bool = True,
+        limit: Optional[int] = None,
+    ) -> RetryResult:
+        """Put dead messages back for another attempt.
+
+        The origin queue is not recorded by the dead-letter path (matching
+        MQ, where the DLQ header carries the *destination*), so messages
+        are re-put to the queue named by their conditional-messaging
+        control property when present, falling back to skipping messages
+        whose destination cannot be determined.
+
+        Args:
+            reason: Only retry messages dead-lettered for this reason.
+            reset_backout: Clear the backout count so the retry is not
+                immediately re-poisoned.
+            limit: Retry at most this many.
+        """
+        result = RetryResult()
+        dlq = self.manager.queue(DEAD_LETTER_QUEUE)
+        for message in self.browse(reason):
+            if limit is not None and result.retried >= limit:
+                break
+            destination = message.get_property("DS_DEST_QUEUE")
+            if destination is None or not self.manager.has_queue(str(destination)):
+                result.skipped += 1
+                continue
+            dlq.get_by_id(message.message_id)
+            props = {
+                k: v for k, v in message.properties.items() if k != PROP_DLQ_REASON
+            }
+            revived = message.copy(
+                properties=props,
+                backout_count=0 if reset_backout else message.backout_count,
+            )
+            self.manager.put(str(destination), revived)
+            result.retried += 1
+        return result
+
+    def discard(self, reason: Optional[str] = None) -> int:
+        """Permanently delete dead messages; returns how many."""
+        dlq = self.manager.queue(DEAD_LETTER_QUEUE)
+        doomed = self.browse(reason)
+        for message in doomed:
+            dlq.get_by_id(message.message_id)
+        return len(doomed)

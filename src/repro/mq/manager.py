@@ -1,0 +1,405 @@
+"""Queue manager: names and hosts queues, routes puts/gets, owns the journal.
+
+A :class:`QueueManager` corresponds to one MQSeries queue manager or one
+JMS provider instance.  Every application endpoint in the paper's
+architecture (the sender, each receiver) connects to *its own* queue
+manager; managers are wired together by
+:class:`~repro.mq.network.MessageNetwork`.
+
+Responsibilities:
+
+* queue definition/deletion, with a system dead-letter queue
+  (``SYSTEM.DEAD.LETTER.QUEUE``) that collects expired and poisoned
+  messages;
+* non-transactional put/get/browse with journal records for persistent
+  messages;
+* syncpoint transactions (see :mod:`repro.mq.transactions`);
+* backout-threshold handling: a message whose transactional consumption
+  has been rolled back too many times is moved to the dead-letter queue
+  rather than poisoning consumers forever;
+* crash/restart: :meth:`recover` rebuilds a manager from its journal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from repro.errors import (
+    EmptyQueueError,
+    MQError,
+    QueueExistsError,
+    QueueNotFoundError,
+)
+from repro.mq.message import Message
+from repro.mq.persistence import Journal
+from repro.mq.queue import DEFAULT_MAX_DEPTH, MessageQueue
+from repro.mq.transactions import MQTransaction
+from repro.mq import reports as reports_mod
+from repro.sim.clock import Clock
+
+#: Name of the automatically defined dead-letter queue.
+DEAD_LETTER_QUEUE = "SYSTEM.DEAD.LETTER.QUEUE"
+
+
+class QueueManager:
+    """A named queue manager hosting local queues.
+
+    Args:
+        name: Network-unique manager name (e.g. ``"QM.SENDER"``).
+        clock: Time source shared with the rest of the simulation.
+        journal: Optional durability log; without one the manager is
+            volatile (all messages behave as non-persistent on restart).
+        backout_threshold: When a message's backout count reaches this
+            value, the next transactional get moves it to the dead-letter
+            queue instead of delivering it.  ``None`` disables the check.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock,
+        journal: Optional[Journal] = None,
+        backout_threshold: Optional[int] = 5,
+    ) -> None:
+        if not name:
+            raise MQError("queue manager name must be non-empty")
+        self.name = name
+        self.clock = clock
+        self.journal = journal
+        self.backout_threshold = backout_threshold
+        self._queues: Dict[str, MessageQueue] = {}
+        #: local alias -> (remote manager, remote queue) — MQ "remote
+        #: queue definitions"
+        self._remote_definitions: Dict[str, tuple] = {}
+        self._remote_put_handler: Optional[Callable[[str, str, Message], None]] = None
+        self.define_queue(DEAD_LETTER_QUEUE, journal_definition=False)
+
+    # -- queue administration --------------------------------------------------
+
+    def define_queue(
+        self,
+        queue_name: str,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        journal_definition: bool = True,
+    ) -> MessageQueue:
+        """Create a local queue; raises :class:`QueueExistsError` if taken."""
+        if queue_name in self._queues or queue_name in self._remote_definitions:
+            raise QueueExistsError(queue_name)
+        queue = MessageQueue(
+            queue_name,
+            self.clock,
+            max_depth=max_depth,
+            on_expired=self._route_expired,
+        )
+        self._queues[queue_name] = queue
+        if self.journal is not None and journal_definition:
+            self.journal.log_queue_defined(queue_name)
+        return queue
+
+    def ensure_queue(self, queue_name: str, max_depth: int = DEFAULT_MAX_DEPTH) -> MessageQueue:
+        """Return the queue, defining it first if absent (idempotent).
+
+        Remote queue definitions are not local queues; ensuring one is an
+        error (resolve it with :meth:`resolve_remote` instead).
+        """
+        if queue_name in self._remote_definitions:
+            raise MQError(
+                f"{queue_name!r} is a remote queue definition, not a local queue"
+            )
+        if queue_name in self._queues:
+            return self._queues[queue_name]
+        return self.define_queue(queue_name, max_depth=max_depth)
+
+    def delete_queue(self, queue_name: str) -> None:
+        """Remove a queue and discard its content."""
+        if queue_name == DEAD_LETTER_QUEUE:
+            raise MQError("the dead-letter queue cannot be deleted")
+        if queue_name not in self._queues:
+            raise QueueNotFoundError(queue_name)
+        del self._queues[queue_name]
+        if self.journal is not None:
+            self.journal.log_queue_deleted(queue_name)
+
+    def define_remote_queue(
+        self, local_name: str, remote_manager: str, remote_queue: str
+    ) -> None:
+        """Define a local alias for a queue on another manager.
+
+        Real MQSeries "remote queue definitions": applications put to the
+        local name; the manager routes to the remote destination.  The
+        alias shares the namespace with local queues.
+        """
+        if local_name in self._queues or local_name in self._remote_definitions:
+            raise QueueExistsError(local_name)
+        self._remote_definitions[local_name] = (remote_manager, remote_queue)
+
+    def resolve_remote(self, local_name: str) -> "Optional[tuple]":
+        """The (manager, queue) behind a remote definition, or ``None``."""
+        return self._remote_definitions.get(local_name)
+
+    def queue(self, queue_name: str) -> MessageQueue:
+        """Look up a local queue; raises :class:`QueueNotFoundError`."""
+        try:
+            return self._queues[queue_name]
+        except KeyError:
+            raise QueueNotFoundError(queue_name) from None
+
+    def has_queue(self, queue_name: str) -> bool:
+        """True if a local queue with that name exists."""
+        return queue_name in self._queues
+
+    def queue_names(self) -> List[str]:
+        """Names of all local queues (dead-letter queue included)."""
+        return list(self._queues)
+
+    # -- put ------------------------------------------------------------------------
+
+    def put(
+        self,
+        queue_name: str,
+        message: Message,
+        transaction: Optional[MQTransaction] = None,
+    ) -> Message:
+        """Put ``message`` on a local queue, optionally under syncpoint.
+
+        A put to a remote queue definition routes to its remote
+        destination transparently.
+        """
+        remote = self._remote_definitions.get(queue_name)
+        if remote is not None:
+            self.put_remote(remote[0], remote[1], message, transaction=transaction)
+            return message
+        queue = self.queue(queue_name)
+        if transaction is not None:
+            transaction.record_put(queue_name, message)
+            return message
+        stored = queue.put(message)
+        if self.journal is not None and stored.is_persistent():
+            self.journal.log_put(queue_name, stored)
+        self._maybe_report_arrival(queue_name, stored)
+        return stored
+
+    def put_remote(
+        self,
+        manager_name: str,
+        queue_name: str,
+        message: Message,
+        transaction: Optional[MQTransaction] = None,
+    ) -> None:
+        """Send ``message`` to a queue on another manager via the network.
+
+        Requires this manager to be attached to a
+        :class:`~repro.mq.network.MessageNetwork`.  If ``manager_name`` is
+        this manager, the put is local.
+        """
+        if manager_name == self.name:
+            self.put(queue_name, message, transaction=transaction)
+            return
+        if transaction is not None:
+            transaction.record_remote_put(manager_name, queue_name, message)
+            return
+        if self._remote_put_handler is None:
+            raise MQError(
+                f"queue manager {self.name!r} is not attached to a network;"
+                f" cannot reach {manager_name!r}"
+            )
+        self._remote_put_handler(manager_name, queue_name, message)
+
+    # -- get ------------------------------------------------------------------------
+
+    def get(
+        self,
+        queue_name: str,
+        selector: Optional[Callable[[Message], bool]] = None,
+        transaction: Optional[MQTransaction] = None,
+    ) -> Message:
+        """Get the next message from a local queue.
+
+        Under syncpoint the message is locked (redelivered on rollback);
+        otherwise it is removed immediately and journaled.  Poisoned
+        messages (backout count at threshold) are diverted to the
+        dead-letter queue transparently.
+
+        Raises :class:`EmptyQueueError` when nothing matches.
+        """
+        queue = self.queue(queue_name)
+        while True:
+            if transaction is not None:
+                message = queue.get(selector=selector, lock_owner=transaction.tx_id)
+            else:
+                message = queue.get(selector=selector)
+            if (
+                self.backout_threshold is not None
+                and queue_name != DEAD_LETTER_QUEUE
+                and message.backout_count >= self.backout_threshold
+            ):
+                # Poison message: do not deliver; move to the DLQ and retry.
+                if transaction is not None:
+                    queue.remove_locked(transaction.tx_id, message.message_id)
+                self._dead_letter(message, reason="backout-threshold")
+                if self.journal is not None and message.is_persistent():
+                    self.journal.log_get(queue_name, message.message_id)
+                continue
+            break
+        if transaction is not None:
+            transaction.record_locked(queue_name)
+        else:
+            if self.journal is not None and message.is_persistent():
+                self.journal.log_get(queue_name, message.message_id)
+            self._maybe_report_delivery(queue_name, message)
+        return message
+
+    def get_wait(
+        self,
+        queue_name: str,
+        selector: Optional[Callable[[Message], bool]] = None,
+        transaction: Optional[MQTransaction] = None,
+    ) -> Optional[Message]:
+        """Like :meth:`get` but returns ``None`` instead of raising."""
+        try:
+            return self.get(queue_name, selector=selector, transaction=transaction)
+        except EmptyQueueError:
+            return None
+
+    def browse(
+        self,
+        queue_name: str,
+        selector: Optional[Callable[[Message], bool]] = None,
+    ) -> Iterator[Message]:
+        """Non-destructive scan of a local queue."""
+        return self.queue(queue_name).browse(selector=selector)
+
+    def depth(self, queue_name: str) -> int:
+        """Visible depth of a local queue."""
+        return self.queue(queue_name).depth()
+
+    # -- transactions ------------------------------------------------------------
+
+    def begin(self) -> MQTransaction:
+        """Start a syncpoint transaction on this manager."""
+        return MQTransaction(self)
+
+    def apply_commit(self, transaction: MQTransaction) -> None:
+        """Apply a transaction's effects (called by ``MQTransaction.commit``)."""
+        # 1. Destroy transactionally read messages and journal their removal.
+        for queue_name in transaction.locked_queues():
+            queue = self.queue(queue_name)
+            for message in queue.commit_locked(transaction.tx_id):
+                if self.journal is not None and message.is_persistent():
+                    self.journal.log_get(queue_name, message.message_id)
+                # COD for syncpoint reads fires at commit (a rolled-back
+                # read produces no report, like MQ under syncpoint).
+                self._maybe_report_delivery(queue_name, message)
+        # 2. Publish buffered puts.
+        local_puts, remote_puts = transaction.drain_pending()
+        for queue_name, message in local_puts:
+            stored = self.queue(queue_name).put(message)
+            if self.journal is not None and stored.is_persistent():
+                self.journal.log_put(queue_name, stored)
+        for manager_name, queue_name, message in remote_puts:
+            if self._remote_put_handler is None:
+                raise MQError(
+                    f"queue manager {self.name!r} is not attached to a network"
+                )
+            self._remote_put_handler(manager_name, queue_name, message)
+
+    def apply_rollback(self, transaction: MQTransaction) -> None:
+        """Undo a transaction's effects (called by ``MQTransaction.rollback``)."""
+        for queue_name in transaction.locked_queues():
+            self.queue(queue_name).rollback_locked(transaction.tx_id)
+        transaction.drain_pending()  # discard buffered puts
+
+    # -- durability -----------------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Compact the journal to a snapshot of current persistent state."""
+        if self.journal is None:
+            return
+        snapshot = {
+            name: queue.snapshot()
+            for name, queue in self._queues.items()
+            if name != DEAD_LETTER_QUEUE
+        }
+        self.journal.checkpoint(snapshot)
+
+    @classmethod
+    def recover(
+        cls,
+        name: str,
+        clock: Clock,
+        journal: Journal,
+        backout_threshold: Optional[int] = 5,
+    ) -> "QueueManager":
+        """Rebuild a queue manager from its journal after a crash.
+
+        Only persistent, committed messages reappear; in-flight
+        transactions are presumed aborted (their gets were never journaled,
+        so the messages are still live; their puts were never journaled,
+        so they never existed).
+        """
+        manager = cls(
+            name, clock, journal=None, backout_threshold=backout_threshold
+        )
+        queue_names, live_messages = journal.recover()
+        for queue_name in queue_names:
+            if not manager.has_queue(queue_name):
+                manager.define_queue(queue_name, journal_definition=False)
+        for queue_name, messages in live_messages.items():
+            if not manager.has_queue(queue_name):
+                manager.define_queue(queue_name, journal_definition=False)
+            manager.queue(queue_name).restore(messages)
+        # Re-attach the journal only after restore so recovery itself is
+        # not re-journaled; then checkpoint to compact the log.
+        manager.journal = journal
+        manager.checkpoint()
+        return manager
+
+    # -- internals --------------------------------------------------------------------
+
+    def attach_network(
+        self, remote_put_handler: Callable[[str, str, Message], None]
+    ) -> None:
+        """Install the network layer's remote-put handler (network use only)."""
+        self._remote_put_handler = remote_put_handler
+
+    # -- report options (see repro.mq.reports) ----------------------------------
+
+    def _maybe_report_arrival(self, queue_name: str, message: Message) -> None:
+        from repro.mq.network import XMIT_PREFIX
+
+        if queue_name.startswith(XMIT_PREFIX):
+            return  # arrival means the *destination* queue, not transit
+        if reports_mod.wants_coa(message):
+            self._send_report(reports_mod.KIND_COA, queue_name, message)
+
+    def _maybe_report_delivery(self, queue_name: str, message: Message) -> None:
+        if reports_mod.wants_cod(message):
+            self._send_report(reports_mod.KIND_COD, queue_name, message)
+
+    def _send_report(self, kind: str, queue_name: str, message: Message) -> None:
+        if message.reply_to_manager is None or message.reply_to_queue is None:
+            return  # nowhere to send the report
+        report = reports_mod.build_report(
+            kind, message, queue_name, self.name, self.clock.now_ms()
+        )
+        if message.reply_to_manager == self.name:
+            self.ensure_queue(message.reply_to_queue)
+            self.put(message.reply_to_queue, report)
+        elif self._remote_put_handler is not None:
+            self.put_remote(
+                message.reply_to_manager, message.reply_to_queue, report
+            )
+
+    def _route_expired(self, message: Message) -> None:
+        self._dead_letter(message, reason="expired")
+
+    def _dead_letter(self, message: Message, reason: str) -> None:
+        dlq = self._queues[DEAD_LETTER_QUEUE]
+        # Strip the expiry: a dead-lettered message must rest in the DLQ
+        # for inspection, not expire out of it (which would also recurse
+        # through the expiry handler).
+        dead = message.with_properties(DLQ_REASON=reason).copy(expiry_ms=None)
+        dlq.put(dead)
+
+    def __repr__(self) -> str:
+        return f"QueueManager({self.name!r}, queues={len(self._queues)})"

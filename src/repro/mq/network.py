@@ -1,0 +1,344 @@
+"""Network of queue managers: store-and-forward channels with latency/loss.
+
+MQSeries connects queue managers with *channels*: a remote put lands on a
+local transmission queue, and a channel agent forwards it to the target
+manager.  Delivery is reliable (the message stays on the transmission
+queue until the transfer succeeds) but takes time and may need retries.
+
+This module reproduces that model over the simulation scheduler:
+
+* :meth:`MessageNetwork.connect` defines a unidirectional channel with
+  configurable latency, jitter, and loss rate (loss models a failed
+  transfer attempt, which is retried — messages are never silently
+  dropped, matching "reliable messaging");
+* remote puts go through a per-manager handler installed with
+  :meth:`QueueManager.attach_network`; the message is wrapped with a
+  routing envelope and parked on ``SYSTEM.XMIT.<target>``;
+* a scheduled event per message performs the transfer after the sampled
+  delay, auto-creating the destination queue if the target manager allows
+  it (otherwise the message dead-letters on the target).
+
+Without a scheduler the network delivers synchronously (zero latency),
+which the unit tests of higher layers use for brevity.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ChannelError, MQError, QueueManagerNotFoundError
+from repro.mq.manager import DEAD_LETTER_QUEUE, QueueManager
+from repro.mq.message import Message
+from repro.sim.scheduler import EventScheduler
+
+#: Prefix for per-target transmission queues on the sending manager.
+XMIT_PREFIX = "SYSTEM.XMIT."
+
+#: Routing-envelope property names.
+PROP_ROUTE_TARGET_MANAGER = "SYS_ROUTE_TO_QM"
+PROP_ROUTE_TARGET_QUEUE = "SYS_ROUTE_TO_Q"
+
+
+@dataclass
+class ChannelStats:
+    """Per-channel transfer counters."""
+
+    sent: int = 0
+    delivered: int = 0
+    failed_attempts: int = 0
+    dead_lettered: int = 0
+
+
+@dataclass
+class Channel:
+    """A unidirectional transfer path between two queue managers.
+
+    Attributes:
+        latency_ms: Base one-way transfer time.
+        jitter_ms: Uniform extra delay in ``[0, jitter_ms]`` per attempt.
+        loss_rate: Probability that a transfer attempt fails and is
+            retried after ``retry_interval_ms``.
+        stopped: A stopped channel parks messages on the transmission
+            queue until restarted (models a network partition).
+    """
+
+    source: str
+    target: str
+    latency_ms: int = 0
+    jitter_ms: int = 0
+    loss_rate: float = 0.0
+    retry_interval_ms: int = 100
+    stopped: bool = False
+    stats: ChannelStats = field(default_factory=ChannelStats)
+
+    def __post_init__(self) -> None:
+        if self.latency_ms < 0 or self.jitter_ms < 0:
+            raise ChannelError("latency/jitter must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ChannelError("loss_rate must be in [0, 1)")
+        if self.retry_interval_ms <= 0:
+            raise ChannelError("retry_interval_ms must be positive")
+
+
+class MessageNetwork:
+    """Connects queue managers; resolves remote puts via channels.
+
+    Args:
+        scheduler: Simulation scheduler.  ``None`` means synchronous
+            zero-latency delivery (latency settings are then rejected).
+        seed: Seed for the jitter/loss random source (deterministic runs).
+        auto_create_queues: When True (default), a transfer to a queue the
+            target manager has not defined creates it; when False such
+            messages go to the target's dead-letter queue.
+    """
+
+    def __init__(
+        self,
+        scheduler: Optional[EventScheduler] = None,
+        seed: int = 0,
+        auto_create_queues: bool = True,
+    ) -> None:
+        self.scheduler = scheduler
+        self.auto_create_queues = auto_create_queues
+        self._rng = random.Random(seed)
+        self._managers: Dict[str, QueueManager] = {}
+        self._channels: Dict[Tuple[str, str], Channel] = {}
+        #: (source, final target) -> next hop, for multi-hop forwarding
+        self._routes: Dict[Tuple[str, str], str] = {}
+
+    # -- topology ---------------------------------------------------------------
+
+    def add_manager(self, manager: QueueManager) -> QueueManager:
+        """Register a queue manager and install its remote-put handler."""
+        if manager.name in self._managers:
+            raise MQError(f"manager {manager.name!r} already on the network")
+        self._managers[manager.name] = manager
+
+        def handler(target: str, queue_name: str, message: Message) -> None:
+            self.send(manager.name, target, queue_name, message)
+
+        manager.attach_network(handler)
+        return manager
+
+    def manager(self, name: str) -> QueueManager:
+        """Look up a registered manager by name."""
+        try:
+            return self._managers[name]
+        except KeyError:
+            raise QueueManagerNotFoundError(name) from None
+
+    def manager_names(self) -> List[str]:
+        """Names of all registered managers."""
+        return list(self._managers)
+
+    def connect(
+        self,
+        source: str,
+        target: str,
+        latency_ms: int = 0,
+        jitter_ms: int = 0,
+        loss_rate: float = 0.0,
+        retry_interval_ms: int = 100,
+        bidirectional: bool = True,
+    ) -> None:
+        """Define a channel (by default, one in each direction)."""
+        if source not in self._managers:
+            raise QueueManagerNotFoundError(source)
+        if target not in self._managers:
+            raise QueueManagerNotFoundError(target)
+        if self.scheduler is None and (latency_ms or jitter_ms or loss_rate):
+            raise ChannelError(
+                "latency/jitter/loss require a scheduler-backed network"
+            )
+        pairs = [(source, target)]
+        if bidirectional:
+            pairs.append((target, source))
+        for src, dst in pairs:
+            channel = Channel(
+                source=src,
+                target=dst,
+                latency_ms=latency_ms,
+                jitter_ms=jitter_ms,
+                loss_rate=loss_rate,
+                retry_interval_ms=retry_interval_ms,
+            )
+            self._channels[(src, dst)] = channel
+            # Store-and-forward: traffic parked on the source's
+            # transmission queue (e.g. from before a restart or while no
+            # channel was defined) flows as soon as the channel exists.
+            self._drain_xmit(channel)
+
+    def set_route(self, source: str, final_target: str, next_hop: str) -> None:
+        """Declare that ``source`` reaches ``final_target`` via ``next_hop``.
+
+        ``source`` must have a channel (or a further route) to
+        ``next_hop``; the intermediate manager forwards using its own
+        channels/routes, so chains of any length compose hop by hop —
+        MQSeries-style multi-hop store-and-forward.
+        """
+        if source not in self._managers:
+            raise QueueManagerNotFoundError(source)
+        if final_target not in self._managers:
+            raise QueueManagerNotFoundError(final_target)
+        if next_hop not in self._managers:
+            raise QueueManagerNotFoundError(next_hop)
+        if next_hop == source:
+            raise ChannelError("a route's next hop cannot be its source")
+        self._routes[(source, final_target)] = next_hop
+
+    def channel(self, source: str, target: str) -> Channel:
+        """Look up the channel from ``source`` to ``target``."""
+        try:
+            return self._channels[(source, target)]
+        except KeyError:
+            raise ChannelError(f"no channel {source!r} -> {target!r}") from None
+
+    def _hop_channel(self, source: str, final_target: str) -> Channel:
+        """The channel for the first hop toward ``final_target``."""
+        direct = self._channels.get((source, final_target))
+        if direct is not None:
+            return direct
+        next_hop = self._routes.get((source, final_target))
+        if next_hop is not None:
+            return self.channel(source, next_hop)
+        raise ChannelError(
+            f"no channel or route from {source!r} to {final_target!r}"
+        )
+
+    def stop_channel(self, source: str, target: str) -> None:
+        """Partition: park all traffic on the source's transmission queue."""
+        self.channel(source, target).stopped = True
+
+    def start_channel(self, source: str, target: str) -> None:
+        """Heal a partition and drain the parked transmission queue."""
+        chan = self.channel(source, target)
+        if not chan.stopped:
+            return
+        chan.stopped = False
+        self._drain_xmit(chan)
+
+    # -- transfer --------------------------------------------------------------------
+
+    def send(
+        self, source: str, target: str, queue_name: str, message: Message
+    ) -> None:
+        """Route ``message`` from ``source`` to ``queue_name`` on ``target``.
+
+        The message is enveloped and parked on the source's transmission
+        queue; actual delivery happens after the channel delay (or
+        immediately in synchronous mode).
+        """
+        if source == target:
+            self.manager(source).put(queue_name, message)
+            return
+        chan = self._hop_channel(source, target)
+        src_manager = self.manager(source)
+        enveloped = message.with_properties(
+            **{
+                PROP_ROUTE_TARGET_MANAGER: target,
+                PROP_ROUTE_TARGET_QUEUE: queue_name,
+            }
+        ).copy(source_manager=message.source_manager or source)
+        # Transmission queues are per next hop (the channel's endpoint),
+        # not per final target: multi-hop traffic shares the hop's queue.
+        xmit_name = XMIT_PREFIX + chan.target
+        src_manager.ensure_queue(xmit_name)
+        src_manager.put(xmit_name, enveloped)
+        chan.stats.sent += 1
+        if self.scheduler is None:
+            self._attempt_transfer(chan, enveloped.message_id)
+        elif not chan.stopped:
+            self._schedule_attempt(chan, enveloped.message_id)
+
+    def _schedule_attempt(self, chan: Channel, message_id: str) -> None:
+        assert self.scheduler is not None
+        delay = chan.latency_ms
+        if chan.jitter_ms:
+            delay += self._rng.randint(0, chan.jitter_ms)
+        self.scheduler.call_later(
+            delay,
+            lambda: self._attempt_transfer(chan, message_id),
+            label=f"xfer {chan.source}->{chan.target}",
+        )
+
+    def _attempt_transfer(self, chan: Channel, message_id: str) -> None:
+        if chan.stopped:
+            return  # message stays parked; start_channel will re-drive it
+        if chan.loss_rate and self._rng.random() < chan.loss_rate:
+            chan.stats.failed_attempts += 1
+            if self.scheduler is None:
+                raise ChannelError("loss requires a scheduler")  # pragma: no cover
+            self.scheduler.call_later(
+                chan.retry_interval_ms,
+                lambda: self._attempt_transfer(chan, message_id),
+                label=f"retry {chan.source}->{chan.target}",
+            )
+            return
+        src_manager = self.manager(chan.source)
+        xmit_name = XMIT_PREFIX + chan.target
+        try:
+            enveloped = src_manager.queue(xmit_name).get_by_id(message_id)
+        except MQError:
+            return  # already transferred (e.g. drained after a partition healed)
+        self._deliver(chan, enveloped)
+
+    def _deliver(self, chan: Channel, enveloped: Message) -> None:
+        final_target = str(enveloped.get_property(PROP_ROUTE_TARGET_MANAGER))
+        queue_name = str(enveloped.get_property(PROP_ROUTE_TARGET_QUEUE))
+        if final_target != chan.target:
+            # Intermediate hop: forward toward the final target using the
+            # hop manager's own channels/routes (multi-hop
+            # store-and-forward).  Strip this hop's envelope; send()
+            # re-envelopes for the next hop.
+            stripped = enveloped.copy(
+                properties={
+                    k: v
+                    for k, v in enveloped.properties.items()
+                    if k not in (PROP_ROUTE_TARGET_MANAGER, PROP_ROUTE_TARGET_QUEUE)
+                }
+            )
+            chan.stats.delivered += 1
+            self.send(chan.target, final_target, queue_name, stripped)
+            return
+        target_manager = self.manager(chan.target)
+        # Strip the routing envelope before final delivery.
+        props = {
+            k: v
+            for k, v in enveloped.properties.items()
+            if k not in (PROP_ROUTE_TARGET_MANAGER, PROP_ROUTE_TARGET_QUEUE)
+        }
+        final = enveloped.copy(properties=props)
+        if not target_manager.has_queue(queue_name):
+            if self.auto_create_queues:
+                target_manager.define_queue(queue_name)
+            else:
+                target_manager.put(
+                    DEAD_LETTER_QUEUE,
+                    final.with_properties(DLQ_REASON="unknown-queue"),
+                )
+                chan.stats.dead_lettered += 1
+                return
+        target_manager.put(queue_name, final)
+        chan.stats.delivered += 1
+
+    def _drain_xmit(self, chan: Channel) -> None:
+        src_manager = self.manager(chan.source)
+        xmit_name = XMIT_PREFIX + chan.target
+        if not src_manager.has_queue(xmit_name):
+            return
+        parked = [m.message_id for m in src_manager.browse(xmit_name)]
+        for message_id in parked:
+            if self.scheduler is None:
+                self._attempt_transfer(chan, message_id)
+            else:
+                self._schedule_attempt(chan, message_id)
+
+    # -- convenience ------------------------------------------------------------------
+
+    def quiesce(self, max_events: int = 1_000_000) -> int:
+        """Run the scheduler until the network is idle (simulation only)."""
+        if self.scheduler is None:
+            return 0
+        return self.scheduler.run_all(max_events=max_events)

@@ -1,0 +1,283 @@
+"""Durability: an append-only journal with checkpointing and recovery.
+
+Real queue managers write persistent messages to a recovery log before
+acknowledging the put; on restart they rebuild queue content from the log.
+This module provides that behaviour for :class:`~repro.mq.manager.QueueManager`:
+
+* every **committed** put of a persistent message appends a ``put`` record,
+* every destructive get of a persistent message appends a ``get`` record,
+* :meth:`Journal.checkpoint` compacts the log into a snapshot record,
+* :meth:`Journal.recover` folds the log into the set of live messages per
+  queue.
+
+Uncommitted transactional work is never journaled — the queue manager only
+journals at commit, which gives the standard "presumed abort" behaviour on
+crash: in-flight transactions vanish, and transactionally read messages
+reappear on their queues.
+
+Two stores exist: :class:`FileJournal` (JSON-lines on disk, real fsync-free
+append I/O) and :class:`MemoryJournal` (same record stream, kept in a list;
+used by tests that inject crashes without touching the filesystem).
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.errors import PersistenceError
+from repro.mq.message import DeliveryMode, Message
+
+# ---------------------------------------------------------------------------
+# Message <-> record codec
+# ---------------------------------------------------------------------------
+
+
+def encode_body(body: Any) -> Dict[str, Any]:
+    """Encode a message body for the journal.
+
+    JSON-representable bodies are stored natively (readable journals);
+    anything else is pickled and base64-wrapped.
+    """
+    try:
+        json.dumps(body)
+        return {"kind": "json", "data": body}
+    except (TypeError, ValueError):
+        try:
+            blob = pickle.dumps(body)
+        except Exception as exc:  # noqa: BLE001 - report what body failed
+            raise PersistenceError(
+                f"message body of type {type(body).__name__} is not journalable"
+            ) from exc
+        return {"kind": "pickle", "data": base64.b64encode(blob).decode("ascii")}
+
+
+def decode_body(record: Dict[str, Any]) -> Any:
+    """Inverse of :func:`encode_body`."""
+    kind = record.get("kind")
+    if kind == "json":
+        return record["data"]
+    if kind == "pickle":
+        return pickle.loads(base64.b64decode(record["data"]))
+    raise PersistenceError(f"unknown body encoding {kind!r}")
+
+
+def encode_message(message: Message) -> Dict[str, Any]:
+    """Encode a full message as a JSON-able dict."""
+    return {
+        "message_id": message.message_id,
+        "correlation_id": message.correlation_id,
+        "body": encode_body(message.body),
+        "properties": dict(message.properties),
+        "priority": message.priority,
+        "delivery_mode": message.delivery_mode.value,
+        "expiry_ms": message.expiry_ms,
+        "reply_to_manager": message.reply_to_manager,
+        "reply_to_queue": message.reply_to_queue,
+        "put_time_ms": message.put_time_ms,
+        "backout_count": message.backout_count,
+        "source_manager": message.source_manager,
+    }
+
+
+def decode_message(record: Dict[str, Any]) -> Message:
+    """Inverse of :func:`encode_message`."""
+    try:
+        return Message(
+            body=decode_body(record["body"]),
+            message_id=record["message_id"],
+            correlation_id=record.get("correlation_id"),
+            properties=dict(record.get("properties", {})),
+            priority=record.get("priority", 4),
+            delivery_mode=DeliveryMode(record.get("delivery_mode", "persistent")),
+            expiry_ms=record.get("expiry_ms"),
+            reply_to_manager=record.get("reply_to_manager"),
+            reply_to_queue=record.get("reply_to_queue"),
+            put_time_ms=record.get("put_time_ms"),
+            backout_count=record.get("backout_count", 0),
+            source_manager=record.get("source_manager"),
+        )
+    except KeyError as exc:
+        raise PersistenceError(f"journal message record missing field {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Journal stores
+# ---------------------------------------------------------------------------
+
+
+class Journal(ABC):
+    """Append-only operation log for one queue manager."""
+
+    records_written: int
+
+    @abstractmethod
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record."""
+
+    @abstractmethod
+    def read_all(self) -> List[Dict[str, Any]]:
+        """Return every record, oldest first."""
+
+    @abstractmethod
+    def rewrite(self, records: Iterable[Dict[str, Any]]) -> None:
+        """Atomically replace the log content (used by checkpointing)."""
+
+    # -- logical operations -------------------------------------------------
+
+    def log_put(self, queue_name: str, message: Message) -> None:
+        """Record a committed put of a persistent message."""
+        self.append(
+            {"op": "put", "queue": queue_name, "message": encode_message(message)}
+        )
+
+    def log_get(self, queue_name: str, message_id: str) -> None:
+        """Record a committed destructive get of a persistent message."""
+        self.append({"op": "get", "queue": queue_name, "message_id": message_id})
+
+    def log_queue_defined(self, queue_name: str) -> None:
+        """Record that a queue was defined (so recovery recreates it)."""
+        self.append({"op": "define", "queue": queue_name})
+
+    def log_queue_deleted(self, queue_name: str) -> None:
+        """Record that a queue was deleted."""
+        self.append({"op": "delete", "queue": queue_name})
+
+    def checkpoint(self, queues: Dict[str, List[Message]]) -> None:
+        """Compact the log to a single snapshot of current persistent state."""
+        records: List[Dict[str, Any]] = [{"op": "snapshot-begin"}]
+        for queue_name in sorted(queues):
+            records.append({"op": "define", "queue": queue_name})
+            for message in queues[queue_name]:
+                if message.is_persistent():
+                    records.append(
+                        {
+                            "op": "put",
+                            "queue": queue_name,
+                            "message": encode_message(message),
+                        }
+                    )
+        records.append({"op": "snapshot-end"})
+        self.rewrite(records)
+
+    def recover(self) -> Tuple[List[str], Dict[str, List[Message]]]:
+        """Fold the log into (defined queue names, live messages per queue).
+
+        Replay semantics: ``put`` adds a message, ``get`` removes it,
+        ``define``/``delete`` maintain the queue set.  Unknown record types
+        raise :class:`PersistenceError` (a corrupt journal must not be
+        silently half-recovered).
+        """
+        queue_names: List[str] = []
+        live: Dict[str, Dict[str, Message]] = {}
+        for record in self.read_all():
+            op = record.get("op")
+            if op in ("snapshot-begin", "snapshot-end"):
+                continue
+            queue_name = record.get("queue")
+            if op == "define":
+                if queue_name not in live:
+                    queue_names.append(queue_name)
+                    live[queue_name] = {}
+            elif op == "delete":
+                if queue_name in live:
+                    queue_names.remove(queue_name)
+                    del live[queue_name]
+            elif op == "put":
+                message = decode_message(record["message"])
+                live.setdefault(queue_name, {})
+                if queue_name not in queue_names:
+                    queue_names.append(queue_name)
+                live[queue_name][message.message_id] = message
+            elif op == "get":
+                live.get(queue_name, {}).pop(record.get("message_id"), None)
+            else:
+                raise PersistenceError(f"unknown journal op {op!r}")
+        return queue_names, {
+            name: list(messages.values()) for name, messages in live.items()
+        }
+
+
+class MemoryJournal(Journal):
+    """Journal kept in memory; survives simulated crashes of the manager.
+
+    Tests model a crash by discarding the :class:`QueueManager` object and
+    constructing a fresh one over the same journal instance — exactly the
+    state a restarted process would see on disk.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[str] = []
+        self.records_written = 0
+
+    def append(self, record: Dict[str, Any]) -> None:
+        # Serialize on append so bodies must be journalable immediately,
+        # matching the file journal's failure behaviour.
+        self._records.append(json.dumps(record))
+        self.records_written += 1
+
+    def read_all(self) -> List[Dict[str, Any]]:
+        return [json.loads(line) for line in self._records]
+
+    def rewrite(self, records: Iterable[Dict[str, Any]]) -> None:
+        self._records = [json.dumps(record) for record in records]
+
+    def size(self) -> int:
+        """Number of records currently in the log."""
+        return len(self._records)
+
+
+class FileJournal(Journal):
+    """JSON-lines journal on disk with atomic checkpoint rewrite."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.records_written = 0
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        # Touch the file so recover() on a fresh journal succeeds.
+        if not os.path.exists(path):
+            with open(path, "w", encoding="utf-8"):
+                pass
+
+    def append(self, record: Dict[str, Any]) -> None:
+        try:
+            with open(self.path, "a", encoding="utf-8") as f:
+                f.write(json.dumps(record))
+                f.write("\n")
+        except OSError as exc:
+            raise PersistenceError(f"journal append failed: {exc}") from exc
+        self.records_written += 1
+
+    def read_all(self) -> List[Dict[str, Any]]:
+        records: List[Dict[str, Any]] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as f:
+                for line_no, line in enumerate(f, start=1):
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        records.append(json.loads(line))
+                    except json.JSONDecodeError as exc:
+                        raise PersistenceError(
+                            f"corrupt journal line {line_no} in {self.path}"
+                        ) from exc
+        except OSError as exc:
+            raise PersistenceError(f"journal read failed: {exc}") from exc
+        return records
+
+    def rewrite(self, records: Iterable[Dict[str, Any]]) -> None:
+        tmp_path = self.path + ".tmp"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as f:
+                for record in records:
+                    f.write(json.dumps(record))
+                    f.write("\n")
+            os.replace(tmp_path, self.path)
+        except OSError as exc:
+            raise PersistenceError(f"journal rewrite failed: {exc}") from exc

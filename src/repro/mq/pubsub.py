@@ -1,0 +1,242 @@
+"""Publish/subscribe on top of the queue substrate: topics and subscriptions.
+
+The paper names publish/subscribe as the other messaging model that
+conditional messaging applies to (section 2) and as future work
+(section 4.2).  This module provides the substrate:
+
+* a :class:`TopicBroker` owns hierarchical topics on one queue manager;
+* a :class:`Subscription` binds a topic pattern (with MQTT-style
+  wildcards: ``*`` matches one segment, ``#`` matches the rest) and an
+  optional JMS selector to a per-subscription queue, from which the
+  subscriber consumes with ordinary (or conditional) receive calls;
+* publishing delivers an independent *copy* of the message to every
+  matching subscription's queue.
+
+Integration with the rest of the stack is queue-shaped: every topic is
+backed by an **ingress queue** named ``TOPIC/<topic>``.  Anything put on
+that queue — locally, over a channel from a remote queue manager, or by
+the conditional messaging sender — is immediately fanned out by the
+broker.  That makes a topic addressable exactly like a queue, which is
+what lets a condition's :class:`~repro.core.conditions.Destination` point
+at a topic without special-casing the send path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import MQError
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.mq.selectors import Selector, compile_selector
+
+#: Prefix of the ingress queue backing each topic.
+TOPIC_QUEUE_PREFIX = "TOPIC/"
+
+#: Prefix of auto-created per-subscription queues.
+SUBSCRIPTION_QUEUE_PREFIX = "SYSTEM.SUB."
+
+
+def topic_queue_name(topic: str) -> str:
+    """The ingress queue backing ``topic`` (how senders address it)."""
+    return TOPIC_QUEUE_PREFIX + topic
+
+
+def is_topic_destination(queue_name: str) -> bool:
+    """True if a queue name addresses a topic ingress queue."""
+    return queue_name.startswith(TOPIC_QUEUE_PREFIX)
+
+
+def _validate_topic(topic: str) -> List[str]:
+    if not topic or topic.startswith(".") or topic.endswith("."):
+        raise MQError(f"bad topic name {topic!r}")
+    segments = topic.split(".")
+    if any(not s for s in segments):
+        raise MQError(f"bad topic name {topic!r}")
+    return segments
+
+
+def topic_matches(pattern: str, topic: str) -> bool:
+    """Match ``topic`` against a subscription ``pattern``.
+
+    ``*`` matches exactly one segment; ``#`` (only as the final segment)
+    matches one or more remaining segments::
+
+        topic_matches("px.nyse.*", "px.nyse.ibm")   -> True
+        topic_matches("px.#", "px.nyse.ibm")        -> True
+        topic_matches("px.*", "px.nyse.ibm")        -> False
+    """
+    pattern_segments = _validate_topic(pattern)
+    topic_segments = _validate_topic(topic)
+    for index, pattern_segment in enumerate(pattern_segments):
+        if pattern_segment == "#":
+            if index != len(pattern_segments) - 1:
+                raise MQError("'#' is only valid as the final topic segment")
+            return len(topic_segments) > index
+        if index >= len(topic_segments):
+            return False
+        if pattern_segment == "*":
+            continue
+        if pattern_segment != topic_segments[index]:
+            return False
+    return len(topic_segments) == len(pattern_segments)
+
+
+@dataclass
+class Subscription:
+    """One subscriber binding on the broker."""
+
+    name: str
+    pattern: str
+    queue_name: str
+    selector: Optional[Selector] = None
+    durable: bool = True
+    delivered: int = 0
+
+
+@dataclass
+class BrokerStats:
+    """Broker-wide counters."""
+
+    published: int = 0
+    deliveries: int = 0
+    unmatched: int = 0
+
+
+class TopicBroker:
+    """Hierarchical-topic publish/subscribe over one queue manager."""
+
+    def __init__(self, manager: QueueManager) -> None:
+        self.manager = manager
+        self._topics: Dict[str, bool] = {}
+        self._subscriptions: Dict[str, Subscription] = {}
+        self.stats = BrokerStats()
+
+    # -- administration -----------------------------------------------------
+
+    def define_topic(self, topic: str) -> str:
+        """Define a topic; returns its ingress queue name.
+
+        The ingress queue is subscribed by the broker: any message landing
+        there (local put or channel delivery) fans out immediately.
+        """
+        _validate_topic(topic)
+        if topic in self._topics:
+            return topic_queue_name(topic)
+        ingress = topic_queue_name(topic)
+        queue = self.manager.ensure_queue(ingress)
+        queue.subscribe(lambda message: self._drain_ingress(topic))
+        self._topics[topic] = True
+        return ingress
+
+    def topics(self) -> List[str]:
+        """Defined topic names."""
+        return list(self._topics)
+
+    def subscribe(
+        self,
+        pattern: str,
+        subscription_name: str,
+        selector: Optional[str] = None,
+        queue_name: Optional[str] = None,
+        durable: bool = True,
+    ) -> Subscription:
+        """Create a subscription on a topic pattern.
+
+        Args:
+            pattern: Topic pattern, possibly with ``*``/``#`` wildcards.
+            subscription_name: Unique name (used for unsubscribe and as
+                the default queue suffix).
+            selector: Optional JMS selector filtering delivered messages.
+            queue_name: Destination queue; default
+                ``SYSTEM.SUB.<subscription_name>``.
+            durable: Non-durable subscriptions are dropped by
+                :meth:`drop_nondurable` (modeling subscriber disconnect).
+        """
+        _validate_topic(pattern)
+        if subscription_name in self._subscriptions:
+            raise MQError(f"subscription exists: {subscription_name!r}")
+        queue_name = queue_name or SUBSCRIPTION_QUEUE_PREFIX + subscription_name
+        if is_topic_destination(queue_name):
+            raise MQError(
+                "subscription queues must be plain queues, not topic"
+                " ingress queues (topic-to-topic chaining would recurse)"
+            )
+        self.manager.ensure_queue(queue_name)
+        subscription = Subscription(
+            name=subscription_name,
+            pattern=pattern,
+            queue_name=queue_name,
+            selector=compile_selector(selector),
+            durable=durable,
+        )
+        self._subscriptions[subscription_name] = subscription
+        return subscription
+
+    def unsubscribe(self, subscription_name: str) -> None:
+        """Remove a subscription (its queue and content remain)."""
+        self._subscriptions.pop(subscription_name, None)
+
+    def subscription(self, subscription_name: str) -> Subscription:
+        """Look up a subscription."""
+        try:
+            return self._subscriptions[subscription_name]
+        except KeyError:
+            raise MQError(f"no such subscription: {subscription_name!r}") from None
+
+    def subscriptions_for(self, topic: str) -> List[Subscription]:
+        """Subscriptions whose pattern matches ``topic``."""
+        return [
+            s for s in self._subscriptions.values()
+            if topic_matches(s.pattern, topic)
+        ]
+
+    def drop_nondurable(self) -> int:
+        """Drop every non-durable subscription (subscriber disconnect)."""
+        doomed = [n for n, s in self._subscriptions.items() if not s.durable]
+        for name in doomed:
+            del self._subscriptions[name]
+        return len(doomed)
+
+    # -- publication -----------------------------------------------------------
+
+    def publish(self, topic: str, message: Message) -> int:
+        """Deliver a copy of ``message`` to each matching subscription.
+
+        Returns the number of copies delivered.  Each copy is an
+        independent message (fresh message id) so subscribers consume
+        independently; the original's correlation id and properties are
+        preserved.
+        """
+        if topic not in self._topics:
+            self.define_topic(topic)
+        self.stats.published += 1
+        delivered = 0
+        for subscription in self.subscriptions_for(topic):
+            if subscription.selector is not None and not subscription.selector(
+                message
+            ):
+                continue
+            from repro.mq.message import new_message_id
+
+            copy = message.copy(message_id=new_message_id())
+            self.manager.put(subscription.queue_name, copy)
+            subscription.delivered += 1
+            delivered += 1
+        if delivered == 0:
+            self.stats.unmatched += 1
+        self.stats.deliveries += delivered
+        return delivered
+
+    # -- internals ---------------------------------------------------------------
+
+    def _drain_ingress(self, topic: str) -> None:
+        """Fan out everything currently parked on a topic's ingress queue."""
+        ingress = self.manager.queue(topic_queue_name(topic))
+        while True:
+            try:
+                message = ingress.get()
+            except MQError:
+                return
+            self.publish(topic, message)

@@ -1,0 +1,285 @@
+"""A single message queue: priority ordering, expiry, browse, locking.
+
+Ordering follows JMS/MQSeries: higher priority first, FIFO within equal
+priority.  Expired messages are swept to the owner's dead-letter handling
+on access rather than eagerly, matching how real queue managers discover
+expiry lazily.
+
+Transactional (syncpoint) gets do not remove a message outright; they
+**lock** it under the transaction id.  Commit destroys locked messages,
+rollback unlocks them in place with an incremented backout count, so the
+message is redelivered in its original order — the behaviour the paper's
+receiver-side relies on ("the message is put back to the queue by the
+messaging middleware", section 2.4).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+from repro.errors import EmptyQueueError, MQError, QueueFullError
+from repro.mq.message import Message
+from repro.sim.clock import Clock
+
+#: Default maximum queue depth; generous but finite, as in real queue managers.
+DEFAULT_MAX_DEPTH = 100_000
+
+
+@dataclass
+class QueueStats:
+    """Counters a queue maintains over its lifetime."""
+
+    puts: int = 0
+    gets: int = 0
+    browses: int = 0
+    expired: int = 0
+    backouts: int = 0
+    high_water_depth: int = 0
+
+
+@dataclass(order=True)
+class _Entry:
+    """Heap-free ordered entry: (negated priority, arrival seq) sorts first."""
+
+    sort_key: tuple
+    message: Message = field(compare=False)
+    locked_by: Optional[str] = field(default=None, compare=False)
+
+
+class MessageQueue:
+    """A named queue owned by a queue manager.
+
+    The queue keeps a single ordered list; gets scan from the front for the
+    first visible (unlocked, unexpired, selector-matching) entry.  Scans
+    are linear, which is fine at the depths the benchmarks use and keeps
+    lock/unlock semantics obvious.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        clock: Clock,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        on_expired: Optional[Callable[[Message], None]] = None,
+    ) -> None:
+        if not name:
+            raise MQError("queue name must be non-empty")
+        if max_depth <= 0:
+            raise MQError("max_depth must be positive")
+        self.name = name
+        self._clock = clock
+        self._max_depth = max_depth
+        self._entries: List[_Entry] = []
+        self._seq = itertools.count(1)
+        self._on_expired = on_expired
+        self._put_listeners: List[Callable[[Message], None]] = []
+        self.stats = QueueStats()
+
+    def subscribe(self, listener: Callable[[Message], None]) -> None:
+        """Register a callback fired after every successful put.
+
+        Listeners power push-style consumers (the conditional messaging
+        evaluation manager subscribes to the acknowledgment queue).  They
+        run synchronously at put time and must not raise.
+        """
+        self._put_listeners.append(listener)
+
+    # -- depth and inspection ------------------------------------------------
+
+    def depth(self) -> int:
+        """Visible depth: messages neither locked nor expired.
+
+        Like get/browse, taking the depth sweeps expired messages to the
+        dead-letter handler (lazy expiry on any queue access).
+        """
+        self._sweep_expired()
+        return sum(1 for e in self._entries if e.locked_by is None)
+
+    def total_depth(self) -> int:
+        """All stored messages, including ones locked under transactions."""
+        return len(self._entries)
+
+    def is_empty(self) -> bool:
+        """True if no visible message is available."""
+        return self.depth() == 0
+
+    # -- put -------------------------------------------------------------------
+
+    def put(self, message: Message) -> Message:
+        """Append ``message`` in priority order; returns the stored message.
+
+        The stored message is stamped with ``put_time_ms``.  Raises
+        :class:`QueueFullError` when the queue is at ``max_depth``.
+        """
+        self._sweep_expired()
+        if len(self._entries) >= self._max_depth:
+            raise QueueFullError(self.name, self._max_depth)
+        stored = message.copy(put_time_ms=self._clock.now_ms())
+        entry = _Entry(
+            sort_key=(-stored.priority, next(self._seq)), message=stored
+        )
+        # Insert maintaining sorted order.  Entries arrive mostly in order
+        # (same priority), so scan from the tail.
+        index = len(self._entries)
+        while index > 0 and self._entries[index - 1].sort_key > entry.sort_key:
+            index -= 1
+        self._entries.insert(index, entry)
+        self.stats.puts += 1
+        self.stats.high_water_depth = max(
+            self.stats.high_water_depth, len(self._entries)
+        )
+        for listener in self._put_listeners:
+            listener(stored)
+        return stored
+
+    # -- get -------------------------------------------------------------------
+
+    def get(
+        self,
+        selector: Optional[Callable[[Message], bool]] = None,
+        lock_owner: Optional[str] = None,
+    ) -> Message:
+        """Remove (or lock) and return the first matching visible message.
+
+        Args:
+            selector: Optional predicate over messages (compiled selector
+                or any callable).
+            lock_owner: If given, the message is locked under this
+                transaction id instead of removed; see
+                :meth:`commit_locked` / :meth:`rollback_locked`.
+
+        Raises:
+            EmptyQueueError: No visible matching message.
+        """
+        self._sweep_expired()
+        for i, entry in enumerate(self._entries):
+            if entry.locked_by is not None:
+                continue
+            if selector is not None and not selector(entry.message):
+                continue
+            self.stats.gets += 1
+            if lock_owner is None:
+                del self._entries[i]
+            else:
+                entry.locked_by = lock_owner
+            return entry.message
+        raise EmptyQueueError(self.name)
+
+    def get_by_id(self, message_id: str, lock_owner: Optional[str] = None) -> Message:
+        """Destructively get a specific message by id (expired or not).
+
+        Used by the receiver-side compensation logic, which must be able to
+        pull a specific original message out of the queue to cancel it
+        against its compensation message.
+        """
+        for i, entry in enumerate(self._entries):
+            if entry.locked_by is None and entry.message.message_id == message_id:
+                self.stats.gets += 1
+                if lock_owner is None:
+                    del self._entries[i]
+                else:
+                    entry.locked_by = lock_owner
+                return entry.message
+        raise EmptyQueueError(self.name)
+
+    # -- browse ------------------------------------------------------------------
+
+    def browse(
+        self, selector: Optional[Callable[[Message], bool]] = None
+    ) -> Iterator[Message]:
+        """Yield visible messages in delivery order without removing them."""
+        self._sweep_expired()
+        self.stats.browses += 1
+        now = self._clock.now_ms()
+        for entry in list(self._entries):
+            if entry.locked_by is not None or entry.message.is_expired(now):
+                continue
+            if selector is None or selector(entry.message):
+                yield entry.message
+
+    def peek(self) -> Optional[Message]:
+        """Return (without removing) the next visible message, or ``None``."""
+        for message in self.browse():
+            return message
+        return None
+
+    # -- transactional locking -----------------------------------------------
+
+    def locked_messages(self, lock_owner: str) -> List[Message]:
+        """Messages currently locked under ``lock_owner``."""
+        return [e.message for e in self._entries if e.locked_by == lock_owner]
+
+    def commit_locked(self, lock_owner: str) -> List[Message]:
+        """Destroy all messages locked by ``lock_owner``; returns them."""
+        committed = [e.message for e in self._entries if e.locked_by == lock_owner]
+        self._entries = [e for e in self._entries if e.locked_by != lock_owner]
+        return committed
+
+    def remove_locked(self, lock_owner: str, message_id: str) -> Message:
+        """Destroy one specific message locked by ``lock_owner``.
+
+        Used for poison-message diversion: the dead-lettered message must
+        leave the queue without committing the rest of the transaction's
+        locked set.
+        """
+        for i, entry in enumerate(self._entries):
+            if (
+                entry.locked_by == lock_owner
+                and entry.message.message_id == message_id
+            ):
+                del self._entries[i]
+                return entry.message
+        raise EmptyQueueError(self.name)
+
+    def rollback_locked(self, lock_owner: str) -> List[Message]:
+        """Unlock ``lock_owner``'s messages in place, bumping backout counts."""
+        rolled_back: List[Message] = []
+        for entry in self._entries:
+            if entry.locked_by == lock_owner:
+                entry.locked_by = None
+                entry.message = entry.message.copy(
+                    backout_count=entry.message.backout_count + 1
+                )
+                self.stats.backouts += 1
+                rolled_back.append(entry.message)
+        return rolled_back
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def purge(self) -> int:
+        """Discard every unlocked message; returns how many were removed."""
+        before = len(self._entries)
+        self._entries = [e for e in self._entries if e.locked_by is not None]
+        return before - len(self._entries)
+
+    def snapshot(self) -> List[Message]:
+        """All stored messages (for journaling/recovery), locked included."""
+        return [e.message for e in self._entries]
+
+    def restore(self, messages: List[Message]) -> None:
+        """Reload queue content from a recovery snapshot (replaces content)."""
+        self._entries = []
+        self._seq = itertools.count(1)
+        for message in messages:
+            entry = _Entry(
+                sort_key=(-message.priority, next(self._seq)), message=message
+            )
+            self._entries.append(entry)
+        self._entries.sort()
+
+    def _sweep_expired(self) -> None:
+        now = self._clock.now_ms()
+        survivors: List[_Entry] = []
+        for entry in self._entries:
+            if entry.locked_by is None and entry.message.is_expired(now):
+                self.stats.expired += 1
+                if self._on_expired is not None:
+                    self._on_expired(entry.message)
+            else:
+                survivors.append(entry)
+        self._entries = survivors
+
+    def __repr__(self) -> str:
+        return f"MessageQueue({self.name!r}, depth={self.depth()})"

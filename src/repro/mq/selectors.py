@@ -1,0 +1,563 @@
+"""JMS-style message selectors: a small SQL-92 conditional expression language.
+
+Consumers may filter messages with selector strings such as::
+
+    "DS_CMID = 'CM-00000001' AND JMSPriority > 4"
+    "region IN ('EU', 'US') AND NOT flagged"
+    "payload_size BETWEEN 100 AND 4096"
+    "route LIKE 'JFK-%' ESCAPE '!'"
+
+The grammar is the JMS 1.0 selector subset:
+
+* identifiers name message properties, plus the header pseudo-properties
+  ``JMSMessageID``, ``JMSCorrelationID``, ``JMSPriority``, ``JMSTimestamp``,
+  ``JMSDeliveryMode``;
+* literals: single-quoted strings (with ``''`` escaping), integer and
+  floating numerics, ``TRUE`` / ``FALSE``;
+* operators (loosest to tightest): ``OR``, ``AND``, ``NOT``; comparisons
+  ``=  <>  <  <=  >  >=``, ``[NOT] BETWEEN .. AND ..``, ``[NOT] IN (..)``,
+  ``[NOT] LIKE .. [ESCAPE ..]``, ``IS [NOT] NULL``; arithmetic
+  ``+ - * /`` and unary ``-``; parentheses.
+
+Evaluation follows SQL three-valued logic: references to absent properties
+yield *unknown*; a message is selected only when the whole expression is
+definitely true.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import SelectorError
+from repro.mq.message import Message
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<float>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_$][A-Za-z0-9_$.]*)
+  | (?P<op><>|<=|>=|[=<>()+\-*/,])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "AND", "OR", "NOT", "BETWEEN", "IN", "LIKE", "ESCAPE", "IS", "NULL",
+    "TRUE", "FALSE",
+}
+
+
+@dataclass
+class _Token:
+    kind: str  # 'kw', 'ident', 'int', 'float', 'string', 'op', 'end'
+    value: Any
+    pos: int
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SelectorError(f"bad character {text[pos]!r} at position {pos}")
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        if match.lastgroup == "float":
+            tokens.append(_Token("float", float(match.group()), match.start()))
+        elif match.lastgroup == "int":
+            tokens.append(_Token("int", int(match.group()), match.start()))
+        elif match.lastgroup == "string":
+            raw = match.group()[1:-1].replace("''", "'")
+            tokens.append(_Token("string", raw, match.start()))
+        elif match.lastgroup == "ident":
+            word = match.group()
+            if word.upper() in _KEYWORDS:
+                tokens.append(_Token("kw", word.upper(), match.start()))
+            else:
+                tokens.append(_Token("ident", word, match.start()))
+        else:
+            tokens.append(_Token("op", match.group(), match.start()))
+    tokens.append(_Token("end", None, len(text)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+#: The evaluator's truth domain: True, False, or None (SQL "unknown").
+Truth = Optional[bool]
+
+
+@dataclass
+class _Node:
+    """Base AST node."""
+
+
+@dataclass
+class _Literal(_Node):
+    value: Any  # str | int | float | bool | None
+
+
+@dataclass
+class _Property(_Node):
+    name: str
+
+
+@dataclass
+class _Unary(_Node):
+    op: str  # 'NOT' | 'NEG'
+    operand: _Node
+
+
+@dataclass
+class _Binary(_Node):
+    op: str  # 'AND','OR','=','<>','<','<=','>','>=','+','-','*','/'
+    left: _Node
+    right: _Node
+
+
+@dataclass
+class _Between(_Node):
+    operand: _Node
+    low: _Node
+    high: _Node
+    negated: bool
+
+
+@dataclass
+class _In(_Node):
+    operand: _Node
+    options: Tuple[str, ...]
+    negated: bool
+
+
+@dataclass
+class _Like(_Node):
+    operand: _Node
+    pattern: str
+    escape: Optional[str]
+    negated: bool
+
+
+@dataclass
+class _IsNull(_Node):
+    operand: _Node
+    negated: bool
+
+
+# ---------------------------------------------------------------------------
+# Parser (recursive descent, standard precedence)
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], text: str) -> None:
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    def parse(self) -> _Node:
+        node = self._or_expr()
+        self._expect_end()
+        return node
+
+    # precedence climbing -------------------------------------------------
+
+    def _or_expr(self) -> _Node:
+        node = self._and_expr()
+        while self._accept_kw("OR"):
+            node = _Binary("OR", node, self._and_expr())
+        return node
+
+    def _and_expr(self) -> _Node:
+        node = self._not_expr()
+        while self._accept_kw("AND"):
+            node = _Binary("AND", node, self._not_expr())
+        return node
+
+    def _not_expr(self) -> _Node:
+        if self._accept_kw("NOT"):
+            return _Unary("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> _Node:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "op" and token.value in ("=", "<>", "<", "<=", ">", ">="):
+            self._advance()
+            return _Binary(token.value, left, self._additive())
+        negated = False
+        if token.kind == "kw" and token.value == "NOT":
+            nxt = self._peek(1)
+            if nxt.kind == "kw" and nxt.value in ("BETWEEN", "IN", "LIKE"):
+                self._advance()
+                negated = True
+                token = self._peek()
+        if token.kind == "kw" and token.value == "BETWEEN":
+            self._advance()
+            low = self._additive()
+            self._expect_kw("AND")
+            high = self._additive()
+            return _Between(left, low, high, negated)
+        if token.kind == "kw" and token.value == "IN":
+            self._advance()
+            self._expect_op("(")
+            options: List[str] = []
+            while True:
+                item = self._advance()
+                if item.kind != "string":
+                    raise SelectorError(
+                        f"IN list requires string literals at position {item.pos}"
+                    )
+                options.append(item.value)
+                sep = self._advance()
+                if sep.kind == "op" and sep.value == ",":
+                    continue
+                if sep.kind == "op" and sep.value == ")":
+                    break
+                raise SelectorError(f"bad IN list at position {sep.pos}")
+            return _In(left, tuple(options), negated)
+        if token.kind == "kw" and token.value == "LIKE":
+            self._advance()
+            pattern_token = self._advance()
+            if pattern_token.kind != "string":
+                raise SelectorError(
+                    f"LIKE requires a string pattern at position {pattern_token.pos}"
+                )
+            escape: Optional[str] = None
+            if self._accept_kw("ESCAPE"):
+                escape_token = self._advance()
+                if escape_token.kind != "string" or len(escape_token.value) != 1:
+                    raise SelectorError("ESCAPE requires a single-character string")
+                escape = escape_token.value
+            return _Like(left, pattern_token.value, escape, negated)
+        if token.kind == "kw" and token.value == "IS":
+            self._advance()
+            is_negated = bool(self._accept_kw("NOT"))
+            self._expect_kw("NULL")
+            return _IsNull(left, is_negated)
+        return left
+
+    def _additive(self) -> _Node:
+        node = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                self._advance()
+                node = _Binary(token.value, node, self._multiplicative())
+            else:
+                return node
+
+    def _multiplicative(self) -> _Node:
+        node = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("*", "/"):
+                self._advance()
+                node = _Binary(token.value, node, self._unary())
+            else:
+                return node
+
+    def _unary(self) -> _Node:
+        token = self._peek()
+        if token.kind == "op" and token.value == "-":
+            self._advance()
+            return _Unary("NEG", self._unary())
+        if token.kind == "op" and token.value == "+":
+            self._advance()
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> _Node:
+        token = self._advance()
+        if token.kind == "op" and token.value == "(":
+            node = self._or_expr()
+            self._expect_op(")")
+            return node
+        if token.kind in ("int", "float", "string"):
+            return _Literal(token.value)
+        if token.kind == "kw" and token.value == "TRUE":
+            return _Literal(True)
+        if token.kind == "kw" and token.value == "FALSE":
+            return _Literal(False)
+        if token.kind == "ident":
+            return _Property(token.value)
+        raise SelectorError(
+            f"unexpected token {token.value!r} at position {token.pos}"
+            f" in selector {self._text!r}"
+        )
+
+    # token plumbing -------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> _Token:
+        return self._tokens[min(self._index + ahead, len(self._tokens) - 1)]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "end":
+            self._index += 1
+        return token
+
+    def _accept_kw(self, keyword: str) -> bool:
+        token = self._peek()
+        if token.kind == "kw" and token.value == keyword:
+            self._advance()
+            return True
+        return False
+
+    def _expect_kw(self, keyword: str) -> None:
+        if not self._accept_kw(keyword):
+            token = self._peek()
+            raise SelectorError(
+                f"expected {keyword} at position {token.pos}, got {token.value!r}"
+            )
+
+    def _expect_op(self, op: str) -> None:
+        token = self._advance()
+        if token.kind != "op" or token.value != op:
+            raise SelectorError(
+                f"expected {op!r} at position {token.pos}, got {token.value!r}"
+            )
+
+    def _expect_end(self) -> None:
+        token = self._peek()
+        if token.kind != "end":
+            raise SelectorError(
+                f"trailing input at position {token.pos}: {token.value!r}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Evaluator
+# ---------------------------------------------------------------------------
+
+_MISSING = object()
+
+
+def _header_value(message: Message, name: str) -> Any:
+    if name == "JMSMessageID":
+        return message.message_id
+    if name == "JMSCorrelationID":
+        return message.correlation_id
+    if name == "JMSPriority":
+        return message.priority
+    if name == "JMSTimestamp":
+        return message.put_time_ms
+    if name == "JMSDeliveryMode":
+        return message.delivery_mode.value
+    return _MISSING
+
+
+def _lookup(message: Message, name: str) -> Any:
+    """Property lookup; returns None for SQL NULL (absent)."""
+    if name.startswith("JMS"):
+        value = _header_value(message, name)
+        if value is not _MISSING:
+            return value
+    return message.properties.get(name)
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _eval_value(node: _Node, message: Message) -> Any:
+    """Evaluate a value-producing subexpression; None means SQL NULL."""
+    if isinstance(node, _Literal):
+        return node.value
+    if isinstance(node, _Property):
+        return _lookup(message, node.name)
+    if isinstance(node, _Unary) and node.op == "NEG":
+        value = _eval_value(node.operand, message)
+        if value is None:
+            return None
+        if not _is_numeric(value):
+            raise SelectorError("unary minus requires a numeric operand")
+        return -value
+    if isinstance(node, _Binary) and node.op in ("+", "-", "*", "/"):
+        left = _eval_value(node.left, message)
+        right = _eval_value(node.right, message)
+        if left is None or right is None:
+            return None
+        if not (_is_numeric(left) and _is_numeric(right)):
+            raise SelectorError(f"arithmetic {node.op!r} requires numeric operands")
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        if node.op == "*":
+            return left * right
+        if right == 0:
+            return None  # SQL: division by zero yields NULL rather than crashing
+        return left / right
+    # Boolean-producing nodes used in value position evaluate to their truth.
+    return _eval_truth(node, message)
+
+
+def _compare(op: str, left: Any, right: Any) -> Truth:
+    if left is None or right is None:
+        return None
+    numeric = _is_numeric(left) and _is_numeric(right)
+    if isinstance(left, bool) or isinstance(right, bool):
+        if op == "=":
+            return left is right if isinstance(right, bool) and isinstance(left, bool) else False
+        if op == "<>":
+            return not (left is right) if isinstance(right, bool) and isinstance(left, bool) else True
+        return None  # ordering booleans is undefined in JMS selectors
+    if isinstance(left, str) != isinstance(right, str):
+        # Mixed string/number comparison: JMS says unknown.
+        return None
+    if not numeric and op not in ("=", "<>"):
+        return None  # strings only support (in)equality in JMS selectors
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _like_to_regex(pattern: str, escape: Optional[str]) -> "re.Pattern[str]":
+    out: List[str] = []
+    i = 0
+    while i < len(pattern):
+        char = pattern[i]
+        if escape is not None and char == escape:
+            if i + 1 >= len(pattern):
+                raise SelectorError("dangling ESCAPE character in LIKE pattern")
+            out.append(re.escape(pattern[i + 1]))
+            i += 2
+            continue
+        if char == "%":
+            out.append(".*")
+        elif char == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(char))
+        i += 1
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
+def _eval_truth(node: _Node, message: Message) -> Truth:
+    """Evaluate a boolean subexpression with three-valued logic."""
+    if isinstance(node, _Binary) and node.op == "AND":
+        left = _eval_truth(node.left, message)
+        if left is False:
+            return False
+        right = _eval_truth(node.right, message)
+        if right is False:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if isinstance(node, _Binary) and node.op == "OR":
+        left = _eval_truth(node.left, message)
+        if left is True:
+            return True
+        right = _eval_truth(node.right, message)
+        if right is True:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+    if isinstance(node, _Unary) and node.op == "NOT":
+        inner = _eval_truth(node.operand, message)
+        if inner is None:
+            return None
+        return not inner
+    if isinstance(node, _Binary) and node.op in ("=", "<>", "<", "<=", ">", ">="):
+        return _compare(
+            node.op,
+            _eval_value(node.left, message),
+            _eval_value(node.right, message),
+        )
+    if isinstance(node, _Between):
+        value = _eval_value(node.operand, message)
+        low = _eval_value(node.low, message)
+        high = _eval_value(node.high, message)
+        if value is None or low is None or high is None:
+            return None
+        if not (_is_numeric(value) and _is_numeric(low) and _is_numeric(high)):
+            return None
+        result: Truth = low <= value <= high
+        return (not result) if node.negated else result
+    if isinstance(node, _In):
+        value = _eval_value(node.operand, message)
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            return None
+        result = value in node.options
+        return (not result) if node.negated else result
+    if isinstance(node, _Like):
+        value = _eval_value(node.operand, message)
+        if value is None:
+            return None
+        if not isinstance(value, str):
+            return None
+        result = bool(_like_to_regex(node.pattern, node.escape).match(value))
+        return (not result) if node.negated else result
+    if isinstance(node, _IsNull):
+        value = _eval_value(node.operand, message)
+        result = value is None
+        return (not result) if node.negated else result
+    if isinstance(node, _Literal):
+        if isinstance(node.value, bool):
+            return node.value
+        raise SelectorError("non-boolean literal used as a condition")
+    if isinstance(node, _Property):
+        value = _lookup(message, node.name)
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            return value
+        raise SelectorError(
+            f"property {node.name!r} is not boolean; cannot use as condition"
+        )
+    raise SelectorError(f"cannot evaluate node {node!r} as a condition")
+
+
+class Selector:
+    """A compiled message selector; callable as ``selector(message) -> bool``."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self._root = _Parser(_tokenize(text), text).parse()
+        # Force boolean shape errors at compile time where possible:
+        if isinstance(self._root, (_Literal,)) and not isinstance(
+            self._root.value, bool
+        ):
+            raise SelectorError("selector must be a boolean expression")
+
+    def matches(self, message: Message) -> bool:
+        """True only when the expression is definitely true for ``message``."""
+        return _eval_truth(self._root, message) is True
+
+    def __call__(self, message: Message) -> bool:
+        return self.matches(message)
+
+    def __repr__(self) -> str:
+        return f"Selector({self.text!r})"
+
+
+def compile_selector(text: Optional[str]) -> Optional[Selector]:
+    """Compile selector ``text``; ``None``/blank selects every message."""
+    if text is None or not text.strip():
+        return None
+    return Selector(text)

@@ -1,0 +1,293 @@
+"""JMS-flavoured API: connections, sessions, producers, consumers.
+
+The paper positions conditional messaging as an extension applications use
+*alongside* the standard JMS/MQ API ("an application can continue to use
+JMS/MQSeries directly", section 2.3).  This module is that standard API
+over our queue-manager substrate:
+
+* :class:`Connection` binds an application to its queue manager;
+* :class:`Session` is the unit of transactionality — a *transacted*
+  session batches produced and consumed messages until ``commit()``;
+* :class:`MessageProducer` / :class:`MessageConsumer` send to and receive
+  from destinations, where a destination is a local queue name or
+  ``"queue@manager"`` for a queue on a remote manager;
+* consumers accept JMS selector strings (see :mod:`repro.mq.selectors`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Mapping, Optional, Tuple
+
+from repro.errors import ConnectionClosedError, MQError
+from repro.mq.manager import QueueManager
+from repro.mq.message import (
+    DEFAULT_PRIORITY,
+    DeliveryMode,
+    Message,
+    PropertyValue,
+)
+from repro.mq.selectors import Selector, compile_selector
+from repro.mq.transactions import MQTransaction
+
+
+def parse_destination(destination: str) -> Tuple[str, Optional[str]]:
+    """Split ``"queue"`` or ``"queue@manager"`` into (queue, manager)."""
+    if not destination:
+        raise MQError("destination must be non-empty")
+    if "@" in destination:
+        queue_name, _, manager_name = destination.partition("@")
+        if not queue_name or not manager_name:
+            raise MQError(f"bad destination {destination!r}")
+        return queue_name, manager_name
+    return destination, None
+
+
+class Connection:
+    """An application's connection to its queue manager."""
+
+    def __init__(self, manager: QueueManager) -> None:
+        self.manager = manager
+        self._closed = False
+        self._sessions: List["Session"] = []
+
+    def create_session(self, transacted: bool = False) -> "Session":
+        """Open a session; transacted sessions batch work until commit."""
+        self._require_open()
+        session = Session(self, transacted=transacted)
+        self._sessions.append(session)
+        return session
+
+    def close(self) -> None:
+        """Close the connection and roll back any open transacted work."""
+        if self._closed:
+            return
+        for session in self._sessions:
+            session.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+class Session:
+    """A single-threaded context for producing and consuming messages."""
+
+    def __init__(self, connection: Connection, transacted: bool = False) -> None:
+        self.connection = connection
+        self.transacted = transacted
+        self._closed = False
+        self._transaction: Optional[MQTransaction] = None
+        if transacted:
+            self._transaction = connection.manager.begin()
+
+    # -- factories ------------------------------------------------------------
+
+    def create_producer(self, destination: Optional[str] = None) -> "MessageProducer":
+        """Create a producer, optionally bound to a default destination."""
+        self._require_open()
+        return MessageProducer(self, destination)
+
+    def create_consumer(
+        self, destination: str, selector: Optional[str] = None
+    ) -> "MessageConsumer":
+        """Create a consumer on a local queue, with an optional selector."""
+        self._require_open()
+        return MessageConsumer(self, destination, selector)
+
+    def create_message(
+        self,
+        body: Any,
+        properties: Optional[Mapping[str, PropertyValue]] = None,
+        correlation_id: Optional[str] = None,
+        priority: int = DEFAULT_PRIORITY,
+        persistent: bool = True,
+        expiry_ms: Optional[int] = None,
+        reply_to: Optional[str] = None,
+    ) -> Message:
+        """Convenience constructor for a message bound to this session."""
+        reply_to_queue = reply_to_manager = None
+        if reply_to is not None:
+            reply_to_queue, reply_to_manager = parse_destination(reply_to)
+            if reply_to_manager is None:
+                reply_to_manager = self.connection.manager.name
+        return Message(
+            body=body,
+            properties=dict(properties or {}),
+            correlation_id=correlation_id,
+            priority=priority,
+            delivery_mode=(
+                DeliveryMode.PERSISTENT if persistent else DeliveryMode.NON_PERSISTENT
+            ),
+            expiry_ms=expiry_ms,
+            reply_to_queue=reply_to_queue,
+            reply_to_manager=reply_to_manager,
+        )
+
+    # -- transactionality ---------------------------------------------------------
+
+    @property
+    def transaction(self) -> Optional[MQTransaction]:
+        """The session's current transaction (transacted sessions only)."""
+        return self._transaction
+
+    def commit(self) -> None:
+        """Commit the session's unit of work and start a fresh one."""
+        self._require_open()
+        if not self.transacted or self._transaction is None:
+            raise MQError("commit on a non-transacted session")
+        self._transaction.commit()
+        self._transaction = self.connection.manager.begin()
+
+    def rollback(self) -> None:
+        """Roll back the session's unit of work and start a fresh one."""
+        self._require_open()
+        if not self.transacted or self._transaction is None:
+            raise MQError("rollback on a non-transacted session")
+        self._transaction.rollback()
+        self._transaction = self.connection.manager.begin()
+
+    def close(self) -> None:
+        """Close the session; an open transacted unit of work rolls back."""
+        if self._closed:
+            return
+        if self._transaction is not None and self._transaction.active:
+            self._transaction.rollback()
+        self._transaction = None
+        self._closed = True
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ConnectionClosedError("session is closed")
+        self.connection._require_open()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> None:
+        if self.transacted and self._transaction is not None and self._transaction.active:
+            if exc_type is None:
+                self._transaction.commit()
+            else:
+                self._transaction.rollback()
+            self._transaction = None
+        self.close()
+
+
+class MessageProducer:
+    """Sends messages to local or remote destinations."""
+
+    def __init__(self, session: Session, destination: Optional[str]) -> None:
+        self.session = session
+        self.destination = destination
+
+    def send(self, message: Message, destination: Optional[str] = None) -> Message:
+        """Send ``message`` to ``destination`` (or the producer default)."""
+        self.session._require_open()
+        dest = destination or self.destination
+        if dest is None:
+            raise MQError("producer has no destination")
+        queue_name, manager_name = parse_destination(dest)
+        manager = self.session.connection.manager
+        transaction = self.session.transaction
+        if manager_name is None or manager_name == manager.name:
+            if manager.resolve_remote(queue_name) is None:
+                manager.ensure_queue(queue_name)
+            return manager.put(queue_name, message, transaction=transaction)
+        manager.put_remote(
+            manager_name, queue_name, message, transaction=transaction
+        )
+        return message
+
+    def send_body(self, body: Any, destination: Optional[str] = None, **kwargs: Any) -> Message:
+        """Build a message from ``body`` (via the session) and send it."""
+        message = self.session.create_message(body, **kwargs)
+        return self.send(message, destination=destination)
+
+
+class MessageConsumer:
+    """Receives messages from one local queue, optionally filtered."""
+
+    def __init__(
+        self, session: Session, destination: str, selector: Optional[str]
+    ) -> None:
+        queue_name, manager_name = parse_destination(destination)
+        manager = session.connection.manager
+        if manager_name is not None and manager_name != manager.name:
+            raise MQError("consumers must be local to their queue manager")
+        manager.ensure_queue(queue_name)
+        self.session = session
+        self.queue_name = queue_name
+        self.selector: Optional[Selector] = compile_selector(selector)
+        self._listener: Optional[Any] = None
+
+    def set_listener(self, listener) -> None:
+        """Push delivery (JMS MessageListener): call ``listener(message)``
+        for each matching message as it arrives.
+
+        The listener consumes outside any session transaction (push
+        delivery has no unit-of-work boundary to join).  Messages already
+        waiting are delivered immediately; later puts deliver at put
+        time.  A consumer has at most one listener; setting ``None``
+        detaches it.
+        """
+        first_attach = self._listener is None and listener is not None
+        self._listener = listener
+        if listener is None:
+            return
+        self._drain_to_listener()
+        if first_attach and not getattr(self, "_subscribed", False):
+            self._subscribed = True
+            self.session.connection.manager.queue(self.queue_name).subscribe(
+                lambda _message: self._drain_to_listener()
+            )
+
+    def _drain_to_listener(self) -> None:
+        if self._listener is None:
+            return
+        manager = self.session.connection.manager
+        while True:
+            message = manager.get_wait(self.queue_name, selector=self.selector)
+            if message is None:
+                return
+            self._listener(message)
+
+    def receive(self) -> Optional[Message]:
+        """Get the next matching message, or ``None`` if the queue is empty.
+
+        In a transacted session the receive joins the unit of work.
+        """
+        self.session._require_open()
+        manager = self.session.connection.manager
+        return manager.get_wait(
+            self.queue_name,
+            selector=self.selector,
+            transaction=self.session.transaction,
+        )
+
+    def receive_all(self, limit: Optional[int] = None) -> List[Message]:
+        """Drain every currently available matching message (up to limit)."""
+        messages: List[Message] = []
+        while limit is None or len(messages) < limit:
+            message = self.receive()
+            if message is None:
+                break
+            messages.append(message)
+        return messages
+
+    def browse(self) -> Iterator[Message]:
+        """Peek at matching messages without consuming them."""
+        self.session._require_open()
+        manager = self.session.connection.manager
+        return manager.browse(self.queue_name, selector=self.selector)

@@ -1,0 +1,152 @@
+"""Syncpoint (messaging) transactions: all-or-nothing get/put batches.
+
+Matches the messaging-transaction semantics the paper depends on
+(section 2.4, citing Bernstein/Newcomer [1]):
+
+* a transactional **get** removes the message only if the transaction
+  commits; on rollback the middleware puts the message back (here: unlocks
+  it in place) with an incremented backout count;
+* a transactional **put** becomes visible to consumers only at commit;
+* remote puts made under syncpoint are handed to the network layer at
+  commit, which is safe because store-and-forward makes a remote put a
+  local put to a transmission queue.
+
+A transaction belongs to one queue manager.  Distributed atomicity across
+queue managers and object resources is the job of the object transaction
+layer (``repro.objects``) and Dependency-Spheres (``repro.dsphere``);
+messaging transactions compose with them through the
+:class:`~repro.objects.resource.TransactionalResource` adapter in
+``repro.objects.mqresource``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, List, Tuple
+
+from repro.errors import TransactionError
+from repro.mq.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.mq.manager import QueueManager
+
+_tx_seq = itertools.count(1)
+
+
+class TxState(Enum):
+    """Lifecycle of a messaging transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ROLLED_BACK = "rolled_back"
+
+
+class MQTransaction:
+    """One unit of work on a queue manager.
+
+    Obtained from :meth:`QueueManager.begin`; not constructed directly.
+    All gets/puts routed through the owning manager with
+    ``transaction=self`` join this unit of work.
+    """
+
+    def __init__(self, manager: "QueueManager") -> None:
+        self._manager = manager
+        self.tx_id = f"TX-{manager.name}-{next(_tx_seq):06d}"
+        self.state = TxState.ACTIVE
+        #: queues holding messages locked under this transaction
+        self._locked_queues: List[str] = []
+        #: local puts pending commit: (queue_name, message)
+        self._pending_puts: List[Tuple[str, Message]] = []
+        #: remote puts pending commit: (manager_name, queue_name, message)
+        self._pending_remote_puts: List[Tuple[str, str, Message]] = []
+        #: callbacks run after a successful commit (used by the receiver-side
+        #: conditional messaging system to emit processing acknowledgments
+        #: "bound to the successful commit of the receiver's transaction").
+        self._after_commit: List[Callable[[int], None]] = []
+        #: callbacks run after rollback (e.g. to clear pending ack state).
+        self._after_rollback: List[Callable[[], None]] = []
+
+    # -- recording (called by the manager) -----------------------------------
+
+    def record_locked(self, queue_name: str) -> None:
+        """Note that a message on ``queue_name`` is locked under this tx."""
+        self._require_active()
+        if queue_name not in self._locked_queues:
+            self._locked_queues.append(queue_name)
+
+    def record_put(self, queue_name: str, message: Message) -> None:
+        """Buffer a local put until commit."""
+        self._require_active()
+        self._pending_puts.append((queue_name, message))
+
+    def record_remote_put(
+        self, manager_name: str, queue_name: str, message: Message
+    ) -> None:
+        """Buffer a remote put until commit."""
+        self._require_active()
+        self._pending_remote_puts.append((manager_name, queue_name, message))
+
+    def pending_puts(self) -> List[Tuple[str, Message]]:
+        """Local puts buffered so far (visible for introspection/tests)."""
+        return list(self._pending_puts)
+
+    # -- hooks ----------------------------------------------------------------
+
+    def on_commit(self, callback: Callable[[int], None]) -> None:
+        """Run ``callback(commit_time_ms)`` right after a successful commit."""
+        self._require_active()
+        self._after_commit.append(callback)
+
+    def on_rollback(self, callback: Callable[[], None]) -> None:
+        """Run ``callback()`` right after rollback."""
+        self._require_active()
+        self._after_rollback.append(callback)
+
+    # -- outcome ----------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while the transaction can still accept work."""
+        return self.state is TxState.ACTIVE
+
+    def commit(self) -> None:
+        """Make every get and put in this unit of work permanent."""
+        self._require_active()
+        self._manager.apply_commit(self)
+        self.state = TxState.COMMITTED
+        commit_time = self._manager.clock.now_ms()
+        for callback in self._after_commit:
+            callback(commit_time)
+
+    def rollback(self) -> None:
+        """Undo the unit of work: unlock gets (backout +1), drop puts."""
+        self._require_active()
+        self._manager.apply_rollback(self)
+        self.state = TxState.ROLLED_BACK
+        for callback in self._after_rollback:
+            callback()
+
+    # -- internals used by the manager ----------------------------------------
+
+    def locked_queues(self) -> List[str]:
+        """Queues with messages locked under this transaction."""
+        return list(self._locked_queues)
+
+    def drain_pending(
+        self,
+    ) -> Tuple[List[Tuple[str, Message]], List[Tuple[str, str, Message]]]:
+        """Hand the buffered puts to the manager at commit time."""
+        local, remote = self._pending_puts, self._pending_remote_puts
+        self._pending_puts = []
+        self._pending_remote_puts = []
+        return local, remote
+
+    def _require_active(self) -> None:
+        if self.state is not TxState.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.tx_id} is {self.state.value}, not active"
+            )
+
+    def __repr__(self) -> str:
+        return f"MQTransaction({self.tx_id}, {self.state.value})"

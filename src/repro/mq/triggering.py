@@ -1,0 +1,148 @@
+"""Queue triggering: activate consumers when work arrives (MQSeries style).
+
+MQSeries *triggering* starts an application when a queue needs service: a
+trigger monitor watches an initiation queue; the queue manager writes a
+trigger message there when a application queue's trigger condition fires
+(first message, every message, or depth threshold).  This module provides
+that mechanism, which the workloads use to model receivers that wake on
+demand instead of polling.
+
+Usage::
+
+    monitor = TriggerMonitor(manager)
+    monitor.define_trigger("ORDERS.Q", TriggerType.FIRST,
+                           on_trigger=start_order_processor)
+
+``on_trigger`` receives a :class:`TriggerEvent`; with ``TriggerType.DEPTH``
+the event fires when the queue's visible depth reaches ``depth``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, Optional
+
+from repro.errors import MQError
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+
+
+class TriggerType(Enum):
+    """When a trigger fires (the MQSeries vocabulary)."""
+
+    #: when a message arrives on an empty queue (depth 0 -> 1)
+    FIRST = "first"
+    #: on every arriving message
+    EVERY = "every"
+    #: when the queue depth reaches a threshold
+    DEPTH = "depth"
+
+
+@dataclass(frozen=True)
+class TriggerEvent:
+    """What a fired trigger tells the application."""
+
+    queue: str
+    trigger_type: TriggerType
+    depth: int
+    at_ms: int
+
+
+@dataclass
+class _TriggerDefinition:
+    queue: str
+    trigger_type: TriggerType
+    threshold: int
+    callback: Callable[[TriggerEvent], None]
+    armed: bool = True
+    fired_count: int = 0
+
+
+class TriggerMonitor:
+    """Watches queues on one manager and fires trigger callbacks.
+
+    FIRST and DEPTH triggers are *armed*: after firing they stay quiet
+    until :meth:`rearm` (typically called when the consumer has drained
+    the queue), mirroring how MQ avoids a trigger storm while the
+    application is already running.
+    """
+
+    def __init__(self, manager: QueueManager) -> None:
+        self.manager = manager
+        self._definitions: Dict[str, _TriggerDefinition] = {}
+
+    def define_trigger(
+        self,
+        queue_name: str,
+        trigger_type: TriggerType,
+        on_trigger: Callable[[TriggerEvent], None],
+        depth: int = 1,
+    ) -> None:
+        """Define the trigger for a queue (one per queue)."""
+        if queue_name in self._definitions:
+            raise MQError(f"queue {queue_name!r} already has a trigger")
+        if trigger_type is TriggerType.DEPTH and depth < 1:
+            raise MQError("depth threshold must be >= 1")
+        self.manager.ensure_queue(queue_name)
+        definition = _TriggerDefinition(
+            queue=queue_name,
+            trigger_type=trigger_type,
+            threshold=depth if trigger_type is TriggerType.DEPTH else 1,
+            callback=on_trigger,
+        )
+        self._definitions[queue_name] = definition
+        self.manager.queue(queue_name).subscribe(
+            lambda message, q=queue_name: self._on_put(q, message)
+        )
+        # A backlog may already satisfy the condition.
+        self._check(definition)
+
+    def rearm(self, queue_name: str) -> None:
+        """Re-arm a FIRST/DEPTH trigger (and fire if already satisfied)."""
+        definition = self._definitions.get(queue_name)
+        if definition is None:
+            raise MQError(f"no trigger on queue {queue_name!r}")
+        definition.armed = True
+        self._check(definition)
+
+    def fired_count(self, queue_name: str) -> int:
+        """How many times the trigger has fired."""
+        definition = self._definitions.get(queue_name)
+        return definition.fired_count if definition else 0
+
+    # -- internals ---------------------------------------------------------------
+
+    def _on_put(self, queue_name: str, message: Message) -> None:
+        definition = self._definitions.get(queue_name)
+        if definition is not None:
+            self._check(definition)
+
+    def _check(self, definition: _TriggerDefinition) -> None:
+        depth = self.manager.depth(definition.queue)
+        if definition.trigger_type is TriggerType.EVERY:
+            if depth >= 1:
+                self._fire(definition, depth)
+            return
+        if not definition.armed:
+            return
+        if definition.trigger_type is TriggerType.FIRST and depth >= 1:
+            definition.armed = False
+            self._fire(definition, depth)
+        elif (
+            definition.trigger_type is TriggerType.DEPTH
+            and depth >= definition.threshold
+        ):
+            definition.armed = False
+            self._fire(definition, depth)
+
+    def _fire(self, definition: _TriggerDefinition, depth: int) -> None:
+        definition.fired_count += 1
+        definition.callback(
+            TriggerEvent(
+                queue=definition.queue,
+                trigger_type=definition.trigger_type,
+                depth=depth,
+                at_ms=self.manager.clock.now_ms(),
+            )
+        )

@@ -1,0 +1,44 @@
+"""Distributed object transaction substrate (a mini CORBA OTS / JTS).
+
+Dependency-Spheres (paper section 3.2) integrate conditional messages with
+"transactional resources like distributed objects and databases using the
+standard invocation mechanism of the transaction object middleware used
+(such as CORBA OTS and JTS)".  This package is that middleware:
+
+* :class:`~repro.objects.resource.TransactionalResource` — the resource
+  protocol (prepare/commit/rollback with votes), i.e. XAResource;
+* :class:`~repro.objects.coordinator.TwoPhaseCoordinator` — presumed-abort
+  two-phase commit over registered resources;
+* :class:`~repro.objects.txmanager.TransactionManager` — demarcation API
+  (``begin``/``commit``/``rollback``) with a current-transaction context;
+* :class:`~repro.objects.kvstore.TransactionalKVStore` — a transactional
+  key-value "database" resource with write-sets, conflict detection, and
+  snapshot reads (stands in for the calendar / room-reservation databases
+  of the paper's Example 1);
+* :class:`~repro.objects.registry.ObjectRegistry` — a tiny naming service
+  for "distributed objects" whose transactional methods auto-enlist in the
+  caller's transaction.
+"""
+
+from repro.objects.resource import (
+    ResourceState,
+    TransactionalResource,
+    Vote,
+)
+from repro.objects.coordinator import TwoPhaseCoordinator, TxOutcome
+from repro.objects.txmanager import ObjectTransaction, TransactionManager
+from repro.objects.kvstore import TransactionalKVStore
+from repro.objects.registry import ObjectRegistry, TransactionalObject
+
+__all__ = [
+    "ResourceState",
+    "TransactionalResource",
+    "Vote",
+    "TwoPhaseCoordinator",
+    "TxOutcome",
+    "ObjectTransaction",
+    "TransactionManager",
+    "TransactionalKVStore",
+    "ObjectRegistry",
+    "TransactionalObject",
+]

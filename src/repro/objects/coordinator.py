@@ -1,0 +1,173 @@
+"""Presumed-abort two-phase commit over registered resources.
+
+The coordinator drives the classic protocol:
+
+* phase 1: ``prepare`` every resource in registration order; a ROLLBACK
+  vote or an exception aborts the whole transaction (prepared resources
+  are rolled back);
+* phase 2: ``commit`` resources that voted COMMIT (READ_ONLY voters are
+  skipped).  A commit-phase exception after the decision is recorded as a
+  *heuristic hazard* — the decision stands, the failure is reported.
+
+The coordinator keeps an outcome log so late or repeated completion calls
+are idempotent, which the Dependency-Sphere layer relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Tuple
+
+from repro.errors import HeuristicMixedError, TransactionError
+from repro.objects.resource import TransactionalResource, Vote
+
+
+class TxOutcome(Enum):
+    """Final decision for a coordinated transaction."""
+
+    COMMITTED = "committed"
+    ROLLED_BACK = "rolled_back"
+
+
+@dataclass
+class CoordinatorStats:
+    """Counters over the coordinator's lifetime."""
+
+    commits: int = 0
+    rollbacks: int = 0
+    prepares: int = 0
+    read_only_optimizations: int = 0
+    heuristic_hazards: int = 0
+
+
+@dataclass
+class _TxRecord:
+    resources: List[TransactionalResource] = field(default_factory=list)
+    outcome: "TxOutcome | None" = None
+
+
+class TwoPhaseCoordinator:
+    """Coordinates atomic outcomes across transactional resources."""
+
+    def __init__(self) -> None:
+        self._transactions: Dict[str, _TxRecord] = {}
+        self.stats = CoordinatorStats()
+
+    # -- enlistment -----------------------------------------------------------
+
+    def register(self, tx_id: str, resource: TransactionalResource) -> None:
+        """Enlist ``resource`` in transaction ``tx_id`` (idempotent)."""
+        record = self._transactions.setdefault(tx_id, _TxRecord())
+        if record.outcome is not None:
+            raise TransactionError(
+                f"transaction {tx_id} already {record.outcome.value};"
+                " cannot enlist new resources"
+            )
+        if resource not in record.resources:
+            record.resources.append(resource)
+
+    def resources(self, tx_id: str) -> List[TransactionalResource]:
+        """Resources enlisted so far for ``tx_id``."""
+        record = self._transactions.get(tx_id)
+        return list(record.resources) if record else []
+
+    def outcome(self, tx_id: str) -> "TxOutcome | None":
+        """Decided outcome, or ``None`` if the transaction is still open."""
+        record = self._transactions.get(tx_id)
+        return record.outcome if record else None
+
+    # -- completion ------------------------------------------------------------
+
+    def commit(self, tx_id: str) -> TxOutcome:
+        """Run two-phase commit; returns the decided outcome.
+
+        A transaction with no enlisted resources commits trivially.
+        Re-invoking on a decided transaction returns the recorded outcome
+        without touching resources (idempotence).
+        """
+        record = self._transactions.setdefault(tx_id, _TxRecord())
+        if record.outcome is not None:
+            return record.outcome
+
+        # Phase 1: collect votes.
+        votes: List[Tuple[TransactionalResource, Vote]] = []
+        decision = TxOutcome.COMMITTED
+        for resource in record.resources:
+            try:
+                vote = resource.prepare(tx_id)
+            except Exception:  # noqa: BLE001 - any prepare failure is a NO vote
+                vote = Vote.ROLLBACK
+            self.stats.prepares += 1
+            votes.append((resource, vote))
+            if vote is Vote.ROLLBACK:
+                decision = TxOutcome.ROLLED_BACK
+                break
+
+        if decision is TxOutcome.ROLLED_BACK:
+            # Roll back every enlisted resource: the ones prepared so far,
+            # the NO voter, and the ones never reached (presumed abort —
+            # they must still discard any staged work).  READ_ONLY voters
+            # already dropped out.
+            read_only = {
+                id(resource) for resource, vote in votes if vote is Vote.READ_ONLY
+            }
+            hazards = 0
+            for resource in record.resources:
+                if id(resource) in read_only:
+                    continue
+                try:
+                    resource.rollback(tx_id)
+                except Exception:  # noqa: BLE001
+                    hazards += 1
+            record.outcome = TxOutcome.ROLLED_BACK
+            self.stats.rollbacks += 1
+            self.stats.heuristic_hazards += hazards
+            return record.outcome
+
+        # Decision is COMMIT: it is now irreversible (presumed abort ends).
+        record.outcome = TxOutcome.COMMITTED
+        self.stats.commits += 1
+        hazards = 0
+        for resource, vote in votes:
+            if vote is Vote.READ_ONLY:
+                self.stats.read_only_optimizations += 1
+                continue
+            try:
+                resource.commit(tx_id)
+            except Exception:  # noqa: BLE001
+                hazards += 1
+        if hazards:
+            self.stats.heuristic_hazards += hazards
+            raise HeuristicMixedError(
+                f"transaction {tx_id} committed but {hazards} resource(s)"
+                " failed during phase two"
+            )
+        return record.outcome
+
+    def rollback(self, tx_id: str) -> TxOutcome:
+        """Roll back every enlisted resource (idempotent)."""
+        record = self._transactions.setdefault(tx_id, _TxRecord())
+        if record.outcome is not None:
+            if record.outcome is TxOutcome.COMMITTED:
+                raise TransactionError(
+                    f"transaction {tx_id} already committed; cannot roll back"
+                )
+            return record.outcome
+        hazards = 0
+        for resource in record.resources:
+            try:
+                resource.rollback(tx_id)
+            except Exception:  # noqa: BLE001
+                hazards += 1
+        record.outcome = TxOutcome.ROLLED_BACK
+        self.stats.rollbacks += 1
+        self.stats.heuristic_hazards += hazards
+        return record.outcome
+
+    def forget(self, tx_id: str) -> None:
+        """Drop the outcome record for a completed transaction."""
+        record = self._transactions.get(tx_id)
+        if record is not None and record.outcome is None:
+            raise TransactionError(f"transaction {tx_id} is still open")
+        self._transactions.pop(tx_id, None)

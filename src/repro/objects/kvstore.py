@@ -1,0 +1,144 @@
+"""A transactional key-value store: the "distributed database" resource.
+
+Stands in for the calendar and room-reservation databases of the paper's
+Example 1.  Semantics:
+
+* transactional writes collect in a per-transaction write set; reads are
+  read-your-writes, falling back to the committed store;
+* ``prepare`` performs first-committer-wins conflict validation: if any
+  key written by the transaction was committed by someone else since the
+  transaction first touched it, the vote is ROLLBACK;
+* a transaction that only read votes READ_ONLY;
+* ``commit`` applies the write set and bumps per-key versions.
+
+The store is a :class:`~repro.objects.resource.TransactionalResource`, so
+it participates in two-phase commit next to other resources (including
+the messaging-transaction adapter and Dependency-Spheres).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import TransactionError
+from repro.objects.resource import TransactionalResource, Vote
+
+#: Sentinel distinguishing "delete this key" from "write None".
+_DELETED = object()
+
+
+@dataclass
+class _TxWorkspace:
+    """Private view of the store for one transaction."""
+
+    writes: Dict[str, Any] = field(default_factory=dict)
+    #: key -> version observed when the tx first read/wrote it
+    snapshots: Dict[str, int] = field(default_factory=dict)
+    prepared: bool = False
+
+
+class TransactionalKVStore(TransactionalResource):
+    """In-memory transactional map with 2PC participation."""
+
+    def __init__(self, name: str = "kvstore") -> None:
+        self._name = name
+        self._data: Dict[str, Any] = {}
+        self._versions: Dict[str, int] = {}
+        self._workspaces: Dict[str, _TxWorkspace] = {}
+        self.commit_count = 0
+        self.conflict_count = 0
+
+    @property
+    def resource_name(self) -> str:
+        return self._name
+
+    # -- application API ----------------------------------------------------
+
+    def get(self, key: str, tx_id: Optional[str] = None, default: Any = None) -> Any:
+        """Read a key; inside a transaction, reads-your-writes."""
+        if tx_id is not None:
+            workspace = self._workspace(tx_id)
+            if key in workspace.writes:
+                value = workspace.writes[key]
+                return default if value is _DELETED else value
+            workspace.snapshots.setdefault(key, self._versions.get(key, 0))
+        if key in self._data:
+            return self._data[key]
+        return default
+
+    def put(self, key: str, value: Any, tx_id: Optional[str] = None) -> None:
+        """Write a key (transactionally if ``tx_id`` given)."""
+        if tx_id is None:
+            self._data[key] = value
+            self._versions[key] = self._versions.get(key, 0) + 1
+            return
+        workspace = self._workspace(tx_id)
+        workspace.snapshots.setdefault(key, self._versions.get(key, 0))
+        workspace.writes[key] = value
+
+    def delete(self, key: str, tx_id: Optional[str] = None) -> None:
+        """Delete a key (transactionally if ``tx_id`` given)."""
+        if tx_id is None:
+            self._data.pop(key, None)
+            self._versions[key] = self._versions.get(key, 0) + 1
+            return
+        workspace = self._workspace(tx_id)
+        workspace.snapshots.setdefault(key, self._versions.get(key, 0))
+        workspace.writes[key] = _DELETED
+
+    def contains(self, key: str, tx_id: Optional[str] = None) -> bool:
+        """Key-presence test with the same visibility rules as :meth:`get`."""
+        marker = object()
+        return self.get(key, tx_id=tx_id, default=marker) is not marker
+
+    def keys(self) -> List[str]:
+        """Committed keys (no transactional view)."""
+        return list(self._data)
+
+    def committed_snapshot(self) -> Dict[str, Any]:
+        """Copy of the committed state (for assertions in tests)."""
+        return dict(self._data)
+
+    # -- TransactionalResource ----------------------------------------------
+
+    def prepare(self, tx_id: str) -> Vote:
+        workspace = self._workspaces.get(tx_id)
+        if workspace is None:
+            return Vote.READ_ONLY
+        if not workspace.writes:
+            return Vote.READ_ONLY
+        for key in workspace.writes:
+            observed = workspace.snapshots.get(key, 0)
+            if self._versions.get(key, 0) != observed:
+                self.conflict_count += 1
+                return Vote.ROLLBACK
+        workspace.prepared = True
+        return Vote.COMMIT
+
+    def commit(self, tx_id: str) -> None:
+        workspace = self._workspaces.pop(tx_id, None)
+        if workspace is None or not workspace.writes:
+            return  # read-only participant
+        if not workspace.prepared:
+            raise TransactionError(
+                f"{self._name}: commit of unprepared transaction {tx_id}"
+            )
+        for key, value in workspace.writes.items():
+            if value is _DELETED:
+                self._data.pop(key, None)
+            else:
+                self._data[key] = value
+            self._versions[key] = self._versions.get(key, 0) + 1
+        self.commit_count += 1
+
+    def rollback(self, tx_id: str) -> None:
+        self._workspaces.pop(tx_id, None)
+
+    # -- internals -------------------------------------------------------------
+
+    def _workspace(self, tx_id: str) -> _TxWorkspace:
+        return self._workspaces.setdefault(tx_id, _TxWorkspace())
+
+    def __repr__(self) -> str:
+        return f"TransactionalKVStore({self._name!r}, keys={len(self._data)})"

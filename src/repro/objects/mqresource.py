@@ -1,0 +1,44 @@
+"""Adapter enlisting a messaging transaction in two-phase commit.
+
+Reference [15] of the paper ("Strategies for Integrating Messaging and
+Distributed Object Transactions") treats the message queue manager as one
+more transactional resource.  This adapter wraps a
+:class:`~repro.mq.transactions.MQTransaction` as a
+:class:`~repro.objects.resource.TransactionalResource` so that a receiver
+can consume a message, update a database object, and have both join one
+atomic outcome — the "message processing transaction" pattern the
+conditional-messaging receiver side builds on.
+
+The queue manager has no separate prepare phase (locks already stage the
+gets; buffered puts stage the puts), so prepare only validates that the
+unit of work is still active.
+"""
+
+from __future__ import annotations
+
+from repro.mq.transactions import MQTransaction
+from repro.objects.resource import TransactionalResource, Vote
+
+
+class MQTransactionResource(TransactionalResource):
+    """Makes an MQ syncpoint transaction a 2PC participant."""
+
+    def __init__(self, mq_transaction: MQTransaction) -> None:
+        self.mq_transaction = mq_transaction
+
+    @property
+    def resource_name(self) -> str:
+        return f"mq:{self.mq_transaction.tx_id}"
+
+    def prepare(self, tx_id: str) -> Vote:
+        if not self.mq_transaction.active:
+            return Vote.ROLLBACK
+        return Vote.COMMIT
+
+    def commit(self, tx_id: str) -> None:
+        if self.mq_transaction.active:
+            self.mq_transaction.commit()
+
+    def rollback(self, tx_id: str) -> None:
+        if self.mq_transaction.active:
+            self.mq_transaction.rollback()

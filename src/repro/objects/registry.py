@@ -1,0 +1,106 @@
+"""Naming service and base class for transactional distributed objects.
+
+The paper's D-Sphere senders "invoke transactional resources like
+distributed objects ... using the standard invocation mechanism of the
+transaction object middleware" (section 3.2).  Here:
+
+* :class:`ObjectRegistry` is the naming service — objects are bound under
+  string names and resolved by clients;
+* :class:`TransactionalObject` is the server-object base class.  Its
+  state lives in a :class:`~repro.objects.kvstore.TransactionalKVStore`,
+  and every state access made through :meth:`state_get` / :meth:`state_put`
+  automatically enlists the store in the caller's *current* transaction,
+  giving the implicit-context propagation of OTS/JTS.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.objects.kvstore import TransactionalKVStore
+from repro.objects.txmanager import TransactionManager
+
+
+class ObjectRegistry:
+    """Flat name -> object binding table."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[str, Any] = {}
+
+    def bind(self, name: str, obj: Any) -> None:
+        """Bind ``obj`` under ``name``; rebinding an existing name fails."""
+        if name in self._bindings:
+            raise ReproError(f"name already bound: {name!r}")
+        self._bindings[name] = obj
+
+    def rebind(self, name: str, obj: Any) -> None:
+        """Bind, replacing any existing binding."""
+        self._bindings[name] = obj
+
+    def resolve(self, name: str) -> Any:
+        """Look up a bound object."""
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise ReproError(f"name not bound: {name!r}") from None
+
+    def unbind(self, name: str) -> None:
+        """Remove a binding."""
+        self._bindings.pop(name, None)
+
+    def names(self) -> List[str]:
+        """All bound names."""
+        return list(self._bindings)
+
+
+class TransactionalObject:
+    """Base class for server objects with transactional state.
+
+    Subclasses implement business methods in terms of
+    :meth:`state_get` / :meth:`state_put` / :meth:`state_delete`; if the
+    caller has a current object transaction, those accesses join it (the
+    backing store is enlisted automatically), otherwise they act
+    immediately (auto-commit), as EJB "NotSupported" methods would.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        txmanager: TransactionManager,
+        store: Optional[TransactionalKVStore] = None,
+    ) -> None:
+        self.name = name
+        self._txmanager = txmanager
+        self.store = store or TransactionalKVStore(name=f"{name}.store")
+
+    # -- transactional state access -----------------------------------------
+
+    def state_get(self, key: str, default: Any = None) -> Any:
+        """Read object state under the caller's transaction (if any)."""
+        tx = self._txmanager.current
+        if tx is not None:
+            tx.enlist(self.store)
+            return self.store.get(key, tx_id=tx.tx_id, default=default)
+        return self.store.get(key, default=default)
+
+    def state_put(self, key: str, value: Any) -> None:
+        """Write object state under the caller's transaction (if any)."""
+        tx = self._txmanager.current
+        if tx is not None:
+            tx.enlist(self.store)
+            self.store.put(key, value, tx_id=tx.tx_id)
+        else:
+            self.store.put(key, value)
+
+    def state_delete(self, key: str) -> None:
+        """Delete object state under the caller's transaction (if any)."""
+        tx = self._txmanager.current
+        if tx is not None:
+            tx.enlist(self.store)
+            self.store.delete(key, tx_id=tx.tx_id)
+        else:
+            self.store.delete(key)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"

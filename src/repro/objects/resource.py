@@ -1,0 +1,95 @@
+"""The transactional-resource protocol (XAResource, in miniature).
+
+A resource participates in two-phase commit for a transaction id:
+
+1. ``prepare(tx_id)`` — durably stage the transaction's effects and return
+   a :class:`Vote`;
+2. ``commit(tx_id)`` / ``rollback(tx_id)`` — apply or discard them.
+
+``VOTE_READ_ONLY`` lets a resource that saw no writes drop out after phase
+one, the standard read-only optimization.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from enum import Enum
+
+
+class Vote(Enum):
+    """A resource's answer to prepare."""
+
+    COMMIT = "commit"
+    ROLLBACK = "rollback"
+    READ_ONLY = "read_only"
+
+
+class ResourceState(Enum):
+    """Per-transaction resource state, tracked by well-behaved resources."""
+
+    ACTIVE = "active"
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ROLLED_BACK = "rolled_back"
+
+
+class TransactionalResource(ABC):
+    """Protocol implemented by anything that can join two-phase commit."""
+
+    @property
+    @abstractmethod
+    def resource_name(self) -> str:
+        """Human-readable name used in coordinator logs and errors."""
+
+    @abstractmethod
+    def prepare(self, tx_id: str) -> Vote:
+        """Phase one: stage effects durably; vote on the outcome."""
+
+    @abstractmethod
+    def commit(self, tx_id: str) -> None:
+        """Phase two: make prepared effects permanent."""
+
+    @abstractmethod
+    def rollback(self, tx_id: str) -> None:
+        """Discard effects (callable before or after prepare)."""
+
+
+class FailingResource(TransactionalResource):
+    """Test/benchmark resource that votes or behaves as configured.
+
+    Useful for failure injection: vote ROLLBACK at prepare, or raise at
+    any phase to exercise coordinator error paths.
+    """
+
+    def __init__(
+        self,
+        name: str = "failing",
+        vote: Vote = Vote.ROLLBACK,
+        raise_on_prepare: bool = False,
+        raise_on_commit: bool = False,
+    ) -> None:
+        self._name = name
+        self._vote = vote
+        self._raise_on_prepare = raise_on_prepare
+        self._raise_on_commit = raise_on_commit
+        self.prepared: list = []
+        self.committed: list = []
+        self.rolled_back: list = []
+
+    @property
+    def resource_name(self) -> str:
+        return self._name
+
+    def prepare(self, tx_id: str) -> Vote:
+        if self._raise_on_prepare:
+            raise RuntimeError(f"{self._name}: injected prepare failure")
+        self.prepared.append(tx_id)
+        return self._vote
+
+    def commit(self, tx_id: str) -> None:
+        if self._raise_on_commit:
+            raise RuntimeError(f"{self._name}: injected commit failure")
+        self.committed.append(tx_id)
+
+    def rollback(self, tx_id: str) -> None:
+        self.rolled_back.append(tx_id)

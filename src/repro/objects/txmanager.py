@@ -1,0 +1,149 @@
+"""Transaction manager: demarcation API and current-transaction context.
+
+Mirrors the JTS/OTS ``Current`` interface the paper's applications use:
+``begin`` / ``commit`` / ``rollback`` plus implicit context propagation —
+transactional objects look up the caller's current transaction from the
+manager rather than taking it as a parameter.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.errors import (
+    NoTransactionError,
+    TransactionActiveError,
+    TransactionRolledBackError,
+)
+from repro.objects.coordinator import TwoPhaseCoordinator, TxOutcome
+from repro.objects.resource import TransactionalResource
+
+_obj_tx_seq = itertools.count(1)
+
+
+class ObjectTransaction:
+    """Handle on one coordinated object transaction."""
+
+    def __init__(self, manager: "TransactionManager", tx_id: str) -> None:
+        self._manager = manager
+        self.tx_id = tx_id
+        self.completed: Optional[TxOutcome] = None
+        self._rollback_only = False
+
+    # -- enlistment -------------------------------------------------------------
+
+    def enlist(self, resource: TransactionalResource) -> None:
+        """Join ``resource`` to this transaction."""
+        self._require_open()
+        self._manager.coordinator.register(self.tx_id, resource)
+
+    def set_rollback_only(self) -> None:
+        """Poison the transaction: commit will roll back instead."""
+        self._require_open()
+        self._rollback_only = True
+
+    @property
+    def rollback_only(self) -> bool:
+        """True once the transaction can only roll back."""
+        return self._rollback_only
+
+    # -- completion --------------------------------------------------------------
+
+    def commit(self) -> TxOutcome:
+        """Attempt two-phase commit; raises if the outcome is rollback.
+
+        Raising on rollback matches JTA's ``RollbackException`` behaviour:
+        the caller must learn the unit of work did not happen.
+        """
+        self._require_open()
+        if self._rollback_only:
+            outcome = self._manager.coordinator.rollback(self.tx_id)
+        else:
+            outcome = self._manager.coordinator.commit(self.tx_id)
+        self.completed = outcome
+        self._manager._on_completed(self)
+        if outcome is not TxOutcome.COMMITTED:
+            raise TransactionRolledBackError(
+                f"transaction {self.tx_id} rolled back"
+            )
+        return outcome
+
+    def rollback(self) -> TxOutcome:
+        """Roll back the transaction."""
+        self._require_open()
+        outcome = self._manager.coordinator.rollback(self.tx_id)
+        self.completed = outcome
+        self._manager._on_completed(self)
+        return outcome
+
+    @property
+    def active(self) -> bool:
+        """True until commit/rollback completes."""
+        return self.completed is None
+
+    def _require_open(self) -> None:
+        if self.completed is not None:
+            raise TransactionRolledBackError(
+                f"transaction {self.tx_id} already {self.completed.value}"
+            )
+
+    def __repr__(self) -> str:
+        state = self.completed.value if self.completed else "active"
+        return f"ObjectTransaction({self.tx_id}, {state})"
+
+
+class TransactionManager:
+    """Begins transactions and tracks the current one (per manager).
+
+    The library is single-threaded by design (the simulation is
+    event-driven), so "current transaction" is a simple stack: nested
+    ``begin`` is rejected, matching flat JTA transactions.
+    """
+
+    def __init__(self, coordinator: Optional[TwoPhaseCoordinator] = None) -> None:
+        self.coordinator = coordinator or TwoPhaseCoordinator()
+        self._current: Optional[ObjectTransaction] = None
+        self._history: List[ObjectTransaction] = []
+
+    def begin(self) -> ObjectTransaction:
+        """Start a transaction and make it current."""
+        if self._current is not None and self._current.active:
+            raise TransactionActiveError(
+                f"transaction {self._current.tx_id} is already active"
+            )
+        tx = ObjectTransaction(self, f"OTX-{next(_obj_tx_seq):06d}")
+        self._current = tx
+        return tx
+
+    @property
+    def current(self) -> Optional[ObjectTransaction]:
+        """The active transaction, or ``None``."""
+        if self._current is not None and self._current.active:
+            return self._current
+        return None
+
+    def require_current(self) -> ObjectTransaction:
+        """The active transaction; raises :class:`NoTransactionError`."""
+        tx = self.current
+        if tx is None:
+            raise NoTransactionError("no active object transaction")
+        return tx
+
+    def commit(self) -> TxOutcome:
+        """Commit the current transaction."""
+        return self.require_current().commit()
+
+    def rollback(self) -> TxOutcome:
+        """Roll back the current transaction."""
+        return self.require_current().rollback()
+
+    @property
+    def history(self) -> List[ObjectTransaction]:
+        """Completed transactions, oldest first."""
+        return list(self._history)
+
+    def _on_completed(self, tx: ObjectTransaction) -> None:
+        self._history.append(tx)
+        if self._current is tx:
+            self._current = None

@@ -1,0 +1,26 @@
+"""Deterministic virtual time and event scheduling.
+
+Every component in this library reads time from a :class:`~repro.sim.clock.Clock`
+rather than from the operating system.  Two implementations exist:
+
+* :class:`~repro.sim.clock.SimulatedClock` — virtual time that only advances
+  when the test or benchmark harness advances it.  All timing behaviour
+  (message pick-up deadlines, evaluation timeouts, channel latency) becomes
+  deterministic and instantaneous to execute.
+* :class:`~repro.sim.clock.WallClock` — real time, for interactive use.
+
+The :class:`~repro.sim.scheduler.EventScheduler` orders timed callbacks and
+drives them when the clock advances; it is the heart of the single-process
+distributed-system simulation used by the tests and benchmarks.
+"""
+
+from repro.sim.clock import Clock, SimulatedClock, WallClock
+from repro.sim.scheduler import EventScheduler, ScheduledEvent
+
+__all__ = [
+    "Clock",
+    "SimulatedClock",
+    "WallClock",
+    "EventScheduler",
+    "ScheduledEvent",
+]

@@ -1,0 +1,161 @@
+"""Event scheduler driving timed callbacks against a :class:`SimulatedClock`.
+
+The scheduler is a priority queue of ``(due_ms, sequence, callback)``
+entries.  Components register work due at a future virtual time (channel
+deliveries, condition deadlines, evaluation timeouts); the harness then
+calls :meth:`EventScheduler.run_until` / :meth:`run_all` to advance the
+clock and fire events in timestamp order.  Ties break by registration
+order, which keeps runs reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.sim.clock import SimulatedClock
+
+
+@dataclass(order=True)
+class ScheduledEvent:
+    """A callback due at a specific virtual time.
+
+    Instances order by ``(due_ms, seq)`` so that heap operations never
+    compare callbacks.  ``cancelled`` events stay in the heap but are
+    skipped when popped (lazy deletion).
+    """
+
+    due_ms: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it will be skipped when its time comes."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Priority-ordered scheduler of virtual-time callbacks.
+
+    A single scheduler is shared by all simulated components (queue
+    managers, channels, evaluation managers).  Callbacks may schedule
+    further events, including events due at the current instant; those run
+    in the same pass.
+    """
+
+    def __init__(self, clock: SimulatedClock) -> None:
+        self.clock = clock
+        self._heap: List[ScheduledEvent] = []
+        self._seq = itertools.count()
+        self._events_fired = 0
+
+    # -- registration ------------------------------------------------------
+
+    def call_at(
+        self, due_ms: int, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` at absolute virtual time ``due_ms``.
+
+        Scheduling in the past is clamped to "now": the event fires on the
+        next run, mirroring how an overdue OS timer fires immediately.
+        """
+        due_ms = max(int(due_ms), self.clock.now_ms())
+        event = ScheduledEvent(due_ms, next(self._seq), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_later(
+        self, delay_ms: int, callback: Callable[[], None], label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` after ``delay_ms`` of virtual time."""
+        if delay_ms < 0:
+            raise ValueError("delay_ms must be >= 0")
+        return self.call_at(self.clock.now_ms() + delay_ms, callback, label)
+
+    # -- inspection --------------------------------------------------------
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def next_due_ms(self) -> Optional[int]:
+        """Virtual time of the earliest live event, or ``None`` if idle."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return None
+        return self._heap[0].due_ms
+
+    @property
+    def events_fired(self) -> int:
+        """Total callbacks executed over the scheduler's lifetime."""
+        return self._events_fired
+
+    # -- execution ---------------------------------------------------------
+
+    def run_until(self, until_ms: int) -> int:
+        """Advance time to ``until_ms``, firing every event due on the way.
+
+        Returns the number of callbacks fired.  The clock ends exactly at
+        ``until_ms`` even if no event was due then, so repeated calls
+        advance time in precise steps.
+        """
+        fired = 0
+        until_ms = int(until_ms)
+        while True:
+            self._drop_cancelled_head()
+            if not self._heap or self._heap[0].due_ms > until_ms:
+                break
+            event = heapq.heappop(self._heap)
+            if event.due_ms > self.clock.now_ms():
+                self.clock.set(event.due_ms)
+            event.callback()
+            self._events_fired += 1
+            fired += 1
+        if until_ms > self.clock.now_ms():
+            self.clock.set(until_ms)
+        return fired
+
+    def run_for(self, delta_ms: int) -> int:
+        """Advance time by ``delta_ms``, firing due events; returns count."""
+        return self.run_until(self.clock.now_ms() + delta_ms)
+
+    def run_all(self, max_events: int = 1_000_000) -> int:
+        """Run until no live events remain; returns callbacks fired.
+
+        ``max_events`` guards against event loops that reschedule forever
+        (a bug in a component would otherwise hang the simulation).
+        """
+        fired = 0
+        while fired < max_events:
+            self._drop_cancelled_head()
+            if not self._heap:
+                return fired
+            event = heapq.heappop(self._heap)
+            if event.due_ms > self.clock.now_ms():
+                self.clock.set(event.due_ms)
+            event.callback()
+            self._events_fired += 1
+            fired += 1
+        raise RuntimeError(
+            f"scheduler did not quiesce within {max_events} events"
+        )
+
+    def step(self) -> bool:
+        """Fire exactly the next live event; ``False`` when idle."""
+        self._drop_cancelled_head()
+        if not self._heap:
+            return False
+        event = heapq.heappop(self._heap)
+        if event.due_ms > self.clock.now_ms():
+            self.clock.set(event.due_ms)
+        event.callback()
+        self._events_fired += 1
+        return True
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

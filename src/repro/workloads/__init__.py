@@ -1,0 +1,22 @@
+"""Workloads: testbeds, scripted receivers, and scenario generators.
+
+Everything the examples and benchmarks need to stand up a distributed
+deployment in one process: a :class:`~repro.workloads.scenarios.Testbed`
+(clock + scheduler + network + sender service + receiver managers),
+scripted receiver behaviours with controllable timing and failure modes,
+and seeded random workload generation for the parameter sweeps.
+"""
+
+from repro.workloads.scenarios import Testbed, build_example1_condition, build_example2_condition
+from repro.workloads.receivers import ReceiverScript, ScriptedReceiver
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+__all__ = [
+    "Testbed",
+    "build_example1_condition",
+    "build_example2_condition",
+    "ReceiverScript",
+    "ScriptedReceiver",
+    "WorkloadGenerator",
+    "WorkloadSpec",
+]

@@ -1,0 +1,176 @@
+"""Seeded random workload generation for parameter sweeps.
+
+A :class:`WorkloadGenerator` produces batches of conditional sends with
+randomized condition shapes and randomized (but reproducible) receiver
+behaviour, so benchmarks can exercise the evaluation manager and the
+compensation path at scale without hand-writing every scenario.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.builder import destination, destination_set
+from repro.core.conditions import DestinationSet
+from repro.workloads.receivers import ReceiverMode, ReceiverScript, ScriptedReceiver
+from repro.workloads.scenarios import Testbed
+
+
+@dataclass
+class WorkloadSpec:
+    """Parameters for one generated workload.
+
+    Attributes:
+        messages: Number of conditional messages to send.
+        fan_out: Destinations per message (cycled over the testbed's
+            receivers).
+        pick_up_window_ms: Deadline on every destination set.
+        processing_fraction: Fraction of messages that additionally demand
+            processing (min ``fan_out`` transactional commits).
+        on_time_probability: Chance a receiver reacts inside the window.
+        abort_probability: Chance a processing receiver rolls back.
+        inter_send_gap_ms: Virtual time between sends.
+        seed: Workload RNG seed (fully reproducible).
+    """
+
+    messages: int = 100
+    fan_out: int = 3
+    pick_up_window_ms: int = 10_000
+    processing_fraction: float = 0.0
+    processing_window_ms: int = 30_000
+    on_time_probability: float = 1.0
+    abort_probability: float = 0.0
+    inter_send_gap_ms: int = 100
+    seed: int = 0
+
+
+@dataclass
+class WorkloadResult:
+    """What a generated workload produced.
+
+    ``expected_success`` is a *naive* estimate assuming each scripted
+    receiver reads exactly the message it was scripted for.  Receivers
+    shared across overlapping messages can legitimately pick up each
+    other's messages from their queue (acknowledgments correlate by the
+    consumed message's id), so the realized success count may differ;
+    treat the estimate as a sanity anchor, not an exact expectation.
+    """
+
+    cmids: List[str] = field(default_factory=list)
+    sent: int = 0
+    expected_success: int = 0
+
+
+class WorkloadGenerator:
+    """Drives a testbed with a randomized conditional-messaging workload."""
+
+    def __init__(self, testbed: Testbed, spec: WorkloadSpec) -> None:
+        self.testbed = testbed
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self._receiver_names = list(testbed.receivers)
+        if spec.fan_out > len(self._receiver_names):
+            raise ValueError(
+                f"fan_out {spec.fan_out} exceeds testbed receivers"
+                f" ({len(self._receiver_names)})"
+            )
+
+    def build_condition(self, index: int) -> DestinationSet:
+        """Condition for the ``index``-th message (deterministic)."""
+        names = self._pick_receivers(index)
+        wants_processing = self._rng.random() < self.spec.processing_fraction
+        leaves = [
+            destination(
+                self.testbed.queue_of(name),
+                manager=f"QM.{name}",
+                recipient=name,
+            )
+            for name in names
+        ]
+        if wants_processing:
+            return destination_set(
+                *leaves,
+                msg_pick_up_time=self.spec.pick_up_window_ms,
+                msg_processing_time=self.spec.processing_window_ms,
+            )
+        return destination_set(
+            *leaves, msg_pick_up_time=self.spec.pick_up_window_ms
+        )
+
+    def run(self) -> WorkloadResult:
+        """Schedule every send and receiver reaction; returns bookkeeping.
+
+        The caller advances the testbed (``run_all``) afterwards and then
+        inspects outcomes through the service.
+        """
+        result = WorkloadResult()
+        for index in range(self.spec.messages):
+            send_at = index * self.spec.inter_send_gap_ms
+            names = self._pick_receivers(index)
+            condition = self.build_condition(index)
+            wants_processing = condition.msg_processing_time is not None
+            all_on_time = True
+            scripts: List[ScriptedReceiver] = []
+            for name in names:
+                on_time = self._rng.random() < self.spec.on_time_probability
+                aborts = (
+                    wants_processing
+                    and self._rng.random() < self.spec.abort_probability
+                )
+                if not on_time or aborts:
+                    all_on_time = False
+                # On-time reactions land inside the first half of the
+                # window, leaving headroom for channel latency so the
+                # *read timestamp* is reliably within the deadline.
+                react = (
+                    self._rng.randint(1, max(self.spec.pick_up_window_ms // 2, 1))
+                    if on_time
+                    else self.spec.pick_up_window_ms * 2
+                )
+                mode = (
+                    ReceiverMode.PROCESS_ABORT
+                    if aborts
+                    else (
+                        ReceiverMode.PROCESS_COMMIT
+                        if wants_processing
+                        else ReceiverMode.READ
+                    )
+                )
+                scripts.append(
+                    ScriptedReceiver(
+                        self.testbed.receiver(name),
+                        self.testbed.scheduler,
+                        ReceiverScript(
+                            queue=self.testbed.queue_of(name),
+                            react_after_ms=react,
+                            mode=mode,
+                            process_ms=min(1_000, self.spec.processing_window_ms),
+                        ),
+                    )
+                )
+
+            def fire(
+                condition=condition, scripts=scripts, result=result
+            ) -> None:
+                cmid = self.testbed.service.send_message(
+                    {"workload": True}, condition
+                )
+                result.cmids.append(cmid)
+                result.sent += 1
+                for script in scripts:
+                    script.start()
+
+            self.testbed.scheduler.call_later(send_at, fire)
+            if all_on_time:
+                result.expected_success += 1
+        return result
+
+    def _pick_receivers(self, index: int) -> List[str]:
+        start = (index * self.spec.fan_out) % len(self._receiver_names)
+        names = [
+            self._receiver_names[(start + i) % len(self._receiver_names)]
+            for i in range(self.spec.fan_out)
+        ]
+        return names

@@ -1,0 +1,144 @@
+"""Scripted receiver behaviours for scenarios and benchmarks.
+
+A :class:`ScriptedReceiver` schedules what a real receiver application
+would do: wait some reaction time, read from its queue, optionally
+process inside a transaction for some duration, then commit or roll
+back.  The scripts drive the virtual clock, so a "two-day" deadline
+scenario runs in microseconds of real time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List
+
+from repro.core.receiver import ConditionalMessagingReceiver, ReceivedMessage
+from repro.sim.scheduler import EventScheduler
+
+
+class ReceiverMode(Enum):
+    """How a scripted receiver consumes its message."""
+
+    #: plain non-transactional read (ack of receipt only)
+    READ = "read"
+    #: transactional read + commit after ``process_ms`` (processing ack)
+    PROCESS_COMMIT = "process_commit"
+    #: transactional read + rollback after ``process_ms`` (no ack; the
+    #: message returns to the queue)
+    PROCESS_ABORT = "process_abort"
+    #: never touches the queue
+    IGNORE = "ignore"
+
+
+@dataclass
+class ReceiverScript:
+    """Behaviour of one receiver for one expected message."""
+
+    queue: str
+    react_after_ms: int
+    mode: ReceiverMode = ReceiverMode.READ
+    process_ms: int = 0
+    #: after a PROCESS_ABORT, optionally retry this many times
+    retries: int = 0
+    retry_after_ms: int = 1_000
+
+
+@dataclass
+class ReceiverLog:
+    """What a scripted receiver actually did (for assertions)."""
+
+    reads: List[ReceivedMessage] = field(default_factory=list)
+    commits: int = 0
+    aborts: int = 0
+    empty_polls: int = 0
+
+
+class ScriptedReceiver:
+    """Executes a :class:`ReceiverScript` against a receiver endpoint."""
+
+    def __init__(
+        self,
+        receiver: ConditionalMessagingReceiver,
+        scheduler: EventScheduler,
+        script: ReceiverScript,
+    ) -> None:
+        self.receiver = receiver
+        self.scheduler = scheduler
+        self.script = script
+        self.log = ReceiverLog()
+        self._retries_left = script.retries
+
+    def start(self) -> None:
+        """Arm the script (call once, before or after the send)."""
+        if self.script.mode is ReceiverMode.IGNORE:
+            return
+        self.scheduler.call_later(
+            self.script.react_after_ms,
+            self._act,
+            label=f"receiver {self.receiver.recipient_id}",
+        )
+
+    # -- behaviour -----------------------------------------------------------------
+
+    def _act(self) -> None:
+        if self.script.mode is ReceiverMode.READ:
+            message = self.receiver.read_message(self.script.queue)
+            if message is None:
+                self.log.empty_polls += 1
+                return
+            self.log.reads.append(message)
+            return
+        # Transactional modes.  The receiver endpoint processes one
+        # message at a time; if it is busy with an earlier message's
+        # transaction, come back shortly (the application is single-
+        # threaded, like the rest of the simulation).
+        if self.receiver.in_transaction:
+            self.scheduler.call_later(max(self.script.process_ms, 1), self._act)
+            return
+        self.receiver.begin_tx()
+        message = self.receiver.read_message(self.script.queue)
+        if message is None:
+            self.receiver.abort_tx()
+            self.log.empty_polls += 1
+            return
+        self.log.reads.append(message)
+        # Processing takes virtual time; complete the transaction later.
+        self.scheduler.call_later(
+            self.script.process_ms,
+            lambda: self._complete(),
+            label=f"process {self.receiver.recipient_id}",
+        )
+
+    def _complete(self) -> None:
+        if self.script.mode is ReceiverMode.PROCESS_COMMIT:
+            self.receiver.commit_tx()
+            self.log.commits += 1
+            return
+        self.receiver.abort_tx()
+        self.log.aborts += 1
+        if self._retries_left > 0:
+            self._retries_left -= 1
+            self.scheduler.call_later(
+                self.script.retry_after_ms,
+                self._retry_commit,
+                label=f"retry {self.receiver.recipient_id}",
+            )
+
+    def _retry_commit(self) -> None:
+        # The retry succeeds: read again and commit this time.
+        if self.receiver.in_transaction:
+            self.scheduler.call_later(max(self.script.process_ms, 1), self._retry_commit)
+            return
+        self.receiver.begin_tx()
+        message = self.receiver.read_message(self.script.queue)
+        if message is None:
+            self.receiver.abort_tx()
+            self.log.empty_polls += 1
+            return
+        self.log.reads.append(message)
+        self.scheduler.call_later(self.script.process_ms, self._finish_retry)
+
+    def _finish_retry(self) -> None:
+        self.receiver.commit_tx()
+        self.log.commits += 1

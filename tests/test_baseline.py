@@ -1,0 +1,119 @@
+"""Tests for the application-managed baseline (the paper's status quo)."""
+
+import pytest
+
+from repro.baseline.app_managed import (
+    AppManagedReceiver,
+    AppManagedSender,
+    AppOutcome,
+)
+from repro.mq.manager import QueueManager
+from repro.mq.network import MessageNetwork
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+
+@pytest.fixture
+def env():
+    clock = SimulatedClock()
+    scheduler = EventScheduler(clock)
+    network = MessageNetwork(scheduler=scheduler, seed=2)
+    sender_qm = network.add_manager(QueueManager("QM.S", clock))
+    r1_qm = network.add_manager(QueueManager("QM.1", clock))
+    r2_qm = network.add_manager(QueueManager("QM.2", clock))
+    network.connect("QM.S", "QM.1", latency_ms=10)
+    network.connect("QM.S", "QM.2", latency_ms=10)
+    sender = AppManagedSender(sender_qm)
+    receivers = {
+        "r1": AppManagedReceiver(r1_qm, "r1"),
+        "r2": AppManagedReceiver(r2_qm, "r2"),
+    }
+    return clock, scheduler, sender, receivers
+
+
+DESTS = [("QM.1", "IN.Q"), ("QM.2", "IN.Q")]
+
+
+class TestHappyPath:
+    def test_all_acks_in_time_succeed(self, env):
+        clock, scheduler, sender, receivers = env
+        msg_id = sender.send_tracked({"x": 1}, DESTS, deadline_ms=1_000)
+        scheduler.call_later(100, lambda: receivers["r1"].read_and_ack("IN.Q"))
+        scheduler.call_later(200, lambda: receivers["r2"].read_and_ack("IN.Q"))
+        scheduler.run_until(500)
+        sender.poll()
+        assert sender.outcome(msg_id) is AppOutcome.SUCCESS
+
+    def test_min_acks_subset(self, env):
+        clock, scheduler, sender, receivers = env
+        msg_id = sender.send_tracked({"x": 1}, DESTS, deadline_ms=1_000, min_acks=1)
+        scheduler.call_later(100, lambda: receivers["r1"].read_and_ack("IN.Q"))
+        scheduler.run_until(500)
+        sender.poll()
+        assert sender.outcome(msg_id) is AppOutcome.SUCCESS
+
+
+class TestFailurePath:
+    def test_timeout_without_acks_fails_and_cancels(self, env):
+        clock, scheduler, sender, receivers = env
+        msg_id = sender.send_tracked({"x": 1}, DESTS, deadline_ms=500)
+        scheduler.run_until(1_000)
+        sender.poll()
+        assert sender.outcome(msg_id) is AppOutcome.FAILURE
+        scheduler.run_all()
+        # The baseline's cancel message arrives as ordinary application
+        # traffic: the app must recognize it — no middleware pairing.
+        cancel = receivers["r1"].read_and_ack("IN.Q")  # the ORIGINAL, still there
+        assert cancel is not None
+
+    def test_pending_until_polled(self, env):
+        """The baseline's burden: no poll, no outcome — even long after
+        the deadline.  (The middleware decides autonomously.)"""
+        clock, scheduler, sender, receivers = env
+        msg_id = sender.send_tracked({"x": 1}, DESTS, deadline_ms=100)
+        scheduler.run_until(10_000)
+        assert sender.outcome(msg_id) is AppOutcome.PENDING
+        sender.poll()
+        assert sender.outcome(msg_id) is AppOutcome.FAILURE
+
+    def test_late_ack_ignored(self, env):
+        clock, scheduler, sender, receivers = env
+        msg_id = sender.send_tracked({"x": 1}, DESTS, deadline_ms=100)
+        scheduler.call_later(500, lambda: receivers["r1"].read_and_ack("IN.Q"))
+        scheduler.call_later(500, lambda: receivers["r2"].read_and_ack("IN.Q"))
+        scheduler.run_all()
+        sender.poll()
+        assert sender.outcome(msg_id) is AppOutcome.FAILURE
+
+
+class TestFeatureGaps:
+    """The baseline cannot express what the middleware can — these tests
+    document the gap rather than assert equivalent behaviour."""
+
+    def test_no_processing_acknowledgments(self, env):
+        """The baseline acks at read time; a receiver whose processing
+        subsequently fails has still 'acknowledged' — a false positive the
+        middleware's transactional acks avoid."""
+        clock, scheduler, sender, receivers = env
+        msg_id = sender.send_tracked({"x": 1}, DESTS, deadline_ms=1_000, min_acks=1)
+        scheduler.call_later(
+            100, lambda: receivers["r1"].read_and_ack("IN.Q")
+        )  # ...and then r1's processing crashes; nobody ever knows
+        scheduler.run_until(500)
+        sender.poll()
+        assert sender.outcome(msg_id) is AppOutcome.SUCCESS  # false positive
+
+    def test_crash_loses_cancel_capability(self, env):
+        """Cancels are synthesized at failure time from in-memory state:
+        a 'crashed' baseline sender (fresh instance) can no longer cancel."""
+        clock, scheduler, sender, receivers = env
+        sender.send_tracked({"x": 1}, DESTS, deadline_ms=100)
+        scheduler.run_until(50)
+        crashed = AppManagedSender(sender.manager)  # lost _tracked dict
+        scheduler.run_until(1_000)
+        crashed.poll()
+        # No cancel was ever sent; the stale original lingers forever.
+        scheduler.run_all()
+        lingering = receivers["r1"].read_and_ack("IN.Q")
+        assert lingering is not None
+        assert lingering.body == {"x": 1}

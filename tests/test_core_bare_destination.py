@@ -1,0 +1,90 @@
+"""Conditions whose root is a bare Destination (no enclosing set).
+
+The Composite pattern makes a single Destination a complete condition;
+the paper's Example 2 (Figure 5) is literally one Destination object.
+Every layer must accept it.
+"""
+
+import pytest
+
+from repro.core import destination
+from repro.core.acks import Acknowledgment, AckKind
+from repro.core.satisfaction import EvalState, evaluate_condition
+
+
+class TestSatisfactionWithBareRoot:
+    def cond(self):
+        return destination("Q.A", msg_pick_up_time=100)
+
+    def ack(self, read_ms):
+        return Acknowledgment(
+            cmid="CM-1", kind=AckKind.READ, queue="Q.A", manager="QM.S",
+            recipient="x", read_time_ms=read_ms, commit_time_ms=None,
+            original_message_id=f"m{read_ms}",
+        )
+
+    def test_in_time_ack_satisfies(self):
+        result = evaluate_condition(
+            self.cond(), [self.ack(50)], 0, 60, default_manager="QM.S"
+        )
+        assert result.state is EvalState.SATISFIED
+
+    def test_timeout_fails(self):
+        result = evaluate_condition(
+            self.cond(), [], 0, 200, evaluation_timeout_ms=200,
+            default_manager="QM.S",
+        )
+        assert result.state is EvalState.VIOLATED
+
+
+class TestServiceWithBareRoot:
+    def test_send_and_succeed(self, duo):
+        condition = destination(
+            "Q.IN", manager="QM.R", recipient="alice", msg_pick_up_time=1_000
+        )
+        cmid = duo.service.send_message({"x": 1}, condition)
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")
+        duo.deliver()
+        assert duo.service.outcome(cmid).succeeded
+
+    def test_send_and_fail_with_compensation(self, duo):
+        condition = destination(
+            "Q.IN", manager="QM.R", recipient="alice", msg_pick_up_time=100
+        )
+        cmid = duo.service.send_message(
+            {"x": 1}, condition, compensation={"undo": 1},
+            evaluation_timeout_ms=200,
+        )
+        duo.run_all()
+        assert not duo.service.outcome(cmid).succeeded
+        assert duo.receiver.read_message("Q.IN") is None  # cancelled pair
+        assert duo.receiver.stats.cancellations == 1
+
+    def test_serialization_roundtrips(self):
+        from repro.core import (
+            condition_from_dict,
+            condition_from_xml,
+            condition_to_dict,
+            condition_to_xml,
+        )
+
+        leaf = destination("Q.A", recipient="r", msg_pick_up_time=9)
+        assert condition_from_dict(condition_to_dict(leaf)).queue == "Q.A"
+        assert condition_from_xml(condition_to_xml(leaf)).recipient == "r"
+
+    def test_dsphere_member_with_bare_root(self, duo):
+        from repro.dsphere import DSphereOutcome, DSphereService
+
+        ds = DSphereService(duo.service, scheduler=duo.scheduler)
+        sphere = ds.begin_DS()
+        ds.send_message(
+            {"x": 1},
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=1_000),
+        )
+        ds.commit_DS()
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")
+        duo.deliver()
+        assert sphere.group_outcome is DSphereOutcome.SUCCESS

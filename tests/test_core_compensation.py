@@ -1,0 +1,103 @@
+"""Unit tests for the compensation manager (paper §2.6, Fig. 8)."""
+
+import pytest
+
+from repro.core import control
+from repro.core.builder import destination, destination_set
+from repro.core.compensation import CompensationManager
+from repro.core.sender import generate_send
+from repro.mq.manager import QueueManager
+from repro.mq.network import MessageNetwork
+
+COMP_QUEUE = "DS.COMP.Q"
+
+
+@pytest.fixture
+def setup(clock):
+    network = MessageNetwork(scheduler=None)
+    sender = network.add_manager(QueueManager("QM.S", clock))
+    receiver = network.add_manager(QueueManager("QM.R", clock))
+    network.connect("QM.S", "QM.R")
+    receiver.define_queue("Q.A")
+    receiver.define_queue("Q.B")
+    comp = CompensationManager(sender, COMP_QUEUE)
+    return sender, receiver, comp
+
+
+def staged_for(cmid, queues=("Q.A",), body=None):
+    condition = destination_set(
+        *[destination(q, manager="QM.R") for q in queues], msg_pick_up_time=10
+    )
+    generated = generate_send(
+        body="original",
+        root=condition,
+        cmid=cmid,
+        send_time_ms=0,
+        sender_manager="QM.S",
+        ack_queue="DS.ACK.Q",
+        compensation_body=body,
+    )
+    return generated.compensations
+
+
+class TestStaging:
+    def test_stage_persists_on_comp_queue(self, setup):
+        sender, _, comp = setup
+        count = comp.stage(staged_for("CM-1", queues=("Q.A", "Q.B")))
+        assert count == 2
+        assert comp.pending() == 2
+        assert all(m.is_persistent() for m in sender.browse(COMP_QUEUE))
+
+    def test_staged_for_filters_by_cmid(self, setup):
+        _, _, comp = setup
+        comp.stage(staged_for("CM-1"))
+        comp.stage(staged_for("CM-2"))
+        assert len(comp.staged_for("CM-1")) == 1
+        assert len(comp.staged_for("CM-MISSING")) == 0
+
+
+class TestRelease:
+    def test_release_sends_to_original_destinations(self, setup):
+        sender, receiver, comp = setup
+        comp.stage(staged_for("CM-1", queues=("Q.A", "Q.B"), body={"undo": 1}))
+        released = comp.release("CM-1")
+        assert released == 2
+        assert comp.pending() == 0
+        for queue in ("Q.A", "Q.B"):
+            message = receiver.get(queue)
+            assert message.body == {"undo": 1}
+            assert control.message_kind(message) == control.KIND_COMPENSATION
+
+    def test_release_leaves_other_messages_staged(self, setup):
+        _, _, comp = setup
+        comp.stage(staged_for("CM-1"))
+        comp.stage(staged_for("CM-2"))
+        comp.release("CM-1")
+        assert comp.pending() == 1
+        assert len(comp.staged_for("CM-2")) == 1
+
+    def test_release_unknown_cmid_is_zero(self, setup):
+        _, _, comp = setup
+        assert comp.release("CM-GHOST") == 0
+
+    def test_release_counts_accumulate(self, setup):
+        _, _, comp = setup
+        comp.stage(staged_for("CM-1", queues=("Q.A", "Q.B")))
+        comp.release("CM-1")
+        assert comp.released_count == 2
+
+
+class TestDiscard:
+    def test_discard_removes_without_sending(self, setup):
+        _, receiver, comp = setup
+        comp.stage(staged_for("CM-1"))
+        assert comp.discard("CM-1") == 1
+        assert comp.pending() == 0
+        assert receiver.depth("Q.A") == 0
+        assert comp.discarded_count == 1
+
+    def test_release_after_discard_sends_nothing(self, setup):
+        _, receiver, comp = setup
+        comp.stage(staged_for("CM-1"))
+        comp.discard("CM-1")
+        assert comp.release("CM-1") == 0

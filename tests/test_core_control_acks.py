@@ -1,0 +1,106 @@
+"""Unit tests for control properties and acknowledgment messages."""
+
+import pytest
+
+from repro.core import control
+from repro.core.acks import Acknowledgment, AckKind, ack_from_message, ack_to_message
+from repro.core.ids import is_conditional_message_id, new_conditional_message_id
+from repro.errors import ConditionalMessagingError, NotConditionalMessageError
+from repro.mq.message import Message
+
+
+class TestIds:
+    def test_unique_and_shaped(self):
+        ids = {new_conditional_message_id() for _ in range(200)}
+        assert len(ids) == 200
+        assert all(is_conditional_message_id(cmid) for cmid in ids)
+
+    def test_shape_check(self):
+        assert not is_conditional_message_id("MSG-1")
+        assert not is_conditional_message_id(123)
+
+
+class TestControl:
+    def attach(self, message=None):
+        return control.attach_control(
+            message or Message(body="data"),
+            cmid="CM-1",
+            kind=control.KIND_ORIGINAL,
+            processing_required=True,
+            ack_manager="QM.S",
+            ack_queue="DS.ACK.Q",
+            dest_queue="Q.A",
+            dest_manager="QM.R",
+            send_time_ms=123,
+        )
+
+    def test_roundtrip(self):
+        info = control.extract_control(self.attach())
+        assert info.cmid == "CM-1"
+        assert info.kind == control.KIND_ORIGINAL
+        assert info.processing_required is True
+        assert info.ack_manager == "QM.S"
+        assert info.ack_queue == "DS.ACK.Q"
+        assert info.dest_queue == "Q.A"
+        assert info.dest_manager == "QM.R"
+        assert info.send_time_ms == 123
+
+    def test_is_conditional(self):
+        assert control.is_conditional(self.attach())
+        assert not control.is_conditional(Message(body="plain"))
+
+    def test_kind_helper(self):
+        assert control.message_kind(self.attach()) == control.KIND_ORIGINAL
+        assert control.message_kind(Message(body=None)) is None
+
+    def test_extract_from_plain_message_raises(self):
+        with pytest.raises(NotConditionalMessageError):
+            control.extract_control(Message(body="plain"))
+
+    def test_attach_does_not_mutate_original(self):
+        original = Message(body="data")
+        self.attach(original)
+        assert not control.is_conditional(original)
+
+
+class TestAcks:
+    def make(self, kind=AckKind.PROCESSED, commit=500):
+        return Acknowledgment(
+            cmid="CM-1",
+            kind=kind,
+            queue="Q.A",
+            manager="QM.R",
+            recipient="alice",
+            read_time_ms=400,
+            commit_time_ms=commit if kind is AckKind.PROCESSED else None,
+            original_message_id="MSG-1",
+        )
+
+    def test_roundtrip_processed(self):
+        restored = ack_from_message(ack_to_message(self.make()))
+        assert restored == self.make()
+
+    def test_roundtrip_read(self):
+        ack = self.make(kind=AckKind.READ)
+        assert ack_from_message(ack_to_message(ack)) == ack
+
+    def test_processing_time_only_for_processed(self):
+        assert self.make().processing_time_ms() == 500
+        assert self.make(kind=AckKind.READ).processing_time_ms() is None
+
+    def test_ack_message_is_high_priority_and_correlated(self):
+        message = ack_to_message(self.make())
+        assert message.priority == 7
+        assert message.correlation_id == "CM-1"
+        assert control.message_kind(message) == control.KIND_ACK
+
+    def test_malformed_bodies_rejected(self):
+        with pytest.raises(ConditionalMessagingError):
+            ack_from_message(Message(body="not a dict"))
+        with pytest.raises(ConditionalMessagingError):
+            ack_from_message(Message(body={"cmid": "CM-1"}))
+        with pytest.raises(ConditionalMessagingError):
+            ack_from_message(Message(body={
+                "cmid": "CM-1", "kind": "alien", "queue": "Q", "manager": "QM",
+                "recipient": "r", "read_time_ms": 1, "commit_time_ms": None,
+            }))

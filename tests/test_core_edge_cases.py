@@ -1,0 +1,172 @@
+"""Edge-case integration tests: expiry, priority, persistence x conditions."""
+
+import pytest
+
+from repro.core import destination, destination_set
+from repro.mq.manager import DEAD_LETTER_QUEUE
+
+
+class TestExpiryInterplay:
+    def test_expired_original_cannot_be_read_and_fails(self, duo):
+        """msg_expiry shorter than the receiver's reaction: the original
+        expires to the DLQ, the read finds nothing, the condition fails
+        at the evaluation timeout."""
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=5_000, msg_expiry=1_000),
+            evaluation_timeout=6_000,
+        )
+        cmid = duo.service.send_message({"x": 1}, condition)
+        duo.scheduler.run_until(2_000)  # past the expiry
+        assert duo.receiver.read_message("Q.IN") is None
+        assert duo.receiver_qm.depth(DEAD_LETTER_QUEUE) == 1
+        duo.run_all()
+        assert not duo.service.outcome(cmid).succeeded
+
+    def test_expiry_longer_than_deadline_is_harmless(self, duo):
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=1_000, msg_expiry=60_000),
+        )
+        cmid = duo.service.send_message({"x": 1}, condition)
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")
+        duo.deliver()
+        assert duo.service.outcome(cmid).succeeded
+
+    def test_set_level_expiry_inherited(self, duo):
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=5_000),
+            msg_expiry=500,
+            evaluation_timeout=6_000,
+        )
+        duo.service.send_message({"x": 1}, condition)
+        duo.scheduler.run_until(1_000)
+        assert duo.receiver.read_message("Q.IN") is None  # expired
+
+
+class TestPriorityInterplay:
+    def test_condition_priority_orders_delivery(self, duo):
+        """msg_priority on the condition controls queue placement: the
+        urgent message is read first although sent second."""
+        plain = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=10_000, msg_priority=2),
+        )
+        urgent = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=10_000, msg_priority=9),
+        )
+        duo.service.send_message({"order": "routine"}, plain)
+        duo.service.send_message({"order": "urgent"}, urgent)
+        duo.deliver()
+        first = duo.receiver.read_message("Q.IN")
+        assert first.body == {"order": "urgent"}
+
+    def test_priority_stamped_on_standard_messages(self, duo):
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_priority=7),
+        )
+        duo.service.send_message({"x": 1}, condition)
+        duo.deliver()
+        message = next(duo.receiver_qm.browse("Q.IN"))
+        assert message.priority == 7
+
+
+class TestPersistenceInterplay:
+    def test_non_persistent_condition_message_lost_on_receiver_crash(self, clock, scheduler):
+        from repro.core.receiver import ConditionalMessagingReceiver
+        from repro.core.service import ConditionalMessagingService
+        from repro.mq.manager import QueueManager
+        from repro.mq.network import MessageNetwork
+        from repro.mq.persistence import MemoryJournal
+
+        network = MessageNetwork(scheduler=scheduler, seed=0)
+        sender_qm = network.add_manager(QueueManager("QM.S", clock))
+        journal = MemoryJournal()
+        receiver_qm = network.add_manager(
+            QueueManager("QM.R", clock, journal=journal)
+        )
+        network.connect("QM.S", "QM.R")
+        service = ConditionalMessagingService(sender_qm, scheduler=scheduler)
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=10_000, msg_persistence=False),
+            evaluation_timeout=12_000,
+        )
+        durable_condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=10_000),  # persistent default
+            evaluation_timeout=12_000,
+        )
+        volatile_cmid = service.send_message({"k": "volatile"}, condition)
+        durable_cmid = service.send_message({"k": "durable"}, durable_condition)
+        scheduler.run_for(0)
+        assert receiver_qm.depth("Q.IN") == 2
+        # Receiver crashes and recovers: only the persistent copy remains.
+        recovered = QueueManager.recover("QM.R", clock, journal)
+        bodies = [m.body for m in recovered.browse("Q.IN")]
+        assert bodies == [{"k": "durable"}]
+        # The reader on the recovered manager satisfies only the durable one.
+        network2 = MessageNetwork(scheduler=scheduler, seed=1)
+        network2.add_manager(recovered)
+        network2.add_manager(sender_qm)
+        network2.connect("QM.R", "QM.S")
+        fresh = ConditionalMessagingReceiver(recovered, recipient_id="alice")
+        fresh.read_message("Q.IN")
+        scheduler.run_all()
+        assert service.outcome(durable_cmid).succeeded
+        assert not service.outcome(volatile_cmid).succeeded
+
+
+class TestQueueBackpressure:
+    def test_queue_full_raises_at_send(self, clock, scheduler):
+        from repro.core.service import ConditionalMessagingService
+        from repro.errors import QueueFullError
+        from repro.mq.manager import QueueManager
+        from repro.mq.network import MessageNetwork
+
+        network = MessageNetwork(scheduler=None)
+        sender_qm = network.add_manager(QueueManager("QM.S", clock))
+        receiver_qm = network.add_manager(QueueManager("QM.R", clock))
+        network.connect("QM.S", "QM.R")
+        receiver_qm.define_queue("TINY.Q", max_depth=2)
+        service = ConditionalMessagingService(sender_qm, scheduler=None)
+        condition = destination_set(
+            destination("TINY.Q", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=1_000)
+        )
+        service.send_message({"n": 1}, condition)
+        service.send_message({"n": 2}, condition)
+        with pytest.raises(QueueFullError):
+            service.send_message({"n": 3}, condition)
+
+
+class TestOutcomeReasonQuality:
+    def test_reasons_name_the_violated_destination(self, duo):
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=100),
+            evaluation_timeout=200,
+        )
+        cmid = duo.service.send_message({"x": 1}, condition)
+        duo.run_all()
+        reasons = duo.service.outcome(cmid).reasons
+        assert any("Q.IN" in reason for reason in reasons)
+
+    def test_subset_tally_reasons_show_counts(self, duo):
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice"),
+            destination("Q.OTHER", manager="QM.R", recipient="bob"),
+            msg_pick_up_time=100,
+            min_nr_pick_up=2,
+            evaluation_timeout=200,
+        )
+        cmid = duo.service.send_message({"x": 1}, condition)
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")
+        duo.run_all()
+        reasons = duo.service.outcome(cmid).reasons
+        assert any("1/2" in reason for reason in reasons)

@@ -1,0 +1,172 @@
+"""Unit tests for the evaluation manager (paper §2.5)."""
+
+import pytest
+
+from repro.core.acks import Acknowledgment, AckKind, ack_to_message
+from repro.core.builder import destination, destination_set
+from repro.core.evaluation import EvaluationManager
+from repro.core.outcome import MessageOutcome, OutcomeRecord
+from repro.core.satisfaction import EvalState
+from repro.errors import UnknownConditionalMessageError
+from repro.mq.manager import QueueManager
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+ACK_QUEUE = "DS.ACK.Q"
+
+
+@pytest.fixture
+def env():
+    clock = SimulatedClock()
+    scheduler = EventScheduler(clock)
+    manager = QueueManager("QM.S", clock)
+    decided = []
+    evaluation = EvaluationManager(
+        manager, ACK_QUEUE, on_decided=decided.append, scheduler=scheduler
+    )
+    return clock, scheduler, manager, evaluation, decided
+
+
+def simple_condition(deadline=100):
+    return destination_set(
+        destination("Q.A", manager="QM.S", recipient="alice",
+                    msg_pick_up_time=deadline)
+    )
+
+
+def ack(cmid, read_ms, kind=AckKind.READ, commit_ms=None, recipient="alice"):
+    return Acknowledgment(
+        cmid=cmid,
+        kind=kind,
+        queue="Q.A",
+        manager="QM.S",
+        recipient=recipient,
+        read_time_ms=read_ms,
+        commit_time_ms=commit_ms,
+        original_message_id=f"m-{read_ms}",
+    )
+
+
+class TestRegistration:
+    def test_trivial_condition_decides_at_registration(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        condition = destination_set(destination("Q.A"))
+        evaluation.register("CM-1", condition, 0, None)
+        assert len(decided) == 1
+        assert decided[0].outcome is MessageOutcome.SUCCESS
+
+    def test_pending_condition_stays_open(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(), 0, 200)
+        assert decided == []
+        assert evaluation.pending_count() == 1
+
+    def test_unknown_cmid_raises(self, env):
+        _, _, _, evaluation, _ = env
+        with pytest.raises(UnknownConditionalMessageError):
+            evaluation.record("CM-GHOST")
+
+
+class TestAckIntake:
+    def test_ack_message_on_queue_triggers_evaluation(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(), 0, 200)
+        clock.advance(50)
+        manager.put(ACK_QUEUE, ack_to_message(ack("CM-1", 50)))
+        assert len(decided) == 1
+        assert decided[0].outcome is MessageOutcome.SUCCESS
+        assert decided[0].acks_received == 1
+        assert manager.depth(ACK_QUEUE) == 0  # drained
+
+    def test_acks_sorted_to_right_message(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(), 0, 200)
+        evaluation.register("CM-2", simple_condition(), 0, 200)
+        manager.put(ACK_QUEUE, ack_to_message(ack("CM-2", 10)))
+        assert [d.cmid for d in decided] == ["CM-2"]
+        assert evaluation.record("CM-1").acks == []
+
+    def test_unknown_ack_dropped_without_wedging(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(), 0, 200)
+        manager.put(ACK_QUEUE, ack_to_message(ack("CM-GHOST", 10)))
+        manager.put(ACK_QUEUE, ack_to_message(ack("CM-1", 20)))
+        assert [d.cmid for d in decided] == ["CM-1"]
+        assert evaluation.stats.acks_processed == 2
+
+    def test_acks_after_decision_ignored(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(), 0, 200)
+        manager.put(ACK_QUEUE, ack_to_message(ack("CM-1", 10)))
+        manager.put(ACK_QUEUE, ack_to_message(ack("CM-1", 20, recipient="bob")))
+        assert len(decided) == 1
+        assert evaluation.record("CM-1").decided.acks_received == 1
+
+
+class TestTimeouts:
+    def test_timeout_fails_pending_message(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(100), 0, 150)
+        scheduler.run_until(149)
+        assert decided == []
+        scheduler.run_until(150)
+        assert len(decided) == 1
+        assert decided[0].outcome is MessageOutcome.FAILURE
+        assert evaluation.stats.decided_by_timeout == 1
+
+    def test_timeout_event_cancelled_after_early_decision(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(100), 0, 150)
+        manager.put(ACK_QUEUE, ack_to_message(ack("CM-1", 10)))
+        fired = scheduler.run_all()
+        assert len(decided) == 1
+        assert evaluation.stats.decided_by_timeout == 0
+
+    def test_poll_drives_timeouts_without_scheduler(self, clock):
+        manager = QueueManager("QM.S", clock)
+        decided = []
+        evaluation = EvaluationManager(
+            manager, ACK_QUEUE, on_decided=decided.append, scheduler=None
+        )
+        evaluation.register("CM-1", simple_condition(100), 0, 150)
+        clock.advance(200)
+        assert evaluation.poll() == 1
+        assert decided[0].outcome is MessageOutcome.FAILURE
+
+
+class TestForceDecide:
+    def test_force_failure(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(), 0, 1_000)
+        record = evaluation.force_decide(
+            "CM-1", MessageOutcome.FAILURE, "sphere aborted"
+        )
+        assert record.outcome is MessageOutcome.FAILURE
+        assert "sphere aborted" in record.reasons
+        assert decided[-1] is record
+
+    def test_force_on_decided_message_is_noop(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(), 0, 1_000)
+        manager.put(ACK_QUEUE, ack_to_message(ack("CM-1", 10)))
+        assert evaluation.force_decide("CM-1", MessageOutcome.FAILURE, "x") is None
+        assert evaluation.record("CM-1").decided.outcome is MessageOutcome.SUCCESS
+
+
+class TestStats:
+    def test_counters(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(), 0, 100)
+        evaluation.register("CM-2", simple_condition(), 0, 100)
+        manager.put(ACK_QUEUE, ack_to_message(ack("CM-1", 10)))
+        scheduler.run_all()  # CM-2 times out
+        assert evaluation.stats.decided_success == 1
+        assert evaluation.stats.decided_failure == 1
+        assert evaluation.stats.acks_processed == 1
+        assert evaluation.pending_count() == 0
+
+    def test_evaluate_returns_state_for_decided(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(), 0, 100)
+        manager.put(ACK_QUEUE, ack_to_message(ack("CM-1", 10)))
+        assert evaluation.evaluate("CM-1") is EvalState.SATISFIED

@@ -1,0 +1,162 @@
+"""Tests for receiver-side expectations (the paper's receiver-role conditions)."""
+
+import pytest
+
+from repro.core.expectations import ExpectationOutcome, ExpectationService
+from repro.errors import ConditionalMessagingError
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+
+@pytest.fixture
+def env():
+    clock = SimulatedClock()
+    scheduler = EventScheduler(clock)
+    manager = QueueManager("QM.R", clock)
+    service = ExpectationService(manager, scheduler=scheduler)
+    return clock, scheduler, manager, service
+
+
+class TestBasics:
+    def test_arrival_before_deadline_meets(self, env):
+        clock, scheduler, manager, service = env
+        expectation = service.expect("HANDOVER.Q", within_ms=1_000)
+        scheduler.run_until(500)
+        manager.put("HANDOVER.Q", Message(body={"flight": "BA117"}))
+        assert expectation.met
+        assert expectation.decided_at_ms == 500
+        assert len(expectation.matched) == 1
+
+    def test_no_arrival_fails_at_deadline(self, env):
+        clock, scheduler, manager, service = env
+        expectation = service.expect("HANDOVER.Q", within_ms=1_000)
+        scheduler.run_until(999)
+        assert expectation.pending
+        scheduler.run_until(1_000)
+        assert expectation.outcome is ExpectationOutcome.FAILED
+
+    def test_late_arrival_does_not_meet(self, env):
+        clock, scheduler, manager, service = env
+        expectation = service.expect("HANDOVER.Q", within_ms=100)
+        scheduler.run_until(200)
+        manager.put("HANDOVER.Q", Message(body=None))
+        assert expectation.outcome is ExpectationOutcome.FAILED
+
+    def test_preexisting_message_counts(self, env):
+        clock, scheduler, manager, service = env
+        manager.ensure_queue("HANDOVER.Q")
+        manager.put("HANDOVER.Q", Message(body=None))
+        expectation = service.expect("HANDOVER.Q", within_ms=1_000)
+        assert expectation.met
+
+    def test_matching_does_not_consume(self, env):
+        clock, scheduler, manager, service = env
+        service.expect("HANDOVER.Q", within_ms=1_000)
+        manager.put("HANDOVER.Q", Message(body="keep me"))
+        assert manager.depth("HANDOVER.Q") == 1
+
+
+class TestSelectorsAndCounts:
+    def test_selector_filters_matches(self, env):
+        clock, scheduler, manager, service = env
+        expectation = service.expect(
+            "PX.Q", within_ms=1_000, selector="sym = 'IBM'"
+        )
+        manager.put("PX.Q", Message(body=None, properties={"sym": "SUN"}))
+        assert expectation.pending
+        manager.put("PX.Q", Message(body=None, properties={"sym": "IBM"}))
+        assert expectation.met
+
+    def test_min_count(self, env):
+        clock, scheduler, manager, service = env
+        expectation = service.expect("PX.Q", within_ms=1_000, min_count=3)
+        for _ in range(2):
+            manager.put("PX.Q", Message(body=None))
+        assert expectation.pending
+        manager.put("PX.Q", Message(body=None))
+        assert expectation.met
+        assert len(expectation.matched) == 3
+
+    def test_min_count_not_reached_fails(self, env):
+        clock, scheduler, manager, service = env
+        expectation = service.expect("PX.Q", within_ms=1_000, min_count=5)
+        manager.put("PX.Q", Message(body=None))
+        scheduler.run_all()
+        assert expectation.outcome is ExpectationOutcome.FAILED
+
+
+class TestConcurrentExpectations:
+    def test_independent_expectations_same_queue(self, env):
+        clock, scheduler, manager, service = env
+        fast = service.expect("Q", within_ms=100)
+        slow = service.expect("Q", within_ms=10_000, min_count=2)
+        scheduler.run_until(200)  # fast fails
+        assert fast.outcome is ExpectationOutcome.FAILED
+        manager.put("Q", Message(body=1))
+        manager.put("Q", Message(body=2))
+        assert slow.met
+
+    def test_pending_count(self, env):
+        clock, scheduler, manager, service = env
+        service.expect("A.Q", within_ms=100)
+        service.expect("B.Q", within_ms=100)
+        assert service.pending_count() == 2
+        scheduler.run_all()
+        assert service.pending_count() == 0
+
+
+class TestCallbacksAndPolling:
+    def test_callback_invoked_once_with_outcome(self, env):
+        clock, scheduler, manager, service = env
+        decided = []
+        service.expect("Q", within_ms=100, on_decided=decided.append)
+        manager.put("Q", Message(body=None))
+        scheduler.run_all()
+        assert len(decided) == 1
+        assert decided[0].met
+
+    def test_callback_on_failure(self, env):
+        clock, scheduler, manager, service = env
+        decided = []
+        service.expect("Q", within_ms=100, on_decided=decided.append)
+        scheduler.run_all()
+        assert len(decided) == 1
+        assert decided[0].outcome is ExpectationOutcome.FAILED
+
+    def test_poll_mode_without_scheduler(self, clock):
+        manager = QueueManager("QM.R", clock)
+        service = ExpectationService(manager, scheduler=None)
+        expectation = service.expect("Q", within_ms=100)
+        clock.advance(200)
+        assert service.poll() == 1
+        assert expectation.outcome is ExpectationOutcome.FAILED
+
+    def test_validation(self, env):
+        clock, scheduler, manager, service = env
+        with pytest.raises(ConditionalMessagingError):
+            service.expect("Q", within_ms=-1)
+        with pytest.raises(ConditionalMessagingError):
+            service.expect("Q", within_ms=10, min_count=0)
+
+
+class TestWithConditionalMessaging:
+    def test_expectation_over_conditional_traffic(self, duo):
+        """A receiver expects the sender's conditional message — both
+        sides' conditions decide independently."""
+        from repro.core import destination, destination_set
+        from repro.core.expectations import ExpectationService
+
+        expectations = ExpectationService(duo.receiver_qm, scheduler=duo.scheduler)
+        expectation = expectations.expect("Q.IN", within_ms=5_000)
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=5_000)
+        )
+        cmid = duo.service.send_message({"x": 1}, condition)
+        duo.deliver()
+        assert expectation.met              # receiver-side condition
+        duo.receiver.read_message("Q.IN")
+        duo.deliver()
+        assert duo.service.outcome(cmid).succeeded  # sender-side condition

@@ -1,0 +1,82 @@
+"""Direct round-trip tests for log entries and outcome records."""
+
+import pytest
+
+from repro.core.logqueues import ReceiverLogEntry, SenderLogEntry
+from repro.core.outcome import MessageOutcome, OutcomeRecord
+
+
+class TestSenderLogEntry:
+    def entry(self):
+        return SenderLogEntry(
+            cmid="CM-1",
+            send_time_ms=123,
+            condition={"type": "destination", "queue": "Q.A"},
+            destinations=[{"manager": "QM.R", "queue": "Q.A"}],
+            evaluation_timeout_ms=5_000,
+            has_compensation=True,
+        )
+
+    def test_roundtrip(self):
+        entry = self.entry()
+        restored = SenderLogEntry.from_message(entry.to_message())
+        assert restored == entry
+
+    def test_message_correlated_by_cmid(self):
+        assert self.entry().to_message().correlation_id == "CM-1"
+
+    def test_none_timeout_survives(self):
+        entry = SenderLogEntry(
+            cmid="CM-2", send_time_ms=0,
+            condition={"type": "destination", "queue": "Q"},
+            destinations=[], evaluation_timeout_ms=None,
+            has_compensation=False,
+        )
+        restored = SenderLogEntry.from_message(entry.to_message())
+        assert restored.evaluation_timeout_ms is None
+        assert restored.has_compensation is False
+
+
+class TestReceiverLogEntry:
+    def test_roundtrip(self):
+        entry = ReceiverLogEntry(
+            cmid="CM-1",
+            original_message_id="MSG-9",
+            queue="Q.A",
+            recipient="alice",
+            read_time_ms=500,
+            transactional=True,
+            commit_time_ms=700,
+        )
+        restored = ReceiverLogEntry.from_message(entry.to_message())
+        assert restored == entry
+
+    def test_non_transactional_defaults(self):
+        entry = ReceiverLogEntry(
+            cmid="CM-1", original_message_id="m", queue="Q",
+            recipient="r", read_time_ms=1, transactional=False,
+        )
+        restored = ReceiverLogEntry.from_message(entry.to_message())
+        assert restored.commit_time_ms is None
+
+
+class TestOutcomeRecord:
+    def test_roundtrip(self):
+        record = OutcomeRecord(
+            cmid="CM-1",
+            outcome=MessageOutcome.FAILURE,
+            decided_at_ms=999,
+            acks_received=3,
+            reasons=["late", "missing"],
+        )
+        restored = OutcomeRecord.from_message(record.to_message())
+        assert restored == record
+        assert not restored.succeeded
+
+    def test_success_helper(self):
+        record = OutcomeRecord(
+            cmid="CM-1", outcome=MessageOutcome.SUCCESS,
+            decided_at_ms=1, acks_received=1,
+        )
+        assert record.succeeded
+        assert record.reasons == []

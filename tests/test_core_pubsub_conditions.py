@@ -1,0 +1,182 @@
+"""Conditional messaging over publish/subscribe (paper §2 scope, §4.2).
+
+A condition's Destination may address a topic's ingress queue; the broker
+fans the standard message out to subscriber queues, subscribers read
+through the conditional receiver API, and their acknowledgments come back
+against the *topic* (the sender-addressed destination), so anonymous
+subscriber-count conditions evaluate naturally.
+"""
+
+import pytest
+
+from repro.core import destination, destination_set
+from repro.core.receiver import ConditionalMessagingReceiver
+from repro.core.service import ConditionalMessagingService
+from repro.mq.manager import QueueManager
+from repro.mq.network import MessageNetwork
+from repro.mq.pubsub import SUBSCRIPTION_QUEUE_PREFIX, TopicBroker, topic_queue_name
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+
+@pytest.fixture
+def env():
+    clock = SimulatedClock()
+    scheduler = EventScheduler(clock)
+    network = MessageNetwork(scheduler=scheduler, seed=0)
+    sender_qm = network.add_manager(QueueManager("QM.S", clock))
+    hub_qm = network.add_manager(QueueManager("QM.HUB", clock))
+    network.connect("QM.S", "QM.HUB", latency_ms=10)
+    service = ConditionalMessagingService(sender_qm, scheduler=scheduler)
+    broker = TopicBroker(hub_qm)
+    broker.define_topic("alerts")
+    return clock, scheduler, service, broker, hub_qm
+
+
+def subscriber(hub_qm, broker, name):
+    broker.subscribe("alerts", name)
+    return ConditionalMessagingReceiver(hub_qm, recipient_id=name), (
+        SUBSCRIPTION_QUEUE_PREFIX + name
+    )
+
+
+def topic_condition(**kwargs):
+    return destination_set(
+        destination(topic_queue_name("alerts"), manager="QM.HUB"),
+        evaluation_timeout=kwargs.pop("evaluation_timeout", 5_000),
+        **kwargs,
+    )
+
+
+class TestTopicDelivery:
+    def test_conditional_send_reaches_all_subscribers(self, env):
+        clock, scheduler, service, broker, hub_qm = env
+        endpoints = [subscriber(hub_qm, broker, f"sub{i}") for i in range(3)]
+        cmid = service.send_message({"alert": "smoke"}, topic_condition(
+            msg_pick_up_time=1_000))
+        scheduler.run_for(10)
+        for receiver, queue in endpoints:
+            message = receiver.read_message(queue)
+            assert message is not None
+            assert message.cmid == cmid
+            assert message.body == {"alert": "smoke"}
+
+    def test_any_subscriber_pick_up_satisfies(self, env):
+        clock, scheduler, service, broker, hub_qm = env
+        endpoints = [subscriber(hub_qm, broker, f"sub{i}") for i in range(3)]
+        cmid = service.send_message(
+            {"alert": "x"}, topic_condition(msg_pick_up_time=1_000)
+        )
+        scheduler.run_for(10)
+        receiver, queue = endpoints[1]
+        receiver.read_message(queue)
+        scheduler.run_for(10)  # ack returns
+        assert service.outcome(cmid) is not None
+        assert service.outcome(cmid).succeeded
+
+    def test_no_subscribers_reads_fails_at_timeout(self, env):
+        clock, scheduler, service, broker, hub_qm = env
+        subscriber(hub_qm, broker, "sub0")
+        cmid = service.send_message(
+            {"alert": "x"}, topic_condition(msg_pick_up_time=1_000)
+        )
+        scheduler.run_all()
+        outcome = service.outcome(cmid)
+        assert not outcome.succeeded
+        assert outcome.decided_at_ms == 5_000  # the evaluation timeout
+
+    def test_late_single_subscriber_does_not_fail_early(self, env):
+        """A topic has no copy bound: one late subscriber ack must not
+        trigger the copies-exhausted early violation."""
+        clock, scheduler, service, broker, hub_qm = env
+        early, early_q = subscriber(hub_qm, broker, "early")
+        late, late_q = subscriber(hub_qm, broker, "late")
+        cmid = service.send_message(
+            {"alert": "x"}, topic_condition(msg_pick_up_time=1_000)
+        )
+        scheduler.run_until(2_000)
+        late.read_message(late_q)     # late read: after the deadline
+        scheduler.run_for(10)
+        assert service.outcome(cmid) is None  # still pending, not violated
+        early.read_message(early_q)   # read stamp 2010 -> also late
+        scheduler.run_all()
+        assert not service.outcome(cmid).succeeded
+
+
+class TestAnonymousSubscriberCounts:
+    def anon_condition(self, minimum, maximum=None):
+        return destination_set(
+            destination(topic_queue_name("alerts"), manager="QM.HUB"),
+            msg_pick_up_time=1_000,
+            anonymous_min_pick_up=minimum,
+            anonymous_max_pick_up=maximum,
+            evaluation_timeout=2_000,
+        )
+
+    def test_min_subscribers_must_confirm(self, env):
+        clock, scheduler, service, broker, hub_qm = env
+        endpoints = [subscriber(hub_qm, broker, f"sub{i}") for i in range(4)]
+        cmid = service.send_message({"a": 1}, self.anon_condition(minimum=3))
+        scheduler.run_for(10)
+        for receiver, queue in endpoints[:2]:
+            receiver.read_message(queue)
+        scheduler.run_for(10)
+        assert service.outcome(cmid) is None  # 2 of 3 required: pending
+        endpoints[2][0].read_message(endpoints[2][1])
+        scheduler.run_for(10)
+        assert service.outcome(cmid).succeeded
+
+    def test_too_few_subscribers_fails_at_timeout(self, env):
+        clock, scheduler, service, broker, hub_qm = env
+        endpoints = [subscriber(hub_qm, broker, f"sub{i}") for i in range(2)]
+        cmid = service.send_message({"a": 1}, self.anon_condition(minimum=3))
+        scheduler.run_for(10)
+        for receiver, queue in endpoints:
+            receiver.read_message(queue)
+        scheduler.run_all()
+        outcome = service.outcome(cmid)
+        assert not outcome.succeeded
+        assert any("anonymous" in r for r in outcome.reasons)
+
+    def test_max_subscribers_bound(self, env):
+        clock, scheduler, service, broker, hub_qm = env
+        endpoints = [subscriber(hub_qm, broker, f"sub{i}") for i in range(4)]
+        cmid = service.send_message(
+            {"a": 1}, self.anon_condition(minimum=1, maximum=2)
+        )
+        scheduler.run_for(10)
+        for receiver, queue in endpoints:  # all four confirm: exceeds max
+            receiver.read_message(queue)
+        scheduler.run_for(10)
+        outcome = service.outcome(cmid)
+        assert outcome is not None and not outcome.succeeded
+
+
+class TestCompensationOverTopics:
+    def test_failure_compensates_via_topic(self, env):
+        """The compensation is published through the same topic, reaching
+        every subscriber whose copy was consumed (RLOG pairing applies on
+        the shared hub manager)."""
+        clock, scheduler, service, broker, hub_qm = env
+        reader, reader_q = subscriber(hub_qm, broker, "reader")
+        ignorer, ignorer_q = subscriber(hub_qm, broker, "ignorer")
+        cmid = service.send_message(
+            {"a": 1},
+            destination_set(
+                destination(topic_queue_name("alerts"), manager="QM.HUB"),
+                msg_pick_up_time=500,
+                anonymous_min_pick_up=2,
+                evaluation_timeout=1_000,
+            ),
+            compensation={"undo": True},
+        )
+        scheduler.run_for(10)
+        reader.read_message(reader_q)  # only one of two confirms
+        scheduler.run_all()            # fails at timeout; comp released
+        assert not service.outcome(cmid).succeeded
+        # The reader consumed its copy: compensation is delivered.
+        comp = reader.read_message(reader_q)
+        assert comp is not None and comp.is_compensation
+        # The ignorer's copy is still in its queue: original+comp cancel.
+        assert ignorer.read_message(ignorer_q) is None
+        assert ignorer.stats.cancellations == 1

@@ -1,0 +1,151 @@
+"""Tests for the sender-service crash-recovery API (recover_from_log)."""
+
+import pytest
+
+from repro.core import destination, destination_set
+from repro.core.receiver import ConditionalMessagingReceiver
+from repro.core.service import ConditionalMessagingService
+from repro.mq.manager import QueueManager
+from repro.mq.network import MessageNetwork
+from repro.mq.persistence import MemoryJournal
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+
+class CrashEnv:
+    """Sender with a journal, one receiver, and a crash/restart helper."""
+
+    def __init__(self):
+        self.clock = SimulatedClock()
+        self.scheduler = EventScheduler(self.clock)
+        self.journal = MemoryJournal()
+        self.network = MessageNetwork(scheduler=self.scheduler, seed=1)
+        self.sender_qm = self.network.add_manager(
+            QueueManager("QM.S", self.clock, journal=self.journal)
+        )
+        self.receiver_qm = self.network.add_manager(
+            QueueManager("QM.R", self.clock)
+        )
+        self.network.connect("QM.S", "QM.R", latency_ms=10)
+        self.service = ConditionalMessagingService(
+            self.sender_qm, scheduler=self.scheduler
+        )
+        self.receiver = ConditionalMessagingReceiver(
+            self.receiver_qm, recipient_id="alice"
+        )
+
+    def crash(self) -> None:
+        """Kill the sender process: its pending timers die with it.
+
+        The shared scheduler models global time, so the crashed sender's
+        evaluation-timeout events must be cancelled explicitly (a dead
+        process fires no timers).  Network transfer events are left alone
+        — they belong to the channels, not the sender process.
+        """
+        for event in self.scheduler._heap:  # noqa: SLF001 - test-only surgery
+            if event.label.startswith("eval-timeout"):
+                event.cancel()
+
+    def crash_and_restart(self) -> int:
+        """Replace the sender with a journal-recovered instance."""
+        self.crash()
+        recovered_qm = QueueManager.recover("QM.S", self.clock, self.journal)
+        # Rewire the network around the recovered manager.
+        self.network = MessageNetwork(scheduler=self.scheduler, seed=2)
+        self.network.add_manager(recovered_qm)
+        self.network.add_manager(self.receiver_qm)
+        self.network.connect("QM.S", "QM.R", latency_ms=10)
+        self.sender_qm = recovered_qm
+        self.service = ConditionalMessagingService(
+            recovered_qm, scheduler=self.scheduler
+        )
+        return self.service.recover_from_log()
+
+    def condition(self, deadline=1_000, timeout=2_000):
+        return destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=deadline),
+            evaluation_timeout=timeout,
+        )
+
+
+@pytest.fixture
+def env():
+    return CrashEnv()
+
+
+class TestResume:
+    def test_inflight_message_resumed_and_succeeds(self, env):
+        cmid = env.service.send_message({"x": 1}, env.condition())
+        env.scheduler.run_for(10)  # original delivered
+        assert env.crash_and_restart() == 1
+        env.receiver.read_message("Q.IN")
+        env.scheduler.run_for(20)
+        outcome = env.service.outcome(cmid)
+        assert outcome is not None and outcome.succeeded
+
+    def test_original_deadlines_preserved_across_crash(self, env):
+        """Deadlines are relative to the ORIGINAL send time, not the
+        restart time: a read after the (pre-crash) deadline still fails."""
+        cmid = env.service.send_message({"x": 1}, env.condition(deadline=500))
+        env.scheduler.run_until(800)  # crash happens after the deadline
+        env.crash_and_restart()
+        env.receiver.read_message("Q.IN")  # read at 800 > 500
+        env.scheduler.run_all()
+        assert not env.service.outcome(cmid).succeeded
+
+    def test_timeout_elapsed_during_outage_fails_immediately(self, env):
+        cmid = env.service.send_message({"x": 1}, env.condition(timeout=1_000))
+        env.crash()                     # sender dies right after the send
+        env.scheduler.run_until(5_000)  # outage covers the whole timeout
+        env.crash_and_restart()
+        outcome = env.service.outcome(cmid)
+        assert outcome is not None
+        assert not outcome.succeeded
+        # The staged compensation survived and was released on decision.
+        assert env.service.stats.compensations_released == 1
+
+    def test_acks_parked_during_outage_are_consumed(self, env):
+        """An ack sent while the sender is down parks on the receiver's
+        transmission queue (store-and-forward) and is evaluated by the
+        recovered sender."""
+        cmid = env.service.send_message({"x": 1}, env.condition())
+        env.scheduler.run_for(10)            # original delivered
+        env.crash()
+        env.network.stop_channel("QM.R", "QM.S")  # the sender is unreachable
+        env.receiver.read_message("Q.IN")    # ack parks on QM.R's xmit queue
+        env.scheduler.run_for(20)
+        env.crash_and_restart()              # new channel drains the backlog
+        env.scheduler.run_for(20)            # parked ack arrives and evaluates
+        outcome = env.service.outcome(cmid)
+        assert outcome is not None and outcome.succeeded
+
+    def test_decided_messages_not_resumed(self, env):
+        cmid = env.service.send_message({"x": 1}, env.condition())
+        env.scheduler.run_for(10)
+        env.receiver.read_message("Q.IN")
+        env.scheduler.run_for(20)
+        assert env.service.outcome(cmid).succeeded
+        # The recovery log entry was removed on decision:
+        resumed = env.crash_and_restart()
+        assert resumed == 0
+
+    def test_multiple_inflight_messages_resumed(self, env):
+        cmids = [
+            env.service.send_message({"i": i}, env.condition()) for i in range(5)
+        ]
+        env.scheduler.run_for(10)
+        assert env.crash_and_restart() == 5
+        env.receiver.read_all("Q.IN")
+        env.scheduler.run_all()
+        outcomes = [env.service.outcome(c) for c in cmids]
+        assert all(o is not None for o in outcomes)
+        assert all(o.succeeded for o in outcomes)
+
+    def test_slog_tracks_only_inflight(self, env):
+        env.service.send_message({"x": 1}, env.condition())
+        assert env.sender_qm.depth(env.service.slog_queue) == 1
+        env.scheduler.run_for(10)
+        env.receiver.read_message("Q.IN")
+        env.scheduler.run_for(20)
+        assert env.sender_qm.depth(env.service.slog_queue) == 0

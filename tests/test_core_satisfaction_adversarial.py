@@ -1,0 +1,228 @@
+"""Adversarial satisfaction tests: tricky interactions of the semantics.
+
+These push on the corners where features interact: max-bounds vs
+exhaustion, copies vs mixed transactional/non-transactional acks, named
+and anonymous recipients on the same queue, deep nesting with
+conflicting deadlines, and processing-implies-pickup subtleties.
+"""
+
+import pytest
+
+from repro.core.acks import Acknowledgment, AckKind
+from repro.core.builder import destination, destination_set
+from repro.core.satisfaction import EvalState, evaluate_condition
+
+QM = "QM.S"
+
+
+def read_ack(queue, recipient, read_ms, manager=QM, mid=None):
+    return Acknowledgment(
+        cmid="CM-T", kind=AckKind.READ, queue=queue, manager=manager,
+        recipient=recipient, read_time_ms=read_ms, commit_time_ms=None,
+        original_message_id=mid or f"{queue}-{recipient}-{read_ms}",
+    )
+
+
+def proc_ack(queue, recipient, read_ms, commit_ms, manager=QM, mid=None):
+    return Acknowledgment(
+        cmid="CM-T", kind=AckKind.PROCESSED, queue=queue, manager=manager,
+        recipient=recipient, read_time_ms=read_ms, commit_time_ms=commit_ms,
+        original_message_id=mid or f"{queue}-{recipient}-{read_ms}",
+    )
+
+
+def state(condition, acks, now, timeout=None):
+    return evaluate_condition(
+        condition, acks, 0, now, evaluation_timeout_ms=timeout,
+        default_manager=QM,
+    ).state
+
+
+class TestCopiesWithMixedAcks:
+    def cond(self):
+        # Two copies on one shared queue; processing required on the leaf.
+        return destination_set(
+            destination("Q.S", copies=2, msg_processing_time=100)
+        )
+
+    def test_one_nontx_one_tx_commit_in_time(self):
+        acks = [
+            read_ack("Q.S", "r1", 10, mid="m1"),          # consumed, dead for processing
+            proc_ack("Q.S", "r2", 20, 80, mid="m2"),      # satisfies
+        ]
+        assert state(self.cond(), acks, now=90) is EvalState.SATISFIED
+
+    def test_both_nontx_reads_violate_early(self):
+        acks = [
+            read_ack("Q.S", "r1", 10, mid="m1"),
+            read_ack("Q.S", "r2", 20, mid="m2"),
+        ]
+        # Both copies consumed without transactions: processing can never
+        # be acknowledged -> early violation well before the deadline.
+        assert state(self.cond(), acks, now=30) is EvalState.VIOLATED
+
+    def test_one_dead_copy_keeps_pending(self):
+        acks = [read_ack("Q.S", "r1", 10, mid="m1")]
+        # One copy burned, one still out there: pending.
+        assert state(self.cond(), acks, now=30) is EvalState.PENDING
+
+    def test_late_commit_on_last_copy_violates(self):
+        acks = [
+            read_ack("Q.S", "r1", 10, mid="m1"),
+            proc_ack("Q.S", "r2", 20, 150, mid="m2"),  # commit after deadline
+        ]
+        assert state(self.cond(), acks, now=150) is EvalState.VIOLATED
+
+
+class TestNamedAndAnonymousOnOneQueue:
+    def cond(self):
+        # bob is named; two more copies for anyone; at least 2 anonymous.
+        return destination_set(
+            destination("Q.S", recipient="bob", msg_pick_up_time=100),
+            destination("Q.S", copies=2),
+            msg_pick_up_time=100,
+            anonymous_min_pick_up=2,
+        )
+
+    def test_bob_alone_is_not_anonymous(self):
+        acks = [read_ack("Q.S", "bob", 10)]
+        assert state(self.cond(), acks, now=20) is EvalState.PENDING
+
+    def test_bob_plus_two_strangers_satisfies(self):
+        acks = [
+            read_ack("Q.S", "bob", 10, mid="m1"),
+            read_ack("Q.S", "carol", 20, mid="m2"),
+            read_ack("Q.S", "dave", 30, mid="m3"),
+        ]
+        assert state(self.cond(), acks, now=40) is EvalState.SATISFIED
+
+    def test_three_strangers_without_bob_fails(self):
+        # All three copies consumed by strangers; bob can never ack his
+        # required leaf.
+        acks = [
+            read_ack("Q.S", "carol", 10, mid="m1"),
+            read_ack("Q.S", "dave", 20, mid="m2"),
+            read_ack("Q.S", "erin", 30, mid="m3"),
+        ]
+        assert state(self.cond(), acks, now=40) is EvalState.VIOLATED
+
+    def test_bobs_second_read_is_not_anonymous(self):
+        # bob reads two copies: his identity is named, so his extra read
+        # must NOT count toward the anonymous tally.
+        acks = [
+            read_ack("Q.S", "bob", 10, mid="m1"),
+            read_ack("Q.S", "bob", 20, mid="m2"),
+            read_ack("Q.S", "carol", 30, mid="m3"),
+        ]
+        # Anonymous distinct = {carol} = 1 < 2, and all copies consumed:
+        # the minimum is unreachable.
+        assert state(self.cond(), acks, now=40) is EvalState.VIOLATED
+
+
+class TestMaxBoundsVsExhaustion:
+    def cond(self):
+        return destination_set(
+            destination("Q.A"),
+            destination("Q.B"),
+            destination("Q.C"),
+            msg_pick_up_time=100,
+            min_nr_pick_up=1,
+            max_nr_pick_up=1,
+        )
+
+    def test_exactly_one_in_time_rest_late(self):
+        acks = [
+            read_ack("Q.A", "a", 50),
+            read_ack("Q.B", "b", 200),
+            read_ack("Q.C", "c", 300),
+        ]
+        assert state(self.cond(), acks, now=300) is EvalState.SATISFIED
+
+    def test_two_in_time_violates_max(self):
+        acks = [read_ack("Q.A", "a", 50), read_ack("Q.B", "b", 60)]
+        assert state(self.cond(), acks, now=70) is EvalState.VIOLATED
+
+    def test_timeout_resolves_respecting_max(self):
+        acks = [read_ack("Q.A", "a", 50)]
+        assert state(self.cond(), acks, now=500, timeout=500) is EvalState.SATISFIED
+
+    def test_zero_in_time_fails_at_timeout(self):
+        assert state(self.cond(), [], now=500, timeout=500) is EvalState.VIOLATED
+
+
+class TestDeepNestingConflictingDeadlines:
+    def cond(self):
+        # Inner set has a STRICTER pick-up time than the root.
+        return destination_set(
+            destination_set(
+                destination("Q.A"),
+                destination("Q.B"),
+                msg_pick_up_time=50,      # inner: 50ms
+                min_nr_pick_up=1,
+            ),
+            destination("Q.C"),
+            msg_pick_up_time=200,          # root: 200ms applies to Q.C
+        )
+
+    def test_inner_deadline_stricter(self):
+        acks = [
+            read_ack("Q.A", "a", 100),  # inside root window, outside inner
+            read_ack("Q.B", "b", 120),
+            read_ack("Q.C", "c", 150),
+        ]
+        # Inner min-1-by-50 unmet (both late for 50) and both copies
+        # consumed: the inner tally can never be met.
+        assert state(self.cond(), acks, now=160) is EvalState.VIOLATED
+
+    def test_inner_met_by_one_fast_member(self):
+        acks = [
+            read_ack("Q.A", "a", 40),    # inside inner window
+            read_ack("Q.B", "b", 120),   # late for inner, fine for root
+            read_ack("Q.C", "c", 150),
+        ]
+        assert state(self.cond(), acks, now=160) is EvalState.SATISFIED
+
+    def test_inner_counts_toward_root_with_own_deadline(self):
+        # Q.C missing: root requires both children (no min).
+        acks = [read_ack("Q.A", "a", 40), read_ack("Q.B", "b", 45)]
+        assert state(self.cond(), acks, now=100) is EvalState.PENDING
+        assert state(self.cond(), acks, now=300, timeout=300) is EvalState.VIOLATED
+
+
+class TestProcessingImpliesPickup:
+    def test_commit_before_pickup_deadline_satisfies_both(self):
+        cond = destination_set(
+            destination("Q.A", msg_pick_up_time=200, msg_processing_time=100)
+        )
+        # Commit at 90 implies read at <=90: both aspects satisfied.
+        assert state(cond, [proc_ack("Q.A", "x", 50, 90)], now=95) is EvalState.SATISFIED
+
+    def test_in_time_read_late_commit(self):
+        cond = destination_set(
+            destination("Q.A", msg_pick_up_time=200, msg_processing_time=100)
+        )
+        acks = [proc_ack("Q.A", "x", 50, 150)]
+        # Pick-up fine (50 <= 200) but processing late (150 > 100).
+        assert state(cond, acks, now=150) is EvalState.VIOLATED
+
+
+class TestAckNoise:
+    def test_acks_for_unknown_queues_ignored(self):
+        cond = destination_set(destination("Q.A", msg_pick_up_time=100))
+        acks = [
+            read_ack("Q.OTHER", "x", 10),
+            read_ack("Q.A", "y", 20),
+        ]
+        assert state(cond, acks, now=30) is EvalState.SATISFIED
+
+    def test_acks_from_wrong_manager_ignored(self):
+        cond = destination_set(
+            destination("Q.A", manager="QM.RIGHT", msg_pick_up_time=100)
+        )
+        acks = [read_ack("Q.A", "x", 10, manager="QM.WRONG")]
+        assert state(cond, acks, now=20) is EvalState.PENDING
+
+    def test_duplicate_ack_ids_harmless_for_satisfied(self):
+        cond = destination_set(destination("Q.A", msg_pick_up_time=100))
+        ack = read_ack("Q.A", "x", 10, mid="same")
+        assert state(cond, [ack, ack], now=20) is EvalState.SATISFIED

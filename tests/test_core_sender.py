@@ -1,0 +1,159 @@
+"""Unit tests for sender-side message generation (paper §2.3)."""
+
+import pytest
+
+from repro.core import control
+from repro.core.builder import destination, destination_set
+from repro.core.sender import (
+    generate_send,
+    generate_success_notifications,
+    resolve_leaves,
+)
+
+
+def gen(condition, **kwargs):
+    defaults = dict(
+        body={"data": 1},
+        root=condition,
+        cmid="CM-X",
+        send_time_ms=1_000,
+        sender_manager="QM.S",
+        ack_queue="DS.ACK.Q",
+    )
+    defaults.update(kwargs)
+    return generate_send(**defaults)
+
+
+class TestResolveLeaves:
+    def test_defaults(self):
+        resolved = resolve_leaves(destination_set(destination("Q.A")), "QM.S")
+        leaf = resolved[0]
+        assert leaf.manager == "QM.S"
+        assert leaf.priority == 4
+        assert leaf.persistent is True
+        assert leaf.expiry_rel_ms is None
+        assert leaf.processing_required is False
+
+    def test_leaf_overrides_set(self):
+        tree = destination_set(
+            destination("Q.A", msg_priority=9),
+            destination("Q.B"),
+            msg_priority=2,
+            msg_persistence=False,
+            msg_expiry=500,
+        )
+        a, b = resolve_leaves(tree, "QM.S")
+        assert a.priority == 9 and b.priority == 2
+        assert a.persistent is False and b.persistent is False
+        assert a.expiry_rel_ms == 500
+
+    def test_nearest_set_wins(self):
+        tree = destination_set(
+            destination_set(destination("Q.A"), msg_priority=8),
+            msg_priority=1,
+        )
+        assert resolve_leaves(tree, "QM.S")[0].priority == 8
+
+    def test_processing_required_inherited_from_any_ancestor(self):
+        tree = destination_set(
+            destination_set(destination("Q.A")),
+            destination("Q.B"),
+            msg_processing_time=100,
+        )
+        a, b = resolve_leaves(tree, "QM.S")
+        assert a.processing_required and b.processing_required
+
+    def test_processing_required_from_leaf_only(self):
+        tree = destination_set(
+            destination("Q.A", msg_processing_time=10),
+            destination("Q.B"),
+        )
+        a, b = resolve_leaves(tree, "QM.S")
+        assert a.processing_required and not b.processing_required
+
+
+class TestGenerateSend:
+    def test_one_standard_message_per_destination(self):
+        tree = destination_set(
+            destination("Q.A", manager="QM.1"),
+            destination("Q.B", manager="QM.2"),
+            msg_pick_up_time=100,
+        )
+        generated = gen(tree)
+        assert [(m, q) for m, q, _ in generated.outgoing] == [
+            ("QM.1", "Q.A"),
+            ("QM.2", "Q.B"),
+        ]
+
+    def test_copies_multiply_messages(self):
+        tree = destination_set(destination("Q.S", copies=3), msg_pick_up_time=100)
+        generated = gen(tree)
+        assert len(generated.outgoing) == 3
+        ids = {m.message_id for _, _, m in generated.outgoing}
+        assert len(ids) == 3  # distinct standard messages
+
+    def test_control_properties_attached(self):
+        tree = destination_set(
+            destination("Q.A", msg_processing_time=100),
+        )
+        _, _, message = gen(tree).outgoing[0]
+        info = control.extract_control(message)
+        assert info.cmid == "CM-X"
+        assert info.kind == control.KIND_ORIGINAL
+        assert info.processing_required is True
+        assert info.ack_manager == "QM.S"
+        assert info.ack_queue == "DS.ACK.Q"
+        assert info.dest_queue == "Q.A"
+        assert info.send_time_ms == 1_000
+
+    def test_reply_to_set_for_ack_routing(self):
+        _, _, message = gen(destination_set(destination("Q.A"))).outgoing[0]
+        assert message.reply_to_manager == "QM.S"
+        assert message.reply_to_queue == "DS.ACK.Q"
+
+    def test_body_and_correlation(self):
+        _, _, message = gen(destination_set(destination("Q.A"))).outgoing[0]
+        assert message.body == {"data": 1}
+        assert message.correlation_id == "CM-X"
+
+    def test_expiry_made_absolute(self):
+        tree = destination_set(destination("Q.A", msg_expiry=500))
+        _, _, message = gen(tree).outgoing[0]
+        assert message.expiry_ms == 1_500  # send at 1000 + 500 relative
+
+    def test_compensation_staged_per_copy(self):
+        tree = destination_set(destination("Q.S", copies=2), msg_pick_up_time=10)
+        generated = gen(tree, compensation_body={"undo": True})
+        assert len(generated.compensations) == 2
+        _, _, comp = generated.compensations[0]
+        assert comp.body == {"undo": True}
+        assert control.extract_control(comp).kind == control.KIND_COMPENSATION
+        assert comp.correlation_id == "CM-X"
+
+    def test_system_compensation_has_no_body(self):
+        generated = gen(destination_set(destination("Q.A")))
+        _, _, comp = generated.compensations[0]
+        assert comp.body is None
+
+    def test_compensation_opt_out(self):
+        generated = gen(destination_set(destination("Q.A")), stage_compensation=False)
+        assert generated.compensations == []
+
+
+class TestSuccessNotifications:
+    def test_one_per_destination_queue(self):
+        tree = destination_set(
+            destination("Q.A", manager="QM.1"),
+            destination("Q.S", manager="QM.2", copies=3),
+            msg_pick_up_time=10,
+        )
+        notifications = generate_success_notifications(
+            tree, "CM-X", 0, "QM.S", "DS.ACK.Q"
+        )
+        assert [(m, q) for m, q, _ in notifications] == [
+            ("QM.1", "Q.A"),
+            ("QM.2", "Q.S"),
+        ]
+        for _, _, message in notifications:
+            info = control.extract_control(message)
+            assert info.kind == control.KIND_SUCCESS_NOTIFICATION

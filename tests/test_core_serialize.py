@@ -1,0 +1,115 @@
+"""Unit tests for condition serialization (wire form)."""
+
+import json
+
+import pytest
+
+from repro.core.builder import destination, destination_set
+from repro.core.serialize import condition_from_dict, condition_to_dict
+from repro.errors import ConditionSerializationError
+
+
+def roundtrip(condition):
+    return condition_from_dict(json.loads(json.dumps(condition_to_dict(condition))))
+
+
+class TestRoundTrips:
+    def test_plain_destination(self):
+        leaf = destination("Q.A")
+        restored = roundtrip(leaf)
+        assert restored.queue == "Q.A"
+        assert restored.manager is None
+        assert restored.copies == 1
+
+    def test_full_destination(self):
+        leaf = destination(
+            "Q.A",
+            manager="QM.X",
+            recipient="bob",
+            copies=3,
+            msg_pick_up_time=100,
+            msg_processing_time=200,
+            msg_expiry=300,
+            msg_persistence=False,
+            msg_priority=7,
+        )
+        restored = roundtrip(leaf)
+        for attr in (
+            "queue",
+            "manager",
+            "recipient",
+            "copies",
+            "msg_pick_up_time",
+            "msg_processing_time",
+            "msg_expiry",
+            "msg_persistence",
+            "msg_priority",
+        ):
+            assert getattr(restored, attr) == getattr(leaf, attr), attr
+
+    def test_example1_tree(self):
+        tree = destination_set(
+            destination("Q.R3", recipient="R3", msg_processing_time=700),
+            destination_set(
+                destination("Q.R1", recipient="R1"),
+                destination("Q.R2", recipient="R2"),
+                destination("Q.R4", recipient="R4"),
+                msg_processing_time=1100,
+                min_nr_processing=2,
+            ),
+            msg_pick_up_time=200,
+            evaluation_timeout=1500,
+        )
+        restored = roundtrip(tree)
+        assert restored.msg_pick_up_time == 200
+        assert restored.evaluation_timeout == 1500
+        inner = restored.children()[1]
+        assert inner.min_nr_processing == 2
+        assert [d.queue for d in restored.destinations()] == [
+            "Q.R3",
+            "Q.R1",
+            "Q.R2",
+            "Q.R4",
+        ]
+        restored.validate()
+
+    def test_anonymous_attributes(self):
+        tree = destination_set(
+            destination("Q.S", copies=5),
+            msg_pick_up_time=100,
+            anonymous_min_pick_up=2,
+            anonymous_max_pick_up=4,
+            anonymous_min_processing=1,
+            anonymous_max_processing=3,
+            msg_processing_time=200,
+        )
+        restored = roundtrip(tree)
+        assert restored.anonymous_min_pick_up == 2
+        assert restored.anonymous_max_pick_up == 4
+        assert restored.anonymous_min_processing == 1
+        assert restored.anonymous_max_processing == 3
+
+
+class TestWireShape:
+    def test_none_attributes_omitted(self):
+        record = condition_to_dict(destination("Q.A"))
+        assert record == {"type": "destination", "queue": "Q.A"}
+
+    def test_set_has_member_list(self):
+        record = condition_to_dict(destination_set(destination("Q.A")))
+        assert record["type"] == "destination_set"
+        assert [m["queue"] for m in record["members"]] == ["Q.A"]
+
+
+class TestErrors:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ConditionSerializationError):
+            condition_from_dict({"type": "mystery"})
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ConditionSerializationError):
+            condition_from_dict(["not", "a", "dict"])
+
+    def test_destination_without_queue_rejected(self):
+        with pytest.raises(ConditionSerializationError):
+            condition_from_dict({"type": "destination"})

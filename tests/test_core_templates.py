@@ -1,0 +1,107 @@
+"""Tests for condition templates (paper §2.3 reuse)."""
+
+import pytest
+
+from repro.core import destination, destination_set
+from repro.core.templates import ConditionTemplates
+from repro.errors import ConditionError, ConditionValidationError
+
+
+@pytest.fixture
+def templates():
+    return ConditionTemplates()
+
+
+class TestRegistration:
+    def test_factory_template(self, templates):
+        templates.register(
+            "team",
+            lambda members, window: destination_set(
+                *[destination(f"Q.{m}", recipient=m) for m in members],
+                msg_pick_up_time=window,
+            ),
+        )
+        condition = templates.build("team", members=["A", "B"], window=500)
+        assert condition.msg_pick_up_time == 500
+        assert [d.recipient for d in condition.destinations()] == ["A", "B"]
+
+    def test_static_template_cloned_per_build(self, templates):
+        original = destination_set(
+            destination("Q.A"), msg_pick_up_time=100
+        )
+        templates.register("static", original)
+        first = templates.build("static")
+        second = templates.build("static")
+        assert first is not second
+        assert first is not original
+        # Mutating a built instance never affects the template.
+        first.add(destination("Q.EXTRA"))
+        assert len(templates.build("static").children()) == 1
+
+    def test_static_template_immune_to_later_mutation(self, templates):
+        original = destination_set(destination("Q.A"), msg_pick_up_time=100)
+        templates.register("static", original)
+        original.add(destination("Q.SNEAKY"))
+        assert len(templates.build("static").children()) == 1
+
+    def test_static_template_validated_at_registration(self, templates):
+        bad = destination_set(destination("Q.A"), min_nr_pick_up=1)
+        with pytest.raises(ConditionValidationError):
+            templates.register("bad", bad)
+
+    def test_duplicate_name_rejected(self, templates):
+        templates.register("x", destination("Q.A"))
+        with pytest.raises(ConditionError):
+            templates.register("x", destination("Q.B"))
+
+    def test_bad_template_type_rejected(self, templates):
+        with pytest.raises(ConditionError):
+            templates.register("x", 42)
+        with pytest.raises(ConditionError):
+            templates.register("", destination("Q.A"))
+
+
+class TestBuilding:
+    def test_unknown_template(self, templates):
+        with pytest.raises(ConditionError):
+            templates.build("ghost")
+
+    def test_factory_result_validated(self, templates):
+        templates.register(
+            "invalid", lambda: destination_set(destination("Q.A"), min_nr_pick_up=9)
+        )
+        with pytest.raises(ConditionValidationError):
+            templates.build("invalid")
+
+    def test_factory_must_return_condition(self, templates):
+        templates.register("wrong", lambda: "not a condition")
+        with pytest.raises(ConditionError):
+            templates.build("wrong")
+
+    def test_names_and_unregister(self, templates):
+        templates.register("a", destination("Q.A"))
+        templates.register("b", destination("Q.B"))
+        assert set(templates.names()) == {"a", "b"}
+        templates.unregister("a")
+        templates.unregister("missing")  # tolerated
+        assert templates.names() == ["b"]
+
+
+class TestEndToEnd:
+    def test_template_driven_sends(self, duo):
+        templates = ConditionTemplates()
+        templates.register(
+            "to-alice",
+            lambda window: destination_set(
+                destination("Q.IN", manager="QM.R", recipient="alice",
+                            msg_pick_up_time=window),
+            ),
+        )
+        cmids = [
+            duo.service.send_message({"i": i}, templates.build("to-alice", window=5_000))
+            for i in range(3)
+        ]
+        duo.deliver()
+        duo.receiver.read_all("Q.IN")
+        duo.deliver()
+        assert all(duo.service.outcome(c).succeeded for c in cmids)

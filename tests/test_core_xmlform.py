@@ -1,0 +1,143 @@
+"""Tests for the XML condition representation (paper §4.2 future work)."""
+
+import pytest
+
+from repro.core.builder import destination, destination_set
+from repro.core.serialize import condition_to_dict
+from repro.core.xmlform import condition_from_xml, condition_to_xml
+from repro.errors import ConditionSerializationError
+
+
+def example1_tree():
+    return destination_set(
+        destination("Q.R3", recipient="Receiver3", msg_processing_time=700),
+        destination_set(
+            destination("Q.R1", recipient="Receiver1"),
+            destination("Q.R2", recipient="Receiver2"),
+            destination("Q.R4", recipient="Receiver4"),
+            msg_processing_time=1_100,
+            min_nr_processing=2,
+        ),
+        msg_pick_up_time=200,
+        evaluation_timeout=1_500,
+    )
+
+
+def xml_roundtrip(condition):
+    return condition_from_xml(condition_to_xml(condition))
+
+
+class TestRoundTrips:
+    def test_plain_destination(self):
+        restored = xml_roundtrip(destination("Q.A"))
+        assert restored.queue == "Q.A"
+        assert restored.manager is None
+        assert restored.copies == 1
+
+    def test_full_destination(self):
+        leaf = destination(
+            "Q.A", manager="QM.X", recipient="bob", copies=3,
+            msg_pick_up_time=100, msg_processing_time=200, msg_expiry=300,
+            msg_persistence=False, msg_priority=7,
+        )
+        restored = xml_roundtrip(leaf)
+        assert condition_to_dict(restored) == condition_to_dict(leaf)
+
+    def test_example1_tree_exact(self):
+        tree = example1_tree()
+        restored = xml_roundtrip(tree)
+        assert condition_to_dict(restored) == condition_to_dict(tree)
+        restored.validate()
+
+    def test_anonymous_attributes(self):
+        tree = destination_set(
+            destination("Q.S", copies=4),
+            msg_pick_up_time=100,
+            msg_processing_time=200,
+            anonymous_min_pick_up=1,
+            anonymous_max_pick_up=3,
+            anonymous_min_processing=1,
+            anonymous_max_processing=2,
+        )
+        restored = xml_roundtrip(tree)
+        assert condition_to_dict(restored) == condition_to_dict(tree)
+
+
+class TestDocumentShape:
+    def test_uses_paper_vocabulary(self):
+        text = condition_to_xml(example1_tree())
+        for token in (
+            "<DestinationSet", "<Destination", "QueueName=", "Recipient=",
+            "MsgPickUpTime=\"200\"", "MsgProcessingTime=\"700\"",
+            "MinNrProcessing=\"2\"", "EvaluationTimeout=\"1500\"",
+        ):
+            assert token in text, token
+
+    def test_defaults_omitted(self):
+        text = condition_to_xml(destination("Q.A"))
+        assert "Copies" not in text
+        assert "MsgPickUpTime" not in text
+
+    def test_parse_hand_written_document(self):
+        text = """
+        <DestinationSet MsgPickUpTime="5000" MinNrPickUp="1">
+          <Destination QueueName="Q.A" Recipient="alice"/>
+          <Destination QueueName="Q.B"/>
+        </DestinationSet>
+        """
+        tree = condition_from_xml(text)
+        tree.validate()
+        assert tree.msg_pick_up_time == 5_000
+        assert tree.min_nr_pick_up == 1
+        assert [d.queue for d in tree.destinations()] == ["Q.A", "Q.B"]
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(ConditionSerializationError):
+            condition_from_xml("<DestinationSet")
+
+    def test_unknown_element(self):
+        with pytest.raises(ConditionSerializationError):
+            condition_from_xml("<Mystery/>")
+
+    def test_destination_without_queue(self):
+        with pytest.raises(ConditionSerializationError):
+            condition_from_xml("<Destination Recipient='bob'/>")
+
+    def test_destination_with_children(self):
+        with pytest.raises(ConditionSerializationError):
+            condition_from_xml(
+                "<Destination QueueName='Q'><Destination QueueName='R'/></Destination>"
+            )
+
+    def test_unknown_attribute(self):
+        with pytest.raises(ConditionSerializationError):
+            condition_from_xml("<Destination QueueName='Q' Typo='x'/>")
+
+    def test_non_integer_time(self):
+        with pytest.raises(ConditionSerializationError):
+            condition_from_xml("<Destination QueueName='Q' MsgPickUpTime='soon'/>")
+
+    def test_bad_boolean(self):
+        with pytest.raises(ConditionSerializationError):
+            condition_from_xml("<Destination QueueName='Q' MsgPersistence='maybe'/>")
+
+    def test_set_attr_on_destination_rejected(self):
+        with pytest.raises(ConditionSerializationError):
+            condition_from_xml("<Destination QueueName='Q' MinNrPickUp='1'/>")
+
+
+class TestPropertyRoundTrip:
+    def test_random_trees_roundtrip(self):
+        from hypothesis import given, settings
+
+        import tests.test_property_satisfaction as props
+
+        @settings(max_examples=100, deadline=None)
+        @given(props.condition_trees())
+        def check(tree):
+            restored = xml_roundtrip(tree)
+            assert condition_to_dict(restored) == condition_to_dict(tree)
+
+        check()

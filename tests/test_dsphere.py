@@ -1,0 +1,241 @@
+"""Unit tests for Dependency-Spheres (paper §3)."""
+
+import pytest
+
+from repro.core.builder import destination, destination_set
+from repro.core.outcome import MessageOutcome
+from repro.dsphere.context import DSphereOutcome, DSphereState
+from repro.dsphere.coordinator import DSphereService
+from repro.errors import DSphereActiveError, NoDSphereError
+from repro.objects.kvstore import TransactionalKVStore
+from repro.objects.resource import FailingResource, Vote
+from repro.objects.txmanager import TransactionManager
+
+
+@pytest.fixture
+def ds(duo):
+    txmanager = TransactionManager()
+    service = DSphereService(duo.service, txmanager=txmanager, scheduler=duo.scheduler)
+    return duo, service
+
+
+def alice_condition(deadline=1_000, **kwargs):
+    return destination_set(
+        destination("Q.IN", manager="QM.R", recipient="alice",
+                    msg_pick_up_time=deadline),
+        **kwargs,
+    )
+
+
+class TestDemarcation:
+    def test_begin_makes_current(self, ds):
+        duo, service = ds
+        sphere = service.begin_DS()
+        assert service.current is sphere
+        assert sphere.state is DSphereState.ACTIVE
+        assert sphere.object_tx is not None
+
+    def test_nested_begin_rejected(self, ds):
+        _, service = ds
+        service.begin_DS()
+        with pytest.raises(DSphereActiveError):
+            service.begin_DS()
+
+    def test_send_requires_sphere(self, ds):
+        _, service = ds
+        with pytest.raises(NoDSphereError):
+            service.send_message("x", alice_condition())
+
+    def test_commit_requires_sphere(self, ds):
+        _, service = ds
+        with pytest.raises(NoDSphereError):
+            service.commit_DS()
+
+    def test_begin_after_completion_allowed(self, ds):
+        duo, service = ds
+        service.begin_DS()
+        service.commit_DS()  # empty sphere completes immediately
+        second = service.begin_DS()
+        assert service.current is second
+
+
+class TestImmediateDelivery:
+    def test_member_messages_sent_before_commit(self, ds):
+        """Paper: messages 'are sent immediately ... not bound to the
+        D-Sphere commit' — unlike messaging transactions."""
+        duo, service = ds
+        service.begin_DS()
+        service.send_message({"x": 1}, alice_condition())
+        duo.deliver()
+        assert duo.receiver_qm.depth("Q.IN") == 1  # no commit_DS yet
+
+
+class TestGroupOutcome:
+    def test_empty_sphere_commits_successfully(self, ds):
+        _, service = ds
+        sphere = service.begin_DS()
+        service.commit_DS()
+        assert sphere.is_complete
+        assert sphere.group_outcome is DSphereOutcome.SUCCESS
+
+    def test_all_members_succeed(self, ds):
+        duo, service = ds
+        sphere = service.begin_DS()
+        for _ in range(2):
+            service.send_message({"x": 1}, alice_condition())
+        service.commit_DS()
+        assert sphere.state is DSphereState.COMMITTING
+        duo.deliver()
+        duo.receiver.read_all("Q.IN")
+        duo.deliver()
+        assert sphere.is_complete
+        assert sphere.group_outcome is DSphereOutcome.SUCCESS
+        assert sphere.failure_reasons == []
+
+    def test_one_failed_member_fails_group(self, ds):
+        duo, service = ds
+        sphere = service.begin_DS()
+        ok = service.send_message({"x": 1}, alice_condition())
+        bad = service.send_message({"x": 2}, alice_condition(deadline=100))
+        service.commit_DS()
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")  # satisfies ONE of the two
+        duo.run_all()  # the other times out
+        assert sphere.group_outcome is DSphereOutcome.FAILURE
+        assert sphere.message_outcomes[ok].outcome is MessageOutcome.SUCCESS
+        assert sphere.message_outcomes[bad].outcome is MessageOutcome.FAILURE
+
+    def test_group_failure_compensates_all_members(self, ds):
+        """Even individually-successful messages compensate when the
+        sphere fails (section 3.1)."""
+        duo, service = ds
+        service.begin_DS()
+        service.send_message({"x": 1}, alice_condition())
+        service.send_message({"x": 2}, alice_condition(deadline=100))
+        service.commit_DS()
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")  # first succeeds; second never read
+        duo.run_all()  # second times out -> group failure
+        # Both messages' compensations were released — including the
+        # individually-successful first one.
+        assert duo.service.compensation.pending() == 0
+        assert duo.service.stats.compensations_released == 2
+
+    def test_outcome_actions_deferred_until_group_outcome(self, ds):
+        duo, service = ds
+        service.begin_DS()
+        service.send_message({"x": 1}, alice_condition(deadline=100))
+        duo.run_all()  # member fails... but sphere still ACTIVE
+        assert duo.service.compensation.pending() == 1  # no action yet
+        service.commit_DS()
+        assert duo.service.compensation.pending() == 0  # now released
+
+
+class TestObjectIntegration:
+    def test_object_changes_commit_with_group_success(self, ds):
+        duo, service = ds
+        store = TransactionalKVStore("db")
+        sphere = service.begin_DS()
+        tx = sphere.object_tx
+        tx.enlist(store)
+        store.put("k", "v", tx_id=tx.tx_id)
+        service.send_message({"x": 1}, alice_condition())
+        service.commit_DS()
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")
+        duo.deliver()
+        assert sphere.group_outcome is DSphereOutcome.SUCCESS
+        assert store.get("k") == "v"
+
+    def test_object_changes_roll_back_on_message_failure(self, ds):
+        duo, service = ds
+        store = TransactionalKVStore("db")
+        sphere = service.begin_DS()
+        tx = sphere.object_tx
+        tx.enlist(store)
+        store.put("k", "v", tx_id=tx.tx_id)
+        service.send_message({"x": 1}, alice_condition(deadline=100))
+        service.commit_DS()
+        duo.run_all()
+        assert sphere.group_outcome is DSphereOutcome.FAILURE
+        assert store.get("k") is None
+
+    def test_object_veto_fails_group_and_compensates(self, ds):
+        """Paper §3.2: 'In case that a transactional object request
+        fails, the D-Sphere as a whole fails.'"""
+        duo, service = ds
+        sphere = service.begin_DS()
+        sphere.object_tx.enlist(FailingResource("veto", vote=Vote.ROLLBACK))
+        service.send_message({"x": 1}, alice_condition())
+        service.commit_DS()
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")  # the message itself succeeds
+        duo.deliver()
+        assert sphere.group_outcome is DSphereOutcome.FAILURE
+        assert duo.service.stats.compensations_released == 1
+        assert any("object transaction" in r for r in sphere.failure_reasons)
+
+
+class TestAbort:
+    def test_abort_terminates_pending_members(self, ds):
+        duo, service = ds
+        sphere = service.begin_DS()
+        cmid = service.send_message({"x": 1}, alice_condition())
+        service.abort_DS(reason="operator cancelled")
+        assert sphere.is_complete
+        assert sphere.group_outcome is DSphereOutcome.FAILURE
+        assert sphere.message_outcomes[cmid].outcome is MessageOutcome.FAILURE
+        assert duo.service.stats.compensations_released == 1
+
+    def test_abort_rolls_back_objects(self, ds):
+        duo, service = ds
+        store = TransactionalKVStore("db")
+        sphere = service.begin_DS()
+        tx = sphere.object_tx
+        tx.enlist(store)
+        store.put("k", "v", tx_id=tx.tx_id)
+        service.abort_DS()
+        assert store.get("k") is None
+        assert service.stats.aborted == 1
+
+    def test_abort_without_sphere_rejected(self, ds):
+        _, service = ds
+        with pytest.raises(NoDSphereError):
+            service.abort_DS()
+
+
+class TestTimeout:
+    def test_sphere_timeout_aborts(self, ds):
+        duo, service = ds
+        sphere = service.begin_DS(timeout_ms=500)
+        service.send_message({"x": 1}, alice_condition(deadline=10_000))
+        duo.scheduler.run_until(500)
+        assert sphere.is_complete
+        assert sphere.group_outcome is DSphereOutcome.FAILURE
+        assert service.stats.timed_out == 1
+
+    def test_timeout_after_completion_is_noop(self, ds):
+        duo, service = ds
+        sphere = service.begin_DS(timeout_ms=5_000)
+        service.send_message({"x": 1}, alice_condition())
+        service.commit_DS()
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")
+        duo.run_all()  # runs past the (cancelled) timeout
+        assert sphere.group_outcome is DSphereOutcome.SUCCESS
+        assert service.stats.timed_out == 0
+
+
+class TestStats:
+    def test_counters(self, ds):
+        duo, service = ds
+        service.begin_DS()
+        service.commit_DS()
+        service.begin_DS()
+        service.abort_DS()
+        assert service.stats.begun == 2
+        assert service.stats.committed == 1
+        assert service.stats.aborted == 1
+        assert service.stats.group_successes == 1
+        assert service.stats.group_failures == 1
+        assert len(service.completed) == 2

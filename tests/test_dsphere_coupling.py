@@ -1,0 +1,176 @@
+"""Tests for coupling modes (paper §4.1 related work made executable)."""
+
+import pytest
+
+from repro.core.builder import destination, destination_set
+from repro.dsphere.context import DSphereOutcome
+from repro.dsphere.coordinator import DSphereService
+from repro.dsphere.coupling import CoupledSender, CouplingMode
+from repro.errors import NoDSphereError
+from repro.objects.txmanager import TransactionManager
+
+
+@pytest.fixture
+def coupled(duo):
+    dsphere = DSphereService(
+        duo.service, txmanager=TransactionManager(), scheduler=duo.scheduler
+    )
+    return duo, CoupledSender(dsphere)
+
+
+def alice_condition(deadline=1_000, **kwargs):
+    return destination_set(
+        destination("Q.IN", manager="QM.R", recipient="alice",
+                    msg_pick_up_time=deadline),
+        **kwargs,
+    )
+
+
+class TestImmediate:
+    def test_outside_unit_entirely(self, coupled):
+        duo, sender = coupled
+        # IMMEDIATE works with no unit open at all.
+        cmid = sender.send({"x": 1}, alice_condition(), CouplingMode.IMMEDIATE)
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")
+        duo.deliver()
+        assert duo.service.outcome(cmid).succeeded
+
+    def test_failure_does_not_affect_unit(self, coupled):
+        duo, sender = coupled
+        unit = sender.begin()
+        sender.send({"x": 1}, alice_condition(deadline=100), CouplingMode.IMMEDIATE)
+        sender.commit()
+        duo.run_all()  # immediate message fails on its own
+        assert unit.sphere.group_outcome is DSphereOutcome.SUCCESS
+
+
+class TestVital:
+    def test_vital_failure_fails_unit(self, coupled):
+        duo, sender = coupled
+        unit = sender.begin()
+        sender.send({"x": 1}, alice_condition(deadline=100), CouplingMode.VITAL)
+        sender.commit()
+        duo.run_all()
+        assert unit.sphere.group_outcome is DSphereOutcome.FAILURE
+
+    def test_vital_success_commits_unit(self, coupled):
+        duo, sender = coupled
+        unit = sender.begin()
+        sender.send({"x": 1}, alice_condition(), CouplingMode.VITAL)
+        sender.commit()
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")
+        duo.run_all()
+        assert unit.sphere.group_outcome is DSphereOutcome.SUCCESS
+
+
+class TestOnCommit:
+    def test_published_only_after_group_success(self, coupled):
+        duo, sender = coupled
+        duo.receiver_qm.ensure_queue("Q.IN")
+        unit = sender.begin()
+        sender.send({"forward": 1}, alice_condition(), CouplingMode.ON_COMMIT)
+        duo.deliver()
+        assert duo.receiver_qm.depth("Q.IN") == 0  # not yet published
+        sender.commit()  # empty member set: completes immediately
+        duo.deliver()
+        assert duo.receiver_qm.depth("Q.IN") == 1  # released at commit
+        assert len(unit.on_commit_cmids()) == 1
+
+    def test_dropped_on_abort(self, coupled):
+        duo, sender = coupled
+        duo.receiver_qm.ensure_queue("Q.IN")
+        unit = sender.begin()
+        sender.send({"forward": 1}, alice_condition(), CouplingMode.ON_COMMIT)
+        sender.abort("changed my mind")
+        duo.run_all()
+        assert duo.receiver_qm.depth("Q.IN") == 0
+        assert unit.on_commit_cmids() == []
+
+    def test_dropped_when_vital_member_fails(self, coupled):
+        duo, sender = coupled
+        unit = sender.begin()
+        sender.send({"vital": 1}, alice_condition(deadline=100), CouplingMode.VITAL)
+        sender.send({"forward": 1}, alice_condition(), CouplingMode.ON_COMMIT)
+        sender.commit()
+        duo.run_all()  # the vital member times out -> group failure
+        assert unit.sphere.group_outcome is DSphereOutcome.FAILURE
+        assert unit.on_commit_cmids() == []
+        # Only the vital member's original+compensation reached the queue.
+        assert duo.receiver.read_message("Q.IN") is None
+        assert duo.receiver.stats.cancellations == 1
+
+    def test_released_send_gets_its_own_evaluation(self, coupled):
+        duo, sender = coupled
+        sender.begin()
+        sender.send({"forward": 1}, alice_condition(), CouplingMode.ON_COMMIT)
+        unit = sender.commit()
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")
+        duo.deliver()
+        released_cmid = unit.on_commit_cmids()[0]
+        assert duo.service.outcome(released_cmid).succeeded
+
+    def test_invalid_condition_rejected_at_send_time(self, coupled):
+        from repro.errors import ConditionValidationError
+
+        duo, sender = coupled
+        sender.begin()
+        bad = destination_set(destination("Q.IN"), min_nr_pick_up=1)
+        with pytest.raises(ConditionValidationError):
+            sender.send({"x": 1}, bad, CouplingMode.ON_COMMIT)
+        sender.abort()
+
+
+class TestNonVital:
+    def test_failure_does_not_fail_unit_but_actions_follow_group(self, coupled):
+        duo, sender = coupled
+        unit = sender.begin()
+        cmid = sender.send(
+            {"optional": 1}, alice_condition(deadline=100),
+            CouplingMode.NON_VITAL, compensation={"undo": 1},
+        )
+        sender.commit()
+        duo.run_all()  # non-vital message fails; unit still succeeds
+        assert unit.sphere.group_outcome is DSphereOutcome.SUCCESS
+        assert unit.non_vital[cmid] is not None
+        assert not unit.non_vital[cmid].succeeded
+        # Group success -> the failed non-vital message's compensation is
+        # DISCARDED (actions follow the group outcome, not its own).
+        assert duo.service.compensation.pending() == 0
+        assert duo.service.stats.compensations_released == 0
+
+    def test_group_failure_compensates_non_vital_too(self, coupled):
+        duo, sender = coupled
+        unit = sender.begin()
+        sender.send({"vital": 1}, alice_condition(deadline=100), CouplingMode.VITAL)
+        cmid = sender.send(
+            {"optional": 1}, alice_condition(), CouplingMode.NON_VITAL,
+        )
+        sender.commit()
+        duo.deliver()
+        # Read only the non-vital message (it is second on the queue...
+        # read both; the vital one is late anyway at deadline 100).
+        duo.run_all()
+        assert unit.sphere.group_outcome is DSphereOutcome.FAILURE
+        # Both messages' compensations released (vital by the sphere,
+        # non-vital by the coupling layer following the group outcome).
+        assert duo.service.stats.compensations_released == 2
+
+
+class TestDemarcation:
+    def test_send_requires_unit_for_coupled_modes(self, coupled):
+        duo, sender = coupled
+        for mode in (CouplingMode.VITAL, CouplingMode.ON_COMMIT,
+                     CouplingMode.NON_VITAL):
+            with pytest.raises(NoDSphereError):
+                sender.send({"x": 1}, alice_condition(), mode)
+
+    def test_sequential_units(self, coupled):
+        duo, sender = coupled
+        sender.begin()
+        first = sender.commit()
+        sender.begin()
+        second = sender.commit()
+        assert first.sphere.ds_id != second.sphere.ds_id

@@ -1,0 +1,122 @@
+"""Tests for receiver-side processing transactions (message + objects)."""
+
+import pytest
+
+from repro.core.acks import AckKind
+from repro.core.builder import destination, destination_set
+from repro.dsphere.integration import ProcessingTransaction
+from repro.errors import TransactionRolledBackError
+from repro.objects.registry import TransactionalObject
+from repro.objects.resource import FailingResource, Vote
+from repro.objects.txmanager import TransactionManager
+
+
+@pytest.fixture
+def env(duo):
+    txmanager = TransactionManager()
+    calendar = TransactionalObject("calendar", txmanager)
+    return duo, txmanager, calendar
+
+
+def send(duo, deadline=1_000):
+    condition = destination_set(
+        destination("Q.IN", manager="QM.R", recipient="alice",
+                    msg_pick_up_time=deadline, msg_processing_time=deadline)
+    )
+    return duo.service.send_message({"meeting": "standup"}, condition)
+
+
+class TestCommitPath:
+    def test_message_and_object_commit_atomically(self, env):
+        duo, txmanager, calendar = env
+        cmid = send(duo)
+        duo.deliver()
+        ptx = ProcessingTransaction(duo.receiver, txmanager).begin()
+        message = ptx.read_message("Q.IN")
+        calendar.state_put("standup", message.body)
+        ptx.commit()
+        duo.deliver()
+        assert calendar.store.get("standup") == {"meeting": "standup"}
+        ack = duo.service.evaluation.record(cmid).acks[0]
+        assert ack.kind is AckKind.PROCESSED
+
+    def test_message_outcome_succeeds(self, env):
+        duo, txmanager, calendar = env
+        cmid = send(duo)
+        duo.deliver()
+        with ProcessingTransaction(duo.receiver, txmanager) as ptx:
+            message = ptx.read_message("Q.IN")
+            calendar.state_put("k", message.body)
+        duo.deliver()
+        assert duo.service.outcome(cmid).succeeded
+
+
+class TestRollbackPath:
+    def test_rollback_returns_message_and_discards_state(self, env):
+        duo, txmanager, calendar = env
+        cmid = send(duo)
+        duo.deliver()
+        ptx = ProcessingTransaction(duo.receiver, txmanager).begin()
+        assert ptx.read_message("Q.IN") is not None
+        calendar.state_put("standup", "tainted")
+        ptx.rollback()
+        duo.deliver()
+        assert calendar.store.get("standup") is None
+        assert duo.service.evaluation.record(cmid).acks == []
+        assert duo.receiver_qm.depth("Q.IN") == 1  # message back on queue
+
+    def test_exception_in_context_manager_rolls_back(self, env):
+        duo, txmanager, calendar = env
+        send(duo)
+        duo.deliver()
+        with pytest.raises(RuntimeError):
+            with ProcessingTransaction(duo.receiver, txmanager) as ptx:
+                ptx.read_message("Q.IN")
+                calendar.state_put("k", "v")
+                raise RuntimeError("processing failed")
+        assert calendar.store.get("k") is None
+        assert duo.receiver_qm.depth("Q.IN") == 1
+
+    def test_object_veto_returns_message_to_queue(self, env):
+        """A NO vote from a database resource must also undo the read:
+        no processing ack is generated and the message is redelivered."""
+        duo, txmanager, calendar = env
+        cmid = send(duo)
+        duo.deliver()
+        ptx = ProcessingTransaction(duo.receiver, txmanager).begin()
+        ptx.read_message("Q.IN")
+        txmanager.current.enlist(FailingResource("veto", vote=Vote.ROLLBACK))
+        with pytest.raises(TransactionRolledBackError):
+            ptx.commit()
+        duo.deliver()
+        assert duo.service.evaluation.record(cmid).acks == []
+        assert duo.receiver_qm.depth("Q.IN") == 1
+
+    def test_retry_after_veto_succeeds(self, env):
+        duo, txmanager, calendar = env
+        cmid = send(duo)
+        duo.deliver()
+        ptx = ProcessingTransaction(duo.receiver, txmanager).begin()
+        ptx.read_message("Q.IN")
+        txmanager.current.enlist(FailingResource("veto", vote=Vote.ROLLBACK))
+        with pytest.raises(TransactionRolledBackError):
+            ptx.commit()
+        # Second attempt without the vetoing resource.
+        ptx2 = ProcessingTransaction(duo.receiver, txmanager).begin()
+        message = ptx2.read_message("Q.IN")
+        assert message.message.backout_count == 1
+        calendar.state_put("standup", "ok")
+        ptx2.commit()
+        duo.deliver()
+        assert duo.service.outcome(cmid).succeeded
+        assert calendar.store.get("standup") == "ok"
+
+    def test_commit_without_begin_rejected(self, env):
+        duo, txmanager, _ = env
+        ptx = ProcessingTransaction(duo.receiver, txmanager)
+        with pytest.raises(TransactionRolledBackError):
+            ptx.commit()
+
+    def test_rollback_without_begin_is_noop(self, env):
+        duo, txmanager, _ = env
+        ProcessingTransaction(duo.receiver, txmanager).rollback()

@@ -1,0 +1,49 @@
+"""Glue tests: every shipped example must run clean end to end."""
+
+import io
+import runpy
+import sys
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs_clean(example):
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        runpy.run_path(str(EXAMPLES_DIR / example), run_name="__main__")
+    output = captured.getvalue()
+    assert output.strip(), f"{example} produced no output"
+
+
+def test_expected_examples_present():
+    assert "quickstart.py" in EXAMPLES
+    assert "meeting_workflow.py" in EXAMPLES
+    assert "air_traffic_control.py" in EXAMPLES
+    assert "order_fulfillment.py" in EXAMPLES
+    assert "market_data_pubsub.py" in EXAMPLES
+
+
+def test_quickstart_reports_success():
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    assert "outcome: success" in captured.getvalue()
+
+
+def test_meeting_workflow_shows_both_outcomes():
+    captured = io.StringIO()
+    with redirect_stdout(captured):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "meeting_workflow.py"), run_name="__main__"
+        )
+    output = captured.getvalue()
+    assert "message outcome: success" in output
+    assert "message outcome: failure" in output
+    assert "NOT reserved" in output  # the DB rolled back with the sphere

@@ -1,0 +1,73 @@
+"""Tests for deployment snapshots (repro.harness.inspect)."""
+
+import json
+
+from repro.core import destination, destination_set
+from repro.harness.inspect import format_snapshot, snapshot_manager, snapshot_service
+
+
+def alice_condition(deadline=1_000, **kwargs):
+    return destination_set(
+        destination("Q.IN", manager="QM.R", recipient="alice",
+                    msg_pick_up_time=deadline),
+        **kwargs,
+    )
+
+
+class TestManagerSnapshot:
+    def test_captures_queue_stats(self, duo):
+        duo.service.send_message({"x": 1}, alice_condition())
+        duo.deliver()
+        snapshot = snapshot_manager(duo.receiver_qm)
+        assert snapshot["manager"] == "QM.R"
+        assert snapshot["queues"]["Q.IN"]["depth"] == 1
+        assert snapshot["dead_letters"] == 0
+        assert snapshot["journaled"] is False
+
+    def test_counts_in_transit(self, duo_latency):
+        duo_latency.service.send_message({"x": 1}, alice_condition())
+        snapshot = snapshot_manager(duo_latency.sender_qm)
+        assert snapshot["in_transit"] == 1
+        duo_latency.scheduler.run_for(10)
+        assert snapshot_manager(duo_latency.sender_qm)["in_transit"] == 0
+
+    def test_json_serializable(self, duo):
+        json.dumps(snapshot_manager(duo.sender_qm))
+
+
+class TestServiceSnapshot:
+    def test_lifecycle_counters(self, duo):
+        cmid = duo.service.send_message({"x": 1}, alice_condition())
+        before = snapshot_service(duo.service)
+        assert before["pending_evaluations"] == 1
+        assert before["compensations_pending"] == 1
+        assert before["recovery_log_depth"] == 1
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")
+        duo.deliver()
+        after = snapshot_service(duo.service)
+        assert after["pending_evaluations"] == 0
+        assert after["decided_success"] == 1
+        assert after["compensations_pending"] == 0
+        assert after["recovery_log_depth"] == 0
+        assert after["acks_processed"] == 1
+
+    def test_failure_counters(self, duo):
+        duo.service.send_message(
+            {"x": 1}, alice_condition(deadline=100, evaluation_timeout=200)
+        )
+        duo.run_all()
+        snapshot = snapshot_service(duo.service)
+        assert snapshot["decided_failure"] == 1
+        assert snapshot["compensations_released"] == 1
+
+    def test_json_serializable(self, duo):
+        json.dumps(snapshot_service(duo.service))
+
+
+class TestFormatting:
+    def test_nested_rendering(self, duo):
+        text = format_snapshot(snapshot_service(duo.service))
+        assert "pending_evaluations: 0" in text
+        assert "manager:" in text
+        assert "  queues:" in text or "queues:" in text

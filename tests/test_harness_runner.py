@@ -1,0 +1,89 @@
+"""Direct tests for the canned experiment runners."""
+
+import pytest
+
+from repro.harness.runner import run_example1, run_example2
+from repro.workloads.receivers import ReceiverMode
+from repro.workloads.scenarios import DAY_MS, SECOND_MS
+
+
+class TestRunExample1:
+    def test_returns_structured_result(self):
+        result = run_example1()
+        assert result.succeeded
+        assert result.cmid.startswith("CM-")
+        assert result.outcome.cmid == result.cmid
+        assert "scripts" in result.extras
+        assert set(result.extras["scripts"]) == {"R1", "R2", "R3", "R4"}
+
+    def test_scripts_log_their_actions(self):
+        result = run_example1()
+        scripts = result.extras["scripts"]
+        assert scripts["R1"].log.commits == 1
+        assert len(scripts["R4"].log.reads) == 1  # READ mode: no commit
+        assert scripts["R4"].log.commits == 0
+
+    def test_custom_reaction_times_respected(self):
+        result = run_example1(r1_react_ms=DAY_MS // 2)
+        assert result.succeeded
+        # R1 reads exactly at its reaction time (the message arrived on
+        # its queue within channel latency of the send, long before).
+        record = result.testbed.service.evaluation.record(result.cmid)
+        r1_acks = [a for a in record.acks if a.recipient == "R1"]
+        assert r1_acks[0].read_time_ms == DAY_MS // 2
+
+    def test_deterministic_across_runs(self):
+        first = run_example1(seed=3)
+        second = run_example1(seed=3)
+        assert first.outcome.decided_at_ms == second.outcome.decided_at_ms
+        assert first.outcome.outcome == second.outcome.outcome
+
+
+class TestRunExample2:
+    def test_success_metadata(self):
+        result = run_example2(first_reaction_ms=3 * SECOND_MS)
+        assert result.succeeded
+        assert result.extras["picked_by"] == ["controller-0"]
+        assert len(result.extras["controllers"]) == 4
+
+    def test_failure_has_no_claimant(self):
+        result = run_example2(first_reaction_ms=None)
+        assert not result.succeeded
+        assert result.extras["picked_by"] == []
+
+    def test_window_parameter(self):
+        # A 5s window with a 6s reaction fails; with a 10s reaction window
+        # widened to 15s it succeeds.
+        slow = run_example2(first_reaction_ms=6 * SECOND_MS,
+                            pick_up_window_ms=5 * SECOND_MS)
+        assert not slow.succeeded
+        wide = run_example2(first_reaction_ms=10 * SECOND_MS,
+                            pick_up_window_ms=15 * SECOND_MS)
+        assert wide.succeeded
+
+
+class TestDSphereContextHelpers:
+    def test_undecided_and_failed_helpers(self, duo):
+        from repro.core import destination, destination_set
+        from repro.dsphere import DSphereService
+
+        ds = DSphereService(duo.service, scheduler=duo.scheduler)
+        sphere = ds.begin_DS()
+        ok = ds.send_message({"x": 1}, destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=1_000)))
+        bad = ds.send_message({"x": 2}, destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=100),
+            evaluation_timeout=200))
+        assert set(sphere.undecided_messages()) == {ok, bad}
+        assert not sphere.any_message_failed()
+        duo.deliver()
+        duo.receiver.read_message("Q.IN")  # first message succeeds
+        duo.deliver()
+        assert sphere.undecided_messages() == [bad]
+        duo.run_all()  # second times out
+        assert sphere.undecided_messages() == []
+        assert sphere.any_message_failed()
+        ds.commit_DS()
+        assert sphere.is_complete

@@ -1,0 +1,194 @@
+"""Integration tests: the paper's running examples, end to end.
+
+These drive the full stack — condition trees, fan-out over latency
+channels, implicit acknowledgments, evaluation, outcome actions — via the
+canned runners in :mod:`repro.harness.runner` and the testbed directly.
+"""
+
+import pytest
+
+from repro.core.outcome import MessageOutcome
+from repro.harness.runner import run_example1, run_example2
+from repro.workloads.receivers import ReceiverMode
+from repro.workloads.scenarios import (
+    DAY_MS,
+    HOUR_MS,
+    SECOND_MS,
+    Testbed,
+    build_example1_condition,
+    build_example2_condition,
+)
+
+
+class TestExample1:
+    """The group-meeting notification (Figures 1 and 4)."""
+
+    def test_paper_success_story(self):
+        result = run_example1()
+        assert result.succeeded
+        assert result.outcome.acks_received == 4
+
+    def test_missing_pick_up_fails(self):
+        # R4 never reacts inside the two-day window.
+        result = run_example1(r4_react_ms=3 * DAY_MS)
+        assert not result.succeeded
+        assert any("pick_up" in r or "pick-up" in r for r in result.outcome.reasons)
+
+    def test_r3_not_processing_fails(self):
+        # R3 only reads; its own processing requirement is violated.
+        result = run_example1(r3_mode=ReceiverMode.READ)
+        assert not result.succeeded
+
+    def test_only_one_subset_processor_fails(self):
+        # R1 processes, R2 and R4 only read: subset min 2 unmet.
+        result = run_example1(
+            r2_mode=ReceiverMode.READ, r4_mode=ReceiverMode.READ
+        )
+        assert not result.succeeded
+
+    def test_two_subset_processors_suffice_either_way(self):
+        # R2 + R4 process, R1 only reads: min 2 of 3 still met.
+        result = run_example1(
+            r1_mode=ReceiverMode.READ, r4_mode=ReceiverMode.PROCESS_COMMIT
+        )
+        assert result.succeeded
+
+    def test_failure_releases_compensation_to_all_queues(self):
+        result = run_example1(r4_mode=ReceiverMode.IGNORE)
+        assert not result.succeeded
+        testbed = result.testbed
+        assert testbed.service.stats.compensations_released == 4
+        # R4 never read its original: compensation cancels it in-queue.
+        r4 = testbed.receiver("R4")
+        assert r4.read_message(testbed.queue_of("R4")) is None
+        assert r4.stats.cancellations == 1
+        # R1 consumed its original: the compensation is delivered.
+        r1 = testbed.receiver("R1")
+        comp = r1.read_message(testbed.queue_of("R1"))
+        assert comp is not None and comp.is_compensation
+
+    def test_rollback_then_retry_still_succeeds(self):
+        """A receiver whose first processing transaction aborts can retry
+        within the window; the middleware redelivers the message."""
+        testbed = Testbed(["R1", "R2", "R3", "R4"], latency_ms=50)
+        condition = build_example1_condition(testbed)
+        from repro.workloads.receivers import ReceiverScript, ScriptedReceiver
+
+        cmid = testbed.service.send_message({"m": 1}, condition)
+        scripts = {
+            "R1": ReceiverScript("Q.R1", HOUR_MS, ReceiverMode.PROCESS_COMMIT, 60_000),
+            "R2": ReceiverScript(
+                "Q.R2", HOUR_MS, ReceiverMode.PROCESS_ABORT, 60_000,
+                retries=1, retry_after_ms=HOUR_MS,
+            ),
+            "R3": ReceiverScript("Q.R3", HOUR_MS, ReceiverMode.PROCESS_COMMIT, 60_000),
+            "R4": ReceiverScript("Q.R4", HOUR_MS, ReceiverMode.READ),
+        }
+        for name, script in scripts.items():
+            ScriptedReceiver(testbed.receiver(name), testbed.scheduler, script).start()
+        testbed.run_all()
+        outcome = testbed.service.outcome(cmid)
+        assert outcome.succeeded
+        # R2 consumed the message twice (abort + retry) but acked once.
+        assert outcome.acks_received == 4
+
+
+class TestExample2:
+    """The air-traffic-control flight message (Figures 2 and 5)."""
+
+    def test_controller_picks_up_in_time(self):
+        result = run_example2(first_reaction_ms=5 * SECOND_MS)
+        assert result.succeeded
+        assert result.extras["picked_by"] == ["controller-0"]
+
+    def test_single_consume_semantics(self):
+        """Only one controller gets the message from the shared queue."""
+        result = run_example2(controllers=5, first_reaction_ms=2 * SECOND_MS)
+        assert len(result.extras["picked_by"]) == 1
+
+    def test_nobody_reads_fails_at_evaluation_timeout(self):
+        result = run_example2(first_reaction_ms=None)
+        assert not result.succeeded
+        # Decided exactly at the 21-second evaluation timeout.
+        assert result.outcome.decided_at_ms == 21 * SECOND_MS
+
+    def test_late_pick_up_fails(self):
+        result = run_example2(first_reaction_ms=25 * SECOND_MS)
+        assert not result.succeeded
+
+    def test_pick_up_just_inside_window_succeeds(self):
+        # Reaction at 19s + 20ms channel latency: read at ~19.04s < 20s.
+        result = run_example2(first_reaction_ms=19 * SECOND_MS)
+        assert result.succeeded
+
+    def test_decision_latency_tracks_reaction(self):
+        """Earlier pick-up decides the outcome earlier (early success)."""
+        fast = run_example2(first_reaction_ms=1 * SECOND_MS)
+        slow = run_example2(first_reaction_ms=15 * SECOND_MS)
+        assert fast.outcome.decided_at_ms < slow.outcome.decided_at_ms
+
+
+class TestCrossScenario:
+    def test_many_messages_interleaved(self):
+        """Several conditional messages in flight at once, distinct
+        outcomes, all correlated correctly by the evaluation manager."""
+        testbed = Testbed(["A", "B"], latency_ms=10)
+        from repro.core import destination, destination_set
+
+        cond = lambda: destination_set(
+            destination("Q.A", manager="QM.A", recipient="A",
+                        msg_pick_up_time=1_000),
+            evaluation_timeout=2_000,
+        )
+        good = [testbed.service.send_message({"i": i}, cond()) for i in range(5)]
+        bad = [testbed.service.send_message({"i": -i}, cond()) for i in range(3)]
+        # Read exactly 5 messages (the first five on the queue).
+        def read_five():
+            for _ in range(5):
+                testbed.receiver("A").read_message("Q.A")
+        testbed.at(100, read_five)
+        testbed.run_all()
+        outcomes = {c: testbed.service.outcome(c).outcome for c in good + bad}
+        assert sum(1 for o in outcomes.values() if o is MessageOutcome.SUCCESS) == 5
+        assert sum(1 for o in outcomes.values() if o is MessageOutcome.FAILURE) == 3
+
+    def test_receiver_is_also_a_sender(self):
+        """Any receiver can run its own conditional messaging service
+        (paper §2.7): B answers A's message with its own conditional
+        message back."""
+        from repro.core import destination, destination_set
+        from repro.core.service import ConditionalMessagingService
+
+        testbed = Testbed(["B"], latency_ms=10)
+        b_service = ConditionalMessagingService(
+            testbed.manager_of("B"), scheduler=testbed.scheduler
+        )
+        to_b = destination_set(
+            destination("Q.B", manager="QM.B", recipient="B", msg_pick_up_time=500)
+        )
+        cmid_out = testbed.service.send_message({"ping": 1}, to_b)
+        reply_cmid = []
+
+        def b_reacts():
+            message = testbed.receiver("B").read_message("Q.B")
+            assert message is not None
+            back = destination_set(
+                destination("Q.SENDER.IN", manager="QM.SENDER",
+                            msg_pick_up_time=500)
+            )
+            reply_cmid.append(b_service.send_message({"pong": 1}, back))
+
+        testbed.at(50, b_reacts)
+
+        def sender_reads_reply():
+            from repro.core.receiver import ConditionalMessagingReceiver
+
+            reader = ConditionalMessagingReceiver(
+                testbed.sender_manager, recipient_id="sender-app"
+            )
+            reader.read_message("Q.SENDER.IN")
+
+        testbed.at(200, sender_reads_reply)
+        testbed.run_all()
+        assert testbed.service.outcome(cmid_out).succeeded
+        assert b_service.outcome(reply_cmid[0]).succeeded

@@ -1,0 +1,260 @@
+"""Failure-injection integration tests: loss, partition, crash recovery.
+
+The paper's reliability claims rest on building everything out of
+*reliable* messaging: lossy channels retry, transmission queues park
+traffic across partitions, and the persistent DS.* queues make sender
+state (staged compensations, logs) survive a crash.
+"""
+
+import pytest
+
+from repro.core import destination, destination_set
+from repro.core.logqueues import COMPENSATION_QUEUE, SENDER_LOG_QUEUE, SenderLogEntry
+from repro.core.receiver import ConditionalMessagingReceiver
+from repro.core.serialize import condition_from_dict
+from repro.core.service import ConditionalMessagingService
+from repro.mq.manager import QueueManager
+from repro.mq.network import MessageNetwork
+from repro.mq.persistence import MemoryJournal
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+from repro.workloads.scenarios import Testbed
+
+
+class TestLossyChannels:
+    def test_outcome_correct_despite_heavy_loss(self):
+        """50% transfer-attempt loss: retries make delivery reliable, so
+        in-window reads still succeed (retry interval is small relative
+        to the deadline)."""
+        testbed = Testbed(["R1"], latency_ms=10, loss_rate=0.5, seed=11)
+        condition = destination_set(
+            destination("Q.R1", manager="QM.R1", recipient="R1",
+                        msg_pick_up_time=60_000)
+        )
+        cmid = testbed.service.send_message({"x": 1}, condition)
+
+        def poll_until_read(remaining=200):
+            message = testbed.receiver("R1").read_message("Q.R1")
+            if message is None and remaining:
+                testbed.at(200, lambda: poll_until_read(remaining - 1))
+
+        testbed.at(200, poll_until_read)
+        testbed.run_all()
+        assert testbed.service.outcome(cmid).succeeded
+
+    def test_ack_path_survives_loss_too(self):
+        testbed = Testbed(["R1"], latency_ms=5, loss_rate=0.4, seed=23)
+        condition = destination_set(
+            destination("Q.R1", manager="QM.R1", recipient="R1",
+                        msg_pick_up_time=30_000)
+        )
+        cmids = [
+            testbed.service.send_message({"i": i}, condition) for i in range(10)
+        ]
+
+        def drain(remaining=300):
+            testbed.receiver("R1").read_all("Q.R1")
+            if testbed.service.pending_count() and remaining:
+                testbed.at(100, lambda: drain(remaining - 1))
+
+        testbed.at(100, drain)
+        testbed.run_all()
+        assert all(testbed.service.outcome(c).succeeded for c in cmids)
+
+
+class TestPartitions:
+    def test_partition_longer_than_window_fails_cleanly(self):
+        testbed = Testbed(["R1"], latency_ms=10)
+        testbed.network.stop_channel("QM.SENDER", "QM.R1")
+        condition = destination_set(
+            destination("Q.R1", manager="QM.R1", recipient="R1",
+                        msg_pick_up_time=1_000),
+            evaluation_timeout=2_000,
+        )
+        cmid = testbed.service.send_message({"x": 1}, condition)
+        testbed.run_all()
+        assert not testbed.service.outcome(cmid).succeeded
+        # Heal: the parked original AND its released compensation arrive
+        # and cancel each other out at the receiver.
+        testbed.network.start_channel("QM.SENDER", "QM.R1")
+        testbed.run_all()
+        assert testbed.receiver("R1").read_message("Q.R1") is None
+        assert testbed.receiver("R1").stats.cancellations == 1
+
+    def test_partition_within_window_recovers(self):
+        testbed = Testbed(["R1"], latency_ms=10)
+        testbed.network.stop_channel("QM.SENDER", "QM.R1")
+        condition = destination_set(
+            destination("Q.R1", manager="QM.R1", recipient="R1",
+                        msg_pick_up_time=10_000)
+        )
+        cmid = testbed.service.send_message({"x": 1}, condition)
+        testbed.run_until(2_000)
+        testbed.network.start_channel("QM.SENDER", "QM.R1")
+
+        def read():
+            testbed.receiver("R1").read_message("Q.R1")
+
+        testbed.at(100, read)
+        testbed.run_all()
+        assert testbed.service.outcome(cmid).succeeded
+
+
+class TestSenderCrashRecovery:
+    def build_sender(self, clock, scheduler, journal):
+        network = MessageNetwork(scheduler=scheduler, seed=5)
+        sender_qm = network.add_manager(
+            QueueManager("QM.S", clock, journal=journal)
+        )
+        receiver_qm = network.add_manager(QueueManager("QM.R", clock))
+        network.connect("QM.S", "QM.R")
+        service = ConditionalMessagingService(sender_qm, scheduler=scheduler)
+        receiver = ConditionalMessagingReceiver(receiver_qm, recipient_id="alice")
+        return network, sender_qm, receiver_qm, service, receiver
+
+    def test_staged_compensation_survives_crash(self):
+        """Sender crashes after send; a recovered sender still holds the
+        staged compensation and the SLOG entry, and can compensate."""
+        clock = SimulatedClock()
+        scheduler = EventScheduler(clock)
+        journal = MemoryJournal()
+        network, sender_qm, receiver_qm, service, receiver = self.build_sender(
+            clock, scheduler, journal
+        )
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=1_000)
+        )
+        cmid = service.send_message({"x": 1}, condition, compensation={"undo": 1})
+        scheduler.run_for(0)  # deliver the original
+
+        # CRASH: all sender-side in-memory state is lost.
+        recovered_qm = QueueManager.recover("QM.S", clock, journal)
+        assert recovered_qm.depth(COMPENSATION_QUEUE) == 1
+        assert recovered_qm.depth(SENDER_LOG_QUEUE) == 1
+
+        # Recovery procedure: replay SLOG entries into a fresh service.
+        entries = [
+            SenderLogEntry.from_message(m)
+            for m in recovered_qm.browse(SENDER_LOG_QUEUE)
+        ]
+        assert entries[0].cmid == cmid
+        restored_condition = condition_from_dict(entries[0].condition)
+        restored_condition.validate()
+        # The recovered sender re-registers the evaluation using the
+        # logged send time and timeout.
+        fresh_network = MessageNetwork(scheduler=scheduler, seed=6)
+        fresh_network.add_manager(recovered_qm)
+        fresh_network.add_manager(receiver_qm)  # re-attaches to this network
+        fresh_network.connect("QM.S", "QM.R")
+        fresh_service = ConditionalMessagingService(recovered_qm, scheduler=scheduler)
+        fresh_service.evaluation.register(
+            entries[0].cmid,
+            restored_condition,
+            entries[0].send_time_ms,
+            entries[0].evaluation_timeout_ms,
+        )
+        scheduler.run_all()  # nobody acked: evaluation times out
+        outcome = fresh_service.outcome(cmid)
+        assert outcome is not None and not outcome.succeeded
+        # The staged compensation survived the crash and was released by
+        # the recovered service's failure handling.
+        assert fresh_service.stats.compensations_released == 1
+        assert fresh_service.compensation.pending() == 0
+
+    def test_receiver_crash_preserves_unconsumed_message(self):
+        clock = SimulatedClock()
+        scheduler = EventScheduler(clock)
+        network = MessageNetwork(scheduler=scheduler, seed=7)
+        sender_qm = network.add_manager(QueueManager("QM.S", clock))
+        receiver_journal = MemoryJournal()
+        receiver_qm = network.add_manager(
+            QueueManager("QM.R", clock, journal=receiver_journal)
+        )
+        network.connect("QM.S", "QM.R")
+        service = ConditionalMessagingService(sender_qm, scheduler=scheduler)
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=60_000)
+        )
+        cmid = service.send_message({"x": 1}, condition)
+        scheduler.run_for(0)
+        assert receiver_qm.depth("Q.IN") == 1
+
+        # Receiver crashes and recovers; the persistent message is intact.
+        recovered_qm = QueueManager.recover("QM.R", clock, receiver_journal)
+        assert recovered_qm.depth("Q.IN") == 1
+
+    def test_receiver_crash_mid_transaction_redelivers(self):
+        """A crash before commit must redeliver the message (presumed
+        abort) and must NOT have produced an acknowledgment."""
+        clock = SimulatedClock()
+        scheduler = EventScheduler(clock)
+        network = MessageNetwork(scheduler=scheduler, seed=8)
+        sender_qm = network.add_manager(QueueManager("QM.S", clock))
+        receiver_journal = MemoryJournal()
+        receiver_qm = network.add_manager(
+            QueueManager("QM.R", clock, journal=receiver_journal)
+        )
+        network.connect("QM.S", "QM.R")
+        service = ConditionalMessagingService(sender_qm, scheduler=scheduler)
+        receiver = ConditionalMessagingReceiver(receiver_qm, recipient_id="alice")
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=60_000)
+        )
+        cmid = service.send_message({"x": 1}, condition)
+        scheduler.run_for(0)
+        receiver.begin_tx()
+        assert receiver.read_message("Q.IN") is not None
+        # CRASH before commit_tx: rebuild the receiver manager.
+        recovered_qm = QueueManager.recover("QM.R", clock, receiver_journal)
+        assert recovered_qm.depth("Q.IN") == 1  # message redelivered
+        scheduler.run_for(0)
+        assert service.evaluation.record(cmid).acks == []  # no ack leaked
+        # A fresh receiver on the recovered manager completes the story.
+        network2 = MessageNetwork(scheduler=scheduler, seed=9)
+        network2.add_manager(recovered_qm)
+        network2.add_manager(sender_qm)  # re-attaches to this network
+        network2.connect("QM.R", "QM.S")
+        fresh_receiver = ConditionalMessagingReceiver(
+            recovered_qm, recipient_id="alice"
+        )
+        message = fresh_receiver.read_message("Q.IN")
+        assert message is not None and message.cmid == cmid
+
+
+class TestPoisonMessages:
+    def test_repeatedly_aborting_receiver_poisons_message(self):
+        """A receiver that keeps rolling back eventually sends the message
+        to the dead-letter queue instead of looping forever."""
+        clock = SimulatedClock()
+        scheduler = EventScheduler(clock)
+        network = MessageNetwork(scheduler=scheduler, seed=3)
+        sender_qm = network.add_manager(QueueManager("QM.S", clock))
+        receiver_qm = network.add_manager(
+            QueueManager("QM.R", clock, backout_threshold=3)
+        )
+        network.connect("QM.S", "QM.R")
+        service = ConditionalMessagingService(sender_qm, scheduler=scheduler)
+        receiver = ConditionalMessagingReceiver(receiver_qm, recipient_id="alice")
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=10_000),
+            evaluation_timeout=20_000,
+        )
+        cmid = service.send_message({"x": 1}, condition)
+        scheduler.run_for(0)
+        for _ in range(3):
+            receiver.begin_tx()
+            assert receiver.read_message("Q.IN") is not None
+            receiver.abort_tx()
+        # Fourth attempt: the message has been dead-lettered.
+        receiver.begin_tx()
+        assert receiver.read_message("Q.IN") is None
+        receiver.abort_tx()
+        from repro.mq.manager import DEAD_LETTER_QUEUE
+
+        assert receiver_qm.depth(DEAD_LETTER_QUEUE) == 1
+        scheduler.run_all()
+        assert not service.outcome(cmid).succeeded

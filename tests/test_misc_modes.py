@@ -1,0 +1,106 @@
+"""Cross-cutting mode tests: push-off evaluation, D-Spheres over topics."""
+
+import pytest
+
+from repro.core import destination, destination_set
+from repro.core.receiver import ConditionalMessagingReceiver
+from repro.core.service import ConditionalMessagingService
+from repro.dsphere.context import DSphereOutcome
+from repro.dsphere.coordinator import DSphereService
+from repro.mq.manager import QueueManager
+from repro.mq.network import MessageNetwork
+from repro.mq.pubsub import SUBSCRIPTION_QUEUE_PREFIX, TopicBroker, topic_queue_name
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+
+class TestPushDisabled:
+    def test_acks_wait_for_poll(self, clock):
+        network = MessageNetwork(scheduler=None)
+        sender_qm = network.add_manager(QueueManager("QM.S", clock))
+        receiver_qm = network.add_manager(QueueManager("QM.R", clock))
+        network.connect("QM.S", "QM.R")
+        service = ConditionalMessagingService(
+            sender_qm, scheduler=None, push_evaluation=False
+        )
+        receiver = ConditionalMessagingReceiver(receiver_qm, recipient_id="alice")
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=1_000)
+        )
+        cmid = service.send_message({"x": 1}, condition)
+        receiver.read_message("Q.IN")
+        # The ack sits on DS.ACK.Q, unprocessed:
+        assert sender_qm.depth(service.ack_queue) == 1
+        assert service.outcome(cmid) is None
+        service.poll()
+        assert sender_qm.depth(service.ack_queue) == 0
+        assert service.outcome(cmid).succeeded
+
+
+class TestDSphereOverTopics:
+    def test_sphere_with_topic_member(self):
+        """A Dependency-Sphere member addressed to a topic: the group
+        outcome follows the anonymous subscriber condition."""
+        clock = SimulatedClock()
+        scheduler = EventScheduler(clock)
+        network = MessageNetwork(scheduler=scheduler, seed=5)
+        sender_qm = network.add_manager(QueueManager("QM.S", clock))
+        hub_qm = network.add_manager(QueueManager("QM.HUB", clock))
+        network.connect("QM.S", "QM.HUB", latency_ms=10)
+        service = ConditionalMessagingService(sender_qm, scheduler=scheduler)
+        dsphere = DSphereService(service, scheduler=scheduler)
+        broker = TopicBroker(hub_qm)
+        broker.define_topic("events")
+        subscribers = []
+        for i in range(3):
+            broker.subscribe("events", f"s{i}")
+            subscribers.append(
+                (ConditionalMessagingReceiver(hub_qm, recipient_id=f"s{i}"),
+                 SUBSCRIPTION_QUEUE_PREFIX + f"s{i}")
+            )
+        sphere = dsphere.begin_DS()
+        dsphere.send_message(
+            {"event": "launch"},
+            destination_set(
+                destination(topic_queue_name("events"), manager="QM.HUB"),
+                msg_pick_up_time=1_000,
+                anonymous_min_pick_up=2,
+                evaluation_timeout=2_000,
+            ),
+        )
+        dsphere.commit_DS()
+        scheduler.run_for(20)
+        for receiver, queue in subscribers[:2]:
+            receiver.read_message(queue)
+        scheduler.run_all()
+        assert sphere.group_outcome is DSphereOutcome.SUCCESS
+
+    def test_sphere_fails_when_subscribers_too_few(self):
+        clock = SimulatedClock()
+        scheduler = EventScheduler(clock)
+        network = MessageNetwork(scheduler=scheduler, seed=5)
+        sender_qm = network.add_manager(QueueManager("QM.S", clock))
+        hub_qm = network.add_manager(QueueManager("QM.HUB", clock))
+        network.connect("QM.S", "QM.HUB", latency_ms=10)
+        service = ConditionalMessagingService(sender_qm, scheduler=scheduler)
+        dsphere = DSphereService(service, scheduler=scheduler)
+        broker = TopicBroker(hub_qm)
+        broker.define_topic("events")
+        broker.subscribe("events", "lone")
+        lone = ConditionalMessagingReceiver(hub_qm, recipient_id="lone")
+        sphere = dsphere.begin_DS()
+        dsphere.send_message(
+            {"event": "launch"},
+            destination_set(
+                destination(topic_queue_name("events"), manager="QM.HUB"),
+                msg_pick_up_time=1_000,
+                anonymous_min_pick_up=2,
+                evaluation_timeout=2_000,
+            ),
+        )
+        dsphere.commit_DS()
+        scheduler.run_for(20)
+        lone.read_message(SUBSCRIPTION_QUEUE_PREFIX + "lone")
+        scheduler.run_all()
+        assert sphere.group_outcome is DSphereOutcome.FAILURE

@@ -1,0 +1,126 @@
+"""Tests for the dead-letter handler."""
+
+import pytest
+
+from repro.mq.deadletter import DeadLetterHandler
+from repro.mq.manager import DEAD_LETTER_QUEUE, QueueManager
+from repro.mq.message import Message
+
+
+@pytest.fixture
+def handler(manager):
+    return DeadLetterHandler(manager)
+
+
+def poison(manager, queue="APP.Q", body="poison"):
+    """Drive a message over the backout threshold into the DLQ."""
+    manager.ensure_queue(queue)
+    from repro.core import control
+
+    message = Message(body=body, properties={control.PROP_DEST_QUEUE: queue})
+    manager.put(queue, message)
+    for _ in range(manager.backout_threshold):
+        tx = manager.begin()
+        assert manager.get(queue, transaction=tx) is not None
+        tx.rollback()
+    tx = manager.begin()
+    assert manager.get_wait(queue, transaction=tx) is None  # diverted
+    tx.rollback()
+    return message
+
+
+def expire(manager, queue="APP.Q", body="stale", clock_jump=100):
+    manager.ensure_queue(queue)
+    message = Message(body=body, expiry_ms=50)
+    manager.put(queue, message)
+    manager.clock.set(manager.clock.now_ms() + clock_jump)
+    manager.depth(queue)  # sweep
+    return message
+
+
+class TestInspection:
+    def test_summary_by_reason(self, manager, handler):
+        poison(manager)
+        expire(manager)
+        assert handler.summary() == {"backout-threshold": 1, "expired": 1}
+        assert handler.depth() == 2
+
+    def test_browse_filtered(self, manager, handler):
+        poison(manager)
+        expire(manager)
+        assert [m.body for m in handler.browse("expired")] == ["stale"]
+        assert len(handler.browse()) == 2
+
+
+class TestRetry:
+    def test_retry_poisoned_message(self, manager, handler):
+        poison(manager)
+        result = handler.retry(reason="backout-threshold")
+        assert result.retried == 1
+        revived = manager.get("APP.Q")
+        assert revived.body == "poison"
+        assert revived.backout_count == 0        # reset for a fresh start
+        assert not revived.has_property("DLQ_REASON")
+        assert handler.depth() == 0
+
+    def test_retry_without_backout_reset(self, manager, handler):
+        poison(manager)
+        handler.retry(reset_backout=False)
+        revived = next(manager.browse("APP.Q"))
+        assert revived.backout_count == manager.backout_threshold
+
+    def test_retry_skips_unknown_destination(self, manager, handler):
+        expire(manager)  # expired messages carry no DS_DEST_QUEUE
+        result = handler.retry()
+        assert result.retried == 0
+        assert result.skipped == 1
+        assert handler.depth() == 1
+
+    def test_retry_limit(self, manager, handler):
+        for i in range(3):
+            poison(manager, body=f"p{i}")
+        result = handler.retry(limit=2)
+        assert result.retried == 2
+        assert handler.depth() == 1
+
+
+class TestDiscard:
+    def test_discard_all(self, manager, handler):
+        poison(manager)
+        expire(manager)
+        assert handler.discard() == 2
+        assert handler.depth() == 0
+
+    def test_discard_by_reason(self, manager, handler):
+        poison(manager)
+        expire(manager)
+        assert handler.discard(reason="expired") == 1
+        assert handler.summary() == {"backout-threshold": 1}
+
+
+class TestWithConditionalMessaging:
+    def test_retried_original_can_still_satisfy(self, duo):
+        """A poisoned conditional message, retried from the DLQ within the
+        window, still produces its acknowledgment and succeeds."""
+        from repro.core import destination, destination_set
+
+        duo.receiver_qm.backout_threshold = 2
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=60_000)
+        )
+        cmid = duo.service.send_message({"x": 1}, condition)
+        duo.deliver()
+        for _ in range(2):
+            duo.receiver.begin_tx()
+            assert duo.receiver.read_message("Q.IN") is not None
+            duo.receiver.abort_tx()
+        duo.receiver.begin_tx()
+        assert duo.receiver.read_message("Q.IN") is None  # poisoned away
+        duo.receiver.abort_tx()
+        handler = DeadLetterHandler(duo.receiver_qm)
+        assert handler.retry().retried == 1
+        message = duo.receiver.read_message("Q.IN")
+        assert message is not None and message.cmid == cmid
+        duo.deliver()
+        assert duo.service.outcome(cmid).succeeded

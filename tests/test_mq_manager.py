@@ -1,0 +1,133 @@
+"""Unit tests for the queue manager."""
+
+import pytest
+
+from repro.errors import (
+    EmptyQueueError,
+    MQError,
+    QueueExistsError,
+    QueueNotFoundError,
+)
+from repro.mq.manager import DEAD_LETTER_QUEUE, QueueManager
+from repro.mq.message import DeliveryMode, Message
+
+
+class TestQueueAdministration:
+    def test_requires_name(self, clock):
+        with pytest.raises(MQError):
+            QueueManager("", clock)
+
+    def test_dead_letter_queue_predefined(self, manager):
+        assert manager.has_queue(DEAD_LETTER_QUEUE)
+
+    def test_define_and_lookup(self, manager):
+        manager.define_queue("APP.Q")
+        assert manager.has_queue("APP.Q")
+        assert manager.queue("APP.Q").name == "APP.Q"
+
+    def test_define_duplicate_rejected(self, manager):
+        manager.define_queue("APP.Q")
+        with pytest.raises(QueueExistsError):
+            manager.define_queue("APP.Q")
+
+    def test_ensure_queue_is_idempotent(self, manager):
+        first = manager.ensure_queue("APP.Q")
+        second = manager.ensure_queue("APP.Q")
+        assert first is second
+
+    def test_lookup_missing_raises(self, manager):
+        with pytest.raises(QueueNotFoundError):
+            manager.queue("NOPE.Q")
+
+    def test_delete_queue(self, manager):
+        manager.define_queue("APP.Q")
+        manager.delete_queue("APP.Q")
+        assert not manager.has_queue("APP.Q")
+        with pytest.raises(QueueNotFoundError):
+            manager.delete_queue("APP.Q")
+
+    def test_dead_letter_queue_undeletable(self, manager):
+        with pytest.raises(MQError):
+            manager.delete_queue(DEAD_LETTER_QUEUE)
+
+    def test_queue_names(self, manager):
+        manager.define_queue("A.Q")
+        manager.define_queue("B.Q")
+        assert set(manager.queue_names()) == {DEAD_LETTER_QUEUE, "A.Q", "B.Q"}
+
+
+class TestPutGet:
+    def test_put_get_roundtrip(self, manager):
+        manager.define_queue("APP.Q")
+        manager.put("APP.Q", Message(body="hi"))
+        assert manager.get("APP.Q").body == "hi"
+
+    def test_get_empty_raises_and_get_wait_returns_none(self, manager):
+        manager.define_queue("APP.Q")
+        with pytest.raises(EmptyQueueError):
+            manager.get("APP.Q")
+        assert manager.get_wait("APP.Q") is None
+
+    def test_depth_and_browse(self, manager):
+        manager.define_queue("APP.Q")
+        manager.put("APP.Q", Message(body=1))
+        manager.put("APP.Q", Message(body=2))
+        assert manager.depth("APP.Q") == 2
+        assert [m.body for m in manager.browse("APP.Q")] == [1, 2]
+
+    def test_put_remote_to_self_is_local(self, manager):
+        manager.define_queue("APP.Q")
+        manager.put_remote("QM.TEST", "APP.Q", Message(body="loop"))
+        assert manager.get("APP.Q").body == "loop"
+
+    def test_put_remote_without_network_fails(self, manager):
+        with pytest.raises(MQError):
+            manager.put_remote("QM.OTHER", "APP.Q", Message(body=None))
+
+    def test_expired_message_goes_to_dlq(self, manager, clock):
+        manager.define_queue("APP.Q")
+        manager.put("APP.Q", Message(body="dying", expiry_ms=50))
+        clock.set(51)
+        assert manager.get_wait("APP.Q") is None
+        dead = manager.get(DEAD_LETTER_QUEUE)
+        assert dead.body == "dying"
+        assert dead.get_property("DLQ_REASON") == "expired"
+
+
+class TestBackoutThreshold:
+    def test_poison_message_diverted_to_dlq(self, clock):
+        manager = QueueManager("QM.P", clock, backout_threshold=2)
+        manager.define_queue("APP.Q")
+        manager.put("APP.Q", Message(body="poison"))
+        for _ in range(2):
+            tx = manager.begin()
+            assert manager.get("APP.Q", transaction=tx).body == "poison"
+            tx.rollback()
+        # Third transactional attempt must not see the poison message.
+        tx = manager.begin()
+        assert manager.get_wait("APP.Q", transaction=tx) is None
+        tx.rollback()
+        dead = manager.get(DEAD_LETTER_QUEUE)
+        assert dead.get_property("DLQ_REASON") == "backout-threshold"
+
+    def test_healthy_message_still_delivered_after_poison(self, clock):
+        manager = QueueManager("QM.P", clock, backout_threshold=1)
+        manager.define_queue("APP.Q")
+        manager.put("APP.Q", Message(body="poison"))
+        manager.put("APP.Q", Message(body="good"))
+        tx = manager.begin()
+        manager.get("APP.Q", transaction=tx)
+        tx.rollback()
+        tx2 = manager.begin()
+        assert manager.get("APP.Q", transaction=tx2).body == "good"
+        tx2.commit()
+
+    def test_threshold_disabled(self, clock):
+        manager = QueueManager("QM.P", clock, backout_threshold=None)
+        manager.define_queue("APP.Q")
+        manager.put("APP.Q", Message(body="retry-me"))
+        for _ in range(10):
+            tx = manager.begin()
+            assert manager.get("APP.Q", transaction=tx) is not None
+            tx.rollback()
+        assert manager.depth("APP.Q") == 1

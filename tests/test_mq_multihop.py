@@ -1,0 +1,106 @@
+"""Tests for multi-hop store-and-forward routing."""
+
+import pytest
+
+from repro.errors import ChannelError
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.mq.network import MessageNetwork
+
+
+@pytest.fixture
+def chain(clock, scheduler):
+    """A -- B -- C with no direct A-C channel; A routes to C via B."""
+    network = MessageNetwork(scheduler=scheduler, seed=0)
+    managers = {
+        name: network.add_manager(QueueManager(name, clock))
+        for name in ("QM.A", "QM.B", "QM.C")
+    }
+    network.connect("QM.A", "QM.B", latency_ms=10)
+    network.connect("QM.B", "QM.C", latency_ms=10)
+    network.set_route("QM.A", "QM.C", next_hop="QM.B")
+    network.set_route("QM.C", "QM.A", next_hop="QM.B")
+    managers["QM.C"].define_queue("IN.Q")
+    return network, managers
+
+
+class TestForwarding:
+    def test_two_hop_delivery(self, chain, scheduler):
+        network, managers = chain
+        managers["QM.A"].put_remote("QM.C", "IN.Q", Message(body="hi"))
+        scheduler.run_all()
+        delivered = managers["QM.C"].get("IN.Q")
+        assert delivered.body == "hi"
+        assert delivered.source_manager == "QM.A"  # original source kept
+
+    def test_latency_accumulates_per_hop(self, chain, scheduler):
+        network, managers = chain
+        managers["QM.A"].put_remote("QM.C", "IN.Q", Message(body="hi"))
+        scheduler.run_until(19)
+        assert managers["QM.C"].depth("IN.Q") == 0
+        scheduler.run_until(20)
+        assert managers["QM.C"].depth("IN.Q") == 1
+
+    def test_reverse_route(self, chain, scheduler):
+        network, managers = chain
+        managers["QM.A"].define_queue("BACK.Q")
+        managers["QM.C"].put_remote("QM.A", "BACK.Q", Message(body="reply"))
+        scheduler.run_all()
+        assert managers["QM.A"].get("BACK.Q").body == "reply"
+
+    def test_no_route_raises(self, chain, scheduler):
+        network, managers = chain
+        with pytest.raises(ChannelError):
+            network.send("QM.B", "QM.MISSING", "Q", Message(body=None))
+
+    def test_route_validation(self, chain):
+        network, managers = chain
+        with pytest.raises(ChannelError):
+            network.set_route("QM.A", "QM.C", next_hop="QM.A")
+
+    def test_three_hop_chain(self, clock, scheduler):
+        network = MessageNetwork(scheduler=scheduler, seed=0)
+        names = ["QM.1", "QM.2", "QM.3", "QM.4"]
+        for name in names:
+            network.add_manager(QueueManager(name, clock))
+        for a, b in zip(names, names[1:]):
+            network.connect(a, b, latency_ms=5)
+        network.set_route("QM.1", "QM.4", next_hop="QM.2")
+        network.set_route("QM.2", "QM.4", next_hop="QM.3")
+        network.manager("QM.4").define_queue("END.Q")
+        network.manager("QM.1").put_remote("QM.4", "END.Q", Message(body="far"))
+        scheduler.run_all()
+        assert network.manager("QM.4").get("END.Q").body == "far"
+
+    def test_partition_on_middle_hop_parks_then_drains(self, chain, scheduler):
+        network, managers = chain
+        network.stop_channel("QM.B", "QM.C")
+        managers["QM.A"].put_remote("QM.C", "IN.Q", Message(body="parked"))
+        scheduler.run_for(1_000)
+        assert managers["QM.C"].depth("IN.Q") == 0
+        network.start_channel("QM.B", "QM.C")
+        scheduler.run_all()
+        assert managers["QM.C"].depth("IN.Q") == 1
+
+
+class TestConditionalOverMultihop:
+    def test_end_to_end_conditions_across_two_hops(self, chain, scheduler, clock):
+        """Conditional message + acks each cross two hops; outcome holds."""
+        from repro.core import destination, destination_set
+        from repro.core.receiver import ConditionalMessagingReceiver
+        from repro.core.service import ConditionalMessagingService
+
+        network, managers = chain
+        service = ConditionalMessagingService(managers["QM.A"], scheduler=scheduler)
+        receiver = ConditionalMessagingReceiver(managers["QM.C"], recipient_id="carol")
+        condition = destination_set(
+            destination("IN.Q", manager="QM.C", recipient="carol",
+                        msg_pick_up_time=1_000)
+        )
+        cmid = service.send_message({"x": 1}, condition)
+        scheduler.run_for(20)   # two hops out
+        receiver.read_message("IN.Q")
+        scheduler.run_for(20)   # two hops back for the ack
+        outcome = service.outcome(cmid)
+        assert outcome is not None and outcome.succeeded
+        assert outcome.decided_at_ms == 40

@@ -1,0 +1,162 @@
+"""Unit tests for the queue-manager network (channels, latency, loss)."""
+
+import pytest
+
+from repro.errors import ChannelError, MQError, QueueManagerNotFoundError
+from repro.mq.manager import DEAD_LETTER_QUEUE, QueueManager
+from repro.mq.message import Message
+from repro.mq.network import XMIT_PREFIX, MessageNetwork
+
+
+def build(network, clock, names=("QM.A", "QM.B"), **connect_kwargs):
+    managers = {}
+    for name in names:
+        managers[name] = network.add_manager(QueueManager(name, clock))
+    for name in names[1:]:
+        network.connect(names[0], name, **connect_kwargs)
+    return managers
+
+
+class TestTopology:
+    def test_duplicate_manager_rejected(self, network, clock):
+        network.add_manager(QueueManager("QM.A", clock))
+        with pytest.raises(MQError):
+            network.add_manager(QueueManager("QM.A", clock))
+
+    def test_connect_requires_registered_managers(self, network, clock):
+        network.add_manager(QueueManager("QM.A", clock))
+        with pytest.raises(QueueManagerNotFoundError):
+            network.connect("QM.A", "QM.MISSING")
+
+    def test_manager_lookup(self, network, clock):
+        manager = network.add_manager(QueueManager("QM.A", clock))
+        assert network.manager("QM.A") is manager
+        with pytest.raises(QueueManagerNotFoundError):
+            network.manager("QM.X")
+
+    def test_channel_parameters_validated(self, network, clock):
+        build(network, clock)
+        with pytest.raises(ChannelError):
+            network.connect("QM.A", "QM.B", loss_rate=1.0)
+
+    def test_sync_network_rejects_latency(self, sync_network, clock):
+        build(sync_network, clock)
+        with pytest.raises(ChannelError):
+            sync_network.connect("QM.A", "QM.B", latency_ms=10)
+
+
+class TestTransfer:
+    def test_synchronous_delivery(self, sync_network, clock):
+        managers = build(sync_network, clock)
+        managers["QM.B"].define_queue("IN.Q")
+        managers["QM.A"].put_remote("QM.B", "IN.Q", Message(body="hello"))
+        assert managers["QM.B"].get("IN.Q").body == "hello"
+
+    def test_latency_delays_delivery(self, network, scheduler, clock):
+        managers = build(network, clock, latency_ms=100)
+        managers["QM.B"].define_queue("IN.Q")
+        managers["QM.A"].put_remote("QM.B", "IN.Q", Message(body="later"))
+        scheduler.run_until(99)
+        assert managers["QM.B"].depth("IN.Q") == 0
+        scheduler.run_until(100)
+        assert managers["QM.B"].get("IN.Q").body == "later"
+
+    def test_source_manager_stamped(self, sync_network, clock):
+        managers = build(sync_network, clock)
+        managers["QM.B"].define_queue("IN.Q")
+        managers["QM.A"].put_remote("QM.B", "IN.Q", Message(body=None))
+        assert managers["QM.B"].get("IN.Q").source_manager == "QM.A"
+
+    def test_routing_envelope_stripped(self, sync_network, clock):
+        managers = build(sync_network, clock)
+        managers["QM.B"].define_queue("IN.Q")
+        managers["QM.A"].put_remote("QM.B", "IN.Q", Message(body=None, properties={"app": 1}))
+        delivered = managers["QM.B"].get("IN.Q")
+        assert delivered.properties == {"app": 1}
+
+    def test_send_to_self_is_local(self, sync_network, clock):
+        managers = build(sync_network, clock)
+        managers["QM.A"].define_queue("LOCAL.Q")
+        sync_network.send("QM.A", "QM.A", "LOCAL.Q", Message(body="me"))
+        assert managers["QM.A"].get("LOCAL.Q").body == "me"
+
+    def test_auto_create_destination_queue(self, sync_network, clock):
+        managers = build(sync_network, clock)
+        managers["QM.A"].put_remote("QM.B", "NEW.Q", Message(body="auto"))
+        assert managers["QM.B"].get("NEW.Q").body == "auto"
+
+    def test_unknown_queue_dead_letters_when_auto_create_off(self, clock):
+        network = MessageNetwork(scheduler=None, auto_create_queues=False)
+        managers = build(network, clock)
+        managers["QM.A"].put_remote("QM.B", "NOPE.Q", Message(body="lost"))
+        dead = managers["QM.B"].get(DEAD_LETTER_QUEUE)
+        assert dead.get_property("DLQ_REASON") == "unknown-queue"
+        assert network.channel("QM.A", "QM.B").stats.dead_lettered == 1
+
+
+class TestLossAndRetry:
+    def test_lossy_channel_still_delivers_everything(self, network, scheduler, clock):
+        managers = build(network, clock, latency_ms=10, loss_rate=0.5, retry_interval_ms=20)
+        managers["QM.B"].define_queue("IN.Q")
+        for i in range(50):
+            managers["QM.A"].put_remote("QM.B", "IN.Q", Message(body=i))
+        scheduler.run_all()
+        received = sorted(m.body for m in managers["QM.B"].browse("IN.Q"))
+        assert received == list(range(50))
+        stats = network.channel("QM.A", "QM.B").stats
+        assert stats.delivered == 50
+        assert stats.failed_attempts > 0  # at 50% loss, some attempts failed
+
+    def test_jitter_can_reorder(self, network, scheduler, clock):
+        managers = build(network, clock, latency_ms=10, jitter_ms=50)
+        managers["QM.B"].define_queue("IN.Q")
+        for i in range(20):
+            managers["QM.A"].put_remote("QM.B", "IN.Q", Message(body=i))
+        scheduler.run_all()
+        received = [m.body for m in managers["QM.B"].browse("IN.Q")]
+        assert sorted(received) == list(range(20))
+        assert received != list(range(20))  # seed 1234 produces reordering
+
+
+class TestPartition:
+    def test_stopped_channel_parks_messages(self, network, scheduler, clock):
+        managers = build(network, clock, latency_ms=5)
+        managers["QM.B"].define_queue("IN.Q")
+        network.stop_channel("QM.A", "QM.B")
+        managers["QM.A"].put_remote("QM.B", "IN.Q", Message(body="parked"))
+        scheduler.run_for(1_000)
+        assert managers["QM.B"].depth("IN.Q") == 0
+        assert managers["QM.A"].depth(XMIT_PREFIX + "QM.B") == 1
+
+    def test_healing_partition_drains_backlog(self, network, scheduler, clock):
+        managers = build(network, clock, latency_ms=5)
+        managers["QM.B"].define_queue("IN.Q")
+        network.stop_channel("QM.A", "QM.B")
+        for i in range(5):
+            managers["QM.A"].put_remote("QM.B", "IN.Q", Message(body=i))
+        scheduler.run_for(100)
+        network.start_channel("QM.A", "QM.B")
+        scheduler.run_all()
+        assert sorted(m.body for m in managers["QM.B"].browse("IN.Q")) == list(range(5))
+
+    def test_start_idempotent(self, network, scheduler, clock):
+        build(network, clock, latency_ms=5)
+        network.start_channel("QM.A", "QM.B")  # not stopped: no-op
+        assert not network.channel("QM.A", "QM.B").stopped
+
+
+class TestBidirectional:
+    def test_reverse_direction_works(self, network, scheduler, clock):
+        managers = build(network, clock, latency_ms=7)
+        managers["QM.A"].define_queue("BACK.Q")
+        managers["QM.B"].put_remote("QM.A", "BACK.Q", Message(body="reply"))
+        scheduler.run_all()
+        assert managers["QM.A"].get("BACK.Q").body == "reply"
+
+    def test_unidirectional_connect(self, clock, scheduler):
+        network = MessageNetwork(scheduler=scheduler)
+        a = network.add_manager(QueueManager("QM.A", clock))
+        b = network.add_manager(QueueManager("QM.B", clock))
+        network.connect("QM.A", "QM.B", bidirectional=False)
+        with pytest.raises(ChannelError):
+            network.channel("QM.B", "QM.A")

@@ -1,0 +1,197 @@
+"""Unit tests for journaling, checkpointing, and crash recovery."""
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.mq.manager import QueueManager
+from repro.mq.message import DeliveryMode, Message
+from repro.mq.persistence import (
+    FileJournal,
+    MemoryJournal,
+    decode_body,
+    decode_message,
+    encode_body,
+    encode_message,
+)
+
+
+class TestBodyCodec:
+    @pytest.mark.parametrize(
+        "body",
+        [None, 42, 1.5, "text", [1, 2, 3], {"nested": {"ok": True}}],
+    )
+    def test_json_bodies_roundtrip(self, body):
+        assert decode_body(encode_body(body)) == body
+
+    def test_json_bodies_stored_natively(self):
+        assert encode_body({"a": 1})["kind"] == "json"
+
+    def test_non_json_bodies_pickled(self):
+        body = frozenset({1, 2})
+        record = encode_body(body)
+        assert record["kind"] == "pickle"
+        assert decode_body(record) == body
+
+    def test_unjournalable_body_raises(self):
+        with pytest.raises(PersistenceError):
+            encode_body(lambda: None)
+
+    def test_unknown_encoding_rejected(self):
+        with pytest.raises(PersistenceError):
+            decode_body({"kind": "alien", "data": ""})
+
+
+class TestMessageCodec:
+    def test_full_roundtrip(self):
+        message = Message(
+            body={"k": "v"},
+            correlation_id="corr",
+            properties={"p": 1, "q": "s"},
+            priority=8,
+            delivery_mode=DeliveryMode.NON_PERSISTENT,
+            expiry_ms=123,
+            reply_to_manager="QM.X",
+            reply_to_queue="R.Q",
+            put_time_ms=55,
+            backout_count=2,
+            source_manager="QM.SRC",
+        )
+        restored = decode_message(encode_message(message))
+        assert restored.message_id == message.message_id
+        assert restored.body == message.body
+        assert restored.properties == message.properties
+        assert restored.priority == 8
+        assert restored.delivery_mode is DeliveryMode.NON_PERSISTENT
+        assert restored.expiry_ms == 123
+        assert restored.reply_to_manager == "QM.X"
+        assert restored.backout_count == 2
+        assert restored.source_manager == "QM.SRC"
+
+    def test_missing_field_raises(self):
+        with pytest.raises(PersistenceError):
+            decode_message({"body": {"kind": "json", "data": None}})
+
+
+class TestJournalRecovery:
+    def make_manager(self, clock, journal):
+        manager = QueueManager("QM.J", clock, journal=journal)
+        manager.define_queue("A.Q")
+        return manager
+
+    def test_puts_recovered(self, clock):
+        journal = MemoryJournal()
+        manager = self.make_manager(clock, journal)
+        manager.put("A.Q", Message(body="one"))
+        manager.put("A.Q", Message(body="two"))
+        recovered = QueueManager.recover("QM.J", clock, journal)
+        assert [m.body for m in recovered.browse("A.Q")] == ["one", "two"]
+
+    def test_gets_not_redelivered(self, clock):
+        journal = MemoryJournal()
+        manager = self.make_manager(clock, journal)
+        manager.put("A.Q", Message(body="keep"))
+        manager.put("A.Q", Message(body="consumed"))
+        assert manager.get("A.Q").body == "keep"
+        recovered = QueueManager.recover("QM.J", clock, journal)
+        assert [m.body for m in recovered.browse("A.Q")] == ["consumed"]
+
+    def test_non_persistent_messages_lost(self, clock):
+        journal = MemoryJournal()
+        manager = self.make_manager(clock, journal)
+        manager.put("A.Q", Message(body="volatile", delivery_mode=DeliveryMode.NON_PERSISTENT))
+        manager.put("A.Q", Message(body="durable"))
+        recovered = QueueManager.recover("QM.J", clock, journal)
+        assert [m.body for m in recovered.browse("A.Q")] == ["durable"]
+
+    def test_inflight_transaction_presumed_aborted(self, clock):
+        journal = MemoryJournal()
+        manager = self.make_manager(clock, journal)
+        manager.put("A.Q", Message(body="locked"))
+        tx = manager.begin()
+        manager.get("A.Q", transaction=tx)
+        manager.put("A.Q", Message(body="uncommitted"), transaction=tx)
+        # Crash before commit: recover from the journal as-is.
+        recovered = QueueManager.recover("QM.J", clock, journal)
+        assert [m.body for m in recovered.browse("A.Q")] == ["locked"]
+
+    def test_committed_transaction_survives(self, clock):
+        journal = MemoryJournal()
+        manager = self.make_manager(clock, journal)
+        manager.put("A.Q", Message(body="job"))
+        manager.define_queue("B.Q")
+        tx = manager.begin()
+        manager.get("A.Q", transaction=tx)
+        manager.put("B.Q", Message(body="result"), transaction=tx)
+        tx.commit()
+        recovered = QueueManager.recover("QM.J", clock, journal)
+        assert list(recovered.browse("A.Q")) == []
+        assert [m.body for m in recovered.browse("B.Q")] == ["result"]
+
+    def test_deleted_queue_not_recovered(self, clock):
+        journal = MemoryJournal()
+        manager = self.make_manager(clock, journal)
+        manager.put("A.Q", Message(body="gone"))
+        manager.delete_queue("A.Q")
+        recovered = QueueManager.recover("QM.J", clock, journal)
+        assert not recovered.has_queue("A.Q")
+
+    def test_checkpoint_compacts_but_preserves_state(self, clock):
+        journal = MemoryJournal()
+        manager = self.make_manager(clock, journal)
+        for i in range(20):
+            manager.put("A.Q", Message(body=i))
+        for _ in range(15):
+            manager.get("A.Q")
+        size_before = journal.size()
+        manager.checkpoint()
+        assert journal.size() < size_before
+        recovered = QueueManager.recover("QM.J", clock, journal)
+        assert [m.body for m in recovered.browse("A.Q")] == [15, 16, 17, 18, 19]
+
+    def test_recover_is_repeatable(self, clock):
+        journal = MemoryJournal()
+        manager = self.make_manager(clock, journal)
+        manager.put("A.Q", Message(body="x"))
+        first = QueueManager.recover("QM.J", clock, journal)
+        second = QueueManager.recover("QM.J", clock, journal)
+        assert [m.body for m in first.browse("A.Q")] == ["x"]
+        assert [m.body for m in second.browse("A.Q")] == ["x"]
+
+    def test_corrupt_journal_op_raises(self, clock):
+        journal = MemoryJournal()
+        journal.append({"op": "mystery"})
+        with pytest.raises(PersistenceError):
+            journal.recover()
+
+
+class TestFileJournal:
+    def test_roundtrip_on_disk(self, clock, tmp_path):
+        path = str(tmp_path / "qm.journal")
+        journal = FileJournal(path)
+        manager = QueueManager("QM.F", clock, journal=journal)
+        manager.define_queue("A.Q")
+        manager.put("A.Q", Message(body={"payload": [1, 2]}))
+        manager.get("A.Q")
+        manager.put("A.Q", Message(body="second"))
+        # Simulate a restart: a fresh journal object over the same file.
+        recovered = QueueManager.recover("QM.F", clock, FileJournal(path))
+        assert [m.body for m in recovered.browse("A.Q")] == ["second"]
+
+    def test_checkpoint_rewrites_file(self, clock, tmp_path):
+        path = str(tmp_path / "qm.journal")
+        journal = FileJournal(path)
+        manager = QueueManager("QM.F", clock, journal=journal)
+        manager.define_queue("A.Q")
+        for i in range(10):
+            manager.put("A.Q", Message(body=i))
+        manager.checkpoint()
+        lines = [l for l in open(path, encoding="utf-8") if l.strip()]
+        # snapshot-begin + define + 10 puts + snapshot-end
+        assert len(lines) == 13
+
+    def test_corrupt_line_raises(self, tmp_path):
+        path = str(tmp_path / "bad.journal")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write("{not json}\n")
+        with pytest.raises(PersistenceError):
+            FileJournal(path).read_all()

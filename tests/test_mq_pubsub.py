@@ -1,0 +1,153 @@
+"""Unit tests for the publish/subscribe substrate."""
+
+import pytest
+
+from repro.errors import MQError
+from repro.mq.message import Message
+from repro.mq.pubsub import (
+    SUBSCRIPTION_QUEUE_PREFIX,
+    TopicBroker,
+    topic_matches,
+    topic_queue_name,
+)
+
+
+@pytest.fixture
+def broker(manager):
+    return TopicBroker(manager)
+
+
+class TestTopicMatching:
+    @pytest.mark.parametrize(
+        "pattern,topic,expected",
+        [
+            ("px.nyse.ibm", "px.nyse.ibm", True),
+            ("px.nyse.ibm", "px.nyse.sun", False),
+            ("px.nyse.*", "px.nyse.ibm", True),
+            ("px.nyse.*", "px.nyse", False),
+            ("px.*", "px.nyse.ibm", False),
+            ("px.*.ibm", "px.nyse.ibm", True),
+            ("px.#", "px.nyse.ibm", True),
+            ("px.#", "px.nyse", True),
+            ("px.#", "px", False),
+            ("#", "anything.at.all", True),
+            ("*", "one", True),
+            ("*", "one.two", False),
+        ],
+    )
+    def test_matches(self, pattern, topic, expected):
+        assert topic_matches(pattern, topic) is expected
+
+    def test_hash_must_be_final(self):
+        with pytest.raises(MQError):
+            topic_matches("px.#.ibm", "px.nyse.ibm")
+
+    @pytest.mark.parametrize("bad", ["", ".", "a.", ".a", "a..b"])
+    def test_bad_names_rejected(self, bad):
+        with pytest.raises(MQError):
+            topic_matches(bad, "a")
+        with pytest.raises(MQError):
+            topic_matches("a", bad)
+
+
+class TestSubscribePublish:
+    def test_publish_fans_out_to_matching_subscriptions(self, broker, manager):
+        broker.subscribe("px.nyse.*", "nyse-feed")
+        broker.subscribe("px.#", "all-prices")
+        broker.subscribe("fx.#", "fx-only")
+        delivered = broker.publish("px.nyse.ibm", Message(body={"px": 120}))
+        assert delivered == 2
+        assert manager.depth(SUBSCRIPTION_QUEUE_PREFIX + "nyse-feed") == 1
+        assert manager.depth(SUBSCRIPTION_QUEUE_PREFIX + "all-prices") == 1
+        assert manager.depth(SUBSCRIPTION_QUEUE_PREFIX + "fx-only") == 0
+
+    def test_copies_are_independent_messages(self, broker, manager):
+        broker.subscribe("t", "a")
+        broker.subscribe("t", "b")
+        broker.publish("t", Message(body="x", correlation_id="corr"))
+        copy_a = manager.get(SUBSCRIPTION_QUEUE_PREFIX + "a")
+        copy_b = manager.get(SUBSCRIPTION_QUEUE_PREFIX + "b")
+        assert copy_a.message_id != copy_b.message_id
+        assert copy_a.correlation_id == copy_b.correlation_id == "corr"
+        assert copy_a.body == copy_b.body == "x"
+
+    def test_selector_filters_deliveries(self, broker, manager):
+        broker.subscribe("t", "big-only", selector="qty > 100")
+        broker.publish("t", Message(body=1, properties={"qty": 50}))
+        broker.publish("t", Message(body=2, properties={"qty": 500}))
+        queue = SUBSCRIPTION_QUEUE_PREFIX + "big-only"
+        assert [m.body for m in manager.browse(queue)] == [2]
+
+    def test_unmatched_publication_counted(self, broker):
+        broker.publish("lonely.topic", Message(body=None))
+        assert broker.stats.unmatched == 1
+        assert broker.stats.published == 1
+
+    def test_unsubscribe_stops_delivery(self, broker, manager):
+        broker.subscribe("t", "temp")
+        broker.publish("t", Message(body=1))
+        broker.unsubscribe("temp")
+        broker.publish("t", Message(body=2))
+        assert manager.depth(SUBSCRIPTION_QUEUE_PREFIX + "temp") == 1
+
+    def test_duplicate_subscription_rejected(self, broker):
+        broker.subscribe("t", "dup")
+        with pytest.raises(MQError):
+            broker.subscribe("t", "dup")
+
+    def test_subscription_lookup(self, broker):
+        created = broker.subscribe("t", "s1")
+        assert broker.subscription("s1") is created
+        with pytest.raises(MQError):
+            broker.subscription("ghost")
+
+    def test_custom_queue_name(self, broker, manager):
+        broker.subscribe("t", "s1", queue_name="MY.INBOX")
+        broker.publish("t", Message(body=1))
+        assert manager.depth("MY.INBOX") == 1
+
+    def test_topic_ingress_queue_rejected_as_subscription_queue(self, broker):
+        with pytest.raises(MQError):
+            broker.subscribe("t", "loop", queue_name=topic_queue_name("t"))
+
+    def test_drop_nondurable(self, broker, manager):
+        broker.subscribe("t", "durable")
+        broker.subscribe("t", "transient", durable=False)
+        assert broker.drop_nondurable() == 1
+        broker.publish("t", Message(body=1))
+        assert manager.depth(SUBSCRIPTION_QUEUE_PREFIX + "durable") == 1
+        assert manager.depth(SUBSCRIPTION_QUEUE_PREFIX + "transient") == 0
+
+
+class TestIngressQueue:
+    def test_put_on_ingress_queue_publishes(self, broker, manager):
+        broker.define_topic("alerts.fire")
+        broker.subscribe("alerts.#", "all-alerts")
+        manager.put(topic_queue_name("alerts.fire"), Message(body="!"))
+        assert manager.depth(topic_queue_name("alerts.fire")) == 0  # drained
+        assert manager.depth(SUBSCRIPTION_QUEUE_PREFIX + "all-alerts") == 1
+
+    def test_remote_put_reaches_subscribers(self, clock, sync_network):
+        from repro.mq.manager import QueueManager
+
+        sender = sync_network.add_manager(QueueManager("QM.S", clock))
+        hub = sync_network.add_manager(QueueManager("QM.HUB", clock))
+        sync_network.connect("QM.S", "QM.HUB")
+        broker = TopicBroker(hub)
+        broker.define_topic("news")
+        broker.subscribe("news", "reader")
+        sender.put_remote("QM.HUB", topic_queue_name("news"), Message(body="hi"))
+        assert hub.get(SUBSCRIPTION_QUEUE_PREFIX + "reader").body == "hi"
+
+    def test_define_topic_idempotent(self, broker):
+        first = broker.define_topic("t")
+        second = broker.define_topic("t")
+        assert first == second
+        assert broker.topics() == ["t"]
+
+    def test_stats_track_deliveries(self, broker):
+        broker.subscribe("t", "a")
+        broker.subscribe("t", "b")
+        broker.publish("t", Message(body=1))
+        assert broker.stats.deliveries == 2
+        assert broker.subscription("a").delivered == 1

@@ -1,0 +1,201 @@
+"""Unit tests for a single message queue."""
+
+import pytest
+
+from repro.errors import EmptyQueueError, MQError, QueueFullError
+from repro.mq.message import Message
+from repro.mq.queue import MessageQueue
+from repro.sim.clock import SimulatedClock
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture
+def queue(clock):
+    return MessageQueue("TEST.Q", clock)
+
+
+def put_bodies(queue, *bodies, **kwargs):
+    return [queue.put(Message(body=body, **kwargs)) for body in bodies]
+
+
+class TestBasics:
+    def test_requires_name(self, clock):
+        with pytest.raises(MQError):
+            MessageQueue("", clock)
+
+    def test_put_get_fifo(self, queue):
+        put_bodies(queue, "a", "b", "c")
+        assert [queue.get().body for _ in range(3)] == ["a", "b", "c"]
+
+    def test_get_empty_raises(self, queue):
+        with pytest.raises(EmptyQueueError):
+            queue.get()
+
+    def test_put_stamps_put_time(self, queue, clock):
+        clock.set(42)
+        stored = queue.put(Message(body=None))
+        assert stored.put_time_ms == 42
+
+    def test_priority_order_beats_fifo(self, queue):
+        queue.put(Message(body="low", priority=1))
+        queue.put(Message(body="high", priority=8))
+        queue.put(Message(body="mid", priority=5))
+        assert [queue.get().body for _ in range(3)] == ["high", "mid", "low"]
+
+    def test_fifo_within_priority(self, queue):
+        put_bodies(queue, "a", "b", priority=5)
+        assert queue.get().body == "a"
+        assert queue.get().body == "b"
+
+    def test_depth_counts_visible(self, queue):
+        put_bodies(queue, "a", "b")
+        assert queue.depth() == 2
+        queue.get()
+        assert queue.depth() == 1
+
+    def test_max_depth_enforced(self, clock):
+        queue = MessageQueue("SMALL.Q", clock, max_depth=2)
+        put_bodies(queue, 1, 2)
+        with pytest.raises(QueueFullError):
+            queue.put(Message(body=3))
+
+    def test_selector_get_picks_matching(self, queue):
+        queue.put(Message(body="x", properties={"n": 1}))
+        queue.put(Message(body="y", properties={"n": 2}))
+        got = queue.get(selector=lambda m: m.get_property("n") == 2)
+        assert got.body == "y"
+        assert queue.depth() == 1
+
+    def test_selector_no_match_raises(self, queue):
+        queue.put(Message(body="x", properties={"n": 1}))
+        with pytest.raises(EmptyQueueError):
+            queue.get(selector=lambda m: False)
+
+
+class TestExpiry:
+    def test_expired_messages_invisible(self, queue, clock):
+        queue.put(Message(body="short", expiry_ms=100))
+        queue.put(Message(body="keeper"))
+        clock.set(101)
+        assert queue.depth() == 1
+        assert queue.get().body == "keeper"
+
+    def test_expired_routed_to_callback(self, clock):
+        expired = []
+        queue = MessageQueue("E.Q", clock, on_expired=expired.append)
+        queue.put(Message(body="dead", expiry_ms=10))
+        clock.set(11)
+        queue.depth()  # triggers a sweep
+        assert [m.body for m in expired] == ["dead"]
+        assert queue.stats.expired == 1
+
+    def test_locked_messages_not_swept(self, queue, clock):
+        queue.put(Message(body="locked", expiry_ms=10))
+        message = queue.get(lock_owner="tx1")
+        clock.set(11)
+        queue.depth()
+        assert queue.total_depth() == 1
+        assert queue.locked_messages("tx1")[0].message_id == message.message_id
+
+
+class TestBrowse:
+    def test_browse_is_non_destructive(self, queue):
+        put_bodies(queue, "a", "b")
+        assert [m.body for m in queue.browse()] == ["a", "b"]
+        assert queue.depth() == 2
+
+    def test_browse_with_selector(self, queue):
+        queue.put(Message(body="x", properties={"keep": True}))
+        queue.put(Message(body="y", properties={"keep": False}))
+        kept = [m.body for m in queue.browse(lambda m: m.get_property("keep"))]
+        assert kept == ["x"]
+
+    def test_browse_skips_locked(self, queue):
+        put_bodies(queue, "a", "b")
+        queue.get(lock_owner="tx1")
+        assert [m.body for m in queue.browse()] == ["b"]
+
+    def test_peek(self, queue):
+        assert queue.peek() is None
+        put_bodies(queue, "a")
+        assert queue.peek().body == "a"
+        assert queue.depth() == 1
+
+
+class TestLocking:
+    def test_locked_get_hides_message(self, queue):
+        put_bodies(queue, "a")
+        queue.get(lock_owner="tx1")
+        assert queue.depth() == 0
+        assert queue.total_depth() == 1
+        with pytest.raises(EmptyQueueError):
+            queue.get()
+
+    def test_commit_locked_destroys(self, queue):
+        put_bodies(queue, "a", "b")
+        queue.get(lock_owner="tx1")
+        committed = queue.commit_locked("tx1")
+        assert [m.body for m in committed] == ["a"]
+        assert queue.total_depth() == 1
+
+    def test_rollback_restores_in_order_with_backout(self, queue):
+        put_bodies(queue, "a", "b")
+        queue.get(lock_owner="tx1")
+        rolled = queue.rollback_locked("tx1")
+        assert rolled[0].backout_count == 1
+        assert queue.get().body == "a"  # original order preserved
+        assert queue.stats.backouts == 1
+
+    def test_remove_locked_targets_one_message(self, queue):
+        put_bodies(queue, "a", "b")
+        first = queue.get(lock_owner="tx1")
+        queue.get(lock_owner="tx1")
+        removed = queue.remove_locked("tx1", first.message_id)
+        assert removed.body == "a"
+        assert len(queue.locked_messages("tx1")) == 1
+
+    def test_remove_locked_missing_raises(self, queue):
+        with pytest.raises(EmptyQueueError):
+            queue.remove_locked("tx1", "nope")
+
+    def test_get_by_id(self, queue):
+        stored = put_bodies(queue, "a", "b")[1]
+        got = queue.get_by_id(stored.message_id)
+        assert got.body == "b"
+        with pytest.raises(EmptyQueueError):
+            queue.get_by_id(stored.message_id)
+
+
+class TestMaintenance:
+    def test_purge_spares_locked(self, queue):
+        put_bodies(queue, "a", "b", "c")
+        queue.get(lock_owner="tx1")
+        assert queue.purge() == 2
+        assert queue.total_depth() == 1
+
+    def test_snapshot_restore_roundtrip(self, queue, clock):
+        put_bodies(queue, "a", "b")
+        queue.put(Message(body="hot", priority=9))
+        snapshot = queue.snapshot()
+        fresh = MessageQueue("TEST.Q", clock)
+        fresh.restore(snapshot)
+        assert [m.body for m in fresh.browse()] == ["hot", "a", "b"]
+
+    def test_put_listener_fires(self, queue):
+        seen = []
+        queue.subscribe(lambda m: seen.append(m.body))
+        put_bodies(queue, "a", "b")
+        assert seen == ["a", "b"]
+
+    def test_stats_accumulate(self, queue):
+        put_bodies(queue, "a", "b")
+        queue.get()
+        list(queue.browse())
+        assert queue.stats.puts == 2
+        assert queue.stats.gets == 1
+        assert queue.stats.browses == 1
+        assert queue.stats.high_water_depth == 2

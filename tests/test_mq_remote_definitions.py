@@ -1,0 +1,70 @@
+"""Tests for remote queue definitions (local aliases for remote queues)."""
+
+import pytest
+
+from repro.errors import QueueExistsError
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.mq.network import MessageNetwork
+
+
+@pytest.fixture
+def pair(clock, scheduler):
+    network = MessageNetwork(scheduler=scheduler, seed=0)
+    a = network.add_manager(QueueManager("QM.A", clock))
+    b = network.add_manager(QueueManager("QM.B", clock))
+    network.connect("QM.A", "QM.B", latency_ms=10)
+    b.define_queue("REAL.Q")
+    a.define_remote_queue("ORDERS.Q", "QM.B", "REAL.Q")
+    return scheduler, a, b
+
+
+class TestRemoteDefinitions:
+    def test_put_to_alias_routes_remotely(self, pair):
+        scheduler, a, b = pair
+        a.put("ORDERS.Q", Message(body="order-1"))
+        scheduler.run_all()
+        assert b.get("REAL.Q").body == "order-1"
+
+    def test_alias_shares_namespace_with_local_queues(self, pair):
+        scheduler, a, b = pair
+        with pytest.raises(QueueExistsError):
+            a.define_queue("ORDERS.Q")
+        with pytest.raises(QueueExistsError):
+            a.define_remote_queue("ORDERS.Q", "QM.B", "OTHER.Q")
+        a.define_queue("LOCAL.Q")
+        with pytest.raises(QueueExistsError):
+            a.define_remote_queue("LOCAL.Q", "QM.B", "REAL.Q")
+
+    def test_resolve_remote(self, pair):
+        scheduler, a, b = pair
+        assert a.resolve_remote("ORDERS.Q") == ("QM.B", "REAL.Q")
+        assert a.resolve_remote("NOT.AN.ALIAS") is None
+
+    def test_transactional_put_to_alias_waits_for_commit(self, pair):
+        scheduler, a, b = pair
+        tx = a.begin()
+        a.put("ORDERS.Q", Message(body="staged"), transaction=tx)
+        scheduler.run_all()
+        assert b.depth("REAL.Q") == 0
+        tx.commit()
+        scheduler.run_all()
+        assert b.depth("REAL.Q") == 1
+
+    def test_rollback_discards_alias_put(self, pair):
+        scheduler, a, b = pair
+        tx = a.begin()
+        a.put("ORDERS.Q", Message(body="ghost"), transaction=tx)
+        tx.rollback()
+        scheduler.run_all()
+        assert b.depth("REAL.Q") == 0
+
+    def test_session_producer_uses_alias(self, pair):
+        from repro.mq.session import Connection
+
+        scheduler, a, b = pair
+        with Connection(a) as connection:
+            session = connection.create_session()
+            session.create_producer("ORDERS.Q").send_body("via-session")
+        scheduler.run_all()
+        assert b.get("REAL.Q").body == "via-session"

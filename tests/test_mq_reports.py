@@ -1,0 +1,181 @@
+"""Tests for MQ report options (COA/COD) — and what they cannot do.
+
+COA/COD are the standard-middleware mechanism closest to the paper's
+acknowledgments; the final test class documents the gap that motivates
+conditional messaging.
+"""
+
+import pytest
+
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.mq.network import MessageNetwork
+from repro.mq.reports import (
+    KIND_COA,
+    KIND_COD,
+    is_report,
+    parse_report,
+    request_reports,
+    wants_coa,
+    wants_cod,
+)
+
+
+@pytest.fixture
+def pair(clock, scheduler):
+    network = MessageNetwork(scheduler=scheduler, seed=0)
+    sender = network.add_manager(QueueManager("QM.S", clock))
+    receiver = network.add_manager(QueueManager("QM.R", clock))
+    network.connect("QM.S", "QM.R", latency_ms=10)
+    sender.define_queue("REPORTS.Q")
+    receiver.define_queue("IN.Q")
+    return scheduler, sender, receiver
+
+
+def tracked_message(body="data", coa=True, cod=True):
+    return request_reports(
+        Message(body=body),
+        coa=coa,
+        cod=cod,
+        reply_to_manager="QM.S",
+        reply_to_queue="REPORTS.Q",
+    )
+
+
+class TestRequestHelpers:
+    def test_flags(self):
+        message = tracked_message()
+        assert wants_coa(message) and wants_cod(message)
+        plain = Message(body=None)
+        assert not wants_coa(plain) and not wants_cod(plain)
+
+    def test_reply_to_attached(self):
+        message = tracked_message()
+        assert message.reply_to_manager == "QM.S"
+        assert message.reply_to_queue == "REPORTS.Q"
+
+    def test_no_flags_no_change(self):
+        original = Message(body=None)
+        assert request_reports(original).properties == {}
+
+
+class TestCOA:
+    def test_coa_on_remote_arrival(self, pair):
+        scheduler, sender, receiver = pair
+        message = tracked_message(cod=False)
+        sender.put_remote("QM.R", "IN.Q", message)
+        scheduler.run_all()
+        report_message = sender.get("REPORTS.Q")
+        assert is_report(report_message)
+        report = parse_report(report_message)
+        assert report.kind == KIND_COA
+        assert report.original_message_id == message.message_id
+        assert report.queue == "IN.Q"
+        assert report.manager == "QM.R"
+        assert report.at_ms == 10  # arrived after one 10ms hop
+
+    def test_no_coa_while_in_transit(self, pair):
+        scheduler, sender, receiver = pair
+        sender.put_remote("QM.R", "IN.Q", tracked_message(cod=False))
+        # Before the channel delivers, no report (the xmit queue put must
+        # not count as "arrival").
+        assert sender.depth("REPORTS.Q") == 0
+        scheduler.run_all()
+        assert sender.depth("REPORTS.Q") == 1
+
+    def test_coa_on_local_put(self, pair):
+        scheduler, sender, receiver = pair
+        sender.define_queue("LOCAL.Q")
+        local = request_reports(
+            Message(body=None), coa=True,
+            reply_to_manager="QM.S", reply_to_queue="REPORTS.Q",
+        )
+        sender.put("LOCAL.Q", local)
+        assert sender.depth("REPORTS.Q") == 1
+
+
+class TestCOD:
+    def test_cod_on_nontransactional_get(self, pair):
+        scheduler, sender, receiver = pair
+        sender.put_remote("QM.R", "IN.Q", tracked_message(coa=False))
+        scheduler.run_all()
+        receiver.get("IN.Q")
+        scheduler.run_all()
+        report = parse_report(sender.get("REPORTS.Q"))
+        assert report.kind == KIND_COD
+
+    def test_cod_waits_for_commit(self, pair):
+        scheduler, sender, receiver = pair
+        sender.put_remote("QM.R", "IN.Q", tracked_message(coa=False))
+        scheduler.run_all()
+        tx = receiver.begin()
+        receiver.get("IN.Q", transaction=tx)
+        scheduler.run_all()
+        assert sender.depth("REPORTS.Q") == 0  # not yet committed
+        tx.commit()
+        scheduler.run_all()
+        assert sender.depth("REPORTS.Q") == 1
+
+    def test_no_cod_on_rollback(self, pair):
+        scheduler, sender, receiver = pair
+        sender.put_remote("QM.R", "IN.Q", tracked_message(coa=False))
+        scheduler.run_all()
+        tx = receiver.begin()
+        receiver.get("IN.Q", transaction=tx)
+        tx.rollback()
+        scheduler.run_all()
+        assert sender.depth("REPORTS.Q") == 0
+
+    def test_both_reports_for_one_message(self, pair):
+        scheduler, sender, receiver = pair
+        sender.put_remote("QM.R", "IN.Q", tracked_message())
+        scheduler.run_all()
+        receiver.get("IN.Q")
+        scheduler.run_all()
+        kinds = sorted(
+            parse_report(m).kind for m in sender.browse("REPORTS.Q")
+        )
+        assert kinds == [KIND_COA, KIND_COD]
+
+    def test_missing_reply_to_is_silently_skipped(self, pair):
+        scheduler, sender, receiver = pair
+        orphan = Message(body=None).with_properties(SYS_REPORT_COD=True)
+        sender.put_remote("QM.R", "IN.Q", orphan)
+        scheduler.run_all()
+        receiver.get("IN.Q")
+        scheduler.run_all()  # no crash, no report
+        assert sender.depth("REPORTS.Q") == 0
+
+
+class TestWhatReportsCannotDo:
+    """The gap the paper fills: reports confirm arrival/read, never
+    *processing success* or conditions over recipient sets."""
+
+    def test_cod_fires_even_if_processing_then_fails(self, pair):
+        """The receiver reads non-transactionally, gets its COD out, and
+        then its 'processing' crashes — the sender believes delivery
+        succeeded.  A conditional-messaging PROCESSED ack (bound to the
+        commit) cannot produce this false positive."""
+        scheduler, sender, receiver = pair
+        sender.put_remote("QM.R", "IN.Q", tracked_message(coa=False))
+        scheduler.run_all()
+        receiver.get("IN.Q")  # read...
+        scheduler.run_all()
+        assert sender.depth("REPORTS.Q") == 1  # ...reported as delivered
+        # ...and then the receiver application crashes mid-processing.
+        # Nothing in the report model can retract the confirmation.
+
+    def test_reports_carry_no_deadline_or_set_semantics(self, pair):
+        """A report is a bare fact; evaluating 'all 4 in 2 days, 2 of 3
+        processed' stays entirely with the application — the burden the
+        conditional messaging middleware removes."""
+        scheduler, sender, receiver = pair
+        sender.put_remote("QM.R", "IN.Q", tracked_message())
+        scheduler.run_all()
+        receiver.get("IN.Q")
+        scheduler.run_all()
+        for message in sender.browse("REPORTS.Q"):
+            report = parse_report(message)
+            assert set(message.body.keys()) == {
+                "kind", "original_message_id", "queue", "manager", "at_ms"
+            }

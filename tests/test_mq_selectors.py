@@ -1,0 +1,205 @@
+"""Unit tests for the JMS-selector language."""
+
+import pytest
+
+from repro.errors import SelectorError
+from repro.mq.message import Message
+from repro.mq.selectors import Selector, compile_selector
+
+
+def msg(**props):
+    return Message(body=None, properties=props)
+
+
+def matches(text, message):
+    return Selector(text).matches(message)
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert matches("region = 'EU'", msg(region="EU"))
+        assert not matches("region = 'EU'", msg(region="US"))
+
+    def test_inequality(self):
+        assert matches("region <> 'EU'", msg(region="US"))
+        assert not matches("region <> 'EU'", msg(region="EU"))
+
+    @pytest.mark.parametrize(
+        "expr,value,expected",
+        [
+            ("n < 5", 4, True),
+            ("n < 5", 5, False),
+            ("n <= 5", 5, True),
+            ("n > 5", 6, True),
+            ("n >= 5", 5, True),
+            ("n >= 5", 4, False),
+        ],
+    )
+    def test_orderings(self, expr, value, expected):
+        assert matches(expr, msg(n=value)) is expected
+
+    def test_float_and_int_compare(self):
+        assert matches("n = 2.0", msg(n=2))
+        assert matches("n > 1.5", msg(n=2))
+
+    def test_string_ordering_is_unknown(self):
+        # JMS: strings only support equality; ordering yields unknown.
+        assert not matches("name > 'a'", msg(name="b"))
+
+    def test_mixed_type_equality_is_unknown(self):
+        assert not matches("n = '5'", msg(n=5))
+
+
+class TestBooleansAndNulls:
+    def test_boolean_property_as_condition(self):
+        assert matches("flagged", msg(flagged=True))
+        assert not matches("flagged", msg(flagged=False))
+        assert matches("NOT flagged", msg(flagged=False))
+
+    def test_true_false_literals(self):
+        assert matches("flagged = TRUE", msg(flagged=True))
+        assert matches("flagged = FALSE", msg(flagged=False))
+
+    def test_absent_property_is_unknown(self):
+        assert not matches("missing = 5", msg())
+        assert not matches("NOT (missing = 5)", msg())  # NOT unknown = unknown
+
+    def test_is_null(self):
+        assert matches("missing IS NULL", msg())
+        assert matches("present IS NOT NULL", msg(present=1))
+        assert not matches("present IS NULL", msg(present=1))
+
+    def test_non_boolean_property_as_condition_errors(self):
+        with pytest.raises(SelectorError):
+            matches("n", msg(n=5))
+
+
+class TestLogic:
+    def test_and_or_not(self):
+        message = msg(a=1, b=2)
+        assert matches("a = 1 AND b = 2", message)
+        assert not matches("a = 1 AND b = 3", message)
+        assert matches("a = 9 OR b = 2", message)
+        assert matches("NOT (a = 9)", message)
+
+    def test_precedence_not_over_and_over_or(self):
+        message = msg(a=1, b=2, c=3)
+        # Parsed as (a=9) OR ((b=2) AND (c=3))
+        assert matches("a = 9 OR b = 2 AND c = 3", message)
+        # NOT binds tighter than AND.
+        assert matches("NOT a = 9 AND c = 3", message)
+
+    def test_three_valued_and(self):
+        # FALSE AND UNKNOWN is FALSE -> NOT of it is TRUE
+        assert matches("NOT (a = 9 AND missing = 1)", msg(a=1))
+        # TRUE AND UNKNOWN is UNKNOWN -> does not match, nor does its NOT
+        assert not matches("a = 1 AND missing = 1", msg(a=1))
+        assert not matches("NOT (a = 1 AND missing = 1)", msg(a=1))
+
+    def test_three_valued_or(self):
+        assert matches("a = 1 OR missing = 1", msg(a=1))
+        assert not matches("a = 9 OR missing = 1", msg(a=1))
+
+
+class TestPredicates:
+    def test_between(self):
+        assert matches("n BETWEEN 1 AND 10", msg(n=5))
+        assert matches("n BETWEEN 1 AND 10", msg(n=1))
+        assert matches("n BETWEEN 1 AND 10", msg(n=10))
+        assert not matches("n BETWEEN 1 AND 10", msg(n=11))
+        assert matches("n NOT BETWEEN 1 AND 10", msg(n=11))
+
+    def test_in(self):
+        assert matches("region IN ('EU', 'US')", msg(region="EU"))
+        assert not matches("region IN ('EU', 'US')", msg(region="APAC"))
+        assert matches("region NOT IN ('EU', 'US')", msg(region="APAC"))
+
+    def test_in_with_null_is_unknown(self):
+        assert not matches("missing IN ('a')", msg())
+        assert not matches("missing NOT IN ('a')", msg())
+
+    def test_like_percent(self):
+        assert matches("route LIKE 'JFK-%'", msg(route="JFK-LHR"))
+        assert not matches("route LIKE 'JFK-%'", msg(route="LHR-JFK"))
+
+    def test_like_underscore(self):
+        assert matches("code LIKE 'A_C'", msg(code="ABC"))
+        assert not matches("code LIKE 'A_C'", msg(code="ABBC"))
+
+    def test_like_escape(self):
+        assert matches("pct LIKE '100!%' ESCAPE '!'", msg(pct="100%"))
+        assert not matches("pct LIKE '100!%' ESCAPE '!'", msg(pct="1000"))
+
+    def test_not_like(self):
+        assert matches("route NOT LIKE 'JFK%'", msg(route="LHR-JFK"))
+
+
+class TestArithmetic:
+    def test_basic_arithmetic(self):
+        assert matches("a + b = 3", msg(a=1, b=2))
+        assert matches("a - b < 0", msg(a=1, b=2))
+        assert matches("a * b = 2", msg(a=1, b=2))
+        assert matches("b / a = 2", msg(a=1, b=2))
+
+    def test_unary_minus(self):
+        assert matches("-a = -1", msg(a=1))
+        assert matches("+a = 1", msg(a=1))
+
+    def test_precedence_multiplication_first(self):
+        assert matches("a + b * 2 = 5", msg(a=1, b=2))
+
+    def test_division_by_zero_is_unknown(self):
+        assert not matches("a / b = 1", msg(a=1, b=0))
+
+    def test_null_propagates(self):
+        assert not matches("a + missing = 1", msg(a=1))
+
+
+class TestHeaders:
+    def test_jms_priority(self):
+        assert Selector("JMSPriority >= 7").matches(Message(body=None, priority=8))
+        assert not Selector("JMSPriority >= 7").matches(Message(body=None, priority=3))
+
+    def test_jms_correlation_id(self):
+        message = Message(body=None, correlation_id="corr-9")
+        assert Selector("JMSCorrelationID = 'corr-9'").matches(message)
+
+    def test_jms_delivery_mode(self):
+        assert Selector("JMSDeliveryMode = 'persistent'").matches(Message(body=None))
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "a =",
+            "= 5",
+            "a = 5 AND",
+            "(a = 5",
+            "a BETWEEN 1",
+            "a IN (1, 2)",      # IN requires string literals
+            "a LIKE 5",
+            "a LIKE 'x' ESCAPE 'toolong'",
+            "a ~ 5",
+            "a = 5 garbage garbage",
+            "'just a string'",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(SelectorError):
+            Selector(bad)
+
+    def test_string_literal_escaping(self):
+        assert matches("name = 'O''Hare'", msg(name="O'Hare"))
+
+
+class TestCompileHelper:
+    def test_none_and_blank_select_everything(self):
+        assert compile_selector(None) is None
+        assert compile_selector("   ") is None
+
+    def test_returns_callable_selector(self):
+        selector = compile_selector("n = 1")
+        assert selector is not None
+        assert selector(msg(n=1))
+        assert not selector(msg(n=2))

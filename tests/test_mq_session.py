@@ -1,0 +1,178 @@
+"""Unit tests for the JMS-flavoured session API."""
+
+import pytest
+
+from repro.errors import ConnectionClosedError, MQError
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.mq.network import MessageNetwork
+from repro.mq.session import Connection, parse_destination
+
+
+class TestParseDestination:
+    def test_local(self):
+        assert parse_destination("APP.Q") == ("APP.Q", None)
+
+    def test_remote(self):
+        assert parse_destination("APP.Q@QM.X") == ("APP.Q", "QM.X")
+
+    @pytest.mark.parametrize("bad", ["", "@QM.X", "APP.Q@"])
+    def test_invalid(self, bad):
+        with pytest.raises(MQError):
+            parse_destination(bad)
+
+
+@pytest.fixture
+def connection(manager):
+    return Connection(manager)
+
+
+class TestSessionBasics:
+    def test_send_receive_roundtrip(self, connection):
+        session = connection.create_session()
+        producer = session.create_producer("APP.Q")
+        consumer = session.create_consumer("APP.Q")
+        producer.send_body({"n": 1})
+        received = consumer.receive()
+        assert received.body == {"n": 1}
+        assert consumer.receive() is None
+
+    def test_producer_without_destination_rejects(self, connection):
+        session = connection.create_session()
+        producer = session.create_producer()
+        with pytest.raises(MQError):
+            producer.send(Message(body=None))
+        producer.send(Message(body=None), destination="LATE.Q")
+
+    def test_consumer_selector(self, connection):
+        session = connection.create_session()
+        producer = session.create_producer("APP.Q")
+        consumer = session.create_consumer("APP.Q", selector="kind = 'b'")
+        producer.send_body("first", properties={"kind": "a"})
+        producer.send_body("second", properties={"kind": "b"})
+        assert consumer.receive().body == "second"
+        assert consumer.receive() is None
+
+    def test_receive_all_and_browse(self, connection):
+        session = connection.create_session()
+        producer = session.create_producer("APP.Q")
+        consumer = session.create_consumer("APP.Q")
+        for i in range(4):
+            producer.send_body(i)
+        assert [m.body for m in consumer.browse()] == [0, 1, 2, 3]
+        assert [m.body for m in consumer.receive_all(limit=2)] == [0, 1]
+        assert [m.body for m in consumer.receive_all()] == [2, 3]
+
+    def test_create_message_resolves_reply_to(self, connection):
+        session = connection.create_session()
+        message = session.create_message("x", reply_to="R.Q")
+        assert message.reply_to_queue == "R.Q"
+        assert message.reply_to_manager == "QM.TEST"
+        remote = session.create_message("x", reply_to="R.Q@QM.OTHER")
+        assert remote.reply_to_manager == "QM.OTHER"
+
+    def test_remote_consumer_rejected(self, connection):
+        session = connection.create_session()
+        with pytest.raises(MQError):
+            session.create_consumer("APP.Q@QM.ELSEWHERE")
+
+
+class TestTransactedSessions:
+    def test_commit_publishes_and_consumes(self, connection, manager):
+        session = connection.create_session(transacted=True)
+        producer = session.create_producer("APP.Q")
+        producer.send_body("staged")
+        assert manager.depth("APP.Q") == 0
+        session.commit()
+        assert manager.depth("APP.Q") == 1
+
+    def test_rollback_discards(self, connection, manager):
+        session = connection.create_session(transacted=True)
+        session.create_producer("APP.Q").send_body("ghost")
+        session.rollback()
+        assert manager.depth("APP.Q") == 0
+
+    def test_commit_starts_fresh_unit(self, connection, manager):
+        session = connection.create_session(transacted=True)
+        producer = session.create_producer("APP.Q")
+        producer.send_body("one")
+        session.commit()
+        producer.send_body("two")
+        session.rollback()
+        assert [m.body for m in manager.browse("APP.Q")] == ["one"]
+
+    def test_consume_joins_transaction(self, connection, manager):
+        manager.ensure_queue("APP.Q")
+        manager.put("APP.Q", Message(body="job"))
+        session = connection.create_session(transacted=True)
+        consumer = session.create_consumer("APP.Q")
+        assert consumer.receive().body == "job"
+        session.rollback()
+        assert manager.depth("APP.Q") == 1  # rolled back to the queue
+
+    def test_commit_on_plain_session_rejected(self, connection):
+        session = connection.create_session()
+        with pytest.raises(MQError):
+            session.commit()
+        with pytest.raises(MQError):
+            session.rollback()
+
+    def test_context_manager_commits_on_success(self, connection, manager):
+        with connection.create_session(transacted=True) as session:
+            session.create_producer("APP.Q").send_body("done")
+        assert manager.depth("APP.Q") == 1
+
+    def test_context_manager_rolls_back_on_error(self, connection, manager):
+        with pytest.raises(RuntimeError):
+            with connection.create_session(transacted=True) as session:
+                session.create_producer("APP.Q").send_body("never")
+                raise RuntimeError("boom")
+        assert manager.depth("APP.Q") == 0
+
+
+class TestLifecycle:
+    def test_closed_session_rejects_use(self, connection):
+        session = connection.create_session()
+        session.close()
+        with pytest.raises(ConnectionClosedError):
+            session.create_producer("APP.Q")
+
+    def test_closing_connection_closes_sessions(self, connection, manager):
+        session = connection.create_session(transacted=True)
+        session.create_producer("APP.Q").send_body("pending")
+        connection.close()
+        assert connection.closed
+        assert manager.depth("APP.Q") == 0  # open unit rolled back
+        with pytest.raises(ConnectionClosedError):
+            connection.create_session()
+
+    def test_connection_context_manager(self, manager):
+        with Connection(manager) as connection:
+            connection.create_session()
+        assert connection.closed
+
+
+class TestCrossManagerSessions:
+    def test_send_to_remote_destination(self, clock):
+        network = MessageNetwork(scheduler=None)
+        qm_a = network.add_manager(QueueManager("QM.A", clock))
+        qm_b = network.add_manager(QueueManager("QM.B", clock))
+        network.connect("QM.A", "QM.B")
+        qm_b.define_queue("IN.Q")
+        with Connection(qm_a) as connection:
+            session = connection.create_session()
+            session.create_producer().send_body("ping", destination="IN.Q@QM.B")
+        assert qm_b.get("IN.Q").body == "ping"
+
+    def test_transacted_remote_send_waits_for_commit(self, clock):
+        network = MessageNetwork(scheduler=None)
+        qm_a = network.add_manager(QueueManager("QM.A", clock))
+        qm_b = network.add_manager(QueueManager("QM.B", clock))
+        network.connect("QM.A", "QM.B")
+        qm_b.define_queue("IN.Q")
+        connection = Connection(qm_a)
+        session = connection.create_session(transacted=True)
+        session.create_producer().send_body("staged", destination="IN.Q@QM.B")
+        assert qm_b.depth("IN.Q") == 0
+        session.commit()
+        assert qm_b.depth("IN.Q") == 1

@@ -1,0 +1,58 @@
+"""Tests for push consumers (MessageListener) on the session API."""
+
+import pytest
+
+from repro.mq.session import Connection
+
+
+@pytest.fixture
+def session(manager):
+    return Connection(manager).create_session()
+
+
+class TestListener:
+    def test_listener_receives_future_puts(self, session):
+        received = []
+        consumer = session.create_consumer("APP.Q")
+        consumer.set_listener(lambda m: received.append(m.body))
+        producer = session.create_producer("APP.Q")
+        producer.send_body("one")
+        producer.send_body("two")
+        assert received == ["one", "two"]
+
+    def test_listener_drains_backlog_on_attach(self, session):
+        producer = session.create_producer("APP.Q")
+        producer.send_body("early")
+        received = []
+        consumer = session.create_consumer("APP.Q")
+        consumer.set_listener(lambda m: received.append(m.body))
+        assert received == ["early"]
+
+    def test_listener_respects_selector(self, session, manager):
+        received = []
+        consumer = session.create_consumer("APP.Q", selector="keep = TRUE")
+        consumer.set_listener(lambda m: received.append(m.body))
+        producer = session.create_producer("APP.Q")
+        producer.send_body("no", properties={"keep": False})
+        producer.send_body("yes", properties={"keep": True})
+        assert received == ["yes"]
+        # The filtered-out message stays on the queue for other consumers.
+        assert manager.depth("APP.Q") == 1
+
+    def test_detach_stops_delivery(self, session, manager):
+        received = []
+        consumer = session.create_consumer("APP.Q")
+        consumer.set_listener(lambda m: received.append(m.body))
+        consumer.set_listener(None)
+        session.create_producer("APP.Q").send_body("later")
+        assert received == []
+        assert manager.depth("APP.Q") == 1
+
+    def test_listener_and_receive_share_the_queue(self, session):
+        received = []
+        consumer = session.create_consumer("APP.Q")
+        consumer.set_listener(lambda m: received.append(m.body))
+        # The listener consumed everything; receive sees nothing.
+        session.create_producer("APP.Q").send_body("x")
+        assert consumer.receive() is None
+        assert received == ["x"]

@@ -1,0 +1,129 @@
+"""Unit tests for syncpoint (messaging) transactions."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.mq.message import Message
+from repro.mq.transactions import TxState
+
+
+@pytest.fixture
+def qm(manager):
+    manager.define_queue("IN.Q")
+    manager.define_queue("OUT.Q")
+    return manager
+
+
+class TestTransactionalGet:
+    def test_get_hides_until_commit(self, qm):
+        qm.put("IN.Q", Message(body="a"))
+        tx = qm.begin()
+        got = qm.get("IN.Q", transaction=tx)
+        assert got.body == "a"
+        assert qm.get_wait("IN.Q") is None  # locked, invisible to others
+        tx.commit()
+        assert qm.get_wait("IN.Q") is None  # destroyed
+
+    def test_rollback_returns_message_with_backout(self, qm):
+        qm.put("IN.Q", Message(body="a"))
+        tx = qm.begin()
+        qm.get("IN.Q", transaction=tx)
+        tx.rollback()
+        redelivered = qm.get("IN.Q")
+        assert redelivered.body == "a"
+        assert redelivered.backout_count == 1
+
+    def test_multiple_gets_in_one_tx(self, qm):
+        for i in range(3):
+            qm.put("IN.Q", Message(body=i))
+        tx = qm.begin()
+        for i in range(3):
+            assert qm.get("IN.Q", transaction=tx).body == i
+        tx.rollback()
+        assert qm.depth("IN.Q") == 3
+
+
+class TestTransactionalPut:
+    def test_put_invisible_until_commit(self, qm):
+        tx = qm.begin()
+        qm.put("OUT.Q", Message(body="pending"), transaction=tx)
+        assert qm.depth("OUT.Q") == 0
+        tx.commit()
+        assert qm.get("OUT.Q").body == "pending"
+
+    def test_put_discarded_on_rollback(self, qm):
+        tx = qm.begin()
+        qm.put("OUT.Q", Message(body="ghost"), transaction=tx)
+        tx.rollback()
+        assert qm.depth("OUT.Q") == 0
+
+    def test_atomic_consume_and_forward(self, qm):
+        qm.put("IN.Q", Message(body="job"))
+        tx = qm.begin()
+        job = qm.get("IN.Q", transaction=tx)
+        qm.put("OUT.Q", Message(body=f"done:{job.body}"), transaction=tx)
+        tx.commit()
+        assert qm.depth("IN.Q") == 0
+        assert qm.get("OUT.Q").body == "done:job"
+
+    def test_pending_puts_visible_for_introspection(self, qm):
+        tx = qm.begin()
+        qm.put("OUT.Q", Message(body="x"), transaction=tx)
+        assert [q for q, _ in tx.pending_puts()] == ["OUT.Q"]
+        tx.rollback()
+
+
+class TestLifecycle:
+    def test_states(self, qm):
+        tx = qm.begin()
+        assert tx.state is TxState.ACTIVE and tx.active
+        tx.commit()
+        assert tx.state is TxState.COMMITTED and not tx.active
+
+    def test_completed_tx_rejects_work(self, qm):
+        tx = qm.begin()
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.commit()
+        with pytest.raises(TransactionError):
+            tx.rollback()
+        with pytest.raises(TransactionError):
+            qm.put("OUT.Q", Message(body=None), transaction=tx)
+
+    def test_tx_ids_unique(self, qm):
+        assert qm.begin().tx_id != qm.begin().tx_id
+
+    def test_independent_transactions_do_not_interfere(self, qm):
+        qm.put("IN.Q", Message(body="a"))
+        qm.put("IN.Q", Message(body="b"))
+        tx1, tx2 = qm.begin(), qm.begin()
+        got1 = qm.get("IN.Q", transaction=tx1)
+        got2 = qm.get("IN.Q", transaction=tx2)
+        assert {got1.body, got2.body} == {"a", "b"}
+        tx1.rollback()
+        tx2.commit()
+        assert qm.get("IN.Q").body == "a"
+
+
+class TestHooks:
+    def test_on_commit_receives_commit_time(self, qm, clock):
+        tx = qm.begin()
+        times = []
+        tx.on_commit(times.append)
+        clock.set(777)
+        tx.commit()
+        assert times == [777]
+
+    def test_on_rollback_fires(self, qm):
+        tx = qm.begin()
+        fired = []
+        tx.on_rollback(lambda: fired.append(True))
+        tx.rollback()
+        assert fired == [True]
+
+    def test_commit_hooks_not_fired_on_rollback(self, qm):
+        tx = qm.begin()
+        fired = []
+        tx.on_commit(lambda t: fired.append(t))
+        tx.rollback()
+        assert fired == []

@@ -1,0 +1,139 @@
+"""Tests for queue triggering (MQSeries trigger monitor)."""
+
+import pytest
+
+from repro.errors import MQError
+from repro.mq.message import Message
+from repro.mq.triggering import TriggerMonitor, TriggerType
+
+
+@pytest.fixture
+def monitor(manager):
+    return TriggerMonitor(manager)
+
+
+def put(manager, queue, body=None):
+    manager.ensure_queue(queue)
+    manager.put(queue, Message(body=body))
+
+
+class TestFirstTrigger:
+    def test_fires_on_first_message_only(self, manager, monitor):
+        events = []
+        monitor.define_trigger("Q", TriggerType.FIRST, events.append)
+        put(manager, "Q", 1)
+        put(manager, "Q", 2)
+        assert len(events) == 1
+        assert events[0].depth == 1
+        assert events[0].trigger_type is TriggerType.FIRST
+
+    def test_rearm_after_drain(self, manager, monitor):
+        events = []
+        monitor.define_trigger("Q", TriggerType.FIRST, events.append)
+        put(manager, "Q")
+        manager.get("Q")
+        monitor.rearm("Q")
+        put(manager, "Q")
+        assert len(events) == 2
+
+    def test_rearm_fires_immediately_if_backlog(self, manager, monitor):
+        events = []
+        monitor.define_trigger("Q", TriggerType.FIRST, events.append)
+        put(manager, "Q", 1)
+        put(manager, "Q", 2)
+        manager.get("Q")  # one message still waiting
+        monitor.rearm("Q")
+        assert len(events) == 2
+
+    def test_existing_backlog_fires_at_definition(self, manager, monitor):
+        put(manager, "Q")
+        events = []
+        monitor.define_trigger("Q", TriggerType.FIRST, events.append)
+        assert len(events) == 1
+
+
+class TestEveryTrigger:
+    def test_fires_per_message(self, manager, monitor):
+        events = []
+        monitor.define_trigger("Q", TriggerType.EVERY, events.append)
+        for i in range(3):
+            put(manager, "Q", i)
+        assert len(events) == 3
+
+
+class TestDepthTrigger:
+    def test_fires_at_threshold(self, manager, monitor):
+        events = []
+        monitor.define_trigger("Q", TriggerType.DEPTH, events.append, depth=3)
+        put(manager, "Q", 1)
+        put(manager, "Q", 2)
+        assert events == []
+        put(manager, "Q", 3)
+        assert len(events) == 1
+        assert events[0].depth == 3
+
+    def test_threshold_validation(self, manager, monitor):
+        with pytest.raises(MQError):
+            monitor.define_trigger("Q", TriggerType.DEPTH, print, depth=0)
+
+    def test_batch_consumer_pattern(self, manager, monitor):
+        """The classic use: wake a batch processor per N messages."""
+        batches = []
+
+        def process_batch(event):
+            batch = []
+            while True:
+                message = manager.get_wait(event.queue)
+                if message is None:
+                    break
+                batch.append(message.body)
+            batches.append(batch)
+            monitor.rearm(event.queue)
+
+        monitor.define_trigger("Q", TriggerType.DEPTH, process_batch, depth=4)
+        for i in range(10):
+            put(manager, "Q", i)
+        # Two full batches fired (at depth 4 each); 2 messages remain,
+        # below the threshold.
+        assert batches == [[0, 1, 2, 3], [4, 5, 6, 7]]
+        assert manager.depth("Q") == 2
+
+
+class TestAdministration:
+    def test_one_trigger_per_queue(self, manager, monitor):
+        monitor.define_trigger("Q", TriggerType.FIRST, print)
+        with pytest.raises(MQError):
+            monitor.define_trigger("Q", TriggerType.EVERY, print)
+
+    def test_rearm_unknown_queue(self, manager, monitor):
+        with pytest.raises(MQError):
+            monitor.rearm("GHOST.Q")
+
+    def test_fired_count(self, manager, monitor):
+        monitor.define_trigger("Q", TriggerType.EVERY, lambda e: None)
+        put(manager, "Q")
+        put(manager, "Q")
+        assert monitor.fired_count("Q") == 2
+        assert monitor.fired_count("OTHER.Q") == 0
+
+
+class TestTriggeredConditionalReceiver:
+    def test_trigger_driven_receiver_satisfies_condition(self, duo):
+        """A receiver activated by triggering (no polling) still produces
+        the implicit acknowledgment in time."""
+        from repro.core import destination, destination_set
+
+        monitor = TriggerMonitor(duo.receiver_qm)
+        monitor.define_trigger(
+            "Q.IN",
+            TriggerType.FIRST,
+            lambda event: duo.receiver.read_message(event.queue),
+        )
+        condition = destination_set(
+            destination("Q.IN", manager="QM.R", recipient="alice",
+                        msg_pick_up_time=1_000)
+        )
+        cmid = duo.service.send_message({"x": 1}, condition)
+        duo.deliver()  # delivery fires the trigger fires the read
+        duo.deliver()
+        assert duo.service.outcome(cmid).succeeded

@@ -1,0 +1,137 @@
+"""Unit tests for two-phase commit."""
+
+import pytest
+
+from repro.errors import HeuristicMixedError, TransactionError
+from repro.objects.coordinator import TwoPhaseCoordinator, TxOutcome
+from repro.objects.resource import FailingResource, Vote
+
+
+def recorder(name="res", vote=Vote.COMMIT, **kwargs):
+    return FailingResource(name=name, vote=vote, **kwargs)
+
+
+@pytest.fixture
+def coordinator():
+    return TwoPhaseCoordinator()
+
+
+class TestCommitPath:
+    def test_empty_transaction_commits(self, coordinator):
+        assert coordinator.commit("tx1") is TxOutcome.COMMITTED
+
+    def test_all_yes_votes_commit(self, coordinator):
+        resources = [recorder(f"r{i}") for i in range(3)]
+        for resource in resources:
+            coordinator.register("tx1", resource)
+        assert coordinator.commit("tx1") is TxOutcome.COMMITTED
+        for resource in resources:
+            assert resource.prepared == ["tx1"]
+            assert resource.committed == ["tx1"]
+            assert resource.rolled_back == []
+
+    def test_read_only_voters_skip_phase_two(self, coordinator):
+        writer = recorder("writer")
+        reader = recorder("reader", vote=Vote.READ_ONLY)
+        coordinator.register("tx1", writer)
+        coordinator.register("tx1", reader)
+        assert coordinator.commit("tx1") is TxOutcome.COMMITTED
+        assert reader.committed == []
+        assert writer.committed == ["tx1"]
+        assert coordinator.stats.read_only_optimizations == 1
+
+    def test_register_is_idempotent(self, coordinator):
+        resource = recorder()
+        coordinator.register("tx1", resource)
+        coordinator.register("tx1", resource)
+        coordinator.commit("tx1")
+        assert resource.prepared == ["tx1"]
+
+    def test_commit_is_idempotent(self, coordinator):
+        resource = recorder()
+        coordinator.register("tx1", resource)
+        assert coordinator.commit("tx1") is TxOutcome.COMMITTED
+        assert coordinator.commit("tx1") is TxOutcome.COMMITTED
+        assert resource.committed == ["tx1"]  # not re-driven
+
+
+class TestRollbackPath:
+    def test_no_vote_aborts_everyone(self, coordinator):
+        good = recorder("good")
+        bad = recorder("bad", vote=Vote.ROLLBACK)
+        coordinator.register("tx1", good)
+        coordinator.register("tx1", bad)
+        assert coordinator.commit("tx1") is TxOutcome.ROLLED_BACK
+        assert good.committed == []
+        assert good.rolled_back == ["tx1"]
+        assert bad.rolled_back == ["tx1"]
+
+    def test_prepare_exception_counts_as_no(self, coordinator):
+        first = recorder("ok")
+        crasher = recorder("crash", raise_on_prepare=True)
+        coordinator.register("tx1", first)
+        coordinator.register("tx1", crasher)
+        assert coordinator.commit("tx1") is TxOutcome.ROLLED_BACK
+        assert first.rolled_back == ["tx1"]
+
+    def test_no_vote_stops_further_prepares(self, coordinator):
+        bad = recorder("bad", vote=Vote.ROLLBACK)
+        never = recorder("never-prepared")
+        coordinator.register("tx1", bad)
+        coordinator.register("tx1", never)
+        coordinator.commit("tx1")
+        assert never.prepared == []
+        assert never.rolled_back == ["tx1"]
+
+    def test_explicit_rollback(self, coordinator):
+        resource = recorder()
+        coordinator.register("tx1", resource)
+        assert coordinator.rollback("tx1") is TxOutcome.ROLLED_BACK
+        assert resource.rolled_back == ["tx1"]
+        assert resource.prepared == []
+
+    def test_rollback_after_commit_rejected(self, coordinator):
+        coordinator.commit("tx1")
+        with pytest.raises(TransactionError):
+            coordinator.rollback("tx1")
+
+    def test_enlist_after_outcome_rejected(self, coordinator):
+        coordinator.commit("tx1")
+        with pytest.raises(TransactionError):
+            coordinator.register("tx1", recorder())
+
+
+class TestHeuristics:
+    def test_commit_phase_failure_reports_hazard_but_decision_stands(self, coordinator):
+        good = recorder("good")
+        flaky = recorder("flaky", raise_on_commit=True)
+        coordinator.register("tx1", good)
+        coordinator.register("tx1", flaky)
+        with pytest.raises(HeuristicMixedError):
+            coordinator.commit("tx1")
+        assert coordinator.outcome("tx1") is TxOutcome.COMMITTED
+        assert good.committed == ["tx1"]
+        assert coordinator.stats.heuristic_hazards == 1
+
+
+class TestBookkeeping:
+    def test_outcome_none_while_open(self, coordinator):
+        coordinator.register("tx1", recorder())
+        assert coordinator.outcome("tx1") is None
+
+    def test_forget_requires_completion(self, coordinator):
+        coordinator.register("tx1", recorder())
+        with pytest.raises(TransactionError):
+            coordinator.forget("tx1")
+        coordinator.commit("tx1")
+        coordinator.forget("tx1")
+        assert coordinator.outcome("tx1") is None
+
+    def test_stats(self, coordinator):
+        coordinator.register("c", recorder())
+        coordinator.commit("c")
+        coordinator.register("r", recorder(vote=Vote.ROLLBACK))
+        coordinator.commit("r")
+        assert coordinator.stats.commits == 1
+        assert coordinator.stats.rollbacks == 1
+        assert coordinator.stats.prepares == 2

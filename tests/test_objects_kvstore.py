@@ -1,0 +1,109 @@
+"""Unit tests for the transactional key-value store."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.objects.kvstore import TransactionalKVStore
+from repro.objects.resource import Vote
+
+
+@pytest.fixture
+def store():
+    return TransactionalKVStore("db")
+
+
+class TestAutoCommit:
+    def test_put_get_delete(self, store):
+        store.put("k", 1)
+        assert store.get("k") == 1
+        assert store.contains("k")
+        store.delete("k")
+        assert store.get("k") is None
+        assert not store.contains("k")
+
+    def test_get_default(self, store):
+        assert store.get("missing", default="dft") == "dft"
+
+    def test_keys_and_snapshot(self, store):
+        store.put("a", 1)
+        store.put("b", 2)
+        assert set(store.keys()) == {"a", "b"}
+        assert store.committed_snapshot() == {"a": 1, "b": 2}
+
+
+class TestTransactionalVisibility:
+    def test_writes_invisible_until_commit(self, store):
+        store.put("k", "new", tx_id="tx1")
+        assert store.get("k") is None  # committed view unchanged
+        assert store.get("k", tx_id="tx1") == "new"  # read-your-writes
+
+    def test_commit_applies_writes(self, store):
+        store.put("k", "v", tx_id="tx1")
+        assert store.prepare("tx1") is Vote.COMMIT
+        store.commit("tx1")
+        assert store.get("k") == "v"
+
+    def test_rollback_discards(self, store):
+        store.put("k", "v", tx_id="tx1")
+        store.rollback("tx1")
+        assert store.get("k") is None
+
+    def test_transactional_delete(self, store):
+        store.put("k", "old")
+        store.delete("k", tx_id="tx1")
+        assert store.get("k") == "old"
+        assert store.get("k", tx_id="tx1") is None
+        assert not store.contains("k", tx_id="tx1")
+        store.prepare("tx1")
+        store.commit("tx1")
+        assert store.get("k") is None
+
+    def test_isolated_transactions(self, store):
+        store.put("k", 1, tx_id="tx1")
+        store.put("k", 2, tx_id="tx2")
+        assert store.get("k", tx_id="tx1") == 1
+        assert store.get("k", tx_id="tx2") == 2
+
+
+class TestVoting:
+    def test_read_only_vote_for_pure_reads(self, store):
+        store.put("k", 1)
+        store.get("k", tx_id="tx1")
+        assert store.prepare("tx1") is Vote.READ_ONLY
+
+    def test_read_only_vote_for_untouched_tx(self, store):
+        assert store.prepare("never-seen") is Vote.READ_ONLY
+
+    def test_write_write_conflict_first_committer_wins(self, store):
+        store.put("k", "a", tx_id="tx1")
+        store.put("k", "b", tx_id="tx2")
+        assert store.prepare("tx1") is Vote.COMMIT
+        store.commit("tx1")
+        assert store.prepare("tx2") is Vote.ROLLBACK
+        assert store.conflict_count == 1
+        store.rollback("tx2")
+        assert store.get("k") == "a"
+
+    def test_conflict_with_autocommit_writer(self, store):
+        store.put("k", "mine", tx_id="tx1")
+        store.put("k", "direct")  # non-transactional write bumps version
+        assert store.prepare("tx1") is Vote.ROLLBACK
+
+    def test_no_conflict_on_disjoint_keys(self, store):
+        store.put("a", 1, tx_id="tx1")
+        store.put("b", 2, tx_id="tx2")
+        assert store.prepare("tx1") is Vote.COMMIT
+        store.commit("tx1")
+        assert store.prepare("tx2") is Vote.COMMIT
+        store.commit("tx2")
+        assert store.committed_snapshot() == {"a": 1, "b": 2}
+
+    def test_commit_without_prepare_rejected(self, store):
+        store.put("k", 1, tx_id="tx1")
+        with pytest.raises(TransactionError):
+            store.commit("tx1")
+
+    def test_commit_of_read_only_participant_is_noop(self, store):
+        store.get("k", tx_id="tx1")
+        store.commit("tx1")  # no prepared writes: fine
+        assert store.commit_count == 0

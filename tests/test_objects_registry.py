@@ -1,0 +1,138 @@
+"""Unit tests for the object registry and transactional objects."""
+
+import pytest
+
+from repro.errors import ReproError, TransactionRolledBackError
+from repro.objects.kvstore import TransactionalKVStore
+from repro.objects.mqresource import MQTransactionResource
+from repro.objects.registry import ObjectRegistry, TransactionalObject
+from repro.objects.resource import Vote
+from repro.objects.txmanager import TransactionManager
+
+
+class TestRegistry:
+    def test_bind_resolve(self):
+        registry = ObjectRegistry()
+        obj = object()
+        registry.bind("calendar", obj)
+        assert registry.resolve("calendar") is obj
+
+    def test_bind_duplicate_rejected(self):
+        registry = ObjectRegistry()
+        registry.bind("x", 1)
+        with pytest.raises(ReproError):
+            registry.bind("x", 2)
+
+    def test_rebind_replaces(self):
+        registry = ObjectRegistry()
+        registry.bind("x", 1)
+        registry.rebind("x", 2)
+        assert registry.resolve("x") == 2
+
+    def test_resolve_missing_raises(self):
+        with pytest.raises(ReproError):
+            ObjectRegistry().resolve("ghost")
+
+    def test_unbind_and_names(self):
+        registry = ObjectRegistry()
+        registry.bind("a", 1)
+        registry.bind("b", 2)
+        registry.unbind("a")
+        registry.unbind("missing")  # tolerated
+        assert registry.names() == ["b"]
+
+
+class TestTransactionalObject:
+    @pytest.fixture
+    def txm(self):
+        return TransactionManager()
+
+    @pytest.fixture
+    def calendar(self, txm):
+        return TransactionalObject("calendar", txm)
+
+    def test_autocommit_without_transaction(self, calendar):
+        calendar.state_put("meeting", "10am")
+        assert calendar.state_get("meeting") == "10am"
+        calendar.state_delete("meeting")
+        assert calendar.state_get("meeting", default="none") == "none"
+
+    def test_state_joins_current_transaction(self, txm, calendar):
+        tx = txm.begin()
+        calendar.state_put("meeting", "10am")
+        # Not committed yet: the raw store shows nothing.
+        assert calendar.store.get("meeting") is None
+        tx.commit()
+        assert calendar.store.get("meeting") == "10am"
+
+    def test_rollback_discards_state(self, txm, calendar):
+        tx = txm.begin()
+        calendar.state_put("meeting", "10am")
+        tx.rollback()
+        assert calendar.state_get("meeting") is None
+
+    def test_reads_inside_transaction_see_writes(self, txm, calendar):
+        txm.begin()
+        calendar.state_put("meeting", "10am")
+        assert calendar.state_get("meeting") == "10am"
+        txm.rollback()
+
+    def test_two_objects_one_transaction(self, txm):
+        calendar = TransactionalObject("calendar", txm)
+        rooms = TransactionalObject("rooms", txm)
+        tx = txm.begin()
+        calendar.state_put("meeting", "10am")
+        rooms.state_put("42", "reserved")
+        tx.commit()
+        assert calendar.state_get("meeting") == "10am"
+        assert rooms.state_get("42") == "reserved"
+
+    def test_shared_store_injection(self, txm):
+        store = TransactionalKVStore("shared")
+        obj = TransactionalObject("obj", txm, store=store)
+        obj.state_put("k", 1)
+        assert store.get("k") == 1
+
+
+class TestMQResourceAdapter:
+    def test_commit_commits_messaging_tx(self, manager):
+        manager.define_queue("OUT.Q")
+        from repro.mq.message import Message
+
+        mq_tx = manager.begin()
+        manager.put("OUT.Q", Message(body="staged"), transaction=mq_tx)
+        adapter = MQTransactionResource(mq_tx)
+        assert adapter.prepare("otx") is Vote.COMMIT
+        adapter.commit("otx")
+        assert manager.depth("OUT.Q") == 1
+        assert not mq_tx.active
+
+    def test_rollback_rolls_back_messaging_tx(self, manager):
+        manager.define_queue("OUT.Q")
+        from repro.mq.message import Message
+
+        mq_tx = manager.begin()
+        manager.put("OUT.Q", Message(body="ghost"), transaction=mq_tx)
+        MQTransactionResource(mq_tx).rollback("otx")
+        assert manager.depth("OUT.Q") == 0
+
+    def test_dead_transaction_votes_no(self, manager):
+        mq_tx = manager.begin()
+        mq_tx.rollback()
+        assert MQTransactionResource(mq_tx).prepare("otx") is Vote.ROLLBACK
+
+    def test_full_2pc_with_store_and_messaging(self, manager):
+        from repro.mq.message import Message
+
+        txm = TransactionManager()
+        store = TransactionalKVStore("db")
+        manager.define_queue("OUT.Q")
+        tx = txm.begin()
+        mq_tx = manager.begin()
+        tx.enlist(store)
+        tx.enlist(MQTransactionResource(mq_tx))
+        store.put("state", "done", tx_id=tx.tx_id)
+        manager.put("OUT.Q", Message(body="notify"), transaction=mq_tx)
+        tx.commit()
+        assert store.get("state") == "done"
+        assert manager.depth("OUT.Q") == 1

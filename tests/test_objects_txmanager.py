@@ -1,0 +1,123 @@
+"""Unit tests for the transaction manager and object transactions."""
+
+import pytest
+
+from repro.errors import (
+    NoTransactionError,
+    TransactionActiveError,
+    TransactionRolledBackError,
+)
+from repro.objects.coordinator import TxOutcome
+from repro.objects.kvstore import TransactionalKVStore
+from repro.objects.resource import FailingResource, Vote
+from repro.objects.txmanager import TransactionManager
+
+
+@pytest.fixture
+def txm():
+    return TransactionManager()
+
+
+class TestDemarcation:
+    def test_begin_makes_current(self, txm):
+        tx = txm.begin()
+        assert txm.current is tx
+        assert txm.require_current() is tx
+
+    def test_nested_begin_rejected(self, txm):
+        txm.begin()
+        with pytest.raises(TransactionActiveError):
+            txm.begin()
+
+    def test_no_current_after_completion(self, txm):
+        tx = txm.begin()
+        tx.commit()
+        assert txm.current is None
+        with pytest.raises(NoTransactionError):
+            txm.require_current()
+
+    def test_begin_after_completion_allowed(self, txm):
+        txm.begin().commit()
+        second = txm.begin()
+        assert txm.current is second
+
+    def test_manager_level_commit_and_rollback(self, txm):
+        txm.begin()
+        assert txm.commit() is TxOutcome.COMMITTED
+        txm.begin()
+        assert txm.rollback() is TxOutcome.ROLLED_BACK
+
+    def test_history_records_completions(self, txm):
+        a = txm.begin()
+        a.commit()
+        b = txm.begin()
+        b.rollback()
+        assert txm.history == [a, b]
+
+
+class TestOutcomes:
+    def test_commit_drives_resources(self, txm):
+        store = TransactionalKVStore()
+        tx = txm.begin()
+        tx.enlist(store)
+        store.put("k", "v", tx_id=tx.tx_id)
+        assert tx.commit() is TxOutcome.COMMITTED
+        assert store.get("k") == "v"
+
+    def test_commit_raises_on_rollback_outcome(self, txm):
+        tx = txm.begin()
+        tx.enlist(FailingResource(vote=Vote.ROLLBACK))
+        with pytest.raises(TransactionRolledBackError):
+            tx.commit()
+        assert tx.completed is TxOutcome.ROLLED_BACK
+
+    def test_rollback_only_forces_rollback_at_commit(self, txm):
+        store = TransactionalKVStore()
+        tx = txm.begin()
+        tx.enlist(store)
+        store.put("k", "v", tx_id=tx.tx_id)
+        tx.set_rollback_only()
+        assert tx.rollback_only
+        with pytest.raises(TransactionRolledBackError):
+            tx.commit()
+        assert store.get("k") is None
+
+    def test_completed_transaction_rejects_reuse(self, txm):
+        tx = txm.begin()
+        tx.commit()
+        with pytest.raises(TransactionRolledBackError):
+            tx.enlist(TransactionalKVStore())
+        with pytest.raises(TransactionRolledBackError):
+            tx.commit()
+
+    def test_rollback_outcome(self, txm):
+        resource = FailingResource()
+        tx = txm.begin()
+        tx.enlist(resource)
+        assert tx.rollback() is TxOutcome.ROLLED_BACK
+        assert resource.rolled_back == [tx.tx_id]
+        assert not tx.active
+
+
+class TestMultiResource:
+    def test_two_stores_commit_atomically(self, txm):
+        left, right = TransactionalKVStore("left"), TransactionalKVStore("right")
+        tx = txm.begin()
+        tx.enlist(left)
+        tx.enlist(right)
+        left.put("x", 1, tx_id=tx.tx_id)
+        right.put("y", 2, tx_id=tx.tx_id)
+        tx.commit()
+        assert left.get("x") == 1
+        assert right.get("y") == 2
+
+    def test_one_no_vote_rolls_back_both(self, txm):
+        store = TransactionalKVStore("db")
+        veto = FailingResource("veto", vote=Vote.ROLLBACK)
+        tx = txm.begin()
+        tx.enlist(store)
+        tx.enlist(veto)
+        store.put("x", 1, tx_id=tx.tx_id)
+        with pytest.raises(TransactionRolledBackError):
+            tx.commit()
+        assert store.get("x") is None

@@ -1,0 +1,83 @@
+"""Property-based tests for the extension modules (expectations, triggering)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.expectations import ExpectationOutcome, ExpectationService
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.mq.triggering import TriggerMonitor, TriggerType
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=200), max_size=10),  # arrivals
+    st.integers(min_value=1, max_value=5),                            # min_count
+    st.integers(min_value=1, max_value=150),                          # deadline
+)
+def test_expectation_decision_matches_oracle(arrival_times, min_count, deadline):
+    """The expectation outcome equals the obvious oracle: MET iff at
+    least min_count arrivals happen at or before the deadline, decided at
+    the min_count-th timely arrival (or the deadline)."""
+    clock = SimulatedClock()
+    scheduler = EventScheduler(clock)
+    manager = QueueManager("QM.R", clock)
+    service = ExpectationService(manager, scheduler=scheduler)
+    expectation = service.expect("Q", within_ms=deadline, min_count=min_count)
+    for at in sorted(arrival_times):
+        scheduler.call_at(at, lambda: manager.put("Q", Message(body=None)))
+    scheduler.run_all()
+
+    timely = sorted(t for t in arrival_times if t <= deadline)
+    if len(timely) >= min_count:
+        assert expectation.outcome is ExpectationOutcome.MET
+        assert expectation.decided_at_ms == timely[min_count - 1]
+    else:
+        assert expectation.outcome is ExpectationOutcome.FAILED
+        assert expectation.decided_at_ms == deadline
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=30))
+def test_every_trigger_fires_once_per_put(puts_then_gets):
+    """EVERY triggers fire exactly once per arriving message, regardless
+    of interleaved consumption."""
+    clock = SimulatedClock()
+    manager = QueueManager("QM.R", clock)
+    monitor = TriggerMonitor(manager)
+    fired = []
+    monitor.define_trigger("Q", TriggerType.EVERY, fired.append)
+    puts = 0
+    for do_get in puts_then_gets:
+        manager.put("Q", Message(body=None))
+        puts += 1
+        if do_get:
+            manager.get_wait("Q")
+    assert len(fired) == puts
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=8),   # depth threshold
+    st.integers(min_value=0, max_value=40),  # messages
+)
+def test_depth_trigger_with_greedy_drainer_leaves_less_than_threshold(
+    threshold, messages
+):
+    """A drain-and-rearm consumer driven purely by DEPTH triggers always
+    ends with fewer than `threshold` messages waiting."""
+    clock = SimulatedClock()
+    manager = QueueManager("QM.R", clock)
+    monitor = TriggerMonitor(manager)
+
+    def drain(event):
+        while manager.get_wait(event.queue) is not None:
+            pass
+        monitor.rearm(event.queue)
+
+    monitor.define_trigger("Q", TriggerType.DEPTH, drain, depth=threshold)
+    for _ in range(messages):
+        manager.put("Q", Message(body=None))
+    assert manager.depth("Q") < threshold

@@ -1,0 +1,163 @@
+"""Property-based tests for MOM substrate invariants."""
+
+from typing import List
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.mq.persistence import MemoryJournal, decode_message, encode_message
+from repro.mq.queue import MessageQueue
+from repro.mq.selectors import Selector
+from repro.sim.clock import SimulatedClock
+
+priorities = st.integers(min_value=0, max_value=9)
+bodies = st.one_of(
+    st.none(), st.integers(), st.text(max_size=20), st.lists(st.integers(), max_size=5)
+)
+prop_values = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.text(alphabet="abcxyz'", max_size=8),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+prop_maps = st.dictionaries(
+    st.text(alphabet="abcdefg", min_size=1, max_size=6), prop_values, max_size=4
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(priorities, min_size=1, max_size=30))
+def test_queue_delivers_priority_then_fifo(priority_list):
+    queue = MessageQueue("P.Q", SimulatedClock())
+    for index, priority in enumerate(priority_list):
+        queue.put(Message(body=index, priority=priority))
+    delivered = []
+    while not queue.is_empty():
+        delivered.append(queue.get())
+    # Expected: stable sort of (priority desc, arrival asc).
+    expected = sorted(
+        range(len(priority_list)), key=lambda i: (-priority_list[i], i)
+    )
+    assert [m.body for m in delivered] == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.lists(priorities, min_size=1, max_size=20), st.randoms())
+def test_rollback_preserves_delivery_order(priority_list, rng):
+    """A transactional get + rollback must not change what a later
+    consumer observes (except backout counts)."""
+    clock = SimulatedClock()
+    direct = MessageQueue("A.Q", clock)
+    churned = MessageQueue("B.Q", clock)
+    for index, priority in enumerate(priority_list):
+        direct.put(Message(body=index, priority=priority))
+        churned.put(Message(body=index, priority=priority))
+    # Lock a random prefix of deliveries, then roll back.
+    lock_count = rng.randint(0, len(priority_list))
+    for _ in range(lock_count):
+        churned.get(lock_owner="tx")
+    churned.rollback_locked("tx")
+    direct_order = [direct.get().body for _ in range(len(priority_list))]
+    churned_order = [churned.get().body for _ in range(len(priority_list))]
+    assert churned_order == direct_order
+
+
+@settings(max_examples=200, deadline=None)
+@given(bodies, prop_maps, priorities)
+def test_message_codec_roundtrip(body, props, priority):
+    message = Message(body=body, properties=props, priority=priority)
+    restored = decode_message(encode_message(message))
+    assert restored.body == body
+    assert restored.properties == props
+    assert restored.priority == priority
+    assert restored.message_id == message.message_id
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.tuples(bodies, st.booleans()), min_size=1, max_size=15),
+    st.integers(min_value=0, max_value=14),
+)
+def test_recovery_reflects_committed_history(history, consume_count):
+    """Recovering from the journal yields exactly the persistent messages
+    put minus those destructively got, regardless of interleaving."""
+    clock = SimulatedClock()
+    journal = MemoryJournal()
+    manager = QueueManager("QM.H", clock, journal=journal)
+    manager.define_queue("A.Q")
+    persistent_alive = []
+    for body, persistent in history:
+        from repro.mq.message import DeliveryMode
+
+        message = Message(
+            body=body,
+            delivery_mode=(
+                DeliveryMode.PERSISTENT if persistent else DeliveryMode.NON_PERSISTENT
+            ),
+        )
+        stored = manager.put("A.Q", message)
+        persistent_alive.append((stored.message_id, persistent))
+    for _ in range(min(consume_count, len(history))):
+        got = manager.get("A.Q")
+        persistent_alive = [
+            (mid, p) for mid, p in persistent_alive if mid != got.message_id
+        ]
+    recovered = QueueManager.recover("QM.H", clock, journal)
+    recovered_ids = {m.message_id for m in recovered.browse("A.Q")}
+    expected_ids = {mid for mid, persistent in persistent_alive if persistent}
+    assert recovered_ids == expected_ids
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=-1000, max_value=1000),
+    st.integers(min_value=-1000, max_value=1000),
+)
+def test_selector_comparison_agrees_with_python(a, b):
+    message = Message(body=None, properties={"a": a, "b": b})
+    assert Selector("a < b").matches(message) == (a < b)
+    assert Selector("a = b").matches(message) == (a == b)
+    assert Selector("a >= b").matches(message) == (a >= b)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(alphabet="ab%_", max_size=6), st.text(alphabet="ab", max_size=6))
+def test_selector_like_matches_prefix_semantics(pattern, value):
+    """LIKE with only %/_ wildcards over a tiny alphabet: compare against
+    a straightforward regex translation."""
+    import re
+
+    regex = "^" + "".join(
+        ".*" if c == "%" else "." if c == "_" else re.escape(c) for c in pattern
+    ) + "$"
+    expected = re.match(regex, value) is not None
+    message = Message(body=None, properties={"v": value})
+    escaped_pattern = pattern.replace("'", "''")
+    assert Selector(f"v LIKE '{escaped_pattern}'").matches(message) == expected
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.booleans(), min_size=1, max_size=8))
+def test_2pc_never_mixes_outcomes(votes_yes):
+    """All-yes commits everything; any no rolls everything back."""
+    from repro.objects.coordinator import TwoPhaseCoordinator, TxOutcome
+    from repro.objects.resource import FailingResource, Vote
+
+    coordinator = TwoPhaseCoordinator()
+    resources = [
+        FailingResource(f"r{i}", vote=Vote.COMMIT if yes else Vote.ROLLBACK)
+        for i, yes in enumerate(votes_yes)
+    ]
+    for resource in resources:
+        coordinator.register("tx", resource)
+    outcome = coordinator.commit("tx")
+    if all(votes_yes):
+        assert outcome is TxOutcome.COMMITTED
+        assert all(r.committed == ["tx"] for r in resources)
+        assert all(r.rolled_back == [] for r in resources)
+    else:
+        assert outcome is TxOutcome.ROLLED_BACK
+        assert all(r.committed == [] for r in resources)
+        assert all(r.rolled_back == ["tx"] for r in resources)

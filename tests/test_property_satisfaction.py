@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) for the satisfaction algorithm.
+
+Invariants exercised over randomized condition trees and acknowledgment
+histories:
+
+* evaluation is independent of acknowledgment arrival order;
+* a decision, once final, never changes as time advances further;
+* at or after the evaluation timeout the result is never PENDING;
+* serializing and deserializing the condition does not change the verdict;
+* without max-bounds, receiving *more* in-time acknowledgments never
+  turns success into failure.
+"""
+
+from typing import List
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.acks import Acknowledgment, AckKind
+from repro.core.builder import destination, destination_set
+from repro.core.conditions import Condition
+from repro.core.satisfaction import EvalState, evaluate_condition
+from repro.core.serialize import condition_from_dict, condition_to_dict
+
+QM = "QM.P"
+
+
+@st.composite
+def condition_trees(draw) -> Condition:
+    """A validated random condition tree with 1..6 unique destinations."""
+    leaf_count = draw(st.integers(min_value=1, max_value=6))
+    leaves = []
+    for i in range(leaf_count):
+        named = draw(st.booleans())
+        leaves.append(
+            destination(
+                f"Q{i}",
+                recipient=f"R{i}" if named else None,
+                copies=draw(st.integers(min_value=1, max_value=2)),
+                msg_pick_up_time=draw(
+                    st.one_of(st.none(), st.integers(min_value=1, max_value=200))
+                ),
+                msg_processing_time=draw(
+                    st.one_of(st.none(), st.integers(min_value=1, max_value=200))
+                ),
+            )
+        )
+    # Randomly split leaves into an optional inner set plus root members.
+    split = draw(st.integers(min_value=0, max_value=leaf_count))
+    inner_leaves, root_leaves = leaves[:split], leaves[split:]
+    members: List[Condition] = list(root_leaves)
+    if inner_leaves:
+        inner_pick = draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=200))
+        )
+        inner_min = None
+        if inner_pick is not None and len(inner_leaves) > 1 and draw(st.booleans()):
+            inner_min = draw(st.integers(min_value=1, max_value=len(inner_leaves)))
+        members.append(
+            destination_set(
+                *inner_leaves,
+                msg_pick_up_time=inner_pick,
+                min_nr_pick_up=inner_min,
+            )
+        )
+    root_pick = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=200)))
+    root = destination_set(*members, msg_pick_up_time=root_pick)
+    root.validate()
+    return root
+
+
+@st.composite
+def ack_histories(draw, tree: Condition) -> List[Acknowledgment]:
+    """Random acknowledgments plausibly generated for ``tree``."""
+    acks = []
+    for leaf in tree.destinations():
+        count = draw(st.integers(min_value=0, max_value=leaf.copies))
+        for copy in range(count):
+            recipient = leaf.recipient or f"anon{draw(st.integers(0, 3))}"
+            read_ms = draw(st.integers(min_value=0, max_value=300))
+            processed = draw(st.booleans())
+            commit_ms = (
+                read_ms + draw(st.integers(min_value=0, max_value=100))
+                if processed
+                else None
+            )
+            acks.append(
+                Acknowledgment(
+                    cmid="CM-P",
+                    kind=AckKind.PROCESSED if processed else AckKind.READ,
+                    queue=leaf.queue,
+                    manager=QM,
+                    recipient=recipient,
+                    read_time_ms=read_ms,
+                    commit_time_ms=commit_ms,
+                    original_message_id=f"m{leaf.queue}.{copy}.{read_ms}",
+                )
+            )
+    return acks
+
+
+@st.composite
+def trees_with_acks(draw):
+    tree = draw(condition_trees())
+    acks = draw(ack_histories(tree))
+    now = draw(st.integers(min_value=0, max_value=600))
+    timeout = draw(st.one_of(st.none(), st.integers(min_value=0, max_value=500)))
+    return tree, acks, now, timeout
+
+
+def run(tree, acks, now, timeout):
+    return evaluate_condition(
+        tree, acks, send_time_ms=0, now_ms=now,
+        evaluation_timeout_ms=timeout, default_manager=QM,
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(trees_with_acks(), st.randoms())
+def test_ack_order_irrelevant(case, rng):
+    tree, acks, now, timeout = case
+    baseline = run(tree, acks, now, timeout).state
+    shuffled = list(acks)
+    rng.shuffle(shuffled)
+    assert run(tree, shuffled, now, timeout).state is baseline
+
+
+@settings(max_examples=200, deadline=None)
+@given(trees_with_acks(), st.integers(min_value=1, max_value=1_000))
+def test_final_decisions_are_stable_over_time(case, extra):
+    tree, acks, now, timeout = case
+    first = run(tree, acks, now, timeout)
+    if first.is_final():
+        later = run(tree, acks, now + extra, timeout)
+        assert later.state is first.state
+
+
+@settings(max_examples=200, deadline=None)
+@given(trees_with_acks())
+def test_timeout_always_decides(case):
+    tree, acks, now, timeout = case
+    if timeout is None:
+        return
+    result = run(tree, acks, max(now, timeout), timeout)
+    assert result.state is not EvalState.PENDING
+
+
+@settings(max_examples=150, deadline=None)
+@given(trees_with_acks())
+def test_serialization_preserves_verdict(case):
+    tree, acks, now, timeout = case
+    original = run(tree, acks, now, timeout).state
+    restored_tree = condition_from_dict(condition_to_dict(tree))
+    assert run(restored_tree, acks, now, timeout).state is original
+
+
+@settings(max_examples=150, deadline=None)
+@given(trees_with_acks())
+def test_more_in_time_acks_never_break_success(case):
+    """Monotonicity without max-bounds (the generated trees have none)."""
+    tree, acks, now, timeout = case
+    before = run(tree, acks, now, timeout).state
+    if before is not EvalState.SATISFIED:
+        return
+    # Duplicate an ack's reader on a fresh copy of some leaf, in time.
+    leaves = list(tree.destinations())
+    extra = Acknowledgment(
+        cmid="CM-P",
+        kind=AckKind.PROCESSED,
+        queue=leaves[0].queue,
+        manager=QM,
+        recipient="bonus-reader",
+        read_time_ms=0,
+        commit_time_ms=0,
+        original_message_id="bonus",
+    )
+    after = run(tree, acks + [extra], now, timeout).state
+    assert after is EvalState.SATISFIED

@@ -1,0 +1,77 @@
+"""API stability: every declared export exists and error taxonomy holds."""
+
+import importlib
+
+import pytest
+
+import repro
+import repro.errors as errors
+
+PACKAGES = [
+    "repro",
+    "repro.sim",
+    "repro.mq",
+    "repro.objects",
+    "repro.core",
+    "repro.dsphere",
+    "repro.baseline",
+    "repro.workloads",
+    "repro.harness",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", [])
+    assert exported, f"{package_name} declares no __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_every_library_error_is_a_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError), name
+
+
+def test_error_taxonomy_groups():
+    assert issubclass(errors.QueueNotFoundError, errors.MQError)
+    assert issubclass(errors.EmptyQueueError, errors.MQError)
+    assert issubclass(errors.SelectorError, errors.MQError)
+    assert issubclass(errors.TransactionRolledBackError, errors.TransactionError)
+    assert issubclass(errors.ConditionValidationError, errors.ConditionError)
+    assert issubclass(
+        errors.UnknownConditionalMessageError, errors.ConditionalMessagingError
+    )
+    assert issubclass(errors.NoDSphereError, errors.DSphereError)
+
+
+def test_errors_carry_context():
+    assert errors.QueueNotFoundError("Q").queue_name == "Q"
+    assert errors.QueueFullError("Q", 10).max_depth == 10
+    assert errors.MessageTooLargeError(100, 50).limit == 50
+    assert errors.UnknownConditionalMessageError("CM-1").cmid == "CM-1"
+
+
+def test_module_docstrings_present():
+    """Every public module documents itself (deliverable: doc comments)."""
+    import os
+
+    import repro as root
+
+    src_root = os.path.dirname(root.__file__)
+    for dirpath, _dirnames, filenames in os.walk(src_root):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, filename), src_root)
+            module_name = "repro." + rel[:-3].replace(os.sep, ".")
+            module_name = module_name.replace(".__init__", "")
+            module = importlib.import_module(module_name)
+            assert module.__doc__, f"{module_name} lacks a module docstring"

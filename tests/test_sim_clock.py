@@ -1,0 +1,60 @@
+"""Unit tests for the clock abstraction."""
+
+import pytest
+
+from repro.sim.clock import SimulatedClock, WallClock
+
+
+class TestSimulatedClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimulatedClock().now_ms() == 0
+
+    def test_starts_at_given_time(self):
+        assert SimulatedClock(start_ms=5_000).now_ms() == 5_000
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            SimulatedClock(start_ms=-1)
+
+    def test_advance_moves_forward(self):
+        clock = SimulatedClock()
+        assert clock.advance(250) == 250
+        assert clock.now_ms() == 250
+        assert clock.advance(0) == 250
+
+    def test_advance_rejects_negative(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+    def test_set_jumps_forward(self):
+        clock = SimulatedClock()
+        clock.set(1_000)
+        assert clock.now_ms() == 1_000
+        clock.set(1_000)  # idempotent jump to same time is fine
+        assert clock.now_ms() == 1_000
+
+    def test_set_rejects_backwards(self):
+        clock = SimulatedClock(start_ms=100)
+        with pytest.raises(ValueError):
+            clock.set(99)
+
+    def test_now_s_converts_milliseconds(self):
+        clock = SimulatedClock(start_ms=1_500)
+        assert clock.now_s() == pytest.approx(1.5)
+
+    def test_truncates_float_advance(self):
+        clock = SimulatedClock()
+        clock.advance(10.9)
+        assert clock.now_ms() == 10
+
+
+class TestWallClock:
+    def test_starts_near_zero(self):
+        assert WallClock().now_ms() < 1_000
+
+    def test_is_monotonic_nondecreasing(self):
+        clock = WallClock()
+        a = clock.now_ms()
+        b = clock.now_ms()
+        assert b >= a

@@ -1,0 +1,135 @@
+"""Unit tests for the event scheduler."""
+
+import pytest
+
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+
+@pytest.fixture
+def sched():
+    return EventScheduler(SimulatedClock())
+
+
+class TestScheduling:
+    def test_call_later_fires_at_due_time(self, sched):
+        fired = []
+        sched.call_later(100, lambda: fired.append(sched.clock.now_ms()))
+        sched.run_until(99)
+        assert fired == []
+        sched.run_until(100)
+        assert fired == [100]
+
+    def test_call_at_absolute_time(self, sched):
+        fired = []
+        sched.call_at(500, lambda: fired.append(True))
+        sched.run_until(500)
+        assert fired == [True]
+
+    def test_past_due_clamps_to_now(self, sched):
+        sched.clock.set(1_000)
+        fired = []
+        sched.call_at(10, lambda: fired.append(sched.clock.now_ms()))
+        sched.run_for(0)
+        assert fired == [1_000]
+
+    def test_negative_delay_rejected(self, sched):
+        with pytest.raises(ValueError):
+            sched.call_later(-5, lambda: None)
+
+    def test_events_fire_in_time_order(self, sched):
+        order = []
+        sched.call_later(300, lambda: order.append("c"))
+        sched.call_later(100, lambda: order.append("a"))
+        sched.call_later(200, lambda: order.append("b"))
+        sched.run_all()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fire_in_registration_order(self, sched):
+        order = []
+        for name in ("first", "second", "third"):
+            sched.call_later(50, lambda name=name: order.append(name))
+        sched.run_all()
+        assert order == ["first", "second", "third"]
+
+    def test_callback_can_schedule_more_events(self, sched):
+        order = []
+
+        def outer():
+            order.append("outer")
+            sched.call_later(10, lambda: order.append("inner"))
+
+        sched.call_later(5, outer)
+        sched.run_all()
+        assert order == ["outer", "inner"]
+        assert sched.clock.now_ms() == 15
+
+    def test_immediate_reschedule_runs_same_pass(self, sched):
+        order = []
+        sched.call_later(5, lambda: sched.call_later(0, lambda: order.append("x")))
+        sched.run_until(5)
+        assert order == ["x"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sched):
+        fired = []
+        event = sched.call_later(100, lambda: fired.append(True))
+        event.cancel()
+        sched.run_all()
+        assert fired == []
+
+    def test_pending_excludes_cancelled(self, sched):
+        keep = sched.call_later(10, lambda: None)
+        drop = sched.call_later(20, lambda: None)
+        drop.cancel()
+        assert sched.pending() == 1
+        del keep
+
+    def test_next_due_skips_cancelled(self, sched):
+        first = sched.call_later(10, lambda: None)
+        sched.call_later(20, lambda: None)
+        first.cancel()
+        assert sched.next_due_ms() == 20
+
+
+class TestExecution:
+    def test_run_until_advances_clock_even_without_events(self, sched):
+        sched.run_until(12_345)
+        assert sched.clock.now_ms() == 12_345
+
+    def test_run_until_returns_fired_count(self, sched):
+        for delay in (10, 20, 30):
+            sched.call_later(delay, lambda: None)
+        assert sched.run_until(25) == 2
+        assert sched.run_until(100) == 1
+
+    def test_run_all_returns_total(self, sched):
+        for delay in (1, 2, 3, 4):
+            sched.call_later(delay, lambda: None)
+        assert sched.run_all() == 4
+        assert sched.run_all() == 0
+
+    def test_run_all_guards_against_livelock(self, sched):
+        def reschedule():
+            sched.call_later(1, reschedule)
+
+        sched.call_later(1, reschedule)
+        with pytest.raises(RuntimeError):
+            sched.run_all(max_events=100)
+
+    def test_step_fires_exactly_one(self, sched):
+        fired = []
+        sched.call_later(10, lambda: fired.append(1))
+        sched.call_later(20, lambda: fired.append(2))
+        assert sched.step() is True
+        assert fired == [1]
+        assert sched.step() is True
+        assert sched.step() is False
+        assert fired == [1, 2]
+
+    def test_events_fired_counter(self, sched):
+        sched.call_later(1, lambda: None)
+        sched.call_later(2, lambda: None)
+        sched.run_all()
+        assert sched.events_fired == 2

@@ -1,0 +1,71 @@
+"""Real-time (wall-clock) deployment mode: the library without simulation.
+
+Everything else in the suite runs on virtual time; this module verifies
+the same components work against :class:`WallClock` with application
+polling, the way an interactive deployment would run.  Deadlines are kept
+generous so the tests are timing-robust.
+"""
+
+import time
+
+from repro.core import destination, destination_set
+from repro.core.receiver import ConditionalMessagingReceiver
+from repro.core.service import ConditionalMessagingService
+from repro.mq.manager import QueueManager
+from repro.mq.network import MessageNetwork
+from repro.sim.clock import WallClock
+
+
+def build():
+    clock = WallClock()
+    network = MessageNetwork(scheduler=None)  # synchronous delivery
+    sender_qm = network.add_manager(QueueManager("QM.S", clock))
+    receiver_qm = network.add_manager(QueueManager("QM.R", clock))
+    network.connect("QM.S", "QM.R")
+    service = ConditionalMessagingService(sender_qm, scheduler=None)
+    receiver = ConditionalMessagingReceiver(receiver_qm, recipient_id="alice")
+    return clock, service, receiver
+
+
+def test_wallclock_success_path():
+    clock, service, receiver = build()
+    condition = destination_set(
+        destination("Q.IN", manager="QM.R", recipient="alice",
+                    msg_pick_up_time=30_000)  # 30 real seconds: ample
+    )
+    cmid = service.send_message({"x": 1}, condition)
+    assert receiver.read_message("Q.IN") is not None
+    # Synchronous network: the ack is already on DS.ACK.Q; push decided it.
+    outcome = service.outcome(cmid)
+    assert outcome is not None and outcome.succeeded
+
+
+def test_wallclock_timeout_path():
+    clock, service, receiver = build()
+    condition = destination_set(
+        destination("Q.IN", manager="QM.R", recipient="alice",
+                    msg_pick_up_time=10),   # 10 real ms
+        evaluation_timeout=20,
+    )
+    cmid = service.send_message({"x": 1}, condition)
+    deadline = time.monotonic() + 5.0
+    while service.outcome(cmid) is None and time.monotonic() < deadline:
+        time.sleep(0.005)
+        service.poll()
+    outcome = service.outcome(cmid)
+    assert outcome is not None
+    assert not outcome.succeeded
+
+
+def test_wallclock_read_timestamps_are_real():
+    clock, service, receiver = build()
+    condition = destination_set(
+        destination("Q.IN", manager="QM.R", recipient="alice",
+                    msg_pick_up_time=30_000)
+    )
+    cmid = service.send_message({"x": 1}, condition)
+    time.sleep(0.02)
+    receiver.read_message("Q.IN")
+    record = service.evaluation.record(cmid)
+    ack = record.acks[0]
+    assert ack.read_time_ms >= record.send_time_ms + 15  # ~20ms later
