@@ -28,7 +28,10 @@ class Reporter:
             os.remove(self.path)
 
     def emit(self, table: Table) -> None:
-        rendered = table.render()
+        self.emit_text(table.render())
+
+    def emit_text(self, rendered: str) -> None:
+        """Persist pre-rendered output (trace timelines, metric dumps)."""
         print("\n" + rendered + "\n")
         with open(self.path, "a", encoding="utf-8") as f:
             f.write(rendered)

@@ -1,0 +1,85 @@
+"""OBS — message-lifecycle observability on the paper's Example 1.
+
+Runs the group-meeting scenario with the flight recorder and metrics
+registry enabled and emits (a) the full per-stage timeline of the
+conditional message — send, xmit, arrival, get, ack, evaluate, outcome —
+and (b) the deployment-wide counter/gauge/histogram breakdown.  Also
+times a traced run against an untraced one: the no-op tracer guard is
+supposed to make disabled tracing free, so the enabled-tracer overhead
+bounds the cost of the instrumentation points themselves.
+"""
+
+from repro.harness.reporting import render_metrics, render_trace_timeline
+from repro.harness.runner import run_example1
+from repro.obs import (
+    STAGE_ACK,
+    STAGE_ARRIVAL,
+    STAGE_OUTCOME,
+    STAGE_SEND,
+    FlightRecorder,
+    MetricsRegistry,
+)
+
+
+def test_obs_example1_timeline(report):
+    """The acceptance artifact: one conditional message's full timeline."""
+    recorder = FlightRecorder()
+    registry = MetricsRegistry()
+    result = run_example1(tracer=recorder, metrics=registry)
+    assert result.succeeded
+
+    events = recorder.events_for(result.cmid)
+    report.emit_text(
+        render_trace_timeline(events, title=f"OBS: example 1 trace {result.cmid}")
+    )
+    report.emit_text(render_metrics(registry, title="OBS: example 1 metrics"))
+
+    # The timeline must cover the whole lifecycle, in causal order.
+    stages = [event.stage for event in events]
+    for stage in (STAGE_SEND, STAGE_ARRIVAL, STAGE_ACK, STAGE_OUTCOME):
+        assert stage in stages, f"timeline lacks {stage!r}"
+    assert (
+        stages.index(STAGE_SEND)
+        < stages.index(STAGE_ARRIVAL)
+        < stages.index(STAGE_ACK)
+        < stages.index(STAGE_OUTCOME)
+    )
+    assert registry.histogram_stats("ack_latency_ms") is not None
+    assert registry.histogram_stats("decision_latency_ms") is not None
+
+
+def test_obs_tracing_overhead(benchmark, report):
+    """Wall-clock cost of a fully traced + metered run vs a bare one."""
+    import time
+
+    def bare_run():
+        return run_example1()
+
+    def traced_run():
+        return run_example1(tracer=FlightRecorder(), metrics=MetricsRegistry())
+
+    # Hand-timed comparison row (benchmark fixture only times one callable).
+    rounds = 5
+    start = time.perf_counter()
+    for _ in range(rounds):
+        assert bare_run().succeeded
+    bare_s = (time.perf_counter() - start) / rounds
+    start = time.perf_counter()
+    for _ in range(rounds):
+        assert traced_run().succeeded
+    traced_s = (time.perf_counter() - start) / rounds
+
+    from repro.harness.reporting import Table
+
+    table = Table(
+        "OBS: tracing overhead on example 1 (wall-clock per run)",
+        ["mode", "mean (ms)", "relative"],
+    )
+    table.add_row(["bare (NULL_TRACER)", bare_s * 1e3, 1.0])
+    table.add_row(
+        ["flight recorder + metrics", traced_s * 1e3, traced_s / bare_s]
+    )
+    report.emit(table)
+
+    result = benchmark(traced_run)
+    assert result.succeeded

@@ -19,6 +19,9 @@ the paper's system depends on:
   comparison;
 * :mod:`repro.workloads` / :mod:`repro.harness` -- testbeds, scripted
   receivers, workload generators, metrics, and experiment runners;
+* :mod:`repro.obs` -- message-lifecycle observability: a flight-recorder
+  tracer that stamps every hop of a conditional message, plus a
+  counters/gauges/histograms registry;
 * :mod:`repro.sim` -- the deterministic virtual clock everything runs on.
 
 Quickstart::
@@ -52,6 +55,7 @@ from repro.core import (
 )
 from repro.dsphere import DSphereOutcome, DSphereService
 from repro.errors import ReproError
+from repro.obs import FlightRecorder, MetricsRegistry
 
 __version__ = "1.0.0"
 
@@ -67,6 +71,8 @@ __all__ = [
     "OutcomeRecord",
     "DSphereService",
     "DSphereOutcome",
+    "FlightRecorder",
+    "MetricsRegistry",
     "ReproError",
     "__version__",
 ]

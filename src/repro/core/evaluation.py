@@ -26,6 +26,7 @@ from repro.core.outcome import MessageOutcome, OutcomeRecord
 from repro.core.satisfaction import EvalState, evaluate_condition
 from repro.errors import UnknownConditionalMessageError
 from repro.mq.manager import QueueManager
+from repro.obs.trace import STAGE_EVALUATE, STAGE_OUTCOME
 from repro.sim.scheduler import EventScheduler, ScheduledEvent
 
 
@@ -145,6 +146,13 @@ class EvaluationManager:
             if record is None or not record.pending:
                 continue
             record.acks.append(ack)
+            if self.manager.metrics is not None:
+                # Send -> acknowledgment processed at the sender; the gap
+                # the paper's monitoring machinery exists to observe.
+                self.manager.metrics.observe(
+                    "ack_latency_ms",
+                    self.manager.clock.now_ms() - record.send_time_ms,
+                )
             self.evaluate(ack.cmid)
 
     # -- evaluation --------------------------------------------------------------------
@@ -167,6 +175,16 @@ class EvaluationManager:
             evaluation_timeout_ms=record.evaluation_timeout_ms,
             default_manager=self.manager.name,
         )
+        tracer = self.manager.tracer
+        if tracer.enabled:
+            tracer.emit(
+                STAGE_EVALUATE,
+                at_ms=self.manager.clock.now_ms(),
+                cmid=cmid,
+                manager=self.manager.name,
+                state=result.state.name,
+                acks=len(record.acks),
+            )
         if result.is_final():
             self._decide(record, result.state, result.reasons)
         return result.state
@@ -236,4 +254,20 @@ class EvaluationManager:
             self.stats.decided_success += 1
         else:
             self.stats.decided_failure += 1
+        tracer = self.manager.tracer
+        if tracer.enabled:
+            tracer.emit(
+                STAGE_OUTCOME,
+                at_ms=record.decided.decided_at_ms,
+                cmid=record.cmid,
+                manager=self.manager.name,
+                outcome=outcome.name,
+                acks=len(record.acks),
+            )
+        if self.manager.metrics is not None:
+            self.manager.metrics.observe(
+                "decision_latency_ms",
+                record.decided.decided_at_ms - record.send_time_ms,
+            )
+            self.manager.metrics.incr(f"outcomes.{outcome.name.lower()}")
         self._on_decided(record.decided)

@@ -35,6 +35,7 @@ from repro.errors import NoTransactionError, TransactionActiveError
 from repro.mq.manager import QueueManager
 from repro.mq.message import Message
 from repro.mq.transactions import MQTransaction
+from repro.obs.trace import STAGE_ACK
 
 
 @dataclass(frozen=True)
@@ -280,6 +281,20 @@ class ConditionalMessagingReceiver:
             info.ack_manager, info.ack_queue, ack_to_message(ack)
         )
         self.stats.acks_sent += 1
+        tracer = self.manager.tracer
+        if tracer.enabled:
+            tracer.emit(
+                STAGE_ACK,
+                at_ms=self.manager.clock.now_ms(),
+                cmid=info.cmid,
+                manager=self.manager.name,
+                queue=addressed_queue,
+                message_id=original_message_id,
+                kind=kind.value,
+                recipient=self.recipient_id,
+            )
+        if self.manager.metrics is not None:
+            self.manager.metrics.incr(f"acks_sent.{self.manager.name}")
 
     # -- internals: compensation rules -------------------------------------------------
 

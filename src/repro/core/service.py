@@ -72,6 +72,11 @@ class ConditionalMessagingService:
             the system "can" send them).
         evaluation_grace_ms: Slack added to the largest condition deadline
             to form the default evaluation timeout.
+
+    Observability (tracer and metrics registry, :mod:`repro.obs`) is
+    inherited from ``manager`` — give the queue manager a
+    :class:`~repro.obs.trace.FlightRecorder` and every hop of each
+    conditional message sent through this service is traced.
     """
 
     def __init__(
@@ -146,6 +151,7 @@ class ConditionalMessagingService:
             ack_queue=self.ack_queue,
             compensation_body=compensation,
             stage_compensation=stage_compensation,
+            tracer=self.manager.tracer,
         )
 
         timeout = self._effective_timeout(condition, evaluation_timeout_ms)

@@ -9,13 +9,15 @@ and sweeps, and fixed-width table rendering for the benchmark output.
 
 from repro.harness.inspect import format_snapshot, snapshot_manager, snapshot_service
 from repro.harness.metrics import LatencyStats, MetricSeries
-from repro.harness.reporting import Table
+from repro.harness.reporting import Table, render_metrics, render_trace_timeline
 from repro.harness.runner import ExperimentResult, run_example1, run_example2
 
 __all__ = [
     "LatencyStats",
     "MetricSeries",
     "Table",
+    "render_trace_timeline",
+    "render_metrics",
     "ExperimentResult",
     "run_example1",
     "run_example2",

@@ -37,7 +37,14 @@ class LatencyStats:
 
 
 def percentile(ordered: List[float], pct: float) -> float:
-    """Nearest-rank-interpolated percentile of a pre-sorted sample."""
+    """Linearly interpolated percentile of a pre-sorted sample.
+
+    Uses the "linear" method (NumPy's default): the rank is
+    ``pct/100 * (n - 1)`` and a fractional rank interpolates between the
+    two closest order statistics.  So ``percentile([10, 20, 30, 40], 25)``
+    is ``17.5`` — *not* the nearest-rank answer ``20``.  ``pct=0`` and
+    ``pct=100`` return the minimum and maximum exactly.
+    """
     if not ordered:
         raise ValueError("cannot take a percentile of an empty sample")
     if len(ordered) == 1:

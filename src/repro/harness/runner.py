@@ -11,6 +11,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.core.outcome import OutcomeRecord
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.workloads.receivers import ReceiverMode, ReceiverScript, ScriptedReceiver
 from repro.workloads.scenarios import (
     SECOND_MS,
@@ -46,14 +48,26 @@ def run_example1(
     r4_mode: ReceiverMode = ReceiverMode.READ,
     latency_ms: int = 50,
     seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ExperimentResult:
     """Run Example 1 (group meeting, Figures 1/4) to completion.
 
     Defaults give the paper's success story: all four read within two
     days, Receiver3 processes within a week, and two of the other three
     (R1, R2) process within the subset window while R4 only reads.
+
+    Pass a :class:`~repro.obs.trace.FlightRecorder` as ``tracer`` and/or
+    a :class:`~repro.obs.registry.MetricsRegistry` as ``metrics`` to get
+    the full stage-by-stage trace and latency breakdown of the run.
     """
-    testbed = Testbed(["R1", "R2", "R3", "R4"], latency_ms=latency_ms, seed=seed)
+    testbed = Testbed(
+        ["R1", "R2", "R3", "R4"],
+        latency_ms=latency_ms,
+        seed=seed,
+        tracer=tracer,
+        metrics=metrics,
+    )
     condition = build_example1_condition(testbed)
     cmid = testbed.service.send_message(
         {"meeting": "quarterly planning"}, condition, compensation={"cancelled": True}
@@ -95,14 +109,24 @@ def run_example2(
     pick_up_window_ms: int = 20 * SECOND_MS,
     latency_ms: int = 20,
     seed: int = 0,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ExperimentResult:
     """Run Example 2 (air traffic control, Figures 2/5) to completion.
 
     ``first_reaction_ms=None`` models the failure case: no controller
     reads the flight message, the 21-second evaluation timeout fires, and
-    the staged compensation cancels the unread original.
+    the staged compensation cancels the unread original.  ``tracer`` and
+    ``metrics`` wire observability through the testbed as in
+    :func:`run_example1`.
     """
-    testbed = Testbed(["TOWER"], latency_ms=latency_ms, seed=seed)
+    testbed = Testbed(
+        ["TOWER"],
+        latency_ms=latency_ms,
+        seed=seed,
+        tracer=tracer,
+        metrics=metrics,
+    )
     condition = build_example2_condition(
         shared_queue="Q.CENTRAL",
         manager="QM.TOWER",

@@ -35,10 +35,26 @@ from repro.mq.persistence import Journal
 from repro.mq.queue import DEFAULT_MAX_DEPTH, MessageQueue
 from repro.mq.transactions import MQTransaction
 from repro.mq import reports as reports_mod
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import (
+    NULL_TRACER,
+    STAGE_ARRIVAL,
+    STAGE_COMMIT,
+    STAGE_DEAD_LETTER,
+    STAGE_GET,
+    STAGE_ROLLBACK,
+    Tracer,
+    cmid_of,
+)
 from repro.sim.clock import Clock
 
 #: Name of the automatically defined dead-letter queue.
 DEAD_LETTER_QUEUE = "SYSTEM.DEAD.LETTER.QUEUE"
+
+#: Prefix of per-target transmission queues (owned by the network layer,
+#: defined here so the manager can recognize transit queues without a
+#: circular import; :mod:`repro.mq.network` re-exports it).
+XMIT_PREFIX = "SYSTEM.XMIT."
 
 
 class QueueManager:
@@ -52,6 +68,12 @@ class QueueManager:
         backout_threshold: When a message's backout count reaches this
             value, the next transactional get moves it to the dead-letter
             queue instead of delivering it.  ``None`` disables the check.
+        tracer: Lifecycle tracer (see :mod:`repro.obs.trace`); the
+            default no-op tracer keeps the hot path at one flag check.
+            Components layered on this manager (receiver, evaluation,
+            compensation) inherit it.
+        metrics: Optional shared registry for counters and per-queue
+            depth gauges; ``None`` (default) records nothing.
     """
 
     def __init__(
@@ -60,6 +82,8 @@ class QueueManager:
         clock: Clock,
         journal: Optional[Journal] = None,
         backout_threshold: Optional[int] = 5,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not name:
             raise MQError("queue manager name must be non-empty")
@@ -67,6 +91,8 @@ class QueueManager:
         self.clock = clock
         self.journal = journal
         self.backout_threshold = backout_threshold
+        self.tracer = tracer
+        self.metrics = metrics
         self._queues: Dict[str, MessageQueue] = {}
         #: local alias -> (remote manager, remote queue) — MQ "remote
         #: queue definitions"
@@ -89,7 +115,14 @@ class QueueManager:
             queue_name,
             self.clock,
             max_depth=max_depth,
-            on_expired=self._route_expired,
+            # Bind the queue name so expiry can journal the removal from
+            # the right source queue.
+            on_expired=lambda message, _q=queue_name: self._route_expired(
+                _q, message
+            ),
+            tracer=self.tracer,
+            metrics=self.metrics,
+            owner=self.name,
         )
         self._queues[queue_name] = queue
         if self.journal is not None and journal_definition:
@@ -169,14 +202,35 @@ class QueueManager:
         if remote is not None:
             self.put_remote(remote[0], remote[1], message, transaction=transaction)
             return message
-        queue = self.queue(queue_name)
+        self.queue(queue_name)  # raises QueueNotFoundError early
         if transaction is not None:
             transaction.record_put(queue_name, message)
             return message
-        stored = queue.put(message)
+        return self._deliver_local(queue_name, message)
+
+    def _deliver_local(self, queue_name: str, message: Message) -> Message:
+        """Store a committed put: journal, arrival report, trace.
+
+        Shared by the non-transactional put path and transaction commit,
+        so syncpoint puts get identical durability and COA behaviour.
+        """
+        stored = self.queue(queue_name).put(message)
         if self.journal is not None and stored.is_persistent():
             self.journal.log_put(queue_name, stored)
         self._maybe_report_arrival(queue_name, stored)
+        if self.metrics is not None:
+            self.metrics.incr(f"puts.{self.name}")
+        # Transit parking is traced as ``xmit`` by the network layer.
+        if self.tracer.enabled and not queue_name.startswith(XMIT_PREFIX):
+            self.tracer.emit(
+                STAGE_ARRIVAL,
+                at_ms=self.clock.now_ms(),
+                cmid=cmid_of(stored),
+                manager=self.name,
+                queue=queue_name,
+                message_id=stored.message_id,
+                persistent=stored.is_persistent(),
+            )
         return stored
 
     def put_remote(
@@ -247,6 +301,18 @@ class QueueManager:
             if self.journal is not None and message.is_persistent():
                 self.journal.log_get(queue_name, message.message_id)
             self._maybe_report_delivery(queue_name, message)
+        if self.metrics is not None:
+            self.metrics.incr(f"gets.{self.name}")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                STAGE_GET,
+                at_ms=self.clock.now_ms(),
+                cmid=cmid_of(message),
+                manager=self.name,
+                queue=queue_name,
+                message_id=message.message_id,
+                transactional=transaction is not None,
+            )
         return message
 
     def get_wait(
@@ -290,12 +356,20 @@ class QueueManager:
                 # COD for syncpoint reads fires at commit (a rolled-back
                 # read produces no report, like MQ under syncpoint).
                 self._maybe_report_delivery(queue_name, message)
-        # 2. Publish buffered puts.
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        STAGE_COMMIT,
+                        at_ms=self.clock.now_ms(),
+                        cmid=cmid_of(message),
+                        manager=self.name,
+                        queue=queue_name,
+                        message_id=message.message_id,
+                    )
+        # 2. Publish buffered puts.  COA for syncpoint puts likewise fires
+        # at commit — the arrival becomes visible only now.
         local_puts, remote_puts = transaction.drain_pending()
         for queue_name, message in local_puts:
-            stored = self.queue(queue_name).put(message)
-            if self.journal is not None and stored.is_persistent():
-                self.journal.log_put(queue_name, stored)
+            self._deliver_local(queue_name, message)
         for manager_name, queue_name, message in remote_puts:
             if self._remote_put_handler is None:
                 raise MQError(
@@ -306,7 +380,18 @@ class QueueManager:
     def apply_rollback(self, transaction: MQTransaction) -> None:
         """Undo a transaction's effects (called by ``MQTransaction.rollback``)."""
         for queue_name in transaction.locked_queues():
-            self.queue(queue_name).rollback_locked(transaction.tx_id)
+            rolled_back = self.queue(queue_name).rollback_locked(transaction.tx_id)
+            if self.tracer.enabled:
+                for message in rolled_back:
+                    self.tracer.emit(
+                        STAGE_ROLLBACK,
+                        at_ms=self.clock.now_ms(),
+                        cmid=cmid_of(message),
+                        manager=self.name,
+                        queue=queue_name,
+                        message_id=message.message_id,
+                        backout_count=message.backout_count,
+                    )
         transaction.drain_pending()  # discard buffered puts
 
     # -- durability -----------------------------------------------------------------
@@ -315,10 +400,10 @@ class QueueManager:
         """Compact the journal to a snapshot of current persistent state."""
         if self.journal is None:
             return
+        # The dead-letter queue is included: persistent poisoned/expired
+        # messages must survive a crash for the DLQ handler to inspect.
         snapshot = {
-            name: queue.snapshot()
-            for name, queue in self._queues.items()
-            if name != DEAD_LETTER_QUEUE
+            name: queue.snapshot() for name, queue in self._queues.items()
         }
         self.journal.checkpoint(snapshot)
 
@@ -329,6 +414,8 @@ class QueueManager:
         clock: Clock,
         journal: Journal,
         backout_threshold: Optional[int] = 5,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> "QueueManager":
         """Rebuild a queue manager from its journal after a crash.
 
@@ -338,7 +425,12 @@ class QueueManager:
         so they never existed).
         """
         manager = cls(
-            name, clock, journal=None, backout_threshold=backout_threshold
+            name,
+            clock,
+            journal=None,
+            backout_threshold=backout_threshold,
+            tracer=tracer,
+            metrics=metrics,
         )
         queue_names, live_messages = journal.recover()
         for queue_name in queue_names:
@@ -365,8 +457,6 @@ class QueueManager:
     # -- report options (see repro.mq.reports) ----------------------------------
 
     def _maybe_report_arrival(self, queue_name: str, message: Message) -> None:
-        from repro.mq.network import XMIT_PREFIX
-
         if queue_name.startswith(XMIT_PREFIX):
             return  # arrival means the *destination* queue, not transit
         if reports_mod.wants_coa(message):
@@ -390,7 +480,12 @@ class QueueManager:
                 message.reply_to_manager, message.reply_to_queue, report
             )
 
-    def _route_expired(self, message: Message) -> None:
+    def _route_expired(self, queue_name: str, message: Message) -> None:
+        # The sweep removed the message from its queue; journal that
+        # removal, or recovery would resurrect the message on the source
+        # queue *and* restore the dead-lettered copy.
+        if self.journal is not None and message.is_persistent():
+            self.journal.log_get(queue_name, message.message_id)
         self._dead_letter(message, reason="expired")
 
     def _dead_letter(self, message: Message, reason: str) -> None:
@@ -399,7 +494,24 @@ class QueueManager:
         # for inspection, not expire out of it (which would also recurse
         # through the expiry handler).
         dead = message.with_properties(DLQ_REASON=reason).copy(expiry_ms=None)
-        dlq.put(dead)
+        stored = dlq.put(dead)
+        # Dead-lettering is a put like any other: persistent dead messages
+        # are journaled so they survive crash recovery (the put bypasses
+        # ``self.put`` because a DLQ arrival must not fire COA reports).
+        if self.journal is not None and stored.is_persistent():
+            self.journal.log_put(DEAD_LETTER_QUEUE, stored)
+        if self.metrics is not None:
+            self.metrics.incr(f"dead_letters.{self.name}")
+        if self.tracer.enabled:
+            self.tracer.emit(
+                STAGE_DEAD_LETTER,
+                at_ms=self.clock.now_ms(),
+                cmid=cmid_of(stored),
+                manager=self.name,
+                queue=DEAD_LETTER_QUEUE,
+                message_id=stored.message_id,
+                reason=reason,
+            )
 
     def __repr__(self) -> str:
         return f"QueueManager({self.name!r}, queues={len(self._queues)})"

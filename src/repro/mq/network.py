@@ -29,12 +29,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ChannelError, MQError, QueueManagerNotFoundError
-from repro.mq.manager import DEAD_LETTER_QUEUE, QueueManager
+from repro.mq.manager import DEAD_LETTER_QUEUE, XMIT_PREFIX, QueueManager
 from repro.mq.message import Message
+from repro.obs.trace import NULL_TRACER, STAGE_XMIT, Tracer, cmid_of
 from repro.sim.scheduler import EventScheduler
 
-#: Prefix for per-target transmission queues on the sending manager.
-XMIT_PREFIX = "SYSTEM.XMIT."
+__all__ = [
+    "MessageNetwork",
+    "Channel",
+    "ChannelStats",
+    # Re-exported for back-compat; the constant lives in repro.mq.manager.
+    "XMIT_PREFIX",
+    "PROP_ROUTE_TARGET_MANAGER",
+    "PROP_ROUTE_TARGET_QUEUE",
+]
 
 #: Routing-envelope property names.
 PROP_ROUTE_TARGET_MANAGER = "SYS_ROUTE_TO_QM"
@@ -92,6 +100,8 @@ class MessageNetwork:
         auto_create_queues: When True (default), a transfer to a queue the
             target manager has not defined creates it; when False such
             messages go to the target's dead-letter queue.
+        tracer: Lifecycle tracer stamping ``xmit`` events when messages
+            park on transmission queues (no-op by default).
     """
 
     def __init__(
@@ -99,9 +109,11 @@ class MessageNetwork:
         scheduler: Optional[EventScheduler] = None,
         seed: int = 0,
         auto_create_queues: bool = True,
+        tracer: Tracer = NULL_TRACER,
     ) -> None:
         self.scheduler = scheduler
         self.auto_create_queues = auto_create_queues
+        self.tracer = tracer
         self._rng = random.Random(seed)
         self._managers: Dict[str, QueueManager] = {}
         self._channels: Dict[Tuple[str, str], Channel] = {}
@@ -247,6 +259,17 @@ class MessageNetwork:
         src_manager.ensure_queue(xmit_name)
         src_manager.put(xmit_name, enveloped)
         chan.stats.sent += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                STAGE_XMIT,
+                at_ms=src_manager.clock.now_ms(),
+                cmid=cmid_of(enveloped),
+                manager=source,
+                queue=xmit_name,
+                message_id=enveloped.message_id,
+                target_manager=target,
+                target_queue=queue_name,
+            )
         if self.scheduler is None:
             self._attempt_transfer(chan, enveloped.message_id)
         elif not chan.stopped:

@@ -21,6 +21,8 @@ from typing import Callable, Iterator, List, Optional
 
 from repro.errors import EmptyQueueError, MQError, QueueFullError
 from repro.mq.message import Message
+from repro.obs.trace import NULL_TRACER, STAGE_EXPIRED, Tracer, cmid_of
+from repro.obs.registry import MetricsRegistry
 from repro.sim.clock import Clock
 
 #: Default maximum queue depth; generous but finite, as in real queue managers.
@@ -63,6 +65,9 @@ class MessageQueue:
         clock: Clock,
         max_depth: int = DEFAULT_MAX_DEPTH,
         on_expired: Optional[Callable[[Message], None]] = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+        owner: str = "",
     ) -> None:
         if not name:
             raise MQError("queue name must be non-empty")
@@ -76,6 +81,11 @@ class MessageQueue:
         self._on_expired = on_expired
         self._put_listeners: List[Callable[[Message], None]] = []
         self.stats = QueueStats()
+        self.tracer = tracer
+        self.metrics = metrics
+        #: owning manager name, qualifying this queue's metric names
+        self.owner = owner
+        self._depth_gauge = f"depth.{owner}.{name}" if owner else f"depth.{name}"
 
     def subscribe(self, listener: Callable[[Message], None]) -> None:
         """Register a callback fired after every successful put.
@@ -130,6 +140,7 @@ class MessageQueue:
         self.stats.high_water_depth = max(
             self.stats.high_water_depth, len(self._entries)
         )
+        self._note_depth()
         for listener in self._put_listeners:
             listener(stored)
         return stored
@@ -162,6 +173,7 @@ class MessageQueue:
             self.stats.gets += 1
             if lock_owner is None:
                 del self._entries[i]
+                self._note_depth()
             else:
                 entry.locked_by = lock_owner
             return entry.message
@@ -179,6 +191,7 @@ class MessageQueue:
                 self.stats.gets += 1
                 if lock_owner is None:
                     del self._entries[i]
+                    self._note_depth()
                 else:
                     entry.locked_by = lock_owner
                 return entry.message
@@ -215,6 +228,7 @@ class MessageQueue:
         """Destroy all messages locked by ``lock_owner``; returns them."""
         committed = [e.message for e in self._entries if e.locked_by == lock_owner]
         self._entries = [e for e in self._entries if e.locked_by != lock_owner]
+        self._note_depth()
         return committed
 
     def remove_locked(self, lock_owner: str, message_id: str) -> Message:
@@ -230,6 +244,7 @@ class MessageQueue:
                 and entry.message.message_id == message_id
             ):
                 del self._entries[i]
+                self._note_depth()
                 return entry.message
         raise EmptyQueueError(self.name)
 
@@ -252,6 +267,7 @@ class MessageQueue:
         """Discard every unlocked message; returns how many were removed."""
         before = len(self._entries)
         self._entries = [e for e in self._entries if e.locked_by is not None]
+        self._note_depth()
         return before - len(self._entries)
 
     def snapshot(self) -> List[Message]:
@@ -268,18 +284,38 @@ class MessageQueue:
             )
             self._entries.append(entry)
         self._entries.sort()
+        self._note_depth()
+
+    def _note_depth(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge(self._depth_gauge, len(self._entries))
 
     def _sweep_expired(self) -> None:
         now = self._clock.now_ms()
         survivors: List[_Entry] = []
+        swept: List[Message] = []
         for entry in self._entries:
             if entry.locked_by is None and entry.message.is_expired(now):
                 self.stats.expired += 1
-                if self._on_expired is not None:
-                    self._on_expired(entry.message)
+                swept.append(entry.message)
             else:
                 survivors.append(entry)
+        if not swept:
+            return
         self._entries = survivors
+        self._note_depth()
+        for message in swept:
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    STAGE_EXPIRED,
+                    at_ms=now,
+                    cmid=cmid_of(message),
+                    manager=self.owner or None,
+                    queue=self.name,
+                    message_id=message.message_id,
+                )
+            if self._on_expired is not None:
+                self._on_expired(message)
 
     def __repr__(self) -> str:
         return f"MessageQueue({self.name!r}, depth={self.depth()})"

@@ -1,0 +1,102 @@
+"""Counters, gauges, and histograms for benchmark instrumentation.
+
+One :class:`MetricsRegistry` is shared by every instrumented component of
+a deployment (the :class:`~repro.workloads.scenarios.Testbed` wires a
+single instance through all queue managers).  Naming convention is
+dotted paths, e.g.::
+
+    depth.QM.R1.Q.R1          per-queue depth gauge (set on every mutation)
+    puts.QM.SENDER            counter of successful puts on a manager
+    dead_letters.QM.R1        counter of dead-lettered messages
+    ack_latency_ms            histogram: send -> ack processed at sender
+    decision_latency_ms       histogram: send -> outcome decided
+
+Histogram summaries reuse the harness percentile machinery
+(:func:`repro.harness.metrics.percentile` via
+:class:`~repro.harness.metrics.LatencyStats`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.harness.metrics import LatencyStats
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histogram samples."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+
+    # -- counters -----------------------------------------------------------
+
+    def incr(self, name: str, by: int = 1) -> int:
+        """Add ``by`` to a counter; returns the new value."""
+        value = self._counters.get(name, 0) + by
+        self._counters[name] = value
+        return value
+
+    def counter(self, name: str) -> int:
+        """Current counter value (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        """All counters, by name."""
+        return dict(self._counters)
+
+    # -- gauges -------------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a gauge to an absolute value."""
+        self._gauges[name] = float(value)
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Current gauge value, or ``None`` if never set."""
+        return self._gauges.get(name)
+
+    def gauges(self) -> Dict[str, float]:
+        """All gauges, by name."""
+        return dict(self._gauges)
+
+    # -- histograms ---------------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one sample to a histogram."""
+        self._histograms.setdefault(name, []).append(float(value))
+
+    def histogram(self, name: str) -> List[float]:
+        """Raw samples of a histogram (empty list if absent)."""
+        return list(self._histograms.get(name, []))
+
+    def histogram_stats(self, name: str) -> "Optional[LatencyStats]":
+        """Percentile summary of a histogram, or ``None`` if empty."""
+        samples = self._histograms.get(name)
+        if not samples:
+            return None
+        # Imported lazily: the mq layer loads this module at import time,
+        # and repro.harness transitively imports the mq layer.
+        from repro.harness.metrics import LatencyStats
+
+        return LatencyStats.from_samples(samples)
+
+    def histograms(self) -> List[str]:
+        """Names of all histograms."""
+        return list(self._histograms)
+
+    # -- maintenance --------------------------------------------------------
+
+    def clear(self) -> None:
+        """Reset every counter, gauge, and histogram."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self._counters)},"
+            f" gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )

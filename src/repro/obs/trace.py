@@ -1,0 +1,182 @@
+"""The message-lifecycle flight recorder.
+
+A :class:`TraceEvent` records one hop of a message through the system.
+Events carry the sim-clock timestamp and a process-wide monotonic
+sequence number, so the global order of events is total even when many
+hops share one millisecond.  The conditional message id (falling back to
+the correlation id for plain MQ traffic) is the trace correlation key:
+:meth:`FlightRecorder.events_for` reconstructs the full path of one
+conditional message across every queue manager it touched.
+
+The stages, in the order a successful conditional message produces them::
+
+    send      one event per generated standard message (the fan-out)
+    xmit      parked on a transmission queue for a channel hop
+    arrival   put on the destination queue (COA territory)
+    get       destructively read, or locked under syncpoint
+    commit    a syncpoint read's lock destroyed at commit (COD territory)
+    ack       the implicit acknowledgment left the receiver
+    evaluate  one satisfaction pass at the sender
+    outcome   the evaluation decided
+    ...plus compensation (release), rollback, dead-letter, expired.
+
+The base :class:`Tracer` is a no-op with ``enabled = False``; every
+instrumentation site guards on that flag, so a disabled tracer costs one
+attribute load per potential event.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.mq.message import Message
+
+# Lifecycle stage names (the ``stage`` field of every event).
+STAGE_SEND = "send"
+STAGE_XMIT = "xmit"
+STAGE_ARRIVAL = "arrival"
+STAGE_GET = "get"
+STAGE_COMMIT = "commit"
+STAGE_ROLLBACK = "rollback"
+STAGE_ACK = "ack"
+STAGE_EVALUATE = "evaluate"
+STAGE_OUTCOME = "outcome"
+STAGE_COMPENSATION = "compensation"
+STAGE_DEAD_LETTER = "dead-letter"
+STAGE_EXPIRED = "expired"
+
+#: Mirrors ``repro.core.control.PROP_CMID``; duplicated here because the
+#: mq layer imports this module and must not import ``repro.core``.
+_PROP_CMID = "DS_CMID"
+
+
+def cmid_of(message: Message) -> Optional[str]:
+    """The trace correlation key of a message.
+
+    The conditional message id when the message carries conditional
+    control properties, else the plain correlation id (which conditional
+    messages also set to the cmid), else ``None``.
+    """
+    value = message.get_property(_PROP_CMID)
+    if value is not None:
+        return str(value)
+    return message.correlation_id
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded hop of a message's lifecycle."""
+
+    seq: int
+    at_ms: int
+    stage: str
+    cmid: Optional[str]
+    manager: Optional[str]
+    queue: Optional[str]
+    message_id: Optional[str]
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Tracer:
+    """The no-op tracer every component holds by default.
+
+    ``enabled`` is a class attribute so the hot-path guard
+    ``if tracer.enabled:`` never constructs an event for a disabled
+    tracer.  Subclasses that record must set it to True.
+    """
+
+    enabled: bool = False
+
+    def emit(
+        self,
+        stage: str,
+        at_ms: int,
+        cmid: Optional[str] = None,
+        manager: Optional[str] = None,
+        queue: Optional[str] = None,
+        message_id: Optional[str] = None,
+        **detail: Any,
+    ) -> None:
+        """Record one lifecycle event (no-op in the base tracer)."""
+
+
+#: Shared no-op instance (stateless, so one suffices for the process).
+NULL_TRACER = Tracer()
+
+
+class FlightRecorder(Tracer):
+    """A tracer that keeps every event in memory, in emission order.
+
+    Args:
+        capacity: When set, only the most recent ``capacity`` events are
+            retained (a bounded flight recorder for long soak runs).
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._events: List[TraceEvent] = []
+        self._seq = itertools.count(1)
+
+    def emit(
+        self,
+        stage: str,
+        at_ms: int,
+        cmid: Optional[str] = None,
+        manager: Optional[str] = None,
+        queue: Optional[str] = None,
+        message_id: Optional[str] = None,
+        **detail: Any,
+    ) -> None:
+        self._events.append(
+            TraceEvent(
+                seq=next(self._seq),
+                at_ms=at_ms,
+                stage=stage,
+                cmid=cmid,
+                manager=manager,
+                queue=queue,
+                message_id=message_id,
+                detail=detail,
+            )
+        )
+        if self._capacity is not None and len(self._events) > self._capacity:
+            del self._events[0]
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """All retained events, oldest first."""
+        return list(self._events)
+
+    def events_for(self, cmid: str) -> List[TraceEvent]:
+        """The trace of one conditional message, oldest first."""
+        return [e for e in self._events if e.cmid == cmid]
+
+    def stages(self, cmid: str) -> List[str]:
+        """Just the stage names of one message's trace, in order."""
+        return [e.stage for e in self._events if e.cmid == cmid]
+
+    def cmids(self) -> List[str]:
+        """Distinct correlation keys seen, in first-appearance order."""
+        seen: List[str] = []
+        for event in self._events:
+            if event.cmid is not None and event.cmid not in seen:
+                seen.append(event.cmid)
+        return seen
+
+    def clear(self) -> None:
+        """Discard all retained events (the sequence keeps counting)."""
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return f"FlightRecorder(events={len(self._events)})"

@@ -21,6 +21,8 @@ from repro.dsphere.coordinator import DSphereService
 from repro.mq.manager import QueueManager
 from repro.mq.network import MessageNetwork
 from repro.mq.persistence import Journal, MemoryJournal
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.objects.txmanager import TransactionManager
 from repro.sim.clock import SimulatedClock
 from repro.sim.scheduler import EventScheduler
@@ -53,6 +55,13 @@ class Testbed:
             logical name.
         journaled: Give every queue manager a memory journal (enables
             crash/recovery experiments at some bookkeeping cost).
+        tracer: A lifecycle tracer (e.g. a
+            :class:`~repro.obs.trace.FlightRecorder`) wired through every
+            queue manager and the network, so one recorder sees the full
+            cross-manager path of each conditional message.
+        metrics: A shared :class:`~repro.obs.registry.MetricsRegistry`
+            collecting counters, depth gauges, and latency histograms
+            across the whole deployment.
     """
 
     SENDER = "QM.SENDER"
@@ -67,10 +76,16 @@ class Testbed:
         seed: int = 0,
         journaled: bool = False,
         notify_success: bool = False,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.clock = SimulatedClock()
         self.scheduler = EventScheduler(self.clock)
-        self.network = MessageNetwork(scheduler=self.scheduler, seed=seed)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
+        self.network = MessageNetwork(
+            scheduler=self.scheduler, seed=seed, tracer=self.tracer
+        )
         self.journals: Dict[str, Journal] = {}
         self.sender_manager = self._make_manager(self.SENDER, journaled)
         self.network.add_manager(self.sender_manager)
@@ -106,7 +121,13 @@ class Testbed:
         journal: Optional[Journal] = MemoryJournal() if journaled else None
         if journal is not None:
             self.journals[name] = journal
-        return QueueManager(name, self.clock, journal=journal)
+        return QueueManager(
+            name,
+            self.clock,
+            journal=journal,
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
 
     # -- conveniences ------------------------------------------------------------
 

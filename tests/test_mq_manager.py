@@ -8,8 +8,10 @@ from repro.errors import (
     QueueExistsError,
     QueueNotFoundError,
 )
+from repro.mq import reports
 from repro.mq.manager import DEAD_LETTER_QUEUE, QueueManager
 from repro.mq.message import DeliveryMode, Message
+from repro.mq.persistence import MemoryJournal
 
 
 class TestQueueAdministration:
@@ -131,3 +133,121 @@ class TestBackoutThreshold:
             assert manager.get("APP.Q", transaction=tx) is not None
             tx.rollback()
         assert manager.depth("APP.Q") == 1
+
+
+class TestDeadLetterDurability:
+    """Regression: dead-lettered persistent messages must survive a crash.
+
+    ``_dead_letter`` used to put straight onto the DLQ without journaling,
+    and ``checkpoint`` skipped the DLQ, so a poisoned persistent message
+    silently vanished on recovery.
+    """
+
+    def test_poisoned_persistent_message_survives_recovery(self, clock):
+        journal = MemoryJournal()
+        manager = QueueManager(
+            "QM.J", clock, journal=journal, backout_threshold=2
+        )
+        manager.define_queue("APP.Q")
+        manager.put("APP.Q", Message(body="poison"))
+        for _ in range(2):
+            tx = manager.begin()
+            manager.get("APP.Q", transaction=tx)
+            tx.rollback()
+        # The third attempt diverts the message to the DLQ.
+        tx = manager.begin()
+        assert manager.get_wait("APP.Q", transaction=tx) is None
+        tx.rollback()
+        assert manager.depth(DEAD_LETTER_QUEUE) == 1
+
+        # Crash: rebuild from the journal alone.
+        recovered = QueueManager.recover("QM.J", clock, journal)
+        assert manager is not recovered
+        dead = [m.body for m in recovered.browse(DEAD_LETTER_QUEUE)]
+        assert dead == ["poison"]
+        # ...and the message must not also resurrect on the source queue.
+        assert recovered.depth("APP.Q") == 0
+
+    def test_expired_persistent_message_survives_recovery(self, clock):
+        journal = MemoryJournal()
+        manager = QueueManager("QM.J", clock, journal=journal)
+        manager.define_queue("APP.Q")
+        manager.put("APP.Q", Message(body="stale", expiry_ms=50))
+        clock.set(51)
+        assert manager.get_wait("APP.Q") is None  # sweep dead-letters it
+        recovered = QueueManager.recover("QM.J", clock, journal)
+        assert [m.body for m in recovered.browse(DEAD_LETTER_QUEUE)] == ["stale"]
+        assert recovered.depth("APP.Q") == 0
+
+    def test_checkpoint_preserves_dead_letter_queue(self, clock):
+        journal = MemoryJournal()
+        manager = QueueManager(
+            "QM.J", clock, journal=journal, backout_threshold=1
+        )
+        manager.define_queue("APP.Q")
+        manager.put("APP.Q", Message(body="poison"))
+        tx = manager.begin()
+        manager.get("APP.Q", transaction=tx)
+        tx.rollback()
+        tx = manager.begin()
+        assert manager.get_wait("APP.Q", transaction=tx) is None
+        tx.rollback()
+        manager.checkpoint()  # compacts the log to a snapshot
+        recovered = QueueManager.recover("QM.J", clock, journal)
+        assert recovered.depth(DEAD_LETTER_QUEUE) == 1
+
+
+class TestSyncpointReports:
+    """Regression: COA for a syncpoint put fires exactly once, at commit.
+
+    ``apply_commit`` used to publish buffered local puts straight onto the
+    queue, skipping the arrival-report hook, so a COA requested on a
+    transactional put was never generated.
+    """
+
+    @staticmethod
+    def _coa_message(body="hello"):
+        return reports.request_reports(
+            Message(body=body),
+            coa=True,
+            reply_to_manager="QM.TEST",
+            reply_to_queue="REPORTS.Q",
+        )
+
+    def test_coa_fires_once_at_commit(self, manager):
+        manager.define_queue("APP.Q")
+        manager.define_queue("REPORTS.Q")
+        message = self._coa_message()
+        tx = manager.begin()
+        manager.put("APP.Q", message, transaction=tx)
+        # Nothing is visible (and no report exists) before commit.
+        assert manager.depth("APP.Q") == 0
+        assert manager.depth("REPORTS.Q") == 0
+        tx.commit()
+        assert manager.depth("APP.Q") == 1
+        assert manager.depth("REPORTS.Q") == 1
+        report = reports.parse_report(manager.get("REPORTS.Q"))
+        assert report.kind == reports.KIND_COA
+        assert report.original_message_id == message.message_id
+        assert report.queue == "APP.Q"
+
+    def test_no_coa_on_rollback(self, manager):
+        manager.define_queue("APP.Q")
+        manager.define_queue("REPORTS.Q")
+        tx = manager.begin()
+        manager.put("APP.Q", self._coa_message(), transaction=tx)
+        tx.rollback()
+        assert manager.depth("APP.Q") == 0
+        assert manager.depth("REPORTS.Q") == 0
+
+    def test_transactional_and_plain_put_report_identically(self, manager):
+        manager.define_queue("APP.Q")
+        manager.define_queue("REPORTS.Q")
+        manager.put("APP.Q", self._coa_message("plain"))
+        tx = manager.begin()
+        manager.put("APP.Q", self._coa_message("tx"), transaction=tx)
+        tx.commit()
+        kinds = [
+            reports.parse_report(m).kind for m in manager.browse("REPORTS.Q")
+        ]
+        assert kinds == [reports.KIND_COA, reports.KIND_COA]

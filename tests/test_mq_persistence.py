@@ -186,8 +186,9 @@ class TestFileJournal:
             manager.put("A.Q", Message(body=i))
         manager.checkpoint()
         lines = [l for l in open(path, encoding="utf-8") if l.strip()]
-        # snapshot-begin + define + 10 puts + snapshot-end
-        assert len(lines) == 13
+        # snapshot-begin + defines for A.Q and the (empty) dead-letter
+        # queue + 10 puts + snapshot-end
+        assert len(lines) == 14
 
     def test_corrupt_line_raises(self, tmp_path):
         path = str(tmp_path / "bad.journal")

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.baseline",
     "repro.workloads",
     "repro.harness",
+    "repro.obs",
 ]
 
 

@@ -149,6 +149,22 @@ class TestMetrics:
         with pytest.raises(ValueError):
             percentile([], 50)
 
+    def test_percentile_is_linear_interpolation_not_nearest_rank(self):
+        """Pin the exact method: NumPy-default linear interpolation.
+
+        The rank is ``pct/100 * (n - 1)``; a fractional rank interpolates
+        between the two neighbouring order statistics.  Nearest-rank would
+        give 20.0 for the first case — this implementation must not.
+        """
+        assert percentile([10.0, 20.0, 30.0, 40.0], 25) == 17.5
+        assert percentile([10.0, 20.0, 30.0, 40.0], 75) == 32.5
+        assert percentile([1.0, 2.0, 3.0, 4.0, 5.0], 10) == 1.4
+        # Integer ranks hit the order statistic exactly (no interpolation).
+        assert percentile([10.0, 20.0, 30.0], 50) == 20.0
+        # p95 on 20 evenly spaced samples: rank 0.95 * 19 = 18.05.
+        samples = [float(i) for i in range(1, 21)]
+        assert percentile(samples, 95) == pytest.approx(19.05)
+
     def test_latency_stats(self):
         stats = LatencyStats.from_samples([10.0, 20.0, 30.0])
         assert stats.count == 3
