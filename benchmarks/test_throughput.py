@@ -1,0 +1,166 @@
+"""THROUGHPUT — group-commit journaling under conditional-send fan-out.
+
+The group-commit optimisation routes every journaled write of one
+conditional send — the staged compensations, the SLOG entry, and the
+per-destination transmission parking — through a single commit group, so
+one send costs one journal flush instead of one per record.  This bench
+quantifies that:
+
+* journal flushes per conditional send, group commit on vs. off, at
+  fan-out ``FAN_OUT`` (the acceptance bar is a >= 3x reduction);
+* end-to-end sustained throughput (msgs/sec of decided conditional
+  messages, wall clock) through the full lifecycle — send, delivery,
+  receipt acknowledgment, outcome decision — on a journaled testbed;
+* decision latency percentiles (virtual ms, send -> outcome).
+
+Results land in ``BENCH_throughput.json`` at the repo root (consumed by
+the CI benchmark-smoke step) and in the usual results table.  Set
+``BENCH_SHORT=1`` for a fast smoke run.
+"""
+
+import json
+import os
+import time
+
+from repro.core.builder import destination, destination_set
+from repro.harness.reporting import Table
+from repro.obs.registry import MetricsRegistry
+from repro.workloads.scenarios import Testbed
+
+FAN_OUT = 8
+SHORT = os.environ.get("BENCH_SHORT", "") not in ("", "0")
+N_MESSAGES = 25 if SHORT else 200
+RESULT_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_throughput.json")
+)
+
+RECEIVERS = [f"R{i}" for i in range(FAN_OUT)]
+
+
+def build_testbed(metrics=None):
+    return Testbed(
+        RECEIVERS,
+        latency_ms=5,
+        journaled=True,
+        metrics=metrics,
+    )
+
+
+def build_condition(testbed):
+    """All FAN_OUT receivers must pick the message up within a minute."""
+    return destination_set(
+        *[
+            destination(
+                testbed.queue_of(name), manager=f"QM.{name}", recipient=name
+            )
+            for name in RECEIVERS
+        ],
+        msg_pick_up_time=60_000,
+    )
+
+
+def flushes_per_send(group_commit):
+    """Journal flushes one conditional send costs on the sender."""
+    testbed = build_testbed()
+    testbed.service.group_commit = group_commit
+    condition = build_condition(testbed)
+    journal = testbed.journals[Testbed.SENDER]
+    n = 20
+    before = journal.flush_count
+    for i in range(n):
+        testbed.service.send_message({"n": i}, condition)
+    return (journal.flush_count - before) / n
+
+
+def run_lifecycle(n_messages):
+    """Send/deliver/ack/decide ``n_messages``; returns (metrics, elapsed_s)."""
+    metrics = MetricsRegistry()
+    testbed = build_testbed(metrics=metrics)
+    condition = build_condition(testbed)
+    started = time.perf_counter()
+    for i in range(n_messages):
+        testbed.service.send_message({"n": i}, condition)
+    # Deliver the fan-out (bounded virtual-time step: run_all would race
+    # past the pick-up deadline and cancel everything), then have every
+    # receiver drain its inbox — read_message sends the receipt
+    # acknowledgment, whose arrival at the sender (push-mode evaluation)
+    # decides the outcome.
+    testbed.run_until(testbed.clock.now_ms() + 1_000)
+    for name in RECEIVERS:
+        testbed.receiver(name).read_all(testbed.queue_of(name))
+    testbed.run_until(testbed.clock.now_ms() + 1_000)
+    elapsed = time.perf_counter() - started
+    return metrics, elapsed
+
+
+def test_throughput(report):
+    batched = flushes_per_send(group_commit=True)
+    unbatched = flushes_per_send(group_commit=False)
+    reduction = unbatched / batched if batched else float("inf")
+
+    metrics, elapsed = run_lifecycle(N_MESSAGES)
+    decided = metrics.counter("outcomes.success")
+    assert decided == N_MESSAGES
+    msgs_per_sec = decided / elapsed if elapsed else float("inf")
+    latency = metrics.histogram_stats("decision_latency_ms")
+    flushes = metrics.counter("journal.flushes")
+    records = metrics.counter("journal.records")
+    batch_sizes = metrics.histogram("journal.batch_records")
+
+    table = Table(
+        "THROUGHPUT: group-commit journaling at fan-out "
+        f"{FAN_OUT} ({N_MESSAGES} msgs)",
+        ["metric", "value"],
+    )
+    table.add_row(["flushes/send (group commit)", batched])
+    table.add_row(["flushes/send (per-record)", unbatched])
+    table.add_row(["flush reduction", reduction])
+    table.add_row(["lifecycle msgs/sec (wall)", msgs_per_sec])
+    table.add_row(["decision latency p50 (virtual ms)", latency.p50])
+    table.add_row(["decision latency p99 (virtual ms)", latency.p99])
+    table.add_row(["journal records/flush (lifecycle)", records / flushes])
+    report.emit(table)
+
+    payload = {
+        "fan_out": FAN_OUT,
+        "messages": N_MESSAGES,
+        "short": SHORT,
+        "flushes_per_send_batched": batched,
+        "flushes_per_send_unbatched": unbatched,
+        "flush_reduction": reduction,
+        "msgs_per_sec": msgs_per_sec,
+        "decision_latency_ms": {
+            "p50": latency.p50,
+            "p95": latency.p95,
+            "p99": latency.p99,
+        },
+        "journal": {
+            "flushes": flushes,
+            "records": records,
+            "bytes": metrics.counter("journal.bytes"),
+            "mean_batch_records": (
+                sum(batch_sizes) / len(batch_sizes) if batch_sizes else 0.0
+            ),
+        },
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+    # The acceptance bar: group commit cuts flushes per conditional send
+    # by at least 3x at fan-out 8 (measured: one commit group vs. one
+    # flush per compensation batch + SLOG entry + parked transmission).
+    assert reduction >= 3.0
+    assert batched <= unbatched
+
+
+def test_send_benchmark(benchmark):
+    """pytest-benchmark timing of a group-committed conditional send."""
+    testbed = build_testbed()
+    condition = build_condition(testbed)
+
+    def send():
+        testbed.service.send_message({"n": 1}, condition)
+
+    benchmark.pedantic(send, rounds=20 if SHORT else 50, iterations=2,
+                       warmup_rounds=2)

@@ -17,8 +17,9 @@ queue and interprets them accordingly."  The manager:
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.acks import Acknowledgment, ack_from_message
 from repro.core.conditions import Condition
@@ -79,6 +80,16 @@ class EvaluationManager:
         self.scheduler = scheduler
         self._on_decided = on_decided
         self._records: Dict[str, EvaluationRecord] = {}
+        #: maintained count of undecided records — pending_count() is O(1)
+        self._pending = 0
+        #: timeout wheel: min-heap of (evaluation deadline, cmid).  Between
+        #: acknowledgment arrivals a record's evaluation result can only
+        #: change when the clock crosses its evaluation deadline (the
+        #: satisfaction algorithm consults "now" exactly there), so polling
+        #: pops due deadlines instead of rescanning every in-flight record:
+        #: per tick O(log n) per decided record, O(1) when nothing is due.
+        #: Entries for already-decided records are skipped lazily.
+        self._timeout_wheel: List[Tuple[int, str]] = []
         self.stats = EvaluationStats()
         manager.ensure_queue(ack_queue)
         if push:
@@ -104,13 +115,26 @@ class EvaluationManager:
             send_time_ms=send_time_ms,
             evaluation_timeout_ms=evaluation_timeout_ms,
         )
+        if cmid in self._records and self._records[cmid].pending:
+            # Re-registration of a still-pending id (defensive): the old
+            # record is replaced, so it no longer counts as pending.
+            self._pending -= 1
         self._records[cmid] = record
-        if evaluation_timeout_ms is not None and self.scheduler is not None:
-            record.timeout_event = self.scheduler.call_at(
-                send_time_ms + evaluation_timeout_ms,
-                lambda: self._on_timeout(cmid),
-                label=f"eval-timeout {cmid}",
-            )
+        self._pending += 1
+        if evaluation_timeout_ms is not None:
+            deadline = send_time_ms + evaluation_timeout_ms
+            if self.scheduler is not None:
+                record.timeout_event = self.scheduler.call_at(
+                    deadline,
+                    lambda: self._on_timeout(cmid),
+                    label=f"eval-timeout {cmid}",
+                )
+            # The wheel backs poll() in scheduler-less deployments; keeping
+            # it maintained in both modes costs two machine words per
+            # record and keeps poll() correct even when a scheduler exists
+            # but is not being driven.
+            heapq.heappush(self._timeout_wheel, (deadline, cmid))
+            self._compact_wheel_if_bloated()
         self.evaluate(cmid)
         return record
 
@@ -122,8 +146,8 @@ class EvaluationManager:
             raise UnknownConditionalMessageError(cmid) from None
 
     def pending_count(self) -> int:
-        """Number of messages still awaiting an outcome."""
-        return sum(1 for r in self._records.values() if r.pending)
+        """Number of messages still awaiting an outcome (O(1), maintained)."""
+        return self._pending
 
     # -- ack intake -----------------------------------------------------------------
 
@@ -190,19 +214,34 @@ class EvaluationManager:
         return result.state
 
     def poll(self) -> int:
-        """Evaluate every pending record against the current clock.
+        """Decide every record whose evaluation deadline has passed.
 
         Needed in scheduler-less (synchronous) deployments, where no event
         fires at the evaluation timeout; returns how many records were
         decided by this poll.
+
+        Cost is O(log n) per due record popped from the timeout wheel and
+        O(1) when nothing is due — not a rescan of every in-flight record.
+        That is equivalent to the old full scan: between acknowledgment
+        arrivals (each of which triggers :meth:`evaluate` directly), the
+        satisfaction algorithm's result only depends on the clock through
+        the ``now >= send_time + evaluation_timeout`` finality rule, so a
+        record with no due evaluation deadline cannot change state here.
         """
+        now = self.manager.clock.now_ms()
+        wheel = self._timeout_wheel
         decided = 0
-        for cmid in list(self._records):
-            record = self._records[cmid]
-            if record.pending:
-                self.evaluate(cmid)
-                if not record.pending:
-                    decided += 1
+        while wheel and wheel[0][0] <= now:
+            _deadline, cmid = heapq.heappop(wheel)
+            record = self._records.get(cmid)
+            if record is None or not record.pending:
+                continue  # decided earlier (ack/force/scheduler) — stale entry
+            self.evaluate(cmid)
+            # At or past its evaluation deadline the satisfaction
+            # algorithm always resolves PENDING, so the record is decided
+            # now; nothing is ever re-queued.
+            if not record.pending:
+                decided += 1
         return decided
 
     def force_decide(
@@ -224,6 +263,27 @@ class EvaluationManager:
         )
         self._decide(record, state, [reason])
         return record.decided
+
+    def _compact_wheel_if_bloated(self) -> None:
+        """Drop stale wheel entries when they dominate the heap.
+
+        Records decided by acknowledgments leave their wheel entry behind
+        (lazy deletion); a long-running sender would otherwise accumulate
+        one stale tuple per decided message.  Rebuilding when stale
+        entries outnumber live ones 4:1 keeps the wheel O(pending) sized
+        at amortized O(1) cost per registration.
+        """
+        wheel = self._timeout_wheel
+        if len(wheel) <= 64 or len(wheel) <= 4 * self._pending:
+            return
+        live = [
+            entry
+            for entry in wheel
+            if (record := self._records.get(entry[1])) is not None
+            and record.pending
+        ]
+        heapq.heapify(live)
+        self._timeout_wheel = live
 
     def _on_timeout(self, cmid: str) -> None:
         record = self._records.get(cmid)
@@ -247,6 +307,7 @@ class EvaluationManager:
             acks_received=len(record.acks),
             reasons=list(reasons),
         )
+        self._pending -= 1
         if record.timeout_event is not None:
             record.timeout_event.cancel()
             record.timeout_event = None

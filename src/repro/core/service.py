@@ -20,6 +20,7 @@ queue manager for unconditional traffic.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
@@ -72,6 +73,11 @@ class ConditionalMessagingService:
             the system "can" send them).
         evaluation_grace_ms: Slack added to the largest condition deadline
             to form the default evaluation timeout.
+        group_commit: Batch every journal record a conditional send
+            produces (sender-log entry, staged compensations, transmission
+            parking of the data messages) into one group-committed flush,
+            so a send at fan-out N costs one flush instead of ``2N+1``.
+            On by default; disable for the per-record ablation baseline.
 
     Observability (tracer and metrics registry, :mod:`repro.obs`) is
     inherited from ``manager`` — give the queue manager a
@@ -90,11 +96,13 @@ class ConditionalMessagingService:
         comp_queue: str = COMPENSATION_QUEUE,
         outcome_queue: str = OUTCOME_QUEUE,
         push_evaluation: bool = True,
+        group_commit: bool = True,
     ) -> None:
         self.manager = manager
         self.scheduler = scheduler
         self.notify_success = notify_success
         self.evaluation_grace_ms = evaluation_grace_ms
+        self.group_commit = group_commit
         self.ack_queue = ack_queue
         self.slog_queue = slog_queue
         self.outcome_queue = outcome_queue
@@ -156,9 +164,6 @@ class ConditionalMessagingService:
 
         timeout = self._effective_timeout(condition, evaluation_timeout_ms)
 
-        # Durability order matters: compensation and log first, so a crash
-        # after any destination received the original can always compensate.
-        self.compensation.stage(generated.compensations)
         log_entry = SenderLogEntry(
             cmid=cmid,
             send_time_ms=send_time,
@@ -169,10 +174,27 @@ class ConditionalMessagingService:
             evaluation_timeout_ms=timeout,
             has_compensation=stage_compensation,
         )
-        self.manager.put(self.slog_queue, log_entry.to_message())
 
-        for manager_name, queue_name, message in generated.outgoing:
-            self.manager.put_remote(manager_name, queue_name, message)
+        # Durability order matters: compensation and log first, so a crash
+        # after any destination received the original can always compensate.
+        # Every journal record the fan-out produces — compensation staging,
+        # the sender-log entry, and the transmission-queue parking of the
+        # data messages — lands in ONE group-committed flush (Gray's group
+        # commit) instead of one flush per record.
+        with self._durability_scope():
+            self.compensation.stage(generated.compensations)
+            self.manager.put(self.slog_queue, log_entry.to_message())
+            for manager_name, queue_name, batch in generated.outgoing_by_target():
+                if (
+                    manager_name == self.manager.name
+                    and self.manager.has_queue(queue_name)
+                ):
+                    # Local fan-out (e.g. multi-copy shared-queue leaves):
+                    # one sorted splice and one journal record group.
+                    self.manager.put_many(queue_name, batch)
+                else:
+                    for message in batch:
+                        self.manager.put_remote(manager_name, queue_name, message)
 
         self._conditions[cmid] = condition
         self._send_times[cmid] = send_time
@@ -249,12 +271,13 @@ class ConditionalMessagingService:
         return resumed
 
     def _on_decided(self, record: OutcomeRecord) -> None:
-        # The informational outcome notification always lands on
-        # DS.OUTCOME.Q as soon as evaluation completes (section 2.5).
-        self.manager.put(self.outcome_queue, record.to_message())
-        # The recovery-log entry has served its purpose (see
-        # recover_from_log); drop it so the log tracks in-flight messages.
-        self._remove_log_entry(record.cmid)
+        with self._durability_scope():
+            # The informational outcome notification always lands on
+            # DS.OUTCOME.Q as soon as evaluation completes (section 2.5).
+            self.manager.put(self.outcome_queue, record.to_message())
+            # The recovery-log entry has served its purpose (see
+            # recover_from_log); drop it so the log tracks in-flight messages.
+            self._remove_log_entry(record.cmid)
         deferral = self._deferrals.pop(record.cmid, None)
         if deferral is not None:
             # Part of a Dependency-Sphere: outcome actions wait for the
@@ -309,6 +332,16 @@ class ConditionalMessagingService:
         return len(notifications)
 
     # -- internals -------------------------------------------------------------------
+
+    def _durability_scope(self):
+        """One group-committed journal flush for the enclosed operations.
+
+        A plain no-op scope when group commit is disabled (the per-record
+        ablation baseline) — every journal record then pays its own flush.
+        """
+        if not self.group_commit:
+            return nullcontext(self.manager)
+        return self.manager.group_commit()
 
     def _remove_log_entry(self, cmid: str) -> None:
         # A destructive selector get journals the removal like any consume.

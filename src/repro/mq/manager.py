@@ -22,7 +22,8 @@ Responsibilities:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List, Optional
+from contextlib import contextmanager, nullcontext
+from typing import Callable, ContextManager, Dict, Iterable, Iterator, List, Optional
 
 from repro.errors import (
     EmptyQueueError,
@@ -93,6 +94,11 @@ class QueueManager:
         self.backout_threshold = backout_threshold
         self.tracer = tracer
         self.metrics = metrics
+        if journal is not None and metrics is not None and journal.metrics is None:
+            # The journal reports flush/byte/batch-size metrics through the
+            # owning manager's registry.
+            journal.metrics = metrics
+        self._compacting = False
         self._queues: Dict[str, MessageQueue] = {}
         #: local alias -> (remote manager, remote queue) — MQ "remote
         #: queue definitions"
@@ -208,6 +214,66 @@ class QueueManager:
             return message
         return self._deliver_local(queue_name, message)
 
+    def put_many(
+        self,
+        queue_name: str,
+        messages: Iterable[Message],
+        transaction: Optional[MQTransaction] = None,
+    ) -> List[Message]:
+        """Put a batch of messages on one queue with one journal flush.
+
+        The whole batch is stored with a single sorted splice
+        (:meth:`MessageQueue.put_many`) and its persistent members are
+        journaled as one group-committed write (:meth:`Journal.log_put_many`),
+        so a fan-out of N costs one flush instead of N.  Semantics per
+        message are identical to :meth:`put` (reports, traces, metrics);
+        batches to a remote queue definition route message-by-message.
+        """
+        messages = list(messages)
+        remote = self._remote_definitions.get(queue_name)
+        if remote is not None:
+            for message in messages:
+                self.put_remote(remote[0], remote[1], message, transaction=transaction)
+            return messages
+        self.queue(queue_name)  # raises QueueNotFoundError early
+        if transaction is not None:
+            for message in messages:
+                transaction.record_put(queue_name, message)
+            return messages
+        stored_batch = self.queue(queue_name).put_many(messages)
+        if self.journal is not None:
+            persistent = [
+                (queue_name, stored)
+                for stored in stored_batch
+                if stored.is_persistent()
+            ]
+            if persistent:
+                self.journal.log_put_many(persistent)
+        for stored in stored_batch:
+            self._after_deliver(queue_name, stored)
+        if self.metrics is not None:
+            self.metrics.incr(f"puts.{self.name}", len(stored_batch))
+        self._maybe_autocompact()
+        return stored_batch
+
+    def group_commit(self) -> "ContextManager":
+        """Batch every journal record written inside the block into one flush.
+
+        Used by the conditional messaging service to make a whole
+        conditional send (data messages parked on transmission queues,
+        staged compensations, the sender-log entry) cost a single journal
+        flush.  A volatile manager returns a no-op context.
+        """
+        if self.journal is None:
+            return nullcontext(self)
+        return self._group_commit_then_compact()
+
+    @contextmanager
+    def _group_commit_then_compact(self) -> Iterator["QueueManager"]:
+        with self.journal.batch():
+            yield self
+        self._maybe_autocompact()
+
     def _deliver_local(self, queue_name: str, message: Message) -> Message:
         """Store a committed put: journal, arrival report, trace.
 
@@ -217,9 +283,15 @@ class QueueManager:
         stored = self.queue(queue_name).put(message)
         if self.journal is not None and stored.is_persistent():
             self.journal.log_put(queue_name, stored)
-        self._maybe_report_arrival(queue_name, stored)
+        self._after_deliver(queue_name, stored)
         if self.metrics is not None:
             self.metrics.incr(f"puts.{self.name}")
+        self._maybe_autocompact()
+        return stored
+
+    def _after_deliver(self, queue_name: str, stored: Message) -> None:
+        """Post-storage effects of one committed put: report and trace."""
+        self._maybe_report_arrival(queue_name, stored)
         # Transit parking is traced as ``xmit`` by the network layer.
         if self.tracer.enabled and not queue_name.startswith(XMIT_PREFIX):
             self.tracer.emit(
@@ -231,7 +303,6 @@ class QueueManager:
                 message_id=stored.message_id,
                 persistent=stored.is_persistent(),
             )
-        return stored
 
     def put_remote(
         self,
@@ -300,6 +371,7 @@ class QueueManager:
         else:
             if self.journal is not None and message.is_persistent():
                 self.journal.log_get(queue_name, message.message_id)
+                self._maybe_autocompact()
             self._maybe_report_delivery(queue_name, message)
         if self.metrics is not None:
             self.metrics.incr(f"gets.{self.name}")
@@ -346,7 +418,15 @@ class QueueManager:
         return MQTransaction(self)
 
     def apply_commit(self, transaction: MQTransaction) -> None:
-        """Apply a transaction's effects (called by ``MQTransaction.commit``)."""
+        """Apply a transaction's effects (called by ``MQTransaction.commit``).
+
+        All journal records of the unit of work (gets of consumed
+        messages, puts becoming visible) are group-committed as one flush.
+        """
+        with self.group_commit():
+            self._apply_commit_effects(transaction)
+
+    def _apply_commit_effects(self, transaction: MQTransaction) -> None:
         # 1. Destroy transactionally read messages and journal their removal.
         for queue_name in transaction.locked_queues():
             queue = self.queue(queue_name)
@@ -443,10 +523,30 @@ class QueueManager:
         # Re-attach the journal only after restore so recovery itself is
         # not re-journaled; then checkpoint to compact the log.
         manager.journal = journal
+        if metrics is not None and journal.metrics is None:
+            journal.metrics = metrics
         manager.checkpoint()
         return manager
 
     # -- internals --------------------------------------------------------------------
+
+    def _maybe_autocompact(self) -> None:
+        """Checkpoint when the journal outgrew its compaction threshold.
+
+        Called after journaled mutations; re-entrancy guarded because the
+        checkpoint itself runs through journal machinery.  Compaction is
+        skipped inside a group-commit batch (``needs_compaction`` is false
+        while batching) so a snapshot never interleaves with a half-built
+        commit group.
+        """
+        journal = self.journal
+        if journal is None or self._compacting or not journal.needs_compaction():
+            return
+        self._compacting = True
+        try:
+            self.checkpoint()
+        finally:
+            self._compacting = False
 
     def attach_network(
         self, remote_put_handler: Callable[[str, str, Message], None]

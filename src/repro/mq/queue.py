@@ -145,6 +145,44 @@ class MessageQueue:
             listener(stored)
         return stored
 
+    def put_many(self, messages: List[Message]) -> List[Message]:
+        """Append a batch of messages with one sorted splice.
+
+        All-or-nothing against ``max_depth``: either the whole batch fits
+        or :class:`QueueFullError` is raised and nothing is stored.  The
+        expiry sweep, ordering maintenance, and depth-gauge update run
+        once for the batch instead of once per message; put listeners
+        still fire per stored message, after the whole batch is in place.
+        """
+        self._sweep_expired()
+        messages = list(messages)
+        if len(self._entries) + len(messages) > self._max_depth:
+            raise QueueFullError(self.name, self._max_depth)
+        if not messages:
+            return []
+        now = self._clock.now_ms()
+        new_entries = [
+            _Entry(sort_key=(-m.priority, next(self._seq)), message=m.copy(put_time_ms=now))
+            for m in messages
+        ]
+        new_entries.sort()
+        if not self._entries or self._entries[-1].sort_key <= new_entries[0].sort_key:
+            self._entries.extend(new_entries)
+        else:
+            # Two sorted runs; timsort merges them in linear time.
+            self._entries.extend(new_entries)
+            self._entries.sort()
+        self.stats.puts += len(new_entries)
+        self.stats.high_water_depth = max(
+            self.stats.high_water_depth, len(self._entries)
+        )
+        self._note_depth()
+        stored_batch = [entry.message for entry in new_entries]
+        for stored in stored_batch:
+            for listener in self._put_listeners:
+                listener(stored)
+        return stored_batch
+
     # -- get -------------------------------------------------------------------
 
     def get(

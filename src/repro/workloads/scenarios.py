@@ -55,6 +55,10 @@ class Testbed:
             logical name.
         journaled: Give every queue manager a memory journal (enables
             crash/recovery experiments at some bookkeeping cost).
+        journal_sync: Sync policy for those journals (``"always"`` /
+            ``"batch"`` / ``"none"``); commit-group accounting is the
+            same under every policy, so benchmarks can compare flush
+            counts without touching a disk.
         tracer: A lifecycle tracer (e.g. a
             :class:`~repro.obs.trace.FlightRecorder`) wired through every
             queue manager and the network, so one recorder sees the full
@@ -75,6 +79,7 @@ class Testbed:
         loss_rate: float = 0.0,
         seed: int = 0,
         journaled: bool = False,
+        journal_sync: str = "always",
         notify_success: bool = False,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
@@ -87,6 +92,7 @@ class Testbed:
             scheduler=self.scheduler, seed=seed, tracer=self.tracer
         )
         self.journals: Dict[str, Journal] = {}
+        self.journal_sync = journal_sync
         self.sender_manager = self._make_manager(self.SENDER, journaled)
         self.network.add_manager(self.sender_manager)
         self.service = ConditionalMessagingService(
@@ -118,7 +124,9 @@ class Testbed:
             )
 
     def _make_manager(self, name: str, journaled: bool) -> QueueManager:
-        journal: Optional[Journal] = MemoryJournal() if journaled else None
+        journal: Optional[Journal] = (
+            MemoryJournal(sync=self.journal_sync) if journaled else None
+        )
         if journal is not None:
             self.journals[name] = journal
         return QueueManager(

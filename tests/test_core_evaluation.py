@@ -153,6 +153,119 @@ class TestForceDecide:
         assert evaluation.record("CM-1").decided.outcome is MessageOutcome.SUCCESS
 
 
+class TestPendingCount:
+    """The maintained pending counter must track every decision path."""
+
+    def test_counts_registrations(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        assert evaluation.pending_count() == 0
+        evaluation.register("CM-1", simple_condition(), 0, 200)
+        evaluation.register("CM-2", simple_condition(), 0, 200)
+        assert evaluation.pending_count() == 2
+
+    def test_trivial_registration_never_counts(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", destination_set(destination("Q.A")), 0, None)
+        assert evaluation.pending_count() == 0
+
+    def test_ack_decision_decrements(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(), 0, 200)
+        manager.put(ACK_QUEUE, ack_to_message(ack("CM-1", 10)))
+        assert evaluation.pending_count() == 0
+
+    def test_timeout_decision_decrements(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(100), 0, 150)
+        scheduler.run_until(150)
+        assert len(decided) == 1
+        assert evaluation.pending_count() == 0
+
+    def test_poll_decision_decrements(self, clock):
+        manager = QueueManager("QM.S", clock)
+        evaluation = EvaluationManager(
+            manager, ACK_QUEUE, on_decided=lambda _r: None, scheduler=None
+        )
+        for i in range(5):
+            evaluation.register(f"CM-{i}", simple_condition(100), 0, 150)
+        assert evaluation.pending_count() == 5
+        clock.advance(200)
+        assert evaluation.poll() == 5
+        assert evaluation.pending_count() == 0
+        # A second poll finds nothing due and decides nothing.
+        assert evaluation.poll() == 0
+
+    def test_force_decide_decrements_once(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(), 0, 1_000)
+        evaluation.force_decide("CM-1", MessageOutcome.FAILURE, "abort")
+        assert evaluation.pending_count() == 0
+        # Forcing again is a no-op and must not go negative.
+        evaluation.force_decide("CM-1", MessageOutcome.FAILURE, "abort")
+        assert evaluation.pending_count() == 0
+
+    def test_reregistration_does_not_double_count(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(), 0, 200)
+        evaluation.register("CM-1", simple_condition(), 0, 300)
+        assert evaluation.pending_count() == 1
+
+    def test_mixed_lifecycle(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        for i in range(4):
+            evaluation.register(f"CM-{i}", simple_condition(100), 0, 150)
+        manager.put(ACK_QUEUE, ack_to_message(ack("CM-0", 10)))
+        evaluation.force_decide("CM-1", MessageOutcome.FAILURE, "abort")
+        assert evaluation.pending_count() == 2
+        scheduler.run_all()  # CM-2 and CM-3 time out
+        assert evaluation.pending_count() == 0
+        assert len(decided) == 4
+
+
+class TestTimeoutWheel:
+    def test_stale_entries_skipped_without_recount(self, clock):
+        manager = QueueManager("QM.S", clock)
+        evaluation = EvaluationManager(
+            manager, ACK_QUEUE, on_decided=lambda _r: None, scheduler=None
+        )
+        for i in range(10):
+            evaluation.register(f"CM-{i}", simple_condition(100), 0, 150)
+        # Decide half by acknowledgment; their wheel entries go stale.
+        for i in range(5):
+            manager.put(ACK_QUEUE, ack_to_message(ack(f"CM-{i}", 10)))
+        evaluation.pump()
+        clock.advance(200)
+        assert evaluation.poll() == 5  # only the still-pending half
+        assert evaluation.pending_count() == 0
+
+    def test_wheel_compaction_drops_stale_entries(self, clock):
+        manager = QueueManager("QM.S", clock)
+        evaluation = EvaluationManager(
+            manager, ACK_QUEUE, on_decided=lambda _r: None, scheduler=None
+        )
+        # Decide many messages by acknowledgment, leaving stale wheel
+        # entries behind; registration-time compaction must bound the
+        # wheel to O(pending), not O(ever-registered).
+        for i in range(500):
+            evaluation.register(f"CM-{i}", simple_condition(1_000), 0, 2_000)
+            manager.put(ACK_QUEUE, ack_to_message(ack(f"CM-{i}", 1)))
+            evaluation.pump()
+        assert evaluation.pending_count() == 0
+        assert len(evaluation._timeout_wheel) <= 65
+
+    def test_poll_is_noop_before_any_deadline(self, clock):
+        manager = QueueManager("QM.S", clock)
+        evaluation = EvaluationManager(
+            manager, ACK_QUEUE, on_decided=lambda _r: None, scheduler=None
+        )
+        for i in range(10):
+            evaluation.register(f"CM-{i}", simple_condition(100), 0, 150)
+        clock.advance(100)
+        assert evaluation.poll() == 0
+        assert evaluation.pending_count() == 10
+        assert len(evaluation._timeout_wheel) == 10  # nothing popped
+
+
 class TestStats:
     def test_counters(self, env):
         clock, scheduler, manager, evaluation, decided = env

@@ -1,0 +1,391 @@
+"""Group-commit journaling, batch puts, and crash-recovery equivalence.
+
+The optimisation under test: ``Journal.append_many`` / ``Journal.batch``
+turn many journal records into one commit group (one write+flush), and
+``QueueManager.put_many`` stores a fan-out batch with one sorted splice
+and one group-committed journal write.  None of that may change what a
+crash recovers — the recovery-equivalence tests drive randomized
+put/get interleavings through both journaling modes and demand identical
+recovered state.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import QueueFullError, PersistenceError
+from repro.mq.manager import QueueManager
+from repro.mq.message import DeliveryMode, Message
+from repro.mq.persistence import FileJournal, MemoryJournal
+from repro.obs.registry import MetricsRegistry
+from repro.sim.clock import SimulatedClock
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+class TestJournalBatching:
+    def test_append_many_is_one_flush(self):
+        journal = MemoryJournal()
+        journal.append_many(
+            [{"op": "define", "queue": f"Q.{i}", "config": {}} for i in range(5)]
+        )
+        assert journal.flush_count == 1
+        assert journal.records_written == 5
+        assert len(journal.read_all()) == 5
+
+    def test_batch_context_groups_appends(self):
+        journal = MemoryJournal()
+        with journal.batch():
+            for i in range(4):
+                journal.append({"op": "define", "queue": f"Q.{i}", "config": {}})
+            assert journal.flush_count == 0  # buffered, not yet committed
+        assert journal.flush_count == 1
+        assert journal.records_written == 4
+
+    def test_nested_batches_commit_once_at_outermost_exit(self):
+        journal = MemoryJournal()
+        with journal.batch():
+            journal.append({"op": "define", "queue": "Q.A", "config": {}})
+            with journal.batch():
+                journal.append({"op": "define", "queue": "Q.B", "config": {}})
+            assert journal.flush_count == 0
+        assert journal.flush_count == 1
+        assert [r["queue"] for r in journal.read_all()] == ["Q.A", "Q.B"]
+
+    def test_batch_flushes_buffered_records_on_exception(self):
+        # Queue state mutates before journaling, so records staged before
+        # the failure must still reach the log.
+        journal = MemoryJournal()
+        with pytest.raises(RuntimeError):
+            with journal.batch():
+                journal.append({"op": "define", "queue": "Q.A", "config": {}})
+                raise RuntimeError("boom")
+        assert journal.flush_count == 1
+        assert [r["queue"] for r in journal.read_all()] == ["Q.A"]
+
+    def test_empty_batch_writes_nothing(self):
+        journal = MemoryJournal()
+        with journal.batch():
+            pass
+        assert journal.flush_count == 0
+
+    def test_file_journal_append_many_is_one_flush(self, tmp_path):
+        journal = FileJournal(str(tmp_path / "j.journal"))
+        journal.append_many(
+            [{"op": "define", "queue": f"Q.{i}", "config": {}} for i in range(5)]
+        )
+        assert journal.flush_count == 1
+        assert len(FileJournal(str(tmp_path / "j.journal")).read_all()) == 5
+
+    def test_invalid_sync_policy_rejected(self):
+        with pytest.raises(PersistenceError):
+            MemoryJournal(sync="sometimes")
+
+    @pytest.mark.parametrize("sync", ["always", "batch", "none"])
+    def test_sync_policies_recover_identically(self, sync, tmp_path):
+        path = str(tmp_path / f"{sync}.journal")
+        journal = FileJournal(path, sync=sync)
+        with journal.batch():
+            for i in range(3):
+                journal.append({"op": "define", "queue": f"Q.{i}", "config": {}})
+        journal.sync()
+        reread = FileJournal(path)
+        assert [r["queue"] for r in reread.read_all()] == ["Q.0", "Q.1", "Q.2"]
+
+    def test_metrics_reported(self):
+        metrics = MetricsRegistry()
+        journal = MemoryJournal()
+        journal.metrics = metrics
+        journal.append_many(
+            [{"op": "define", "queue": f"Q.{i}", "config": {}} for i in range(3)]
+        )
+        assert metrics.counter("journal.flushes") == 1
+        assert metrics.counter("journal.records") == 3
+        assert metrics.counter("journal.bytes") > 0
+        assert metrics.histogram("journal.batch_records") == [3.0]
+
+
+class TestQueuePutMany:
+    def make_manager(self, clock, journal=None):
+        manager = QueueManager("QM.B", clock, journal=journal)
+        manager.define_queue("A.Q")
+        return manager
+
+    def test_order_matches_sequential_puts(self, clock):
+        batcher = self.make_manager(clock)
+        looper = self.make_manager(clock)
+        bodies = [("m", 4), ("hi", 9), ("lo", 0), ("m2", 4), ("hi2", 9)]
+        batcher.put_many(
+            "A.Q", [Message(body=b, priority=p) for b, p in bodies]
+        )
+        for b, p in bodies:
+            looper.put("A.Q", Message(body=b, priority=p))
+        assert [m.body for m in batcher.browse("A.Q")] == [
+            m.body for m in looper.browse("A.Q")
+        ]
+
+    def test_priority_and_fifo_within_priority(self, clock):
+        manager = self.make_manager(clock)
+        manager.put("A.Q", Message(body="old-high", priority=7))
+        manager.put_many(
+            "A.Q",
+            [
+                Message(body="new-low", priority=1),
+                Message(body="new-high", priority=7),
+            ],
+        )
+        assert [m.body for m in manager.browse("A.Q")] == [
+            "old-high", "new-high", "new-low",
+        ]
+
+    def test_all_or_nothing_on_full_queue(self, clock):
+        manager = QueueManager("QM.B", clock)
+        manager.define_queue("A.Q", max_depth=3)
+        manager.put("A.Q", Message(body="seed"))
+        with pytest.raises(QueueFullError):
+            manager.put_many("A.Q", [Message(body=i) for i in range(3)])
+        assert manager.depth("A.Q") == 1  # nothing from the batch landed
+
+    def test_batch_journaled_with_one_flush_and_recovers(self, clock):
+        journal = MemoryJournal()
+        manager = self.make_manager(clock, journal)
+        before = journal.flush_count
+        manager.put_many("A.Q", [Message(body=i) for i in range(6)])
+        assert journal.flush_count == before + 1
+        recovered = QueueManager.recover("QM.B", clock, journal)
+        assert [m.body for m in recovered.browse("A.Q")] == list(range(6))
+
+    def test_non_persistent_members_not_journaled(self, clock):
+        journal = MemoryJournal()
+        manager = self.make_manager(clock, journal)
+        manager.put_many(
+            "A.Q",
+            [
+                Message(body="keep"),
+                Message(body="drop", delivery_mode=DeliveryMode.NON_PERSISTENT),
+            ],
+        )
+        recovered = QueueManager.recover("QM.B", clock, journal)
+        assert [m.body for m in recovered.browse("A.Q")] == ["keep"]
+
+    def test_transactional_put_many_defers_to_commit(self, clock):
+        journal = MemoryJournal()
+        manager = self.make_manager(clock, journal)
+        tx = manager.begin()
+        manager.put_many("A.Q", [Message(body=i) for i in range(3)], transaction=tx)
+        assert manager.depth("A.Q") == 0
+        tx.commit()
+        assert [m.body for m in manager.browse("A.Q")] == [0, 1, 2]
+        recovered = QueueManager.recover("QM.B", clock, journal)
+        assert [m.body for m in recovered.browse("A.Q")] == [0, 1, 2]
+
+    def test_group_commit_scope_is_one_flush(self, clock):
+        journal = MemoryJournal()
+        manager = self.make_manager(clock, journal)
+        manager.define_queue("B.Q")
+        before = journal.flush_count
+        with manager.group_commit():
+            manager.put("A.Q", Message(body="a"))
+            manager.put("B.Q", Message(body="b"))
+            manager.put_many("A.Q", [Message(body=i) for i in range(3)])
+        assert journal.flush_count == before + 1
+        recovered = QueueManager.recover("QM.B", clock, journal)
+        assert len(list(recovered.browse("A.Q"))) == 4
+        assert len(list(recovered.browse("B.Q"))) == 1
+
+    def test_group_commit_noop_without_journal(self, clock):
+        manager = QueueManager("QM.V", clock)
+        manager.define_queue("A.Q")
+        with manager.group_commit():
+            manager.put("A.Q", Message(body="x"))
+        assert manager.depth("A.Q") == 1
+
+
+class TestConditionalSendGroupCommit:
+    def build_service(self, clock, fan_out, group_commit):
+        from repro.core.builder import destination, destination_set
+        from repro.core.service import ConditionalMessagingService
+        from repro.mq.network import MessageNetwork
+
+        journal = MemoryJournal()
+        network = MessageNetwork(scheduler=None)
+        sender = network.add_manager(
+            QueueManager("QM.S", clock, journal=journal)
+        )
+        for i in range(fan_out):
+            receiver = network.add_manager(QueueManager(f"QM.{i}", clock))
+            receiver.define_queue(f"Q.{i}")
+            network.connect("QM.S", f"QM.{i}")
+        condition = destination_set(
+            *[
+                destination(f"Q.{i}", manager=f"QM.{i}", recipient=f"R{i}")
+                for i in range(fan_out)
+            ],
+            msg_pick_up_time=60_000,
+        )
+        service = ConditionalMessagingService(sender, group_commit=group_commit)
+        return journal, service, condition
+
+    def test_send_fanout_costs_one_flush(self, clock):
+        journal, service, condition = self.build_service(
+            clock, fan_out=4, group_commit=True
+        )
+        before = journal.flush_count
+        service.send_message({"n": 1}, condition)
+        assert journal.flush_count == before + 1
+
+    def test_group_commit_off_costs_per_record_flushes(self, clock):
+        journal, service, condition = self.build_service(
+            clock, fan_out=4, group_commit=False
+        )
+        service.send_message({"n": 0}, condition)  # defines the XMIT queues
+        before = journal.flush_count
+        service.send_message({"n": 1}, condition)
+        # compensation batch (1) + SLOG entry (1) + one parked
+        # transmission per destination (4)
+        assert journal.flush_count - before == 6
+
+    def test_grouped_send_recovers_everything(self, clock):
+        journal, service, condition = self.build_service(
+            clock, fan_out=3, group_commit=True
+        )
+        cmid = service.send_message({"n": 1}, condition)
+        recovered = QueueManager.recover("QM.S", clock, journal)
+        slog = list(recovered.browse(service.slog_queue))
+        comps = list(recovered.browse(service.compensation.comp_queue))
+        assert [m.correlation_id for m in slog] == [cmid]
+        assert len(comps) == 3
+        # All three data messages are parked durably for transmission.
+        parked = [
+            q for q in recovered.queue_names() if q.startswith("SYSTEM.XMIT.")
+        ]
+        assert sum(recovered.depth(q) for q in parked) == 3
+
+
+class TestAutoCompaction:
+    def test_threshold_triggers_checkpoint(self, clock):
+        journal = MemoryJournal(compaction_threshold=20)
+        manager = QueueManager("QM.C", clock, journal=journal)
+        manager.define_queue("A.Q")
+        for i in range(40):
+            manager.put("A.Q", Message(body=i))
+            manager.get("A.Q")
+        assert journal.rewrites >= 1
+        # The live log never grows far past the threshold.
+        assert journal.size() <= 20 + 5
+        recovered = QueueManager.recover("QM.C", clock, journal)
+        assert list(recovered.browse("A.Q")) == []
+
+    def test_no_compaction_inside_group_commit(self, clock):
+        journal = MemoryJournal(compaction_threshold=5)
+        manager = QueueManager("QM.C", clock, journal=journal)
+        manager.define_queue("A.Q")
+        with manager.group_commit():
+            for i in range(30):
+                manager.put("A.Q", Message(body=i))
+            assert journal.rewrites == 0  # deferred past the commit group
+        assert journal.rewrites == 1
+        recovered = QueueManager.recover("QM.C", clock, journal)
+        assert len(list(recovered.browse("A.Q"))) == 30
+
+
+def _run_workload(clock, journal, seed, use_batching):
+    """Drive one randomized put/get interleaving; returns ops applied.
+
+    ``use_batching=True`` routes puts through ``put_many`` under
+    ``group_commit``; ``False`` uses per-record ``put``/``get`` journaling.
+    The random stream depends only on ``seed``, so both modes see the
+    identical operation sequence.
+    """
+    rng = random.Random(seed)
+    manager = QueueManager("QM.EQ", clock, journal=journal)
+    for q in ("A.Q", "B.Q"):
+        manager.define_queue(q)
+    counter = 0
+    for _step in range(30):
+        op = rng.choice(["put_batch", "put_one", "get", "get"])
+        queue = rng.choice(["A.Q", "B.Q"])
+        if op == "put_batch":
+            size = rng.randint(1, 5)
+            batch = []
+            for _ in range(size):
+                mode = (
+                    DeliveryMode.PERSISTENT
+                    if rng.random() < 0.8
+                    else DeliveryMode.NON_PERSISTENT
+                )
+                batch.append(
+                    Message(
+                        body=counter,
+                        priority=rng.randint(0, 9),
+                        delivery_mode=mode,
+                    )
+                )
+                counter += 1
+            if use_batching:
+                with manager.group_commit():
+                    manager.put_many(queue, batch)
+            else:
+                for message in batch:
+                    manager.put(queue, message)
+        elif op == "put_one":
+            message = Message(body=counter, priority=rng.randint(0, 9))
+            counter += 1
+            if use_batching:
+                manager.put_many(queue, [message])
+            else:
+                manager.put(queue, message)
+        elif manager.depth(queue) > 0:
+            manager.get(queue)
+
+
+def _recovered_state(clock, journal):
+    recovered = QueueManager.recover("QM.EQ", clock, journal)
+    return {
+        q: [(m.body, m.priority) for m in recovered.browse(q)]
+        for q in ("A.Q", "B.Q")
+    }
+
+
+class TestRecoveryEquivalence:
+    """Property: group-committed journaling recovers the same state as
+    per-record journaling over arbitrary put/get interleavings."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_memory_journal_equivalence(self, clock, seed):
+        batched, unbatched = MemoryJournal(sync="batch"), MemoryJournal()
+        _run_workload(clock, batched, seed, use_batching=True)
+        _run_workload(clock, unbatched, seed, use_batching=False)
+        state_b = _recovered_state(clock, batched)
+        state_u = _recovered_state(clock, unbatched)
+        assert state_b == state_u
+        # The batched journal really did batch: fewer flushes, same records.
+        assert batched.flush_count < unbatched.flush_count
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_file_journal_equivalence_across_restart(self, clock, seed, tmp_path):
+        path_b = str(tmp_path / "batched.journal")
+        path_u = str(tmp_path / "unbatched.journal")
+        _run_workload(
+            clock, FileJournal(path_b, sync="batch"), seed, use_batching=True
+        )
+        _run_workload(
+            clock, FileJournal(path_u, sync="always"), seed, use_batching=False
+        )
+        # Fresh journal objects = a process restart.
+        state_b = _recovered_state(clock, FileJournal(path_b))
+        state_u = _recovered_state(clock, FileJournal(path_u))
+        assert state_b == state_u
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_equivalence_with_auto_compaction(self, clock, seed):
+        batched = MemoryJournal(sync="batch", compaction_threshold=25)
+        unbatched = MemoryJournal()
+        _run_workload(clock, batched, seed, use_batching=True)
+        _run_workload(clock, unbatched, seed, use_batching=False)
+        assert _recovered_state(clock, batched) == _recovered_state(
+            clock, unbatched
+        )

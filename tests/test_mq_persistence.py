@@ -40,6 +40,45 @@ class TestBodyCodec:
         with pytest.raises(PersistenceError):
             decode_body({"kind": "alien", "data": ""})
 
+    def test_probe_catches_non_json_nested_values(self):
+        # The structural probe must walk containers: a JSON-looking dict
+        # hiding a non-JSON leaf goes down the pickle path.
+        body = {"outer": [1, {"inner": {1, 2}}]}
+        record = encode_body(body)
+        assert record["kind"] == "pickle"
+        assert decode_body(record) == body
+
+    def test_probe_rejects_non_string_dict_keys(self):
+        # json.dumps coerces int keys to strings, which would corrupt the
+        # body on decode; such bodies must be pickled instead.
+        body = {1: "one"}
+        record = encode_body(body)
+        assert record["kind"] == "pickle"
+        assert decode_body(record) == body
+
+    def test_probe_handles_circular_structures(self):
+        # json.dumps raises ValueError on cycles; the probe must detect
+        # them (not recurse forever) and fall through to pickle, which
+        # also fails -- so this is an unjournalable body.
+        body = []
+        body.append(body)
+        record = encode_body(body)  # pickle handles cycles fine
+        assert record["kind"] == "pickle"
+        decoded = decode_body(record)
+        assert decoded[0] is decoded
+
+    def test_probe_allows_shared_but_acyclic_substructure(self):
+        # The same sub-list referenced twice is NOT a cycle; it must stay
+        # on the readable JSON path.
+        shared = [1, 2]
+        record = encode_body({"a": shared, "b": shared})
+        assert record["kind"] == "json"
+
+    def test_bool_not_mistaken_for_int(self):
+        record = encode_body({"flag": True})
+        assert record["kind"] == "json"
+        assert decode_body(record) == {"flag": True}
+
 
 class TestMessageCodec:
     def test_full_roundtrip(self):
@@ -190,9 +229,25 @@ class TestFileJournal:
         # queue + 10 puts + snapshot-end
         assert len(lines) == 14
 
-    def test_corrupt_line_raises(self, tmp_path):
+    def test_corrupt_trailing_line_skipped_and_counted(self, tmp_path):
+        # A corrupt FINAL line is a torn write from a crash mid-append:
+        # recovery skips it, counts it, and keeps everything before it.
+        path = str(tmp_path / "torn.journal")
+        journal = FileJournal(path)
+        journal.append({"op": "define", "queue": "A.Q", "config": {}})
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"op": "put", "queue": "A.Q", "mess')  # torn record
+        reread = FileJournal(path)
+        records = reread.read_all()
+        assert [r["op"] for r in records] == ["define"]
+        assert reread.skipped_trailing_records == 1
+
+    def test_corrupt_mid_file_line_raises(self, tmp_path):
+        # Corruption BEFORE valid records is not a torn tail — recovering
+        # past it would silently drop acknowledged state, so refuse.
         path = str(tmp_path / "bad.journal")
         with open(path, "w", encoding="utf-8") as f:
             f.write("{not json}\n")
+            f.write('{"op": "define", "queue": "A.Q", "config": {}}\n')
         with pytest.raises(PersistenceError):
             FileJournal(path).read_all()
