@@ -321,8 +321,10 @@ class ConditionalMessagingReceiver:
         for cmid, comp_ids in compensations.items():
             orig_ids = originals.get(cmid, [])
             for comp_id, orig_id in zip(comp_ids, orig_ids):
-                queue.get_by_id(comp_id)
-                queue.get_by_id(orig_id)
+                # Journaled removals: a recovered receiver must not
+                # resurrect a cancelled original/compensation pair.
+                self.manager.get_by_id(queue_name, comp_id)
+                self.manager.get_by_id(queue_name, orig_id)
                 cancelled += 1
         self.stats.cancellations += cancelled
         return cancelled

@@ -180,7 +180,12 @@ class ConditionalMessagingService:
         # Every journal record the fan-out produces — compensation staging,
         # the sender-log entry, and the transmission-queue parking of the
         # data messages — lands in ONE group-committed flush (Gray's group
-        # commit) instead of one flush per record.
+        # commit) instead of one flush per record.  The network holds any
+        # synchronous cross-manager transfer until that group is durable
+        # (Journal.post_commit), so no destination can receive the
+        # original while the records that make it compensatable are still
+        # buffered; with group commit off, each record pays its own flush
+        # before the transfer, preserving the same order.
         with self._durability_scope():
             self.compensation.stage(generated.compensations)
             self.manager.put(self.slog_queue, log_entry.to_message())

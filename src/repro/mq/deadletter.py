@@ -85,7 +85,6 @@ class DeadLetterHandler:
             limit: Retry at most this many.
         """
         result = RetryResult()
-        dlq = self.manager.queue(DEAD_LETTER_QUEUE)
         for message in self.browse(reason):
             if limit is not None and result.retried >= limit:
                 break
@@ -93,7 +92,9 @@ class DeadLetterHandler:
             if destination is None or not self.manager.has_queue(str(destination)):
                 result.skipped += 1
                 continue
-            dlq.get_by_id(message.message_id)
+            # Journaled removal: retry must not leave a copy on the DLQ
+            # for recovery to resurrect alongside the re-queued message.
+            self.manager.get_by_id(DEAD_LETTER_QUEUE, message.message_id)
             props = {
                 k: v for k, v in message.properties.items() if k != PROP_DLQ_REASON
             }
@@ -106,9 +107,12 @@ class DeadLetterHandler:
         return result
 
     def discard(self, reason: Optional[str] = None) -> int:
-        """Permanently delete dead messages; returns how many."""
-        dlq = self.manager.queue(DEAD_LETTER_QUEUE)
+        """Permanently delete dead messages; returns how many.
+
+        Removals are journaled so discarded messages stay gone after a
+        crash.
+        """
         doomed = self.browse(reason)
         for message in doomed:
-            dlq.get_by_id(message.message_id)
+            self.manager.get_by_id(DEAD_LETTER_QUEUE, message.message_id)
         return len(doomed)

@@ -227,7 +227,11 @@ class QueueManager:
         journaled as one group-committed write (:meth:`Journal.log_put_many`),
         so a fan-out of N costs one flush instead of N.  Semantics per
         message are identical to :meth:`put` (reports, traces, metrics);
-        batches to a remote queue definition route message-by-message.
+        batches to a remote queue definition route message-by-message
+        and — like :meth:`put` on a remote definition — return the
+        caller's messages unchanged (the stored copies, stamped with
+        ``put_time_ms``, live on the remote manager).  The local path
+        returns the stored copies.
         """
         messages = list(messages)
         remote = self._remote_definitions.get(queue_name)
@@ -398,6 +402,25 @@ class QueueManager:
             return self.get(queue_name, selector=selector, transaction=transaction)
         except EmptyQueueError:
             return None
+
+    def get_by_id(self, queue_name: str, message_id: str) -> Message:
+        """Destructively get a specific message by id, journaling the removal.
+
+        System components (compensation release/discard, pair
+        cancellation, DLQ administration) pull specific messages out of
+        queues.  The queue-level :meth:`MessageQueue.get_by_id` bypasses
+        durability, so recovery would resurrect the removed message; this
+        wrapper journals the removal of persistent messages like any
+        destructive get.  No delivery reports fire — these removals are
+        administrative, not application consumption.
+        """
+        message = self.queue(queue_name).get_by_id(message_id)
+        if self.journal is not None and message.is_persistent():
+            self.journal.log_get(queue_name, message_id)
+            self._maybe_autocompact()
+        if self.metrics is not None:
+            self.metrics.incr(f"gets.{self.name}")
+        return message
 
     def browse(
         self,

@@ -271,7 +271,24 @@ class MessageNetwork:
                 target_queue=queue_name,
             )
         if self.scheduler is None:
-            self._attempt_transfer(chan, enveloped.message_id)
+            # Synchronous delivery must not outrun the sender's
+            # durability: inside a group-commit batch the compensation /
+            # sender-log / parking records are still buffered, and
+            # transferring now would flush the data message into the
+            # TARGET manager's journal first — a sender crash then leaves
+            # a delivered original that recovery cannot compensate.
+            # post_commit defers the transfer until the source journal's
+            # commit group is written (immediately when no batch is
+            # open).  Scheduler-backed delivery is naturally deferred
+            # past the batch because events run after the sending call
+            # returns.
+            message_id = enveloped.message_id
+            if src_manager.journal is not None:
+                src_manager.journal.post_commit(
+                    lambda: self._attempt_transfer(chan, message_id)
+                )
+            else:
+                self._attempt_transfer(chan, message_id)
         elif not chan.stopped:
             self._schedule_attempt(chan, enveloped.message_id)
 

@@ -25,6 +25,14 @@ records per force-out):
   manager exposes it as ``QueueManager.group_commit()`` and the
   conditional-send fan-out routes through it, so one conditional send costs
   one journal flush instead of ``2N+1``;
+* a multi-record commit group is written as **one physical line** (a
+  ``group`` wrapper record), so a torn write can never persist a prefix of
+  a group: recovery replays the whole group or drops it with the torn
+  tail, making group commit genuinely all-or-nothing;
+* :meth:`Journal.post_commit` defers an action until the staged records
+  are durable — the network layer uses it to hold synchronous
+  cross-manager delivery until the sender's commit group has been
+  written, preserving the compensation-and-log-first durability order;
 * the **sync policy** (``always`` / ``batch`` / ``none``) controls when the
   file journal forces data to disk (``os.fsync``): per commit group, only
   on explicit :meth:`FileJournal.sync` / checkpoint, or never;
@@ -50,7 +58,7 @@ import os
 import pickle
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import PersistenceError
 from repro.mq.message import DeliveryMode, Message
@@ -175,6 +183,19 @@ def decode_message(record: Dict[str, Any]) -> Message:
         raise PersistenceError(f"journal message record missing field {exc}") from exc
 
 
+def _expand_record(record: Dict[str, Any], out: List[Dict[str, Any]]) -> None:
+    """Append ``record`` to ``out``, inlining ``group`` wrapper records.
+
+    A ``group`` record is the single-line envelope a multi-record commit
+    group is written as (see :meth:`Journal._commit_lines`); readers see
+    the logical member records, never the envelope.
+    """
+    if record.get("op") == "group":
+        out.extend(record.get("records", []))
+    else:
+        out.append(record)
+
+
 def _check_sync_policy(sync: str) -> str:
     if sync not in SYNC_POLICIES:
         raise PersistenceError(
@@ -220,21 +241,27 @@ class Journal(ABC):
         #: checkpoint rewrites performed
         self.rewrites = 0
         #: corrupt trailing records skipped by the last :meth:`read_all`
-        #: (a partial line from a crash mid-append); see :meth:`recover`
+        #: (a partial line from a crash mid-append — a torn multi-record
+        #: group counts once); the file journal includes a torn tail it
+        #: healed away at open time.  See :meth:`recover`.
         self.skipped_trailing_records = 0
         #: optional metrics registry (the owning manager attaches its own)
         self.metrics = None  # type: Optional[Any]
         self._batch_depth = 0
         self._batch_buffer: List[str] = []
+        self._post_commit_hooks: List[Callable[[], None]] = []
 
     # -- store primitives ---------------------------------------------------
 
     @abstractmethod
-    def _write_serialized(self, lines: List[str]) -> int:
-        """Durably append pre-serialized record lines; returns byte count.
+    def _write_serialized(self, lines: List[str], record_count: int) -> int:
+        """Durably append pre-serialized lines; returns byte count.
 
         One call is one commit group: implementations perform a single
         write (+flush/fsync per the sync policy) for the whole list.
+        ``record_count`` is the number of *logical* records the lines
+        carry (a multi-record group arrives as one wrapped line), for the
+        store's :meth:`size` accounting.
         """
 
     @abstractmethod
@@ -247,7 +274,11 @@ class Journal(ABC):
 
     @abstractmethod
     def size(self) -> int:
-        """Number of records currently in the live log."""
+        """Number of logical records currently in the live log.
+
+        Members of a multi-record commit group count individually, even
+        though the group occupies one physical line.
+        """
 
     # -- appends ------------------------------------------------------------
 
@@ -259,8 +290,10 @@ class Journal(ABC):
         """Group-commit a batch of records with a single write+flush.
 
         Serialization happens eagerly, so an unjournalable record raises
-        before anything is written; the batch is all-or-nothing at the
-        write level.
+        before anything is written.  The group is written as one physical
+        line (see :meth:`_commit_lines`), so it is all-or-nothing even
+        against a torn write: recovery replays the whole group or none
+        of it, never a prefix.
         """
         lines = [json.dumps(record) for record in records]
         if lines:
@@ -273,16 +306,45 @@ class Journal(ABC):
         Nested batches join the outermost group.  The group is written on
         exit even when the block raises: the in-memory queue state it
         journals has already been applied, and an unwritten record would
-        lose committed work on recovery.
+        lose committed work on recovery.  Deferred :meth:`post_commit`
+        actions run after the group is durable — and are dropped if the
+        write itself fails, so nothing acts on records that never reached
+        the log.
         """
         self._batch_depth += 1
         try:
             yield self
         finally:
             self._batch_depth -= 1
-            if self._batch_depth == 0 and self._batch_buffer:
-                lines, self._batch_buffer = self._batch_buffer, []
-                self._commit_lines(lines)
+            if self._batch_depth == 0:
+                try:
+                    if self._batch_buffer:
+                        lines, self._batch_buffer = self._batch_buffer, []
+                        self._commit_lines(lines)
+                except BaseException:
+                    self._post_commit_hooks.clear()
+                    raise
+                while self._post_commit_hooks:
+                    hooks, self._post_commit_hooks = self._post_commit_hooks, []
+                    for hook in hooks:
+                        hook()
+
+    def post_commit(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once currently-staged records are durable.
+
+        Outside a :meth:`batch` everything appended so far has already
+        been committed, so the callback runs immediately.  Inside a batch
+        it is deferred until the outermost commit group has been written.
+        The network layer uses this to hold synchronous cross-manager
+        delivery until the sender's commit group (compensation staging,
+        sender-log entry, transmission parking) is durable — delivering
+        earlier would let a data message reach the target's journal while
+        the records that make it compensatable are still buffered.
+        """
+        if self._batch_depth:
+            self._post_commit_hooks.append(callback)
+        else:
+            callback()
 
     def _stage(self, lines: List[str]) -> None:
         if self._batch_depth:
@@ -291,7 +353,16 @@ class Journal(ABC):
             self._commit_lines(lines)
 
     def _commit_lines(self, lines: List[str]) -> None:
-        nbytes = self._write_serialized(lines)
+        if len(lines) > 1:
+            # A multi-record group becomes ONE physical line, so a torn
+            # write cannot persist a prefix of the group: either the line
+            # parses and the whole group replays, or it is dropped as the
+            # torn tail.  Members are serialized already; wrap without
+            # re-serializing.
+            physical = ['{"op": "group", "records": [' + ", ".join(lines) + "]}"]
+        else:
+            physical = lines
+        nbytes = self._write_serialized(physical, len(lines))
         self.records_written += len(lines)
         self.flush_count += 1
         self.bytes_written += nbytes
@@ -416,23 +487,29 @@ class MemoryJournal(Journal):
     ) -> None:
         super().__init__(sync=sync, compaction_threshold=compaction_threshold)
         self._records: List[str] = []
+        self._record_count = 0
 
-    def _write_serialized(self, lines: List[str]) -> int:
+    def _write_serialized(self, lines: List[str], record_count: int) -> int:
         # Records arrive pre-serialized (bodies were validated journalable
         # at append time, matching the file journal's failure behaviour).
         self._records.extend(lines)
+        self._record_count += record_count
         return sum(len(line) + 1 for line in lines)
 
     def read_all(self) -> List[Dict[str, Any]]:
         self.skipped_trailing_records = 0
-        return [json.loads(line) for line in self._records]
+        records: List[Dict[str, Any]] = []
+        for line in self._records:
+            _expand_record(json.loads(line), records)
+        return records
 
     def rewrite(self, records: Iterable[Dict[str, Any]]) -> None:
         self._records = [json.dumps(record) for record in records]
+        self._record_count = len(self._records)
 
     def size(self) -> int:
-        """Number of records currently in the log."""
-        return len(self._records)
+        """Number of logical records currently in the log."""
+        return self._record_count
 
 
 class FileJournal(Journal):
@@ -440,7 +517,11 @@ class FileJournal(Journal):
 
     The append handle stays open for the journal's lifetime (no
     per-append open/close); :meth:`rewrite` swaps the file atomically and
-    reopens it.  The sync policy decides when ``os.fsync`` runs:
+    reopens it.  Opening an existing log **heals** a torn final line (the
+    artifact of a crash mid-append) by truncating it — counted in
+    :attr:`skipped_trailing_records` — so later appends can never
+    concatenate onto torn text.  The sync policy decides when
+    ``os.fsync`` runs:
 
     * ``always`` — after every commit group (a group-committed batch still
       costs one fsync, which is the point of batching);
@@ -459,22 +540,70 @@ class FileJournal(Journal):
         directory = os.path.dirname(os.path.abspath(path))
         try:
             os.makedirs(directory, exist_ok=True)
+            # A crash can tear the final append mid-line; appending after
+            # it would concatenate the next record onto the torn text,
+            # turning an ignorable torn tail into mid-file corruption
+            # that recovery refuses.  Heal before opening the append
+            # handle: the torn tail was never acknowledged durable (every
+            # committed write ends with a newline before fsync returns),
+            # so truncating it is exactly crash semantics.
+            self._healed_trailing_records = self._heal_torn_tail()
             # "a+" creates the file if missing, so recover() on a fresh
             # journal succeeds; count any pre-existing records once.
             self._fh = open(path, "a+", encoding="utf-8")
-            self._records_in_log = self._count_lines()
+            self._records_in_log = self._count_records()
         except OSError as exc:
             raise PersistenceError(f"journal open failed: {exc}") from exc
+        self.skipped_trailing_records = self._healed_trailing_records
 
-    def _count_lines(self) -> int:
+    def _heal_torn_tail(self) -> int:
+        """Truncate an unterminated final line left by a crash mid-append.
+
+        Returns the number of torn records removed (0 or 1).
+        """
+        try:
+            fh = open(self.path, "rb+")
+        except FileNotFoundError:
+            return 0
+        with fh:
+            data = fh.read()
+            if not data or data.endswith(b"\n"):
+                return 0
+            keep = data.rfind(b"\n") + 1
+            fh.truncate(keep)
+        logger.warning(
+            "journal %s: truncated torn trailing record (%d bytes) left by"
+            " a crash mid-append",
+            self.path,
+            len(data) - keep,
+        )
+        return 1
+
+    def _count_records(self) -> int:
+        """Logical records in the file (group members counted individually).
+
+        Runs once at open, after torn-tail healing, so the count reflects
+        only intact record lines.  An unparseable line counts as one —
+        :meth:`read_all` will reject mid-file corruption properly.
+        """
         count = 0
         with open(self.path, "r", encoding="utf-8") as f:
             for line in f:
-                if line.strip():
-                    count += 1
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                if stripped.startswith('{"op": "group"'):
+                    try:
+                        expanded: List[Dict[str, Any]] = []
+                        _expand_record(json.loads(stripped), expanded)
+                        count += len(expanded)
+                        continue
+                    except json.JSONDecodeError:
+                        pass
+                count += 1
         return count
 
-    def _write_serialized(self, lines: List[str]) -> int:
+    def _write_serialized(self, lines: List[str], record_count: int) -> int:
         buf = "\n".join(lines) + "\n"
         try:
             self._fh.write(buf)
@@ -483,7 +612,7 @@ class FileJournal(Journal):
                 os.fsync(self._fh.fileno())
         except (OSError, ValueError) as exc:
             raise PersistenceError(f"journal append failed: {exc}") from exc
-        self._records_in_log += len(lines)
+        self._records_in_log += record_count
         return len(buf.encode("utf-8"))
 
     def sync(self) -> None:
@@ -505,7 +634,9 @@ class FileJournal(Journal):
 
     def read_all(self) -> List[Dict[str, Any]]:
         records: List[Dict[str, Any]] = []
-        self.skipped_trailing_records = 0
+        # Torn records healed away when the file was opened stay counted:
+        # they are part of what recovery skipped for this log.
+        self.skipped_trailing_records = self._healed_trailing_records
         try:
             if not self._fh.closed:
                 self._fh.flush()
@@ -521,7 +652,7 @@ class FileJournal(Journal):
             if not stripped:
                 continue
             try:
-                records.append(json.loads(stripped))
+                _expand_record(json.loads(stripped), records)
             except json.JSONDecodeError as exc:
                 if line_no - 1 == last_content:
                     # A torn final line is the normal signature of a crash
@@ -560,7 +691,9 @@ class FileJournal(Journal):
         except OSError as exc:
             raise PersistenceError(f"journal rewrite failed: {exc}") from exc
         self._records_in_log = len(lines)
+        # The rewritten log no longer contains the healed torn tail.
+        self._healed_trailing_records = 0
 
     def size(self) -> int:
-        """Number of records currently in the live log."""
+        """Number of logical records currently in the live log."""
         return self._records_in_log

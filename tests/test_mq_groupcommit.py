@@ -265,6 +265,121 @@ class TestConditionalSendGroupCommit:
         assert sum(recovered.depth(q) for q in parked) == 3
 
 
+class TestDurabilityOrder:
+    """Synchronous cross-manager delivery must not outrun the sender's
+    commit group: compensation/SLOG/parking records flush before any
+    destination can durably receive a message."""
+
+    def build_pair(self, clock):
+        from repro.mq.network import MessageNetwork
+
+        journal = MemoryJournal()
+        network = MessageNetwork(scheduler=None)
+        sender = network.add_manager(QueueManager("QM.S", clock, journal=journal))
+        receiver = network.add_manager(QueueManager("QM.R", clock))
+        receiver.define_queue("Q.IN")
+        network.connect("QM.S", "QM.R")
+        return journal, sender, receiver
+
+    def test_remote_delivery_deferred_until_group_flush(self, clock):
+        journal, sender, receiver = self.build_pair(clock)
+        with sender.group_commit():
+            sender.put_remote("QM.R", "Q.IN", Message(body="data"))
+            # Held: the sender's commit group is not durable yet.
+            assert receiver.depth("Q.IN") == 0
+            assert journal.flush_count == 0
+        assert journal.flush_count == 1
+        assert receiver.depth("Q.IN") == 1
+
+    def test_remote_delivery_immediate_outside_batch(self, clock):
+        journal, sender, receiver = self.build_pair(clock)
+        sender.put_remote("QM.R", "Q.IN", Message(body="data"))
+        assert receiver.depth("Q.IN") == 1
+
+    def test_sender_records_durable_before_any_arrival(self, clock):
+        from repro.core.builder import destination, destination_set
+        from repro.core.service import ConditionalMessagingService
+        from repro.mq.network import MessageNetwork
+
+        journal = MemoryJournal()
+        network = MessageNetwork(scheduler=None)
+        sender = network.add_manager(QueueManager("QM.S", clock, journal=journal))
+        arrivals = []
+        for i in range(3):
+            receiver = network.add_manager(QueueManager(f"QM.{i}", clock))
+            receiver.define_queue(f"Q.{i}")
+            receiver.queue(f"Q.{i}").subscribe(
+                lambda m: arrivals.append(journal.flush_count)
+            )
+            network.connect("QM.S", f"QM.{i}")
+        condition = destination_set(
+            *[
+                destination(f"Q.{i}", manager=f"QM.{i}", recipient=f"R{i}")
+                for i in range(3)
+            ],
+            msg_pick_up_time=60_000,
+        )
+        service = ConditionalMessagingService(sender, group_commit=True)
+        service.send_message({"n": 1}, condition)
+        # Every data message reached its destination only after the
+        # sender's commit group (compensations + SLOG + parkings) was
+        # flushed; with the documented order inverted, arrivals would
+        # observe flush_count == 0.
+        assert len(arrivals) == 3
+        assert all(flushes >= 1 for flushes in arrivals)
+
+    def test_released_compensations_do_not_resurrect_after_crash(self, clock):
+        from repro.core.builder import destination, destination_set
+        from repro.core.outcome import MessageOutcome
+        from repro.core.service import ConditionalMessagingService
+        from repro.mq.network import MessageNetwork
+
+        journal = MemoryJournal()
+        network = MessageNetwork(scheduler=None)
+        sender = network.add_manager(QueueManager("QM.S", clock, journal=journal))
+        receiver = network.add_manager(QueueManager("QM.R", clock))
+        receiver.define_queue("Q.R")
+        network.connect("QM.S", "QM.R")
+        condition = destination_set(
+            destination("Q.R", manager="QM.R", recipient="R1"),
+            msg_pick_up_time=60_000,
+        )
+        service = ConditionalMessagingService(sender, group_commit=True)
+        cmid = service.send_message({"n": 1}, condition, compensation={"undo": 1})
+        service.apply_outcome_actions(cmid, MessageOutcome.FAILURE)
+        delivered = [
+            m for m in receiver.browse("Q.R") if m.correlation_id == cmid
+        ]
+        assert len(delivered) == 2  # original + released compensation
+        # Crash after release: the journaled DS.COMP.Q removals mean
+        # recovery does NOT resurrect the released compensation (which a
+        # later failure path could release again, duplicating it).
+        recovered = QueueManager.recover("QM.S", clock, journal)
+        assert list(recovered.browse(service.compensation.comp_queue)) == []
+
+    def test_discarded_compensations_do_not_resurrect_after_crash(self, clock):
+        from repro.core.builder import destination, destination_set
+        from repro.core.outcome import MessageOutcome
+        from repro.core.service import ConditionalMessagingService
+        from repro.mq.network import MessageNetwork
+
+        journal = MemoryJournal()
+        network = MessageNetwork(scheduler=None)
+        sender = network.add_manager(QueueManager("QM.S", clock, journal=journal))
+        receiver = network.add_manager(QueueManager("QM.R", clock))
+        receiver.define_queue("Q.R")
+        network.connect("QM.S", "QM.R")
+        condition = destination_set(
+            destination("Q.R", manager="QM.R", recipient="R1"),
+            msg_pick_up_time=60_000,
+        )
+        service = ConditionalMessagingService(sender, group_commit=True)
+        cmid = service.send_message({"n": 1}, condition, compensation={"undo": 1})
+        service.apply_outcome_actions(cmid, MessageOutcome.SUCCESS)
+        recovered = QueueManager.recover("QM.S", clock, journal)
+        assert list(recovered.browse(service.compensation.comp_queue)) == []
+
+
 class TestAutoCompaction:
     def test_threshold_triggers_checkpoint(self, clock):
         journal = MemoryJournal(compaction_threshold=20)

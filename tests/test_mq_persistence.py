@@ -1,5 +1,7 @@
 """Unit tests for journaling, checkpointing, and crash recovery."""
 
+import os
+
 import pytest
 
 from repro.errors import PersistenceError
@@ -251,3 +253,126 @@ class TestFileJournal:
             f.write('{"op": "define", "queue": "A.Q", "config": {}}\n')
         with pytest.raises(PersistenceError):
             FileJournal(path).read_all()
+
+
+class TestCommitGroupAtomicity:
+    """A multi-record commit group is one physical line: a torn write can
+    never persist an intact prefix of the group, so group replay really is
+    all-or-nothing."""
+
+    def put_record(self, body):
+        return {
+            "op": "put",
+            "queue": "A.Q",
+            "message": encode_message(Message(body=body)),
+        }
+
+    def test_group_is_one_line_but_logical_records(self, tmp_path):
+        path = str(tmp_path / "g.journal")
+        journal = FileJournal(path)
+        journal.append_many([self.put_record(i) for i in range(5)])
+        assert len(journal.read_all()) == 5
+        assert journal.size() == 5
+        with open(path, encoding="utf-8") as f:
+            assert len([l for l in f if l.strip()]) == 1
+
+    def test_torn_group_drops_whole_group_not_a_prefix(self, tmp_path):
+        path = str(tmp_path / "torn-group.journal")
+        journal = FileJournal(path)
+        journal.append({"op": "define", "queue": "A.Q"})
+        journal.append_many([self.put_record(i) for i in range(3)])
+        journal.close()
+        # Tear the group's write: chop bytes off the end of the file.
+        with open(path, "rb+") as f:
+            f.truncate(os.path.getsize(path) - 10)
+        reread = FileJournal(path)
+        records = reread.read_all()
+        # None of the group's puts replay — not the intact-looking prefix.
+        assert [r["op"] for r in records] == ["define"]
+        assert reread.skipped_trailing_records == 1
+
+    def test_torn_syncpoint_commit_presumed_aborted(self, clock, tmp_path):
+        # The scenario the group marker exists for: a syncpoint move
+        # journals its gets+puts as one group.  If a torn write could
+        # keep the 'get' removals but lose the matching 'put', recovery
+        # would lose the transactionally-moved message.  With the
+        # single-line group, the torn commit vanishes atomically and the
+        # move is presumed aborted: the message is back on its source
+        # queue, not gone.
+        path = str(tmp_path / "tx.journal")
+        journal = FileJournal(path)
+        manager = QueueManager("QM.T", clock, journal=journal)
+        manager.define_queue("A.Q")
+        manager.define_queue("B.Q")
+        manager.put("A.Q", Message(body="move"))
+        tx = manager.begin()
+        manager.get("A.Q", transaction=tx)
+        manager.put("B.Q", Message(body="moved"), transaction=tx)
+        tx.commit()
+        journal.close()
+        with open(path, "rb+") as f:
+            f.truncate(os.path.getsize(path) - 5)
+        recovered = QueueManager.recover("QM.T", clock, FileJournal(path))
+        assert [m.body for m in recovered.browse("A.Q")] == ["move"]
+        assert list(recovered.browse("B.Q")) == []
+
+    def test_memory_journal_expands_groups(self):
+        journal = MemoryJournal()
+        journal.append_many([self.put_record(i) for i in range(4)])
+        assert [r["op"] for r in journal.read_all()] == ["put"] * 4
+        assert journal.size() == 4
+
+
+class TestHealOnOpen:
+    """Opening an existing log truncates a torn final line, so appends can
+    never concatenate onto torn text and corrupt a new record."""
+
+    def test_append_after_torn_tail_does_not_corrupt(self, tmp_path):
+        path = str(tmp_path / "heal.journal")
+        journal = FileJournal(path)
+        journal.append({"op": "define", "queue": "A.Q"})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as f:
+            f.write('{"op": "put", "queue": "A.Q", "mess')  # torn, no newline
+        healed = FileJournal(path)
+        assert healed.skipped_trailing_records == 1
+        healed.append({"op": "define", "queue": "B.Q"})
+        records = healed.read_all()
+        # The new record starts on its own line — old records intact, no
+        # mid-file corruption, torn record still reported as skipped.
+        assert [r["queue"] for r in records] == ["A.Q", "B.Q"]
+        assert healed.skipped_trailing_records == 1
+
+    def test_size_counts_only_intact_records_after_heal(self, tmp_path):
+        path = str(tmp_path / "sizes.journal")
+        journal = FileJournal(path)
+        journal.append({"op": "define", "queue": "A.Q"})
+        journal.append({"op": "define", "queue": "B.Q"})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("garbage-without-newline")
+        healed = FileJournal(path)
+        assert healed.size() == 2
+
+    def test_torn_tail_with_no_newline_at_all_heals_to_empty(self, tmp_path):
+        path = str(tmp_path / "all-torn.journal")
+        with open(path, "w", encoding="utf-8") as f:
+            f.write('{"op": "def')  # first-ever append tore
+        healed = FileJournal(path)
+        assert healed.size() == 0
+        assert healed.read_all() == []
+        assert healed.skipped_trailing_records == 1
+
+    def test_checkpoint_clears_healed_count(self, clock, tmp_path):
+        path = str(tmp_path / "ckpt.journal")
+        journal = FileJournal(path)
+        journal.append({"op": "define", "queue": "A.Q"})
+        journal.close()
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("torn")
+        healed = FileJournal(path)
+        assert healed.skipped_trailing_records == 1
+        healed.checkpoint({"A.Q": []})
+        healed.read_all()
+        # The rewritten log no longer contains the healed torn tail.
+        assert healed.skipped_trailing_records == 0
