@@ -1,0 +1,92 @@
+"""CHAOS SMOKE — fixed-seed fault-injection corpus for CI.
+
+Runs a deterministic corpus of chaos episodes — crash/recover at journal
+flush boundaries, partitions, torn journal tails, duplicated and delayed
+transfers — and asserts the paper-invariant suite finds zero violations.
+Memory-journal episodes exercise the crash model cheaply; file-journal
+episodes add torn-tail recovery on real files.
+
+Results land in ``CHAOS_smoke.json`` at the repo root (uploaded by the
+CI chaos-smoke job next to ``BENCH_throughput.json``).  Any failing
+episode is shrunk to a minimal reproducer written as
+``CHAOS_repro_seed<N>.json`` at the repo root, which the CI job uploads
+as an artifact; replay it locally with
+``python -m repro.chaos --replay CHAOS_repro_seed<N>.json``.
+
+Set ``BENCH_SHORT=1`` for a reduced corpus.
+"""
+
+import json
+import logging
+import os
+
+from repro.harness.reporting import Table
+from repro.harness.runner import run_chaos_corpus
+
+SHORT = os.environ.get("BENCH_SHORT", "") not in ("", "0")
+MEMORY_EPISODES = 15 if SHORT else 40
+FILE_EPISODES = 5 if SHORT else 15
+FILE_BASE_SEED = 100
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir)
+)
+RESULT_PATH = os.path.join(REPO_ROOT, "CHAOS_smoke.json")
+
+
+def test_chaos_smoke_corpus(report, tmp_path):
+    # Torn-tail healing logs a warning per healed file; that is the
+    # mechanism under test, not noise worth failing CI log checks over.
+    logging.getLogger("repro.mq.persistence").setLevel(logging.ERROR)
+    corpora = [
+        run_chaos_corpus(
+            episodes=MEMORY_EPISODES,
+            base_seed=0,
+            journal="memory",
+            repro_dir=REPO_ROOT,
+        ),
+        run_chaos_corpus(
+            episodes=FILE_EPISODES,
+            base_seed=FILE_BASE_SEED,
+            journal="file",
+            journal_dir=str(tmp_path),
+            repro_dir=REPO_ROOT,
+        ),
+    ]
+
+    table = Table(
+        "chaos smoke corpus",
+        ["journal", "episodes", "sends", "crashes", "faults", "failures"],
+    )
+    for corpus in corpora:
+        table.add_row(
+            [
+                corpus["journal"],
+                corpus["episodes"],
+                corpus["sends"],
+                corpus["crashes"],
+                corpus["faults_fired"],
+                corpus["failures"],
+            ]
+        )
+    report.emit(table)
+
+    summary = {
+        "episodes": sum(c["episodes"] for c in corpora),
+        "sends": sum(c["sends"] for c in corpora),
+        "crashes": sum(c["crashes"] for c in corpora),
+        "faults_fired": sum(c["faults_fired"] for c in corpora),
+        "failures": sum(c["failures"] for c in corpora),
+        "violations": [v for c in corpora for v in c["violations"]],
+        "repro_paths": [p for c in corpora for p in c["repro_paths"]],
+        "corpora": corpora,
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=2)
+        handle.write("\n")
+
+    assert summary["episodes"] >= (20 if SHORT else 50)
+    # The corpus must actually exercise the fault space, not dodge it.
+    assert summary["crashes"] >= (5 if SHORT else 20)
+    assert summary["faults_fired"] >= (10 if SHORT else 50)
+    assert summary["failures"] == 0, summary["violations"]

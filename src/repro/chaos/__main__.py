@@ -1,0 +1,100 @@
+"""CLI entry point: ``python -m repro.chaos``.
+
+Runs a corpus of seeded chaos episodes (or replays one reproducer) and
+exits non-zero on any invariant violation, shrinking each failure to a
+minimal JSON reproducer first.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List
+
+from repro.chaos.explorer import ChaosExplorer, EpisodeSpec
+
+
+def _report_one(result) -> None:
+    status = "ok" if result.ok else "VIOLATION"
+    print(
+        f"episode seed={result.spec.seed} {status}: sends={result.sends}"
+        f" crashes={result.crashes} faults={result.faults_fired}"
+        f" outcomes={result.outcomes}"
+    )
+    for violation in result.violations:
+        print(f"  {violation}")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Seeded chaos exploration of the conditional-messaging"
+        " implementation.",
+    )
+    parser.add_argument(
+        "--episodes", type=int, default=50, help="episodes to run (default 50)"
+    )
+    parser.add_argument(
+        "--base-seed", type=int, default=0, help="first episode seed"
+    )
+    parser.add_argument(
+        "--journal",
+        choices=("memory", "file"),
+        default="memory",
+        help="journal backend (file enables torn-tail faults)",
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="REPRO_JSON",
+        help="replay one reproducer file instead of exploring",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=".",
+        help="directory for minimized reproducer files (default: cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    explorer = ChaosExplorer()
+    if args.replay:
+        with open(args.replay, "r", encoding="utf-8") as handle:
+            result = explorer.replay(handle.read())
+        _report_one(result)
+        return 0 if result.ok else 1
+
+    failures = 0
+    for i in range(args.episodes):
+        seed = args.base_seed + i
+        spec = EpisodeSpec.generate(seed, journal=args.journal)
+        result = explorer.run_episode(spec)
+        status = "ok" if result.ok else "VIOLATION"
+        print(
+            f"episode seed={seed} {status}: sends={result.sends}"
+            f" crashes={result.crashes} faults={result.faults_fired}"
+            f" outcomes={result.outcomes}"
+        )
+        if not result.ok:
+            failures += 1
+            for violation in result.violations:
+                print(f"  {violation}")
+            minimal = explorer.shrink(spec)
+            path = f"{args.out}/CHAOS_repro_seed{seed}.json"
+            explorer.write_repro(minimal, path)
+            print(f"  minimized reproducer: {path}")
+    print(
+        json.dumps(
+            {
+                "episodes": args.episodes,
+                "base_seed": args.base_seed,
+                "journal": args.journal,
+                "failures": failures,
+            }
+        )
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

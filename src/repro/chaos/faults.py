@@ -1,0 +1,428 @@
+"""Declarative fault plans and the injector that executes them.
+
+A :class:`FaultPlan` is a fully seeded, serializable description of every
+fault an episode will suffer: queue-manager crashes pinned to journal
+flush boundaries or to virtual times, network partitions between manager
+pairs, torn journal tails, duplicated transfers, and transient channel
+delays.  Because the plan is plain data (``to_json``/``from_json``
+round-trips it), a failing episode shrinks to a minimal reproducer that
+replays deterministically from its seed.
+
+The :class:`FaultInjector` executes a plan against a live deployment by
+driving hooks the production code already exposes:
+
+* ``Journal.on_pre_flush`` / ``on_post_flush`` — the crash-point hooks in
+  :mod:`repro.mq.persistence`.  A *pre*-flush crash raises
+  :class:`CrashPoint` synchronously, so the commit group being written is
+  lost and the dispatching event aborts mid-flight (the strictest crash:
+  durable state is exactly the journal before the group).  A *post*-flush
+  crash fires after the group hit the journal; the injector defers the
+  actual :class:`CrashPoint` to an immediate scheduler event, modelling
+  "the group is durable, the process dies at the end of this dispatch
+  step".
+* :meth:`MessageNetwork.partition` / :meth:`~MessageNetwork.heal` — both
+  channel directions stop/start atomically.
+* ``Channel.latency_ms`` — transient delay faults.
+* :meth:`MessageNetwork._deliver` — duplicate-transfer injection replays
+  a parked transmission-queue envelope straight at the target, which the
+  network's exactly-once resolution must suppress.
+
+The injector never *performs* recovery; it raises/fires, and the chaos
+harness (:mod:`repro.chaos.explorer`) catches :class:`CrashPoint` and
+rebuilds the crashed manager via :meth:`QueueManager.recover`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import ChannelError
+from repro.mq.manager import XMIT_PREFIX
+from repro.mq.network import MessageNetwork
+from repro.mq.persistence import Journal
+from repro.sim.scheduler import EventScheduler
+
+__all__ = [
+    "CrashPoint",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "FAULT_KINDS",
+]
+
+#: Recognized fault kinds (the ``kind`` field of a :class:`FaultEvent`).
+FAULT_KINDS = (
+    "crash",       # kill a queue manager; harness recovers it from its journal
+    "torn_tail",   # crash + tear the final journal record (file journals)
+    "partition",   # stop both channel directions between two managers
+    "heal",        # restart both channel directions
+    "duplicate",   # redeliver a parked transfer (exactly-once must suppress)
+    "delay",       # transiently raise a channel's latency
+)
+
+
+class CrashPoint(Exception):
+    """A simulated process crash of one queue manager.
+
+    Deliberately NOT an :class:`~repro.errors.MQError`: no production
+    ``except MQError`` handler may swallow a crash.  It propagates out of
+    whatever operation was running, through the scheduler, to the chaos
+    harness's drain loop, which discards the manager object and rebuilds
+    it from its journal — the presumed-abort crash model.
+
+    Attributes:
+        manager: Name of the crashed queue manager.
+        phase: Where the crash fired (``"pre-flush"``, ``"post-flush"``,
+            or ``"scheduled"`` for time-triggered crashes).
+        tear: Whether the harness should tear the tail of the journal
+            before recovery (torn-write simulation; file journals heal it
+            on reopen).
+    """
+
+    def __init__(self, manager: str, phase: str, tear: bool = False) -> None:
+        super().__init__(f"crash of {manager} at {phase}")
+        self.manager = manager
+        self.phase = phase
+        self.tear = tear
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One declarative fault.
+
+    Exactly one trigger applies per event: ``at_ms`` schedules it at a
+    virtual time; ``at_flush`` (crash kinds only) arms it on the named
+    manager's N-th journal flush.  Flush-armed crashes fire on the first
+    flush whose ordinal reaches ``at_flush`` — robust under shrinking,
+    which can only reduce the flush count.
+
+    Attributes:
+        kind: One of :data:`FAULT_KINDS`.
+        manager: Target manager (crash/torn_tail).
+        source, target: Manager pair (partition/heal/duplicate/delay).
+        at_ms: Virtual-time trigger.
+        at_flush: Flush-ordinal trigger (crash kinds only).
+        phase: ``"pre"`` or ``"post"`` — which side of the flush the
+            crash lands on (see module docstring).
+        delay_ms: Added latency (delay kind).
+        duration_ms: How long a partition/delay lasts; ``None`` means
+            until :meth:`FaultInjector.heal_all`.
+    """
+
+    kind: str
+    manager: Optional[str] = None
+    source: Optional[str] = None
+    target: Optional[str] = None
+    at_ms: Optional[int] = None
+    at_flush: Optional[int] = None
+    phase: str = "pre"
+    delay_ms: int = 0
+    duration_ms: Optional[int] = None
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on a malformed event."""
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+        if self.kind in ("crash", "torn_tail"):
+            if not self.manager:
+                raise ValueError(f"{self.kind} fault needs a manager")
+            if (self.at_ms is None) == (self.at_flush is None):
+                raise ValueError(
+                    f"{self.kind} fault needs exactly one of at_ms/at_flush"
+                )
+            if self.phase not in ("pre", "post"):
+                raise ValueError("crash phase must be 'pre' or 'post'")
+        else:
+            if not self.source or not self.target:
+                raise ValueError(f"{self.kind} fault needs source and target")
+            if self.at_ms is None:
+                raise ValueError(f"{self.kind} fault needs at_ms")
+            if self.at_flush is not None:
+                raise ValueError(f"{self.kind} fault cannot use at_flush")
+        if self.kind == "delay" and self.delay_ms <= 0:
+            raise ValueError("delay fault needs delay_ms > 0")
+        if self.duration_ms is not None and self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive when given")
+
+    def to_dict(self) -> Dict:
+        """Wire form (``None`` fields omitted for compact reproducers)."""
+        out: Dict = {"kind": self.kind}
+        for key in (
+            "manager", "source", "target", "at_ms", "at_flush", "duration_ms"
+        ):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        if self.kind in ("crash", "torn_tail"):
+            out["phase"] = self.phase
+        if self.kind == "delay":
+            out["delay_ms"] = self.delay_ms
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultEvent":
+        """Decode the wire form; validates."""
+        event = cls(
+            kind=data["kind"],
+            manager=data.get("manager"),
+            source=data.get("source"),
+            target=data.get("target"),
+            at_ms=data.get("at_ms"),
+            at_flush=data.get("at_flush"),
+            phase=data.get("phase", "pre"),
+            delay_ms=data.get("delay_ms", 0),
+            duration_ms=data.get("duration_ms"),
+        )
+        event.validate()
+        return event
+
+
+@dataclass
+class FaultPlan:
+    """An ordered collection of fault events plus the seed that made it."""
+
+    seed: int = 0
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Validate every event."""
+        for event in self.events:
+            event.validate()
+
+    def without(self, index: int) -> "FaultPlan":
+        """A copy with the ``index``-th event removed (shrinking step)."""
+        return FaultPlan(
+            seed=self.seed,
+            events=[e for i, e in enumerate(self.events) if i != index],
+        )
+
+    def to_dict(self) -> Dict:
+        return {"seed": self.seed, "events": [e.to_dict() for e in self.events]}
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FaultPlan":
+        return cls(
+            seed=int(data.get("seed", 0)),
+            events=[FaultEvent.from_dict(e) for e in data.get("events", [])],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against a live deployment.
+
+    Args:
+        plan: The fault plan (validated on install).
+        network: The deployment's message network.
+        scheduler: The shared simulation scheduler.
+
+    The injector tracks journal flushes *per manager name* in its own
+    counters, so a crash/recover cycle (which swaps the journal hooks via
+    :meth:`attach_journal`) does not reset the flush ordinals — event
+    ``at_flush=40`` means the fortieth flush of that manager's lifetime
+    in the episode, across incarnations.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        network: MessageNetwork,
+        scheduler: EventScheduler,
+    ) -> None:
+        plan.validate()
+        self.plan = plan
+        self.network = network
+        self.scheduler = scheduler
+        self._flush_counts: Dict[str, int] = {}
+        self._fired: Set[int] = set()
+        #: (source, target) pairs this injector partitioned and has not
+        #: yet healed — heal_all() repairs exactly these.
+        self._open_partitions: Set[tuple] = set()
+        self._installed = False
+
+    # -- wiring -----------------------------------------------------------------
+
+    def install(self, journals: Dict[str, Journal]) -> None:
+        """Hook every journal and schedule every timed fault."""
+        if self._installed:
+            raise RuntimeError("injector already installed")
+        self._installed = True
+        for name, journal in journals.items():
+            self.attach_journal(name, journal)
+        for index, event in enumerate(self.plan.events):
+            if event.at_ms is not None:
+                self.scheduler.call_at(
+                    event.at_ms,
+                    lambda index=index, event=event: self._fire_timed(
+                        index, event
+                    ),
+                    label=f"fault {event.kind} #{index}",
+                )
+
+    def attach_journal(self, name: str, journal: Journal) -> None:
+        """(Re-)install the flush hooks on a manager's journal.
+
+        Called at install time and again after every recovery (recovery
+        may hand back the same journal object or, after a torn-tail, a
+        fresh one over the same file).
+        """
+        journal.on_pre_flush = (
+            lambda _groups, name=name: self._on_flush(name, "pre")
+        )
+        journal.on_post_flush = (
+            lambda _groups, name=name: self._on_flush(name, "post")
+        )
+
+    # -- flush-armed crashes ----------------------------------------------------
+
+    def _on_flush(self, name: str, phase: str) -> None:
+        if phase == "pre":
+            self._flush_counts[name] = self._flush_counts.get(name, 0) + 1
+        count = self._flush_counts.get(name, 0)
+        for index, event in enumerate(self.plan.events):
+            if index in self._fired:
+                continue
+            if event.kind not in ("crash", "torn_tail"):
+                continue
+            if event.manager != name or event.at_flush is None:
+                continue
+            if event.phase != phase or count < event.at_flush:
+                continue
+            self._fired.add(index)
+            crash = CrashPoint(
+                name,
+                phase=f"{phase}-flush",
+                tear=event.kind == "torn_tail",
+            )
+            if phase == "pre":
+                # Synchronous: the group being written is lost with the
+                # process; the dispatching event aborts here.
+                raise crash
+            # Post-flush: the group is durable.  Raising here, mid-call,
+            # would crash the *caller's* event half-way through its own
+            # bookkeeping (e.g. a cross-manager transfer between delivery
+            # and resolution), which no real single-process failure does
+            # — the writing process dies, not its peer.  Fire the crash
+            # at the next dispatch boundary instead.
+            self.scheduler.call_later(
+                0,
+                lambda crash=crash: self._raise(crash),
+                label=f"crash {name} post-flush",
+            )
+            return
+
+    @staticmethod
+    def _raise(crash: CrashPoint) -> None:
+        raise crash
+
+    # -- timed faults -----------------------------------------------------------
+
+    def _fire_timed(self, index: int, event: FaultEvent) -> None:
+        if index in self._fired:
+            return
+        self._fired.add(index)
+        if event.kind in ("crash", "torn_tail"):
+            raise CrashPoint(
+                event.manager or "",
+                phase="scheduled",
+                tear=event.kind == "torn_tail",
+            )
+        if event.kind == "partition":
+            self._fire_partition(event)
+        elif event.kind == "heal":
+            self._heal_pair(event.source or "", event.target or "")
+        elif event.kind == "duplicate":
+            self._fire_duplicate(event)
+        elif event.kind == "delay":
+            self._fire_delay(event)
+
+    def _fire_partition(self, event: FaultEvent) -> None:
+        a, b = event.source or "", event.target or ""
+        try:
+            self.network.partition(a, b)
+        except ChannelError:
+            return  # no such channel pair in this topology; fault is moot
+        self._open_partitions.add((a, b))
+        if event.duration_ms is not None:
+            self.scheduler.call_later(
+                event.duration_ms,
+                lambda: self._heal_pair(a, b),
+                label=f"heal {a}<->{b}",
+            )
+
+    def _heal_pair(self, a: str, b: str) -> None:
+        try:
+            self.network.heal(a, b)
+        except ChannelError:
+            return
+        self._open_partitions.discard((a, b))
+
+    def _fire_duplicate(self, event: FaultEvent) -> None:
+        """Deliver a parked transfer immediately, without resolving it.
+
+        The regular transfer attempt for the same message still runs
+        later, so the target sees the message twice; the network's
+        exactly-once resolution is expected to suppress the replay.  A
+        no-op when nothing is parked at fire time.
+        """
+        try:
+            chan = self.network.channel(event.source or "", event.target or "")
+        except ChannelError:
+            return
+        source = self.network.manager(chan.source)
+        xmit_name = XMIT_PREFIX + chan.target
+        if not source.has_queue(xmit_name):
+            return
+        parked = next(iter(source.queue(xmit_name).browse()), None)
+        if parked is None:
+            return
+        self.network._deliver(chan, parked)
+
+    def _fire_delay(self, event: FaultEvent) -> None:
+        try:
+            chan = self.network.channel(event.source or "", event.target or "")
+        except ChannelError:
+            return
+        chan.latency_ms += event.delay_ms
+        if event.duration_ms is not None:
+            def restore(chan=chan, delta=event.delay_ms) -> None:
+                chan.latency_ms = max(0, chan.latency_ms - delta)
+
+            self.scheduler.call_later(
+                event.duration_ms,
+                restore,
+                label=f"undelay {chan.source}->{chan.target}",
+            )
+
+    # -- episode teardown --------------------------------------------------------
+
+    def heal_all(self) -> int:
+        """Repair every partition this injector opened; returns how many.
+
+        Called at the end of an episode so the invariant check always
+        runs against a connected, quiesced network (a message parked
+        behind a never-healed partition is *delayed*, not lost — the
+        paper's reliability model — so invariants are only meaningful
+        once channels run again).
+        """
+        healed = 0
+        for a, b in sorted(self._open_partitions):
+            try:
+                self.network.heal(a, b)
+            except ChannelError:
+                continue
+            healed += 1
+        self._open_partitions.clear()
+        return healed
+
+    def fired_count(self) -> int:
+        """How many plan events have triggered so far."""
+        return len(self._fired)

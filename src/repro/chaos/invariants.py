@@ -1,0 +1,519 @@
+"""The paper-invariant checker for chaos episodes.
+
+After an episode quiesces (all channels healed, all crashed managers
+recovered, all queues swept), :class:`InvariantSuite` checks the
+guarantees the paper's reliability argument rests on:
+
+* **Journal coherence** — no persistent message lost or duplicated
+  relative to the journal: replaying each manager's journal yields
+  exactly its live queue content (transmission queues excepted: their
+  transfer-time resolution is deliberately queue-level, so the journal
+  may hold already-transferred parked copies, but never the reverse).
+* **Outcome uniqueness** — every conditional send decides exactly one
+  outcome, every outcome correlates to a known send, and the sender log
+  DS.SLOG.Q is empty (no evaluation left dangling).
+* **Compensation consistency** — the net effect at every destination is
+  consistent with the decided outcome: a compensation is delivered to
+  the application only where the original was consumed, never twice,
+  never after SUCCESS, and always where consumption preceded the FAILURE
+  decision.  (A *late* consumption — a read after the failure was
+  already decided — may race the compensation's arrival and go
+  uncompensated either way; the paper's model allows it, so the checker
+  does too.)
+* **Acknowledgment correlation** — every receiver-log and ack-path
+  record correlates to a known send, no destination consumed an original
+  twice, and DS.ACK.Q is fully drained.
+* **D-Sphere atomicity** — messages grouped in a Dependency-Sphere share
+  one effective outcome: all decided, and compensation behaviour follows
+  the group outcome (FAILURE if any member failed), not the individual
+  ones.
+
+Ground truth is durable state (journals, DS.* queues), supplemented by
+the :class:`EpisodeLedger` the harness keeps of what the *application*
+actually observed (sends issued, originals delivered, compensations
+delivered) — the two views are cross-checked against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.logqueues import (
+    ACK_QUEUE,
+    COMPENSATION_QUEUE,
+    OUTCOME_QUEUE,
+    RECEIVER_LOG_QUEUE,
+    SENDER_LOG_QUEUE,
+    ReceiverLogEntry,
+)
+from repro.core.outcome import MessageOutcome, OutcomeRecord
+from repro.mq.manager import XMIT_PREFIX, QueueManager
+from repro.mq.persistence import Journal
+from repro.obs.trace import FlightRecorder
+
+__all__ = [
+    "Violation",
+    "SendRecord",
+    "EpisodeLedger",
+    "ChaosContext",
+    "InvariantSuite",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, with enough context to debug it."""
+
+    invariant: str
+    detail: str
+    cmid: Optional[str] = None
+    manager: Optional[str] = None
+
+    def __str__(self) -> str:
+        where = f" [{self.manager}]" if self.manager else ""
+        who = f" cmid={self.cmid}" if self.cmid else ""
+        return f"{self.invariant}{where}{who}: {self.detail}"
+
+
+@dataclass
+class SendRecord:
+    """One conditional send the episode issued (or recovered)."""
+
+    cmid: str
+    destinations: List[Tuple[str, str]]  # (manager name, queue name)
+    has_compensation: bool = True
+    #: learned from DS.SLOG.Q after a sender crash interrupted the send
+    #: call itself (the application never saw the cmid)
+    recovered: bool = False
+    sphere: Optional[str] = None
+
+
+class EpisodeLedger:
+    """What the application layer observed during one episode.
+
+    The harness records here at the moment each observation happens;
+    invariants later reconcile this application-side view against the
+    durable queue-manager state.
+    """
+
+    def __init__(self) -> None:
+        self.sends: Dict[str, SendRecord] = {}
+        #: (cmid, manager name) -> times an original reached the app
+        self.reads: Dict[Tuple[str, str], int] = {}
+        #: (cmid, manager name) -> times a compensation reached the app
+        self.compensations: Dict[Tuple[str, str], int] = {}
+        #: (virtual time, manager name) of every crash suffered
+        self.crashes: List[Tuple[int, str]] = []
+        self.notes: List[str] = []
+
+    def record_send(self, record: SendRecord) -> None:
+        self.sends[record.cmid] = record
+
+    def record_read(self, cmid: str, manager: str) -> None:
+        key = (cmid, manager)
+        self.reads[key] = self.reads.get(key, 0) + 1
+
+    def record_compensation(self, cmid: str, manager: str) -> None:
+        key = (cmid, manager)
+        self.compensations[key] = self.compensations.get(key, 0) + 1
+
+    def record_crash(self, at_ms: int, manager: str) -> None:
+        self.crashes.append((at_ms, manager))
+
+
+@dataclass
+class ChaosContext:
+    """Everything the invariant suite inspects after an episode."""
+
+    sender_name: str
+    managers: Dict[str, QueueManager]
+    journals: Dict[str, Journal]
+    ledger: EpisodeLedger
+    recorder: Optional[FlightRecorder] = None
+    #: sphere id -> member cmids (empty outside D-Sphere workloads)
+    spheres: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def sender(self) -> QueueManager:
+        return self.managers[self.sender_name]
+
+
+class InvariantSuite:
+    """Checks every paper invariant; returns violations, raises nothing.
+
+    Each ``check_*`` method is independently callable; :meth:`check`
+    runs them all in order.
+    """
+
+    def check(self, context: ChaosContext) -> List[Violation]:
+        violations: List[Violation] = []
+        violations += self.check_journal_coherence(context)
+        violations += self.check_outcome_uniqueness(context)
+        violations += self.check_compensation_consistency(context)
+        violations += self.check_ack_correlation(context)
+        violations += self.check_dsphere_atomicity(context)
+        return violations
+
+    # -- journal vs live state ---------------------------------------------------
+
+    def check_journal_coherence(self, context: ChaosContext) -> List[Violation]:
+        """Replaying each journal must reproduce the live persistent state.
+
+        For every journaled manager the journal's replay (committed puts
+        minus journaled gets) is compared with the manager's actual queue
+        content, persistent messages only:
+
+        * application/system queues must match exactly — a journal-only
+          message would be *resurrected* on the next crash (a duplicate),
+          a live-only message would be *lost* (it is not durable);
+        * transmission queues (``SYSTEM.XMIT.*``) must satisfy
+          live ⊆ journal — the parked copy is the channel's in-doubt
+          record, resolved at queue level on transfer, so the journal may
+          legitimately retain already-transferred copies (the network's
+          exactly-once check suppresses their redelivery on recovery),
+          but a live parked message missing from the journal would be
+          lost by a crash;
+        * no queue may hold two live copies of one message id.
+        """
+        violations: List[Violation] = []
+        for name, manager in context.managers.items():
+            journal = context.journals.get(name)
+            if journal is None:
+                continue
+            _queue_names, replayed = journal.recover()
+            replay_ids = {
+                queue_name: {m.message_id for m in messages}
+                for queue_name, messages in replayed.items()
+            }
+            live_ids: Dict[str, set] = {}
+            for queue_name in manager.queue_names():
+                ids: List[str] = [
+                    m.message_id
+                    for m in manager.queue(queue_name).snapshot()
+                    if m.is_persistent()
+                ]
+                if len(ids) != len(set(ids)):
+                    dupes = sorted(
+                        {i for i in ids if ids.count(i) > 1}
+                    )
+                    violations.append(
+                        Violation(
+                            "journal_coherence",
+                            f"queue {queue_name} holds duplicate live"
+                            f" copies of {dupes}",
+                            manager=name,
+                        )
+                    )
+                live_ids[queue_name] = set(ids)
+            for queue_name in set(live_ids) | set(replay_ids):
+                live = live_ids.get(queue_name, set())
+                durable = replay_ids.get(queue_name, set())
+                lost = live - durable
+                if lost:
+                    violations.append(
+                        Violation(
+                            "journal_coherence",
+                            f"queue {queue_name}: {len(lost)} live persistent"
+                            f" message(s) absent from the journal (would be"
+                            f" lost by a crash): {sorted(lost)[:3]}",
+                            manager=name,
+                        )
+                    )
+                if queue_name.startswith(XMIT_PREFIX):
+                    continue  # journal ⊇ live is legitimate for xmit queues
+                phantom = durable - live
+                if phantom:
+                    violations.append(
+                        Violation(
+                            "journal_coherence",
+                            f"queue {queue_name}: {len(phantom)} journaled"
+                            f" message(s) no longer live (a crash would"
+                            f" resurrect them): {sorted(phantom)[:3]}",
+                            manager=name,
+                        )
+                    )
+        return violations
+
+    # -- outcomes -----------------------------------------------------------------
+
+    def check_outcome_uniqueness(self, context: ChaosContext) -> List[Violation]:
+        """Exactly one decided outcome per send; no orphans; no dangling log."""
+        violations: List[Violation] = []
+        sender = context.sender
+        counts: Dict[str, int] = {}
+        for record in self._outcome_records(context):
+            counts[record.cmid] = counts.get(record.cmid, 0) + 1
+        for cmid, count in counts.items():
+            if count > 1:
+                violations.append(
+                    Violation(
+                        "outcome_uniqueness",
+                        f"{count} outcome records on {OUTCOME_QUEUE}",
+                        cmid=cmid,
+                        manager=context.sender_name,
+                    )
+                )
+            if cmid not in context.ledger.sends:
+                violations.append(
+                    Violation(
+                        "outcome_uniqueness",
+                        "outcome for a cmid no send produced",
+                        cmid=cmid,
+                        manager=context.sender_name,
+                    )
+                )
+        for cmid in context.ledger.sends:
+            if cmid not in counts:
+                violations.append(
+                    Violation(
+                        "outcome_uniqueness",
+                        "send never decided an outcome",
+                        cmid=cmid,
+                        manager=context.sender_name,
+                    )
+                )
+        if sender.has_queue(SENDER_LOG_QUEUE):
+            dangling = [
+                str(m.correlation_id)
+                for m in sender.browse(SENDER_LOG_QUEUE)
+            ]
+            if dangling:
+                violations.append(
+                    Violation(
+                        "outcome_uniqueness",
+                        f"{len(dangling)} sender-log entries left on"
+                        f" {SENDER_LOG_QUEUE} after quiescence: {dangling[:3]}",
+                        manager=context.sender_name,
+                    )
+                )
+        return violations
+
+    # -- compensation net effect ----------------------------------------------------
+
+    def check_compensation_consistency(
+        self, context: ChaosContext
+    ) -> List[Violation]:
+        """Per destination, the net effect matches the effective outcome.
+
+        With consumption taken from the destination's durable DS.RLOG.Q
+        and compensation deliveries from the application ledger:
+
+        * a compensation is delivered only where the original was
+          consumed, and at most once;
+        * effective SUCCESS delivers no compensations;
+        * effective FAILURE with consumption that *preceded* the decision
+          delivers exactly one compensation (consumption after the
+          decision may race the compensation's transfer and legitimately
+          go either way — see the module docstring);
+        * the sender's staging queue DS.COMP.Q is empty (every staged
+          compensation was released or discarded by its decision).
+        """
+        violations: List[Violation] = []
+        outcomes = {r.cmid: r for r in self._outcome_records(context)}
+        effective = self._effective_outcomes(context, outcomes)
+        rlog = self._receiver_log(context)
+        for cmid, send in context.ledger.sends.items():
+            record = outcomes.get(cmid)
+            for manager_name, _queue in send.destinations:
+                delivered = context.ledger.compensations.get(
+                    (cmid, manager_name), 0
+                )
+                entries = rlog.get((cmid, manager_name), [])
+                if delivered > 1:
+                    violations.append(
+                        Violation(
+                            "compensation_consistency",
+                            f"compensation delivered {delivered} times",
+                            cmid=cmid,
+                            manager=manager_name,
+                        )
+                    )
+                if delivered and not entries:
+                    violations.append(
+                        Violation(
+                            "compensation_consistency",
+                            "compensation delivered where the original was"
+                            " never consumed",
+                            cmid=cmid,
+                            manager=manager_name,
+                        )
+                    )
+                outcome = effective.get(cmid)
+                if outcome is None or record is None:
+                    continue  # undecided: already flagged by uniqueness
+                if outcome is MessageOutcome.SUCCESS and delivered:
+                    violations.append(
+                        Violation(
+                            "compensation_consistency",
+                            "compensation delivered despite SUCCESS",
+                            cmid=cmid,
+                            manager=manager_name,
+                        )
+                    )
+                if (
+                    outcome is MessageOutcome.FAILURE
+                    and send.has_compensation
+                    and not delivered
+                    and any(
+                        self._settled_at(e) < record.decided_at_ms
+                        for e in entries
+                    )
+                ):
+                    violations.append(
+                        Violation(
+                            "compensation_consistency",
+                            "original consumed before the FAILURE decision"
+                            " but no compensation was delivered",
+                            cmid=cmid,
+                            manager=manager_name,
+                        )
+                    )
+        sender = context.sender
+        if sender.has_queue(COMPENSATION_QUEUE):
+            staged = [
+                str(m.correlation_id) for m in sender.browse(COMPENSATION_QUEUE)
+            ]
+            if staged:
+                violations.append(
+                    Violation(
+                        "compensation_consistency",
+                        f"{len(staged)} compensation(s) still staged on"
+                        f" {COMPENSATION_QUEUE}: {staged[:3]}",
+                        manager=context.sender_name,
+                    )
+                )
+        return violations
+
+    # -- acknowledgment correlation ---------------------------------------------
+
+    def check_ack_correlation(self, context: ChaosContext) -> List[Violation]:
+        """Receiver logs correlate to sends; no double consumption; acks drained."""
+        violations: List[Violation] = []
+        rlog = self._receiver_log(context)
+        for (cmid, manager_name), entries in rlog.items():
+            if cmid not in context.ledger.sends:
+                violations.append(
+                    Violation(
+                        "ack_correlation",
+                        "receiver log entry for a cmid no send produced",
+                        cmid=cmid,
+                        manager=manager_name,
+                    )
+                )
+            if len(entries) > 1:
+                violations.append(
+                    Violation(
+                        "ack_correlation",
+                        f"original consumed {len(entries)} times",
+                        cmid=cmid,
+                        manager=manager_name,
+                    )
+                )
+        for (cmid, manager_name), count in context.ledger.reads.items():
+            recorded = len(rlog.get((cmid, manager_name), []))
+            if count > recorded:
+                violations.append(
+                    Violation(
+                        "ack_correlation",
+                        f"application observed {count} original deliveries"
+                        f" but {RECEIVER_LOG_QUEUE} records {recorded}",
+                        cmid=cmid,
+                        manager=manager_name,
+                    )
+                )
+        sender = context.sender
+        if sender.has_queue(ACK_QUEUE):
+            pending = sum(1 for _ in sender.browse(ACK_QUEUE))
+            if pending:
+                violations.append(
+                    Violation(
+                        "ack_correlation",
+                        f"{pending} acknowledgment(s) never drained from"
+                        f" {ACK_QUEUE}",
+                        manager=context.sender_name,
+                    )
+                )
+        return violations
+
+    # -- D-Sphere all-or-nothing -----------------------------------------------
+
+    def check_dsphere_atomicity(self, context: ChaosContext) -> List[Violation]:
+        """Every sphere member decided; compensation follows the group outcome.
+
+        The per-member compensation behaviour under the *group* outcome
+        is enforced by :meth:`check_compensation_consistency` (which uses
+        effective outcomes); this check adds the membership-level part:
+        a sphere where some members decided and others did not has torn
+        its all-or-nothing promise.
+        """
+        violations: List[Violation] = []
+        if not context.spheres:
+            return violations
+        outcomes = {r.cmid: r for r in self._outcome_records(context)}
+        for sphere_id, members in context.spheres.items():
+            decided = [cmid for cmid in members if cmid in outcomes]
+            if decided and len(decided) != len(members):
+                missing = sorted(set(members) - set(decided))
+                violations.append(
+                    Violation(
+                        "dsphere_atomicity",
+                        f"sphere {sphere_id}: members {missing} undecided"
+                        f" while {len(decided)} member(s) decided",
+                    )
+                )
+        return violations
+
+    # -- shared extraction helpers -----------------------------------------------
+
+    def _outcome_records(self, context: ChaosContext) -> List[OutcomeRecord]:
+        sender = context.sender
+        if not sender.has_queue(OUTCOME_QUEUE):
+            return []
+        return [
+            OutcomeRecord.from_message(m) for m in sender.browse(OUTCOME_QUEUE)
+        ]
+
+    def _effective_outcomes(
+        self,
+        context: ChaosContext,
+        outcomes: Dict[str, OutcomeRecord],
+    ) -> Dict[str, MessageOutcome]:
+        """Own outcome, overridden by the group outcome inside a sphere."""
+        effective = {
+            cmid: record.outcome for cmid, record in outcomes.items()
+        }
+        for members in context.spheres.values():
+            member_outcomes = [
+                outcomes[cmid].outcome for cmid in members if cmid in outcomes
+            ]
+            if len(member_outcomes) != len(members):
+                continue  # torn sphere: flagged by check_dsphere_atomicity
+            group = (
+                MessageOutcome.FAILURE
+                if MessageOutcome.FAILURE in member_outcomes
+                else MessageOutcome.SUCCESS
+            )
+            for cmid in members:
+                effective[cmid] = group
+        return effective
+
+    def _receiver_log(
+        self, context: ChaosContext
+    ) -> Dict[Tuple[str, str], List[ReceiverLogEntry]]:
+        """(cmid, manager name) -> DS.RLOG.Q entries, across all managers."""
+        rlog: Dict[Tuple[str, str], List[ReceiverLogEntry]] = {}
+        for name, manager in context.managers.items():
+            if not manager.has_queue(RECEIVER_LOG_QUEUE):
+                continue
+            for message in manager.browse(RECEIVER_LOG_QUEUE):
+                entry = ReceiverLogEntry.from_message(message)
+                rlog.setdefault((entry.cmid, name), []).append(entry)
+        return rlog
+
+    @staticmethod
+    def _settled_at(entry: ReceiverLogEntry) -> int:
+        """When a consumption became durable (commit time for tx reads)."""
+        if entry.commit_time_ms is not None:
+            return max(entry.read_time_ms, entry.commit_time_ms)
+        return entry.read_time_ms

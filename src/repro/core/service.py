@@ -276,6 +276,7 @@ class ConditionalMessagingService:
         return resumed
 
     def _on_decided(self, record: OutcomeRecord) -> None:
+        deferral = self._deferrals.pop(record.cmid, None)
         with self._durability_scope():
             # The informational outcome notification always lands on
             # DS.OUTCOME.Q as soon as evaluation completes (section 2.5).
@@ -283,13 +284,17 @@ class ConditionalMessagingService:
             # The recovery-log entry has served its purpose (see
             # recover_from_log); drop it so the log tracks in-flight messages.
             self._remove_log_entry(record.cmid)
-        deferral = self._deferrals.pop(record.cmid, None)
+            if deferral is None:
+                # Outcome actions join the decision's commit group: were
+                # the sender-log removal durable while the compensation
+                # release/discard was not, a crash here would strand
+                # staged compensations with no log entry left to re-drive
+                # them.  One group makes decision and actions atomic.
+                self.apply_outcome_actions(record.cmid, record.outcome)
         if deferral is not None:
             # Part of a Dependency-Sphere: outcome actions wait for the
             # sphere's group outcome (section 3.1).
             deferral(record)
-            return
-        self.apply_outcome_actions(record.cmid, record.outcome)
 
     def apply_outcome_actions(self, cmid: str, outcome: MessageOutcome) -> None:
         """Run compensation/success actions for a decided message.

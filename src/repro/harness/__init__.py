@@ -10,7 +10,12 @@ and sweeps, and fixed-width table rendering for the benchmark output.
 from repro.harness.inspect import format_snapshot, snapshot_manager, snapshot_service
 from repro.harness.metrics import LatencyStats, MetricSeries
 from repro.harness.reporting import Table, render_metrics, render_trace_timeline
-from repro.harness.runner import ExperimentResult, run_example1, run_example2
+from repro.harness.runner import (
+    ExperimentResult,
+    run_chaos_corpus,
+    run_example1,
+    run_example2,
+)
 
 __all__ = [
     "LatencyStats",
@@ -21,6 +26,7 @@ __all__ = [
     "ExperimentResult",
     "run_example1",
     "run_example2",
+    "run_chaos_corpus",
     "snapshot_manager",
     "snapshot_service",
     "format_snapshot",

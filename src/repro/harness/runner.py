@@ -168,3 +168,68 @@ def run_example2(
         cmid=cmid,
         extras={"picked_by": picked, "controllers": controller_endpoints},
     )
+
+
+def run_chaos_corpus(
+    episodes: int = 50,
+    base_seed: int = 0,
+    journal: str = "memory",
+    journal_dir: Optional[str] = None,
+    repro_dir: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run a fixed-seed chaos corpus; returns an aggregate summary.
+
+    Drives :class:`repro.chaos.ChaosExplorer` over ``episodes``
+    consecutive seeds.  Every failing episode is shrunk to a minimal
+    reproducer; when ``repro_dir`` is given the reproducer JSON is
+    written there as ``CHAOS_repro_seed<seed>.json`` so CI can upload
+    it as an artifact.
+
+    Args:
+        episodes: Number of seeded episodes.
+        base_seed: Seed of the first episode (episode ``i`` uses
+            ``base_seed + i``).
+        journal: ``"memory"`` or ``"file"`` — file journals enable
+            torn-tail faults.
+        journal_dir: Directory for file journals (temporary when None).
+        repro_dir: Where to write minimized reproducers for failures.
+
+    Returns:
+        Summary dict: ``episodes``, ``failures`` (count),
+        ``violations`` (list of strings), ``repro_paths``, plus the
+        aggregate ``sends``/``crashes``/``faults_fired`` counters.
+    """
+    from repro.chaos import ChaosExplorer, EpisodeSpec
+
+    explorer = ChaosExplorer(journal_dir=journal_dir)
+    summary: Dict[str, object] = {
+        "episodes": episodes,
+        "base_seed": base_seed,
+        "journal": journal,
+        "failures": 0,
+        "violations": [],
+        "repro_paths": [],
+        "sends": 0,
+        "crashes": 0,
+        "faults_fired": 0,
+    }
+    for i in range(episodes):
+        seed = base_seed + i
+        spec = EpisodeSpec.generate(seed, journal=journal)
+        result = explorer.run_episode(spec)
+        summary["sends"] += result.sends  # type: ignore[operator]
+        summary["crashes"] += result.crashes  # type: ignore[operator]
+        summary["faults_fired"] += result.faults_fired  # type: ignore[operator]
+        if result.ok:
+            continue
+        summary["failures"] += 1  # type: ignore[operator]
+        summary["violations"].extend(  # type: ignore[union-attr]
+            f"seed={seed} {violation}" for violation in result.violations
+        )
+        if repro_dir is not None:
+            minimal = explorer.shrink(spec)
+            path = explorer.write_repro(
+                minimal, f"{repro_dir}/CHAOS_repro_seed{seed}.json"
+            )
+            summary["repro_paths"].append(path)  # type: ignore[union-attr]
+    return summary

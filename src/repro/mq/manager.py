@@ -99,6 +99,10 @@ class QueueManager:
             # owning manager's registry.
             journal.metrics = metrics
         self._compacting = False
+        #: crash-point hook (:mod:`repro.chaos`): called after a
+        #: :meth:`group_commit` block's journal group has been written,
+        #: before auto-compaction.  ``None`` (default) is a no-op.
+        self.on_post_group: Optional[Callable[[], None]] = None
         self._queues: Dict[str, MessageQueue] = {}
         #: local alias -> (remote manager, remote queue) — MQ "remote
         #: queue definitions"
@@ -244,7 +248,8 @@ class QueueManager:
             for message in messages:
                 transaction.record_put(queue_name, message)
             return messages
-        stored_batch = self.queue(queue_name).put_many(messages)
+        queue = self.queue(queue_name)
+        stored_batch = queue.put_many(messages, notify=False)
         if self.journal is not None:
             persistent = [
                 (queue_name, stored)
@@ -253,6 +258,12 @@ class QueueManager:
             ]
             if persistent:
                 self.journal.log_put_many(persistent)
+        # Listeners fire only after the puts are journaled: a push
+        # consumer may journal-visibly get the message inside the
+        # listener, and a get logged before its put replays the message
+        # back to life on recovery.
+        for stored in stored_batch:
+            queue.notify_put(stored)
         for stored in stored_batch:
             self._after_deliver(queue_name, stored)
         if self.metrics is not None:
@@ -276,6 +287,10 @@ class QueueManager:
     def _group_commit_then_compact(self) -> Iterator["QueueManager"]:
         with self.journal.batch():
             yield self
+        # The hook only fires once the group is durable: a batch that
+        # raises (including a simulated pre-flush crash) skips it.
+        if self.on_post_group is not None:
+            self.on_post_group()
         self._maybe_autocompact()
 
     def _deliver_local(self, queue_name: str, message: Message) -> Message:
@@ -284,9 +299,14 @@ class QueueManager:
         Shared by the non-transactional put path and transaction commit,
         so syncpoint puts get identical durability and COA behaviour.
         """
-        stored = self.queue(queue_name).put(message)
+        queue = self.queue(queue_name)
+        stored = queue.put(message, notify=False)
         if self.journal is not None and stored.is_persistent():
             self.journal.log_put(queue_name, stored)
+        # Listeners fire only after the put is journaled: a push consumer
+        # may journal-visibly get the message inside the listener, and a
+        # get logged before its put replays the message on recovery.
+        queue.notify_put(stored)
         self._after_deliver(queue_name, stored)
         if self.metrics is not None:
             self.metrics.incr(f"puts.{self.name}")

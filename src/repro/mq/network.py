@@ -25,8 +25,9 @@ which the unit tests of higher layers use for brevity.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import ChannelError, MQError, QueueManagerNotFoundError
 from repro.mq.manager import DEAD_LETTER_QUEUE, XMIT_PREFIX, QueueManager
@@ -57,6 +58,10 @@ class ChannelStats:
     delivered: int = 0
     failed_attempts: int = 0
     dead_lettered: int = 0
+    #: redeliveries suppressed by the exactly-once resolution check (a
+    #: crashed source resurrecting an already-transferred parked message,
+    #: or an injected duplicate transfer)
+    duplicates_suppressed: int = 0
 
 
 @dataclass
@@ -102,6 +107,15 @@ class MessageNetwork:
             messages go to the target's dead-letter queue.
         tracer: Lifecycle tracer stamping ``xmit`` events when messages
             park on transmission queues (no-op by default).
+        exactly_once: When True (default), final delivery records every
+            transferred ``(target, queue, message_id)`` and suppresses
+            redeliveries — the simulation analogue of MQ channel
+            sequence-number resynchronisation.  A crashed source manager
+            resurrects already-transferred parked messages from its
+            journal (the transfer-time removal is deliberately not
+            journaled: the parked copy is the channel's in-doubt record);
+            re-driving them must not deliver twice.  Disable only for
+            ablation runs that want to observe the duplicates.
     """
 
     def __init__(
@@ -110,15 +124,23 @@ class MessageNetwork:
         seed: int = 0,
         auto_create_queues: bool = True,
         tracer: Tracer = NULL_TRACER,
+        exactly_once: bool = True,
     ) -> None:
         self.scheduler = scheduler
         self.auto_create_queues = auto_create_queues
         self.tracer = tracer
+        self.exactly_once = exactly_once
+        #: True when the last :meth:`quiesce` exhausted its event budget
+        #: with work still pending (see the ``strict`` parameter).
+        self.truncated = False
         self._rng = random.Random(seed)
         self._managers: Dict[str, QueueManager] = {}
         self._channels: Dict[Tuple[str, str], Channel] = {}
         #: (source, final target) -> next hop, for multi-hop forwarding
         self._routes: Dict[Tuple[str, str], str] = {}
+        #: (target manager, queue, message_id) of every completed final
+        #: delivery — the exactly-once resolution record
+        self._delivered: Set[Tuple[str, str, str]] = set()
 
     # -- topology ---------------------------------------------------------------
 
@@ -127,12 +149,29 @@ class MessageNetwork:
         if manager.name in self._managers:
             raise MQError(f"manager {manager.name!r} already on the network")
         self._managers[manager.name] = manager
+        self._install_handler(manager)
+        return manager
 
+    def reattach_manager(self, manager: QueueManager) -> QueueManager:
+        """Replace a registered manager with its post-crash incarnation.
+
+        Channels, routes and delivery records are untouched; only the
+        manager object (rebuilt by :meth:`QueueManager.recover`) is
+        swapped and re-handled.  Call :meth:`redrive` afterwards to
+        re-attempt any parked transmission-queue messages the journal
+        resurrected.
+        """
+        if manager.name not in self._managers:
+            raise QueueManagerNotFoundError(manager.name)
+        self._managers[manager.name] = manager
+        self._install_handler(manager)
+        return manager
+
+    def _install_handler(self, manager: QueueManager) -> None:
         def handler(target: str, queue_name: str, message: Message) -> None:
             self.send(manager.name, target, queue_name, message)
 
         manager.attach_network(handler)
-        return manager
 
     def manager(self, name: str) -> QueueManager:
         """Look up a registered manager by name."""
@@ -231,6 +270,44 @@ class MessageNetwork:
         chan.stopped = False
         self._drain_xmit(chan)
 
+    def partition(self, a: str, b: str) -> None:
+        """Stop both channel directions between ``a`` and ``b`` atomically.
+
+        Both channels are looked up before either is touched, so a
+        missing direction raises :class:`ChannelError` without leaving a
+        half-partitioned pair.
+        """
+        forward = self.channel(a, b)
+        backward = self.channel(b, a)
+        forward.stopped = True
+        backward.stopped = True
+
+    def heal(self, a: str, b: str) -> None:
+        """Restart both channel directions between ``a`` and ``b``.
+
+        Like :meth:`partition`, both channels are resolved before either
+        side is restarted; each direction then drains its parked
+        transmission queue.
+        """
+        self.channel(a, b)
+        self.channel(b, a)
+        self.start_channel(a, b)
+        self.start_channel(b, a)
+
+    def redrive(self) -> None:
+        """Re-attempt parked transmission traffic on every running channel.
+
+        After a crash, :meth:`QueueManager.recover` resurrects the
+        journaled transmission queues but no transfer events exist for
+        them (the old events either fired against the dead manager or
+        no-op on the empty recovered queue).  Re-driving schedules a
+        fresh attempt per parked message; already-delivered messages are
+        resolved without redelivery by the exactly-once check.
+        """
+        for chan in self._channels.values():
+            if not chan.stopped:
+                self._drain_xmit(chan)
+
     # -- transfer --------------------------------------------------------------------
 
     def send(
@@ -318,11 +395,30 @@ class MessageNetwork:
             return
         src_manager = self.manager(chan.source)
         xmit_name = XMIT_PREFIX + chan.target
-        try:
-            enveloped = src_manager.queue(xmit_name).get_by_id(message_id)
-        except MQError:
+        if not src_manager.has_queue(xmit_name):
+            return
+        enveloped = next(
+            (
+                m
+                for m in src_manager.queue(xmit_name).browse()
+                if m.message_id == message_id
+            ),
+            None,
+        )
+        if enveloped is None:
             return  # already transferred (e.g. drained after a partition healed)
+        # Deliver first, resolve the parked copy after: a target crash
+        # mid-delivery then leaves the message parked for a later
+        # re-attempt instead of losing it.  The resolution is a
+        # queue-level removal on purpose — the journaled parked copy is
+        # the channel's in-doubt record, and a crashed source re-drives
+        # it through the exactly-once check instead of losing or
+        # duplicating the message.
         self._deliver(chan, enveloped)
+        try:
+            src_manager.queue(xmit_name).get_by_id(message_id)
+        except MQError:
+            pass  # raced with another resolution of the same attempt
 
     def _deliver(self, chan: Channel, enveloped: Message) -> None:
         final_target = str(enveloped.get_property(PROP_ROUTE_TARGET_MANAGER))
@@ -343,6 +439,22 @@ class MessageNetwork:
             self.send(chan.target, final_target, queue_name, stripped)
             return
         target_manager = self.manager(chan.target)
+        if self.exactly_once:
+            key = (chan.target, queue_name, enveloped.message_id)
+            # Suppress a redelivery when the transfer already completed:
+            # the resolution record covers the common case, the
+            # queue-presence scan the narrow one where a target crash
+            # after the durable delivery flush lost the record.
+            if key in self._delivered or (
+                target_manager.has_queue(queue_name)
+                and any(
+                    stored.message_id == enveloped.message_id
+                    for stored in target_manager.queue(queue_name).snapshot()
+                )
+            ):
+                self._delivered.add(key)
+                chan.stats.duplicates_suppressed += 1
+                return
         # Strip the routing envelope before final delivery.
         props = {
             k: v
@@ -359,8 +471,14 @@ class MessageNetwork:
                     final.with_properties(DLQ_REASON="unknown-queue"),
                 )
                 chan.stats.dead_lettered += 1
+                if self.exactly_once:
+                    self._delivered.add(
+                        (chan.target, queue_name, enveloped.message_id)
+                    )
                 return
         target_manager.put(queue_name, final)
+        if self.exactly_once:
+            self._delivered.add((chan.target, queue_name, enveloped.message_id))
         chan.stats.delivered += 1
 
     def _drain_xmit(self, chan: Channel) -> None:
@@ -377,8 +495,31 @@ class MessageNetwork:
 
     # -- convenience ------------------------------------------------------------------
 
-    def quiesce(self, max_events: int = 1_000_000) -> int:
-        """Run the scheduler until the network is idle (simulation only)."""
+    def quiesce(self, max_events: int = 1_000_000, strict: bool = True) -> int:
+        """Run the scheduler until the network is idle (simulation only).
+
+        Returns the number of events fired.  If the event budget runs out
+        with work still pending the network is NOT quiescent: ``strict``
+        (default) raises :class:`ChannelError`; otherwise a warning is
+        issued and :attr:`truncated` is set so callers can tell a drained
+        network from a truncated drain.
+        """
+        self.truncated = False
         if self.scheduler is None:
             return 0
-        return self.scheduler.run_all(max_events=max_events)
+        fired = 0
+        while fired < max_events:
+            if not self.scheduler.step():
+                return fired
+            fired += 1
+        if self.scheduler.next_due_ms() is None:
+            return fired
+        self.truncated = True
+        detail = (
+            f"network did not quiesce within {max_events} events;"
+            f" {self.scheduler.pending()} still pending"
+        )
+        if strict:
+            raise ChannelError(detail)
+        warnings.warn(detail, RuntimeWarning, stacklevel=2)
+        return fired

@@ -247,6 +247,14 @@ class Journal(ABC):
         self.skipped_trailing_records = 0
         #: optional metrics registry (the owning manager attaches its own)
         self.metrics = None  # type: Optional[Any]
+        #: crash-point hooks (:mod:`repro.chaos`): called with the logical
+        #: record count immediately before / after each physical commit
+        #: group is handed to the store.  A pre-flush hook that raises
+        #: models a crash with the group lost; a post-flush hook that
+        #: raises models a crash with the group durable.  ``None`` (the
+        #: default) costs one attribute check per flush.
+        self.on_pre_flush: Optional[Callable[[int], None]] = None
+        self.on_post_flush: Optional[Callable[[int], None]] = None
         self._batch_depth = 0
         self._batch_buffer: List[str] = []
         self._post_commit_hooks: List[Callable[[], None]] = []
@@ -362,7 +370,11 @@ class Journal(ABC):
             physical = ['{"op": "group", "records": [' + ", ".join(lines) + "]}"]
         else:
             physical = lines
+        if self.on_pre_flush is not None:
+            self.on_pre_flush(len(lines))
         nbytes = self._write_serialized(physical, len(lines))
+        if self.on_post_flush is not None:
+            self.on_post_flush(len(lines))
         self.records_written += len(lines)
         self.flush_count += 1
         self.bytes_written += nbytes

@@ -117,11 +117,18 @@ class MessageQueue:
 
     # -- put -------------------------------------------------------------------
 
-    def put(self, message: Message) -> Message:
+    def put(self, message: Message, notify: bool = True) -> Message:
         """Append ``message`` in priority order; returns the stored message.
 
         The stored message is stamped with ``put_time_ms``.  Raises
         :class:`QueueFullError` when the queue is at ``max_depth``.
+
+        ``notify=False`` skips the put listeners; the caller must fire
+        :meth:`notify_put` itself.  The queue manager does this to
+        notify only *after* journaling the put: a push consumer may
+        destructively (and journal-visibly) get the message inside the
+        listener, and a journal holding that get before the put would
+        replay the message back to life after a crash.
         """
         self._sweep_expired()
         if len(self._entries) >= self._max_depth:
@@ -141,18 +148,26 @@ class MessageQueue:
             self.stats.high_water_depth, len(self._entries)
         )
         self._note_depth()
-        for listener in self._put_listeners:
-            listener(stored)
+        if notify:
+            self.notify_put(stored)
         return stored
 
-    def put_many(self, messages: List[Message]) -> List[Message]:
+    def notify_put(self, stored: Message) -> None:
+        """Fire the put listeners for an already-stored message."""
+        for listener in self._put_listeners:
+            listener(stored)
+
+    def put_many(
+        self, messages: List[Message], notify: bool = True
+    ) -> List[Message]:
         """Append a batch of messages with one sorted splice.
 
         All-or-nothing against ``max_depth``: either the whole batch fits
         or :class:`QueueFullError` is raised and nothing is stored.  The
         expiry sweep, ordering maintenance, and depth-gauge update run
         once for the batch instead of once per message; put listeners
-        still fire per stored message, after the whole batch is in place.
+        still fire per stored message, after the whole batch is in place
+        (unless ``notify=False`` — see :meth:`put`).
         """
         self._sweep_expired()
         messages = list(messages)
@@ -178,9 +193,9 @@ class MessageQueue:
         )
         self._note_depth()
         stored_batch = [entry.message for entry in new_entries]
-        for stored in stored_batch:
-            for listener in self._put_listeners:
-                listener(stored)
+        if notify:
+            for stored in stored_batch:
+                self.notify_put(stored)
         return stored_batch
 
     # -- get -------------------------------------------------------------------

@@ -112,6 +112,11 @@ class FlightRecorder(Tracer):
     Args:
         capacity: When set, only the most recent ``capacity`` events are
             retained (a bounded flight recorder for long soak runs).
+
+    :attr:`metadata` is a free-form dict for run-level context that is
+    not itself an event — e.g. the chaos explorer records the episode
+    seed and fault plan there, so a recorded trace is self-describing
+    enough to replay.
     """
 
     enabled = True
@@ -122,6 +127,8 @@ class FlightRecorder(Tracer):
         self._capacity = capacity
         self._events: List[TraceEvent] = []
         self._seq = itertools.count(1)
+        #: run-level context (episode seed, plan, workload parameters)
+        self.metadata: Dict[str, Any] = {}
 
     def emit(
         self,

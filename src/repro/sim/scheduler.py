@@ -82,6 +82,21 @@ class EventScheduler:
         """Number of live (non-cancelled) events still queued."""
         return sum(1 for e in self._heap if not e.cancelled)
 
+    def cancel_matching(self, predicate: Callable[[str], bool]) -> int:
+        """Cancel every pending event whose label satisfies ``predicate``.
+
+        Returns the number of events cancelled.  Used after a simulated
+        crash to kill events that capture the dead component's objects
+        (e.g. a restarted sender cancels ``eval-timeout ...`` events so
+        the zombie evaluation manager never fires against stale state).
+        """
+        cancelled = 0
+        for event in self._heap:
+            if not event.cancelled and predicate(event.label):
+                event.cancel()
+                cancelled += 1
+        return cancelled
+
     def next_due_ms(self) -> Optional[int]:
         """Virtual time of the earliest live event, or ``None`` if idle."""
         self._drop_cancelled_head()

@@ -11,7 +11,7 @@ shared scheduler.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.conditions import DestinationSet
 from repro.core.builder import destination, destination_set
@@ -80,6 +80,7 @@ class Testbed:
         seed: int = 0,
         journaled: bool = False,
         journal_sync: str = "always",
+        journal_factory: Optional[Callable[[str], Journal]] = None,
         notify_success: bool = False,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
@@ -93,6 +94,11 @@ class Testbed:
         )
         self.journals: Dict[str, Journal] = {}
         self.journal_sync = journal_sync
+        #: manager name -> journal; lets deployments pick the store per
+        #: manager (the chaos harness gives torn-tail episodes real
+        #: :class:`~repro.mq.persistence.FileJournal` files).  Only
+        #: consulted when ``journaled`` is true.
+        self.journal_factory = journal_factory
         self.sender_manager = self._make_manager(self.SENDER, journaled)
         self.network.add_manager(self.sender_manager)
         self.service = ConditionalMessagingService(
@@ -124,9 +130,13 @@ class Testbed:
             )
 
     def _make_manager(self, name: str, journaled: bool) -> QueueManager:
-        journal: Optional[Journal] = (
-            MemoryJournal(sync=self.journal_sync) if journaled else None
-        )
+        journal: Optional[Journal] = None
+        if journaled:
+            journal = (
+                self.journal_factory(name)
+                if self.journal_factory is not None
+                else MemoryJournal(sync=self.journal_sync)
+            )
         if journal is not None:
             self.journals[name] = journal
         return QueueManager(

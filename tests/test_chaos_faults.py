@@ -1,0 +1,354 @@
+"""Unit tests for the chaos fault plans and the fault injector."""
+
+import pytest
+
+from repro.chaos.faults import CrashPoint, FaultEvent, FaultInjector, FaultPlan
+from repro.errors import ChannelError
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.mq.network import XMIT_PREFIX, MessageNetwork
+from repro.mq.persistence import MemoryJournal
+
+
+class TestFaultEvent:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent(kind="meteor", at_ms=1).validate()
+
+    def test_crash_needs_manager(self):
+        with pytest.raises(ValueError, match="needs a manager"):
+            FaultEvent(kind="crash", at_ms=10).validate()
+
+    def test_crash_needs_exactly_one_trigger(self):
+        with pytest.raises(ValueError, match="exactly one of"):
+            FaultEvent(kind="crash", manager="QM.A").validate()
+        with pytest.raises(ValueError, match="exactly one of"):
+            FaultEvent(
+                kind="crash", manager="QM.A", at_ms=10, at_flush=3
+            ).validate()
+
+    def test_crash_phase_validated(self):
+        with pytest.raises(ValueError, match="phase"):
+            FaultEvent(
+                kind="crash", manager="QM.A", at_flush=1, phase="mid"
+            ).validate()
+
+    def test_partition_needs_pair_and_time(self):
+        with pytest.raises(ValueError, match="source and target"):
+            FaultEvent(kind="partition", at_ms=5).validate()
+        with pytest.raises(ValueError, match="needs at_ms"):
+            FaultEvent(
+                kind="partition", source="QM.A", target="QM.B"
+            ).validate()
+        with pytest.raises(ValueError, match="cannot use at_flush"):
+            FaultEvent(
+                kind="partition",
+                source="QM.A",
+                target="QM.B",
+                at_ms=5,
+                at_flush=2,
+            ).validate()
+
+    def test_delay_needs_positive_delay(self):
+        with pytest.raises(ValueError, match="delay_ms"):
+            FaultEvent(
+                kind="delay", source="QM.A", target="QM.B", at_ms=5
+            ).validate()
+
+    def test_duration_must_be_positive(self):
+        with pytest.raises(ValueError, match="duration_ms"):
+            FaultEvent(
+                kind="partition",
+                source="QM.A",
+                target="QM.B",
+                at_ms=5,
+                duration_ms=0,
+            ).validate()
+
+    def test_round_trip(self):
+        events = [
+            FaultEvent(kind="crash", manager="QM.A", at_flush=4, phase="post"),
+            FaultEvent(kind="torn_tail", manager="QM.B", at_ms=250),
+            FaultEvent(
+                kind="partition",
+                source="QM.A",
+                target="QM.B",
+                at_ms=100,
+                duration_ms=500,
+            ),
+            FaultEvent(
+                kind="delay",
+                source="QM.A",
+                target="QM.B",
+                at_ms=50,
+                delay_ms=75,
+                duration_ms=200,
+            ),
+        ]
+        for event in events:
+            assert FaultEvent.from_dict(event.to_dict()) == event
+
+
+class TestFaultPlan:
+    def test_validate_propagates(self):
+        plan = FaultPlan(seed=1, events=[FaultEvent(kind="crash", at_ms=1)])
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_without_removes_one_event(self):
+        plan = FaultPlan(
+            seed=3,
+            events=[
+                FaultEvent(kind="crash", manager="QM.A", at_flush=1),
+                FaultEvent(kind="crash", manager="QM.B", at_flush=2),
+            ],
+        )
+        smaller = plan.without(0)
+        assert smaller.seed == 3
+        assert [e.manager for e in smaller.events] == ["QM.B"]
+        # Original untouched.
+        assert len(plan.events) == 2
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            seed=42,
+            events=[
+                FaultEvent(kind="crash", manager="QM.A", at_flush=7),
+                FaultEvent(
+                    kind="duplicate", source="QM.A", target="QM.B", at_ms=9
+                ),
+            ],
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+def deployment(network, clock, journal=None):
+    """Two managers A (journaled if given) -> B with a 5 ms channel."""
+    a = network.add_manager(QueueManager("QM.A", clock, journal=journal))
+    b = network.add_manager(QueueManager("QM.B", clock))
+    network.connect("QM.A", "QM.B", latency_ms=5)
+    b.define_queue("IN.Q")
+    return a, b
+
+
+class TestInjectorCrashes:
+    def test_pre_flush_crash_raises_synchronously(
+        self, network, scheduler, clock
+    ):
+        journal = MemoryJournal()
+        a, _ = deployment(network, clock, journal)
+        a.define_queue("LOCAL.Q")
+        plan = FaultPlan(
+            events=[FaultEvent(kind="crash", manager="QM.A", at_flush=2)]
+        )
+        injector = FaultInjector(plan, network, scheduler)
+        injector.install({"QM.A": journal})
+        a.put("LOCAL.Q", Message(body="first"))  # flush 1: below threshold
+        with pytest.raises(CrashPoint) as exc:
+            a.put("LOCAL.Q", Message(body="second"))  # flush 2: fires
+        assert exc.value.manager == "QM.A"
+        assert exc.value.phase == "pre-flush"
+        assert not exc.value.tear
+        # Pre-flush means the group was lost: the journal replay holds
+        # only the first put.
+        _, messages = journal.recover()
+        assert [m.body for m in messages["LOCAL.Q"]] == ["first"]
+
+    def test_post_flush_crash_defers_to_scheduler(
+        self, network, scheduler, clock
+    ):
+        journal = MemoryJournal()
+        a, _ = deployment(network, clock, journal)
+        a.define_queue("LOCAL.Q")
+        plan = FaultPlan(
+            events=[
+                FaultEvent(
+                    kind="crash", manager="QM.A", at_flush=1, phase="post"
+                )
+            ]
+        )
+        injector = FaultInjector(plan, network, scheduler)
+        injector.install({"QM.A": journal})
+        # The put itself survives: the group is durable before the crash.
+        a.put("LOCAL.Q", Message(body="durable"))
+        _, messages = journal.recover()
+        assert [m.body for m in messages["LOCAL.Q"]] == ["durable"]
+        with pytest.raises(CrashPoint) as exc:
+            scheduler.run_all()
+        assert exc.value.phase == "post-flush"
+
+    def test_flush_ordinals_survive_journal_swap(
+        self, network, scheduler, clock
+    ):
+        journal = MemoryJournal()
+        a, _ = deployment(network, clock, journal)
+        a.define_queue("LOCAL.Q")
+        plan = FaultPlan(
+            events=[FaultEvent(kind="crash", manager="QM.A", at_flush=3)]
+        )
+        injector = FaultInjector(plan, network, scheduler)
+        injector.install({"QM.A": journal})
+        a.put("LOCAL.Q", Message(body=1))  # flush 1
+        a.put("LOCAL.Q", Message(body=2))  # flush 2
+        # Recovery swaps in a new journal incarnation mid-episode.
+        fresh = MemoryJournal()
+        a.journal = fresh
+        injector.attach_journal("QM.A", fresh)
+        with pytest.raises(CrashPoint):
+            a.put("LOCAL.Q", Message(body=3))  # flush 3 of the lifetime
+
+    def test_timed_crash_raises_through_run_all(
+        self, network, scheduler, clock
+    ):
+        deployment(network, clock, MemoryJournal())
+        plan = FaultPlan(
+            events=[FaultEvent(kind="torn_tail", manager="QM.A", at_ms=50)]
+        )
+        injector = FaultInjector(plan, network, scheduler)
+        injector.install({})
+        with pytest.raises(CrashPoint) as exc:
+            scheduler.run_all()
+        assert exc.value.phase == "scheduled"
+        assert exc.value.tear
+        assert injector.fired_count() == 1
+
+    def test_crash_fires_once(self, network, scheduler, clock):
+        journal = MemoryJournal()
+        a, _ = deployment(network, clock, journal)
+        a.define_queue("LOCAL.Q")
+        plan = FaultPlan(
+            events=[FaultEvent(kind="crash", manager="QM.A", at_flush=1)]
+        )
+        injector = FaultInjector(plan, network, scheduler)
+        injector.install({"QM.A": journal})
+        with pytest.raises(CrashPoint):
+            a.put("LOCAL.Q", Message(body="boom"))
+        # Post-recovery flushes do not re-fire the same event.
+        injector.attach_journal("QM.A", journal)
+        a.put("LOCAL.Q", Message(body="calm"))
+        assert injector.fired_count() == 1
+
+    def test_double_install_rejected(self, network, scheduler, clock):
+        deployment(network, clock)
+        injector = FaultInjector(FaultPlan(), network, scheduler)
+        injector.install({})
+        with pytest.raises(RuntimeError):
+            injector.install({})
+
+
+class TestInjectorNetworkFaults:
+    def test_partition_fault_parks_and_auto_heals(
+        self, network, scheduler, clock
+    ):
+        a, b = deployment(network, clock)
+        plan = FaultPlan(
+            events=[
+                FaultEvent(
+                    kind="partition",
+                    source="QM.A",
+                    target="QM.B",
+                    at_ms=0,
+                    duration_ms=100,
+                )
+            ]
+        )
+        injector = FaultInjector(plan, network, scheduler)
+        injector.install({})
+        scheduler.run_for(0)  # fire the partition
+        a.put_remote("QM.B", "IN.Q", Message(body="waits"))
+        scheduler.run_for(50)
+        assert b.depth("IN.Q") == 0
+        scheduler.run_all()  # heal at t=100 drains the backlog
+        assert b.depth("IN.Q") == 1
+        assert injector.heal_all() == 0  # auto-heal already closed it
+
+    def test_heal_all_repairs_open_partitions(self, network, scheduler, clock):
+        a, b = deployment(network, clock)
+        plan = FaultPlan(
+            events=[
+                FaultEvent(
+                    kind="partition", source="QM.A", target="QM.B", at_ms=0
+                )
+            ]
+        )
+        injector = FaultInjector(plan, network, scheduler)
+        injector.install({})
+        scheduler.run_for(0)
+        a.put_remote("QM.B", "IN.Q", Message(body="stuck"))
+        scheduler.run_for(1_000)
+        assert b.depth("IN.Q") == 0
+        assert injector.heal_all() == 1
+        scheduler.run_all()
+        assert b.depth("IN.Q") == 1
+
+    def test_duplicate_fault_suppressed_by_exactly_once(
+        self, network, scheduler, clock
+    ):
+        a, b = deployment(network, clock)
+        plan = FaultPlan(
+            events=[
+                FaultEvent(
+                    kind="duplicate", source="QM.A", target="QM.B", at_ms=2
+                )
+            ]
+        )
+        injector = FaultInjector(plan, network, scheduler)
+        injector.install({})
+        a.put_remote("QM.B", "IN.Q", Message(body="once"))
+        scheduler.run_all()
+        assert b.depth("IN.Q") == 1
+        chan = network.channel("QM.A", "QM.B")
+        assert chan.stats.duplicates_suppressed == 1
+        assert a.depth(XMIT_PREFIX + "QM.B") == 0
+
+    def test_delay_fault_raises_then_restores_latency(
+        self, network, scheduler, clock
+    ):
+        deployment(network, clock)
+        chan = network.channel("QM.A", "QM.B")
+        base = chan.latency_ms
+        plan = FaultPlan(
+            events=[
+                FaultEvent(
+                    kind="delay",
+                    source="QM.A",
+                    target="QM.B",
+                    at_ms=0,
+                    delay_ms=40,
+                    duration_ms=100,
+                )
+            ]
+        )
+        FaultInjector(plan, network, scheduler).install({})
+        scheduler.run_for(0)
+        assert chan.latency_ms == base + 40
+        scheduler.run_all()
+        assert chan.latency_ms == base
+
+    def test_faults_on_missing_channels_are_moot(
+        self, clock, scheduler
+    ):
+        network = MessageNetwork(scheduler=scheduler)
+        network.add_manager(QueueManager("QM.A", clock))
+        plan = FaultPlan(
+            events=[
+                FaultEvent(
+                    kind="partition", source="QM.A", target="QM.X", at_ms=0
+                ),
+                FaultEvent(
+                    kind="duplicate", source="QM.A", target="QM.X", at_ms=1
+                ),
+                FaultEvent(
+                    kind="delay",
+                    source="QM.A",
+                    target="QM.X",
+                    at_ms=2,
+                    delay_ms=5,
+                ),
+            ]
+        )
+        injector = FaultInjector(plan, network, scheduler)
+        injector.install({})
+        scheduler.run_all()  # nothing raises; faults are no-ops
+        assert injector.fired_count() == 3
+        assert injector.heal_all() == 0
