@@ -4,7 +4,8 @@ Runs a deterministic corpus of chaos episodes — crash/recover at journal
 flush boundaries, partitions, torn journal tails, duplicated and delayed
 transfers — and asserts the paper-invariant suite finds zero violations.
 Memory-journal episodes exercise the crash model cheaply; file-journal
-episodes add torn-tail recovery on real files.
+episodes add torn-tail recovery on real files; sqlite-journal episodes
+cover the transactional backend's crash/recover path.
 
 Results land in ``CHAOS_smoke.json`` at the repo root (uploaded by the
 CI chaos-smoke job next to ``BENCH_throughput.json``).  Any failing
@@ -27,6 +28,8 @@ SHORT = os.environ.get("BENCH_SHORT", "") not in ("", "0")
 MEMORY_EPISODES = 15 if SHORT else 40
 FILE_EPISODES = 5 if SHORT else 15
 FILE_BASE_SEED = 100
+SQLITE_EPISODES = 5 if SHORT else 15
+SQLITE_BASE_SEED = 200
 
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir)
@@ -49,6 +52,13 @@ def test_chaos_smoke_corpus(report, tmp_path):
             episodes=FILE_EPISODES,
             base_seed=FILE_BASE_SEED,
             journal="file",
+            journal_dir=str(tmp_path),
+            repro_dir=REPO_ROOT,
+        ),
+        run_chaos_corpus(
+            episodes=SQLITE_EPISODES,
+            base_seed=SQLITE_BASE_SEED,
+            journal="sqlite",
             journal_dir=str(tmp_path),
             repro_dir=REPO_ROOT,
         ),
@@ -85,7 +95,7 @@ def test_chaos_smoke_corpus(report, tmp_path):
         json.dump(summary, handle, indent=2)
         handle.write("\n")
 
-    assert summary["episodes"] >= (20 if SHORT else 50)
+    assert summary["episodes"] >= (25 if SHORT else 70)
     # The corpus must actually exercise the fault space, not dodge it.
     assert summary["crashes"] >= (5 if SHORT else 20)
     assert summary["faults_fired"] >= (10 if SHORT else 50)

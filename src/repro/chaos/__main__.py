@@ -40,9 +40,10 @@ def main(argv: List[str] | None = None) -> int:
     )
     parser.add_argument(
         "--journal",
-        choices=("memory", "file"),
+        choices=("memory", "file", "sqlite"),
         default="memory",
-        help="journal backend (file enables torn-tail faults)",
+        help="journal backend (file enables torn-tail faults; sqlite"
+        " exercises engine-transaction commit groups)",
     )
     parser.add_argument(
         "--replay",

@@ -48,7 +48,11 @@ from repro.core.logqueues import SENDER_LOG_QUEUE, SenderLogEntry
 from repro.core.receiver import ConditionalMessagingReceiver, ReceivedMessage
 from repro.core.service import ConditionalMessagingService
 from repro.mq.manager import QueueManager
-from repro.mq.persistence import FileJournal, Journal, MemoryJournal
+from repro.mq.persistence import (
+    FileJournal,
+    Journal,
+    journal_factory_for,
+)
 from repro.obs.trace import FlightRecorder
 from repro.workloads.generator import WorkloadSpec
 from repro.workloads.scenarios import ReceiverNode, Testbed
@@ -83,7 +87,7 @@ class EpisodeSpec:
     receivers: int = 3
     latency_ms: int = 5
     jitter_ms: int = 0
-    journal: str = "memory"  # "memory" | "file"
+    journal: str = "memory"  # "memory" | "file" | "sqlite"
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     plan: FaultPlan = field(default_factory=FaultPlan)
 
@@ -126,6 +130,8 @@ class EpisodeSpec:
         horizon = messages * gap + window
         kinds = ["crash", "crash", "partition", "duplicate", "delay"]
         if journal == "file":
+            # Only the line-oriented file journal models torn writes; the
+            # sqlite backend's engine transactions cannot tear.
             kinds.append("torn_tail")
         receiver_managers = [f"QM.{n}" for n in spec.receiver_names]
         for _ in range(rng.randint(1, 4)):
@@ -240,7 +246,7 @@ class ChaosHarness:
     def __init__(self, spec: EpisodeSpec, journal_dir: Optional[str] = None) -> None:
         self.spec = spec
         self._tmpdir: Optional[tempfile.TemporaryDirectory] = None
-        if spec.journal == "file":
+        if spec.journal != "memory":
             # Always a fresh directory per harness: journal files must
             # never leak between episodes (or between the re-runs of one
             # seed that shrinking performs).  ``journal_dir`` only picks
@@ -280,13 +286,12 @@ class ChaosHarness:
         self._workload_rng = random.Random(spec.workload.seed)
 
     def _make_journal(self, name: str) -> Journal:
-        if self.spec.journal == "file":
-            assert self.journal_dir is not None
-            path = f"{self.journal_dir}/{name.replace('.', '_')}.journal"
-            # sync="none": chaos cares about record ordering and torn
-            # tails, not fsync cost; the tear is injected explicitly.
-            return FileJournal(path, sync="none")
-        return MemoryJournal(sync="none")
+        # sync="none": chaos cares about record ordering, atomicity, and
+        # torn tails, not fsync cost; the tear is injected explicitly.
+        factory = journal_factory_for(
+            self.spec.journal, self.journal_dir, sync="none"
+        )
+        return factory(name)
 
     # -- episode lifecycle -------------------------------------------------------
 
@@ -563,10 +568,9 @@ class ChaosHarness:
         )
 
     def close(self) -> None:
-        """Release file-journal handles and any temporary directory."""
+        """Release journal store handles and any temporary directory."""
         for journal in self.journals.values():
-            if isinstance(journal, FileJournal):
-                journal.close()
+            journal.close()
         if self._tmpdir is not None:
             self._tmpdir.cleanup()
             self._tmpdir = None

@@ -189,9 +189,11 @@ def run_chaos_corpus(
         episodes: Number of seeded episodes.
         base_seed: Seed of the first episode (episode ``i`` uses
             ``base_seed + i``).
-        journal: ``"memory"`` or ``"file"`` — file journals enable
-            torn-tail faults.
-        journal_dir: Directory for file journals (temporary when None).
+        journal: ``"memory"``, ``"file"``, or ``"sqlite"`` — file
+            journals enable torn-tail faults; sqlite journals exercise
+            engine-transaction commit groups.
+        journal_dir: Directory for file/sqlite journals (temporary when
+            None).
         repro_dir: Where to write minimized reproducers for failures.
 
     Returns:

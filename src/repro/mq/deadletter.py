@@ -32,6 +32,9 @@ class RetryResult:
 
     retried: int = 0
     skipped: int = 0
+    #: messages refused because retrying without a backout reset would
+    #: bounce them straight back to the DLQ (count already at threshold)
+    poisoned: int = 0
 
 
 class DeadLetterHandler:
@@ -78,6 +81,14 @@ class DeadLetterHandler:
         control property when present, falling back to skipping messages
         whose destination cannot be determined.
 
+        With ``reset_backout=False`` a message whose backout count
+        already meets the manager's ``backout_threshold`` would ping-pong:
+        the very next transactional get diverts it straight back to the
+        DLQ.  Such no-op retries are refused — the message stays on the
+        DLQ and is counted in :attr:`RetryResult.poisoned` so the
+        operator sees why (retry it with ``reset_backout=True``, or raise
+        the threshold).
+
         Args:
             reason: Only retry messages dead-lettered for this reason.
             reset_backout: Clear the backout count so the retry is not
@@ -85,12 +96,22 @@ class DeadLetterHandler:
             limit: Retry at most this many.
         """
         result = RetryResult()
+        threshold = self.manager.backout_threshold
         for message in self.browse(reason):
             if limit is not None and result.retried >= limit:
                 break
             destination = message.get_property("DS_DEST_QUEUE")
             if destination is None or not self.manager.has_queue(str(destination)):
                 result.skipped += 1
+                continue
+            if (
+                not reset_backout
+                and threshold is not None
+                and message.backout_count >= threshold
+            ):
+                # Refuse the no-op: re-putting with this backout count
+                # just cycles DLQ -> queue -> DLQ, silently.
+                result.poisoned += 1
                 continue
             # Journaled removal: retry must not leave a copy on the DLQ
             # for recovery to resurrect alongside the re-queued message.

@@ -32,7 +32,7 @@ from repro.errors import (
     QueueNotFoundError,
 )
 from repro.mq.message import Message
-from repro.mq.persistence import Journal
+from repro.mq.persistence import Journal, journal_for
 from repro.mq.queue import DEFAULT_MAX_DEPTH, MessageQueue
 from repro.mq.transactions import MQTransaction
 from repro.mq import reports as reports_mod
@@ -64,8 +64,12 @@ class QueueManager:
     Args:
         name: Network-unique manager name (e.g. ``"QM.SENDER"``).
         clock: Time source shared with the rest of the simulation.
-        journal: Optional durability log; without one the manager is
-            volatile (all messages behave as non-persistent on restart).
+        journal: Optional durability log — a :class:`Journal` instance or
+            a backend URL (``"memory:"`` / ``"file:<path>"`` /
+            ``"sqlite:<path>"``, resolved via
+            :func:`~repro.mq.persistence.journal_for`); without one the
+            manager is volatile (all messages behave as non-persistent on
+            restart).
         backout_threshold: When a message's backout count reaches this
             value, the next transactional get moves it to the dead-letter
             queue instead of delivering it.  ``None`` disables the check.
@@ -81,13 +85,15 @@ class QueueManager:
         self,
         name: str,
         clock: Clock,
-        journal: Optional[Journal] = None,
+        journal: "Optional[Journal | str]" = None,
         backout_threshold: Optional[int] = 5,
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if not name:
             raise MQError("queue manager name must be non-empty")
+        if isinstance(journal, str):
+            journal = journal_for(journal)
         self.name = name
         self.clock = clock
         self.journal = journal
@@ -535,18 +541,23 @@ class QueueManager:
         cls,
         name: str,
         clock: Clock,
-        journal: Journal,
+        journal: "Journal | str",
         backout_threshold: Optional[int] = 5,
         tracer: Tracer = NULL_TRACER,
         metrics: Optional[MetricsRegistry] = None,
     ) -> "QueueManager":
         """Rebuild a queue manager from its journal after a crash.
 
-        Only persistent, committed messages reappear; in-flight
-        transactions are presumed aborted (their gets were never journaled,
-        so the messages are still live; their puts were never journaled,
-        so they never existed).
+        ``journal`` may be a :class:`Journal` or a backend URL (resolved
+        via :func:`~repro.mq.persistence.journal_for` — the natural
+        restart shape: point the URL at the surviving store).  Only
+        persistent, committed messages reappear; in-flight transactions
+        are presumed aborted (their gets were never journaled, so the
+        messages are still live; their puts were never journaled, so they
+        never existed).
         """
+        if isinstance(journal, str):
+            journal = journal_for(journal)
         manager = cls(
             name,
             clock,

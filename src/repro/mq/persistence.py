@@ -40,13 +40,22 @@ records per force-out):
   checkpoint compaction automatically once the log grows past a bound, so
   ``rewrite`` cost is amortized over many appends.
 
-Two stores exist: :class:`FileJournal` (JSON-lines on disk, one persistent
-append handle) and :class:`MemoryJournal` (same record stream, kept in a
-list; used by tests that inject crashes without touching the filesystem).
-Both count ``flush_count`` / ``bytes_written`` / batch sizes, and report
-them through an attached :class:`~repro.obs.registry.MetricsRegistry`
-(``journal.flushes``, ``journal.records``, ``journal.bytes``,
-``journal.batch_records``) when the owning manager carries one.
+Three stores exist: :class:`FileJournal` (JSON-lines on disk, one
+persistent append handle), :class:`SQLiteJournal` (one SQLite database in
+WAL mode, commit groups as SQL transactions), and :class:`MemoryJournal`
+(same record stream, kept in a list; used by tests that inject crashes
+without touching the filesystem).  All count ``flush_count`` /
+``bytes_written`` / batch sizes, and report them through an attached
+:class:`~repro.obs.registry.MetricsRegistry` (``journal.flushes``,
+``journal.records``, ``journal.bytes``, ``journal.batch_records``) when
+the owning manager carries one.
+
+Deployments pick the store by URL through the **backend registry**:
+:func:`journal_for` maps ``memory:``, ``file:<path>``, and
+``sqlite:<path>`` (a bare path means ``file:``) to a constructed journal,
+and :func:`journal_factory_for` derives per-manager journals for
+testbed-style deployments.  :func:`register_journal_backend` adds new
+schemes without touching callers.
 """
 
 from __future__ import annotations
@@ -56,6 +65,7 @@ import json
 import logging
 import os
 import pickle
+import sqlite3
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
@@ -224,6 +234,14 @@ class Journal(ABC):
             rewrite cost over many appends.
     """
 
+    #: Whether multi-record commit groups must be wrapped into one
+    #: physical ``group`` line before reaching :meth:`_write_serialized`.
+    #: Line-oriented stores need the wrapper for torn-write atomicity; a
+    #: store with engine-level transactions (:class:`SQLiteJournal`) sets
+    #: this false and receives the member records individually, committing
+    #: them as one transaction instead.
+    wraps_groups = True
+
     def __init__(
         self,
         sync: str = "always",
@@ -315,13 +333,22 @@ class Journal(ABC):
         exit even when the block raises: the in-memory queue state it
         journals has already been applied, and an unwritten record would
         lose committed work on recovery.  Deferred :meth:`post_commit`
-        actions run after the group is durable — and are dropped if the
-        write itself fails, so nothing acts on records that never reached
-        the log.
+        actions run after the group is durable — and are dropped whenever
+        the group aborts instead of committing (the write itself fails,
+        e.g. a :class:`~repro.chaos.faults.CrashPoint` from a pre-flush
+        hook, or the block raises with nothing staged), so nothing acts on
+        records that never reached the log and no stale callback survives
+        to fire on the next unrelated commit.  A raising hook likewise
+        clears every hook still queued (including ones registered by hooks
+        that already ran) before the exception propagates.
         """
         self._batch_depth += 1
+        body_raised = False
         try:
             yield self
+        except BaseException:
+            body_raised = True
+            raise
         finally:
             self._batch_depth -= 1
             if self._batch_depth == 0:
@@ -329,13 +356,26 @@ class Journal(ABC):
                     if self._batch_buffer:
                         lines, self._batch_buffer = self._batch_buffer, []
                         self._commit_lines(lines)
+                    elif body_raised:
+                        # Nothing was staged and the block aborted: the
+                        # hooks belong to work that never happened.
+                        self._post_commit_hooks.clear()
                 except BaseException:
                     self._post_commit_hooks.clear()
                     raise
-                while self._post_commit_hooks:
-                    hooks, self._post_commit_hooks = self._post_commit_hooks, []
-                    for hook in hooks:
-                        hook()
+                try:
+                    while self._post_commit_hooks:
+                        hooks, self._post_commit_hooks = (
+                            self._post_commit_hooks,
+                            [],
+                        )
+                        for hook in hooks:
+                            hook()
+                except BaseException:
+                    # A hook died mid-run; hooks it (or its predecessors)
+                    # registered must not linger into the next commit.
+                    self._post_commit_hooks.clear()
+                    raise
 
     def post_commit(self, callback: Callable[[], None]) -> None:
         """Run ``callback`` once currently-staged records are durable.
@@ -361,12 +401,14 @@ class Journal(ABC):
             self._commit_lines(lines)
 
     def _commit_lines(self, lines: List[str]) -> None:
-        if len(lines) > 1:
+        if self.wraps_groups and len(lines) > 1:
             # A multi-record group becomes ONE physical line, so a torn
             # write cannot persist a prefix of the group: either the line
             # parses and the whole group replays, or it is dropped as the
             # torn tail.  Members are serialized already; wrap without
-            # re-serializing.
+            # re-serializing.  Stores with engine transactions
+            # (``wraps_groups = False``) instead receive the members
+            # individually and commit them as one transaction.
             physical = ['{"op": "group", "records": [' + ", ".join(lines) + "]}"]
         else:
             physical = lines
@@ -385,6 +427,13 @@ class Journal(ABC):
             self.metrics.observe("journal.batch_records", len(lines))
 
     # -- maintenance --------------------------------------------------------
+
+    def close(self) -> None:
+        """Release any store resources (file handles, connections).
+
+        The base journal holds none; stores with handles override this.
+        Harnesses may call it on any backend unconditionally.
+        """
 
     def needs_compaction(self) -> bool:
         """True when the live log has outgrown ``compaction_threshold``."""
@@ -709,3 +758,256 @@ class FileJournal(Journal):
     def size(self) -> int:
         """Number of logical records currently in the live log."""
         return self._records_in_log
+
+
+class SQLiteJournal(Journal):
+    """Journal stored in one SQLite database in WAL mode.
+
+    Torn-write atomicity comes from the storage engine instead of the
+    file journal's one-physical-line group trick: ``wraps_groups`` is
+    false, so a multi-record commit group arrives as individual member
+    records and is inserted inside a single SQL transaction — the engine
+    guarantees the whole group is durable or none of it is, even across
+    a crash mid-commit.  The crash-point hooks fire at the same
+    boundaries as the other stores (pre-flush before ``BEGIN``,
+    post-flush after ``COMMIT``), so the chaos explorer can kill the
+    manager mid-commit and recovery sees exactly the engine's view.
+
+    The sync policy maps onto ``PRAGMA synchronous``:
+
+    * ``always``  → ``FULL``   (every commit group reaches stable storage
+      before the put returns — the paper's reliability stance);
+    * ``batch``   → ``NORMAL`` (WAL syncs on checkpoints; an OS crash can
+      lose the tail of recent commit groups, never corrupt older ones —
+      the file journal's ``batch`` semantics);
+    * ``none``    → ``OFF``    (the OS decides; cheapest, weakest).
+
+    Checkpoint compaction (:meth:`rewrite`) is a snapshot **table swap**:
+    the snapshot is written to a fresh table inside one transaction that
+    then drops the live table and renames the snapshot into place, so a
+    crash mid-checkpoint leaves either the old log or the new snapshot,
+    never a mixture.  ``skipped_trailing_records`` is always 0 — the
+    engine has no torn tails to heal.
+    """
+
+    wraps_groups = False
+
+    _SYNCHRONOUS = {"always": "FULL", "batch": "NORMAL", "none": "OFF"}
+
+    def __init__(
+        self,
+        path: str,
+        sync: str = "always",
+        compaction_threshold: Optional[int] = None,
+    ) -> None:
+        super().__init__(sync=sync, compaction_threshold=compaction_threshold)
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        try:
+            os.makedirs(directory, exist_ok=True)
+            self._con = sqlite3.connect(path, isolation_level=None)
+            self._con.execute("PRAGMA journal_mode=WAL")
+            self._con.execute(
+                f"PRAGMA synchronous={self._SYNCHRONOUS[self.sync_policy]}"
+            )
+            self._con.execute(
+                "CREATE TABLE IF NOT EXISTS log ("
+                " seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+                " record TEXT NOT NULL)"
+            )
+            row = self._con.execute("SELECT COUNT(*) FROM log").fetchone()
+            self._record_count = int(row[0])
+        except (sqlite3.Error, OSError) as exc:
+            raise PersistenceError(f"sqlite journal open failed: {exc}") from exc
+
+    def _write_serialized(self, lines: List[str], record_count: int) -> int:
+        """One commit group = one SQL transaction (engine atomicity)."""
+        try:
+            self._con.execute("BEGIN IMMEDIATE")
+            try:
+                self._con.executemany(
+                    "INSERT INTO log(record) VALUES (?)",
+                    [(line,) for line in lines],
+                )
+            except BaseException:
+                self._con.execute("ROLLBACK")
+                raise
+            self._con.execute("COMMIT")
+        except sqlite3.Error as exc:
+            raise PersistenceError(f"sqlite journal append failed: {exc}") from exc
+        self._record_count += record_count
+        return sum(len(line.encode("utf-8")) + 1 for line in lines)
+
+    def read_all(self) -> List[Dict[str, Any]]:
+        self.skipped_trailing_records = 0  # the engine has no torn tails
+        records: List[Dict[str, Any]] = []
+        try:
+            rows = self._con.execute(
+                "SELECT seq, record FROM log ORDER BY seq"
+            ).fetchall()
+        except sqlite3.Error as exc:
+            raise PersistenceError(f"sqlite journal read failed: {exc}") from exc
+        for seq, text in rows:
+            try:
+                _expand_record(json.loads(text), records)
+            except json.JSONDecodeError as exc:
+                # Unlike a line file, a committed row cannot be a crash
+                # artifact: any corruption is real and recovery refuses.
+                raise PersistenceError(
+                    f"corrupt journal row seq={seq} in {self.path}"
+                ) from exc
+        return records
+
+    def rewrite(self, records: Iterable[Dict[str, Any]]) -> None:
+        lines = [json.dumps(record) for record in records]
+        try:
+            self._con.execute("BEGIN IMMEDIATE")
+            try:
+                self._con.execute("DROP TABLE IF EXISTS log_snapshot")
+                self._con.execute(
+                    "CREATE TABLE log_snapshot ("
+                    " seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+                    " record TEXT NOT NULL)"
+                )
+                self._con.executemany(
+                    "INSERT INTO log_snapshot(record) VALUES (?)",
+                    [(line,) for line in lines],
+                )
+                self._con.execute("DROP TABLE log")
+                self._con.execute("ALTER TABLE log_snapshot RENAME TO log")
+            except BaseException:
+                self._con.execute("ROLLBACK")
+                raise
+            self._con.execute("COMMIT")
+            if self.sync_policy != "none":
+                # Match FileJournal.rewrite forcing the snapshot out: fold
+                # the WAL into the main database and fsync it.
+                self._con.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        except sqlite3.Error as exc:
+            raise PersistenceError(f"sqlite journal rewrite failed: {exc}") from exc
+        self._record_count = len(lines)
+
+    def sync(self) -> None:
+        """Force everything committed so far to stable storage."""
+        try:
+            self._con.execute("PRAGMA wal_checkpoint(FULL)")
+        except sqlite3.Error as exc:
+            raise PersistenceError(f"sqlite journal sync failed: {exc}") from exc
+
+    def close(self) -> None:
+        """Checkpoint the WAL (per the sync policy) and close the handle."""
+        try:
+            if self.sync_policy != "none":
+                self._con.execute("PRAGMA wal_checkpoint(TRUNCATE)")
+        except sqlite3.Error:
+            pass  # closing must succeed even over a checkpoint hiccup
+        self._con.close()
+
+    def size(self) -> int:
+        """Number of logical records currently in the live log."""
+        return self._record_count
+
+
+# ---------------------------------------------------------------------------
+# Backend registry
+# ---------------------------------------------------------------------------
+
+#: scheme -> factory(path, sync=..., compaction_threshold=...) -> Journal
+JOURNAL_BACKENDS: Dict[str, Callable[..., Journal]] = {}
+
+#: Journal filename suffix per backend (used by :func:`journal_factory_for`).
+JOURNAL_SUFFIXES: Dict[str, str] = {}
+
+#: Backends that need no path (the URL's path part is ignored).
+_PATHLESS_BACKENDS = {"memory"}
+
+
+def register_journal_backend(
+    scheme: str, factory: Callable[..., Journal], suffix: str = ".journal"
+) -> None:
+    """Register a journal backend under a URL scheme.
+
+    ``factory(path, sync=..., compaction_threshold=...)`` must return a
+    :class:`Journal`.  Registering an existing scheme replaces it, so
+    tests can shadow a backend with an instrumented one.
+    """
+    if not scheme or not scheme.isalnum():
+        raise PersistenceError(f"bad journal backend scheme {scheme!r}")
+    JOURNAL_BACKENDS[scheme.lower()] = factory
+    JOURNAL_SUFFIXES[scheme.lower()] = suffix
+
+
+register_journal_backend(
+    "memory",
+    lambda path, **kwargs: MemoryJournal(**kwargs),
+)
+register_journal_backend("file", FileJournal)
+register_journal_backend("sqlite", SQLiteJournal, suffix=".db")
+
+
+def journal_for(
+    url_or_path: str,
+    sync: str = "always",
+    compaction_threshold: Optional[int] = None,
+) -> Journal:
+    """Construct a journal from a backend URL (or bare file path).
+
+    ``memory:`` ignores any path; ``file:<path>`` and ``sqlite:<path>``
+    open (creating if needed) the named store; a bare path with no
+    scheme means ``file:``.  Unknown schemes raise
+    :class:`PersistenceError` naming the registered backends.
+    """
+    scheme, sep, path = url_or_path.partition(":")
+    if not sep:
+        scheme, path = "file", url_or_path
+    scheme = scheme.lower()
+    factory = JOURNAL_BACKENDS.get(scheme)
+    if factory is None:
+        raise PersistenceError(
+            f"unknown journal backend {scheme!r}; registered:"
+            f" {sorted(JOURNAL_BACKENDS)}"
+        )
+    if not path and scheme not in _PATHLESS_BACKENDS:
+        raise PersistenceError(f"journal backend {scheme!r} needs a path")
+    return factory(path, sync=sync, compaction_threshold=compaction_threshold)
+
+
+def journal_factory_for(
+    backend: str,
+    directory: Optional[str] = None,
+    sync: str = "always",
+    compaction_threshold: Optional[int] = None,
+) -> Callable[[str], Journal]:
+    """Per-manager journal factory for testbed-style deployments.
+
+    Returns a ``factory(manager_name) -> Journal`` that places each
+    manager's store under ``directory`` as ``<name>.journal`` /
+    ``<name>.db`` (dots in the manager name become underscores), so one
+    call configures a whole multi-manager deployment:
+
+        Testbed(names, journaled=True,
+                journal_factory=journal_factory_for("sqlite", tmpdir))
+
+    ``memory`` needs no directory; every other backend requires one.
+    """
+    backend = backend.lower()
+    if backend not in JOURNAL_BACKENDS:
+        raise PersistenceError(
+            f"unknown journal backend {backend!r}; registered:"
+            f" {sorted(JOURNAL_BACKENDS)}"
+        )
+    if backend in _PATHLESS_BACKENDS:
+        return lambda name: journal_for(
+            f"{backend}:", sync=sync, compaction_threshold=compaction_threshold
+        )
+    if directory is None:
+        raise PersistenceError(f"journal backend {backend!r} needs a directory")
+    suffix = JOURNAL_SUFFIXES.get(backend, ".journal")
+    def factory(name: str) -> Journal:
+        filename = name.replace(".", "_") + suffix
+        return journal_for(
+            f"{backend}:{os.path.join(directory, filename)}",
+            sync=sync,
+            compaction_threshold=compaction_threshold,
+        )
+    return factory

@@ -57,6 +57,20 @@ def _validate_topic(topic: str) -> List[str]:
     return segments
 
 
+def validate_pattern(pattern: str) -> List[str]:
+    """Validate a subscription pattern; returns its segments.
+
+    Raises :class:`MQError` for malformed topic syntax or a ``#``
+    anywhere but the final segment.  :meth:`TopicBroker.subscribe` calls
+    this so a bad pattern fails fast at subscription time instead of
+    poisoning every subsequent publish on the broker.
+    """
+    segments = _validate_topic(pattern)
+    if "#" in segments[:-1]:
+        raise MQError("'#' is only valid as the final topic segment")
+    return segments
+
+
 def topic_matches(pattern: str, topic: str) -> bool:
     """Match ``topic`` against a subscription ``pattern``.
 
@@ -66,13 +80,15 @@ def topic_matches(pattern: str, topic: str) -> bool:
         topic_matches("px.nyse.*", "px.nyse.ibm")   -> True
         topic_matches("px.#", "px.nyse.ibm")        -> True
         topic_matches("px.*", "px.nyse.ibm")        -> False
+
+    The pattern is validated up front (:func:`validate_pattern`), so a
+    mid-pattern ``#`` raises :class:`MQError` regardless of the topic —
+    it cannot hide behind an early segment mismatch.
     """
-    pattern_segments = _validate_topic(pattern)
+    pattern_segments = validate_pattern(pattern)
     topic_segments = _validate_topic(topic)
     for index, pattern_segment in enumerate(pattern_segments):
         if pattern_segment == "#":
-            if index != len(pattern_segments) - 1:
-                raise MQError("'#' is only valid as the final topic segment")
             return len(topic_segments) > index
         if index >= len(topic_segments):
             return False
@@ -153,8 +169,13 @@ class TopicBroker:
                 ``SYSTEM.SUB.<subscription_name>``.
             durable: Non-durable subscriptions are dropped by
                 :meth:`drop_nondurable` (modeling subscriber disconnect).
+
+        The pattern is validated here (:func:`validate_pattern`) so a
+        malformed one — e.g. a mid-pattern ``#`` — is rejected before it
+        is stored, instead of raising out of every later publish whose
+        topic reaches it.
         """
-        _validate_topic(pattern)
+        validate_pattern(pattern)
         if subscription_name in self._subscriptions:
             raise MQError(f"subscription exists: {subscription_name!r}")
         queue_name = queue_name or SUBSCRIPTION_QUEUE_PREFIX + subscription_name

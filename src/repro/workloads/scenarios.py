@@ -96,8 +96,10 @@ class Testbed:
         self.journal_sync = journal_sync
         #: manager name -> journal; lets deployments pick the store per
         #: manager (the chaos harness gives torn-tail episodes real
-        #: :class:`~repro.mq.persistence.FileJournal` files).  Only
-        #: consulted when ``journaled`` is true.
+        #: :class:`~repro.mq.persistence.FileJournal` files, and
+        #: :func:`~repro.mq.persistence.journal_factory_for` derives a
+        #: factory for any registered backend).  Only consulted when
+        #: ``journaled`` is true.
         self.journal_factory = journal_factory
         self.sender_manager = self._make_manager(self.SENDER, journaled)
         self.network.add_manager(self.sender_manager)

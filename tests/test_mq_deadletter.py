@@ -63,11 +63,36 @@ class TestRetry:
         assert not revived.has_property("DLQ_REASON")
         assert handler.depth() == 0
 
-    def test_retry_without_backout_reset(self, manager, handler):
+    def test_retry_without_backout_reset_refuses_poisoned(self, manager, handler):
+        # Re-putting with the backout count still at threshold would
+        # ping-pong: the next transactional get diverts it straight back
+        # to the DLQ.  The handler refuses and reports instead.
         poison(manager)
-        handler.retry(reset_backout=False)
+        result = handler.retry(reset_backout=False)
+        assert result.retried == 0
+        assert result.poisoned == 1
+        assert manager.depth("APP.Q") == 0          # nothing re-queued
+        assert handler.depth() == 1                 # still dead-lettered
+
+    def test_retry_without_backout_reset_below_threshold(self, manager, handler):
+        # A message dead-lettered for another reason, whose backout count
+        # is below threshold, retries fine without a reset.
+        from repro.core import control
+
+        manager.ensure_queue("APP.Q")
+        message = Message(
+            body="late",
+            expiry_ms=50,
+            properties={control.PROP_DEST_QUEUE: "APP.Q"},
+        )
+        manager.put("APP.Q", message)
+        manager.clock.set(manager.clock.now_ms() + 100)
+        manager.depth("APP.Q")  # sweep into the DLQ
+        result = handler.retry(reset_backout=False)
+        assert result.retried == 1
+        assert result.poisoned == 0
         revived = next(manager.browse("APP.Q"))
-        assert revived.backout_count == manager.backout_threshold
+        assert revived.backout_count < manager.backout_threshold
 
     def test_retry_skips_unknown_destination(self, manager, handler):
         expire(manager)  # expired messages carry no DS_DEST_QUEUE

@@ -1,0 +1,335 @@
+"""SQLiteJournal backend: engine-transaction commit groups, the backend
+registry (`journal_for` / `journal_factory_for`), and post-commit hook
+lifetime across aborted commit groups."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.mq.manager import QueueManager
+from repro.mq.message import DeliveryMode, Message
+from repro.mq.persistence import (
+    FileJournal,
+    MemoryJournal,
+    SQLiteJournal,
+    journal_factory_for,
+    journal_for,
+)
+from repro.sim.clock import SimulatedClock
+
+
+@pytest.fixture
+def clock():
+    return SimulatedClock()
+
+
+@pytest.fixture
+def db_path(tmp_path):
+    return str(tmp_path / "qm.db")
+
+
+class SimulatedCrash(BaseException):
+    """Stands in for repro.chaos.faults.CrashPoint (BaseException, too)."""
+
+
+class TestSQLiteJournalBasics:
+    def test_wal_mode_and_synchronous_mapping(self, db_path):
+        for sync, expected in (("always", 2), ("batch", 1), ("none", 0)):
+            journal = SQLiteJournal(db_path, sync=sync)
+            assert journal._con.execute("PRAGMA journal_mode").fetchone()[0] == "wal"
+            assert (
+                journal._con.execute("PRAGMA synchronous").fetchone()[0] == expected
+            )
+            journal.close()
+
+    def test_roundtrip_across_restart(self, clock, db_path):
+        manager = QueueManager("QM.S", clock, journal=SQLiteJournal(db_path))
+        manager.define_queue("A.Q")
+        manager.put("A.Q", Message(body={"k": 1}))
+        manager.put("A.Q", Message(body="two", priority=7))
+        manager.get("A.Q")  # removes priority-7 "two" first
+        manager.journal.close()
+        recovered = QueueManager.recover("QM.S", clock, SQLiteJournal(db_path))
+        assert [m.body for m in recovered.browse("A.Q")] == [{"k": 1}]
+
+    def test_non_persistent_messages_not_journaled(self, clock, db_path):
+        manager = QueueManager("QM.S", clock, journal=SQLiteJournal(db_path))
+        manager.define_queue("A.Q")
+        manager.put(
+            "A.Q", Message(body=1, delivery_mode=DeliveryMode.NON_PERSISTENT)
+        )
+        assert manager.journal.size() == 1  # just the queue definition
+
+    def test_commit_group_is_one_transaction_many_rows(self, clock, db_path):
+        journal = SQLiteJournal(db_path)
+        manager = QueueManager("QM.S", clock, journal=journal)
+        manager.define_queue("A.Q")
+        before = journal.flush_count
+        with manager.group_commit():
+            for i in range(5):
+                manager.put("A.Q", Message(body=i))
+        assert journal.flush_count - before == 1
+        # No group wrapper rows: members are individual rows, atomicity
+        # comes from the SQL transaction.
+        rows = journal._con.execute("SELECT record FROM log").fetchall()
+        assert all('"op": "group"' not in text for (text,) in rows)
+        assert journal.size() == 6
+
+    def test_pre_flush_crash_loses_whole_group(self, clock, db_path):
+        journal = SQLiteJournal(db_path, sync="none")
+        manager = QueueManager("QM.S", clock, journal=journal)
+        manager.define_queue("A.Q")
+
+        def boom(record_count):
+            raise SimulatedCrash()
+
+        journal.on_pre_flush = boom
+        with pytest.raises(SimulatedCrash):
+            with manager.group_commit():
+                manager.put("A.Q", Message(body="x"))
+                manager.put("A.Q", Message(body="y"))
+        journal.on_pre_flush = None
+        recovered = QueueManager.recover("QM.S", clock, journal)
+        assert list(recovered.browse("A.Q")) == []
+
+    def test_post_flush_crash_keeps_whole_group(self, clock, db_path):
+        journal = SQLiteJournal(db_path, sync="none")
+        manager = QueueManager("QM.S", clock, journal=journal)
+        manager.define_queue("A.Q")
+        armed = []
+
+        def boom(record_count):
+            if armed:
+                raise SimulatedCrash()
+
+        journal.on_post_flush = boom
+        armed.append(True)
+        with pytest.raises(SimulatedCrash):
+            with manager.group_commit():
+                manager.put("A.Q", Message(body="x"))
+                manager.put("A.Q", Message(body="y"))
+        journal.on_post_flush = None
+        recovered = QueueManager.recover("QM.S", clock, journal)
+        assert sorted(m.body for m in recovered.browse("A.Q")) == ["x", "y"]
+
+    def test_failed_insert_rolls_back_group(self, clock, db_path):
+        journal = SQLiteJournal(db_path)
+        journal.append({"op": "define", "queue": "A.Q"})
+        real_con = journal._con
+
+        class FlakyCon:
+            """Forwards everything but fails the batch insert."""
+
+            def execute(self, *args):
+                return real_con.execute(*args)
+
+            def executemany(self, *args):
+                raise sqlite3.OperationalError("disk I/O error")
+
+        journal._con = FlakyCon()
+        with pytest.raises(PersistenceError):
+            journal.append_many(
+                [{"op": "put", "queue": "A.Q", "message_id": str(i)} for i in (1, 2)]
+            )
+        journal._con = real_con
+        # The failed group left no partial rows and no open transaction.
+        assert len(journal.read_all()) == 1
+        journal.append({"op": "delete", "queue": "A.Q"})
+        assert len(journal.read_all()) == 2
+
+    def test_checkpoint_is_snapshot_table_swap(self, clock, db_path):
+        journal = SQLiteJournal(db_path, compaction_threshold=None)
+        manager = QueueManager("QM.S", clock, journal=journal)
+        manager.define_queue("A.Q")
+        for i in range(10):
+            manager.put("A.Q", Message(body=i))
+        manager.get("A.Q")
+        manager.checkpoint()
+        # Snapshot replaces the log: define + 9 puts + begin/end markers.
+        assert journal.size() == 13
+        assert journal.rewrites == 1
+        tables = {
+            name
+            for (name,) in journal._con.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        assert "log" in tables and "log_snapshot" not in tables
+        recovered = QueueManager.recover("QM.S", clock, journal)
+        assert len(list(recovered.browse("A.Q"))) == 9
+
+    def test_auto_compaction(self, clock, db_path):
+        journal = SQLiteJournal(db_path, compaction_threshold=20)
+        manager = QueueManager("QM.S", clock, journal=journal)
+        manager.define_queue("A.Q")
+        for i in range(40):
+            manager.put("A.Q", Message(body=i))
+        assert journal.rewrites >= 1
+        assert journal.size() < 50
+        recovered = QueueManager.recover("QM.S", clock, journal)
+        assert len(list(recovered.browse("A.Q"))) == 40
+
+    def test_no_torn_tail_accounting(self, db_path):
+        journal = SQLiteJournal(db_path)
+        journal.append({"op": "define", "queue": "A.Q"})
+        journal.read_all()
+        assert journal.skipped_trailing_records == 0
+
+    def test_corrupt_row_refused(self, db_path):
+        journal = SQLiteJournal(db_path)
+        journal.append({"op": "define", "queue": "A.Q"})
+        journal._con.execute(
+            "INSERT INTO log(record) VALUES (?)", ('{"op": "put", "mess',)
+        )
+        with pytest.raises(PersistenceError):
+            journal.read_all()
+
+    def test_sync_and_close_idempotent(self, db_path):
+        journal = SQLiteJournal(db_path, sync="batch")
+        journal.append({"op": "define", "queue": "A.Q"})
+        journal.sync()
+        journal.close()
+        journal.close()  # second close must not raise
+
+    def test_metrics_reported(self, clock, db_path):
+        from repro.obs.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        manager = QueueManager(
+            "QM.S", clock, journal=SQLiteJournal(db_path), metrics=metrics
+        )
+        manager.define_queue("A.Q")
+        with manager.group_commit():
+            manager.put("A.Q", Message(body=1))
+            manager.put("A.Q", Message(body=2))
+        assert metrics.counter("journal.flushes") >= 2
+        assert metrics.counter("journal.records") >= 3
+        assert metrics.counter("journal.bytes") > 0
+
+
+class TestBackendRegistry:
+    def test_journal_for_schemes(self, tmp_path):
+        memory = journal_for("memory:")
+        assert isinstance(memory, MemoryJournal)
+        file_journal = journal_for(f"file:{tmp_path}/a.journal", sync="batch")
+        assert isinstance(file_journal, FileJournal)
+        assert file_journal.sync_policy == "batch"
+        sqlite_journal = journal_for(f"sqlite:{tmp_path}/a.db")
+        assert isinstance(sqlite_journal, SQLiteJournal)
+        file_journal.close()
+        sqlite_journal.close()
+
+    def test_bare_path_means_file(self, tmp_path):
+        journal = journal_for(str(tmp_path / "bare.journal"))
+        assert isinstance(journal, FileJournal)
+        journal.close()
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(PersistenceError, match="registered"):
+            journal_for("etcd:/somewhere")
+
+    def test_pathless_file_backend_rejected(self):
+        with pytest.raises(PersistenceError, match="needs a path"):
+            journal_for("file:")
+
+    def test_manager_accepts_backend_url(self, clock, tmp_path):
+        manager = QueueManager(
+            "QM.S", clock, journal=f"sqlite:{tmp_path}/qm.db"
+        )
+        assert isinstance(manager.journal, SQLiteJournal)
+        manager.define_queue("A.Q")
+        manager.put("A.Q", Message(body=1))
+        manager.journal.close()
+        recovered = QueueManager.recover(
+            "QM.S", clock, f"sqlite:{tmp_path}/qm.db"
+        )
+        assert [m.body for m in recovered.browse("A.Q")] == [1]
+
+    def test_factory_places_per_manager_stores(self, tmp_path):
+        factory = journal_factory_for("sqlite", str(tmp_path))
+        journal = factory("QM.R1")
+        assert isinstance(journal, SQLiteJournal)
+        assert journal.path.endswith("QM_R1.db")
+        journal.close()
+        memory_factory = journal_factory_for("memory")
+        assert isinstance(memory_factory("QM.R1"), MemoryJournal)
+
+    def test_factory_requires_directory(self):
+        with pytest.raises(PersistenceError, match="directory"):
+            journal_factory_for("file")
+        with pytest.raises(PersistenceError, match="registered"):
+            journal_factory_for("etcd")
+
+
+class TestPostCommitHookLifetime:
+    """Aborted commit groups must drop their deferred callbacks — never
+    fire them early, never leak them into the next unrelated commit."""
+
+    @pytest.mark.parametrize(
+        "make_journal",
+        [
+            lambda tmp_path: MemoryJournal(),
+            lambda tmp_path: FileJournal(str(tmp_path / "hooks.journal")),
+            lambda tmp_path: SQLiteJournal(str(tmp_path / "hooks.db")),
+        ],
+        ids=["memory", "file", "sqlite"],
+    )
+    def test_pre_flush_crash_clears_hooks(self, tmp_path, make_journal):
+        journal = make_journal(tmp_path)
+        fired = []
+
+        def boom(record_count):
+            raise SimulatedCrash()
+
+        journal.on_pre_flush = boom
+        with pytest.raises(SimulatedCrash):
+            with journal.batch():
+                journal.append({"op": "define", "queue": "A.Q"})
+                journal.post_commit(lambda: fired.append("stale"))
+        journal.on_pre_flush = None
+        assert not journal._post_commit_hooks
+        # The next, unrelated commit must not fire the stale callback.
+        with journal.batch():
+            journal.append({"op": "define", "queue": "B.Q"})
+        assert fired == []
+        journal.close()
+
+    def test_body_abort_with_nothing_staged_drops_hooks(self):
+        journal = MemoryJournal()
+        fired = []
+        with pytest.raises(RuntimeError):
+            with journal.batch():
+                journal.post_commit(lambda: fired.append("early"))
+                raise RuntimeError("application error before any append")
+        # Nothing was staged, so nothing became durable: the callback
+        # must not run — not now, not on the next commit.
+        assert fired == []
+        with journal.batch():
+            journal.append({"op": "define", "queue": "B.Q"})
+        assert fired == []
+
+    def test_raising_hook_clears_reentrant_registrations(self):
+        journal = MemoryJournal()
+        fired = []
+
+        def hook_registers_then_dies():
+            journal._post_commit_hooks.append(lambda: fired.append("stale"))
+            raise SimulatedCrash()
+
+        with pytest.raises(SimulatedCrash):
+            with journal.batch():
+                journal.append({"op": "define", "queue": "A.Q"})
+                journal.post_commit(hook_registers_then_dies)
+        assert not journal._post_commit_hooks
+        with journal.batch():
+            journal.append({"op": "define", "queue": "B.Q"})
+        assert fired == []
+
+    def test_committed_group_still_fires_hooks(self):
+        journal = MemoryJournal()
+        fired = []
+        with journal.batch():
+            journal.append({"op": "define", "queue": "A.Q"})
+            journal.post_commit(lambda: fired.append("ok"))
+        assert fired == ["ok"]

@@ -42,6 +42,13 @@ class TestTopicMatching:
         with pytest.raises(MQError):
             topic_matches("px.#.ibm", "px.nyse.ibm")
 
+    def test_mid_pattern_hash_rejected_even_on_segment_mismatch(self):
+        # The pattern is validated before matching: a mid-pattern '#'
+        # must raise even when an earlier segment already disagrees
+        # (previously the mismatch returned False and hid the error).
+        with pytest.raises(MQError):
+            topic_matches("px.#.ibm", "fx.nyse.ibm")
+
     @pytest.mark.parametrize("bad", ["", ".", "a.", ".a", "a..b"])
     def test_bad_names_rejected(self, bad):
         with pytest.raises(MQError):
@@ -89,6 +96,17 @@ class TestSubscribePublish:
         broker.unsubscribe("temp")
         broker.publish("t", Message(body=2))
         assert manager.depth(SUBSCRIPTION_QUEUE_PREFIX + "temp") == 1
+
+    def test_bad_pattern_rejected_at_subscribe_time(self, broker, manager):
+        # Regression: a mid-pattern '#' used to be accepted here and then
+        # raise out of every subsequent publish whose topic walk reached
+        # it — one bad subscription poisoned the whole broker.
+        broker.subscribe("px.nyse.*", "good")
+        with pytest.raises(MQError):
+            broker.subscribe("px.#.ibm", "bad")
+        assert broker.publish("px.nyse.ibm", Message(body={"px": 1})) == 1
+        with pytest.raises(MQError):
+            broker.subscription("bad")  # never stored
 
     def test_duplicate_subscription_rejected(self, broker):
         broker.subscribe("t", "dup")

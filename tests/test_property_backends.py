@@ -1,0 +1,159 @@
+"""Property-based tests: topic pattern matching and cross-backend
+recovery equivalence (same op sequence -> identical recovered queue state
+for the memory / file / sqlite journal backends)."""
+
+import tempfile
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import MQError
+from repro.mq.manager import QueueManager
+from repro.mq.message import DeliveryMode, Message
+from repro.mq.persistence import journal_factory_for
+from repro.mq.pubsub import TopicBroker, topic_matches, validate_pattern
+from repro.sim.clock import SimulatedClock
+
+# -- topic_matches ----------------------------------------------------------
+
+literal_segments = st.lists(
+    st.sampled_from(["a", "b", "c", "px", "nyse"]), min_size=1, max_size=5
+)
+pattern_segments = st.lists(
+    st.sampled_from(["a", "b", "c", "px", "nyse", "*"]), min_size=1, max_size=5
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(literal_segments)
+def test_literal_pattern_matches_only_itself(segments):
+    topic = ".".join(segments)
+    assert topic_matches(topic, topic)
+    # Any extra or missing segment breaks a wildcard-free match.
+    assert not topic_matches(topic, topic + ".extra")
+    if len(segments) > 1:
+        assert not topic_matches(topic, ".".join(segments[:-1]))
+
+
+@settings(max_examples=200, deadline=None)
+@given(pattern_segments, literal_segments)
+def test_star_requires_equal_segment_counts(pattern_parts, topic_parts):
+    """A `#`-free pattern can only match a topic of the same length, and
+    matches iff every non-`*` segment agrees."""
+    pattern = ".".join(pattern_parts)
+    topic = ".".join(topic_parts)
+    expected = len(pattern_parts) == len(topic_parts) and all(
+        p in ("*", t) for p, t in zip(pattern_parts, topic_parts)
+    )
+    assert topic_matches(pattern, topic) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(literal_segments, literal_segments)
+def test_hash_matches_any_strict_extension(prefix, tail):
+    """`prefix.#` matches `prefix.<anything non-empty>` and never the
+    bare prefix itself."""
+    pattern = ".".join(prefix) + ".#"
+    assert topic_matches(pattern, ".".join(prefix + tail))
+    assert not topic_matches(pattern, ".".join(prefix))
+
+
+@settings(max_examples=100, deadline=None)
+@given(literal_segments, st.integers(min_value=0, max_value=3), literal_segments)
+def test_mid_pattern_hash_always_rejected(prefix, extra, topic_parts):
+    """A mid-pattern `#` raises MQError for *every* topic — it cannot
+    hide behind an early segment mismatch."""
+    pattern = ".".join(prefix + ["#"] + ["x"] * (extra + 1))
+    with pytest.raises(MQError):
+        validate_pattern(pattern)
+    with pytest.raises(MQError):
+        topic_matches(pattern, ".".join(topic_parts))
+
+
+def test_bad_pattern_fails_at_subscribe_not_publish():
+    """Regression: a mid-pattern `#` used to be accepted by subscribe and
+    then raise out of every subsequent publish on the broker."""
+    clock = SimulatedClock()
+    broker = TopicBroker(QueueManager("QM.PS", clock))
+    broker.subscribe("px.#", "good")
+    with pytest.raises(MQError):
+        broker.subscribe("px.#.ibm", "bad")
+    # The broker stays healthy: no stored bad pattern poisons publishes.
+    assert broker.publish("px.nyse.ibm", Message(body={"px": 1})) == 1
+
+
+# -- cross-backend recovery equivalence -------------------------------------
+
+BACKENDS = ("memory", "file", "sqlite")
+
+queue_names = st.sampled_from(["A.Q", "B.Q"])
+ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("put"),
+            queue_names,
+            st.integers(min_value=0, max_value=9),   # priority
+            st.booleans(),                            # persistent?
+        ),
+        st.tuples(st.just("get"), queue_names),
+        st.tuples(
+            st.just("put_batch"),
+            queue_names,
+            st.integers(min_value=1, max_value=4),    # batch size
+        ),
+        st.tuples(st.just("checkpoint")),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _apply_ops(manager, op_list):
+    counter = 0
+    for op in op_list:
+        if op[0] == "put":
+            _, queue, priority, persistent = op
+            mode = (
+                DeliveryMode.PERSISTENT if persistent
+                else DeliveryMode.NON_PERSISTENT
+            )
+            manager.put(
+                queue,
+                Message(body=counter, priority=priority, delivery_mode=mode),
+            )
+            counter += 1
+        elif op[0] == "get":
+            if manager.depth(op[1]) > 0:
+                manager.get(op[1])
+        elif op[0] == "put_batch":
+            _, queue, size = op
+            batch = [Message(body=counter + i) for i in range(size)]
+            counter += size
+            with manager.group_commit():
+                manager.put_many(queue, batch)
+        else:
+            manager.checkpoint()
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops)
+def test_same_ops_recover_identically_on_every_backend(op_list):
+    states = {}
+    with tempfile.TemporaryDirectory() as tmpdir:
+        for backend in BACKENDS:
+            clock = SimulatedClock()
+            journal = journal_factory_for(backend, tmpdir, sync="batch")(
+                f"QM.{backend}"
+            )
+            manager = QueueManager("QM.EQ", clock, journal=journal)
+            for queue in ("A.Q", "B.Q"):
+                manager.define_queue(queue)
+            _apply_ops(manager, op_list)
+            recovered = QueueManager.recover("QM.EQ", clock, journal)
+            states[backend] = {
+                queue: [(m.body, m.priority) for m in recovered.browse(queue)]
+                for queue in ("A.Q", "B.Q")
+            }
+            journal.close()
+    assert states["memory"] == states["file"] == states["sqlite"]
