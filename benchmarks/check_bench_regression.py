@@ -1,0 +1,87 @@
+"""Fail CI when the throughput benchmark regresses against the baseline.
+
+Usage (what the CI benchmark-smoke job runs)::
+
+    cp BENCH_throughput.json /tmp/baseline.json       # committed baseline
+    BENCH_SHORT=1 pytest benchmarks/test_throughput.py  # rewrites the file
+    python benchmarks/check_bench_regression.py \
+        --baseline /tmp/baseline.json --current BENCH_throughput.json
+
+Compares ``msgs_per_sec`` and exits non-zero when the current run is
+more than ``--tolerance`` (default 25%) below the baseline.  Wall-clock
+throughput on shared CI runners is noisy even with the benchmark's
+best-of-N reporting, so the tolerance is deliberately loose: the gate
+exists to catch real hot-path regressions (a lost optimization, an
+accidental per-message flush), not 5% scheduling jitter.
+
+Improvements never fail; the job log suggests refreshing the committed
+baseline when the current run is substantially faster.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_msgs_per_sec(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    try:
+        value = float(data["msgs_per_sec"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SystemExit(f"{path}: no usable msgs_per_sec field ({exc})")
+    if value <= 0:
+        raise SystemExit(f"{path}: non-positive msgs_per_sec {value!r}")
+    return value
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Gate CI on throughput-benchmark regressions."
+    )
+    parser.add_argument(
+        "--baseline", required=True,
+        help="BENCH_throughput.json as committed (the reference)",
+    )
+    parser.add_argument(
+        "--current", required=True,
+        help="BENCH_throughput.json produced by this run",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional drop below baseline (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
+
+    baseline = load_msgs_per_sec(args.baseline)
+    current = load_msgs_per_sec(args.current)
+    floor = baseline * (1.0 - args.tolerance)
+    change = (current - baseline) / baseline * 100.0
+
+    print(
+        f"baseline {baseline:.1f} msgs/s, current {current:.1f} msgs/s "
+        f"({change:+.1f}%), floor {floor:.1f} msgs/s "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    if current < floor:
+        print(
+            "FAIL: throughput regressed past the tolerance; if this is an"
+            " intentional trade-off, refresh the committed"
+            " BENCH_throughput.json baseline in the same change.",
+            file=sys.stderr,
+        )
+        return 1
+    if current > baseline * (1.0 + args.tolerance):
+        print(
+            "note: current run beats the baseline by more than the"
+            " tolerance — consider committing the fresh"
+            " BENCH_throughput.json so the gate tracks the new level."
+        )
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,9 @@ flush boundaries, partitions, torn journal tails, duplicated and delayed
 transfers — and asserts the paper-invariant suite finds zero violations.
 Memory-journal episodes exercise the crash model cheaply; file-journal
 episodes add torn-tail recovery on real files; sqlite-journal episodes
-cover the transactional backend's crash/recover path.
+cover the transactional backend's crash/recover path; binfile-journal episodes run the binary record
+codec through the same crash, recovery, and torn-tail space (tears cut
+a binary frame mid-payload, and post-recovery writes keep the codec).
 
 Results land in ``CHAOS_smoke.json`` at the repo root (uploaded by the
 CI chaos-smoke job next to ``BENCH_throughput.json``).  Any failing
@@ -30,6 +32,8 @@ FILE_EPISODES = 5 if SHORT else 15
 FILE_BASE_SEED = 100
 SQLITE_EPISODES = 5 if SHORT else 15
 SQLITE_BASE_SEED = 200
+BINFILE_EPISODES = 5 if SHORT else 15
+BINFILE_BASE_SEED = 300
 
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir)
@@ -59,6 +63,13 @@ def test_chaos_smoke_corpus(report, tmp_path):
             episodes=SQLITE_EPISODES,
             base_seed=SQLITE_BASE_SEED,
             journal="sqlite",
+            journal_dir=str(tmp_path),
+            repro_dir=REPO_ROOT,
+        ),
+        run_chaos_corpus(
+            episodes=BINFILE_EPISODES,
+            base_seed=BINFILE_BASE_SEED,
+            journal="binfile",
             journal_dir=str(tmp_path),
             repro_dir=REPO_ROOT,
         ),
@@ -95,7 +106,7 @@ def test_chaos_smoke_corpus(report, tmp_path):
         json.dump(summary, handle, indent=2)
         handle.write("\n")
 
-    assert summary["episodes"] >= (25 if SHORT else 70)
+    assert summary["episodes"] >= (30 if SHORT else 85)
     # The corpus must actually exercise the fault space, not dodge it.
     assert summary["crashes"] >= (5 if SHORT else 20)
     assert summary["faults_fired"] >= (10 if SHORT else 50)

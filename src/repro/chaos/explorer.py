@@ -87,7 +87,7 @@ class EpisodeSpec:
     receivers: int = 3
     latency_ms: int = 5
     jitter_ms: int = 0
-    journal: str = "memory"  # "memory" | "file" | "sqlite"
+    journal: str = "memory"  # "memory" | "file" | "sqlite" | "binfile"
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     plan: FaultPlan = field(default_factory=FaultPlan)
 
@@ -129,9 +129,10 @@ class EpisodeSpec:
         )
         horizon = messages * gap + window
         kinds = ["crash", "crash", "partition", "duplicate", "delay"]
-        if journal == "file":
-            # Only the line-oriented file journal models torn writes; the
-            # sqlite backend's engine transactions cannot tear.
+        if journal in ("file", "binfile"):
+            # Only the file journals model torn writes (line-oriented and
+            # binary-codec alike); the sqlite backend's engine
+            # transactions cannot tear.
             kinds.append("torn_tail")
         receiver_managers = [f"QM.{n}" for n in spec.receiver_names]
         for _ in range(rng.randint(1, 4)):
@@ -539,19 +540,27 @@ class ChaosHarness:
         return recovered
 
     def _tear_journal(self, manager_name: str, journal: Journal) -> Journal:
-        """Append a torn (unterminated) record and reopen the journal.
+        """Append a torn (truncated) record and reopen the journal.
 
         Only file journals model torn writes; reopening runs
         :class:`FileJournal`'s tail-healing, exactly what a real restart
-        over a torn log does.  Memory journals crash cleanly.
+        over a torn log does.  Memory journals crash cleanly; sqlite's
+        engine transactions cannot tear.  The tear is written in the
+        journal's own codec — a chopped JSON line for the line-oriented
+        store, a frame cut short mid-payload for the binary codec — and
+        the reopened journal keeps that codec.
         """
         if not isinstance(journal, FileJournal):
             return journal
         path = journal.path
+        codec_name = journal.codec.name
+        torn = journal.codec.encode_record(
+            {"op": "put", "queue": "TORN.Q", "message": {"torn": True}}
+        )[:-5]
         journal.close()
-        with open(path, "a", encoding="utf-8") as handle:
-            handle.write('{"op": "put", "queue": "TORN.Q", "mess')
-        fresh = FileJournal(path, sync="none")
+        with open(path, "ab") as handle:
+            handle.write(torn)
+        fresh = FileJournal(path, sync="none", codec=codec_name)
         self.journals[manager_name] = fresh
         return fresh
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core import control
 from repro.errors import ConditionalMessagingError
@@ -68,14 +68,8 @@ class Acknowledgment:
         return self.commit_time_ms if self.kind is AckKind.PROCESSED else None
 
 
-def ack_to_message(ack: Acknowledgment) -> Message:
-    """Encode an acknowledgment as a standard message for the ack queue.
-
-    Acknowledgments are persistent and high priority: losing one would
-    turn a satisfied condition into a spurious failure, and the evaluation
-    manager wants them promptly.
-    """
-    body = {
+def _ack_body(ack: Acknowledgment) -> Dict[str, Any]:
+    return {
         "cmid": ack.cmid,
         "kind": ack.kind.value,
         "queue": ack.queue,
@@ -85,8 +79,17 @@ def ack_to_message(ack: Acknowledgment) -> Message:
         "commit_time_ms": ack.commit_time_ms,
         "original_message_id": ack.original_message_id,
     }
+
+
+def ack_to_message(ack: Acknowledgment) -> Message:
+    """Encode an acknowledgment as a standard message for the ack queue.
+
+    Acknowledgments are persistent and high priority: losing one would
+    turn a satisfied condition into a spurious failure, and the evaluation
+    manager wants them promptly.
+    """
     return Message(
-        body=body,
+        body=_ack_body(ack),
         correlation_id=ack.cmid,
         priority=7,
         properties={
@@ -96,13 +99,30 @@ def ack_to_message(ack: Acknowledgment) -> Message:
     )
 
 
-def ack_from_message(message: Message) -> Acknowledgment:
-    """Decode an acknowledgment message; raises on malformed content."""
-    body = message.body
-    if not isinstance(body, dict):
-        raise ConditionalMessagingError(
-            f"acknowledgment message {message.message_id} has a non-dict body"
-        )
+def acks_to_message(acks: Sequence[Acknowledgment]) -> Message:
+    """Encode one or more acknowledgments as ONE ack-queue message.
+
+    A receiver draining a queue generates one acknowledgment per consumed
+    message; sending each as its own remote put costs a journal flush per
+    ack on the receiving manager.  Batching folds a drain's worth of acks
+    into a single wire message (body ``{"batch": [...]}``) so the ack
+    channel costs one put — and one flush — per drain, not per message.
+
+    A single acknowledgment keeps the legacy single-ack wire shape so
+    mixed-version peers and existing journals decode unchanged.
+    """
+    if not acks:
+        raise ConditionalMessagingError("acks_to_message requires at least one ack")
+    if len(acks) == 1:
+        return ack_to_message(acks[0])
+    return Message(
+        body={"batch": [_ack_body(ack) for ack in acks]},
+        priority=7,
+        properties={control.PROP_KIND: control.KIND_ACK},
+    )
+
+
+def _ack_from_body(body: Dict[str, Any], message: Message) -> Acknowledgment:
     try:
         return Acknowledgment(
             cmid=body["cmid"],
@@ -118,7 +138,43 @@ def ack_from_message(message: Message) -> Acknowledgment:
             ),
             original_message_id=body.get("original_message_id", ""),
         )
-    except (KeyError, ValueError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
         raise ConditionalMessagingError(
             f"malformed acknowledgment message {message.message_id}: {exc}"
         ) from exc
+
+
+def ack_from_message(message: Message) -> Acknowledgment:
+    """Decode a single-ack acknowledgment message; raises on malformed content."""
+    body = message.body
+    if not isinstance(body, dict):
+        raise ConditionalMessagingError(
+            f"acknowledgment message {message.message_id} has a non-dict body"
+        )
+    return _ack_from_body(body, message)
+
+
+def acks_from_message(message: Message) -> List[Acknowledgment]:
+    """Decode an acknowledgment message, batched or single-form.
+
+    Accepts both wire shapes produced by :func:`acks_to_message`: a
+    ``{"batch": [...]}`` body yields each member in order; anything else
+    is decoded as a legacy single acknowledgment.
+    """
+    body = message.body
+    if isinstance(body, dict) and "batch" in body:
+        members = body["batch"]
+        if not isinstance(members, list) or not members:
+            raise ConditionalMessagingError(
+                f"acknowledgment message {message.message_id} has a malformed batch"
+            )
+        decoded = []
+        for member in members:
+            if not isinstance(member, dict):
+                raise ConditionalMessagingError(
+                    f"acknowledgment message {message.message_id} has a"
+                    " non-dict batch member"
+                )
+            decoded.append(_ack_from_body(member, message))
+        return decoded
+    return [ack_from_message(message)]

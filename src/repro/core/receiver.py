@@ -25,11 +25,12 @@ to the same queue manager.
 from __future__ import annotations
 
 import uuid
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.core import control
-from repro.core.acks import Acknowledgment, AckKind, ack_to_message
+from repro.core.acks import Acknowledgment, AckKind, acks_to_message, ack_to_message
 from repro.core.logqueues import RECEIVER_LOG_QUEUE, ReceiverLogEntry
 from repro.errors import NoTransactionError, TransactionActiveError
 from repro.mq.manager import QueueManager
@@ -96,6 +97,11 @@ class ConditionalMessagingReceiver:
         self.rlog_queue = rlog_queue
         self.manager.ensure_queue(rlog_queue)
         self._transaction: Optional[MQTransaction] = None
+        #: Open ack batch: target (ack manager, ack queue) -> pending acks.
+        #: ``None`` when no batch is open; see :meth:`ack_batch`.
+        self._ack_buffer: Optional[
+            Dict[Tuple[str, str], List[Acknowledgment]]
+        ] = None
         self.stats = ReceiverStats()
 
     # -- transaction demarcation facade (paper: begin_tx / commit_tx) ---------
@@ -113,7 +119,12 @@ class ConditionalMessagingReceiver:
             raise NoTransactionError("no active receiver transaction")
         transaction = self._transaction
         self._transaction = None
-        transaction.commit()
+        # A transaction's on_commit hooks fire one PROCESSED ack per
+        # transactional read; batching folds them into one ack message
+        # per target, so committing an N-read transaction costs one
+        # remote put instead of N.
+        with self.ack_batch():
+            transaction.commit()
 
     def abort_tx(self) -> None:
         """Roll back; consumed messages return to their queues, no acks."""
@@ -130,7 +141,37 @@ class ConditionalMessagingReceiver:
 
     # -- reading ----------------------------------------------------------------
 
-    def read_message(self, queue_name: str) -> Optional[ReceivedMessage]:
+    @contextmanager
+    def ack_batch(self) -> Iterator[None]:
+        """Coalesce acknowledgments generated inside the block.
+
+        While open, :meth:`_send_ack` buffers acknowledgments instead of
+        putting each on the wire; on exit one batched ack message is sent
+        per distinct (ack manager, ack queue) target.  With a journaled
+        sender-side manager that turns N acks into one journal flush.
+        Logical counters (``stats.acks_sent``), per-ack traces, and
+        metrics are unaffected — only the wire framing changes.
+
+        Nested batches join the outermost one.  The buffer is flushed
+        even if the block raises: buffered acks correspond to reads that
+        already happened, so dropping them would leak pending conditions.
+        """
+        if self._ack_buffer is not None:
+            yield
+            return
+        self._ack_buffer = {}
+        try:
+            yield
+        finally:
+            buffered, self._ack_buffer = self._ack_buffer, None
+            for (ack_manager, ack_queue), acks in buffered.items():
+                self.manager.put_remote(
+                    ack_manager, ack_queue, acks_to_message(acks)
+                )
+
+    def read_message(
+        self, queue_name: str, *, _scan_pairs: bool = True
+    ) -> Optional[ReceivedMessage]:
         """Read the next message from ``queue_name`` (the paper's readMessage).
 
         Returns ``None`` when no deliverable message is available.  The
@@ -138,7 +179,8 @@ class ConditionalMessagingReceiver:
         delivery) happens transparently inside this call.
         """
         self.manager.ensure_queue(queue_name)
-        self._cancel_pairs(queue_name)
+        if _scan_pairs:
+            self._cancel_pairs(queue_name)
         while True:
             message = self.manager.get_wait(
                 queue_name, transaction=self._transaction
@@ -185,13 +227,21 @@ class ConditionalMessagingReceiver:
             )
 
     def read_all(self, queue_name: str, limit: Optional[int] = None) -> List[ReceivedMessage]:
-        """Drain all currently deliverable messages (up to ``limit``)."""
+        """Drain all currently deliverable messages (up to ``limit``).
+
+        The cancellation scan runs once for the whole drain (nothing new
+        can land mid-drain in the synchronous loop), and the drain's
+        acknowledgments are batched into one ack message per target.
+        """
+        self.manager.ensure_queue(queue_name)
         received: List[ReceivedMessage] = []
-        while limit is None or len(received) < limit:
-            message = self.read_message(queue_name)
-            if message is None:
-                break
-            received.append(message)
+        with self.ack_batch():
+            self._cancel_pairs(queue_name)
+            while limit is None or len(received) < limit:
+                message = self.read_message(queue_name, _scan_pairs=False)
+                if message is None:
+                    break
+                received.append(message)
         return received
 
     # -- internals: original delivery -----------------------------------------------
@@ -277,9 +327,14 @@ class ConditionalMessagingReceiver:
             commit_time_ms=commit_time_ms,
             original_message_id=original_message_id,
         )
-        self.manager.put_remote(
-            info.ack_manager, info.ack_queue, ack_to_message(ack)
-        )
+        if self._ack_buffer is not None:
+            self._ack_buffer.setdefault(
+                (info.ack_manager, info.ack_queue), []
+            ).append(ack)
+        else:
+            self.manager.put_remote(
+                info.ack_manager, info.ack_queue, ack_to_message(ack)
+            )
         self.stats.acks_sent += 1
         tracer = self.manager.tracer
         if tracer.enabled:

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.acks import Acknowledgment
 from repro.core.conditions import Condition, Destination, DestinationSet
 from repro.errors import EvaluationError
+from repro.mq.pubsub import is_topic_destination
 
 
 class EvalState(Enum):
@@ -87,10 +88,22 @@ class AckAssignment:
     unclaimed: Dict[Tuple[str, str], List[Acknowledgment]]
     #: every recipient name that appears on some leaf
     named_recipients: Set[str]
+    #: per-node leaf lists, memoized for the duration of one evaluation
+    #: pass (the tree is walked per aspect per set node; re-listing the
+    #: same subtree's leaves each time is pure overhead)
+    _subtree_leaves: Dict[int, List[Destination]] = field(default_factory=dict)
 
     def leaf_acks(self, leaf: Destination) -> List[Acknowledgment]:
         """Acknowledgments assigned to ``leaf``."""
         return self.by_leaf.get(id(leaf), [])
+
+    def subtree_leaves(self, node: Condition) -> List[Destination]:
+        """Leaves of ``node``'s subtree (memoized per evaluation pass)."""
+        cached = self._subtree_leaves.get(id(node))
+        if cached is None:
+            cached = list(node.destinations())
+            self._subtree_leaves[id(node)] = cached
+        return cached
 
 
 def assign_acks(
@@ -116,8 +129,6 @@ def assign_acks(
 
     assigned: Dict[int, List[Acknowledgment]] = {id(leaf): [] for leaf in leaves}
     unclaimed: Dict[Tuple[str, str], List[Acknowledgment]] = {}
-
-    from repro.mq.pubsub import is_topic_destination
 
     def claim_cap(leaf: Destination) -> Optional[int]:
         # A topic is consumable by arbitrarily many subscribers, and the
@@ -146,9 +157,11 @@ def assign_acks(
     named_recipients = {
         leaf.recipient for leaf in leaves if leaf.recipient is not None
     }
-    return AckAssignment(
+    assignment = AckAssignment(
         by_leaf=assigned, unclaimed=unclaimed, named_recipients=named_recipients
     )
+    assignment._subtree_leaves[id(root)] = leaves
+    return assignment
 
 
 # ---------------------------------------------------------------------------
@@ -172,8 +185,6 @@ def _leaf_aspect_state(
     final: bool,
 ) -> EvalState:
     """State of "this leaf did <aspect> by <deadline>"."""
-    from repro.mq.pubsub import is_topic_destination
-
     in_time = False
     dead = 0
     for ack in acks:
@@ -252,12 +263,10 @@ def _subtree_exhausted(node: Condition, assignment: AckAssignment, default_manag
     the subtree makes exhaustion undecidable — only the evaluation
     timeout resolves it.
     """
-    from repro.mq.pubsub import is_topic_destination
-
     total_copies = 0
     total_acks = 0
     queues: Set[Tuple[str, str]] = set()
-    for leaf in node.destinations():
+    for leaf in assignment.subtree_leaves(node):
         if is_topic_destination(leaf.queue):
             return False
         total_copies += leaf.copies
@@ -392,7 +401,7 @@ def _anonymous_aspect_state(
 
     queues = {
         (leaf.manager or default_manager, leaf.queue)
-        for leaf in node.destinations()
+        for leaf in assignment.subtree_leaves(node)
     }
     recipients: Set[str] = set()
     for key in queues:
@@ -406,7 +415,7 @@ def _anonymous_aspect_state(
                 recipients.add(ack.recipient)
     # Recipient-less leaves absorb the first ack on their queue; that
     # reader is anonymous too and must count here.
-    for leaf in node.destinations():
+    for leaf in assignment.subtree_leaves(node):
         if leaf.recipient is not None:
             continue
         for ack in assignment.leaf_acks(leaf):

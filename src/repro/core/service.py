@@ -78,6 +78,10 @@ class ConditionalMessagingService:
             parking of the data messages) into one group-committed flush,
             so a send at fan-out N costs one flush instead of ``2N+1``.
             On by default; disable for the per-record ablation baseline.
+        pump_coalesce_ms: Defer ack-queue drains to one scheduled event
+            that many ms after the first arrival (see
+            :class:`~repro.core.evaluation.EvaluationManager`); ``None``
+            (default) pumps synchronously per arriving acknowledgment.
 
     Observability (tracer and metrics registry, :mod:`repro.obs`) is
     inherited from ``manager`` — give the queue manager a
@@ -97,6 +101,7 @@ class ConditionalMessagingService:
         outcome_queue: str = OUTCOME_QUEUE,
         push_evaluation: bool = True,
         group_commit: bool = True,
+        pump_coalesce_ms: Optional[int] = None,
     ) -> None:
         self.manager = manager
         self.scheduler = scheduler
@@ -115,6 +120,7 @@ class ConditionalMessagingService:
             on_decided=self._on_decided,
             scheduler=scheduler,
             push=push_evaluation,
+            pump_coalesce_ms=pump_coalesce_ms,
         )
         self.stats = ServiceStats()
         #: cmid -> deferral callback installed by a Dependency-Sphere

@@ -19,7 +19,7 @@ messages journal cleanly and selectors have well-defined comparisons.
 from __future__ import annotations
 
 import itertools
-import uuid
+import os
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
@@ -49,10 +49,12 @@ def new_message_id() -> str:
     """Return a unique message id (``MSG-<seq>-<uuid fragment>``).
 
     The monotonic sequence component makes interleaved ids sort in creation
-    order, which keeps journals and test output readable; the uuid fragment
-    guarantees global uniqueness across queue managers.
+    order, which keeps journals and test output readable; the random
+    fragment (48 bits straight from the OS — ids are a hot path, and a
+    full UUID object is overhead for a hex fragment) guarantees global
+    uniqueness across queue managers.
     """
-    return f"MSG-{next(_msg_seq):08d}-{uuid.uuid4().hex[:12]}"
+    return f"MSG-{next(_msg_seq):08d}-{os.urandom(6).hex()}"
 
 
 def validate_properties(properties: Mapping[str, Any]) -> Dict[str, PropertyValue]:
@@ -61,6 +63,8 @@ def validate_properties(properties: Mapping[str, Any]) -> Dict[str, PropertyValu
     Raises :class:`MQError` for non-string keys or values outside the
     JMS-like primitive types.
     """
+    if not properties:
+        return {}
     validated: Dict[str, PropertyValue] = {}
     for key, value in properties.items():
         if not isinstance(key, str) or not key:
@@ -137,7 +141,11 @@ class Message:
         """Return a copy with additional/overridden properties."""
         merged = dict(self.properties)
         merged.update(validate_properties(updates))
-        return self.copy(properties=merged)
+        clone = self.copy()
+        # Both halves of the merge were validated (existing properties at
+        # construction, updates just now) — skip re-validating the union.
+        clone.properties = merged
+        return clone
 
     # -- lifecycle helpers ---------------------------------------------------
 
@@ -154,23 +162,33 @@ class Message:
 
         The copy keeps the same ``message_id`` unless overridden — it is
         the same logical message (used when a message crosses a channel).
+
+        Copies are a hot path (every channel hop and queue put makes
+        one), so unchanged fields skip re-validation — they were
+        validated when this message was constructed.  Overridden fields
+        get the same checks ``__post_init__`` would apply.  The
+        properties dict is shared with the source: messages are
+        immutable once built (every property change goes through
+        :meth:`with_properties`, which builds a fresh dict).
         """
-        fields: Dict[str, Any] = {
-            "body": self.body,
-            "message_id": self.message_id,
-            "correlation_id": self.correlation_id,
-            "properties": dict(self.properties),
-            "priority": self.priority,
-            "delivery_mode": self.delivery_mode,
-            "expiry_ms": self.expiry_ms,
-            "reply_to_manager": self.reply_to_manager,
-            "reply_to_queue": self.reply_to_queue,
-            "put_time_ms": self.put_time_ms,
-            "backout_count": self.backout_count,
-            "source_manager": self.source_manager,
-        }
-        fields.update(overrides)
-        return Message(**fields)
+        clone = object.__new__(Message)
+        clone.__dict__.update(self.__dict__)
+        if overrides:
+            clone.__dict__.update(overrides)
+            if "priority" in overrides and not (
+                MIN_PRIORITY <= clone.priority <= MAX_PRIORITY
+            ):
+                raise MQError(
+                    f"priority {clone.priority} outside"
+                    f" {MIN_PRIORITY}..{MAX_PRIORITY}"
+                )
+            if "properties" in overrides:
+                clone.properties = validate_properties(clone.properties)
+            if "expiry_ms" in overrides and (
+                clone.expiry_ms is not None and clone.expiry_ms < 0
+            ):
+                raise MQError("expiry_ms must be >= 0 or None")
+        return clone
 
     def __repr__(self) -> str:  # keep logs short
         return (

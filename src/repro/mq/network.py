@@ -367,7 +367,20 @@ class MessageNetwork:
             else:
                 self._attempt_transfer(chan, message_id)
         elif not chan.stopped:
-            self._schedule_attempt(chan, enveloped.message_id)
+            # Scheduler-backed delivery is deferred past an open batch
+            # because events run after the sending call returns — but an
+            # adaptive flush timer can hold the sender's records *across*
+            # events, so the latency countdown must not start until the
+            # parking record's commit group is written.  post_commit is
+            # immediate when nothing is held, keeping the plain path
+            # unchanged.
+            message_id = enveloped.message_id
+            if src_manager.journal is not None:
+                src_manager.journal.post_commit(
+                    lambda: self._schedule_attempt(chan, message_id)
+                )
+            else:
+                self._schedule_attempt(chan, message_id)
 
     def _schedule_attempt(self, chan: Channel, message_id: str) -> None:
         assert self.scheduler is not None
@@ -397,14 +410,7 @@ class MessageNetwork:
         xmit_name = XMIT_PREFIX + chan.target
         if not src_manager.has_queue(xmit_name):
             return
-        enveloped = next(
-            (
-                m
-                for m in src_manager.queue(xmit_name).browse()
-                if m.message_id == message_id
-            ),
-            None,
-        )
+        enveloped = src_manager.queue(xmit_name).find_by_id(message_id)
         if enveloped is None:
             return  # already transferred (e.g. drained after a partition healed)
         # Deliver first, resolve the parked copy after: a target crash
@@ -428,13 +434,13 @@ class MessageNetwork:
             # hop manager's own channels/routes (multi-hop
             # store-and-forward).  Strip this hop's envelope; send()
             # re-envelopes for the next hop.
-            stripped = enveloped.copy(
-                properties={
-                    k: v
-                    for k, v in enveloped.properties.items()
-                    if k not in (PROP_ROUTE_TARGET_MANAGER, PROP_ROUTE_TARGET_QUEUE)
-                }
-            )
+            stripped = enveloped.copy()
+            # Subset of an already-validated dict; skip re-validation.
+            stripped.properties = {
+                k: v
+                for k, v in enveloped.properties.items()
+                if k not in (PROP_ROUTE_TARGET_MANAGER, PROP_ROUTE_TARGET_QUEUE)
+            }
             chan.stats.delivered += 1
             self.send(chan.target, final_target, queue_name, stripped)
             return
@@ -455,13 +461,14 @@ class MessageNetwork:
                 self._delivered.add(key)
                 chan.stats.duplicates_suppressed += 1
                 return
-        # Strip the routing envelope before final delivery.
-        props = {
+        # Strip the routing envelope before final delivery.  The stripped
+        # dict is a subset of an already-validated one; skip re-validation.
+        final = enveloped.copy()
+        final.properties = {
             k: v
             for k, v in enveloped.properties.items()
             if k not in (PROP_ROUTE_TARGET_MANAGER, PROP_ROUTE_TARGET_QUEUE)
         }
-        final = enveloped.copy(properties=props)
         if not target_manager.has_queue(queue_name):
             if self.auto_create_queues:
                 target_manager.define_queue(queue_name)

@@ -25,14 +25,23 @@ records per force-out):
   manager exposes it as ``QueueManager.group_commit()`` and the
   conditional-send fan-out routes through it, so one conditional send costs
   one journal flush instead of ``2N+1``;
-* a multi-record commit group is written as **one physical line** (a
+* a multi-record commit group is written as **one physical frame** (a
   ``group`` wrapper record), so a torn write can never persist a prefix of
   a group: recovery replays the whole group or drops it with the torn
   tail, making group commit genuinely all-or-nothing;
+* :meth:`Journal.enable_adaptive_flush` arms an **adaptive flush timer**:
+  commit groups are held in memory for a bounded window so that groups
+  from *separate* sends coalesce into one physical write.  The window is
+  an RFC 6298-style EWMA of commit-group inter-arrival gaps
+  (``srtt + 4·rttvar``, clamped to ``[min_hold_ms, max_hold_ms]``) — under
+  load the journal learns the arrival rate and keeps the group open just
+  long enough for the next send to join it.  Deferred work
+  (:meth:`post_commit` actions, cross-manager transfers) is held with the
+  records and released by :meth:`drain`, preserving the durability order;
 * :meth:`Journal.post_commit` defers an action until the staged records
-  are durable — the network layer uses it to hold synchronous
-  cross-manager delivery until the sender's commit group has been
-  written, preserving the compensation-and-log-first durability order;
+  are durable — the network layer uses it to hold cross-manager delivery
+  until the sender's commit group has been written, preserving the
+  compensation-and-log-first durability order;
 * the **sync policy** (``always`` / ``batch`` / ``none``) controls when the
   file journal forces data to disk (``os.fsync``): per commit group, only
   on explicit :meth:`FileJournal.sync` / checkpoint, or never;
@@ -40,22 +49,37 @@ records per force-out):
   checkpoint compaction automatically once the log grows past a bound, so
   ``rewrite`` cost is amortized over many appends.
 
-Three stores exist: :class:`FileJournal` (JSON-lines on disk, one
-persistent append handle), :class:`SQLiteJournal` (one SQLite database in
-WAL mode, commit groups as SQL transactions), and :class:`MemoryJournal`
-(same record stream, kept in a list; used by tests that inject crashes
-without touching the filesystem).  All count ``flush_count`` /
-``bytes_written`` / batch sizes, and report them through an attached
+Records are serialized by a pluggable **codec**:
+
+* ``json`` (default) — one JSON document per line, human-readable;
+* ``binary`` — a compact length-prefixed frame (magic byte, 4-byte length,
+  CRC-32, pickled record), roughly halving encode cost and bytes per
+  record.
+
+Recovery **auto-detects** the format frame by frame (a JSON line starts
+with ``{``, a binary frame with its magic byte), so journals written under
+one codec — or a mixture, e.g. a JSON log appended to by a binary-codec
+journal after an upgrade — replay unchanged.
+
+Three stores exist: :class:`FileJournal` (frames on disk, one persistent
+append handle), :class:`SQLiteJournal` (one SQLite database in WAL mode,
+commit groups as SQL transactions), and :class:`MemoryJournal` (same
+record stream, kept in a list; used by tests that inject crashes without
+touching the filesystem).  All count ``flush_count`` / ``bytes_written`` /
+batch sizes, and report them through an attached
 :class:`~repro.obs.registry.MetricsRegistry` (``journal.flushes``,
 ``journal.records``, ``journal.bytes``, ``journal.batch_records``) when
 the owning manager carries one.
 
 Deployments pick the store by URL through the **backend registry**:
-:func:`journal_for` maps ``memory:``, ``file:<path>``, and
-``sqlite:<path>`` (a bare path means ``file:``) to a constructed journal,
-and :func:`journal_factory_for` derives per-manager journals for
+:func:`journal_for` maps ``memory:``, ``file:<path>``, ``sqlite:<path>``,
+and ``binfile:<path>`` (a file journal defaulting to the binary codec) to
+a constructed journal — a ``?codec=<name>`` query selects the codec
+explicitly (``file:/var/lib/qm.journal?codec=binary``) — and
+:func:`journal_factory_for` derives per-manager journals for
 testbed-style deployments.  :func:`register_journal_backend` adds new
-schemes without touching callers.
+schemes, and :func:`register_journal_codec` new codecs, without touching
+callers.
 """
 
 from __future__ import annotations
@@ -66,6 +90,8 @@ import logging
 import os
 import pickle
 import sqlite3
+import struct
+import zlib
 from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
@@ -125,14 +151,22 @@ def _is_json_safe(value: Any, _seen: Optional[set] = None) -> bool:
     return False
 
 
-def encode_body(body: Any) -> Dict[str, Any]:
+def encode_body(body: Any, native: bool = False) -> Dict[str, Any]:
     """Encode a message body for the journal.
 
     JSON-representable bodies are stored natively (readable journals);
     anything else is pickled and base64-wrapped.  The JSON check is a
     structural type probe — the body is serialized exactly once, when the
     enclosing record is appended, not twice.
+
+    ``native=True`` (used when the enclosing record is bound for a codec
+    whose frames are pickled wholesale, like the binary codec) stores the
+    body as-is under ``kind="raw"``: the probe and the pickle+base64
+    detour are pure overhead when the frame serializer handles arbitrary
+    objects anyway.
     """
+    if native:
+        return {"kind": "raw", "data": body}
     if _is_json_safe(body):
         return {"kind": "json", "data": body}
     try:
@@ -147,19 +181,23 @@ def encode_body(body: Any) -> Dict[str, Any]:
 def decode_body(record: Dict[str, Any]) -> Any:
     """Inverse of :func:`encode_body`."""
     kind = record.get("kind")
-    if kind == "json":
+    if kind in ("json", "raw"):
         return record["data"]
     if kind == "pickle":
         return pickle.loads(base64.b64decode(record["data"]))
     raise PersistenceError(f"unknown body encoding {kind!r}")
 
 
-def encode_message(message: Message) -> Dict[str, Any]:
-    """Encode a full message as a JSON-able dict."""
+def encode_message(message: Message, native: bool = False) -> Dict[str, Any]:
+    """Encode a full message as a journalable dict.
+
+    ``native`` is forwarded to :func:`encode_body` — pass true only when
+    the record is bound for a codec that serializes frames with pickle.
+    """
     return {
         "message_id": message.message_id,
         "correlation_id": message.correlation_id,
-        "body": encode_body(message.body),
+        "body": encode_body(message.body, native=native),
         "properties": dict(message.properties),
         "priority": message.priority,
         "delivery_mode": message.delivery_mode.value,
@@ -196,8 +234,8 @@ def decode_message(record: Dict[str, Any]) -> Message:
 def _expand_record(record: Dict[str, Any], out: List[Dict[str, Any]]) -> None:
     """Append ``record`` to ``out``, inlining ``group`` wrapper records.
 
-    A ``group`` record is the single-line envelope a multi-record commit
-    group is written as (see :meth:`Journal._commit_lines`); readers see
+    A ``group`` record is the single-frame envelope a multi-record commit
+    group is written as (see :meth:`Journal._write_group`); readers see
     the logical member records, never the envelope.
     """
     if record.get("op") == "group":
@@ -212,6 +250,274 @@ def _check_sync_policy(sync: str) -> str:
             f"unknown sync policy {sync!r}; expected one of {SYNC_POLICIES}"
         )
     return sync
+
+
+# ---------------------------------------------------------------------------
+# Record codecs: JSON lines and length-prefixed binary frames
+# ---------------------------------------------------------------------------
+
+#: First byte of a binary record / group frame.  Chosen outside printable
+#: ASCII so no frame can ever be mistaken for the start of a JSON line
+#: (which always begins with ``{``); the decoder dispatches per frame on
+#: this byte, which is what lets JSON and binary content coexist in one
+#: journal.
+_MAGIC_RECORD = 0xB1
+_MAGIC_GROUP = 0xB2
+
+#: Binary frame header: magic byte, payload length, CRC-32 of the payload.
+_BIN_HEADER = struct.Struct("<BII")
+
+
+def _bin_frame(magic: int, payload: bytes) -> bytes:
+    return _BIN_HEADER.pack(magic, len(payload), zlib.crc32(payload)) + payload
+
+
+class JsonLinesCodec:
+    """One JSON document per newline-terminated line (human-readable)."""
+
+    name = "json"
+    #: Message bodies must be JSON-encodable (or pickle+base64-wrapped).
+    native_bodies = False
+
+    def encode_record(self, record: Dict[str, Any]) -> bytes:
+        return json.dumps(record).encode("utf-8") + b"\n"
+
+    def wrap_group(self, frames: List[bytes]) -> bytes:
+        # Members are serialized already; wrap without re-serializing.
+        inner = b", ".join(frame[:-1] for frame in frames)
+        return b'{"op": "group", "records": [' + inner + b"]}\n"
+
+
+class BinaryRecordCodec:
+    """Compact length-prefixed frames: magic, length, CRC-32, pickle.
+
+    The CRC turns a torn or bit-rotted frame into a detected error
+    instead of a silent mis-replay; a group frame's payload is the
+    concatenation of its member record frames, so the whole group shares
+    one header and is dropped or replayed atomically.
+    """
+
+    name = "binary"
+    #: Frames are pickled wholesale, so message bodies can be stored
+    #: as-is (``encode_body(..., native=True)``) — no JSON-safety probe,
+    #: no pickle+base64 detour per body.
+    native_bodies = True
+
+    def encode_record(self, record: Dict[str, Any]) -> bytes:
+        try:
+            payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:  # noqa: BLE001 - report what record failed
+            raise PersistenceError(
+                "journal record is not serializable by the binary codec"
+            ) from exc
+        return _bin_frame(_MAGIC_RECORD, payload)
+
+    def wrap_group(self, frames: List[bytes]) -> bytes:
+        return _bin_frame(_MAGIC_GROUP, b"".join(frames))
+
+
+#: codec name -> codec instance (stateless singletons).
+JOURNAL_CODECS: Dict[str, Any] = {}
+
+
+def register_journal_codec(codec: Any) -> None:
+    """Register a record codec under ``codec.name``.
+
+    A codec provides ``encode_record(record) -> bytes`` (a self-delimiting
+    frame) and ``wrap_group(frames) -> bytes`` (one physical frame holding
+    the member frames).  Decoding is codec-independent: the frame scanner
+    recognizes every registered format by its first byte.
+    """
+    JOURNAL_CODECS[codec.name] = codec
+
+
+register_journal_codec(JsonLinesCodec())
+register_journal_codec(BinaryRecordCodec())
+
+
+def _codec_named(name: str) -> Any:
+    try:
+        return JOURNAL_CODECS[name]
+    except KeyError:
+        raise PersistenceError(
+            f"unknown journal codec {name!r}; registered:"
+            f" {sorted(JOURNAL_CODECS)}"
+        ) from None
+
+
+def _unpickle_record(payload: bytes, offset: int, source: str) -> Dict[str, Any]:
+    try:
+        record = pickle.loads(payload)
+    except Exception as exc:  # noqa: BLE001 - any unpickle failure is corruption
+        raise PersistenceError(
+            f"undecodable journal frame at byte {offset} in {source}"
+        ) from exc
+    if not isinstance(record, dict):
+        raise PersistenceError(
+            f"journal frame at byte {offset} in {source} is not a record"
+        )
+    return record
+
+
+def _scan_group_payload(
+    payload: bytes,
+    out: Optional[List[Dict[str, Any]]],
+    offset: int,
+    source: str,
+) -> int:
+    """Walk the member record frames inside a binary group payload.
+
+    Returns the member count; appends decoded records to ``out`` unless it
+    is ``None`` (structural counting).  The group's own CRC already
+    matched, so a malformed member here is real corruption.
+    """
+    members = 0
+    position = 0
+    end = len(payload)
+    while position < end:
+        header_end = position + _BIN_HEADER.size
+        if header_end > end:
+            raise PersistenceError(
+                f"malformed journal group frame at byte {offset} in {source}"
+            )
+        magic, length, crc = _BIN_HEADER.unpack_from(payload, position)
+        member_end = header_end + length
+        if magic != _MAGIC_RECORD or member_end > end:
+            raise PersistenceError(
+                f"malformed journal group frame at byte {offset} in {source}"
+            )
+        member = payload[header_end:member_end]
+        if zlib.crc32(member) != crc:
+            raise PersistenceError(
+                f"corrupt member frame in journal group at byte {offset}"
+                f" in {source}"
+            )
+        if out is not None:
+            out.append(_unpickle_record(member, offset, source))
+        members += 1
+        position = member_end
+    return members
+
+
+def _count_json_line(line: bytes) -> int:
+    """Structural record count for one JSON line (group members expand).
+
+    An unparseable line counts as one — :meth:`Journal.read_all` rejects
+    mid-file corruption properly; the open-time count must not.
+    """
+    if line.startswith(b'{"op": "group"'):
+        try:
+            expanded: List[Dict[str, Any]] = []
+            _expand_record(json.loads(line), expanded)
+            return len(expanded)
+        except json.JSONDecodeError:
+            pass
+    return 1
+
+
+def _scan_journal(
+    data: bytes,
+    source: str,
+    decode: bool = True,
+    strict: bool = True,
+) -> Tuple[List[Dict[str, Any]], int, int, int]:
+    """Decode a journal byte stream, auto-detecting the frame format.
+
+    Each frame is dispatched on its first byte: the binary magic bytes
+    select a length-prefixed frame, anything else a newline-terminated
+    JSON line — so JSON and binary content can coexist in one journal
+    (e.g. an old JSON log appended to under the binary codec).
+
+    Returns ``(records, logical_count, valid_end, torn)``:
+
+    * ``records`` — decoded logical records, group wrappers inlined
+      (empty when ``decode`` is false);
+    * ``logical_count`` — logical record count (group members counted
+      individually);
+    * ``valid_end`` — byte offset just past the last intact frame, the
+      truncation point for open-time healing;
+    * ``torn`` — 1 when the stream ends in a torn frame: an unterminated
+      JSON line, an incomplete binary frame, a CRC-mismatched frame that
+      runs to end-of-stream, or (when decoding) a complete-but-corrupt
+      final JSON line.  Torn content is excluded from the returns.
+
+    Corruption *before* intact content is not a crash artefact: with
+    ``strict`` it raises :class:`PersistenceError`; without (the
+    tolerant open-time scan) the scan simply stops there.
+    """
+    records: List[Dict[str, Any]] = []
+    count = 0
+    offset = 0
+    valid_end = 0
+    end = len(data)
+    while offset < end:
+        first = data[offset]
+        if first in (_MAGIC_RECORD, _MAGIC_GROUP):
+            header_end = offset + _BIN_HEADER.size
+            if header_end > end:
+                return records, count, valid_end, 1
+            magic, length, crc = _BIN_HEADER.unpack_from(data, offset)
+            frame_end = header_end + length
+            if frame_end > end:
+                return records, count, valid_end, 1
+            payload = data[header_end:frame_end]
+            if zlib.crc32(payload) != crc:
+                if frame_end == end:
+                    # A torn OS write can complete the header but garble
+                    # the payload; at end-of-stream that is crash
+                    # semantics, not bit rot.
+                    return records, count, valid_end, 1
+                if not strict:
+                    return records, count, valid_end, 0
+                raise PersistenceError(
+                    f"corrupt journal frame at byte {offset} in {source}"
+                )
+            try:
+                if magic == _MAGIC_GROUP:
+                    count += _scan_group_payload(
+                        payload, records if decode else None, offset, source
+                    )
+                else:
+                    if decode:
+                        records.append(_unpickle_record(payload, offset, source))
+                    count += 1
+            except PersistenceError:
+                if not strict:
+                    return records, count, valid_end, 0
+                raise
+            valid_end = frame_end
+            offset = frame_end
+        else:
+            newline = data.find(b"\n", offset)
+            if newline == -1:
+                return records, count, valid_end, 1
+            line = data[offset:newline].strip()
+            line_start = offset
+            offset = newline + 1
+            if not line:
+                valid_end = offset
+                continue
+            if decode:
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    if not data[offset:].strip():
+                        # A corrupt final line is the signature of a crash
+                        # mid-append; everything before it is intact.
+                        return records, count, valid_end, 1
+                    if not strict:
+                        return records, count, valid_end, 0
+                    raise PersistenceError(
+                        f"corrupt journal record at byte {line_start}"
+                        f" in {source}"
+                    ) from exc
+                before = len(records)
+                _expand_record(record, records)
+                count += len(records) - before
+            else:
+                count += _count_json_line(line)
+            valid_end = offset
+    return records, count, valid_end, 0
 
 
 # ---------------------------------------------------------------------------
@@ -232,11 +538,16 @@ class Journal(ABC):
             once the live log holds at least this many records; the owning
             queue manager then checkpoints automatically, amortizing the
             rewrite cost over many appends.
+        codec: Record serialization format — a registered codec name
+            (``"json"`` / ``"binary"``) or a codec instance.  Reading is
+            always format-auto-detecting, so the codec only governs new
+            appends; an existing journal written under another codec
+            replays unchanged.
     """
 
     #: Whether multi-record commit groups must be wrapped into one
-    #: physical ``group`` line before reaching :meth:`_write_serialized`.
-    #: Line-oriented stores need the wrapper for torn-write atomicity; a
+    #: physical ``group`` frame before reaching :meth:`_write_serialized`.
+    #: Frame-oriented stores need the wrapper for torn-write atomicity; a
     #: store with engine-level transactions (:class:`SQLiteJournal`) sets
     #: this false and receives the member records individually, committing
     #: them as one transaction instead.
@@ -246,9 +557,11 @@ class Journal(ABC):
         self,
         sync: str = "always",
         compaction_threshold: Optional[int] = None,
+        codec: Any = "json",
     ) -> None:
         self.sync_policy = _check_sync_policy(sync)
         self.compaction_threshold = compaction_threshold
+        self.codec = _codec_named(codec) if isinstance(codec, str) else codec
         #: records durably handed to the store over this object's lifetime
         self.records_written = 0
         #: commit groups written (each is one write+flush; the unit whose
@@ -259,10 +572,13 @@ class Journal(ABC):
         #: checkpoint rewrites performed
         self.rewrites = 0
         #: corrupt trailing records skipped by the last :meth:`read_all`
-        #: (a partial line from a crash mid-append — a torn multi-record
+        #: (a partial frame from a crash mid-append — a torn multi-record
         #: group counts once); the file journal includes a torn tail it
         #: healed away at open time.  See :meth:`recover`.
         self.skipped_trailing_records = 0
+        #: commit groups coalesced by the adaptive flush timer (logical
+        #: groups buffered; each physical drain covers one or more)
+        self.adaptive_groups_coalesced = 0
         #: optional metrics registry (the owning manager attaches its own)
         self.metrics = None  # type: Optional[Any]
         #: crash-point hooks (:mod:`repro.chaos`): called with the logical
@@ -274,20 +590,32 @@ class Journal(ABC):
         self.on_pre_flush: Optional[Callable[[int], None]] = None
         self.on_post_flush: Optional[Callable[[int], None]] = None
         self._batch_depth = 0
-        self._batch_buffer: List[str] = []
+        self._batch_buffer: List[bytes] = []
         self._post_commit_hooks: List[Callable[[], None]] = []
+        # Adaptive flush state (armed by enable_adaptive_flush).
+        self._af_scheduler: Optional[Any] = None
+        self._af_min_hold_ms = 1
+        self._af_max_hold_ms = 20
+        self._af_alpha = 0.125
+        self._af_beta = 0.25
+        self._af_srtt: Optional[float] = None
+        self._af_rttvar = 0.0
+        self._af_last_arrival_ms: Optional[int] = None
+        self._af_pending: List[bytes] = []
+        self._af_event: Optional[Any] = None
+        self._held_hooks: List[Callable[[], None]] = []
 
     # -- store primitives ---------------------------------------------------
 
     @abstractmethod
-    def _write_serialized(self, lines: List[str], record_count: int) -> int:
-        """Durably append pre-serialized lines; returns byte count.
+    def _write_serialized(self, frames: List[bytes], record_count: int) -> int:
+        """Durably append pre-serialized frames; returns byte count.
 
         One call is one commit group: implementations perform a single
         write (+flush/fsync per the sync policy) for the whole list.
-        ``record_count`` is the number of *logical* records the lines
-        carry (a multi-record group arrives as one wrapped line), for the
-        store's :meth:`size` accounting.
+        ``record_count`` is the number of *logical* records the frames
+        carry (a multi-record group arrives as one wrapped frame), for
+        the store's :meth:`size` accounting.
         """
 
     @abstractmethod
@@ -303,27 +631,28 @@ class Journal(ABC):
         """Number of logical records currently in the live log.
 
         Members of a multi-record commit group count individually, even
-        though the group occupies one physical line.
+        though the group occupies one physical frame.  Records held by
+        the adaptive flush timer are not yet in the log.
         """
 
     # -- appends ------------------------------------------------------------
 
     def append(self, record: Dict[str, Any]) -> None:
         """Durably append one record (buffered inside :meth:`batch`)."""
-        self._stage([json.dumps(record)])
+        self._stage([self.codec.encode_record(record)])
 
     def append_many(self, records: Iterable[Dict[str, Any]]) -> None:
         """Group-commit a batch of records with a single write+flush.
 
         Serialization happens eagerly, so an unjournalable record raises
         before anything is written.  The group is written as one physical
-        line (see :meth:`_commit_lines`), so it is all-or-nothing even
+        frame (see :meth:`_write_group`), so it is all-or-nothing even
         against a torn write: recovery replays the whole group or none
         of it, never a prefix.
         """
-        lines = [json.dumps(record) for record in records]
-        if lines:
-            self._stage(lines)
+        frames = [self.codec.encode_record(record) for record in records]
+        if frames:
+            self._stage(frames)
 
     @contextmanager
     def batch(self) -> Iterator["Journal"]:
@@ -354,8 +683,8 @@ class Journal(ABC):
             if self._batch_depth == 0:
                 try:
                     if self._batch_buffer:
-                        lines, self._batch_buffer = self._batch_buffer, []
-                        self._commit_lines(lines)
+                        frames, self._batch_buffer = self._batch_buffer, []
+                        self._commit_group(frames)
                     elif body_raised:
                         # Nothing was staged and the block aborted: the
                         # hooks belong to work that never happened.
@@ -380,51 +709,188 @@ class Journal(ABC):
     def post_commit(self, callback: Callable[[], None]) -> None:
         """Run ``callback`` once currently-staged records are durable.
 
-        Outside a :meth:`batch` everything appended so far has already
-        been committed, so the callback runs immediately.  Inside a batch
-        it is deferred until the outermost commit group has been written.
-        The network layer uses this to hold synchronous cross-manager
-        delivery until the sender's commit group (compensation staging,
-        sender-log entry, transmission parking) is durable — delivering
-        earlier would let a data message reach the target's journal while
-        the records that make it compensatable are still buffered.
+        Outside a :meth:`batch`, with no adaptively-held records, every
+        append so far has already been committed and the callback runs
+        immediately.  Inside a batch it is deferred until the outermost
+        commit group has been written; while the adaptive flush timer
+        holds records it is deferred until the next :meth:`drain`.  The
+        network layer uses this to hold cross-manager delivery until the
+        sender's commit group (compensation staging, sender-log entry,
+        transmission parking) is durable — delivering earlier would let a
+        data message reach the target's journal while the records that
+        make it compensatable are still buffered.
         """
         if self._batch_depth:
             self._post_commit_hooks.append(callback)
+        elif self._af_pending:
+            self._held_hooks.append(callback)
         else:
             callback()
 
-    def _stage(self, lines: List[str]) -> None:
+    def _stage(self, frames: List[bytes]) -> None:
         if self._batch_depth:
-            self._batch_buffer.extend(lines)
+            self._batch_buffer.extend(frames)
         else:
-            self._commit_lines(lines)
+            self._commit_group(frames)
 
-    def _commit_lines(self, lines: List[str]) -> None:
-        if self.wraps_groups and len(lines) > 1:
-            # A multi-record group becomes ONE physical line, so a torn
-            # write cannot persist a prefix of the group: either the line
-            # parses and the whole group replays, or it is dropped as the
+    def _commit_group(self, frames: List[bytes]) -> None:
+        """One logical commit group: write now, or hold for coalescing."""
+        if self._af_scheduler is not None:
+            self._af_buffer(frames)
+        else:
+            self._write_group(frames)
+
+    def _write_group(self, frames: List[bytes]) -> None:
+        if self.wraps_groups and len(frames) > 1:
+            # A multi-record group becomes ONE physical frame, so a torn
+            # write cannot persist a prefix of the group: either the frame
+            # decodes and the whole group replays, or it is dropped as the
             # torn tail.  Members are serialized already; wrap without
             # re-serializing.  Stores with engine transactions
             # (``wraps_groups = False``) instead receive the members
             # individually and commit them as one transaction.
-            physical = ['{"op": "group", "records": [' + ", ".join(lines) + "]}"]
+            physical = [self.codec.wrap_group(frames)]
         else:
-            physical = lines
+            physical = frames
         if self.on_pre_flush is not None:
-            self.on_pre_flush(len(lines))
-        nbytes = self._write_serialized(physical, len(lines))
+            self.on_pre_flush(len(frames))
+        nbytes = self._write_serialized(physical, len(frames))
         if self.on_post_flush is not None:
-            self.on_post_flush(len(lines))
-        self.records_written += len(lines)
+            self.on_post_flush(len(frames))
+        self.records_written += len(frames)
         self.flush_count += 1
         self.bytes_written += nbytes
         if self.metrics is not None:
             self.metrics.incr("journal.flushes")
-            self.metrics.incr("journal.records", len(lines))
+            self.metrics.incr("journal.records", len(frames))
             self.metrics.incr("journal.bytes", nbytes)
-            self.metrics.observe("journal.batch_records", len(lines))
+            self.metrics.observe("journal.batch_records", len(frames))
+
+    # -- adaptive flush -----------------------------------------------------
+
+    def enable_adaptive_flush(
+        self,
+        scheduler: Any,
+        min_hold_ms: int = 1,
+        max_hold_ms: int = 20,
+        alpha: float = 0.125,
+        beta: float = 0.25,
+    ) -> None:
+        """Hold commit groups open so concurrent sends coalesce.
+
+        Once armed, a commit group is buffered instead of written, and a
+        flush event is scheduled ``hold`` ms out; every group arriving
+        inside the window joins the same physical write.  The hold window
+        is an RFC 6298-style estimator over commit-group inter-arrival
+        gaps — ``srtt`` and ``rttvar`` smoothed with gains ``alpha`` and
+        ``beta``, ``hold = srtt + 4·rttvar`` clamped to
+        ``[min_hold_ms, max_hold_ms]`` — so the journal waits roughly as
+        long as the observed arrival rate predicts the next group will
+        take, and ``max_hold_ms`` bounds the worst-case added latency.
+
+        Crash semantics: held groups are lost together (none of them was
+        ever acknowledged durable), and all held :meth:`post_commit`
+        actions — including cross-manager transfers — are held with them,
+        so the durability order is exactly that of one large commit
+        group.  :meth:`drain` (and any read/rewrite/close) forces the
+        buffered groups out as one physical commit group.
+        """
+        if scheduler is None:
+            raise PersistenceError("adaptive flush needs an event scheduler")
+        if not 0 < min_hold_ms <= max_hold_ms:
+            raise PersistenceError(
+                f"bad adaptive flush window [{min_hold_ms}, {max_hold_ms}]"
+            )
+        self._af_scheduler = scheduler
+        self._af_min_hold_ms = int(min_hold_ms)
+        self._af_max_hold_ms = int(max_hold_ms)
+        self._af_alpha = alpha
+        self._af_beta = beta
+
+    def disable_adaptive_flush(self) -> None:
+        """Drain held groups and return to write-through commits."""
+        self.drain()
+        self._af_scheduler = None
+
+    @property
+    def adaptive_flush_enabled(self) -> bool:
+        return self._af_scheduler is not None
+
+    def drain(self) -> int:
+        """Write adaptively-held groups now; returns records written.
+
+        All buffered groups go out as one physical commit group, then the
+        held :meth:`post_commit` actions run.  A failing write drops the
+        held actions (the records never reached the log), mirroring
+        :meth:`batch` abort semantics.  A no-op when nothing is held.
+        """
+        if self._af_event is not None:
+            self._af_event.cancel()
+            self._af_event = None
+        drained = 0
+        if self._af_pending:
+            frames, self._af_pending = self._af_pending, []
+            drained = len(frames)
+            try:
+                self._write_group(frames)
+            except BaseException:
+                self._held_hooks.clear()
+                raise
+        try:
+            while self._held_hooks:
+                hooks, self._held_hooks = self._held_hooks, []
+                for hook in hooks:
+                    hook()
+        except BaseException:
+            self._held_hooks.clear()
+            raise
+        return drained
+
+    def _af_buffer(self, frames: List[bytes]) -> None:
+        now = self._af_scheduler.clock.now_ms()
+        self._af_observe_arrival(now)
+        self.adaptive_groups_coalesced += 1
+        first = not self._af_pending
+        self._af_pending.extend(frames)
+        if self._post_commit_hooks:
+            # Hooks captured by the enclosing batch() exit must not fire
+            # until the held group is durable.
+            self._held_hooks.extend(self._post_commit_hooks)
+            self._post_commit_hooks.clear()
+        if first:
+            # Later arrivals join the window without rescheduling, so the
+            # first buffered group bounds the added latency.
+            self._af_event = self._af_scheduler.call_later(
+                self._af_hold_ms(), self._af_timer_fired, label="journal-flush"
+            )
+
+    def _af_timer_fired(self) -> None:
+        self._af_event = None
+        self.drain()
+
+    def _af_observe_arrival(self, now_ms: int) -> None:
+        last = self._af_last_arrival_ms
+        self._af_last_arrival_ms = now_ms
+        if last is None:
+            return
+        gap = float(now_ms - last)
+        if self._af_srtt is None:
+            # First measurement (RFC 6298 §2.2): SRTT = R, RTTVAR = R/2.
+            self._af_srtt = gap
+            self._af_rttvar = gap / 2.0
+        else:
+            self._af_rttvar += self._af_beta * (
+                abs(self._af_srtt - gap) - self._af_rttvar
+            )
+            self._af_srtt += self._af_alpha * (gap - self._af_srtt)
+
+    def _af_hold_ms(self) -> int:
+        if self._af_srtt is None:
+            return self._af_min_hold_ms
+        hold = self._af_srtt + 4.0 * self._af_rttvar
+        return max(
+            self._af_min_hold_ms, min(self._af_max_hold_ms, int(round(hold)))
+        )
 
     # -- maintenance --------------------------------------------------------
 
@@ -434,12 +900,14 @@ class Journal(ABC):
         The base journal holds none; stores with handles override this.
         Harnesses may call it on any backend unconditionally.
         """
+        self.drain()
 
     def needs_compaction(self) -> bool:
         """True when the live log has outgrown ``compaction_threshold``."""
         return (
             self.compaction_threshold is not None
             and self._batch_depth == 0
+            and not self._af_pending
             and self.size() >= self.compaction_threshold
         )
 
@@ -447,14 +915,24 @@ class Journal(ABC):
 
     def log_put(self, queue_name: str, message: Message) -> None:
         """Record a committed put of a persistent message."""
+        native = getattr(self.codec, "native_bodies", False)
         self.append(
-            {"op": "put", "queue": queue_name, "message": encode_message(message)}
+            {
+                "op": "put",
+                "queue": queue_name,
+                "message": encode_message(message, native=native),
+            }
         )
 
     def log_put_many(self, puts: Iterable[Tuple[str, Message]]) -> None:
         """Record a batch of committed puts as one commit group."""
+        native = getattr(self.codec, "native_bodies", False)
         self.append_many(
-            {"op": "put", "queue": queue_name, "message": encode_message(message)}
+            {
+                "op": "put",
+                "queue": queue_name,
+                "message": encode_message(message, native=native),
+            }
             for queue_name, message in puts
         )
 
@@ -472,6 +950,8 @@ class Journal(ABC):
 
     def checkpoint(self, queues: Dict[str, List[Message]]) -> None:
         """Compact the log to a single snapshot of current persistent state."""
+        self.drain()
+        native = getattr(self.codec, "native_bodies", False)
         records: List[Dict[str, Any]] = [{"op": "snapshot-begin"}]
         for queue_name in sorted(queues):
             records.append({"op": "define", "queue": queue_name})
@@ -481,7 +961,7 @@ class Journal(ABC):
                         {
                             "op": "put",
                             "queue": queue_name,
-                            "message": encode_message(message),
+                            "message": encode_message(message, native=native),
                         }
                     )
         records.append({"op": "snapshot-end"})
@@ -497,10 +977,11 @@ class Journal(ABC):
         ``define``/``delete`` maintain the queue set.  Unknown record types
         raise :class:`PersistenceError` (a corrupt journal must not be
         silently half-recovered).  A corrupt **trailing** record — the
-        partial line a crash mid-append leaves behind — is skipped but
+        partial frame a crash mid-append leaves behind — is skipped but
         never silently: it is logged and counted in
         :attr:`skipped_trailing_records`, which this method refreshes.
         """
+        self.drain()
         queue_names: List[str] = []
         live: Dict[str, Dict[str, Message]] = {}
         for record in self.read_all():
@@ -545,28 +1026,31 @@ class MemoryJournal(Journal):
         self,
         sync: str = "always",
         compaction_threshold: Optional[int] = None,
+        codec: Any = "json",
     ) -> None:
-        super().__init__(sync=sync, compaction_threshold=compaction_threshold)
-        self._records: List[str] = []
+        super().__init__(
+            sync=sync, compaction_threshold=compaction_threshold, codec=codec
+        )
+        self._frames: List[bytes] = []
         self._record_count = 0
 
-    def _write_serialized(self, lines: List[str], record_count: int) -> int:
+    def _write_serialized(self, frames: List[bytes], record_count: int) -> int:
         # Records arrive pre-serialized (bodies were validated journalable
         # at append time, matching the file journal's failure behaviour).
-        self._records.extend(lines)
+        self._frames.extend(frames)
         self._record_count += record_count
-        return sum(len(line) + 1 for line in lines)
+        return sum(len(frame) for frame in frames)
 
     def read_all(self) -> List[Dict[str, Any]]:
-        self.skipped_trailing_records = 0
-        records: List[Dict[str, Any]] = []
-        for line in self._records:
-            _expand_record(json.loads(line), records)
+        self.drain()
+        records, _, _, torn = _scan_journal(b"".join(self._frames), "<memory>")
+        self.skipped_trailing_records = torn
         return records
 
     def rewrite(self, records: Iterable[Dict[str, Any]]) -> None:
-        self._records = [json.dumps(record) for record in records]
-        self._record_count = len(self._records)
+        self.drain()
+        self._frames = [self.codec.encode_record(record) for record in records]
+        self._record_count = len(self._frames)
 
     def size(self) -> int:
         """Number of logical records currently in the log."""
@@ -574,14 +1058,16 @@ class MemoryJournal(Journal):
 
 
 class FileJournal(Journal):
-    """JSON-lines journal on disk with atomic checkpoint rewrite.
+    """Framed journal on disk with atomic checkpoint rewrite.
 
-    The append handle stays open for the journal's lifetime (no
-    per-append open/close); :meth:`rewrite` swaps the file atomically and
-    reopens it.  Opening an existing log **heals** a torn final line (the
-    artifact of a crash mid-append) by truncating it — counted in
-    :attr:`skipped_trailing_records` — so later appends can never
-    concatenate onto torn text.  The sync policy decides when
+    Frames are JSON lines (the default codec) or binary length-prefixed
+    records (``codec="binary"``); reads auto-detect per frame, so a file
+    may mix both.  The append handle stays open for the journal's
+    lifetime (no per-append open/close); :meth:`rewrite` swaps the file
+    atomically and reopens it.  Opening an existing log **heals** a torn
+    final frame (the artifact of a crash mid-append) by truncating it —
+    counted in :attr:`skipped_trailing_records` — so later appends can
+    never concatenate onto torn bytes.  The sync policy decides when
     ``os.fsync`` runs:
 
     * ``always`` — after every commit group (a group-committed batch still
@@ -595,77 +1081,66 @@ class FileJournal(Journal):
         path: str,
         sync: str = "always",
         compaction_threshold: Optional[int] = None,
+        codec: Any = "json",
     ) -> None:
-        super().__init__(sync=sync, compaction_threshold=compaction_threshold)
+        super().__init__(
+            sync=sync, compaction_threshold=compaction_threshold, codec=codec
+        )
         self.path = path
         directory = os.path.dirname(os.path.abspath(path))
         try:
             os.makedirs(directory, exist_ok=True)
-            # A crash can tear the final append mid-line; appending after
-            # it would concatenate the next record onto the torn text,
+            # A crash can tear the final append mid-frame; appending after
+            # it would concatenate the next record onto the torn bytes,
             # turning an ignorable torn tail into mid-file corruption
             # that recovery refuses.  Heal before opening the append
             # handle: the torn tail was never acknowledged durable (every
-            # committed write ends with a newline before fsync returns),
-            # so truncating it is exactly crash semantics.
-            self._healed_trailing_records = self._heal_torn_tail()
-            # "a+" creates the file if missing, so recover() on a fresh
-            # journal succeeds; count any pre-existing records once.
-            self._fh = open(path, "a+", encoding="utf-8")
-            self._records_in_log = self._count_records()
+            # committed write is complete before fsync returns), so
+            # truncating it is exactly crash semantics.  The same scan
+            # counts the intact records once.
+            (
+                self._healed_trailing_records,
+                self._records_in_log,
+            ) = self._heal_and_count()
+            # "ab" creates the file if missing, so recover() on a fresh
+            # journal succeeds.
+            self._fh = open(path, "ab")
         except OSError as exc:
             raise PersistenceError(f"journal open failed: {exc}") from exc
         self.skipped_trailing_records = self._healed_trailing_records
 
-    def _heal_torn_tail(self) -> int:
-        """Truncate an unterminated final line left by a crash mid-append.
+    def _heal_and_count(self) -> Tuple[int, int]:
+        """Truncate a torn final frame; count the intact records.
 
-        Returns the number of torn records removed (0 or 1).
+        Returns ``(torn records removed, logical records in the log)``.
+        The scan is structural and tolerant: a complete-but-unparseable
+        frame counts as one record and is left in place —
+        :meth:`read_all` rejects mid-file corruption properly.
         """
         try:
             fh = open(self.path, "rb+")
         except FileNotFoundError:
-            return 0
+            return 0, 0
         with fh:
             data = fh.read()
-            if not data or data.endswith(b"\n"):
-                return 0
-            keep = data.rfind(b"\n") + 1
-            fh.truncate(keep)
+            if not data:
+                return 0, 0
+            _, count, valid_end, torn = _scan_journal(
+                data, self.path, decode=False, strict=False
+            )
+            if not torn:
+                return 0, count
+            fh.truncate(valid_end)
         logger.warning(
             "journal %s: truncated torn trailing record (%d bytes) left by"
             " a crash mid-append",
             self.path,
-            len(data) - keep,
+            len(data) - valid_end,
         )
-        return 1
+        return 1, count
 
-    def _count_records(self) -> int:
-        """Logical records in the file (group members counted individually).
-
-        Runs once at open, after torn-tail healing, so the count reflects
-        only intact record lines.  An unparseable line counts as one —
-        :meth:`read_all` will reject mid-file corruption properly.
-        """
-        count = 0
-        with open(self.path, "r", encoding="utf-8") as f:
-            for line in f:
-                stripped = line.strip()
-                if not stripped:
-                    continue
-                if stripped.startswith('{"op": "group"'):
-                    try:
-                        expanded: List[Dict[str, Any]] = []
-                        _expand_record(json.loads(stripped), expanded)
-                        count += len(expanded)
-                        continue
-                    except json.JSONDecodeError:
-                        pass
-                count += 1
-        return count
-
-    def _write_serialized(self, lines: List[str], record_count: int) -> int:
-        buf = "\n".join(lines) + "\n"
+    def _write_serialized(self, frames: List[bytes], record_count: int) -> int:
+        buf = b"".join(frames)
         try:
             self._fh.write(buf)
             self._fh.flush()
@@ -674,10 +1149,11 @@ class FileJournal(Journal):
         except (OSError, ValueError) as exc:
             raise PersistenceError(f"journal append failed: {exc}") from exc
         self._records_in_log += record_count
-        return len(buf.encode("utf-8"))
+        return len(buf)
 
     def sync(self) -> None:
         """Force everything written so far to stable storage."""
+        self.drain()
         try:
             self._fh.flush()
             os.fsync(self._fh.fileno())
@@ -688,70 +1164,49 @@ class FileJournal(Journal):
         """Flush, force out, and release the append handle."""
         if self._fh.closed:
             return
+        self.drain()
         self._fh.flush()
         if self.sync_policy != "none":
             os.fsync(self._fh.fileno())
         self._fh.close()
 
     def read_all(self) -> List[Dict[str, Any]]:
-        records: List[Dict[str, Any]] = []
-        # Torn records healed away when the file was opened stay counted:
-        # they are part of what recovery skipped for this log.
-        self.skipped_trailing_records = self._healed_trailing_records
+        self.drain()
         try:
             if not self._fh.closed:
                 self._fh.flush()
-            with open(self.path, "r", encoding="utf-8") as f:
-                lines = f.readlines()
+            with open(self.path, "rb") as f:
+                data = f.read()
         except OSError as exc:
             raise PersistenceError(f"journal read failed: {exc}") from exc
-        last_content = max(
-            (i for i, line in enumerate(lines) if line.strip()), default=-1
-        )
-        for line_no, line in enumerate(lines, start=1):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            try:
-                _expand_record(json.loads(stripped), records)
-            except json.JSONDecodeError as exc:
-                if line_no - 1 == last_content:
-                    # A torn final line is the normal signature of a crash
-                    # mid-append: the records before it are intact, the
-                    # torn one was never acknowledged durable.  Skip it,
-                    # but leave an audit trail.
-                    self.skipped_trailing_records += 1
-                    logger.warning(
-                        "journal %s: skipped corrupt trailing record at line %d",
-                        self.path,
-                        line_no,
-                    )
-                    break
-                # Corruption *before* intact records is not a crash
-                # artefact; refuse to half-recover.
-                raise PersistenceError(
-                    f"corrupt journal line {line_no} in {self.path}"
-                ) from exc
+        records, _, _, torn = _scan_journal(data, self.path)
+        # Torn records healed away when the file was opened stay counted:
+        # they are part of what recovery skipped for this log.
+        self.skipped_trailing_records = self._healed_trailing_records + torn
+        if torn:
+            logger.warning(
+                "journal %s: skipped corrupt trailing record", self.path
+            )
         return records
 
     def rewrite(self, records: Iterable[Dict[str, Any]]) -> None:
+        self.drain()
         tmp_path = self.path + ".tmp"
-        lines = [json.dumps(record) for record in records]
+        frames = [self.codec.encode_record(record) for record in records]
         try:
-            with open(tmp_path, "w", encoding="utf-8") as f:
-                for line in lines:
-                    f.write(line)
-                    f.write("\n")
+            with open(tmp_path, "wb") as f:
+                for frame in frames:
+                    f.write(frame)
                 f.flush()
                 if self.sync_policy != "none":
                     os.fsync(f.fileno())
             if not self._fh.closed:
                 self._fh.close()
             os.replace(tmp_path, self.path)
-            self._fh = open(self.path, "a+", encoding="utf-8")
+            self._fh = open(self.path, "ab")
         except OSError as exc:
             raise PersistenceError(f"journal rewrite failed: {exc}") from exc
-        self._records_in_log = len(lines)
+        self._records_in_log = len(frames)
         # The rewritten log no longer contains the healed torn tail.
         self._healed_trailing_records = 0
 
@@ -764,7 +1219,7 @@ class SQLiteJournal(Journal):
     """Journal stored in one SQLite database in WAL mode.
 
     Torn-write atomicity comes from the storage engine instead of the
-    file journal's one-physical-line group trick: ``wraps_groups`` is
+    file journal's one-physical-frame group trick: ``wraps_groups`` is
     false, so a multi-record commit group arrives as individual member
     records and is inserted inside a single SQL transaction — the engine
     guarantees the whole group is durable or none of it is, even across
@@ -772,6 +1227,10 @@ class SQLiteJournal(Journal):
     boundaries as the other stores (pre-flush before ``BEGIN``,
     post-flush after ``COMMIT``), so the chaos explorer can kill the
     manager mid-commit and recovery sees exactly the engine's view.
+
+    Rows are stored as text under the JSON codec (back-compatible with
+    existing databases) and as raw frame blobs under the binary codec;
+    reads dispatch on the row's type.
 
     The sync policy maps onto ``PRAGMA synchronous``:
 
@@ -799,8 +1258,11 @@ class SQLiteJournal(Journal):
         path: str,
         sync: str = "always",
         compaction_threshold: Optional[int] = None,
+        codec: Any = "json",
     ) -> None:
-        super().__init__(sync=sync, compaction_threshold=compaction_threshold)
+        super().__init__(
+            sync=sync, compaction_threshold=compaction_threshold, codec=codec
+        )
         self.path = path
         directory = os.path.dirname(os.path.abspath(path))
         try:
@@ -820,14 +1282,22 @@ class SQLiteJournal(Journal):
         except (sqlite3.Error, OSError) as exc:
             raise PersistenceError(f"sqlite journal open failed: {exc}") from exc
 
-    def _write_serialized(self, lines: List[str], record_count: int) -> int:
+    @staticmethod
+    def _row_value(frame: bytes) -> Any:
+        # JSON frames stay TEXT rows (existing databases keep working and
+        # stay greppable); binary frames become blobs.
+        if frame[:1] == b"{":
+            return frame.decode("utf-8").rstrip("\n")
+        return sqlite3.Binary(frame)
+
+    def _write_serialized(self, frames: List[bytes], record_count: int) -> int:
         """One commit group = one SQL transaction (engine atomicity)."""
         try:
             self._con.execute("BEGIN IMMEDIATE")
             try:
                 self._con.executemany(
                     "INSERT INTO log(record) VALUES (?)",
-                    [(line,) for line in lines],
+                    [(self._row_value(frame),) for frame in frames],
                 )
             except BaseException:
                 self._con.execute("ROLLBACK")
@@ -836,9 +1306,10 @@ class SQLiteJournal(Journal):
         except sqlite3.Error as exc:
             raise PersistenceError(f"sqlite journal append failed: {exc}") from exc
         self._record_count += record_count
-        return sum(len(line.encode("utf-8")) + 1 for line in lines)
+        return sum(len(frame) for frame in frames)
 
     def read_all(self) -> List[Dict[str, Any]]:
+        self.drain()
         self.skipped_trailing_records = 0  # the engine has no torn tails
         records: List[Dict[str, Any]] = []
         try:
@@ -847,19 +1318,31 @@ class SQLiteJournal(Journal):
             ).fetchall()
         except sqlite3.Error as exc:
             raise PersistenceError(f"sqlite journal read failed: {exc}") from exc
-        for seq, text in rows:
+        for seq, value in rows:
+            if isinstance(value, bytes):
+                frame_records, _, _, torn = _scan_journal(
+                    value, f"{self.path} seq={seq}"
+                )
+                if torn:
+                    # Unlike a frame file, a committed row cannot be a
+                    # crash artifact: any corruption is real and recovery
+                    # refuses.
+                    raise PersistenceError(
+                        f"corrupt journal row seq={seq} in {self.path}"
+                    )
+                records.extend(frame_records)
+                continue
             try:
-                _expand_record(json.loads(text), records)
+                _expand_record(json.loads(value), records)
             except json.JSONDecodeError as exc:
-                # Unlike a line file, a committed row cannot be a crash
-                # artifact: any corruption is real and recovery refuses.
                 raise PersistenceError(
                     f"corrupt journal row seq={seq} in {self.path}"
                 ) from exc
         return records
 
     def rewrite(self, records: Iterable[Dict[str, Any]]) -> None:
-        lines = [json.dumps(record) for record in records]
+        self.drain()
+        frames = [self.codec.encode_record(record) for record in records]
         try:
             self._con.execute("BEGIN IMMEDIATE")
             try:
@@ -871,7 +1354,7 @@ class SQLiteJournal(Journal):
                 )
                 self._con.executemany(
                     "INSERT INTO log_snapshot(record) VALUES (?)",
-                    [(line,) for line in lines],
+                    [(self._row_value(frame),) for frame in frames],
                 )
                 self._con.execute("DROP TABLE log")
                 self._con.execute("ALTER TABLE log_snapshot RENAME TO log")
@@ -885,10 +1368,11 @@ class SQLiteJournal(Journal):
                 self._con.execute("PRAGMA wal_checkpoint(TRUNCATE)")
         except sqlite3.Error as exc:
             raise PersistenceError(f"sqlite journal rewrite failed: {exc}") from exc
-        self._record_count = len(lines)
+        self._record_count = len(frames)
 
     def sync(self) -> None:
         """Force everything committed so far to stable storage."""
+        self.drain()
         try:
             self._con.execute("PRAGMA wal_checkpoint(FULL)")
         except sqlite3.Error as exc:
@@ -896,6 +1380,7 @@ class SQLiteJournal(Journal):
 
     def close(self) -> None:
         """Checkpoint the WAL (per the sync policy) and close the handle."""
+        self.drain()
         try:
             if self.sync_policy != "none":
                 self._con.execute("PRAGMA wal_checkpoint(TRUNCATE)")
@@ -928,7 +1413,8 @@ def register_journal_backend(
     """Register a journal backend under a URL scheme.
 
     ``factory(path, sync=..., compaction_threshold=...)`` must return a
-    :class:`Journal`.  Registering an existing scheme replaces it, so
+    :class:`Journal`; factories for codec-aware stores also accept a
+    ``codec`` keyword.  Registering an existing scheme replaces it, so
     tests can shadow a backend with an instrumented one.
     """
     if not scheme or not scheme.isalnum():
@@ -943,24 +1429,43 @@ register_journal_backend(
 )
 register_journal_backend("file", FileJournal)
 register_journal_backend("sqlite", SQLiteJournal, suffix=".db")
+register_journal_backend(
+    "binfile",
+    lambda path, codec="binary", **kwargs: FileJournal(path, codec=codec, **kwargs),
+)
 
 
 def journal_for(
     url_or_path: str,
     sync: str = "always",
     compaction_threshold: Optional[int] = None,
+    codec: Optional[str] = None,
 ) -> Journal:
     """Construct a journal from a backend URL (or bare file path).
 
     ``memory:`` ignores any path; ``file:<path>`` and ``sqlite:<path>``
-    open (creating if needed) the named store; a bare path with no
-    scheme means ``file:``.  Unknown schemes raise
-    :class:`PersistenceError` naming the registered backends.
+    open (creating if needed) the named store; ``binfile:<path>`` is a
+    file journal defaulting to the binary codec; a bare path with no
+    scheme means ``file:``.  A ``?codec=<name>`` query (or the ``codec``
+    argument) selects the record codec — recovery auto-detects formats,
+    so switching codec over an existing journal is safe.  Unknown
+    schemes raise :class:`PersistenceError` naming the registered
+    backends.
     """
     scheme, sep, path = url_or_path.partition(":")
     if not sep:
         scheme, path = "file", url_or_path
     scheme = scheme.lower()
+    path, query_sep, query = path.partition("?")
+    if query_sep:
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            if key == "codec" and value:
+                codec = value
+            elif key:
+                raise PersistenceError(
+                    f"unknown journal URL option {key!r} in {url_or_path!r}"
+                )
     factory = JOURNAL_BACKENDS.get(scheme)
     if factory is None:
         raise PersistenceError(
@@ -969,7 +1474,13 @@ def journal_for(
         )
     if not path and scheme not in _PATHLESS_BACKENDS:
         raise PersistenceError(f"journal backend {scheme!r} needs a path")
-    return factory(path, sync=sync, compaction_threshold=compaction_threshold)
+    kwargs: Dict[str, Any] = {
+        "sync": sync,
+        "compaction_threshold": compaction_threshold,
+    }
+    if codec is not None:
+        kwargs["codec"] = codec
+    return factory(path, **kwargs)
 
 
 def journal_factory_for(
@@ -977,6 +1488,7 @@ def journal_factory_for(
     directory: Optional[str] = None,
     sync: str = "always",
     compaction_threshold: Optional[int] = None,
+    codec: Optional[str] = None,
 ) -> Callable[[str], Journal]:
     """Per-manager journal factory for testbed-style deployments.
 
@@ -989,6 +1501,7 @@ def journal_factory_for(
                 journal_factory=journal_factory_for("sqlite", tmpdir))
 
     ``memory`` needs no directory; every other backend requires one.
+    ``codec`` (when given) selects the record codec for every journal.
     """
     backend = backend.lower()
     if backend not in JOURNAL_BACKENDS:
@@ -998,7 +1511,10 @@ def journal_factory_for(
         )
     if backend in _PATHLESS_BACKENDS:
         return lambda name: journal_for(
-            f"{backend}:", sync=sync, compaction_threshold=compaction_threshold
+            f"{backend}:",
+            sync=sync,
+            compaction_threshold=compaction_threshold,
+            codec=codec,
         )
     if directory is None:
         raise PersistenceError(f"journal backend {backend!r} needs a directory")
@@ -1009,5 +1525,6 @@ def journal_factory_for(
             f"{backend}:{os.path.join(directory, filename)}",
             sync=sync,
             compaction_threshold=compaction_threshold,
+            codec=codec,
         )
     return factory

@@ -71,6 +71,27 @@ def validate_pattern(pattern: str) -> List[str]:
     return segments
 
 
+def _segments_match(
+    pattern_segments: List[str], topic_segments: List[str]
+) -> bool:
+    """Match pre-split topic segments against pre-split pattern segments.
+
+    The hot-path core of :func:`topic_matches`: the broker tokenizes each
+    subscription's pattern once at subscribe time and each published
+    topic once per publish, so fan-out matching never re-splits strings.
+    """
+    for index, pattern_segment in enumerate(pattern_segments):
+        if pattern_segment == "#":
+            return len(topic_segments) > index
+        if index >= len(topic_segments):
+            return False
+        if pattern_segment == "*":
+            continue
+        if pattern_segment != topic_segments[index]:
+            return False
+    return len(topic_segments) == len(pattern_segments)
+
+
 def topic_matches(pattern: str, topic: str) -> bool:
     """Match ``topic`` against a subscription ``pattern``.
 
@@ -85,18 +106,7 @@ def topic_matches(pattern: str, topic: str) -> bool:
     mid-pattern ``#`` raises :class:`MQError` regardless of the topic —
     it cannot hide behind an early segment mismatch.
     """
-    pattern_segments = validate_pattern(pattern)
-    topic_segments = _validate_topic(topic)
-    for index, pattern_segment in enumerate(pattern_segments):
-        if pattern_segment == "#":
-            return len(topic_segments) > index
-        if index >= len(topic_segments):
-            return False
-        if pattern_segment == "*":
-            continue
-        if pattern_segment != topic_segments[index]:
-            return False
-    return len(topic_segments) == len(pattern_segments)
+    return _segments_match(validate_pattern(pattern), _validate_topic(topic))
 
 
 @dataclass
@@ -109,6 +119,14 @@ class Subscription:
     selector: Optional[Selector] = None
     durable: bool = True
     delivered: int = 0
+    #: ``pattern`` pre-split at subscribe time (where the pattern is
+    #: validated anyway), so publishing matches against cached segments
+    #: instead of re-splitting the pattern per publish.
+    pattern_segments: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.pattern_segments:
+            self.pattern_segments = validate_pattern(self.pattern)
 
 
 @dataclass
@@ -175,7 +193,7 @@ class TopicBroker:
         is stored, instead of raising out of every later publish whose
         topic reaches it.
         """
-        validate_pattern(pattern)
+        pattern_segments = validate_pattern(pattern)
         if subscription_name in self._subscriptions:
             raise MQError(f"subscription exists: {subscription_name!r}")
         queue_name = queue_name or SUBSCRIPTION_QUEUE_PREFIX + subscription_name
@@ -191,6 +209,7 @@ class TopicBroker:
             queue_name=queue_name,
             selector=compile_selector(selector),
             durable=durable,
+            pattern_segments=pattern_segments,
         )
         self._subscriptions[subscription_name] = subscription
         return subscription
@@ -207,10 +226,15 @@ class TopicBroker:
             raise MQError(f"no such subscription: {subscription_name!r}") from None
 
     def subscriptions_for(self, topic: str) -> List[Subscription]:
-        """Subscriptions whose pattern matches ``topic``."""
+        """Subscriptions whose pattern matches ``topic``.
+
+        The topic is split once; each subscription matches against the
+        segments it cached at subscribe time.
+        """
+        topic_segments = _validate_topic(topic)
         return [
             s for s in self._subscriptions.values()
-            if topic_matches(s.pattern, topic)
+            if _segments_match(s.pattern_segments, topic_segments)
         ]
 
     def drop_nondurable(self) -> int:

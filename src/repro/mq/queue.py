@@ -78,6 +78,12 @@ class MessageQueue:
         self._max_depth = max_depth
         self._entries: List[_Entry] = []
         self._seq = itertools.count(1)
+        #: Earliest expiry among stored messages, or ``None`` when nothing
+        #: stored can expire.  The per-access expiry sweep skips scanning
+        #: until the clock passes this watermark (the common case on hot
+        #: paths).  Removals may leave it conservatively early — that only
+        #: costs an occasional no-op scan, never a missed expiry.
+        self._next_expiry_ms: Optional[int] = None
         self._on_expired = on_expired
         self._put_listeners: List[Callable[[Message], None]] = []
         self.stats = QueueStats()
@@ -143,6 +149,10 @@ class MessageQueue:
         while index > 0 and self._entries[index - 1].sort_key > entry.sort_key:
             index -= 1
         self._entries.insert(index, entry)
+        if stored.expiry_ms is not None and (
+            self._next_expiry_ms is None or stored.expiry_ms < self._next_expiry_ms
+        ):
+            self._next_expiry_ms = stored.expiry_ms
         self.stats.puts += 1
         self.stats.high_water_depth = max(
             self.stats.high_water_depth, len(self._entries)
@@ -187,6 +197,12 @@ class MessageQueue:
             # Two sorted runs; timsort merges them in linear time.
             self._entries.extend(new_entries)
             self._entries.sort()
+        for entry in new_entries:
+            expiry = entry.message.expiry_ms
+            if expiry is not None and (
+                self._next_expiry_ms is None or expiry < self._next_expiry_ms
+            ):
+                self._next_expiry_ms = expiry
         self.stats.puts += len(new_entries)
         self.stats.high_water_depth = max(
             self.stats.high_water_depth, len(self._entries)
@@ -249,6 +265,25 @@ class MessageQueue:
                     entry.locked_by = lock_owner
                 return entry.message
         raise EmptyQueueError(self.name)
+
+    def find_by_id(self, message_id: str) -> Optional[Message]:
+        """Return the visible (unlocked, unexpired) message with
+        ``message_id`` without removing it, or ``None``.
+
+        The non-destructive sibling of :meth:`get_by_id`; the network
+        layer uses it to locate a parked transmission without paying for
+        a full :meth:`browse` pass.
+        """
+        self._sweep_expired()
+        now = self._clock.now_ms()
+        for entry in self._entries:
+            if (
+                entry.locked_by is None
+                and entry.message.message_id == message_id
+                and not entry.message.is_expired(now)
+            ):
+                return entry.message
+        return None
 
     # -- browse ------------------------------------------------------------------
 
@@ -337,6 +372,12 @@ class MessageQueue:
             )
             self._entries.append(entry)
         self._entries.sort()
+        expiries = [
+            e.message.expiry_ms
+            for e in self._entries
+            if e.message.expiry_ms is not None
+        ]
+        self._next_expiry_ms = min(expiries) if expiries else None
         self._note_depth()
 
     def _note_depth(self) -> None:
@@ -344,15 +385,26 @@ class MessageQueue:
             self.metrics.set_gauge(self._depth_gauge, len(self._entries))
 
     def _sweep_expired(self) -> None:
+        if self._next_expiry_ms is None:
+            return  # nothing stored can expire; skip the scan
         now = self._clock.now_ms()
+        if now <= self._next_expiry_ms:
+            return  # earliest deadline not crossed yet; skip the scan
         survivors: List[_Entry] = []
         swept: List[Message] = []
+        next_expiry: Optional[int] = None
         for entry in self._entries:
             if entry.locked_by is None and entry.message.is_expired(now):
                 self.stats.expired += 1
                 swept.append(entry.message)
             else:
                 survivors.append(entry)
+                expiry = entry.message.expiry_ms
+                if expiry is not None and (
+                    next_expiry is None or expiry < next_expiry
+                ):
+                    next_expiry = expiry
+        self._next_expiry_ms = next_expiry
         if not swept:
             return
         self._entries = survivors

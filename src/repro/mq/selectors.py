@@ -22,6 +22,15 @@ The grammar is the JMS 1.0 selector subset:
 Evaluation follows SQL three-valued logic: references to absent properties
 yield *unknown*; a message is selected only when the whole expression is
 definitely true.
+
+Construction **compiles** the parsed AST down to nested Python closures
+(:func:`_compile_truth`), so matching a message never re-walks the tree:
+each node becomes one specialized function, ``LIKE`` patterns are lowered
+to a compiled regex exactly once at parse time, and property-free
+subexpressions are constant-folded at compile time.  The tree-walking
+interpreter (:func:`_eval_truth`) is kept as the reference evaluator —
+:meth:`Selector.interpreted_matches` exposes it so differential tests can
+assert the two paths never diverge.
 """
 
 from __future__ import annotations
@@ -148,6 +157,9 @@ class _Like(_Node):
     pattern: str
     escape: Optional[str]
     negated: bool
+    #: Regex compiled from ``pattern`` exactly once, at parse time — both
+    #: evaluation paths share it; nothing recompiles per message.
+    regex: Optional["re.Pattern[str]"] = None
 
 
 @dataclass
@@ -241,7 +253,11 @@ class _Parser:
                 if escape_token.kind != "string" or len(escape_token.value) != 1:
                     raise SelectorError("ESCAPE requires a single-character string")
                 escape = escape_token.value
-            return _Like(left, pattern_token.value, escape, negated)
+            # Compile the pattern here so a bad one (e.g. a dangling
+            # ESCAPE) fails at parse time, and so per-message evaluation
+            # never recompiles it.
+            regex = _like_to_regex(pattern_token.value, escape)
+            return _Like(left, pattern_token.value, escape, negated, regex)
         if token.kind == "kw" and token.value == "IS":
             self._advance()
             is_negated = bool(self._accept_kw("NOT"))
@@ -511,7 +527,10 @@ def _eval_truth(node: _Node, message: Message) -> Truth:
             return None
         if not isinstance(value, str):
             return None
-        result = bool(_like_to_regex(node.pattern, node.escape).match(value))
+        regex = node.regex
+        if regex is None:  # hand-built node; compile once and cache
+            regex = node.regex = _like_to_regex(node.pattern, node.escape)
+        result = bool(regex.match(value))
         return (not result) if node.negated else result
     if isinstance(node, _IsNull):
         value = _eval_value(node.operand, message)
@@ -533,6 +552,255 @@ def _eval_truth(node: _Node, message: Message) -> Truth:
     raise SelectorError(f"cannot evaluate node {node!r} as a condition")
 
 
+# ---------------------------------------------------------------------------
+# Compiler: lower the AST to nested closures
+# ---------------------------------------------------------------------------
+#
+# Each AST node becomes one specialized closure over its children's
+# closures, so Selector.__call__ dispatches straight through function
+# calls instead of re-walking the tree with isinstance chains per message.
+# The closures replicate _eval_truth / _eval_value exactly — including
+# three-valued logic and error behaviour — and the interpreter stays as
+# the reference implementation for differential tests.
+
+
+def _is_constant(node: _Node) -> bool:
+    """True when no property reference occurs anywhere under ``node``."""
+    if isinstance(node, _Property):
+        return False
+    if isinstance(node, _Literal):
+        return True
+    if isinstance(node, _Unary):
+        return _is_constant(node.operand)
+    if isinstance(node, _Binary):
+        return _is_constant(node.left) and _is_constant(node.right)
+    if isinstance(node, _Between):
+        return (
+            _is_constant(node.operand)
+            and _is_constant(node.low)
+            and _is_constant(node.high)
+        )
+    if isinstance(node, (_In, _Like, _IsNull)):
+        return _is_constant(node.operand)
+    return False
+
+
+def _fold(fn: "Any") -> "Any":
+    """Evaluate a property-free closure once and pin its result.
+
+    The fold runs at compile time with no message (constant closures
+    never dereference one).  If evaluation raises a :class:`SelectorError`
+    (e.g. arithmetic on a string literal), the error is captured and
+    re-raised per call, so error timing matches the interpreter's.
+    """
+    try:
+        constant = fn(None)
+    except SelectorError as exc:
+        def raising(message: Message, _exc: SelectorError = exc) -> Any:
+            raise _exc
+        return raising
+    return lambda message: constant
+
+
+def _compile_value(node: _Node) -> "Any":
+    """Compile a value-producing subexpression to ``f(message) -> Any``."""
+    if _is_constant(node):
+        return _fold(_compile_value_inner(node))
+    return _compile_value_inner(node)
+
+
+def _compile_value_inner(node: _Node) -> "Any":
+    if isinstance(node, _Literal):
+        value = node.value
+        return lambda message: value
+    if isinstance(node, _Property):
+        name = node.name
+        return lambda message: _lookup(message, name)
+    if isinstance(node, _Unary) and node.op == "NEG":
+        operand = _compile_value(node.operand)
+
+        def neg(message: Message) -> Any:
+            value = operand(message)
+            if value is None:
+                return None
+            if not _is_numeric(value):
+                raise SelectorError("unary minus requires a numeric operand")
+            return -value
+
+        return neg
+    if isinstance(node, _Binary) and node.op in ("+", "-", "*", "/"):
+        left = _compile_value(node.left)
+        right = _compile_value(node.right)
+        op = node.op
+
+        def arith(message: Message) -> Any:
+            left_value = left(message)
+            right_value = right(message)
+            if left_value is None or right_value is None:
+                return None
+            if not (_is_numeric(left_value) and _is_numeric(right_value)):
+                raise SelectorError(
+                    f"arithmetic {op!r} requires numeric operands"
+                )
+            if op == "+":
+                return left_value + right_value
+            if op == "-":
+                return left_value - right_value
+            if op == "*":
+                return left_value * right_value
+            if right_value == 0:
+                return None  # SQL: division by zero yields NULL
+            return left_value / right_value
+
+        return arith
+    # Boolean-producing nodes used in value position evaluate to their truth.
+    return _compile_truth_inner(node)
+
+
+def _compile_truth(node: _Node) -> "Any":
+    """Compile a boolean subexpression to ``f(message) -> Truth``."""
+    if _is_constant(node):
+        return _fold(_compile_truth_inner(node))
+    return _compile_truth_inner(node)
+
+
+def _compile_truth_inner(node: _Node) -> "Any":
+    if isinstance(node, _Binary) and node.op == "AND":
+        left = _compile_truth(node.left)
+        right = _compile_truth(node.right)
+
+        def and_(message: Message) -> Truth:
+            left_value = left(message)
+            if left_value is False:
+                return False
+            right_value = right(message)
+            if right_value is False:
+                return False
+            if left_value is None or right_value is None:
+                return None
+            return True
+
+        return and_
+    if isinstance(node, _Binary) and node.op == "OR":
+        left = _compile_truth(node.left)
+        right = _compile_truth(node.right)
+
+        def or_(message: Message) -> Truth:
+            left_value = left(message)
+            if left_value is True:
+                return True
+            right_value = right(message)
+            if right_value is True:
+                return True
+            if left_value is None or right_value is None:
+                return None
+            return False
+
+        return or_
+    if isinstance(node, _Unary) and node.op == "NOT":
+        operand = _compile_truth(node.operand)
+
+        def not_(message: Message) -> Truth:
+            inner = operand(message)
+            if inner is None:
+                return None
+            return not inner
+
+        return not_
+    if isinstance(node, _Binary) and node.op in ("=", "<>", "<", "<=", ">", ">="):
+        left = _compile_value(node.left)
+        right = _compile_value(node.right)
+        op = node.op
+        return lambda message: _compare(op, left(message), right(message))
+    if isinstance(node, _Between):
+        operand = _compile_value(node.operand)
+        low = _compile_value(node.low)
+        high = _compile_value(node.high)
+        negated = node.negated
+
+        def between(message: Message) -> Truth:
+            value = operand(message)
+            low_value = low(message)
+            high_value = high(message)
+            if value is None or low_value is None or high_value is None:
+                return None
+            if not (
+                _is_numeric(value)
+                and _is_numeric(low_value)
+                and _is_numeric(high_value)
+            ):
+                return None
+            result: Truth = low_value <= value <= high_value
+            return (not result) if negated else result
+
+        return between
+    if isinstance(node, _In):
+        operand = _compile_value(node.operand)
+        options = node.options
+        negated = node.negated
+
+        def in_(message: Message) -> Truth:
+            value = operand(message)
+            if value is None:
+                return None
+            if not isinstance(value, str):
+                return None
+            result = value in options
+            return (not result) if negated else result
+
+        return in_
+    if isinstance(node, _Like):
+        operand = _compile_value(node.operand)
+        regex = node.regex
+        if regex is None:  # hand-built node; compile once and cache
+            regex = node.regex = _like_to_regex(node.pattern, node.escape)
+        negated = node.negated
+
+        def like(message: Message) -> Truth:
+            value = operand(message)
+            if value is None:
+                return None
+            if not isinstance(value, str):
+                return None
+            result = bool(regex.match(value))
+            return (not result) if negated else result
+
+        return like
+    if isinstance(node, _IsNull):
+        operand = _compile_value(node.operand)
+        negated = node.negated
+
+        def is_null(message: Message) -> Truth:
+            result = operand(message) is None
+            return (not result) if negated else result
+
+        return is_null
+    if isinstance(node, _Literal):
+        if isinstance(node.value, bool):
+            value = node.value
+            return lambda message: value
+
+        def bad_literal(message: Message) -> Truth:
+            raise SelectorError("non-boolean literal used as a condition")
+
+        return bad_literal
+    if isinstance(node, _Property):
+        name = node.name
+
+        def prop_truth(message: Message) -> Truth:
+            value = _lookup(message, name)
+            if value is None:
+                return None
+            if isinstance(value, bool):
+                return value
+            raise SelectorError(
+                f"property {name!r} is not boolean; cannot use as condition"
+            )
+
+        return prop_truth
+    raise SelectorError(f"cannot evaluate node {node!r} as a condition")
+
+
 class Selector:
     """A compiled message selector; callable as ``selector(message) -> bool``."""
 
@@ -544,9 +812,18 @@ class Selector:
             self._root.value, bool
         ):
             raise SelectorError("selector must be a boolean expression")
+        self._compiled = _compile_truth(self._root)
 
     def matches(self, message: Message) -> bool:
         """True only when the expression is definitely true for ``message``."""
+        return self._compiled(message) is True
+
+    def interpreted_matches(self, message: Message) -> bool:
+        """Reference evaluation via the tree-walking interpreter.
+
+        Same contract as :meth:`matches`; exists so differential tests can
+        pin the compiled closures to the interpreter's semantics.
+        """
         return _eval_truth(self._root, message) is True
 
     def __call__(self, message: Message) -> bool:

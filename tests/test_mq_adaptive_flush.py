@@ -1,0 +1,148 @@
+"""Adaptive group-commit flush timer (:meth:`Journal.enable_adaptive_flush`).
+
+The timer holds commit groups in memory for an EWMA-derived window so
+independent appends arriving close together coalesce into one physical
+write.  These tests pin the semantics the throughput benchmark relies
+on: coalescing, the RFC 6298-style hold estimator, forced drains on
+every read/rewrite/close, and post-commit actions held until the group
+they belong to is durable.
+"""
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.mq.persistence import MemoryJournal
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+
+def make_journal(**kwargs):
+    clock = SimulatedClock()
+    scheduler = EventScheduler(clock)
+    journal = MemoryJournal()
+    journal.enable_adaptive_flush(scheduler, **kwargs)
+    return journal, scheduler
+
+
+def record(n):
+    return {"op": "put", "queue": "Q", "message": {"n": n}}
+
+
+def test_appends_are_held_until_the_timer_fires():
+    journal, scheduler = make_journal()
+    journal.append(record(1))
+    # Buffered, not yet durable: no flush, not in the live log.
+    assert journal.flush_count == 0
+    assert journal.size() == 0
+    scheduler.run_for(25)  # past the max hold window
+    assert journal.flush_count == 1
+    assert journal.size() == 1
+
+
+def test_groups_inside_the_window_coalesce_into_one_flush():
+    journal, scheduler = make_journal()
+    for i in range(5):
+        journal.append(record(i))  # five commit groups, same instant
+    scheduler.run_all()
+    assert journal.flush_count == 1
+    assert journal.records_written == 5
+    assert journal.adaptive_groups_coalesced == 5
+    assert [r["message"]["n"] for r in journal.read_all()] == list(range(5))
+
+
+def test_first_group_bounds_latency_later_arrivals_join():
+    journal, scheduler = make_journal(min_hold_ms=5, max_hold_ms=5)
+    journal.append(record(0))
+    scheduler.run_for(3)  # inside the hold window
+    journal.append(record(1))
+    assert journal.flush_count == 0
+    scheduler.run_for(2)  # window of the FIRST group expires at +5
+    assert journal.flush_count == 1
+    assert journal.size() == 2
+
+
+def test_hold_window_tracks_arrival_gaps_rfc6298():
+    journal, scheduler = make_journal(min_hold_ms=1, max_hold_ms=20)
+    # No measurement yet: hold starts at the floor.
+    assert journal._af_hold_ms() == 1
+    # Uniform 4 ms gaps: srtt converges toward 4, rttvar toward 0, so
+    # hold = srtt + 4*rttvar settles near the gap itself.
+    at = 0
+    for _ in range(60):
+        journal.append(record(at))
+        at += 4
+        scheduler.run_until(at)
+    assert 1 <= journal._af_hold_ms() <= 20
+    assert abs(journal._af_srtt - 4.0) < 1.0
+    # A burst of same-instant arrivals (gap 0) drags the estimate down.
+    for _ in range(60):
+        journal.append(record(at))
+    scheduler.run_all()
+    assert journal._af_srtt < 1.0
+
+
+def test_read_all_forces_a_drain():
+    journal, _scheduler = make_journal()
+    journal.append(record(1))
+    records = journal.read_all()  # no scheduler time elapsed
+    assert [r["message"]["n"] for r in records] == [1]
+    assert journal.flush_count == 1
+
+
+def test_rewrite_and_close_force_a_drain():
+    journal, _scheduler = make_journal()
+    journal.append(record(1))
+    journal.rewrite(journal.read_all())
+    assert journal.size() == 1
+
+    journal2, _scheduler2 = make_journal()
+    journal2.append(record(2))
+    journal2.close()
+    assert journal2.flush_count == 1
+
+
+def test_post_commit_hooks_held_until_the_group_is_durable():
+    journal, scheduler = make_journal()
+    fired = []
+    with journal.batch():
+        journal.append(record(1))
+        journal.post_commit(lambda: fired.append("hook"))
+    # The batch exited, but the group is adaptively held: the hook must
+    # not run before its records are durable.
+    assert fired == []
+    scheduler.run_all()
+    assert fired == ["hook"]
+    assert journal.flush_count == 1
+
+
+def test_explicit_drain_runs_held_hooks_immediately():
+    journal, _scheduler = make_journal()
+    fired = []
+    with journal.batch():
+        journal.append(record(1))
+        journal.post_commit(lambda: fired.append("hook"))
+    drained = journal.drain()
+    assert drained == 1
+    assert fired == ["hook"]
+
+
+def test_disable_returns_to_write_through():
+    journal, scheduler = make_journal()
+    journal.append(record(1))
+    journal.disable_adaptive_flush()  # drains what was held
+    assert journal.flush_count == 1
+    assert not journal.adaptive_flush_enabled
+    journal.append(record(2))  # write-through again
+    assert journal.flush_count == 2
+    assert scheduler.pending() == 0
+
+
+def test_enable_validates_arguments():
+    journal = MemoryJournal()
+    with pytest.raises(PersistenceError):
+        journal.enable_adaptive_flush(None)
+    scheduler = EventScheduler(SimulatedClock())
+    with pytest.raises(PersistenceError):
+        journal.enable_adaptive_flush(scheduler, min_hold_ms=0)
+    with pytest.raises(PersistenceError):
+        journal.enable_adaptive_flush(scheduler, min_hold_ms=9, max_hold_ms=3)

@@ -4,7 +4,9 @@ import pytest
 
 from repro.errors import MQError
 from repro.mq.message import Message
+import repro.mq.pubsub as pubsub_module
 from repro.mq.pubsub import (
+    Subscription,
     SUBSCRIPTION_QUEUE_PREFIX,
     TopicBroker,
     topic_matches,
@@ -169,3 +171,52 @@ class TestIngressQueue:
         broker.publish("t", Message(body=1))
         assert broker.stats.deliveries == 2
         assert broker.subscription("a").delivered == 1
+
+
+class TestCachedPatternSegments:
+    """The broker splits each pattern once, at subscribe time."""
+
+    def test_subscribe_populates_segments(self, broker):
+        subscription = broker.subscribe("px.nyse.*", "nyse")
+        assert subscription.pattern_segments == ["px", "nyse", "*"]
+
+    def test_post_init_fallback_splits_the_pattern(self):
+        # Hand-constructed subscriptions (tests, tooling) still get
+        # segments even when the caller never passes them.
+        subscription = Subscription(
+            name="s", pattern="a.#", queue_name="Q.S"
+        )
+        assert subscription.pattern_segments == ["a", "#"]
+
+    def test_post_init_validates_hand_built_patterns(self):
+        with pytest.raises(MQError):
+            Subscription(name="s", pattern="a.#.b", queue_name="Q.S")
+
+    def test_publish_matches_without_resplitting(self, broker, monkeypatch):
+        """Regression: fan-out used to call validate_pattern per publish."""
+        broker.subscribe("px.nyse.*", "nyse")
+        broker.subscribe("px.#", "all")
+        calls = {"n": 0}
+        real = pubsub_module.validate_pattern
+
+        def counting(pattern):
+            calls["n"] += 1
+            return real(pattern)
+
+        monkeypatch.setattr(pubsub_module, "validate_pattern", counting)
+        for i in range(25):
+            broker.publish("px.nyse.ibm", Message(body=i))
+        assert calls["n"] == 0  # matching ran purely on cached segments
+        assert broker.subscription("nyse").delivered == 25
+        assert broker.subscription("all").delivered == 25
+
+    def test_matching_uses_cached_segments_not_the_pattern_string(self, broker):
+        # Mutating the cached segments changes matching; the pattern
+        # string is display-only after subscribe.  (Nobody should do
+        # this — the test pins which field the hot path reads.)
+        subscription = broker.subscribe("px.nyse.*", "nyse")
+        subscription.pattern_segments = ["px", "lse", "*"]
+        broker.publish("px.nyse.ibm", Message(body=1))
+        assert subscription.delivered == 0
+        broker.publish("px.lse.vod", Message(body=2))
+        assert subscription.delivered == 1

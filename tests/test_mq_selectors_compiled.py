@@ -1,0 +1,192 @@
+"""Compiled selectors vs. the reference interpreter.
+
+Selector construction lowers the parsed AST to nested closures
+(:func:`repro.mq.selectors._compile_truth`); the tree-walking
+interpreter remains as the reference evaluator behind
+:meth:`Selector.interpreted_matches`.  Every three-valued-logic edge
+here runs through BOTH paths — the compiled closures must never diverge
+from SQL-92 semantics the interpreter pins down.
+
+Also holds the regression test for the ``LIKE`` lowering: the pattern
+regex is built exactly once, at parse time, never per message.
+"""
+
+import pytest
+
+import repro.mq.selectors as selectors_module
+from repro.errors import SelectorError
+from repro.mq.message import Message
+from repro.mq.selectors import Selector, compile_selector
+
+PATHS = ("compiled", "interpreted")
+
+
+def matches(selector: Selector, message: Message, path: str) -> bool:
+    if path == "compiled":
+        return selector.matches(message)
+    return selector.interpreted_matches(message)
+
+
+def msg(**properties) -> Message:
+    return Message(body="x", properties=properties)
+
+
+# Each case: (selector text, message properties, selected?).  "Selected"
+# means definitely-true; both false and unknown must NOT select.
+THREE_VALUED_CASES = [
+    # Absent property -> unknown, on every comparison operator.
+    ("missing = 1", {}, False),
+    ("missing <> 1", {}, False),
+    ("missing < 1", {}, False),
+    ("missing >= 1", {}, False),
+    # NOT unknown -> unknown (never true).
+    ("NOT missing = 1", {}, False),
+    ("NOT (missing = 1)", {}, False),
+    # AND truth table rows involving unknown.
+    ("missing = 1 AND n = 1", {"n": 1}, False),  # unknown AND true
+    ("missing = 1 AND n = 2", {"n": 1}, False),  # unknown AND false
+    ("n = 1 AND missing = 1", {"n": 1}, False),  # true AND unknown
+    # OR truth table rows involving unknown.
+    ("missing = 1 OR n = 1", {"n": 1}, True),  # unknown OR true -> TRUE
+    ("n = 1 OR missing = 1", {"n": 1}, True),  # true OR unknown -> TRUE
+    ("missing = 1 OR n = 2", {"n": 1}, False),  # unknown OR false
+    # Arithmetic over NULL propagates NULL.
+    ("missing + 1 = 2", {}, False),
+    ("n + missing = 2", {"n": 1}, False),
+    # SQL: division by zero yields NULL, not an error.
+    ("n / 0 = 1", {"n": 5}, False),
+    ("NOT n / 0 = 1", {"n": 5}, False),
+    ("n / zero = 1", {"n": 5, "zero": 0}, False),
+    # Mixed string/number comparison is unknown both ways.
+    ("s = 1", {"s": "1"}, False),
+    ("s <> 1", {"s": "1"}, False),
+    # Strings support only (in)equality; ordering is unknown.
+    ("s < 'b'", {"s": "a"}, False),
+    ("s = 'a'", {"s": "a"}, True),
+    ("s <> 'b'", {"s": "a"}, True),
+    # Booleans compare only for (in)equality; ordering is unknown.
+    ("flag = TRUE", {"flag": True}, True),
+    ("flag <> FALSE", {"flag": True}, True),
+    ("flag < TRUE", {"flag": False}, False),
+    # BETWEEN: NULL or non-numeric operands -> unknown, negation included.
+    ("missing BETWEEN 1 AND 3", {}, False),
+    ("missing NOT BETWEEN 1 AND 3", {}, False),
+    ("s BETWEEN 1 AND 3", {"s": "2"}, False),
+    ("n BETWEEN 1 AND 3", {"n": 2}, True),
+    ("n NOT BETWEEN 1 AND 3", {"n": 5}, True),
+    # IN: NULL or non-string operand -> unknown, negation included.
+    ("missing IN ('a', 'b')", {}, False),
+    ("missing NOT IN ('a', 'b')", {}, False),
+    ("n IN ('a', 'b')", {"n": 1}, False),
+    ("s IN ('a', 'b')", {"s": "a"}, True),
+    ("s NOT IN ('a', 'b')", {"s": "c"}, True),
+    # LIKE: NULL or non-string operand -> unknown, negation included.
+    ("missing LIKE 'a%'", {}, False),
+    ("missing NOT LIKE 'a%'", {}, False),
+    ("n LIKE '1%'", {"n": 12}, False),
+    ("route LIKE 'JFK-%'", {"route": "JFK-LGW"}, True),
+    ("route NOT LIKE 'JFK-%'", {"route": "LHR-JFK"}, True),
+    # LIKE metacharacters: _ is exactly one char, % spans newlines.
+    ("s LIKE 'a_c'", {"s": "abc"}, True),
+    ("s LIKE 'a_c'", {"s": "ac"}, False),
+    ("s LIKE 'a%'", {"s": "a\nb"}, True),
+    # ESCAPE makes the wildcard literal.
+    ("s LIKE 'A!_B' ESCAPE '!'", {"s": "A_B"}, True),
+    ("s LIKE 'A!_B' ESCAPE '!'", {"s": "AxB"}, False),
+    # IS NULL is the only predicate that turns absence into TRUE.
+    ("missing IS NULL", {}, True),
+    ("missing IS NOT NULL", {}, False),
+    ("s IS NOT NULL", {"s": "a"}, True),
+    # Bare boolean property as the whole condition.
+    ("flagged", {"flagged": True}, True),
+    ("flagged", {"flagged": False}, False),
+    ("flagged", {}, False),  # absent -> unknown
+    ("NOT flagged", {}, False),  # NOT unknown -> unknown
+    ("NOT flagged", {"flagged": False}, True),
+    # Header pseudo-properties resolve through the same lookup.
+    ("JMSPriority >= 4", {}, True),
+    ("JMSCorrelationID IS NULL", {}, True),
+]
+
+
+@pytest.mark.parametrize("path", PATHS)
+@pytest.mark.parametrize("text,properties,selected", THREE_VALUED_CASES)
+def test_three_valued_edges_agree(text, properties, selected, path):
+    assert matches(Selector(text), msg(**properties), path) is selected
+
+
+@pytest.mark.parametrize("path", PATHS)
+@pytest.mark.parametrize("text,properties,selected", THREE_VALUED_CASES)
+def test_compiled_never_diverges_from_interpreter(
+    text, properties, selected, path
+):
+    """Differential form: for every edge case the two paths agree exactly."""
+    selector = Selector(text)
+    message = msg(**properties)
+    assert selector.matches(message) == selector.interpreted_matches(message)
+
+
+@pytest.mark.parametrize("path", PATHS)
+def test_constant_subexpressions_fold(path):
+    # A property-free selector is decided at compile time; both paths
+    # must still report the same answer per message.
+    assert matches(Selector("1 = 1"), msg(), path) is True
+    assert matches(Selector("1 = 2"), msg(), path) is False
+    assert matches(Selector("3 * 4 BETWEEN 10 AND 20"), msg(), path) is True
+    assert matches(Selector("1 = 2 OR n = 1"), msg(n=1), path) is True
+
+
+@pytest.mark.parametrize("path", PATHS)
+def test_folded_errors_raise_at_match_time(path):
+    # Constant folding captures evaluation errors and re-raises them per
+    # call, so error timing matches the interpreter's.
+    selector = Selector("'a' + 1 = 2")
+    with pytest.raises(SelectorError):
+        matches(selector, msg(), path)
+
+
+@pytest.mark.parametrize("path", PATHS)
+def test_type_errors_raise_in_both_paths(path):
+    with pytest.raises(SelectorError):
+        matches(Selector("-s = 1"), msg(s="a"), path)
+    with pytest.raises(SelectorError):
+        matches(Selector("n"), msg(n=3), path)  # non-boolean condition
+
+
+def test_like_pattern_compiled_once_at_parse_time(monkeypatch):
+    """Regression: the LIKE regex is built at parse time, never per message.
+
+    The original implementation called ``_like_to_regex`` inside the
+    evaluator, recompiling the pattern for every message the selector
+    touched.
+    """
+    calls = {"n": 0}
+    real = selectors_module._like_to_regex
+
+    def counting(pattern, escape):
+        calls["n"] += 1
+        return real(pattern, escape)
+
+    monkeypatch.setattr(selectors_module, "_like_to_regex", counting)
+    selector = Selector("route LIKE 'JFK-%' AND leg LIKE 'A_'")
+    assert calls["n"] == 2  # one compile per LIKE node, both at parse time
+    for i in range(50):
+        message = msg(route=f"JFK-{i}", leg="A1")
+        assert selector.matches(message)
+        assert selector.interpreted_matches(message)
+    assert calls["n"] == 2  # matching 50 messages compiled nothing
+
+
+def test_bad_like_pattern_fails_at_parse_time():
+    # A dangling ESCAPE is a parse error, not a per-message one.
+    with pytest.raises(SelectorError):
+        Selector("s LIKE 'abc!' ESCAPE '!'")
+
+
+def test_compile_selector_blank_and_reuse():
+    assert compile_selector(None) is None
+    assert compile_selector("  ") is None
+    selector = compile_selector("n = 1")
+    assert selector is not None
+    assert selector(msg(n=1)) is True
+    assert selector(msg(n=2)) is False
