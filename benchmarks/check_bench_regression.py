@@ -1,84 +1,181 @@
-"""Fail CI when the throughput benchmark regresses against the baseline.
+"""Fail CI when a committed benchmark regresses against its baseline.
 
 Usage (what the CI benchmark-smoke job runs)::
 
-    cp BENCH_throughput.json /tmp/baseline.json       # committed baseline
-    BENCH_SHORT=1 pytest benchmarks/test_throughput.py  # rewrites the file
+    cp BENCH_throughput.json /tmp/throughput.json     # committed baselines
+    cp BENCH_persistence.json /tmp/persistence.json
+    cp BENCH_query.json /tmp/query.json
+    BENCH_SHORT=1 pytest benchmarks/test_throughput.py benchmarks/test_query.py
     python benchmarks/check_bench_regression.py \
-        --baseline /tmp/baseline.json --current BENCH_throughput.json
+        --gate /tmp/throughput.json:BENCH_throughput.json \
+        --gate /tmp/persistence.json:BENCH_persistence.json \
+        --gate /tmp/query.json:BENCH_query.json
 
-Compares ``msgs_per_sec`` and exits non-zero when the current run is
-more than ``--tolerance`` (default 25%) below the baseline.  Wall-clock
-throughput on shared CI runners is noisy even with the benchmark's
-best-of-N reporting, so the tolerance is deliberately loose: the gate
-exists to catch real hot-path regressions (a lost optimization, an
-accidental per-message flush), not 5% scheduling jitter.
+Each ``--gate baseline:current[:tolerance]`` pair is compared on the
+metrics the file carries (auto-detected from its shape):
+
+* ``BENCH_throughput.json`` — ``msgs_per_sec``;
+* ``BENCH_persistence.json`` — ``flushes_per_sec`` per journal backend
+  (each backend gated separately, so one backend regressing cannot hide
+  behind another improving);
+* ``BENCH_query.json`` — ``speedup_10k``, the worst selector-pushdown
+  speedup over the linear scan at depth 10k.
+
+All metrics are higher-is-better; a gate fails when the current value is
+more than ``tolerance`` (default 25%) below the baseline.  Wall-clock
+numbers on shared CI runners are noisy even with best-of-N reporting, so
+the tolerance is deliberately loose: the gate exists to catch real
+hot-path regressions (a lost optimization, an accidental per-message
+flush, a selector scan that stopped using the index), not 5% scheduling
+jitter.  Ratio metrics like ``speedup_10k`` divide out machine speed and
+are steadier than raw rates.
 
 Improvements never fail; the job log suggests refreshing the committed
 baseline when the current run is substantially faster.
+
+The legacy single-file interface (``--baseline``/``--current``
+[``--tolerance``]) is still accepted and behaves exactly as before.
 """
 
 import argparse
 import json
 import sys
 
+DEFAULT_TOLERANCE = 0.25
 
-def load_msgs_per_sec(path):
-    with open(path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
+
+def _load(path):
     try:
-        value = float(data["msgs_per_sec"])
-    except (KeyError, TypeError, ValueError) as exc:
-        raise SystemExit(f"{path}: no usable msgs_per_sec field ({exc})")
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"{path}: cannot read benchmark JSON ({exc})")
+
+
+def _positive(path, name, value):
+    try:
+        value = float(value)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"{path}: no usable {name} field ({exc})")
     if value <= 0:
-        raise SystemExit(f"{path}: non-positive msgs_per_sec {value!r}")
+        raise SystemExit(f"{path}: non-positive {name} {value!r}")
     return value
+
+
+def extract_metrics(path, data):
+    """name -> value (higher is better), auto-detected from the shape."""
+    if "msgs_per_sec" in data:
+        return {"msgs_per_sec": _positive(path, "msgs_per_sec", data["msgs_per_sec"])}
+    if "backends" in data:
+        metrics = {}
+        for entry in data["backends"]:
+            backend = entry.get("backend", "?")
+            metrics[f"{backend} flushes_per_sec"] = _positive(
+                path, f"{backend} flushes_per_sec", entry.get("flushes_per_sec")
+            )
+        if not metrics:
+            raise SystemExit(f"{path}: empty backends list")
+        return metrics
+    if "speedup_10k" in data:
+        return {"speedup_10k": _positive(path, "speedup_10k", data["speedup_10k"])}
+    raise SystemExit(f"{path}: unrecognized benchmark shape (keys {sorted(data)})")
+
+
+def check_gate(baseline_path, current_path, tolerance):
+    """Print the comparison; return the number of regressed metrics."""
+    baseline = extract_metrics(baseline_path, _load(baseline_path))
+    current = extract_metrics(current_path, _load(current_path))
+    failures = 0
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            print(
+                f"{current_path}: metric {name!r} missing from current run",
+                file=sys.stderr,
+            )
+            failures += 1
+            continue
+        now = current[name]
+        floor = base * (1.0 - tolerance)
+        change = (now - base) / base * 100.0
+        print(
+            f"{current_path}: {name} baseline {base:.2f}, current {now:.2f} "
+            f"({change:+.1f}%), floor {floor:.2f} (tolerance {tolerance:.0%})"
+        )
+        if now < floor:
+            print(
+                f"FAIL: {name} regressed past the tolerance; if this is an"
+                f" intentional trade-off, refresh the committed"
+                f" {current_path} baseline in the same change.",
+                file=sys.stderr,
+            )
+            failures += 1
+        elif now > base * (1.0 + tolerance):
+            print(
+                f"note: {name} beats the baseline by more than the"
+                f" tolerance — consider committing the fresh {current_path}"
+                f" so the gate tracks the new level."
+            )
+    return failures
+
+
+def parse_gate(spec):
+    """'baseline:current[:tolerance]' -> (baseline, current, tolerance)."""
+    parts = spec.split(":")
+    if len(parts) == 2:
+        return parts[0], parts[1], None
+    if len(parts) == 3:
+        try:
+            tolerance = float(parts[2])
+        except ValueError:
+            raise SystemExit(f"--gate {spec!r}: bad tolerance {parts[2]!r}")
+        return parts[0], parts[1], tolerance
+    raise SystemExit(f"--gate {spec!r}: expected baseline:current[:tolerance]")
 
 
 def main(argv=None):
     parser = argparse.ArgumentParser(
-        description="Gate CI on throughput-benchmark regressions."
+        description="Gate CI on benchmark regressions."
     )
     parser.add_argument(
-        "--baseline", required=True,
-        help="BENCH_throughput.json as committed (the reference)",
+        "--gate", action="append", default=[], metavar="BASELINE:CURRENT[:TOL]",
+        help="gate one benchmark file pair (repeatable)",
     )
     parser.add_argument(
-        "--current", required=True,
-        help="BENCH_throughput.json produced by this run",
+        "--baseline", help="legacy: single baseline JSON (the reference)"
     )
     parser.add_argument(
-        "--tolerance", type=float, default=0.25,
+        "--current", help="legacy: single current JSON produced by this run"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         help="allowed fractional drop below baseline (default 0.25)",
     )
     args = parser.parse_args(argv)
     if not 0 <= args.tolerance < 1:
         parser.error("--tolerance must be in [0, 1)")
 
-    baseline = load_msgs_per_sec(args.baseline)
-    current = load_msgs_per_sec(args.current)
-    floor = baseline * (1.0 - args.tolerance)
-    change = (current - baseline) / baseline * 100.0
+    gates = [parse_gate(spec) for spec in args.gate]
+    if args.baseline or args.current:
+        if not (args.baseline and args.current):
+            parser.error("--baseline and --current must be given together")
+        gates.append((args.baseline, args.current, None))
+    if not gates:
+        parser.error("nothing to gate: pass --gate or --baseline/--current")
 
-    print(
-        f"baseline {baseline:.1f} msgs/s, current {current:.1f} msgs/s "
-        f"({change:+.1f}%), floor {floor:.1f} msgs/s "
-        f"(tolerance {args.tolerance:.0%})"
-    )
-    if current < floor:
-        print(
-            "FAIL: throughput regressed past the tolerance; if this is an"
-            " intentional trade-off, refresh the committed"
-            " BENCH_throughput.json baseline in the same change.",
-            file=sys.stderr,
+    failures = 0
+    for baseline_path, current_path, tolerance in gates:
+        if tolerance is not None and not 0 <= tolerance < 1:
+            raise SystemExit(
+                f"--gate {baseline_path}:{current_path}: tolerance"
+                f" {tolerance!r} must be in [0, 1)"
+            )
+        failures += check_gate(
+            baseline_path,
+            current_path,
+            args.tolerance if tolerance is None else tolerance,
         )
+    if failures:
         return 1
-    if current > baseline * (1.0 + args.tolerance):
-        print(
-            "note: current run beats the baseline by more than the"
-            " tolerance — consider committing the fresh"
-            " BENCH_throughput.json so the gate tracks the new level."
-        )
     print("OK")
     return 0
 

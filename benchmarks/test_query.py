@@ -1,0 +1,151 @@
+"""QUERY — selector gets: SQL pushdown vs. the linear scan.
+
+"Queues are databases": with the queue living inside a WAL-mode SQLite
+database (:class:`~repro.mq.sqlstore.SqlQueueStore`), ``get(selector=...)``
+becomes an index scan with the selector lowered to a SQL WHERE clause
+(:meth:`~repro.mq.selectors.Selector.to_sql`), while the classic
+:class:`~repro.mq.queue.MessageQueue` walks its entry list evaluating the
+compiled Python predicate per message.
+
+This bench measures destructive selector gets against both stores at
+queue depths 1k / 10k / 100k (1k / 10k under ``BENCH_SHORT=1``), for two
+selector shapes:
+
+* a JSON1-property selector (``n = <k>``) — pushdown must win on the
+  properties column despite the ``json_extract`` per row;
+* an indexed-header selector (``JMSCorrelationID = '<k>'``) — pushdown
+  rides the ``(queue, correlation_id)`` index.
+
+Targets are spread uniformly through the queue so the linear scan pays
+its average (half-depth) cost; each timed get is followed by an untimed
+re-put so the depth stays constant across samples.
+
+Results land in ``BENCH_query.json`` at the repo root (consumed by the
+CI benchmark-smoke gate via ``speedup_10k``) and in the usual results
+table.  The acceptance bar: the SQL store beats the linear scan at depth
+10k.
+"""
+
+import json
+import os
+import time
+
+from repro.harness.reporting import Table
+from repro.mq.message import Message
+from repro.mq.queue import MessageQueue
+from repro.mq.selectors import Selector
+from repro.mq.sqlstore import SqlMessageQueue, SqlQueueStore
+from repro.sim.clock import SimulatedClock
+
+SHORT = os.environ.get("BENCH_SHORT", "") not in ("", "0")
+DEPTHS = (1_000, 10_000) if SHORT else (1_000, 10_000, 100_000)
+#: Timed selector gets per (depth, selector shape, store).
+GETS = 10 if SHORT else 40
+
+RESULT_PATH = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_query.json")
+)
+
+
+def build_message(i: int) -> Message:
+    return Message(
+        body=i,
+        correlation_id=f"C-{i}",
+        properties={"n": i, "route": f"JFK-{i % 97}"},
+    )
+
+
+def fill_linear(depth: int) -> MessageQueue:
+    queue = MessageQueue("BENCH.Q", SimulatedClock(), max_depth=depth + 10)
+    queue.put_many([build_message(i) for i in range(depth)])
+    return queue
+
+
+def fill_sql(depth: int) -> SqlMessageQueue:
+    store = SqlQueueStore(":memory:", sync="none")
+    queue = SqlMessageQueue(store, "BENCH.Q", SimulatedClock(), max_depth=depth + 10)
+    queue.put_many([build_message(i) for i in range(depth)])
+    return queue
+
+
+def targets(depth: int):
+    """GETS target indices spread uniformly through the depth."""
+    stride = max(1, depth // GETS)
+    return [(i * stride + stride // 2) % depth for i in range(GETS)]
+
+
+def timed_gets(queue, depth: int, make_selector) -> float:
+    """Seconds per destructive selector get, re-putting between samples."""
+    elapsed = 0.0
+    for target in targets(depth):
+        selector = Selector(make_selector(target))
+        started = time.perf_counter()
+        got = queue.get(selector)
+        elapsed += time.perf_counter() - started
+        assert got.body == target
+        queue.put(got)  # restore depth outside the timed window
+    return elapsed / GETS
+
+
+SELECTOR_SHAPES = (
+    ("property", lambda k: f"n = {k}"),
+    ("header", lambda k: f"JMSCorrelationID = 'C-{k}'"),
+)
+
+
+def test_selector_get_pushdown_vs_linear_scan(report):
+    results = []
+    for depth in DEPTHS:
+        linear = fill_linear(depth)
+        sql = fill_sql(depth)
+        for shape, make_selector in SELECTOR_SHAPES:
+            linear_s = timed_gets(linear, depth, make_selector)
+            sql_s = timed_gets(sql, depth, make_selector)
+            results.append(
+                {
+                    "depth": depth,
+                    "selector": shape,
+                    "gets": GETS,
+                    "linear_us_per_get": linear_s * 1e6,
+                    "sql_us_per_get": sql_s * 1e6,
+                    "speedup": linear_s / sql_s if sql_s else float("inf"),
+                }
+            )
+        sql.store.close()
+
+    table = Table(
+        f"QUERY: selector get latency, linear scan vs SQL pushdown "
+        f"({GETS} gets/point)",
+        ["depth", "selector", "linear us/get", "sql us/get", "speedup"],
+    )
+    for row in results:
+        table.add_row(
+            [
+                row["depth"],
+                row["selector"],
+                round(row["linear_us_per_get"], 1),
+                round(row["sql_us_per_get"], 1),
+                f"{row['speedup']:.1f}x",
+            ]
+        )
+    report.emit(table)
+
+    # The CI gate tracks the 10k-depth property-selector speedup: the
+    # headline number for "the queue became an index scan".
+    speedup_10k = min(
+        row["speedup"] for row in results if row["depth"] == 10_000
+    )
+    payload = {
+        "short": SHORT,
+        "gets": GETS,
+        "depths": list(DEPTHS),
+        "results": results,
+        "speedup_10k": speedup_10k,
+    }
+    with open(RESULT_PATH, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+
+    # Acceptance bar: SQL beats the linear scan at depth 10k on every
+    # selector shape (speedup_10k is the minimum across shapes).
+    assert speedup_10k > 1.0, results

@@ -29,11 +29,13 @@ the CI benchmark-smoke step) and in the usual results table.  Set
 ``BENCH_SHORT=1`` for a fast smoke run.
 
 ``test_persistence_backends`` compares the journal backends
-(memory / file / sqlite / binfile, the last being the binary-codec file
-store) at the same fan-out: journal flushes per second under the
-conditional-send workload and wall-clock recovery time from the
-resulting log, written to ``BENCH_persistence.json``.  Backends must
-agree on the recovered queue depths — including across codecs.
+(memory / file / sqlite / binfile — the binary-codec file store — and
+sqlstore, the SQL-backed live queue store) at the same fan-out: journal
+flushes per second under the conditional-send workload and wall-clock
+recovery time from the resulting log, written to
+``BENCH_persistence.json``.  Backends must agree on the recovered queue
+depths — including across codecs, and including the store whose
+"recovery" is just opening the database.
 """
 
 import json
@@ -70,7 +72,7 @@ PERSISTENCE_RESULT_PATH = os.path.abspath(
         os.path.dirname(__file__), os.pardir, "BENCH_persistence.json"
     )
 )
-PERSISTENCE_BACKENDS = ("memory", "file", "sqlite", "binfile")
+PERSISTENCE_BACKENDS = ("memory", "file", "sqlite", "binfile", "sqlstore")
 
 RECEIVERS = [f"R{i}" for i in range(FAN_OUT)]
 

@@ -87,7 +87,7 @@ class EpisodeSpec:
     receivers: int = 3
     latency_ms: int = 5
     jitter_ms: int = 0
-    journal: str = "memory"  # "memory" | "file" | "sqlite" | "binfile"
+    journal: str = "memory"  # "memory" | "file" | "sqlite" | "binfile" | "sqlstore"
     workload: WorkloadSpec = field(default_factory=WorkloadSpec)
     plan: FaultPlan = field(default_factory=FaultPlan)
 
@@ -483,6 +483,7 @@ class ChaosHarness:
         # could still fire; everything the harness schedules re-resolves
         # through self.receivers / self.service at fire time.
         old.journal = None
+        old.store = None
         if manager_name == self.sender_name:
             self.scheduler.cancel_matching(
                 lambda label: label.startswith("eval-timeout")

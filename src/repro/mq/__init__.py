@@ -29,7 +29,13 @@ from repro.mq.queue import MessageQueue, QueueStats
 from repro.mq.manager import QueueManager
 from repro.mq.transactions import MQTransaction
 from repro.mq.network import MessageNetwork, Channel
-from repro.mq.selectors import compile_selector, Selector
+from repro.mq.selectors import (
+    compile_selector,
+    compile_selector_sql,
+    Selector,
+    SelectorSql,
+)
+from repro.mq.sqlstore import SqlQueueStore, SqlMessageQueue
 from repro.mq.session import Connection, Session, MessageProducer, MessageConsumer
 
 __all__ = [
@@ -43,7 +49,11 @@ __all__ = [
     "MessageNetwork",
     "Channel",
     "compile_selector",
+    "compile_selector_sql",
     "Selector",
+    "SelectorSql",
+    "SqlQueueStore",
+    "SqlMessageQueue",
     "Connection",
     "Session",
     "MessageProducer",

@@ -33,6 +33,7 @@ from repro.errors import (
 )
 from repro.mq.message import Message
 from repro.mq.persistence import Journal, journal_for
+from repro.mq.sqlstore import SqlMessageQueue, SqlQueueStore
 from repro.mq.queue import DEFAULT_MAX_DEPTH, MessageQueue
 from repro.mq.transactions import MQTransaction
 from repro.mq import reports as reports_mod
@@ -96,6 +97,17 @@ class QueueManager:
             journal = journal_for(journal)
         self.name = name
         self.clock = clock
+        #: SQL-backed live state (``sqlstore:`` URLs / :class:`SqlQueueStore`
+        #: passed as the journal).  In store mode the database *is* the
+        #: queue content, so there is nothing to journal: ``self.journal``
+        #: stays ``None`` and queue operations run through
+        #: :class:`SqlMessageQueue` wrappers.
+        self.store: Optional[SqlQueueStore] = None
+        if isinstance(journal, SqlQueueStore):
+            self.store = journal
+            journal = None
+            if metrics is not None and self.store.metrics is None:
+                self.store.metrics = metrics
         self.journal = journal
         self.backout_threshold = backout_threshold
         self.tracer = tracer
@@ -115,6 +127,13 @@ class QueueManager:
         self._remote_definitions: Dict[str, tuple] = {}
         self._remote_put_handler: Optional[Callable[[str, str, Message], None]] = None
         self.define_queue(DEAD_LETTER_QUEUE, journal_definition=False)
+        if self.store is not None:
+            # Attaching to a shared store: pick up queues that already
+            # exist there (defined by a previous incarnation or by
+            # another manager sharing the store).
+            for queue_name in self.store.queue_names():
+                if queue_name not in self._queues:
+                    self.define_queue(queue_name, journal_definition=False)
 
     # -- queue administration --------------------------------------------------
 
@@ -127,19 +146,32 @@ class QueueManager:
         """Create a local queue; raises :class:`QueueExistsError` if taken."""
         if queue_name in self._queues or queue_name in self._remote_definitions:
             raise QueueExistsError(queue_name)
-        queue = MessageQueue(
-            queue_name,
-            self.clock,
-            max_depth=max_depth,
-            # Bind the queue name so expiry can journal the removal from
-            # the right source queue.
-            on_expired=lambda message, _q=queue_name: self._route_expired(
-                _q, message
-            ),
-            tracer=self.tracer,
-            metrics=self.metrics,
-            owner=self.name,
+        # Bind the queue name so expiry can journal the removal from
+        # the right source queue.
+        on_expired = lambda message, _q=queue_name: self._route_expired(
+            _q, message
         )
+        if self.store is not None:
+            queue: MessageQueue = SqlMessageQueue(
+                self.store,
+                queue_name,
+                self.clock,
+                max_depth=max_depth,
+                on_expired=on_expired,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                owner=self.name,
+            )
+        else:
+            queue = MessageQueue(
+                queue_name,
+                self.clock,
+                max_depth=max_depth,
+                on_expired=on_expired,
+                tracer=self.tracer,
+                metrics=self.metrics,
+                owner=self.name,
+            )
         self._queues[queue_name] = queue
         if self.journal is not None and journal_definition:
             self.journal.log_queue_defined(queue_name)
@@ -166,6 +198,8 @@ class QueueManager:
         if queue_name not in self._queues:
             raise QueueNotFoundError(queue_name)
         del self._queues[queue_name]
+        if self.store is not None:
+            self.store.delete_queue(queue_name)
         if self.journal is not None:
             self.journal.log_queue_deleted(queue_name)
 
@@ -191,11 +225,29 @@ class QueueManager:
         try:
             return self._queues[queue_name]
         except KeyError:
+            queue = self._attach_store_queue(queue_name)
+            if queue is not None:
+                return queue
             raise QueueNotFoundError(queue_name) from None
+
+    def _attach_store_queue(self, queue_name: str) -> Optional[MessageQueue]:
+        """Late-attach a queue another manager defined on the shared store.
+
+        Construction picks up the store's queues, but a manager sharing
+        the store may define new ones afterwards; a lookup miss re-checks
+        the store registry so those appear without re-attaching.
+        """
+        if self.store is None or queue_name in self._remote_definitions:
+            return None
+        if queue_name not in self.store.queue_names():
+            return None
+        return self.define_queue(queue_name, journal_definition=False)
 
     def has_queue(self, queue_name: str) -> bool:
         """True if a local queue with that name exists."""
-        return queue_name in self._queues
+        if queue_name in self._queues:
+            return True
+        return self._attach_store_queue(queue_name) is not None
 
     def queue_names(self) -> List[str]:
         """Names of all local queues (dead-letter queue included)."""
@@ -285,9 +337,11 @@ class QueueManager:
         staged compensations, the sender-log entry) cost a single journal
         flush.  A volatile manager returns a no-op context.
         """
-        if self.journal is None:
-            return nullcontext(self)
-        return self._group_commit_then_compact()
+        if self.journal is not None:
+            return self._group_commit_then_compact()
+        if self.store is not None:
+            return self._store_group_commit()
+        return nullcontext(self)
 
     @contextmanager
     def _group_commit_then_compact(self) -> Iterator["QueueManager"]:
@@ -298,6 +352,28 @@ class QueueManager:
         if self.on_post_group is not None:
             self.on_post_group()
         self._maybe_autocompact()
+
+    @contextmanager
+    def _store_group_commit(self) -> Iterator["QueueManager"]:
+        with self.store.transaction():
+            yield self
+        if self.on_post_group is not None:
+            self.on_post_group()
+
+    def post_durable(self, callback: "Callable[[], None]") -> None:
+        """Run ``callback`` once the current commit group is durable.
+
+        Journal mode defers to :meth:`Journal.post_commit`, store mode to
+        :meth:`SqlQueueStore.post_commit`; a volatile manager runs the
+        callback immediately.  The network layer hangs transfer attempts
+        off this hook so a transmission never races its own durability.
+        """
+        if self.journal is not None:
+            self.journal.post_commit(callback)
+        elif self.store is not None:
+            self.store.post_commit(callback)
+        else:
+            callback()
 
     def _deliver_local(self, queue_name: str, message: Message) -> Message:
         """Store a committed put: journal, arrival report, trace.
@@ -527,6 +603,11 @@ class QueueManager:
 
     def checkpoint(self) -> None:
         """Compact the journal to a snapshot of current persistent state."""
+        if self.store is not None:
+            # Nothing to compact — the store has no replay log.  Fold the
+            # WAL back into the main database file instead.
+            self.store.sync()
+            return
         if self.journal is None:
             return
         # The dead-letter queue is included: persistent poisoned/expired
@@ -558,6 +639,24 @@ class QueueManager:
         """
         if isinstance(journal, str):
             journal = journal_for(journal)
+        if isinstance(journal, SqlQueueStore):
+            # Store mode: recovery is opening the database.  No replay —
+            # the rows are the state.  Presumed abort releases only THIS
+            # manager's locks (other managers sharing the store keep
+            # theirs) without bumping backout counts, exactly as journal
+            # recovery resurfaces locked messages with pre-crash counts.
+            # Unlike journal recovery, non-persistent messages survive:
+            # the store outlived the manager, so nothing was lost.
+            manager = cls(
+                name,
+                clock,
+                journal=journal,
+                backout_threshold=backout_threshold,
+                tracer=tracer,
+                metrics=metrics,
+            )
+            journal.release_locks(name)
+            return manager
         manager = cls(
             name,
             clock,

@@ -360,12 +360,9 @@ class MessageNetwork:
             # past the batch because events run after the sending call
             # returns.
             message_id = enveloped.message_id
-            if src_manager.journal is not None:
-                src_manager.journal.post_commit(
-                    lambda: self._attempt_transfer(chan, message_id)
-                )
-            else:
-                self._attempt_transfer(chan, message_id)
+            src_manager.post_durable(
+                lambda: self._attempt_transfer(chan, message_id)
+            )
         elif not chan.stopped:
             # Scheduler-backed delivery is deferred past an open batch
             # because events run after the sending call returns — but an
@@ -375,12 +372,9 @@ class MessageNetwork:
             # immediate when nothing is held, keeping the plain path
             # unchanged.
             message_id = enveloped.message_id
-            if src_manager.journal is not None:
-                src_manager.journal.post_commit(
-                    lambda: self._schedule_attempt(chan, message_id)
-                )
-            else:
-                self._schedule_attempt(chan, message_id)
+            src_manager.post_durable(
+                lambda: self._schedule_attempt(chan, message_id)
+            )
 
     def _schedule_attempt(self, chan: Channel, message_id: str) -> None:
         assert self.scheduler is not None

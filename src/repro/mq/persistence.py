@@ -1264,6 +1264,7 @@ class SQLiteJournal(Journal):
             sync=sync, compaction_threshold=compaction_threshold, codec=codec
         )
         self.path = path
+        self._con: Optional[sqlite3.Connection] = None
         directory = os.path.dirname(os.path.abspath(path))
         try:
             os.makedirs(directory, exist_ok=True)
@@ -1280,7 +1281,20 @@ class SQLiteJournal(Journal):
             row = self._con.execute("SELECT COUNT(*) FROM log").fetchone()
             self._record_count = int(row[0])
         except (sqlite3.Error, OSError) as exc:
+            # A half-open store (connect succeeded but a PRAGMA or the
+            # schema probe failed, e.g. the path holds a non-SQLite file)
+            # must not leak the connection and its -wal/-shm handles.
+            self._close_quietly()
             raise PersistenceError(f"sqlite journal open failed: {exc}") from exc
+
+    def _close_quietly(self) -> None:
+        """Drop the DB handle without raising (refusal/teardown paths)."""
+        con, self._con = self._con, None
+        if con is not None:
+            try:
+                con.close()
+            except sqlite3.Error:  # pragma: no cover - close cannot really fail
+                pass
 
     @staticmethod
     def _row_value(frame: bytes) -> Any:
@@ -1326,7 +1340,11 @@ class SQLiteJournal(Journal):
                 if torn:
                     # Unlike a frame file, a committed row cannot be a
                     # crash artifact: any corruption is real and recovery
-                    # refuses.
+                    # refuses.  A refused store is unusable, so the DB
+                    # handle (and its WAL/SHM siblings) is released before
+                    # the refusal propagates — the caller only sees the
+                    # exception and could never close the journal itself.
+                    self._close_quietly()
                     raise PersistenceError(
                         f"corrupt journal row seq={seq} in {self.path}"
                     )
@@ -1335,10 +1353,25 @@ class SQLiteJournal(Journal):
             try:
                 _expand_record(json.loads(value), records)
             except json.JSONDecodeError as exc:
+                self._close_quietly()
                 raise PersistenceError(
                     f"corrupt journal row seq={seq} in {self.path}"
                 ) from exc
         return records
+
+    def recover(self) -> Tuple[List[str], Dict[str, List[Message]]]:
+        """Replay the log; on refusal, release the DB handle first.
+
+        Corruption can also surface while the base replay decodes
+        individual records (not just while :meth:`read_all` scans rows),
+        and recovery is typically the *only* reference the caller holds —
+        :meth:`QueueManager.recover` never gets a journal back to close.
+        """
+        try:
+            return super().recover()
+        except PersistenceError:
+            self._close_quietly()
+            raise
 
     def rewrite(self, records: Iterable[Dict[str, Any]]) -> None:
         self.drain()
@@ -1381,12 +1414,14 @@ class SQLiteJournal(Journal):
     def close(self) -> None:
         """Checkpoint the WAL (per the sync policy) and close the handle."""
         self.drain()
+        if self._con is None:
+            return  # already released by a recovery refusal
         try:
             if self.sync_policy != "none":
                 self._con.execute("PRAGMA wal_checkpoint(TRUNCATE)")
         except sqlite3.Error:
             pass  # closing must succeed even over a checkpoint hiccup
-        self._con.close()
+        self._close_quietly()
 
     def size(self) -> int:
         """Number of logical records currently in the live log."""
@@ -1467,6 +1502,13 @@ def journal_for(
                     f"unknown journal URL option {key!r} in {url_or_path!r}"
                 )
     factory = JOURNAL_BACKENDS.get(scheme)
+    if factory is None and scheme == "sqlstore":
+        # The shared-store backend lives in repro.mq.sqlstore (it builds
+        # on this module, so it cannot be imported at the top).  Importing
+        # it registers the scheme.
+        import repro.mq.sqlstore  # noqa: F401  (import for side effect)
+
+        factory = JOURNAL_BACKENDS.get(scheme)
     if factory is None:
         raise PersistenceError(
             f"unknown journal backend {scheme!r}; registered:"
@@ -1504,6 +1546,8 @@ def journal_factory_for(
     ``codec`` (when given) selects the record codec for every journal.
     """
     backend = backend.lower()
+    if backend == "sqlstore" and backend not in JOURNAL_BACKENDS:
+        import repro.mq.sqlstore  # noqa: F401  (registers the scheme)
     if backend not in JOURNAL_BACKENDS:
         raise PersistenceError(
             f"unknown journal backend {backend!r}; registered:"

@@ -78,11 +78,18 @@ class MessageQueue:
         self._max_depth = max_depth
         self._entries: List[_Entry] = []
         self._seq = itertools.count(1)
-        #: Earliest expiry among stored messages, or ``None`` when nothing
-        #: stored can expire.  The per-access expiry sweep skips scanning
-        #: until the clock passes this watermark (the common case on hot
-        #: paths).  Removals may leave it conservatively early — that only
-        #: costs an occasional no-op scan, never a missed expiry.
+        #: Count of visible (unlocked) entries, maintained on every
+        #: put/get/lock/unlock so :meth:`depth` never scans the list.
+        self._visible = 0
+        #: Earliest expiry among **unlocked** stored messages, or ``None``
+        #: when nothing visible can expire.  The per-access expiry sweep
+        #: skips scanning until the clock passes this watermark (the
+        #: common case on hot paths).  Locked entries are excluded — the
+        #: sweep cannot remove them, so keeping a locked-but-expired
+        #: message in the watermark would force a full no-op scan on every
+        #: access for as long as the lock is held.  Removal paths recompute
+        #: the minimum whenever the departing message could be the one
+        #: holding the watermark down.
         self._next_expiry_ms: Optional[int] = None
         self._on_expired = on_expired
         self._put_listeners: List[Callable[[Message], None]] = []
@@ -108,10 +115,12 @@ class MessageQueue:
         """Visible depth: messages neither locked nor expired.
 
         Like get/browse, taking the depth sweeps expired messages to the
-        dead-letter handler (lazy expiry on any queue access).
+        dead-letter handler (lazy expiry on any queue access).  The count
+        itself is maintained incrementally, so depth checks on hot paths
+        cost one watermark comparison, not a scan.
         """
         self._sweep_expired()
-        return sum(1 for e in self._entries if e.locked_by is None)
+        return self._visible
 
     def total_depth(self) -> int:
         """All stored messages, including ones locked under transactions."""
@@ -149,10 +158,8 @@ class MessageQueue:
         while index > 0 and self._entries[index - 1].sort_key > entry.sort_key:
             index -= 1
         self._entries.insert(index, entry)
-        if stored.expiry_ms is not None and (
-            self._next_expiry_ms is None or stored.expiry_ms < self._next_expiry_ms
-        ):
-            self._next_expiry_ms = stored.expiry_ms
+        self._visible += 1
+        self._expiry_added(stored)
         self.stats.puts += 1
         self.stats.high_water_depth = max(
             self.stats.high_water_depth, len(self._entries)
@@ -197,12 +204,9 @@ class MessageQueue:
             # Two sorted runs; timsort merges them in linear time.
             self._entries.extend(new_entries)
             self._entries.sort()
+        self._visible += len(new_entries)
         for entry in new_entries:
-            expiry = entry.message.expiry_ms
-            if expiry is not None and (
-                self._next_expiry_ms is None or expiry < self._next_expiry_ms
-            ):
-                self._next_expiry_ms = expiry
+            self._expiry_added(entry.message)
         self.stats.puts += len(new_entries)
         self.stats.high_water_depth = max(
             self.stats.high_water_depth, len(self._entries)
@@ -245,6 +249,8 @@ class MessageQueue:
                 self._note_depth()
             else:
                 entry.locked_by = lock_owner
+            self._visible -= 1
+            self._expiry_removed(entry.message)
             return entry.message
         raise EmptyQueueError(self.name)
 
@@ -263,6 +269,8 @@ class MessageQueue:
                     self._note_depth()
                 else:
                     entry.locked_by = lock_owner
+                self._visible -= 1
+                self._expiry_removed(entry.message)
                 return entry.message
         raise EmptyQueueError(self.name)
 
@@ -313,7 +321,12 @@ class MessageQueue:
         return [e.message for e in self._entries if e.locked_by == lock_owner]
 
     def commit_locked(self, lock_owner: str) -> List[Message]:
-        """Destroy all messages locked by ``lock_owner``; returns them."""
+        """Destroy all messages locked by ``lock_owner``; returns them.
+
+        Locked entries were already dropped from the visible count and
+        the expiry watermark when they were locked, so destroying them
+        needs no further bookkeeping.
+        """
         committed = [e.message for e in self._entries if e.locked_by == lock_owner]
         self._entries = [e for e in self._entries if e.locked_by != lock_owner]
         self._note_depth()
@@ -346,6 +359,8 @@ class MessageQueue:
                     backout_count=entry.message.backout_count + 1
                 )
                 self.stats.backouts += 1
+                self._visible += 1
+                self._expiry_added(entry.message)
                 rolled_back.append(entry.message)
         return rolled_back
 
@@ -355,6 +370,10 @@ class MessageQueue:
         """Discard every unlocked message; returns how many were removed."""
         before = len(self._entries)
         self._entries = [e for e in self._entries if e.locked_by is not None]
+        # Everything visible is gone; only locked entries remain, and
+        # those never participate in the expiry watermark.
+        self._visible = 0
+        self._next_expiry_ms = None
         self._note_depth()
         return before - len(self._entries)
 
@@ -378,11 +397,46 @@ class MessageQueue:
             if e.message.expiry_ms is not None
         ]
         self._next_expiry_ms = min(expiries) if expiries else None
+        self._visible = len(self._entries)  # restored entries are unlocked
         self._note_depth()
 
     def _note_depth(self) -> None:
         if self.metrics is not None:
             self.metrics.set_gauge(self._depth_gauge, len(self._entries))
+
+    # -- expiry-watermark bookkeeping ------------------------------------------
+
+    def _expiry_added(self, message: Message) -> None:
+        """A message joined the visible set; pull the watermark down."""
+        expiry = message.expiry_ms
+        if expiry is not None and (
+            self._next_expiry_ms is None or expiry < self._next_expiry_ms
+        ):
+            self._next_expiry_ms = expiry
+
+    def _expiry_removed(self, message: Message) -> None:
+        """A message left the visible set (removed or locked).
+
+        If its expiry is at (or below) the watermark it may be the one
+        holding it down, so recompute the minimum over the remaining
+        unlocked entries — otherwise a stale watermark keeps triggering
+        no-op sweep scans on every access after the deadline passes.
+        """
+        if (
+            self._next_expiry_ms is not None
+            and message.expiry_ms is not None
+            and message.expiry_ms <= self._next_expiry_ms
+        ):
+            next_expiry: Optional[int] = None
+            for entry in self._entries:
+                if entry.locked_by is not None:
+                    continue
+                expiry = entry.message.expiry_ms
+                if expiry is not None and (
+                    next_expiry is None or expiry < next_expiry
+                ):
+                    next_expiry = expiry
+            self._next_expiry_ms = next_expiry
 
     def _sweep_expired(self) -> None:
         if self._next_expiry_ms is None:
@@ -399,15 +453,22 @@ class MessageQueue:
                 swept.append(entry.message)
             else:
                 survivors.append(entry)
-                expiry = entry.message.expiry_ms
-                if expiry is not None and (
-                    next_expiry is None or expiry < next_expiry
-                ):
-                    next_expiry = expiry
+                # Only unlocked survivors feed the watermark: the sweep
+                # can never remove a locked entry, so including one that
+                # is already past its deadline would drag the watermark
+                # permanently into the past and force a full scan on
+                # every access while the lock is held.
+                if entry.locked_by is None:
+                    expiry = entry.message.expiry_ms
+                    if expiry is not None and (
+                        next_expiry is None or expiry < next_expiry
+                    ):
+                        next_expiry = expiry
         self._next_expiry_ms = next_expiry
         if not swept:
             return
         self._entries = survivors
+        self._visible -= len(swept)
         self._note_depth()
         for message in swept:
             if self.tracer.enabled:

@@ -801,6 +801,538 @@ def _compile_truth_inner(node: _Node) -> "Any":
     raise SelectorError(f"cannot evaluate node {node!r} as a condition")
 
 
+# ---------------------------------------------------------------------------
+# SQL lowering: translate the AST to a SQLite WHERE clause (pushdown)
+# ---------------------------------------------------------------------------
+#
+# The SQL-backed queue store (repro.mq.sqlstore) keeps message headers in
+# indexed columns and properties as a JSON1 document, so a selector that
+# lowers to SQL turns get(selector=...) into an index scan instead of a
+# Python linear scan.  The lowering is *semantics-preserving*, never
+# best-effort:
+#
+# * Three-valued logic maps onto SQL NULL propagation directly (AND/OR/
+#   NOT/BETWEEN/IN/LIKE all share SQL-92 unknown semantics).
+# * JMS type rules that SQLite would get wrong (mixed string/number
+#   comparisons are unknown, booleans only support (in)equality, string
+#   ordering is unknown) are compiled into CASE expressions over
+#   json_type(), not left to SQLite's type-affinity comparisons.
+# * Any node whose Python evaluation can raise per message (a bare
+#   non-boolean property used as a condition, arithmetic or unary minus
+#   over property operands) makes the WHOLE selector non-pushable: SQL
+#   cannot raise, so pushing a sibling clause could silently skip a
+#   message the Python evaluators would have raised on.
+# * A non-pushable conjunct that can NOT raise is dropped from an AND,
+#   yielding a weaker *necessary* condition: the clause is then marked
+#   inexact and the store re-checks every candidate with the compiled
+#   Python predicate.  (OR and NOT admit no such weakening.)
+#
+# The generated clause assumes the executing connection has
+# ``PRAGMA case_sensitive_like=ON`` (JMS LIKE is case sensitive); the
+# sqlstore connection sets it at open time.
+
+
+@dataclass
+class SelectorSql:
+    """A selector lowered to a SQL ``WHERE`` fragment.
+
+    Attributes:
+        clause: SQL boolean expression over the sqlstore ``messages``
+            columns (``priority``, ``put_time_ms``, ``message_id``,
+            ``correlation_id``, ``delivery_mode``) and the ``properties``
+            JSON1 document.  Selected rows are the ones where the clause
+            is SQL TRUE (unknown/NULL never selects, as in JMS).
+        params: Positional bind parameters for ``clause``.
+        exact: When true the clause reproduces the Python evaluators
+            exactly and matching rows need no re-check (rows whose
+            ``properties`` column is NULL — unencodable property sets —
+            are the store-level exception and are always re-checked).
+            When false the clause is only a necessary condition: every
+            match must be confirmed by the Python predicate.
+        uses_properties: Whether the clause touches the ``properties``
+            JSON document at all (lets the store skip the opaque-row
+            carve-out for pure header selectors).
+        index_hints: Necessary conditions extracted from the root AND
+            chain, in a shape the store can answer from its typed
+            property index instead of parsing JSON per row.  Each hint
+            is one of ``('eq', key, kind, value)`` (kind ``'n'``/``'s'``/
+            ``'b'``), ``('range', key, low, high)`` (numeric BETWEEN) or
+            ``('in', key, options)`` (string IN).  A row where the
+            selector is TRUE always satisfies every hint, so ANDing them
+            onto the WHERE clause never changes which messages match —
+            it only lets the engine drive the scan from an index.
+    """
+
+    clause: str
+    params: List[Any]
+    exact: bool
+    uses_properties: bool
+    index_hints: Tuple[Tuple[Any, ...], ...] = ()
+
+
+#: Header pseudo-properties that live in dedicated sqlstore columns.
+#: name -> (column, kind, nullable)
+_HEADER_COLUMNS = {
+    "JMSMessageID": ("message_id", "string", False),
+    "JMSCorrelationID": ("correlation_id", "string", True),
+    "JMSPriority": ("priority", "number", False),
+    "JMSTimestamp": ("put_time_ms", "number", False),
+    "JMSDeliveryMode": ("delivery_mode", "string", False),
+}
+
+#: SQLite INTEGER is a signed 64-bit value; a Python int literal outside
+#: this range cannot be bound as a parameter (and json_extract degrades
+#: such property values to REAL), so comparisons against one stay in
+#: Python.
+_INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+
+class _NoSql:
+    """Marker: this subtree cannot be pushed down.
+
+    ``may_raise`` records whether Python evaluation of the subtree can
+    raise per message; a raising subtree poisons every enclosing
+    combinator (see the module comment), while a merely unpushable one
+    may still be dropped from an AND.
+    """
+
+    __slots__ = ("may_raise",)
+
+    def __init__(self, may_raise: bool) -> None:
+        self.may_raise = may_raise
+
+
+class _SqlBool:
+    """A lowered boolean subexpression."""
+
+    __slots__ = ("clause", "params", "exact")
+
+    def __init__(self, clause: str, params: List[Any], exact: bool) -> None:
+        self.clause = clause
+        self.params = params
+        self.exact = exact
+
+
+class _SqlVal:
+    """A lowered value subexpression with its static type.
+
+    ``kind`` is one of ``'number'``/``'string'``/``'bool'`` (literals and
+    header columns), ``'null'`` (a constant-folded unknown), or
+    ``'dynamic'`` (a JSON property whose runtime type is unknown).  The
+    slot accessors yield SQL expressions that evaluate to the value when
+    it has the slot's type and to NULL otherwise, which lets comparisons
+    encode the JMS type rules as CASE branches.
+    """
+
+    __slots__ = ("kind", "expr", "params", "path", "nullable")
+
+    def __init__(
+        self,
+        kind: str,
+        expr: str = "NULL",
+        params: Optional[List[Any]] = None,
+        path: Optional[str] = None,
+        nullable: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.expr = expr
+        self.params = params or []
+        self.path = path
+        self.nullable = nullable
+
+    def _dynamic_slot(self, type_cond: str) -> Tuple[str, List[Any]]:
+        return (
+            "(CASE WHEN json_type(properties, ?) " + type_cond +
+            " THEN json_extract(properties, ?) END)",
+            [self.path, self.path],
+        )
+
+    def num_slot(self) -> Tuple[str, List[Any]]:
+        if self.kind == "number":
+            return self.expr, list(self.params)
+        if self.kind == "dynamic":
+            return self._dynamic_slot("IN ('integer','real')")
+        return "NULL", []
+
+    def str_slot(self) -> Tuple[str, List[Any]]:
+        if self.kind == "string":
+            return self.expr, list(self.params)
+        if self.kind == "dynamic":
+            return self._dynamic_slot("= 'text'")
+        return "NULL", []
+
+    def bool_slot(self) -> Tuple[str, List[Any]]:
+        if self.kind == "bool":
+            return self.expr, list(self.params)
+        if self.kind == "dynamic":
+            return self._dynamic_slot("IN ('true','false')")
+        return "NULL", []
+
+    def known_cond(self) -> Tuple[str, List[Any]]:
+        """SQL condition: the value is not SQL NULL."""
+        if self.kind == "null":
+            return "0", []
+        if self.kind == "dynamic":
+            return "json_type(properties, ?) IS NOT NULL", [self.path]
+        if self.nullable:
+            return f"{self.expr} IS NOT NULL", list(self.params)
+        return "1", []
+
+
+def _json_path(name: str) -> str:
+    # Identifiers may contain '.' and '$'; quoting the key keeps them
+    # literal parts of one property name, not path steps.
+    return '$."' + name + '"'
+
+
+def _truth_const(value: Truth) -> _SqlBool:
+    if value is True:
+        return _SqlBool("1", [], True)
+    if value is False:
+        return _SqlBool("0", [], True)
+    return _SqlBool("NULL", [], True)
+
+
+def _sql_value(node: _Node) -> "Any":
+    """Lower a value subexpression; returns :class:`_SqlVal` or :class:`_NoSql`."""
+    if _is_constant(node):
+        try:
+            value = _eval_value(node, None)  # constants never touch the message
+        except SelectorError:
+            return _NoSql(True)  # raises for every message; stay in Python
+        if value is None:
+            return _SqlVal("null")
+        if isinstance(value, bool):
+            return _SqlVal("bool", "?", [1 if value else 0])
+        if isinstance(value, str):
+            return _SqlVal("string", "?", [value])
+        if isinstance(value, int) and not _INT64_MIN <= value <= _INT64_MAX:
+            return _NoSql(False)
+        return _SqlVal("number", "?", [value])
+    if isinstance(node, _Property):
+        header = _HEADER_COLUMNS.get(node.name)
+        if header is not None:
+            column, kind, nullable = header
+            return _SqlVal(kind, column, nullable=nullable)
+        return _SqlVal("dynamic", path=_json_path(node.name))
+    # Non-constant NEG / arithmetic: the operand may turn out non-numeric
+    # at match time, which raises in Python but cannot raise in SQL.
+    if isinstance(node, _Unary) and node.op == "NEG":
+        return _NoSql(True)
+    if isinstance(node, _Binary) and node.op in ("+", "-", "*", "/"):
+        return _NoSql(True)
+    # Boolean-producing nodes in value position evaluate to their truth in
+    # Python; comparing truths is exotic — keep it out of the pushdown.
+    return _NoSql(True)
+
+
+def _sql_compare(op: str, left: _SqlVal, right: _SqlVal) -> _SqlBool:
+    """Lower ``left op right`` pinning the JMS comparison type rules."""
+    ordering = op not in ("=", "<>")
+    if left.kind == "null" or right.kind == "null":
+        return _truth_const(None)
+    static = "dynamic" not in (left.kind, right.kind)
+    if static:
+        if left.kind == right.kind:
+            if left.kind == "bool" and ordering:
+                return _truth_const(None)  # booleans do not order
+            if left.kind == "string" and ordering:
+                return _truth_const(None)  # strings only (in)equality
+            return _SqlBool(
+                f"({left.expr} {op} {right.expr})",
+                list(left.params) + list(right.params),
+                True,
+            )
+        if "bool" in (left.kind, right.kind) and not ordering:
+            # bool vs non-bool: definitely-false '=' / definitely-true '<>'
+            # ... unless the non-bool side is NULL (then unknown).
+            other = right if left.kind == "bool" else left
+            const = "0" if op == "=" else "1"
+            if other.nullable:
+                return _SqlBool(
+                    f"(CASE WHEN {other.expr} IS NULL THEN NULL"
+                    f" ELSE {const} END)",
+                    list(other.params),
+                    True,
+                )
+            return _SqlBool(const, [], True)
+        # Mixed string/number (any op), or bool ordering: unknown.
+        return _truth_const(None)
+    # At least one dynamic operand: dispatch on the runtime JSON type.
+    ln, lnp = left.num_slot()
+    rn, rnp = right.num_slot()
+    if ordering:
+        # Only numbers order in JMS; every other typing is unknown.
+        return _SqlBool(
+            f"(CASE WHEN {ln} IS NOT NULL AND {rn} IS NOT NULL"
+            f" THEN ({ln} {op} {rn}) ELSE NULL END)",
+            lnp + rnp + lnp + rnp,
+            True,
+        )
+    ls, lsp = left.str_slot()
+    rs, rsp = right.str_slot()
+    lb, lbp = left.bool_slot()
+    rb, rbp = right.bool_slot()
+    lk, lkp = left.known_cond()
+    rk, rkp = right.known_cond()
+    const = "0" if op == "=" else "1"
+    clause = (
+        f"(CASE"
+        f" WHEN {ln} IS NOT NULL AND {rn} IS NOT NULL THEN ({ln} {op} {rn})"
+        f" WHEN {ls} IS NOT NULL AND {rs} IS NOT NULL THEN ({ls} {op} {rs})"
+        f" WHEN {lb} IS NOT NULL AND {rb} IS NOT NULL THEN ({lb} {op} {rb})"
+        f" WHEN ({lb} IS NOT NULL OR {rb} IS NOT NULL)"
+        f" AND {lk} AND {rk} THEN {const}"
+        f" ELSE NULL END)"
+    )
+    params = (
+        lnp + rnp + lnp + rnp
+        + lsp + rsp + lsp + rsp
+        + lbp + rbp + lbp + rbp
+        + lbp + rbp + lkp + rkp
+    )
+    return _SqlBool(clause, params, True)
+
+
+def _sql_truth(node: _Node) -> "Any":
+    """Lower a boolean subexpression; returns :class:`_SqlBool` or :class:`_NoSql`."""
+    if _is_constant(node):
+        try:
+            return _truth_const(_eval_truth(node, None))
+        except SelectorError:
+            return _NoSql(True)
+    if isinstance(node, _Binary) and node.op == "AND":
+        left = _sql_truth(node.left)
+        right = _sql_truth(node.right)
+        for child in (left, right):
+            if isinstance(child, _NoSql) and child.may_raise:
+                return _NoSql(True)
+        if isinstance(left, _NoSql) and isinstance(right, _NoSql):
+            return _NoSql(False)
+        if isinstance(left, _NoSql):
+            # Dropping a conjunct weakens the clause to a necessary
+            # condition; candidates must be re-checked in Python.
+            return _SqlBool(right.clause, right.params, False)
+        if isinstance(right, _NoSql):
+            return _SqlBool(left.clause, left.params, False)
+        return _SqlBool(
+            f"({left.clause} AND {right.clause})",
+            left.params + right.params,
+            left.exact and right.exact,
+        )
+    if isinstance(node, _Binary) and node.op == "OR":
+        left = _sql_truth(node.left)
+        right = _sql_truth(node.right)
+        for child in (left, right):
+            if isinstance(child, _NoSql):
+                # A disjunct cannot be dropped (it can only *add*
+                # matches), so any unpushable side sinks the OR.
+                return _NoSql(child.may_raise or any(
+                    isinstance(c, _NoSql) and c.may_raise
+                    for c in (left, right)
+                ))
+        return _SqlBool(
+            f"({left.clause} OR {right.clause})",
+            left.params + right.params,
+            left.exact and right.exact,
+        )
+    if isinstance(node, _Unary) and node.op == "NOT":
+        inner = _sql_truth(node.operand)
+        if isinstance(inner, _NoSql):
+            return inner
+        if not inner.exact:
+            # NOT of a weakened (necessary) condition is not a necessary
+            # condition of the negation; no sound clause exists.
+            return _NoSql(False)
+        return _SqlBool(f"(NOT {inner.clause})", inner.params, True)
+    if isinstance(node, _Binary) and node.op in ("=", "<>", "<", "<=", ">", ">="):
+        left = _sql_value(node.left)
+        right = _sql_value(node.right)
+        for child in (left, right):
+            if isinstance(child, _NoSql):
+                return _NoSql(child.may_raise or any(
+                    isinstance(c, _NoSql) and c.may_raise
+                    for c in (left, right)
+                ))
+        return _sql_compare(node.op, left, right)
+    if isinstance(node, _Between):
+        operand = _sql_value(node.operand)
+        low = _sql_value(node.low)
+        high = _sql_value(node.high)
+        sides = (operand, low, high)
+        for child in sides:
+            if isinstance(child, _NoSql):
+                return _NoSql(any(
+                    isinstance(c, _NoSql) and c.may_raise for c in sides
+                ))
+        vn, vnp = operand.num_slot()
+        lo, lop = low.num_slot()
+        hi, hip = high.num_slot()
+        clause = f"({vn} BETWEEN {lo} AND {hi})"
+        if node.negated:
+            clause = f"(NOT {clause})"
+        return _SqlBool(clause, vnp + lop + hip, True)
+    if isinstance(node, _In):
+        operand = _sql_value(node.operand)
+        if isinstance(operand, _NoSql):
+            return operand
+        vs, vsp = operand.str_slot()
+        marks = ", ".join("?" for _ in node.options)
+        clause = f"({vs} IN ({marks}))"
+        if node.negated:
+            clause = f"(NOT {clause})"
+        return _SqlBool(clause, vsp + list(node.options), True)
+    if isinstance(node, _Like):
+        operand = _sql_value(node.operand)
+        if isinstance(operand, _NoSql):
+            return operand
+        vs, vsp = operand.str_slot()
+        if node.escape is None:
+            clause = f"({vs} LIKE ?)"
+            params = vsp + [node.pattern]
+        else:
+            clause = f"({vs} LIKE ? ESCAPE ?)"
+            params = vsp + [node.pattern, node.escape]
+        if node.negated:
+            clause = f"(NOT {clause})"
+        return _SqlBool(clause, params, True)
+    if isinstance(node, _IsNull):
+        operand = _sql_value(node.operand)
+        if isinstance(operand, _NoSql):
+            return operand
+        if operand.kind == "dynamic":
+            clause = "(json_type(properties, ?) IS NULL)"
+            params: List[Any] = [operand.path]
+        elif operand.kind == "null":
+            clause = "1"
+            params = []
+        elif operand.nullable:
+            clause = f"({operand.expr} IS NULL)"
+            params = list(operand.params)
+        else:
+            clause = "0"  # literals and NOT NULL columns are never null
+            params = []
+        if node.negated:
+            clause = f"(NOT {clause})"
+        return _SqlBool(clause, params, True)
+    if isinstance(node, _Property):
+        # Bare property as the whole condition: raises in Python when the
+        # value is non-boolean, so it cannot be pushed (see module note).
+        return _NoSql(True)
+    if isinstance(node, _Literal):
+        return _NoSql(True)  # non-boolean literal condition raises
+    return _NoSql(True)
+
+
+def _uses_properties(node: _Node) -> bool:
+    """Whether any property reference resolves to the JSON document."""
+    if isinstance(node, _Property):
+        return node.name not in _HEADER_COLUMNS
+    if isinstance(node, _Unary):
+        return _uses_properties(node.operand)
+    if isinstance(node, _Binary):
+        return _uses_properties(node.left) or _uses_properties(node.right)
+    if isinstance(node, _Between):
+        return (
+            _uses_properties(node.operand)
+            or _uses_properties(node.low)
+            or _uses_properties(node.high)
+        )
+    if isinstance(node, (_In, _Like, _IsNull)):
+        return _uses_properties(node.operand)
+    return False
+
+
+# Index hints: the store keeps a typed side index of property values
+# (``message_props``), so an equality/range/IN conjunct against a plain
+# property can be answered with an index seek instead of a JSON parse
+# per scanned row.  A hint must be a *necessary* condition of the whole
+# selector being TRUE; only positive conjuncts along the root AND chain
+# qualify (anything under OR/NOT constrains nothing).  The typing rules
+# make each shape exact-by-kind:
+#
+# * ``p = literal`` is TRUE only when the value has the literal's kind
+#   (bool = non-bool is definitely false, string/number mixes are
+#   unknown), so seeking the matching kind slot never misses a match.
+# * ``p BETWEEN lo AND hi`` is unknown unless the value is a non-bool
+#   number, so a numeric range seek is safe.
+# * ``p IN (...)`` is unknown unless the value is a string.
+
+_NO_HINT = object()
+
+
+def _hint_value(node: _Node) -> Any:
+    """Constant-fold a comparison operand into an indexable value.
+
+    Returns :data:`_NO_HINT` when the operand is not a constant, folds
+    to NULL, raises, or falls outside what the typed index stores
+    (int64-range ints, finite floats, strings, bools).
+    """
+    if not _is_constant(node):
+        return _NO_HINT
+    try:
+        value = _eval_value(node, None)
+    except SelectorError:
+        return _NO_HINT
+    if isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, int):
+        return value if _INT64_MIN <= value <= _INT64_MAX else _NO_HINT
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return _NO_HINT
+        return value
+    return _NO_HINT
+
+
+def _hint_property(node: _Node) -> Optional[str]:
+    """The property name for a hintable operand (headers have columns)."""
+    if isinstance(node, _Property) and node.name not in _HEADER_COLUMNS:
+        return node.name
+    return None
+
+
+def _conjunct_hint(node: _Node) -> Optional[Tuple[Any, ...]]:
+    if isinstance(node, _Binary) and node.op == "=":
+        for prop, other in ((node.left, node.right), (node.right, node.left)):
+            name = _hint_property(prop)
+            if name is None:
+                continue
+            value = _hint_value(other)
+            if value is _NO_HINT:
+                continue
+            if isinstance(value, bool):
+                return ("eq", name, "b", 1 if value else 0)
+            if isinstance(value, str):
+                return ("eq", name, "s", value)
+            return ("eq", name, "n", value)
+        return None
+    if isinstance(node, _Between) and not node.negated:
+        name = _hint_property(node.operand)
+        if name is None:
+            return None
+        low = _hint_value(node.low)
+        high = _hint_value(node.high)
+        for bound in (low, high):
+            if bound is _NO_HINT or isinstance(bound, (bool, str)):
+                return None
+        return ("range", name, low, high)
+    if isinstance(node, _In) and not node.negated and node.options:
+        name = _hint_property(node.operand)
+        if name is None:
+            return None
+        return ("in", name, tuple(node.options))
+    return None
+
+
+def _index_hints(node: _Node) -> Tuple[Tuple[Any, ...], ...]:
+    """Collect index hints from the positive root AND chain."""
+    if isinstance(node, _Binary) and node.op == "AND":
+        return _index_hints(node.left) + _index_hints(node.right)
+    hint = _conjunct_hint(node)
+    return (hint,) if hint is not None else ()
+
+
 class Selector:
     """A compiled message selector; callable as ``selector(message) -> bool``."""
 
@@ -813,6 +1345,7 @@ class Selector:
         ):
             raise SelectorError("selector must be a boolean expression")
         self._compiled = _compile_truth(self._root)
+        self._sql: "Any" = False  # False = not lowered yet (None is a result)
 
     def matches(self, message: Message) -> bool:
         """True only when the expression is definitely true for ``message``."""
@@ -826,6 +1359,29 @@ class Selector:
         """
         return _eval_truth(self._root, message) is True
 
+    def to_sql(self) -> Optional[SelectorSql]:
+        """Lower the selector to a SQL ``WHERE`` fragment, if pushable.
+
+        Returns ``None`` when no sound SQL clause exists — any part of
+        the expression could raise per message, or the only lowering
+        would change which messages are selected — in which case callers
+        must fall back to a Python scan with :meth:`matches`.  The result
+        is computed once and cached.
+        """
+        if self._sql is False:
+            lowered = _sql_truth(self._root)
+            if isinstance(lowered, _NoSql):
+                self._sql = None
+            else:
+                self._sql = SelectorSql(
+                    clause=lowered.clause,
+                    params=lowered.params,
+                    exact=lowered.exact,
+                    uses_properties=_uses_properties(self._root),
+                    index_hints=_index_hints(self._root),
+                )
+        return self._sql
+
     def __call__(self, message: Message) -> bool:
         return self.matches(message)
 
@@ -838,3 +1394,21 @@ def compile_selector(text: Optional[str]) -> Optional[Selector]:
     if text is None or not text.strip():
         return None
     return Selector(text)
+
+
+def compile_selector_sql(
+    selector: "Optional[str | Selector]",
+) -> Optional[SelectorSql]:
+    """Lower a selector (text or compiled) to SQL; ``None`` if not pushable.
+
+    Blank/absent selectors select everything and also return ``None`` —
+    there is no clause to push, the caller simply omits the WHERE filter.
+    """
+    if selector is None:
+        return None
+    if isinstance(selector, str):
+        compiled = compile_selector(selector)
+        if compiled is None:
+            return None
+        return compiled.to_sql()
+    return selector.to_sql()

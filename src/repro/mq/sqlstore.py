@@ -1,0 +1,1023 @@
+"""SQL-backed live queue store: the database *is* the queue manager state.
+
+Gray's "Queues Are Databases" argument, applied to this repo: instead of
+keeping queues as Python lists and using SQLite only as a recovery log
+(PR 5's :class:`~repro.mq.persistence.SQLiteJournal`), a
+:class:`SqlQueueStore` keeps every stored message as a row in one WAL-mode
+SQLite database.  The queue manager's live representation and its durable
+representation are the same thing, which buys three properties at once:
+
+* **Indexed gets.** ``get(selector=...)`` becomes an index scan over
+  ``(queue, priority DESC, seq)`` with the selector lowered to a SQL
+  ``WHERE`` clause by :meth:`repro.mq.selectors.Selector.to_sql` — no
+  O(depth) Python scan.  Selectors (or selector residues) that cannot be
+  pushed down fall back to decoding rows in delivery order and applying
+  the Python predicate, preserving exact three-valued-logic semantics.
+* **Recovery = open.** :meth:`QueueManager.recover` on a store does no
+  replay: it opens the database, clears the crashed manager's locks
+  (presumed abort — backout counts are *not* bumped, matching journal
+  recovery), and is done.  Restart cost is O(locks held), not O(journal).
+* **Shared stores.** Two managers may attach to one store (the MSMQ
+  multi-branch-synchronization scenario).  Locks are qualified by the
+  owning manager's name so one manager's crash recovery releases only its
+  own in-flight transactions.
+
+The store registers itself in the journal-backend registry under the URL
+scheme ``sqlstore:`` so ``QueueManager(..., journal="sqlstore:/path.db")``
+just works; the manager detects the store and routes queue operations
+through :class:`SqlMessageQueue` wrappers instead of journaling.
+
+Durability model vs. journals: messages live in the database the moment
+the enclosing transaction commits, so in store mode even *non-persistent*
+messages survive a manager restart — the store outlives the manager, like
+a database server outlives its clients.  Delivery mode still matters for
+the read-only :meth:`SqlQueueStore.recover` fold used by the chaos
+invariant checker, which (like journal replay) only reports persistent
+messages.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+import sqlite3
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import EmptyQueueError, MQError, PersistenceError, QueueFullError
+from repro.mq.message import Message
+from repro.mq.persistence import (
+    _check_sync_policy,
+    decode_message,
+    encode_message,
+    register_journal_backend,
+)
+from repro.mq.queue import DEFAULT_MAX_DEPTH, QueueStats
+from repro.mq.selectors import Selector
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import NULL_TRACER, STAGE_EXPIRED, Tracer, cmid_of
+from repro.sim.clock import Clock
+
+#: SQLite signed-integer range; larger Python ints cannot round-trip.
+_INT64_MIN = -(2**63)
+_INT64_MAX = 2**63 - 1
+
+_SCHEMA = (
+    """
+    CREATE TABLE IF NOT EXISTS queues (
+        name      TEXT PRIMARY KEY,
+        max_depth INTEGER NOT NULL,
+        depth     INTEGER NOT NULL DEFAULT 0,
+        locked    INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS messages (
+        seq            INTEGER PRIMARY KEY AUTOINCREMENT,
+        queue          TEXT NOT NULL,
+        message_id     TEXT NOT NULL,
+        correlation_id TEXT,
+        priority       INTEGER NOT NULL,
+        put_time_ms    INTEGER,
+        expiry_ms      INTEGER,
+        delivery_mode  TEXT NOT NULL,
+        persistent     INTEGER NOT NULL,
+        lock_owner     TEXT,
+        lock_manager   TEXT,
+        backout_count  INTEGER NOT NULL DEFAULT 0,
+        properties     TEXT,
+        encoded        TEXT NOT NULL
+    )
+    """,
+    # Delivery order: one scan per get/browse, priority first, FIFO within.
+    """
+    CREATE INDEX IF NOT EXISTS ix_messages_order
+        ON messages (queue, priority DESC, seq)
+    """,
+    "CREATE INDEX IF NOT EXISTS ix_messages_id ON messages (queue, message_id)",
+    """
+    CREATE INDEX IF NOT EXISTS ix_messages_corr
+        ON messages (queue, correlation_id)
+    """,
+    # Partial index feeding the MIN(expiry) watermark; locked rows are
+    # excluded because the sweep cannot remove them (mirrors the linear
+    # queue's unlocked-only watermark).
+    """
+    CREATE INDEX IF NOT EXISTS ix_messages_expiry
+        ON messages (queue, expiry_ms)
+        WHERE expiry_ms IS NOT NULL AND lock_owner IS NULL
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS ix_messages_locked
+        ON messages (queue, lock_manager, lock_owner)
+        WHERE lock_owner IS NOT NULL
+    """,
+    # Typed side index of property values: one row per (message, key)
+    # for every value the selector type rules can match (strings, bools,
+    # int64-range ints, finite floats).  Selector index hints seek here
+    # (``seq IN (SELECT ...)``) so an equality/range/IN conjunct drives
+    # the scan from a B-tree instead of parsing the JSON document per
+    # row.  Rows are written even when the message's ``properties``
+    # column is opaque — each *individual* clean value is still
+    # indexable, and a hint must see it to stay a necessary condition.
+    """
+    CREATE TABLE IF NOT EXISTS message_props (
+        seq     INTEGER NOT NULL,
+        queue   TEXT NOT NULL,
+        key     TEXT NOT NULL,
+        kind    TEXT NOT NULL,
+        num_val NUMERIC,
+        str_val TEXT
+    )
+    """,
+    # Covering indexes: the hint subqueries read nothing but seq.
+    """
+    CREATE INDEX IF NOT EXISTS ix_props_num
+        ON message_props (queue, key, kind, num_val, seq)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS ix_props_str
+        ON message_props (queue, key, kind, str_val, seq)
+    """,
+    "CREATE INDEX IF NOT EXISTS ix_props_seq ON message_props (seq)",
+    # Every removal path is a plain DELETE on messages (get, sweep,
+    # purge, restore, delete_queue); the trigger keeps the side index
+    # in lock-step without each call site knowing it exists.
+    """
+    CREATE TRIGGER IF NOT EXISTS tg_message_props_gc
+        AFTER DELETE ON messages
+        BEGIN
+            DELETE FROM message_props WHERE seq = OLD.seq;
+        END
+    """,
+)
+
+
+def _queryable_properties(properties: Dict[str, Any]) -> Optional[str]:
+    """JSON for the ``properties`` column, or ``None`` for opaque rows.
+
+    A row's properties are stored queryably only when *every* top-level
+    value round-trips through JSON1 with the exact semantics the Python
+    evaluators implement: strings, bools, in-range ints, finite floats.
+    Anything else — ``None`` values, containers, nan/inf, ints beyond
+    int64, non-string keys — makes the whole row opaque (column NULL):
+    pushed-down clauses skip it and the caller rechecks it in Python, so
+    the SQL path can never disagree with ``Selector.matches``.
+    """
+    if not properties:
+        return "{}"
+    for key, value in properties.items():
+        if not isinstance(key, str):
+            return None
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, int):
+            if not _INT64_MIN <= value <= _INT64_MAX:
+                return None
+        elif isinstance(value, float):
+            if value != value or value in (float("inf"), float("-inf")):
+                return None
+        elif not isinstance(value, str):
+            return None
+    try:
+        return json.dumps(properties)
+    except (TypeError, ValueError):  # pragma: no cover - defensive
+        return None
+
+
+def _index_rows(properties: Dict[str, Any]) -> List[Tuple[str, str, Any, Any]]:
+    """(key, kind, num_val, str_val) rows for the typed property index.
+
+    Kinds mirror the selector comparison rules — ``'n'`` numbers,
+    ``'s'`` strings, ``'b'`` booleans (stored as 1/0 in ``num_val``) —
+    so an index seek on (key, kind, value) matches exactly the rows
+    where the corresponding selector conjunct can be TRUE.  Values the
+    SQL type system cannot represent faithfully (out-of-int64 ints,
+    nan/inf) are skipped: selector literals with those values never
+    lower, so no hint can ask for them.
+    """
+    rows: List[Tuple[str, str, Any, Any]] = []
+    for key, value in properties.items():
+        if not isinstance(key, str):
+            continue
+        if isinstance(value, bool):
+            rows.append((key, "b", 1 if value else 0, None))
+        elif isinstance(value, int):
+            if _INT64_MIN <= value <= _INT64_MAX:
+                rows.append((key, "n", value, None))
+        elif isinstance(value, float):
+            if value == value and value not in (float("inf"), float("-inf")):
+                rows.append((key, "n", value, None))
+        elif isinstance(value, str):
+            rows.append((key, "s", None, value))
+    return rows
+
+
+def _encode(message: Message) -> str:
+    """Full message for the ``encoded`` column (JSON, pickle fallback)."""
+    record = encode_message(message)
+    try:
+        return json.dumps(record)
+    except (TypeError, ValueError):
+        # Exotic property values (the body is already made JSON-safe by
+        # encode_message); fall back to an opaque pickled record.
+        return "P" + base64.b64encode(pickle.dumps(record)).decode("ascii")
+
+
+def _decode(encoded: str) -> Message:
+    if encoded.startswith("P"):
+        record = pickle.loads(base64.b64decode(encoded[1:]))
+    else:
+        record = json.loads(encoded)
+    return decode_message(record)
+
+
+class SqlQueueStore:
+    """One WAL-mode SQLite database holding queues as tables.
+
+    The store plays the journal's role in the manager constructor
+    (``QueueManager(..., journal=store)`` or ``journal="sqlstore:path"``)
+    but is not a journal: there is no replay log, the rows *are* the
+    state.  It exposes the journal-shaped surface the harnesses rely on —
+    ``recover()`` (read-only fold for the chaos invariant checker),
+    ``close()``, ``post_commit()``, ``on_pre_flush``/``on_post_flush``
+    fault-injection hooks, ``enable_adaptive_flush()`` (a no-op; group
+    boundaries are real SQL transactions here) — so chaos episodes and
+    the workload testbed can swap it in for a journal unchanged.
+
+    Several managers may attach to one store instance; single-threaded
+    (simulated-time) use is assumed, as everywhere in this repo.
+    """
+
+    #: Store transactions batch whole groups, like journal group commit.
+    wraps_groups = True
+
+    def __init__(
+        self,
+        path: str,
+        sync: str = "always",
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.path = path
+        self.sync_policy = _check_sync_policy(sync)
+        self.metrics = metrics
+        self.flush_count = 0
+        self.records_written = 0
+        self.bytes_written = 0
+        self.skipped_trailing_records = 0
+        self.compaction_threshold: Optional[int] = None
+        #: Fault-injection hooks (see ``FaultInjector.attach_journal``):
+        #: ``on_pre_flush`` fires before COMMIT — if it raises, the whole
+        #: transaction rolls back (the group is lost, like a crash before
+        #: the journal write).  ``on_post_flush`` fires after COMMIT.
+        self.on_pre_flush: Optional[Callable[[int], None]] = None
+        self.on_post_flush: Optional[Callable[[int], None]] = None
+        self._tx_depth = 0
+        self._tx_ops = 0
+        self._post_commit_hooks: List[Callable[[], None]] = []
+        #: records_written high-water at the last ANALYZE (see
+        #: :meth:`_maybe_analyze`).
+        self._analyzed_at = 0
+        try:
+            self._con = sqlite3.connect(path)
+            self._con.isolation_level = None  # explicit BEGIN/COMMIT
+            self._con.execute("PRAGMA journal_mode=WAL")
+            synchronous = {"always": "FULL", "batch": "NORMAL", "none": "OFF"}
+            self._con.execute(
+                f"PRAGMA synchronous={synchronous[self.sync_policy]}"
+            )
+            # The selector grammar's LIKE is case-sensitive (JMS/SQL-92);
+            # SQLite's default LIKE is not.  Required for pushdown parity.
+            self._con.execute("PRAGMA case_sensitive_like=ON")
+            self._con.execute("PRAGMA busy_timeout=5000")
+            for statement in _SCHEMA:
+                self._con.execute(statement)
+            self._con.commit()
+        except sqlite3.Error as exc:
+            self._close_quietly()
+            raise PersistenceError(f"cannot open queue store {path}: {exc}")
+
+    # -- transactions ---------------------------------------------------------
+
+    @contextmanager
+    def transaction(self) -> Iterator["SqlQueueStore"]:
+        """Group mutations into one SQL transaction (re-entrant).
+
+        Matches :meth:`Journal.batch` semantics: the outermost exit
+        commits even when the body raised (partially-applied state is the
+        body's business; durability of what *was* applied is ours), but a
+        raising ``on_pre_flush`` hook rolls the whole group back — that is
+        the chaos injector's "crash before the group hit disk" model.
+        """
+        if self._tx_depth == 0:
+            self._execute("BEGIN IMMEDIATE")
+            self._tx_ops = 0
+        self._tx_depth += 1
+        try:
+            yield self
+        finally:
+            self._tx_depth -= 1
+            if self._tx_depth == 0:
+                self._finish_transaction()
+
+    def _finish_transaction(self) -> None:
+        ops = self._tx_ops
+        if ops and self.on_pre_flush is not None:
+            try:
+                self.on_pre_flush(ops)
+            except BaseException:
+                self._execute("ROLLBACK")
+                self._post_commit_hooks.clear()
+                raise
+        self._execute("COMMIT")
+        if ops:
+            try:
+                if self.on_post_flush is not None:
+                    self.on_post_flush(ops)
+            except BaseException:
+                self._post_commit_hooks.clear()
+                raise
+            finally:
+                self.flush_count += 1
+                self.records_written += ops
+                if self.metrics is not None:
+                    self.metrics.inc("journal.flushes")
+                    self.metrics.inc("journal.records", ops)
+            self._maybe_analyze()
+        # Run (and clear) post-commit hooks; a hook may enqueue more.
+        while self._post_commit_hooks:
+            hooks, self._post_commit_hooks = self._post_commit_hooks, []
+            for hook in hooks:
+                hook()
+
+    def _maybe_analyze(self) -> None:
+        """Refresh planner statistics on an amortized doubling schedule.
+
+        Without ``sqlite_stat1`` rows the planner walks the delivery-order
+        index and evaluates selector clauses row by row; with them it
+        drives selector gets from the ``message_props`` typed index
+        (candidates by rowid, then sort) — the plan the pushdown is for.
+        Re-analyzing once the store has written ``max(1000, analyzed)``
+        records since the last pass keeps the cost logarithmic in total
+        writes while catching every order-of-magnitude depth change.
+        """
+        written = self.records_written
+        if written - self._analyzed_at >= max(1000, self._analyzed_at):
+            self._execute("ANALYZE")
+            self._analyzed_at = written
+
+    def post_commit(self, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after the enclosing transaction commits.
+
+        Outside a transaction the work is already durable, so the
+        callback runs immediately — the same contract as
+        :meth:`Journal.post_commit`.
+        """
+        if self._tx_depth > 0:
+            self._post_commit_hooks.append(callback)
+        else:
+            callback()
+
+    def _execute(self, sql: str, params: Tuple = ()) -> sqlite3.Cursor:
+        try:
+            return self._con.execute(sql, params)
+        except sqlite3.Error as exc:
+            raise PersistenceError(f"queue store {self.path}: {exc}")
+
+    def _mutate(self, sql: str, params: Tuple = ()) -> sqlite3.Cursor:
+        cursor = self._execute(sql, params)
+        self._tx_ops += cursor.rowcount if cursor.rowcount > 0 else 0
+        return cursor
+
+    # -- queue registry -------------------------------------------------------
+
+    def define_queue(self, name: str, max_depth: int) -> int:
+        """Register a queue (idempotent); returns the effective max depth.
+
+        When the queue already exists — another manager attached to the
+        shared store defined it first — the stored ``max_depth`` wins, so
+        every attached manager enforces the same limit.
+        """
+        with self.transaction():
+            self._mutate(
+                "INSERT OR IGNORE INTO queues (name, max_depth) VALUES (?, ?)",
+                (name, max_depth),
+            )
+            row = self._execute(
+                "SELECT max_depth FROM queues WHERE name = ?", (name,)
+            ).fetchone()
+        return int(row[0])
+
+    def queue_names(self) -> List[str]:
+        rows = self._execute("SELECT name FROM queues ORDER BY name").fetchall()
+        return [row[0] for row in rows]
+
+    def delete_queue(self, name: str) -> None:
+        with self.transaction():
+            self._mutate("DELETE FROM messages WHERE queue = ?", (name,))
+            self._mutate("DELETE FROM queues WHERE name = ?", (name,))
+
+    # -- recovery -------------------------------------------------------------
+
+    def release_locks(self, manager_name: str) -> int:
+        """Presumed-abort recovery for one manager: unlock its rows.
+
+        Backout counts are *not* bumped — a crash is not a rollback; the
+        message simply reappears, exactly as journal replay makes it
+        reappear with its pre-crash count.  Other managers attached to
+        the same store keep their in-flight locks untouched.
+        """
+        # Recovery is not a commit group: the fault-injection hooks model
+        # crashes of live flushes, and journal-mode recovery (replay)
+        # never fires them either — suppress for the duration.
+        saved_hooks = (self.on_pre_flush, self.on_post_flush)
+        self.on_pre_flush = self.on_post_flush = None
+        try:
+            return self._release_locks(manager_name)
+        finally:
+            self.on_pre_flush, self.on_post_flush = saved_hooks
+
+    def _release_locks(self, manager_name: str) -> int:
+        with self.transaction():
+            counts = self._execute(
+                "SELECT queue, COUNT(*) FROM messages"
+                " WHERE lock_manager = ? GROUP BY queue",
+                (manager_name,),
+            ).fetchall()
+            self._mutate(
+                "UPDATE messages SET lock_owner = NULL, lock_manager = NULL"
+                " WHERE lock_manager = ?",
+                (manager_name,),
+            )
+            for queue, n in counts:
+                self._mutate(
+                    "UPDATE queues SET locked = locked - ? WHERE name = ?",
+                    (n, queue),
+                )
+        return sum(n for _q, n in counts)
+
+    def recover(self) -> Tuple[List[str], Dict[str, List[Message]]]:
+        """Read-only fold: (queue names, persistent messages per queue).
+
+        Shaped like :meth:`Journal.recover` so the chaos invariant
+        checker can compare a live store against itself; it mutates
+        nothing and may be called on a store other managers are using.
+        Like journal replay, only persistent messages are reported.
+        """
+        queue_names = self.queue_names()
+        live: Dict[str, List[Message]] = {name: [] for name in queue_names}
+        rows = self._execute(
+            "SELECT queue, encoded FROM messages WHERE persistent = 1"
+            " ORDER BY queue, priority DESC, seq"
+        ).fetchall()
+        for queue, encoded in rows:
+            live.setdefault(queue, []).append(_decode(encoded))
+        return queue_names, live
+
+    # -- journal-surface compatibility ---------------------------------------
+
+    def enable_adaptive_flush(self, scheduler: Any, **_kwargs: Any) -> None:
+        """No-op: store commits are real transactions, never deferred."""
+
+    def drain(self) -> int:
+        """No-op (nothing is ever buffered outside a transaction)."""
+        return 0
+
+    def needs_compaction(self) -> bool:
+        return False
+
+    def sync(self) -> None:
+        """Checkpoint the WAL into the main database file."""
+        self._execute("PRAGMA wal_checkpoint(TRUNCATE)")
+
+    def close(self) -> None:
+        if getattr(self, "_con", None) is None:
+            return
+        try:
+            if self._tx_depth > 0:  # pragma: no cover - defensive
+                self._con.execute("ROLLBACK")
+            self._con.close()
+        except sqlite3.Error:  # pragma: no cover - defensive
+            pass
+        self._con = None
+
+    def _close_quietly(self) -> None:
+        con = getattr(self, "_con", None)
+        if con is not None:
+            try:
+                con.close()
+            except sqlite3.Error:  # pragma: no cover - defensive
+                pass
+        self._con = None
+
+    def __repr__(self) -> str:
+        return f"SqlQueueStore({self.path!r}, sync={self.sync_policy!r})"
+
+
+class SqlMessageQueue:
+    """:class:`~repro.mq.queue.MessageQueue` semantics over store rows.
+
+    One wrapper per (manager, queue name); two managers attached to a
+    shared store each hold their own wrapper over the same rows.  Every
+    method matches the linear queue's observable behaviour — ordering,
+    lazy expiry sweeps, lock/commit/rollback bookkeeping, stats — with
+    the list scan replaced by indexed SQL and, for compiled selectors
+    that lower (:meth:`Selector.to_sql`), by a pushed-down WHERE clause.
+    """
+
+    def __init__(
+        self,
+        store: SqlQueueStore,
+        name: str,
+        clock: Clock,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        on_expired: Optional[Callable[[Message], None]] = None,
+        tracer: Tracer = NULL_TRACER,
+        metrics: Optional[MetricsRegistry] = None,
+        owner: str = "",
+    ) -> None:
+        if not name:
+            raise MQError("queue name must be non-empty")
+        if max_depth <= 0:
+            raise MQError("max_depth must be positive")
+        self.name = name
+        self.store = store
+        self._clock = clock
+        self._max_depth = store.define_queue(name, max_depth)
+        self._on_expired = on_expired
+        self._put_listeners: List[Callable[[Message], None]] = []
+        self.stats = QueueStats()
+        self.tracer = tracer
+        self.metrics = metrics
+        self.owner = owner
+        self._depth_gauge = f"depth.{owner}.{name}" if owner else f"depth.{name}"
+
+    # -- small helpers --------------------------------------------------------
+
+    def subscribe(self, listener: Callable[[Message], None]) -> None:
+        """Register a callback fired after every successful put."""
+        self._put_listeners.append(listener)
+
+    def _counts(self) -> Tuple[int, int]:
+        row = self.store._execute(
+            "SELECT depth, locked FROM queues WHERE name = ?", (self.name,)
+        ).fetchone()
+        if row is None:  # pragma: no cover - queue deleted underneath
+            return 0, 0
+        return int(row[0]), int(row[1])
+
+    def _bump(self, depth_delta: int, locked_delta: int = 0) -> None:
+        self.store._mutate(
+            "UPDATE queues SET depth = depth + ?, locked = locked + ?"
+            " WHERE name = ?",
+            (depth_delta, locked_delta, self.name),
+        )
+
+    def _note_depth(self) -> None:
+        if self.metrics is not None:
+            self.metrics.set_gauge(self._depth_gauge, self.total_depth())
+
+    # -- depth and inspection -------------------------------------------------
+
+    def depth(self) -> int:
+        """Visible depth (sweeps expired messages first, like any access)."""
+        with self.store.transaction():
+            self._sweep_expired()
+            total, locked = self._counts()
+        return total - locked
+
+    def total_depth(self) -> int:
+        return self._counts()[0]
+
+    def is_empty(self) -> bool:
+        return self.depth() == 0
+
+    # -- put ------------------------------------------------------------------
+
+    def _insert(self, stored: Message) -> None:
+        cursor = self.store._mutate(
+            "INSERT INTO messages (queue, message_id, correlation_id,"
+            " priority, put_time_ms, expiry_ms, delivery_mode, persistent,"
+            " backout_count, properties, encoded)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                self.name,
+                stored.message_id,
+                stored.correlation_id,
+                stored.priority,
+                stored.put_time_ms,
+                stored.expiry_ms,
+                stored.delivery_mode.value,
+                1 if stored.is_persistent() else 0,
+                stored.backout_count,
+                _queryable_properties(stored.properties),
+                _encode(stored),
+            ),
+        )
+        # Side-index upkeep rides the same transaction but is not a
+        # logical record: _execute, not _mutate, so flush/record counters
+        # (and fault plans keyed on them) see one op per message.
+        seq = cursor.lastrowid
+        for key, kind, num_val, str_val in _index_rows(stored.properties):
+            self.store._execute(
+                "INSERT INTO message_props"
+                " (seq, queue, key, kind, num_val, str_val)"
+                " VALUES (?, ?, ?, ?, ?, ?)",
+                (seq, self.name, key, kind, num_val, str_val),
+            )
+
+    def put(self, message: Message, notify: bool = True) -> Message:
+        """Insert in priority order; raises :class:`QueueFullError` at cap."""
+        with self.store.transaction():
+            self._sweep_expired()
+            total, _locked = self._counts()
+            if total >= self._max_depth:
+                raise QueueFullError(self.name, self._max_depth)
+            stored = message.copy(put_time_ms=self._clock.now_ms())
+            self._insert(stored)
+            self._bump(+1)
+            self.stats.puts += 1
+            self.stats.high_water_depth = max(
+                self.stats.high_water_depth, total + 1
+            )
+            self._note_depth()
+        if notify:
+            self.notify_put(stored)
+        return stored
+
+    def notify_put(self, stored: Message) -> None:
+        for listener in self._put_listeners:
+            listener(stored)
+
+    def put_many(
+        self, messages: List[Message], notify: bool = True
+    ) -> List[Message]:
+        """All-or-nothing batch insert (one transaction, one depth check)."""
+        with self.store.transaction():
+            self._sweep_expired()
+            messages = list(messages)
+            total, _locked = self._counts()
+            if total + len(messages) > self._max_depth:
+                raise QueueFullError(self.name, self._max_depth)
+            if not messages:
+                return []
+            now = self._clock.now_ms()
+            stored_batch = [m.copy(put_time_ms=now) for m in messages]
+            for stored in stored_batch:
+                self._insert(stored)
+            self._bump(+len(stored_batch))
+            self.stats.puts += len(stored_batch)
+            self.stats.high_water_depth = max(
+                self.stats.high_water_depth, total + len(stored_batch)
+            )
+            self._note_depth()
+        if notify:
+            for stored in stored_batch:
+                self.notify_put(stored)
+        return stored_batch
+
+    # -- selection ------------------------------------------------------------
+
+    def _matches(
+        self, selector: Optional[Callable[[Message], bool]]
+    ) -> Iterator[Tuple[int, Message]]:
+        """Yield (seq, message) over unlocked rows in delivery order.
+
+        Compiled selectors that lower to SQL are pushed into the WHERE
+        clause; rows the clause cannot decide — opaque-properties rows,
+        or any row when the clause is a widening residue (``exact=False``)
+        — are rechecked with the full Python evaluator.  Selectors that
+        cannot lower at all (including every selector that can raise) and
+        plain callables run as a Python scan over the ordered rows, so
+        evaluation-order-dependent behaviour (raises included) matches
+        the linear queue exactly.
+        """
+        where = "queue = ? AND lock_owner IS NULL"
+        params: List[Any] = [self.name]
+        recheck = selector is not None
+        sql = selector.to_sql() if isinstance(selector, Selector) else None
+        if sql is not None:
+            # Index hints first: each is a necessary condition of the
+            # selector being TRUE, answered by a seek on message_props.
+            # ``seq IN (indexed subquery)`` lets the planner drive the
+            # whole lookup from the typed property index (candidates by
+            # rowid, then sort) instead of walking the delivery order and
+            # parsing the JSON document row by row.  Hints hold for
+            # opaque rows too — the side index stores each clean value
+            # even when the row's JSON column is NULL.
+            for hint in sql.index_hints:
+                if hint[0] == "eq":
+                    _op, key, kind, value = hint
+                    column = "str_val" if kind == "s" else "num_val"
+                    where += (
+                        " AND seq IN (SELECT seq FROM message_props"
+                        f" WHERE queue = ? AND key = ? AND kind = ?"
+                        f" AND {column} = ?)"
+                    )
+                    params.extend([self.name, key, kind, value])
+                elif hint[0] == "range":
+                    _op, key, low, high = hint
+                    where += (
+                        " AND seq IN (SELECT seq FROM message_props"
+                        " WHERE queue = ? AND key = ? AND kind = 'n'"
+                        " AND num_val BETWEEN ? AND ?)"
+                    )
+                    params.extend([self.name, key, low, high])
+                else:  # "in"
+                    _op, key, options = hint
+                    marks = ", ".join("?" for _ in options)
+                    where += (
+                        " AND seq IN (SELECT seq FROM message_props"
+                        " WHERE queue = ? AND key = ? AND kind = 's'"
+                        f" AND str_val IN ({marks}))"
+                    )
+                    params.append(self.name)
+                    params.append(key)
+                    params.extend(options)
+            if sql.uses_properties:
+                # Opaque rows (properties NULL) bypass the clause and are
+                # rechecked in Python below.
+                where += f" AND (properties IS NULL OR {sql.clause})"
+            else:
+                where += f" AND {sql.clause}"
+            params.extend(sql.params)
+            recheck = not sql.exact
+        cursor = self.store._execute(
+            "SELECT seq, properties IS NULL, encoded FROM messages"
+            f" WHERE {where} ORDER BY priority DESC, seq",
+            tuple(params),
+        )
+        while True:
+            rows = cursor.fetchmany(64)
+            if not rows:
+                return
+            for seq, opaque, encoded in rows:
+                message = _decode(encoded)
+                if sql is not None:
+                    if (recheck or (sql.uses_properties and opaque)) and (
+                        not selector(message)
+                    ):
+                        continue
+                elif recheck and not selector(message):
+                    continue
+                yield seq, message
+
+    def _take(
+        self, seq: int, message: Message, lock_owner: Optional[str]
+    ) -> None:
+        """Remove (or lock) one row; caller holds the transaction."""
+        if lock_owner is None:
+            self.store._mutate("DELETE FROM messages WHERE seq = ?", (seq,))
+            self._bump(-1)
+            self._note_depth()
+        else:
+            self.store._mutate(
+                "UPDATE messages SET lock_owner = ?, lock_manager = ?"
+                " WHERE seq = ?",
+                (lock_owner, self.owner or "", seq),
+            )
+            self._bump(0, +1)
+        self.stats.gets += 1
+
+    def get(
+        self,
+        selector: Optional[Callable[[Message], bool]] = None,
+        lock_owner: Optional[str] = None,
+    ) -> Message:
+        """Remove (or lock) and return the first matching visible message."""
+        with self.store.transaction():
+            self._sweep_expired()
+            for seq, message in self._matches(selector):
+                self._take(seq, message, lock_owner)
+                return message
+        raise EmptyQueueError(self.name)
+
+    def get_by_id(
+        self, message_id: str, lock_owner: Optional[str] = None
+    ) -> Message:
+        """Destructively get a specific message by id (expired or not)."""
+        with self.store.transaction():
+            row = self.store._execute(
+                "SELECT seq, encoded FROM messages WHERE queue = ?"
+                " AND lock_owner IS NULL AND message_id = ?"
+                " ORDER BY priority DESC, seq LIMIT 1",
+                (self.name, message_id),
+            ).fetchone()
+            if row is not None:
+                message = _decode(row[1])
+                self._take(row[0], message, lock_owner)
+                return message
+        raise EmptyQueueError(self.name)
+
+    def find_by_id(self, message_id: str) -> Optional[Message]:
+        """Visible (unlocked, unexpired) message with ``message_id``."""
+        with self.store.transaction():
+            self._sweep_expired()
+            now = self._clock.now_ms()
+            row = self.store._execute(
+                "SELECT encoded FROM messages WHERE queue = ?"
+                " AND lock_owner IS NULL AND message_id = ?"
+                " AND (expiry_ms IS NULL OR expiry_ms >= ?)"
+                " ORDER BY priority DESC, seq LIMIT 1",
+                (self.name, message_id, now),
+            ).fetchone()
+        return _decode(row[0]) if row is not None else None
+
+    # -- browse ---------------------------------------------------------------
+
+    def browse(
+        self, selector: Optional[Callable[[Message], bool]] = None
+    ) -> Iterator[Message]:
+        """Yield visible messages in delivery order without removing them."""
+        with self.store.transaction():
+            self._sweep_expired()
+        self.stats.browses += 1
+        now = self._clock.now_ms()
+        # Materialise matches up front so the iteration is a snapshot, as
+        # with the linear queue's ``list(self._entries)`` copy: callers
+        # may get/put between yields without perturbing the browse.
+        matched = [
+            message
+            for _seq, message in self._matches(selector)
+            if not message.is_expired(now)
+        ]
+        return iter(matched)
+
+    def peek(self) -> Optional[Message]:
+        for message in self.browse():
+            return message
+        return None
+
+    # -- transactional locking ------------------------------------------------
+
+    def _locked_rows(self, lock_owner: str) -> List[Tuple[int, str]]:
+        return self.store._execute(
+            "SELECT seq, encoded FROM messages WHERE queue = ?"
+            " AND lock_owner = ? AND lock_manager = ?"
+            " ORDER BY priority DESC, seq",
+            (self.name, lock_owner, self.owner or ""),
+        ).fetchall()
+
+    def locked_messages(self, lock_owner: str) -> List[Message]:
+        return [_decode(encoded) for _seq, encoded in self._locked_rows(lock_owner)]
+
+    def commit_locked(self, lock_owner: str) -> List[Message]:
+        """Destroy all messages locked by ``lock_owner``; returns them."""
+        with self.store.transaction():
+            rows = self._locked_rows(lock_owner)
+            if rows:
+                self.store._mutate(
+                    "DELETE FROM messages WHERE queue = ? AND lock_owner = ?"
+                    " AND lock_manager = ?",
+                    (self.name, lock_owner, self.owner or ""),
+                )
+                self._bump(-len(rows), -len(rows))
+            self._note_depth()
+        return [_decode(encoded) for _seq, encoded in rows]
+
+    def remove_locked(self, lock_owner: str, message_id: str) -> Message:
+        """Destroy one specific locked message (poison diversion)."""
+        with self.store.transaction():
+            row = self.store._execute(
+                "SELECT seq, encoded FROM messages WHERE queue = ?"
+                " AND lock_owner = ? AND lock_manager = ? AND message_id = ?"
+                " LIMIT 1",
+                (self.name, lock_owner, self.owner or "", message_id),
+            ).fetchone()
+            if row is None:
+                raise EmptyQueueError(self.name)
+            self.store._mutate("DELETE FROM messages WHERE seq = ?", (row[0],))
+            self._bump(-1, -1)
+            self._note_depth()
+        return _decode(row[1])
+
+    def rollback_locked(self, lock_owner: str) -> List[Message]:
+        """Unlock in place, bumping backout counts (redelivery order kept)."""
+        with self.store.transaction():
+            rows = self._locked_rows(lock_owner)
+            rolled_back: List[Message] = []
+            for seq, encoded in rows:
+                message = _decode(encoded)
+                message = message.copy(backout_count=message.backout_count + 1)
+                self.store._mutate(
+                    "UPDATE messages SET lock_owner = NULL,"
+                    " lock_manager = NULL, backout_count = ?, encoded = ?"
+                    " WHERE seq = ?",
+                    (message.backout_count, _encode(message), seq),
+                )
+                self.stats.backouts += 1
+                rolled_back.append(message)
+            if rows:
+                self._bump(0, -len(rows))
+        return rolled_back
+
+    # -- maintenance ----------------------------------------------------------
+
+    def purge(self) -> int:
+        """Discard every unlocked message; returns how many were removed."""
+        with self.store.transaction():
+            cursor = self.store._mutate(
+                "DELETE FROM messages WHERE queue = ? AND lock_owner IS NULL",
+                (self.name,),
+            )
+            removed = cursor.rowcount if cursor.rowcount > 0 else 0
+            if removed:
+                self._bump(-removed)
+            self._note_depth()
+        return removed
+
+    def snapshot(self) -> List[Message]:
+        """All stored messages in order (locked included)."""
+        rows = self.store._execute(
+            "SELECT encoded FROM messages WHERE queue = ?"
+            " ORDER BY priority DESC, seq",
+            (self.name,),
+        ).fetchall()
+        return [_decode(row[0]) for row in rows]
+
+    def restore(self, messages: List[Message]) -> None:
+        """Replace queue content from a recovery snapshot."""
+        with self.store.transaction():
+            self.store._mutate(
+                "DELETE FROM messages WHERE queue = ?", (self.name,)
+            )
+            # Insert in delivery order so seq reproduces FIFO-within-
+            # priority for messages that tie on priority.
+            for message in sorted(
+                messages, key=lambda m: -m.priority
+            ):
+                self._insert(message)
+            self.store._mutate(
+                "UPDATE queues SET depth = ?, locked = 0 WHERE name = ?",
+                (len(messages), self.name),
+            )
+            self._note_depth()
+
+    # -- expiry ---------------------------------------------------------------
+
+    def _sweep_expired(self) -> None:
+        """Lazily dead-letter expired unlocked rows (watermark-gated).
+
+        The watermark is an indexed ``MIN(expiry_ms)`` over unlocked rows
+        rather than Python state: with two managers attached to one
+        store, a cached watermark in either manager would go stale the
+        moment the other one puts an expiring message.
+        """
+        row = self.store._execute(
+            "SELECT MIN(expiry_ms) FROM messages WHERE queue = ?"
+            " AND expiry_ms IS NOT NULL AND lock_owner IS NULL",
+            (self.name,),
+        ).fetchone()
+        if row is None or row[0] is None:
+            return
+        now = self._clock.now_ms()
+        if now <= row[0]:
+            return
+        swept_rows = self.store._execute(
+            "SELECT seq, encoded FROM messages WHERE queue = ?"
+            " AND lock_owner IS NULL AND expiry_ms IS NOT NULL"
+            " AND expiry_ms < ? ORDER BY priority DESC, seq",
+            (self.name, now),
+        ).fetchall()
+        if not swept_rows:
+            return  # pragma: no cover - watermark guaranteed one row
+        self.store._mutate(
+            "DELETE FROM messages WHERE queue = ? AND lock_owner IS NULL"
+            " AND expiry_ms IS NOT NULL AND expiry_ms < ?",
+            (self.name, now),
+        )
+        self._bump(-len(swept_rows))
+        self.stats.expired += len(swept_rows)
+        self._note_depth()
+        for _seq, encoded in swept_rows:
+            message = _decode(encoded)
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    STAGE_EXPIRED,
+                    at_ms=now,
+                    cmid=cmid_of(message),
+                    manager=self.owner or None,
+                    queue=self.name,
+                    message_id=message.message_id,
+                )
+            if self._on_expired is not None:
+                self._on_expired(message)
+
+    def __repr__(self) -> str:
+        return f"SqlMessageQueue({self.name!r}, depth={self.depth()})"
+
+
+def _sqlstore_factory(
+    path: str,
+    sync: str = "always",
+    compaction_threshold: Optional[int] = None,
+    codec: Optional[str] = None,
+) -> SqlQueueStore:
+    # Stores have no replay log to compact and no record codec; both
+    # journal-URL knobs are accepted (registry compatibility) and ignored.
+    del compaction_threshold, codec
+    return SqlQueueStore(path, sync=sync)
+
+
+register_journal_backend("sqlstore", _sqlstore_factory, suffix=".db")

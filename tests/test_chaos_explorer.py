@@ -86,6 +86,30 @@ class TestEpisodeRuns:
             second.outcomes,
         )
 
+    def test_sqlstore_episode_with_crashes(self, tmp_path):
+        # The SQL-backed live store plays the journal's role: no replay
+        # on recovery (the rows ARE the state), no torn_tail faults (the
+        # engine cannot tear), but every crash/recover cycle must uphold
+        # the same invariants — including journal coherence, checked via
+        # the store's read-only recover() fold.
+        spec = EpisodeSpec.generate(4, journal="sqlstore")
+        assert not any(e.kind == "torn_tail" for e in spec.plan.events)
+        result = ChaosExplorer(journal_dir=str(tmp_path)).run_episode(spec)
+        assert result.ok, [str(v) for v in result.violations]
+        assert result.crashes >= 1
+
+    def test_sqlstore_episode_replays_identically(self, tmp_path):
+        spec = EpisodeSpec.generate(7, journal="sqlstore")
+        explorer = ChaosExplorer(journal_dir=str(tmp_path))
+        first = explorer.run_episode(spec)
+        second = explorer.replay(spec.to_json())
+        assert first.ok and second.ok
+        assert (first.sends, first.crashes, first.outcomes) == (
+            second.sends,
+            second.crashes,
+            second.outcomes,
+        )
+
 
 class TestShrinking:
     @pytest.fixture

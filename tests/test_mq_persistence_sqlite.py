@@ -333,3 +333,52 @@ class TestPostCommitHookLifetime:
             journal.append({"op": "define", "queue": "A.Q"})
             journal.post_commit(lambda: fired.append("ok"))
         assert fired == ["ok"]
+
+
+class TestRecoveryRefusalReleasesHandle:
+    """A journal that refuses corrupt rows must close its DB handle on
+    every failure exit: recovery is usually the only reference the caller
+    holds (``QueueManager.recover`` never returns the journal), so a
+    leaked connection pins the -wal/-shm files until interpreter exit."""
+
+    def _corrupt(self, db_path, payload='{"op": "put", "mess'):
+        journal = SQLiteJournal(db_path)
+        journal.append({"op": "define", "queue": "A.Q"})
+        journal._con.execute("INSERT INTO log(record) VALUES (?)", (payload,))
+        journal._con.commit()
+        return journal
+
+    def test_read_all_refusal_closes_handle(self, db_path):
+        journal = self._corrupt(db_path)
+        with pytest.raises(PersistenceError):
+            journal.read_all()
+        assert journal._con is None
+        journal.close()  # close after refusal must be a quiet no-op
+
+    def test_recover_refusal_closes_handle(self, db_path):
+        journal = self._corrupt(db_path)
+        with pytest.raises(PersistenceError):
+            journal.recover()
+        assert journal._con is None
+
+    def test_refused_file_is_not_pinned(self, db_path):
+        journal = self._corrupt(db_path)
+        with pytest.raises(PersistenceError):
+            journal.read_all()
+        # With the handle released, another process-level open works and
+        # sees a quiescent database (no stale WAL lock from the refuser).
+        con = sqlite3.connect(db_path)
+        rows = con.execute("SELECT COUNT(*) FROM log").fetchone()[0]
+        con.close()
+        assert rows == 2
+
+    def test_open_failure_on_non_sqlite_file_releases_handle(self, tmp_path):
+        path = str(tmp_path / "not-a-db.db")
+        with open(path, "w") as handle:
+            handle.write("plain text, definitely not SQLite")
+        with pytest.raises(PersistenceError):
+            SQLiteJournal(path)
+        # The refused path is immediately reusable (no lingering handle
+        # holding a half-initialised connection open).
+        with open(path) as handle:
+            assert handle.read().startswith("plain text")

@@ -199,3 +199,65 @@ class TestMaintenance:
         assert queue.stats.gets == 1
         assert queue.stats.browses == 1
         assert queue.stats.high_water_depth == 2
+
+
+class TestIncrementalBookkeeping:
+    """Regressions for depth()/is_empty() scans and the expiry watermark."""
+
+    def test_depth_matches_maintained_count(self, queue):
+        put_bodies(queue, "a", "b", "c")
+        queue.get(lock_owner="tx1")
+        # The visible count is maintained incrementally; depth() reads it
+        # instead of re-deriving it with a scan (it used to sum() a
+        # generator over the entry list on every call).
+        assert queue._visible == 2
+        assert queue.depth() == 2
+        assert not queue.is_empty()
+
+    def test_visible_count_tracks_every_transition(self, queue, clock):
+        stored = put_bodies(queue, "a", "b", "c")
+        assert queue._visible == 3
+        queue.get(lock_owner="tx1")            # lock: -1
+        assert queue._visible == 2
+        queue.rollback_locked("tx1")           # unlock: +1
+        assert queue._visible == 3
+        queue.get()                            # destructive get: -1
+        assert queue._visible == 2
+        queue.get_by_id(stored[1].message_id)  # by-id get: -1
+        assert queue._visible == 1
+        queue.purge()
+        assert queue._visible == 0 and queue.is_empty()
+
+    def test_watermark_lowers_after_commit_locked(self, queue, clock):
+        queue.put(Message(body="expiring", expiry_ms=clock.now_ms() + 10))
+        put_bodies(queue, "forever")
+        queue.get(lock_owner="tx1")  # locks the expiring message
+        queue.commit_locked("tx1")   # ...and destroys it
+        # The only expiring message is gone; the watermark must clear so
+        # later accesses skip the sweep scan entirely.
+        assert queue._next_expiry_ms is None
+        clock.advance(20)
+        assert queue.depth() == 1  # no sweep needed, nothing expired
+
+    def test_watermark_recomputed_after_remove_locked(self, queue, clock):
+        soon = queue.put(Message(body="soon", expiry_ms=clock.now_ms() + 10))
+        queue.put(Message(body="later", expiry_ms=clock.now_ms() + 1000))
+        queue.get_by_id(soon.message_id, lock_owner="tx1")
+        queue.remove_locked("tx1", soon.message_id)
+        # The nearest deadline left is the "later" message.
+        assert queue._next_expiry_ms == clock.now_ms() + 1000
+
+    def test_watermark_cleared_by_purge(self, queue, clock):
+        queue.put(Message(body="x", expiry_ms=clock.now_ms() + 10))
+        queue.purge()
+        assert queue._next_expiry_ms is None
+
+    def test_stale_watermark_would_not_resurrect(self, queue, clock):
+        # After removing the only expiring message, advancing past its
+        # old deadline must not dead-letter anything or flip stats.
+        queue.put(Message(body="x", expiry_ms=clock.now_ms() + 10))
+        queue.get()  # destructive removal recomputes the watermark
+        assert queue._next_expiry_ms is None
+        clock.advance(100)
+        assert queue.depth() == 0
+        assert queue.stats.expired == 0

@@ -1,0 +1,328 @@
+"""SQL pushdown vs. the compiled closures vs. the reference interpreter.
+
+:meth:`Selector.to_sql` lowers the parsed AST to a SQLite WHERE clause;
+the store (:mod:`repro.mq.sqlstore`) pushes that clause into its indexed
+scan.  The contract is *zero divergence*: for any selector and any
+message, the SQL path must select exactly the messages the compiled and
+interpreted evaluators select — including every three-valued-logic edge,
+``LIKE``/``ESCAPE`` metacharacter trap, and value outside SQLite's
+representable range (where the row goes opaque and the store rechecks in
+Python).  Selectors that can raise never lower at all, so evaluation
+errors keep their exact Python timing.
+"""
+
+import pytest
+
+from repro.errors import EmptyQueueError, SelectorError
+from repro.mq.message import Message
+from repro.mq.selectors import Selector, compile_selector_sql
+from repro.mq.sqlstore import SqlMessageQueue, SqlQueueStore
+from repro.sim.clock import SimulatedClock
+
+from tests.test_mq_selectors_compiled import THREE_VALUED_CASES
+
+
+def msg(**properties) -> Message:
+    return Message(body="x", properties=properties)
+
+
+@pytest.fixture()
+def store():
+    store = SqlQueueStore(":memory:", sync="none")
+    yield store
+    store.close()
+
+
+def sql_selects(store: SqlQueueStore, selector: Selector, message: Message) -> bool:
+    """Did a get() through the store select ``message``?
+
+    Runs the real store path — pushdown when the selector lowers, the
+    ordered Python fallback scan when it does not — so this measures the
+    behaviour applications observe, not just the generated clause.
+    """
+    queue = SqlMessageQueue(store, "DIFF.Q", SimulatedClock())
+    try:
+        queue.put(message)
+        try:
+            got = queue.get(selector)
+        except EmptyQueueError:
+            return False
+        assert got.message_id == message.message_id
+        return True
+    finally:
+        queue.purge()
+
+
+# -- the 3VL edge-case battery, now three-way -------------------------------
+
+
+@pytest.mark.parametrize("text,properties,selected", THREE_VALUED_CASES)
+def test_three_valued_edges_agree_on_sql_store(text, properties, selected, store):
+    assert sql_selects(store, Selector(text), msg(**properties)) is selected
+
+
+@pytest.mark.parametrize("text,properties,selected", THREE_VALUED_CASES)
+def test_sql_never_diverges_from_either_evaluator(text, properties, selected, store):
+    selector = Selector(text)
+    message = msg(**properties)
+    via_sql = sql_selects(store, selector, message)
+    assert via_sql == selector.matches(message)
+    assert via_sql == selector.interpreted_matches(message)
+
+
+# -- LIKE / ESCAPE with metacharacters --------------------------------------
+
+# Regex metacharacters must stay literal in the translated pattern, SQL
+# metacharacters must keep their JMS meaning, and the ESCAPE character
+# may itself be a regex/SQL metacharacter.
+LIKE_METACHARACTER_CASES = [
+    # Regex metachars in the pattern are literal text.
+    ("s LIKE 'a.c'", {"s": "a.c"}, True),
+    ("s LIKE 'a.c'", {"s": "abc"}, False),
+    ("s LIKE 'a(b)c'", {"s": "a(b)c"}, True),
+    ("s LIKE '[abc]'", {"s": "[abc]"}, True),
+    ("s LIKE '[abc]'", {"s": "a"}, False),
+    ("s LIKE 'a+b'", {"s": "a+b"}, True),
+    ("s LIKE 'a+b'", {"s": "aab"}, False),
+    ("s LIKE 'a\\b'", {"s": "a\\b"}, True),
+    ("s LIKE 'c^d$'", {"s": "c^d$"}, True),
+    # SQL wildcards keep their meaning alongside literal metachars.
+    ("s LIKE '(%)'", {"s": "(anything)"}, True),
+    ("s LIKE '(%)'", {"s": "anything"}, False),
+    ("s LIKE 'v_._'", {"s": "v1.2"}, True),
+    ("s LIKE 'v_._'", {"s": "v1x2"}, False),
+    # ESCAPE character that is a regex metacharacter.
+    ("s LIKE 'a.%c' ESCAPE '.'", {"s": "a%c"}, True),
+    ("s LIKE 'a.%c' ESCAPE '.'", {"s": "abc"}, False),
+    ("s LIKE 'x$_y' ESCAPE '$'", {"s": "x_y"}, True),
+    ("s LIKE 'x$_y' ESCAPE '$'", {"s": "xay"}, False),
+    ("s LIKE 'p(%q' ESCAPE '('", {"s": "p%q"}, True),
+    ("s LIKE 'p(%q' ESCAPE '('", {"s": "pXq"}, False),
+    # Backslash escape (regex escape char AND a char SQLite must quote).
+    ("s LIKE 'a\\_c' ESCAPE '\\'", {"s": "a_c"}, True),
+    ("s LIKE 'a\\_c' ESCAPE '\\'", {"s": "axc"}, False),
+    # Escaped escape character stands for itself.
+    ("s LIKE '100$$%' ESCAPE '$'", {"s": "100$ and change"}, True),
+    ("s LIKE '100$$%' ESCAPE '$'", {"s": "100 and change"}, False),
+    # Case sensitivity: JMS LIKE is case-sensitive; SQLite's default LIKE
+    # is not (the store flips case_sensitive_like on).
+    ("s LIKE 'Route%'", {"s": "Route-66"}, True),
+    ("s LIKE 'Route%'", {"s": "route-66"}, False),
+    # Single-quote handling survives the trip into the SQL literal.
+    ("s LIKE 'it''s %'", {"s": "it's fine"}, True),
+]
+
+
+@pytest.mark.parametrize("text,properties,selected", LIKE_METACHARACTER_CASES)
+def test_like_metacharacters_agree_three_ways(text, properties, selected, store):
+    selector = Selector(text)
+    # These must exercise the real SQL LIKE, not the fallback scan.
+    assert selector.to_sql() is not None, f"{text!r} failed to lower"
+    message = msg(**properties)
+    assert selector.matches(message) is selected
+    assert selector.interpreted_matches(message) is selected
+    assert sql_selects(store, selector, message) is selected
+
+
+# -- values SQLite cannot represent: the opaque-row recheck ------------------
+
+OPAQUE_VALUE_CASES = [
+    # Ints beyond int64 make the row opaque; Python still compares them.
+    ("big > 0", {"big": 2**70}, True),
+    ("big = 1", {"big": 2**70}, False),
+    ("big IS NOT NULL", {"big": 2**70}, True),
+    # Non-finite floats cannot live in JSON1.
+    ("f > 0", {"f": float("inf")}, True),
+    ("f < 0", {"f": float("inf")}, False),
+    ("f = 1", {"f": float("nan")}, False),
+    ("f <> 1", {"f": float("nan")}, True),
+    # A normal property on the same message still selects correctly even
+    # though the sibling value forced the row opaque.
+    ("n = 1", {"n": 1, "big": 2**70}, True),
+    ("n = 2", {"n": 1, "big": 2**70}, False),
+    ("absent IS NULL", {"big": 2**70}, True),
+]
+
+
+@pytest.mark.parametrize("text,properties,selected", OPAQUE_VALUE_CASES)
+def test_opaque_rows_recheck_in_python(text, properties, selected, store):
+    selector = Selector(text)
+    message = msg(**properties)
+    assert selector.matches(message) is selected
+    assert sql_selects(store, selector, message) is selected
+
+
+def test_out_of_int64_literal_does_not_lower_exactly():
+    # The literal cannot be a SQL parameter; a conjunction drops it and
+    # lowers the rest as a widening residue, a bare comparison cannot
+    # lower at all.
+    residual = Selector(f"n = 1 AND big = {2**70}")
+    sql = residual.to_sql()
+    assert sql is not None and sql.exact is False
+    assert Selector(f"big = {2**70}").to_sql() is None
+
+
+def test_residual_conjunction_still_selects_exactly(store):
+    selector = Selector(f"n = 1 AND big = {2**70}")
+    assert sql_selects(store, selector, msg(n=1, big=2**70)) is True
+    assert sql_selects(store, selector, msg(n=1, big=2**70 + 1)) is False
+    assert sql_selects(store, selector, msg(n=2, big=2**70)) is False
+
+
+# -- raising selectors never push down ---------------------------------------
+
+
+@pytest.mark.parametrize(
+    "text",
+    [
+        "'a' + 1 = 2",        # constant-folded evaluation error
+        "-s = 1",             # negation of a non-number raises at match
+        "n",                  # bare non-boolean condition raises
+        "flagged AND n = 1",  # bare boolean property can raise on non-bool
+    ],
+)
+def test_raise_capable_selectors_do_not_lower(text):
+    assert Selector(text).to_sql() is None
+    assert compile_selector_sql(text) is None
+
+
+def test_fallback_scan_raises_exactly_like_linear(store):
+    queue = SqlMessageQueue(store, "RAISE.Q", SimulatedClock())
+    queue.put(msg(s="oops"))
+    with pytest.raises(SelectorError):
+        queue.get(Selector("-s = 1"))
+    # The raise left the message in place (no partial consumption).
+    assert queue.depth() == 1
+
+
+def test_error_timing_matches_across_paths(store):
+    # "flagged AND x = 1": Python evaluates the bare property first and
+    # raises on a non-boolean even though the right conjunct is false.
+    # Pushing the conjunction down would silently skip the row, so the
+    # whole selector must refuse to lower and the store must raise too.
+    selector = Selector("flagged AND x = 1")
+    message = msg(flagged="oops", x=2)
+    with pytest.raises(SelectorError):
+        selector.matches(message)
+    queue = SqlMessageQueue(store, "TIMING.Q", SimulatedClock())
+    queue.put(message)
+    with pytest.raises(SelectorError):
+        queue.get(selector)
+
+
+# -- compile_selector_sql convenience ----------------------------------------
+
+
+def test_compile_selector_sql_accepts_text_and_selector():
+    sql = compile_selector_sql("JMSPriority >= 4")
+    assert sql is not None and sql.exact and not sql.uses_properties
+    assert "priority" in sql.clause
+    selector = Selector("n = 1")
+    assert compile_selector_sql(selector) is selector.to_sql()
+    assert compile_selector_sql(None) is None
+    assert compile_selector_sql("   ") is None
+
+
+def test_to_sql_result_is_cached():
+    selector = Selector("n = 1")
+    assert selector.to_sql() is selector.to_sql()
+
+
+def test_header_selectors_lower_to_indexed_columns(store):
+    queue = SqlMessageQueue(store, "HDR.Q", SimulatedClock())
+    low = queue.put(Message(body="low", priority=2))
+    high = queue.put(Message(body="high", priority=8, correlation_id="C-1"))
+    sql = Selector("JMSPriority >= 4").to_sql()
+    assert sql is not None and not sql.uses_properties
+    assert queue.get(Selector("JMSPriority >= 4")).message_id == high.message_id
+    assert queue.get(Selector("JMSCorrelationID IS NULL")).message_id == low.message_id
+
+
+# -- index hints: the typed property side-index -------------------------------
+#
+# Equality/range/IN conjuncts along the root AND chain become "hints" —
+# necessary conditions the store answers from its message_props index so
+# the scan is index-driven instead of parse-per-row.  Adding a hint must
+# never change which messages are selected.
+
+
+class TestIndexHintExtraction:
+    def test_equality_hints_by_kind(self):
+        assert Selector("n = 5").to_sql().index_hints == (("eq", "n", "n", 5),)
+        assert Selector("s = 'x'").to_sql().index_hints == (
+            ("eq", "s", "s", "x"),
+        )
+        assert Selector("flag = TRUE").to_sql().index_hints == (
+            ("eq", "flag", "b", 1),
+        )
+        # Reversed operand order and constant folding both hint.
+        assert Selector("5 = n").to_sql().index_hints == (("eq", "n", "n", 5),)
+        assert Selector("n = 2 + 3").to_sql().index_hints == (
+            ("eq", "n", "n", 5),
+        )
+
+    def test_range_and_in_hints(self):
+        assert Selector("n BETWEEN 1 AND 3").to_sql().index_hints == (
+            ("range", "n", 1, 3),
+        )
+        assert Selector("s IN ('a', 'b')").to_sql().index_hints == (
+            ("in", "s", ("a", "b")),
+        )
+
+    def test_root_and_chain_collects_every_conjunct(self):
+        sql = Selector("n = 5 AND s LIKE 'a%' AND r = 'x'").to_sql()
+        assert sql.index_hints == (
+            ("eq", "n", "n", 5),
+            ("eq", "r", "s", "x"),
+        )
+
+    def test_no_hints_under_or_not_or_negation(self):
+        assert Selector("n = 5 OR s = 'x'").to_sql().index_hints == ()
+        assert Selector("NOT (n = 5)").to_sql().index_hints == ()
+        assert Selector("n NOT BETWEEN 1 AND 3").to_sql().index_hints == ()
+        assert Selector("s NOT IN ('a')").to_sql().index_hints == ()
+
+    def test_headers_and_unindexable_literals_do_not_hint(self):
+        # Headers have real columns; the side index is properties-only.
+        assert Selector("JMSPriority = 5").to_sql().index_hints == ()
+        # <> is not a seekable shape; property-vs-property has no constant.
+        assert Selector("n <> 5").to_sql().index_hints == ()
+        assert Selector("n = m").to_sql().index_hints == ()
+
+
+class TestIndexHintSelection:
+    """Hinted gets select exactly what the Python evaluators select."""
+
+    def test_kind_mismatches_never_match_through_the_index(self, store):
+        # Same value, wrong kind: the string "5", the number 1 vs TRUE.
+        assert sql_selects(store, Selector("n = 5"), msg(n="5")) is False
+        assert sql_selects(store, Selector("flag = TRUE"), msg(flag=1)) is False
+        assert sql_selects(store, Selector("n = 1"), msg(n=True)) is False
+
+    def test_int_and_float_match_numerically(self, store):
+        assert sql_selects(store, Selector("n = 5.0"), msg(n=5)) is True
+        assert sql_selects(store, Selector("n = 5"), msg(n=5.0)) is True
+        assert sql_selects(store, Selector("n BETWEEN 4.5 AND 5.5"), msg(n=5)) is True
+
+    def test_hinted_conjunction_with_unhintable_sibling(self, store):
+        selector = Selector("n = 5 AND s LIKE 'a%'")
+        assert sql_selects(store, selector, msg(n=5, s="abc")) is True
+        assert sql_selects(store, selector, msg(n=5, s="zzz")) is False
+        assert sql_selects(store, selector, msg(n=6, s="abc")) is False
+
+    def test_hint_still_finds_values_inside_opaque_rows(self, store):
+        # A sibling 2**70 value makes the JSON column NULL, but each clean
+        # value still gets its side-index row — the hint must see it.
+        selector = Selector("n = 5 AND big > 0")
+        sql = selector.to_sql()
+        assert sql is not None and sql.index_hints == (("eq", "n", "n", 5),)
+        assert sql_selects(store, selector, msg(n=5, big=2**70)) is True
+        assert sql_selects(store, selector, msg(n=6, big=2**70)) is False
+
+    def test_hinted_get_respects_delivery_order(self, store):
+        queue = SqlMessageQueue(store, "ORDER.Q", SimulatedClock())
+        queue.put(Message(body="first", properties={"k": 1}))
+        queue.put(Message(body="hot", priority=9, properties={"k": 1}))
+        queue.put(Message(body="second", properties={"k": 1}))
+        got = [queue.get(Selector("k = 1")).body for _ in range(3)]
+        assert got == ["hot", "first", "second"]
