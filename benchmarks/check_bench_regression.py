@@ -14,7 +14,9 @@ Usage (what the CI benchmark-smoke job runs)::
 Each ``--gate baseline:current[:tolerance]`` pair is compared on the
 metrics the file carries (auto-detected from its shape):
 
-* ``BENCH_throughput.json`` — ``msgs_per_sec``;
+* ``BENCH_throughput.json`` — ``msgs_per_sec``, plus
+  ``multiprocess.speedup_vs_1`` (wire-transport process scaling at 4
+  receiver processes) when the file carries a ``multiprocess`` section;
 * ``BENCH_persistence.json`` — ``flushes_per_sec`` per journal backend
   (each backend gated separately, so one backend regressing cannot hide
   behind another improving);
@@ -65,7 +67,20 @@ def _positive(path, name, value):
 def extract_metrics(path, data):
     """name -> value (higher is better), auto-detected from the shape."""
     if "msgs_per_sec" in data:
-        return {"msgs_per_sec": _positive(path, "msgs_per_sec", data["msgs_per_sec"])}
+        metrics = {
+            "msgs_per_sec": _positive(path, "msgs_per_sec", data["msgs_per_sec"])
+        }
+        if "multiprocess" in data:
+            # Process-scaling ratio (4-or-more receiver processes vs. 1
+            # over the wire transport).  A ratio, so machine speed
+            # divides out — but it does depend on the runner's core
+            # count, hence the looser tolerance the CI job passes.
+            metrics["multiprocess speedup_vs_1"] = _positive(
+                path,
+                "multiprocess speedup_vs_1",
+                data["multiprocess"].get("speedup_vs_1"),
+            )
+        return metrics
     if "backends" in data:
         metrics = {}
         for entry in data["backends"]:

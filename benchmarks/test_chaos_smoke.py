@@ -7,7 +7,10 @@ Memory-journal episodes exercise the crash model cheaply; file-journal
 episodes add torn-tail recovery on real files; sqlite-journal episodes
 cover the transactional backend's crash/recover path; binfile-journal episodes run the binary record
 codec through the same crash, recovery, and torn-tail space (tears cut
-a binary frame mid-payload, and post-recovery writes keep the codec).
+a binary frame mid-payload, and post-recovery writes keep the codec);
+tcp-transport episodes drive real wire-protocol engine pairs through
+seeded connection drops (landing mid-frame), reconnect resync,
+retransmission and deferred confirmations.
 
 Results land in ``CHAOS_smoke.json`` at the repo root (uploaded by the
 CI chaos-smoke job next to ``BENCH_throughput.json``).  Any failing
@@ -34,6 +37,8 @@ SQLITE_EPISODES = 5 if SHORT else 15
 SQLITE_BASE_SEED = 200
 BINFILE_EPISODES = 5 if SHORT else 15
 BINFILE_BASE_SEED = 300
+WIRE_EPISODES = 10 if SHORT else 25
+WIRE_BASE_SEED = 400
 
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir)
@@ -73,29 +78,36 @@ def test_chaos_smoke_corpus(report, tmp_path):
             journal_dir=str(tmp_path),
             repro_dir=REPO_ROOT,
         ),
+        run_chaos_corpus(
+            episodes=WIRE_EPISODES,
+            base_seed=WIRE_BASE_SEED,
+            transport="tcp",
+            repro_dir=REPO_ROOT,
+        ),
     ]
 
     table = Table(
         "chaos smoke corpus",
-        ["journal", "episodes", "sends", "crashes", "faults", "failures"],
+        ["family", "episodes", "sends", "crashes", "faults", "failures"],
     )
     for corpus in corpora:
         table.add_row(
             [
-                corpus["journal"],
+                corpus.get("journal") or f"wire/{corpus['transport']}",
                 corpus["episodes"],
                 corpus["sends"],
-                corpus["crashes"],
+                corpus.get("crashes", 0),
                 corpus["faults_fired"],
                 corpus["failures"],
             ]
         )
     report.emit(table)
 
+    wire = corpora[-1]
     summary = {
         "episodes": sum(c["episodes"] for c in corpora),
         "sends": sum(c["sends"] for c in corpora),
-        "crashes": sum(c["crashes"] for c in corpora),
+        "crashes": sum(c.get("crashes", 0) for c in corpora),
         "faults_fired": sum(c["faults_fired"] for c in corpora),
         "failures": sum(c["failures"] for c in corpora),
         "violations": [v for c in corpora for v in c["violations"]],
@@ -106,8 +118,12 @@ def test_chaos_smoke_corpus(report, tmp_path):
         json.dump(summary, handle, indent=2)
         handle.write("\n")
 
-    assert summary["episodes"] >= (30 if SHORT else 85)
+    assert summary["episodes"] >= (40 if SHORT else 110)
     # The corpus must actually exercise the fault space, not dodge it.
     assert summary["crashes"] >= (5 if SHORT else 20)
     assert summary["faults_fired"] >= (10 if SHORT else 50)
+    # The wire family must really drop established connections and
+    # deliver every message despite that.
+    assert wire["reconnects"] >= (5 if SHORT else 15)
+    assert wire["delivered"] == wire["sends"]
     assert summary["failures"] == 0, summary["violations"]

@@ -44,6 +44,7 @@ import time
 
 from repro.core.builder import destination, destination_set
 from repro.harness.reporting import Table
+from repro.harness.runner import run_multiprocess_benchmark
 from repro.mq.manager import QueueManager
 from repro.mq.persistence import journal_factory_for
 from repro.obs.registry import MetricsRegistry
@@ -74,7 +75,33 @@ PERSISTENCE_RESULT_PATH = os.path.abspath(
 )
 PERSISTENCE_BACKENDS = ("memory", "file", "sqlite", "binfile", "sqlstore")
 
+#: Multi-process scaling: receiver-host process counts to sweep.  The
+#: workload is processing-bound (``MP_PROCESSING_MS`` of simulated work
+#: per message), so adding receiver processes overlaps that work — the
+#: scaling the deployment exists to buy.
+MP_COUNTS = (1, 2) if SHORT else (1, 2, 4, 8)
+MP_MESSAGES = 60 if SHORT else 200
+MP_PROCESSING_MS = 10.0
+MP_TRANSPORT = "unix"
+
 RECEIVERS = [f"R{i}" for i in range(FAN_OUT)]
+
+
+def _merge_result(path, payload):
+    """Write ``payload`` into ``path``, preserving sections other tests
+    in this module own (the file is shared between the single-process
+    and multi-process benchmarks, which may run separately)."""
+    existing = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                existing = json.load(handle)
+        except ValueError:
+            existing = {}
+    existing.update(payload)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(existing, handle, indent=2)
+        handle.write("\n")
 
 
 def build_testbed(metrics=None, adaptive_flush=False, jitter_ms=0):
@@ -238,9 +265,7 @@ def test_throughput(report):
             "mean_batch_records": mean_batch_records,
         },
     }
-    with open(RESULT_PATH, "w", encoding="utf-8") as f:
-        json.dump(payload, f, indent=2)
-        f.write("\n")
+    _merge_result(RESULT_PATH, payload)
 
     # The acceptance bar: group commit cuts flushes per conditional send
     # by at least 3x at fan-out 8 (measured: one commit group vs. one
@@ -255,6 +280,101 @@ def test_throughput(report):
     # jitter, drain, and ack return), not a 1,000 ms polling stride.
     assert latency.p50 < 1_000
     assert latency.p50 != latency.p99 or latency.p50 < 100
+
+
+def test_multiprocess_throughput(report):
+    """MULTIPROCESS: conditional-send throughput vs. receiver processes.
+
+    Spawns real OS processes (``python -m repro.net.host``) wired over
+    the asyncio unix-socket transport and sweeps the receiver count.
+    Each message costs ``MP_PROCESSING_MS`` of application work on its
+    receiver, so the sweep measures what the deployment buys: that work
+    overlapping across processes while the wire protocol preserves
+    exactly-once transfer.  Results land in the ``multiprocess`` section
+    of ``BENCH_throughput.json`` (the single-process sections are
+    preserved), gated in CI by ``check_bench_regression.py`` on
+    ``speedup_vs_1``.
+    """
+    counts = []
+    for processes in MP_COUNTS:
+        result = run_multiprocess_benchmark(
+            receivers=processes,
+            messages=MP_MESSAGES,
+            processing_ms=MP_PROCESSING_MS,
+            transport=MP_TRANSPORT,
+            timeout_s=120.0,
+        )
+        # Correctness before speed: every conditional message must
+        # decide successfully at every process count.
+        assert result["decided_success"] == MP_MESSAGES, result
+        assert result["pending"] == 0, result
+        wire = result["wire"]
+        counts.append(
+            {
+                "processes": processes,
+                "sends_per_sec": result["sends_per_sec"],
+                "elapsed_s": result["elapsed_s"],
+                "decision_latency_ms": result["decision_latency_ms"],
+                "wire": {
+                    "retransmits": sum(
+                        c.get("retransmits", 0) for c in wire.values()
+                    ),
+                    "reconnects": sum(
+                        c.get("reconnects", 0) for c in wire.values()
+                    ),
+                },
+            }
+        )
+
+    base_rate = counts[0]["sends_per_sec"]
+    for entry in counts:
+        entry["speedup_vs_1"] = (
+            entry["sends_per_sec"] / base_rate if base_rate else 0.0
+        )
+    by_count = {entry["processes"]: entry for entry in counts}
+    # The headline ratio is taken at 4 processes in the full sweep; the
+    # SHORT (CI) sweep stops at 2 — few-core runners make a wider
+    # short-run sweep startup-dominated rather than informative — so it
+    # falls back to the top of the sweep there.
+    speedup = by_count.get(4, counts[-1])["speedup_vs_1"]
+
+    table = Table(
+        f"MULTIPROCESS: {MP_MESSAGES} msgs over {MP_TRANSPORT} sockets, "
+        f"{MP_PROCESSING_MS:g} ms work/msg",
+        ["processes", "sends/sec", "p50 (ms)", "p99 (ms)", "speedup"],
+    )
+    for entry in counts:
+        table.add_row(
+            [
+                entry["processes"],
+                round(entry["sends_per_sec"], 1),
+                round(entry["decision_latency_ms"]["p50"], 1),
+                round(entry["decision_latency_ms"]["p99"], 1),
+                round(entry["speedup_vs_1"], 2),
+            ]
+        )
+    report.emit(table)
+
+    _merge_result(
+        RESULT_PATH,
+        {
+            "multiprocess": {
+                "transport": MP_TRANSPORT,
+                "messages": MP_MESSAGES,
+                "processing_ms": MP_PROCESSING_MS,
+                "short": SHORT,
+                "counts": counts,
+                "speedup_vs_1": speedup,
+            }
+        },
+    )
+
+    # Scaling bar, kept soft in-test (shared CI runners share cores with
+    # the spawned hosts); the committed full-mode baseline shows >= 1.5x
+    # at 4 processes and the CI gate tracks it via speedup_vs_1.
+    assert speedup >= 1.2
+    # No connection should ever drop on a quiet local socket.
+    assert all(entry["wire"]["reconnects"] == 0 for entry in counts)
 
 
 def test_persistence_backends(report, tmp_path):

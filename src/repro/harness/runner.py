@@ -7,8 +7,16 @@ and the integration tests consume.
 
 from __future__ import annotations
 
+import json
+import os
+import select
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.outcome import OutcomeRecord
 from repro.obs.registry import MetricsRegistry
@@ -170,20 +178,270 @@ def run_example2(
     )
 
 
+class MultiprocessDeployment:
+    """Spawn a wire-transport deployment as real OS processes.
+
+    One sender host plus ``receivers`` receiver hosts, each a
+    ``python -m repro.net.host`` subprocess talking over unix sockets
+    (or TCP on loopback).  Use as a context manager — :meth:`cleanup`
+    runs on *every* exit path, so a failing benchmark or test never
+    leaks child processes or unix-socket files:
+
+        with MultiprocessDeployment(receivers=4, messages=200) as dep:
+            result = dep.run()
+
+    Args:
+        receivers: Number of receiver host processes.
+        messages: Conditional messages the sender round-robins.
+        processing_ms: Simulated per-message work in each receiver (the
+            cost that overlaps across processes).
+        transport: ``"unix"`` or ``"tcp"`` (loopback, ephemeral ports).
+        socket_dir: Directory for unix sockets; a private temp dir
+            (removed on cleanup) when None.
+        capacity: Each receiver's advertised credit/backlog bound.
+        pickup_ms: ``msg_pick_up_time`` deadline for the condition.
+        timeout_s: Bound on READY handshakes and on the sender run.
+    """
+
+    def __init__(
+        self,
+        receivers: int,
+        messages: int,
+        processing_ms: float = 2.0,
+        transport: str = "unix",
+        socket_dir: Optional[str] = None,
+        capacity: int = 128,
+        pickup_ms: int = 60_000,
+        timeout_s: float = 120.0,
+    ) -> None:
+        if receivers < 1:
+            raise ValueError("need at least one receiver process")
+        if transport not in ("unix", "tcp"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.receivers = receivers
+        self.messages = messages
+        self.processing_ms = processing_ms
+        self.transport = transport
+        self.capacity = capacity
+        self.pickup_ms = pickup_ms
+        self.timeout_s = timeout_s
+        self._owns_dir = socket_dir is None
+        self.socket_dir = socket_dir or tempfile.mkdtemp(prefix="repro-wire-")
+        os.makedirs(self.socket_dir, exist_ok=True)
+        self.procs: List[subprocess.Popen] = []
+        self.peers: List[Tuple[str, str]] = []
+        self.sender_name = "QM.S"
+        if transport == "unix":
+            self.sender_addr = f"unix:{os.path.join(self.socket_dir, 's.sock')}"
+        else:
+            self.sender_addr = f"tcp:127.0.0.1:{_free_port()}"
+        src_dir = os.path.dirname(
+            os.path.dirname(os.path.abspath(sys.modules["repro"].__file__))
+        )
+        self._env = dict(os.environ)
+        self._env["PYTHONPATH"] = (
+            src_dir + os.pathsep + self._env.get("PYTHONPATH", "")
+        ).rstrip(os.pathsep)
+
+    def __enter__(self) -> "MultiprocessDeployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.cleanup()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def _spawn(self, argv: List[str]) -> subprocess.Popen:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.net.host", *argv],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=self._env,
+            text=True,
+        )
+        self.procs.append(proc)
+        return proc
+
+    def _receiver_listen(self, index: int) -> str:
+        if self.transport == "unix":
+            return f"unix:{os.path.join(self.socket_dir, f'r{index}.sock')}"
+        return "tcp:127.0.0.1:0"
+
+    def start_receivers(self) -> List[Tuple[str, str]]:
+        """Spawn every receiver host and collect its READY address."""
+        for i in range(self.receivers):
+            name = f"QM.R{i}"
+            proc = self._spawn(
+                [
+                    "receiver",
+                    "--name", name,
+                    "--listen", self._receiver_listen(i),
+                    "--peer", f"{self.sender_name}={self.sender_addr}",
+                    "--processing-ms", str(self.processing_ms),
+                    "--capacity", str(self.capacity),
+                    "--timeout", str(self.timeout_s),
+                ]
+            )
+            ready = _await_line(proc, "READY ", self.timeout_s)
+            bound = ready.split()[2]
+            self.peers.append((name, bound))
+        return self.peers
+
+    def run_sender(self) -> Dict[str, object]:
+        """Run the sender to completion; returns its RESULT payload."""
+        argv = [
+            "sender",
+            "--name", self.sender_name,
+            "--listen", self.sender_addr,
+            "--messages", str(self.messages),
+            "--pickup-ms", str(self.pickup_ms),
+            "--timeout", str(self.timeout_s),
+        ]
+        for name, bound in self.peers:
+            argv += ["--peer", f"{name}={bound}"]
+        proc = self._spawn(argv)
+        try:
+            out, err = proc.communicate(timeout=self.timeout_s + 10.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            out, err = proc.communicate()
+            raise RuntimeError(
+                f"sender timed out after {self.timeout_s}s\n{out}\n{err}"
+            )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"sender exited with {proc.returncode}\n{out}\n{err}"
+            )
+        for line in out.splitlines():
+            if line.startswith("RESULT "):
+                return json.loads(line[len("RESULT "):])
+        raise RuntimeError(f"sender produced no RESULT line\n{out}\n{err}")
+
+    def run(self) -> Dict[str, object]:
+        """Start the receivers, run the sender, return its result."""
+        self.start_receivers()
+        return self.run_sender()
+
+    def cleanup(self, grace_s: float = 5.0) -> None:
+        """Tear everything down; safe to call on any exit path.
+
+        Closes each host's stdin first (their cue to exit cleanly),
+        escalates to terminate/kill for stragglers, then removes the
+        unix-socket files (and the socket dir, when this deployment
+        created it).
+        """
+        for proc in self.procs:
+            if proc.stdin is not None and not proc.stdin.closed:
+                try:
+                    proc.stdin.close()
+                except OSError:
+                    pass
+        deadline = time.monotonic() + grace_s
+        for proc in self.procs:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=max(0.05, deadline - time.monotonic()))
+                except subprocess.TimeoutExpired:
+                    proc.terminate()
+        for proc in self.procs:
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+        for proc in self.procs:
+            for stream in (proc.stdout, proc.stderr):
+                if stream is not None and not stream.closed:
+                    stream.close()
+        if self._owns_dir:
+            shutil.rmtree(self.socket_dir, ignore_errors=True)
+        else:
+            for entry in os.listdir(self.socket_dir):
+                if entry.endswith(".sock"):
+                    try:
+                        os.unlink(os.path.join(self.socket_dir, entry))
+                    except OSError:
+                        pass
+
+
+def _free_port() -> int:
+    """Reserve-and-release a loopback TCP port for a child to bind."""
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _await_line(proc: subprocess.Popen, prefix: str, timeout_s: float) -> str:
+    """Read ``proc`` stdout lines until one starts with ``prefix``."""
+    deadline = time.monotonic() + timeout_s
+    assert proc.stdout is not None
+    while True:
+        if proc.poll() is not None:
+            err = proc.stderr.read() if proc.stderr else ""
+            raise RuntimeError(
+                f"host exited with {proc.returncode} before {prefix!r}\n{err}"
+            )
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise RuntimeError(f"timed out waiting for {prefix!r} from host")
+        ready, _, _ = select.select([proc.stdout], [], [], min(remaining, 0.25))
+        if not ready:
+            continue
+        line = proc.stdout.readline()
+        if not line:
+            err = proc.stderr.read() if proc.stderr else ""
+            raise RuntimeError(f"host closed stdout before {prefix!r}\n{err}")
+        if line.startswith(prefix):
+            return line.strip()
+
+
+def run_multiprocess_benchmark(
+    receivers: int,
+    messages: int,
+    processing_ms: float = 2.0,
+    transport: str = "unix",
+    timeout_s: float = 120.0,
+) -> Dict[str, object]:
+    """One multi-process throughput measurement (see the deployment class).
+
+    Returns the sender's RESULT payload: ``sends_per_sec``,
+    ``decision_latency_ms`` percentiles, per-channel ``wire`` counters.
+    """
+    with MultiprocessDeployment(
+        receivers=receivers,
+        messages=messages,
+        processing_ms=processing_ms,
+        transport=transport,
+        timeout_s=timeout_s,
+    ) as deployment:
+        return deployment.run()
+
+
 def run_chaos_corpus(
     episodes: int = 50,
     base_seed: int = 0,
     journal: str = "memory",
     journal_dir: Optional[str] = None,
     repro_dir: Optional[str] = None,
+    transport: str = "local",
 ) -> Dict[str, object]:
     """Run a fixed-seed chaos corpus; returns an aggregate summary.
 
-    Drives :class:`repro.chaos.ChaosExplorer` over ``episodes``
-    consecutive seeds.  Every failing episode is shrunk to a minimal
-    reproducer; when ``repro_dir`` is given the reproducer JSON is
-    written there as ``CHAOS_repro_seed<seed>.json`` so CI can upload
-    it as an artifact.
+    With the default ``transport="local"`` this drives
+    :class:`repro.chaos.ChaosExplorer` over ``episodes`` consecutive
+    seeds.  Every failing episode is shrunk to a minimal reproducer;
+    when ``repro_dir`` is given the reproducer JSON is written there as
+    ``CHAOS_repro_seed<seed>.json`` so CI can upload it as an artifact.
+
+    With ``transport="tcp"`` it instead runs the wire-chaos family
+    (:func:`repro.chaos.wire.run_wire_corpus`): real
+    :class:`~repro.net.protocol.ChannelEngine` pairs over a simulated
+    lossy connection, with seeded mid-frame drops, reconnect resync and
+    deferred confirmations — the ``journal*`` arguments do not apply.
 
     Args:
         episodes: Number of seeded episodes.
@@ -195,12 +453,24 @@ def run_chaos_corpus(
         journal_dir: Directory for file/sqlite journals (temporary when
             None).
         repro_dir: Where to write minimized reproducers for failures.
+        transport: ``"local"`` (in-process MessageNetwork chaos) or
+            ``"tcp"`` (wire-protocol chaos).
 
     Returns:
         Summary dict: ``episodes``, ``failures`` (count),
         ``violations`` (list of strings), ``repro_paths``, plus the
-        aggregate ``sends``/``crashes``/``faults_fired`` counters.
+        aggregate ``sends``/``crashes``/``faults_fired`` counters
+        (wire corpora report wire counters instead).
     """
+    if transport == "tcp":
+        from repro.chaos.wire import run_wire_corpus
+
+        return run_wire_corpus(
+            episodes=episodes, base_seed=base_seed, repro_dir=repro_dir
+        )
+    if transport != "local":
+        raise ValueError(f"unknown chaos transport {transport!r}")
+
     from repro.chaos import ChaosExplorer, EpisodeSpec
 
     explorer = ChaosExplorer(journal_dir=journal_dir)

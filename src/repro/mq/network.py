@@ -24,6 +24,7 @@ which the unit tests of higher layers use for brevity.
 
 from __future__ import annotations
 
+import abc
 import random
 import warnings
 from dataclasses import dataclass, field
@@ -32,10 +33,12 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.errors import ChannelError, MQError, QueueManagerNotFoundError
 from repro.mq.manager import DEAD_LETTER_QUEUE, XMIT_PREFIX, QueueManager
 from repro.mq.message import Message
+from repro.net.rtt import RttEstimator
 from repro.obs.trace import NULL_TRACER, STAGE_XMIT, Tracer, cmid_of
 from repro.sim.scheduler import EventScheduler
 
 __all__ = [
+    "Transport",
     "MessageNetwork",
     "Channel",
     "ChannelStats",
@@ -48,6 +51,44 @@ __all__ = [
 #: Routing-envelope property names.
 PROP_ROUTE_TARGET_MANAGER = "SYS_ROUTE_TO_QM"
 PROP_ROUTE_TARGET_QUEUE = "SYS_ROUTE_TO_Q"
+
+
+class Transport(abc.ABC):
+    """Abstract store-and-forward transport between queue managers.
+
+    A transport owns the path a remote put takes from one manager toward
+    another.  Two implementations exist:
+
+    * :class:`MessageNetwork` — the in-process implementation: every
+      manager lives in this interpreter and channels are simulated
+      (latency/jitter/loss over :class:`EventScheduler`).  The chaos and
+      sim layers drive this one.
+    * :class:`repro.net.wire.WireHost` — the multi-process
+      implementation: the local manager's channels are real TCP or
+      unix-domain socket connections to peer host processes, with the
+      sans-IO protocol engine providing sequencing, retransmission and
+      credit flow control.
+
+    Both park outbound messages on durable ``SYSTEM.XMIT.<peer>``
+    transmission queues before anything crosses the channel, so a crash
+    on either side leaves an in-doubt journaled copy rather than a lost
+    or duplicated message.
+    """
+
+    @abc.abstractmethod
+    def send(
+        self, source: str, target: str, queue_name: str, message: Message
+    ) -> None:
+        """Route ``message`` from ``source`` to ``queue_name`` on ``target``."""
+
+    def attach(self, manager: QueueManager) -> QueueManager:
+        """Install this transport as ``manager``'s remote-put handler."""
+
+        def handler(target: str, queue_name: str, message: Message) -> None:
+            self.send(manager.name, target, queue_name, message)
+
+        manager.attach_network(handler)
+        return manager
 
 
 @dataclass
@@ -72,7 +113,12 @@ class Channel:
         latency_ms: Base one-way transfer time.
         jitter_ms: Uniform extra delay in ``[0, jitter_ms]`` per attempt.
         loss_rate: Probability that a transfer attempt fails and is
-            retried after ``retry_interval_ms``.
+            retried after the channel's current retransmission timeout.
+        retry_interval_ms: *Initial* retransmission timeout.  Subsequent
+            retries are timed by the channel's RFC 6298 estimator
+            (:attr:`rtt`): successful transfer times feed the smoothed
+            RTT, each failed attempt doubles the timeout, and — Karn's
+            rule — retried or re-driven transfers never produce samples.
         stopped: A stopped channel parks messages on the transmission
             queue until restarted (models a network partition).
     """
@@ -85,6 +131,11 @@ class Channel:
     retry_interval_ms: int = 100
     stopped: bool = False
     stats: ChannelStats = field(default_factory=ChannelStats)
+    rtt: Optional[RttEstimator] = None
+    #: message_id -> [first_attempt_ms, ambiguous] for in-flight
+    #: transfers; ``ambiguous`` marks retried/re-driven messages whose
+    #: completion must not be sampled (Karn's rule).
+    inflight: Dict[str, List] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.latency_ms < 0 or self.jitter_ms < 0:
@@ -93,9 +144,11 @@ class Channel:
             raise ChannelError("loss_rate must be in [0, 1)")
         if self.retry_interval_ms <= 0:
             raise ChannelError("retry_interval_ms must be positive")
+        if self.rtt is None:
+            self.rtt = RttEstimator(initial_rto=float(self.retry_interval_ms))
 
 
-class MessageNetwork:
+class MessageNetwork(Transport):
     """Connects queue managers; resolves remote puts via channels.
 
     Args:
@@ -168,10 +221,7 @@ class MessageNetwork:
         return manager
 
     def _install_handler(self, manager: QueueManager) -> None:
-        def handler(target: str, queue_name: str, message: Message) -> None:
-            self.send(manager.name, target, queue_name, message)
-
-        manager.attach_network(handler)
+        self.attach(manager)
 
     def manager(self, name: str) -> QueueManager:
         """Look up a registered manager by name."""
@@ -378,6 +428,15 @@ class MessageNetwork:
 
     def _schedule_attempt(self, chan: Channel, message_id: str) -> None:
         assert self.scheduler is not None
+        now = self.scheduler.clock.now_ms()
+        entry = chan.inflight.get(message_id)
+        if entry is None:
+            chan.inflight[message_id] = [now, False]
+        else:
+            # Re-driven (partition heal / crash recovery): a fresh wire
+            # attempt for a message that may also have an older attempt
+            # outstanding — its completion time is ambiguous (Karn).
+            entry[1] = True
         delay = chan.latency_ms
         if chan.jitter_ms:
             delay += self._rng.randint(0, chan.jitter_ms)
@@ -394,8 +453,16 @@ class MessageNetwork:
             chan.stats.failed_attempts += 1
             if self.scheduler is None:
                 raise ChannelError("loss requires a scheduler")  # pragma: no cover
+            entry = chan.inflight.get(message_id)
+            if entry is not None:
+                entry[1] = True  # Karn: the eventual success is ambiguous
+            # RFC 6298: wait the current timeout, then double it for the
+            # next expiry.  A later successful sample recomputes the RTO
+            # from the smoothed estimate, collapsing the backoff.
+            retry_after = chan.rtt.rto
+            chan.rtt.backoff()
             self.scheduler.call_later(
-                chan.retry_interval_ms,
+                retry_after,
                 lambda: self._attempt_transfer(chan, message_id),
                 label=f"retry {chan.source}->{chan.target}",
             )
@@ -403,9 +470,11 @@ class MessageNetwork:
         src_manager = self.manager(chan.source)
         xmit_name = XMIT_PREFIX + chan.target
         if not src_manager.has_queue(xmit_name):
+            chan.inflight.pop(message_id, None)
             return
         enveloped = src_manager.queue(xmit_name).find_by_id(message_id)
         if enveloped is None:
+            chan.inflight.pop(message_id, None)
             return  # already transferred (e.g. drained after a partition healed)
         # Deliver first, resolve the parked copy after: a target crash
         # mid-delivery then leaves the message parked for a later
@@ -419,6 +488,14 @@ class MessageNetwork:
             src_manager.queue(xmit_name).get_by_id(message_id)
         except MQError:
             pass  # raced with another resolution of the same attempt
+        entry = chan.inflight.pop(message_id, None)
+        if entry is not None and not entry[1] and self.scheduler is not None:
+            # A clean first-attempt transfer: feed its elapsed time to the
+            # channel's RFC 6298 estimator so retry timeouts track the
+            # channel's real latency instead of a fixed interval.
+            chan.rtt.observe(
+                max(0.0, self.scheduler.clock.now_ms() - entry[0])
+            )
 
     def _deliver(self, chan: Channel, enveloped: Message) -> None:
         final_target = str(enveloped.get_property(PROP_ROUTE_TARGET_MANAGER))

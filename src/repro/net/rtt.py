@@ -1,0 +1,122 @@
+"""RFC 6298 retransmission-timer estimation.
+
+One estimator instance tracks the smoothed round-trip time for one
+channel.  The sim transport (``MessageNetwork``) and the TCP transport
+(``repro.net.wire``) both size their retry timers from this class so
+the retransmission behaviour audited by the chaos suite is the same
+code that runs over real sockets.
+
+The update rules are RFC 6298 §2 verbatim:
+
+first sample ``R``::
+
+    SRTT    = R
+    RTTVAR  = R / 2
+    RTO     = SRTT + max(G, K * RTTVAR)
+
+subsequent samples::
+
+    RTTVAR  = (1 - beta) * RTTVAR + beta * |SRTT - R|
+    SRTT    = (1 - alpha) * SRTT + alpha * R
+    RTO     = SRTT + max(G, K * RTTVAR)
+
+with ``alpha = 1/8``, ``beta = 1/4``, ``K = 4`` and ``G`` the clock
+granularity.  On retransmission timeout the RTO doubles ("exponential
+backoff", §5.5) and — per Karn's algorithm — the caller must not feed
+samples taken from retransmitted sends.
+
+Times are plain numbers; the class is unit-agnostic (this repo uses
+milliseconds everywhere).
+"""
+
+from __future__ import annotations
+
+__all__ = ["RttEstimator"]
+
+
+class RttEstimator:
+    """Smoothed-RTT retransmission timeout per RFC 6298."""
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+    K = 4.0
+
+    def __init__(
+        self,
+        initial_rto: float = 1000.0,
+        min_rto: float = 1.0,
+        max_rto: float = 60_000.0,
+        granularity: float = 1.0,
+    ) -> None:
+        if initial_rto <= 0:
+            raise ValueError("initial_rto must be positive")
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ValueError("need 0 < min_rto <= max_rto")
+        self.initial_rto = float(initial_rto)
+        self.min_rto = float(min_rto)
+        self.max_rto = float(max_rto)
+        self.granularity = float(granularity)
+        self.srtt: float | None = None
+        self.rttvar: float | None = None
+        self.samples = 0
+        self.backoffs = 0
+        self._rto = self._clamp(self.initial_rto)
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout."""
+        return self._rto
+
+    def observe(self, sample: float) -> float:
+        """Feed one round-trip sample; returns the new RTO.
+
+        Per Karn's algorithm the caller must only feed samples from
+        sends that were *not* retransmitted — an ack for a retransmitted
+        message is ambiguous and must be discarded by the caller.
+        """
+        sample = float(sample)
+        if sample < 0:
+            raise ValueError("rtt sample must be non-negative")
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = (1.0 - self.BETA) * self.rttvar + self.BETA * abs(
+                self.srtt - sample
+            )
+            self.srtt = (1.0 - self.ALPHA) * self.srtt + self.ALPHA * sample
+        self.samples += 1
+        self._rto = self._clamp(
+            self.srtt + max(self.granularity, self.K * self.rttvar)
+        )
+        return self._rto
+
+    def backoff(self) -> float:
+        """Double the RTO after a retransmission timeout (RFC 6298 §5.5)."""
+        self.backoffs += 1
+        self._rto = self._clamp(self._rto * 2.0)
+        return self._rto
+
+    def reset_backoff(self) -> float:
+        """Recompute the RTO from the current estimate, dropping backoff.
+
+        Called once a fresh (non-retransmitted) send is acknowledged
+        after a backoff episode, so one loss burst does not leave the
+        timer inflated forever.
+        """
+        if self.srtt is None:
+            self._rto = self._clamp(self.initial_rto)
+        else:
+            self._rto = self._clamp(
+                self.srtt + max(self.granularity, self.K * self.rttvar)
+            )
+        return self._rto
+
+    def _clamp(self, value: float) -> float:
+        return min(self.max_rto, max(self.min_rto, value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"RttEstimator(srtt={self.srtt}, rttvar={self.rttvar}, "
+            f"rto={self._rto}, samples={self.samples})"
+        )

@@ -39,6 +39,16 @@ class TestMetricDetection:
             "speedup_10k": 3.5
         }
 
+    def test_throughput_shape_with_multiprocess_section(self):
+        data = {
+            "msgs_per_sec": 500.0,
+            "multiprocess": {"speedup_vs_1": 3.2, "counts": []},
+        }
+        assert extract_metrics("t.json", data) == {
+            "msgs_per_sec": 500.0,
+            "multiprocess speedup_vs_1": 3.2,
+        }
+
     def test_unrecognized_shape_fails(self):
         with pytest.raises(SystemExit):
             extract_metrics("x.json", {"mystery": 1})
@@ -86,6 +96,17 @@ class TestGating:
         curr = write(tmp_path / "c.json", {"backends": []})
         with pytest.raises(SystemExit):
             main(["--gate", f"{base}:{curr}"])
+
+    def test_multiprocess_speedup_regression_cannot_hide(self, tmp_path):
+        base = write(
+            tmp_path / "b.json",
+            {"msgs_per_sec": 100.0, "multiprocess": {"speedup_vs_1": 3.0}},
+        )
+        curr = write(
+            tmp_path / "c.json",
+            {"msgs_per_sec": 200.0, "multiprocess": {"speedup_vs_1": 1.0}},
+        )
+        assert main(["--gate", f"{base}:{curr}"]) == 1
 
     def test_legacy_interface_still_works(self, tmp_path):
         base = write(tmp_path / "b.json", {"msgs_per_sec": 100.0})

@@ -1,0 +1,151 @@
+"""Wire-chaos family: real ChannelEngines over a simulated lossy pipe.
+
+These episodes exercise the exact protocol code the asyncio transport
+runs, but under deterministic seeded faults: connection drops landing
+mid-frame, reconnect resync, retransmission, and deferred (group
+commit) confirmations crossing a reconnect.
+"""
+
+import pytest
+
+from repro.chaos.wire import (
+    WireChaosHarness,
+    WireEpisodeSpec,
+    WireFault,
+    run_wire_corpus,
+    run_wire_episode,
+)
+
+
+class TestSpec:
+    def test_generate_is_deterministic(self):
+        a = WireEpisodeSpec.generate(42)
+        b = WireEpisodeSpec.generate(42)
+        assert a.to_dict() == b.to_dict()
+        assert a.faults, "every episode gets at least one drop"
+
+    def test_seeds_vary(self):
+        specs = [WireEpisodeSpec.generate(seed) for seed in range(20)]
+        assert len({spec.to_json() for spec in specs}) > 1
+
+    def test_round_trips_through_json(self):
+        spec = WireEpisodeSpec.generate(7)
+        again = WireEpisodeSpec.from_json(spec.to_json())
+        assert again.to_dict() == spec.to_dict()
+        assert spec.to_dict()["transport"] == "tcp"
+
+
+class TestQuietEpisode:
+    def test_no_faults_delivers_in_order(self):
+        spec = WireEpisodeSpec(seed=0, messages=12, gap_ms=10, faults=[])
+        result = run_wire_episode(spec)
+        assert result.ok, result.violations
+        assert result.delivered == 12
+        assert result.reconnects == 0
+        assert result.retransmits == 0
+
+
+class TestDrops:
+    def test_drop_mid_transfer_recovers_exactly_once(self):
+        spec = WireEpisodeSpec(
+            seed=1,
+            messages=10,
+            gap_ms=20,
+            latency_ms=5,
+            window=4,
+            faults=[WireFault(at_ms=55, reconnect_after_ms=40)],
+        )
+        result = run_wire_episode(spec)
+        assert result.ok, result.violations
+        assert result.delivered == 10
+        assert result.reconnects >= 1
+
+    def test_drop_forces_retransmission(self):
+        # Drop right after the first sends so frames die in flight.
+        spec = WireEpisodeSpec(
+            seed=2,
+            messages=8,
+            gap_ms=5,
+            latency_ms=10,
+            window=8,
+            faults=[WireFault(at_ms=12, reconnect_after_ms=30)],
+        )
+        result = run_wire_episode(spec)
+        assert result.ok, result.violations
+        assert result.retransmits >= 1
+
+    def test_deferred_confirm_crossing_reconnect(self):
+        """The group-commit path: delivery confirmed only after the
+        connection already dropped, so the sender's HELLO-resync
+        retransmit re-delivers it — the id dedup layer must suppress
+        the duplicate and the late confirm must still resolve."""
+        spec = WireEpisodeSpec(
+            seed=3,
+            messages=6,
+            gap_ms=10,
+            latency_ms=5,
+            window=8,
+            confirm_delay_ms=60,
+            faults=[WireFault(at_ms=22, reconnect_after_ms=25)],
+        )
+        result = run_wire_episode(spec)
+        assert result.ok, result.violations
+        assert result.delivered == 6
+
+    def test_drop_that_outlives_reconnects_is_healed(self):
+        spec = WireEpisodeSpec(
+            seed=4,
+            messages=4,
+            gap_ms=10,
+            # reconnect far beyond all activity: the episode's final
+            # heal pass must still drain everything.
+            faults=[WireFault(at_ms=15, reconnect_after_ms=100_000)],
+        )
+        result = run_wire_episode(spec)
+        assert result.ok, result.violations
+        assert result.delivered == 4
+
+
+class TestHarnessInternals:
+    def test_chunks_split_so_drops_land_mid_frame(self):
+        """The pipe delivers each flush in two scheduled halves; a drop
+        between them leaves a truncated frame that the epoch fence must
+        discard (never feed into the new connection's decoder)."""
+        spec = WireEpisodeSpec(seed=5, messages=1, gap_ms=1, faults=[])
+        harness = WireChaosHarness(spec)
+        harness.establish()
+        harness.send("m0")
+        labels = [
+            event.label
+            for event in getattr(harness.scheduler, "_heap", [])
+            if getattr(event, "label", "") == "wire-chunk"
+        ]
+        # HELLO exchanges plus the MSG flush each split into halves.
+        assert len(labels) >= 2
+
+    def test_stale_epoch_bytes_are_discarded(self):
+        spec = WireEpisodeSpec(seed=6, messages=1, faults=[])
+        harness = WireChaosHarness(spec)
+        harness.establish()
+        old_epoch = harness.epoch
+        harness.drop()
+        harness.establish()
+        before = harness.receiver.metrics["bytes_received"]
+        harness._arrive(harness.receiver, b"\xde\xad\xbe\xef", old_epoch)
+        assert harness.receiver.metrics["bytes_received"] == before
+
+
+class TestCorpus:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_episode_has_zero_violations(self, seed):
+        result = run_wire_episode(WireEpisodeSpec.generate(seed))
+        assert result.ok, f"seed={seed}: {result.violations}"
+        assert result.delivered == result.spec.messages
+
+    def test_corpus_summary_shape(self):
+        summary = run_wire_corpus(episodes=5, base_seed=100)
+        assert summary["failures"] == 0
+        assert summary["violations"] == []
+        assert summary["delivered"] == summary["sends"]
+        assert summary["transport"] == "tcp"
+        assert summary["reconnects"] >= 1

@@ -1,0 +1,98 @@
+"""RFC 6298 estimator: worked examples, clamps, backoff, Karn support."""
+
+import pytest
+
+from repro.net.rtt import RttEstimator
+
+
+def test_initial_rto_before_any_sample():
+    est = RttEstimator(initial_rto=1000.0)
+    assert est.rto == 1000.0
+    assert est.srtt is None
+    assert est.samples == 0
+
+
+def test_first_sample_worked_example():
+    # RFC 6298 §2.2: SRTT = R, RTTVAR = R/2, RTO = SRTT + K*RTTVAR.
+    est = RttEstimator(initial_rto=3000.0)
+    rto = est.observe(500.0)
+    assert est.srtt == 500.0
+    assert est.rttvar == 250.0
+    assert rto == 500.0 + 4 * 250.0 == 1500.0
+
+
+def test_second_sample_worked_example():
+    # RFC 6298 §2.3 with alpha=1/8, beta=1/4 after R=500 then R'=300:
+    #   RTTVAR = 0.75*250 + 0.25*|500-300| = 237.5
+    #   SRTT   = 0.875*500 + 0.125*300     = 475
+    #   RTO    = 475 + 4*237.5             = 1425
+    est = RttEstimator()
+    est.observe(500.0)
+    rto = est.observe(300.0)
+    assert est.rttvar == pytest.approx(237.5)
+    assert est.srtt == pytest.approx(475.0)
+    assert rto == pytest.approx(1425.0)
+
+
+def test_stable_rtt_converges_toward_srtt_plus_granularity_floor():
+    est = RttEstimator(granularity=1.0, min_rto=1.0)
+    for _ in range(200):
+        est.observe(100.0)
+    # With zero variance the RTO floors at srtt + max(G, 4*rttvar).
+    assert est.srtt == pytest.approx(100.0)
+    assert est.rttvar == pytest.approx(0.0, abs=1e-6)
+    assert est.rto == pytest.approx(101.0, abs=0.1)
+
+
+def test_min_rto_clamp():
+    est = RttEstimator(min_rto=200.0)
+    est.observe(1.0)
+    assert est.rto == 200.0
+
+
+def test_max_rto_clamp():
+    est = RttEstimator(max_rto=2000.0)
+    est.observe(10_000.0)
+    assert est.rto == 2000.0
+
+
+def test_backoff_doubles_and_clamps():
+    est = RttEstimator(initial_rto=1000.0, max_rto=5000.0)
+    assert est.backoff() == 2000.0
+    assert est.backoff() == 4000.0
+    assert est.backoff() == 5000.0  # clamped
+    assert est.backoffs == 3
+
+
+def test_reset_backoff_restores_estimate():
+    est = RttEstimator()
+    est.observe(500.0)  # rto 1500
+    est.backoff()
+    est.backoff()
+    assert est.rto == 6000.0
+    assert est.reset_backoff() == 1500.0
+
+
+def test_reset_backoff_without_samples_restores_initial():
+    est = RttEstimator(initial_rto=1000.0)
+    est.backoff()
+    assert est.reset_backoff() == 1000.0
+
+
+def test_observe_after_backoff_recomputes_from_estimate():
+    est = RttEstimator()
+    est.observe(500.0)
+    est.backoff()  # 3000
+    # A fresh sample recomputes RTO from SRTT/RTTVAR directly.
+    rto = est.observe(500.0)
+    assert rto < 3000.0
+
+
+def test_rejects_bad_parameters_and_samples():
+    with pytest.raises(ValueError):
+        RttEstimator(initial_rto=0)
+    with pytest.raises(ValueError):
+        RttEstimator(min_rto=10, max_rto=5)
+    est = RttEstimator()
+    with pytest.raises(ValueError):
+        est.observe(-1.0)
