@@ -32,8 +32,13 @@ each expiry.
 Exactly-once is two-tier, mirroring ``MessageNetwork``: sequence
 numbers suppress duplicates within a connection epoch, and the
 delivery layer's message-id dedup suppresses redeliveries across
-reconnects/restarts (a receiver that crashed after journaling but
-before acking will see the retransmit and drop it by id).
+reconnects for the life of the receiving process.  Across a receiver
+*restart* the delivery layer reseeds its dedup ledger from the
+recovered queues, so a message that was journaled but not yet consumed
+is still dropped by id when the sender retransmits it; a message that
+was journaled, *consumed*, and whose ack then died with the crash
+leaves no trace to dedup against, and is redelivered (at-least-once at
+that edge — see SEMANTICS.md §11).
 
 Acks are deliberately decoupled from the stream cursor: the engine
 only acknowledges sequence numbers whose delivery the embedding layer
@@ -302,6 +307,18 @@ class ChannelEngine:
             self._ack_pending = True
             if self.connected:
                 self._flush_ack()
+
+    @property
+    def confirmed(self) -> int:
+        """Highest sequence number durably accepted (receiver role).
+
+        Seqs at or below this watermark are never redelivered as
+        ``message`` events — within an epoch they fall under the
+        cursor, and across a reconnect the HELLO resync makes the
+        sender drop them — so the embedding layer can prune any
+        per-delivery dedup state it keeps for them.
+        """
+        return self._confirmed
 
     def advertise_window(self, window: int) -> None:
         """Update the credit window granted to the peer.

@@ -27,9 +27,16 @@ Durability and exactly-once mirror the in-process ``MessageNetwork``:
   i.e. after the receiver confirmed the message is in *its* journal;
   the resolution is a queue-level (unjournaled) removal, so the parked
   copy remains the channel's in-doubt record across sender crashes;
-* the receiver suppresses redelivered messages by message id (plus a
-  queue-presence check), so retransmits after reconnect or sender
-  recovery land at most once.
+* the receiver suppresses redelivered messages by message id: a dedup
+  ledger tracks every wire delivery, is seeded at construction from
+  the recovered queue contents (so a restarted receiver still drops
+  retransmits of journaled-but-unconsumed messages), and is pruned as
+  the confirmed-ack watermark passes each entry — the sender can
+  never retransmit an acked seq, so the ledger stays bounded by the
+  unacked window instead of growing per delivered message.  The one
+  edge outside the ledger: a message journaled *and consumed* whose
+  ack died with a receiver crash is redelivered on retransmit
+  (at-least-once at that edge; §11 of SEMANTICS.md spells this out).
 
 Backpressure is credit-based end to end: the receiver advertises a
 window from its local backlog, a sender out of credit stops pumping,
@@ -41,7 +48,8 @@ nothing buffers unboundedly.
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
 
 from repro.errors import ChannelError, MQError
 from repro.mq.manager import XMIT_PREFIX, QueueManager
@@ -130,12 +138,38 @@ class WireHost(Transport):
         self._inbound: Dict[str, ChannelEngine] = {}
         self._inbound_writers: Dict[str, asyncio.StreamWriter] = {}
         self._inbound_stats: Dict[str, ChannelStats] = {}
-        #: (queue, message_id) of completed deliveries — exactly-once.
+        #: (queue, message_id) dedup ledger of wire deliveries.
+        #: Entries delivered through a channel are pruned once that
+        #: channel's confirmed-ack watermark passes their seq (the
+        #: sender can never retransmit an acked seq), so membership is
+        #: O(1) and size is bounded by the unacked window plus the
+        #: restart seed below.
         self._delivered: Set[Tuple[str, str]] = set()
+        #: per-peer FIFO of (seq, key) awaiting watermark pruning
+        self._delivered_order: Dict[str, Deque[Tuple[int, Tuple[str, str]]]] = {}
+        #: per-peer highest tracked seq per key (a redelivery re-tracks
+        #: its key at the new seq; only the newest tracking may retire it)
+        self._delivered_seq: Dict[str, Dict[Tuple[str, str], int]] = {}
         self._servers: List[asyncio.base_events.Server] = []
         self._closed = False
+        #: event loop hosting the channels, for flushes scheduled from
+        #: durability callbacks (captured when serving/dialling starts)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        #: peers with a deferred-ack flush already scheduled
+        self._flush_scheduled: Set[str] = set()
         #: last-synced engine counter snapshots, for metric deltas
         self._metric_marks: Dict[int, Dict[str, int]] = {}
+        # Restart dedup seed: a recovered manager's queues hold every
+        # journaled-but-unconsumed message, including ones whose acks
+        # never reached the sender.  Recording their ids now makes the
+        # retransmits arriving after reconnect O(1) duplicates instead
+        # of requiring a queue scan per incoming message.  (Outbound
+        # spools are parking for *our* sends, not wire deliveries.)
+        for queue_name in manager.queue_names():
+            if queue_name.startswith(XMIT_PREFIX):
+                continue
+            for stored in manager.queue(queue_name).snapshot():
+                self._delivered.add((queue_name, stored.message_id))
 
     # ------------------------------------------------------------------
     # time & metrics
@@ -250,7 +284,8 @@ class WireHost(Transport):
         self.manager.ensure_queue(
             XMIT_PREFIX + peer, max_depth=self.spool_max_depth
         )
-        ob.task = asyncio.get_running_loop().create_task(
+        self._loop = asyncio.get_running_loop()
+        ob.task = self._loop.create_task(
             self._run_outbound(ob, connector), name=f"wire-out-{peer}"
         )
 
@@ -291,6 +326,14 @@ class WireHost(Transport):
                 ob.connected.clear()
                 pump_task.cancel()
                 retx_task.cancel()
+                # Collect the cancelled tasks before starting the next
+                # connection epoch: a pump/retx task that already died
+                # on a broken socket would otherwise surface as a
+                # "Task exception was never retrieved" warning, and a
+                # still-cancelling task could race the new epoch.
+                await asyncio.gather(
+                    pump_task, retx_task, return_exceptions=True
+                )
                 ob.engine.connection_lost(self._now())
                 ob.writer = None
                 writer.close()
@@ -383,12 +426,14 @@ class WireHost(Transport):
     # ------------------------------------------------------------------
     async def serve_unix(self, path: str) -> str:
         """Listen for peer connections on a unix socket; returns ``path``."""
+        self._loop = asyncio.get_running_loop()
         server = await asyncio.start_unix_server(self._accept, path=path)
         self._servers.append(server)
         return path
 
     async def serve_tcp(self, host: str, port: int) -> Tuple[str, int]:
         """Listen for peer connections on TCP; returns the bound address."""
+        self._loop = asyncio.get_running_loop()
         server = await asyncio.start_server(self._accept, host=host, port=port)
         self._servers.append(server)
         sock = server.sockets[0]
@@ -514,21 +559,21 @@ class WireHost(Transport):
             # target (raises ChannelError if we have no channel either).
             self.send(self.name, str(final_target), queue_name, final)
             stats.delivered += 1
-            self.manager.post_durable(lambda: engine.confirm_delivery(seq))
+            self._post_confirm(peer, engine, seq)
             return
         key = (queue_name, final.message_id)
-        if key in self._delivered or (
-            self.manager.has_queue(queue_name)
-            and any(
-                stored.message_id == final.message_id
-                for stored in self.manager.queue(queue_name).snapshot()
-            )
-        ):
-            # Redelivery (retransmit across a reconnect, or a recovered
-            # sender re-pumping its spool): confirm without re-putting.
-            self._delivered.add(key)
+        if key in self._delivered:
+            # Redelivery (retransmit across a reconnect, a recovered
+            # sender re-pumping its spool, or a retransmit of a message
+            # seeded from our own recovered queues): suppress the
+            # second put, but defer the ack exactly like the original
+            # put's — the first delivery's commit group may still be
+            # held open (adaptive group commit), and acking before it
+            # flushes would let the sender resolve its in-doubt spool
+            # copy for a message this process could still lose.
+            self._track_delivered(peer, seq, key)
             stats.duplicates_suppressed += 1
-            engine.confirm_delivery(seq)
+            self._post_confirm(peer, engine, seq)
             return
         if not self.manager.has_queue(queue_name):
             if not self.auto_create_queues:
@@ -537,12 +582,89 @@ class WireHost(Transport):
                 )
             self.manager.define_queue(queue_name)
         self.manager.put(queue_name, final)
-        self._delivered.add(key)
+        self._track_delivered(peer, seq, key)
         stats.delivered += 1
         # Ack only once the put's commit group is durable: the sender
         # must never resolve its in-doubt spool copy for a message this
         # process could still lose — journal-before-ack across processes.
-        self.manager.post_durable(lambda: engine.confirm_delivery(seq))
+        self._post_confirm(peer, engine, seq)
+
+    def _post_confirm(self, peer: str, engine: ChannelEngine, seq: int) -> None:
+        """Ack ``seq`` once the current commit group is durable.
+
+        The deferred callback may fire outside any socket read (a group
+        flush, an adaptive-flush timer), where the accept loop schedules
+        no write of its own — so after confirming, push the queued ACK
+        bytes out explicitly instead of letting them sit in the engine
+        outbox until the next inbound frame.
+        """
+
+        def _confirm() -> None:
+            engine.confirm_delivery(seq)
+            self._prune_delivered(peer, engine)
+            self._schedule_inbound_flush(peer)
+
+        self.manager.post_durable(_confirm)
+
+    def _track_delivered(
+        self, peer: str, seq: int, key: Tuple[str, str]
+    ) -> None:
+        self._delivered.add(key)
+        self._delivered_order.setdefault(peer, deque()).append((seq, key))
+        self._delivered_seq.setdefault(peer, {})[key] = seq
+
+    def _prune_delivered(self, peer: str, engine: ChannelEngine) -> None:
+        """Retire ledger entries the ack watermark has passed.
+
+        A seq at or below ``engine.confirmed`` can never be redelivered
+        as a message event (in-epoch duplicates die under the cursor,
+        reconnects resync past it), so its dedup entry is dead weight —
+        unless the same key was re-tracked by a later redelivery whose
+        confirmation is still pending, in which case the newest tracking
+        keeps it alive.
+        """
+        pending = self._delivered_order.get(peer)
+        if not pending:
+            return
+        confirmed = engine.confirmed
+        newest = self._delivered_seq[peer]
+        while pending and pending[0][0] <= confirmed:
+            seq, key = pending.popleft()
+            if newest.get(key) == seq:
+                del newest[key]
+                self._delivered.discard(key)
+
+    def _schedule_inbound_flush(self, peer: str) -> None:
+        loop = self._loop
+        if (
+            loop is None
+            or loop.is_closed()
+            or self._closed
+            or peer in self._flush_scheduled
+        ):
+            return
+        self._flush_scheduled.add(peer)
+        # threadsafe: adaptive-flush schedulers may drain commit groups
+        # (and run their post_commit hooks) off the loop thread.
+        loop.call_soon_threadsafe(self._start_inbound_flush, peer)
+
+    def _start_inbound_flush(self, peer: str) -> None:
+        self._flush_scheduled.discard(peer)
+        engine = self._inbound.get(peer)
+        writer = self._inbound_writers.get(peer)
+        if engine is None or writer is None or not engine.connected:
+            return  # the ack rides the resync of the next connection
+        asyncio.get_running_loop().create_task(
+            self._flush_quietly(engine, writer)
+        )
+
+    async def _flush_quietly(
+        self, engine: ChannelEngine, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._flush(engine, writer)
+        except (ConnectionError, OSError):
+            pass  # the accept loop owns teardown of a dying connection
 
     # ------------------------------------------------------------------
     # shared plumbing

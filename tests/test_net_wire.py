@@ -175,6 +175,144 @@ class TestReconnect:
         asyncio.run(main())
 
 
+class TestAckDurabilityOrdering:
+    """Acks must order after the commit group that journaled the put —
+    on the first delivery *and* on duplicate suppression."""
+
+    def test_deferred_ack_flushes_without_inbound_traffic(self, tmp_path):
+        """A confirm released by a durability callback pushes its ACK
+        out on its own; it must not wait for the next inbound frame or
+        a sender retransmission."""
+
+        async def main():
+            ma, mb, ha, hb = await linked_pair(
+                tmp_path, initial_rto_ms=60_000.0
+            )
+            held = []
+            mb.post_durable = held.append  # durability stalls (held group)
+            ma.put_remote("QM.B", "IN.Q", Message(body="slow"))
+            await wait_until(
+                lambda: mb.has_queue("IN.Q") and mb.depth("IN.Q") == 1
+            )
+            await asyncio.sleep(0.05)
+            # Delivered but unconfirmed: the in-doubt spool copy stays.
+            assert ma.depth(XMIT_PREFIX + "QM.B") == 1
+            assert len(held) == 1
+            for callback in held:
+                callback()  # the group flush lands
+            # The ack reaches the sender although no frame ever travels
+            # receiver-ward again (RTO is 60s, so no retransmit helps).
+            await wait_until(lambda: ma.depth(XMIT_PREFIX + "QM.B") == 0)
+            await ha.close()
+            await hb.close()
+
+        asyncio.run(main())
+
+    def test_duplicate_suppression_ack_defers_until_durable(self, tmp_path):
+        """A retransmit arriving before the original put's commit group
+        flushes must not be acked early: the sender would resolve its
+        spool copy for a message the receiver could still lose."""
+
+        async def main():
+            ma, mb, ha, hb = await linked_pair(
+                tmp_path,
+                reconnect_min_ms=10,
+                reconnect_max_ms=50,
+                initial_rto_ms=60_000.0,
+            )
+            held = []
+            mb.post_durable = held.append
+            ma.put_remote("QM.B", "IN.Q", Message(body="once"))
+            await wait_until(
+                lambda: mb.has_queue("IN.Q") and mb.depth("IN.Q") == 1
+            )
+            # Drop the connection before any ack could exist; the
+            # reconnect handshake retransmits the unacked message.
+            for writer in list(hb._inbound_writers.values()):
+                writer.close()
+            await wait_until(
+                lambda: hb._inbound_stats["QM.A"].duplicates_suppressed == 1
+            )
+            assert mb.depth("IN.Q") == 1  # suppressed, not re-put
+            await asyncio.sleep(0.05)
+            # Both confirms (original put, duplicate) are still held
+            # behind durability — no ack, so the spool copy survives.
+            assert ma.depth(XMIT_PREFIX + "QM.B") == 1
+            assert len(held) == 2
+            for callback in held:
+                callback()
+            await wait_until(lambda: ma.depth(XMIT_PREFIX + "QM.B") == 0)
+            assert mb.depth("IN.Q") == 1
+            await ha.close()
+            await hb.close()
+
+        asyncio.run(main())
+
+
+class TestDedupLedger:
+    def test_ledger_prunes_to_ack_watermark(self, tmp_path):
+        """Delivered entries retire once their seq is ack-covered; the
+        ledger must not grow one entry per message for the host's life."""
+
+        async def main():
+            ma, mb, ha, hb = await linked_pair(tmp_path)
+            for i in range(8):
+                ma.put_remote("QM.B", "IN.Q", Message(body={"n": i}))
+            await ha.drain_outbound()
+            assert mb.depth("IN.Q") == 8
+            await wait_until(lambda: not hb._delivered)
+            assert not hb._delivered_order.get("QM.A")
+            assert not hb._delivered_seq.get("QM.A")
+            await ha.close()
+            await hb.close()
+
+        asyncio.run(main())
+
+    def test_restart_seed_suppresses_retransmits(self, tmp_path):
+        """Both hosts restart: the receiver recovers from its journal,
+        the sender still holds an in-doubt spool copy (its ack died
+        with the crash).  The reseeded ledger drops the retransmit."""
+
+        async def main():
+            journal = f"file:{tmp_path / 'b.journal'}"
+            ma = QueueManager("QM.A", WallClock(), journal="memory:")
+            mb = QueueManager("QM.B", WallClock(), journal=journal)
+            hb = WireHost(mb)
+            await hb.serve_unix(str(tmp_path / "b1.sock"))
+            ha = WireHost(ma)
+            ha.connect_unix("QM.B", str(tmp_path / "b1.sock"))
+            await ha.wait_connected("QM.B")
+            for i in range(3):
+                ma.put_remote("QM.B", "IN.Q", Message(body={"n": i}))
+            await ha.drain_outbound()
+            survivor = mb.queue("IN.Q").snapshot()[0]
+            await ha.close()
+            await hb.close()
+
+            # --- restart: fresh engines, fresh hosts -----------------
+            mb2 = QueueManager.recover("QM.B", WallClock(), journal)
+            assert mb2.depth("IN.Q") == 3
+            hb2 = WireHost(mb2)
+            await hb2.serve_unix(str(tmp_path / "b2.sock"))
+            ma2 = QueueManager("QM.A", WallClock(), journal="memory:")
+            ha2 = WireHost(ma2)
+            ha2.connect_unix("QM.B", str(tmp_path / "b2.sock"))
+            # The in-doubt copy the pre-crash sender never resolved:
+            # same message id, re-pumped from the recovered spool.
+            ha2.send("QM.A", "QM.B", "IN.Q", survivor)
+            await ha2.wait_connected("QM.B")
+            await ha2.drain_outbound()
+
+            assert mb2.depth("IN.Q") == 3  # no duplicate delivery
+            stats = hb2.wire_stats()["in:QM.A"]
+            assert stats["duplicates_suppressed"] == 1
+            assert ma2.depth(XMIT_PREFIX + "QM.B") == 0  # still acked
+            await ha2.close()
+            await hb2.close()
+
+        asyncio.run(main())
+
+
 class TestBackpressure:
     def test_full_spool_raises_queue_full(self, tmp_path):
         """Zero credit + bounded spool = QueueFullError out of put."""
