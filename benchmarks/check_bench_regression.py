@@ -21,7 +21,9 @@ metrics the file carries (auto-detected from its shape):
   (each backend gated separately, so one backend regressing cannot hide
   behind another improving);
 * ``BENCH_query.json`` — ``speedup_10k``, the worst selector-pushdown
-  speedup over the linear scan at depth 10k.
+  speedup over the linear scan at depth 10k;
+* ``BENCH_pubsub.json`` — ``speedup_10k_subs``, the subscription-trie
+  matching speedup over the linear pattern scan at 10k subscriptions.
 
 All metrics are higher-is-better; a gate fails when the current value is
 more than ``tolerance`` (default 25%) below the baseline.  Wall-clock
@@ -93,6 +95,12 @@ def extract_metrics(path, data):
         return metrics
     if "speedup_10k" in data:
         return {"speedup_10k": _positive(path, "speedup_10k", data["speedup_10k"])}
+    if "speedup_10k_subs" in data:
+        return {
+            "speedup_10k_subs": _positive(
+                path, "speedup_10k_subs", data["speedup_10k_subs"]
+            )
+        }
     raise SystemExit(f"{path}: unrecognized benchmark shape (keys {sorted(data)})")
 
 

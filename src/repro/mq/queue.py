@@ -126,6 +126,21 @@ class MessageQueue:
         """All stored messages, including ones locked under transactions."""
         return len(self._entries)
 
+    @property
+    def max_depth(self) -> int:
+        """Configured depth limit of this queue."""
+        return self._max_depth
+
+    def capacity_remaining(self) -> int:
+        """Messages that can still be stored before ``max_depth``.
+
+        Counts locked entries (they occupy slots) after sweeping expired
+        ones.  The broker pre-checks fan-out batches against this so a
+        multi-queue publish is all-or-nothing on capacity.
+        """
+        self._sweep_expired()
+        return self._max_depth - len(self._entries)
+
     def is_empty(self) -> bool:
         """True if no visible message is available."""
         return self.depth() == 0

@@ -590,6 +590,22 @@ class SqlMessageQueue:
     def total_depth(self) -> int:
         return self._counts()[0]
 
+    @property
+    def max_depth(self) -> int:
+        """Configured depth limit of this queue (store-resolved)."""
+        return self._max_depth
+
+    def capacity_remaining(self) -> int:
+        """Messages that can still be stored before ``max_depth``.
+
+        Same contract as :meth:`MessageQueue.capacity_remaining`: locked
+        rows occupy slots, expired ones are swept first.
+        """
+        with self.store.transaction():
+            self._sweep_expired()
+            total, _locked = self._counts()
+        return self._max_depth - total
+
     def is_empty(self) -> bool:
         return self.depth() == 0
 

@@ -10,6 +10,12 @@ and seeded random workload generation for the parameter sweeps.
 from repro.workloads.scenarios import Testbed, build_example1_condition, build_example2_condition
 from repro.workloads.receivers import ReceiverScript, ScriptedReceiver
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.fleet import (
+    FleetResult,
+    FleetScenario,
+    FleetSpec,
+    run_fleet,
+)
 
 __all__ = [
     "Testbed",
@@ -19,4 +25,8 @@ __all__ = [
     "ScriptedReceiver",
     "WorkloadGenerator",
     "WorkloadSpec",
+    "FleetSpec",
+    "FleetScenario",
+    "FleetResult",
+    "run_fleet",
 ]

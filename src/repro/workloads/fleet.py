@@ -1,0 +1,469 @@
+"""Device-fleet telemetry workload: conditional pub/sub at fleet scale.
+
+The ROADMAP's device-fleet scenario: thousands of simulated devices
+publish telemetry on hierarchical topics
+(``fleet.<site>.<device>.<sensor>``) through one :class:`TopicBroker`,
+wildcard monitor subscriptions watch slices of the fleet (with seeded
+churn of non-durable monitors, modeling dashboards connecting and
+dropping), and an operations endpoint issues **availability checks**:
+conditional messages published to a site's command topic whose outcome
+fails unless at least *k* of the site's *n* devices acknowledge pick-up
+within a window — the paper's anonymous-minimum condition
+(``anonymous_min_pick_up``) doing MQTT-style availability monitoring.
+
+Everything runs on the virtual clock: a fleet hour costs milliseconds of
+wall time, and the whole scenario is reproducible from one seed.
+
+Shape of a run::
+
+    spec = FleetSpec(sites=4, devices_per_site=250)   # 1k devices
+    scenario = FleetScenario(spec)
+    scenario.add_availability_check(site_index=0, quorum_fraction=0.5,
+                                    on_time_fraction=0.9)   # satisfiable
+    scenario.add_availability_check(site_index=1, quorum_fraction=0.5,
+                                    on_time_fraction=0.2)   # will fail
+    result = scenario.run()
+    assert result.availability[0].succeeded
+    assert not result.availability[1].succeeded
+
+The broker runs with retained last-value state on, so monitors joining
+mid-run (churn waves) immediately receive each matching topic's current
+reading, and devices publish on undefined topics (auto-registration —
+device auto-discovery).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.builder import destination, destination_set
+from repro.core.receiver import ConditionalMessagingReceiver
+from repro.core.service import ConditionalMessagingService
+from repro.mq.manager import QueueManager
+from repro.mq.message import Message
+from repro.mq.network import MessageNetwork
+from repro.mq.pubsub import (
+    DEFAULT_MATCH_CACHE_SIZE,
+    TopicBroker,
+    topic_queue_name,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.sim.clock import SimulatedClock
+from repro.sim.scheduler import EventScheduler
+
+#: Queue manager names of the two fleet endpoints.
+FLEET_HUB = "QM.FLEET.HUB"
+FLEET_OPS = "QM.FLEET.OPS"
+
+#: Root segment of every fleet topic.
+FLEET_TOPIC_ROOT = "fleet"
+
+
+def device_topic(site: str, device: str, sensor: str) -> str:
+    """Telemetry topic of one device sensor."""
+    return f"{FLEET_TOPIC_ROOT}.{site}.{device}.{sensor}"
+
+
+def command_topic(site: str) -> str:
+    """Per-site command topic availability checks are published on."""
+    return f"{FLEET_TOPIC_ROOT}.{site}.cmd"
+
+
+@dataclass
+class FleetSpec:
+    """Parameters of one fleet scenario (fully seeded/reproducible).
+
+    Attributes:
+        sites: Number of sites; devices are spread evenly across them.
+        devices_per_site: Devices per site (total fleet size =
+            ``sites * devices_per_site``).
+        sensors: Sensor names every device carries; each publishes on its
+            own topic.
+        telemetry_rounds: How many readings each sensor publishes.
+        publish_interval_ms: Virtual time between a sensor's readings.
+        device_jitter_ms: Seeded per-publish jitter so readings spread
+            instead of thundering on one tick.
+        site_monitor_patterns: Wildcard patterns each site gets a durable
+            monitor for (``{site}`` is substituted).
+        fleet_monitor_patterns: Fleet-wide durable monitor patterns.
+        churn_waves: Times the non-durable monitor population is dropped
+            (:meth:`TopicBroker.drop_nondurable`) and re-subscribed.
+        churn_monitors: Non-durable monitors (re)subscribed per wave,
+            each watching one seeded device (``fleet.<site>.<device>.*``
+            — narrow enough that retained catch-up stays proportional).
+        churn_interval_ms: Virtual time between churn waves.
+        latency_ms: Ops -> hub channel latency.
+        retain_last: Broker retained last-value state (on: churn monitors
+            receive each watched topic's current reading at subscribe).
+        match_cache_size: Broker per-topic match-set memo capacity.
+        seed: Seeds jitter, monitor targets, and responder choice.
+    """
+
+    sites: int = 2
+    devices_per_site: int = 50
+    sensors: Tuple[str, ...] = ("temperature", "humidity", "power")
+    telemetry_rounds: int = 2
+    publish_interval_ms: int = 1_000
+    device_jitter_ms: int = 400
+    site_monitor_patterns: Tuple[str, ...] = ("{site}.#",)
+    fleet_monitor_patterns: Tuple[str, ...] = ("#", "*.*.temperature")
+    churn_waves: int = 2
+    churn_monitors: int = 3
+    churn_interval_ms: int = 1_500
+    latency_ms: int = 5
+    retain_last: bool = True
+    match_cache_size: int = DEFAULT_MATCH_CACHE_SIZE
+    seed: int = 0
+
+    def site_names(self) -> List[str]:
+        return [f"site{i:02d}" for i in range(self.sites)]
+
+
+@dataclass
+class FleetDevice:
+    """One simulated device: a receiver endpoint plus its sensor topics."""
+
+    site: str
+    name: str
+    command_queue: str
+    receiver: ConditionalMessagingReceiver = field(repr=False)
+
+    def topics(self, sensors: Tuple[str, ...]) -> List[str]:
+        return [device_topic(self.site, self.name, s) for s in sensors]
+
+
+@dataclass
+class AvailabilityCheck:
+    """One scheduled k-of-n availability condition (pre-run plan)."""
+
+    site: str
+    at_ms: int
+    window_ms: int
+    min_ack: int
+    total: int
+    responders: int
+    expect_success: bool
+    cmid: Optional[str] = None
+
+
+@dataclass
+class AvailabilityOutcome:
+    """Resolved outcome of one availability check."""
+
+    site: str
+    cmid: str
+    min_ack: int
+    responders: int
+    total: int
+    expect_success: bool
+    succeeded: bool
+    decided_at_ms: int
+    reasons: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FleetResult:
+    """What one fleet run produced (assertion surface for tests/benches)."""
+
+    devices: int
+    sites: List[str]
+    telemetry_published: int
+    deliveries: int
+    auto_registered: int
+    retained_deliveries: int
+    monitors_dropped: int
+    availability: List[AvailabilityOutcome]
+    events_run: int
+    final_time_ms: int
+
+
+class FleetScenario:
+    """A complete fleet deployment on the virtual clock.
+
+    Two queue managers: ``QM.FLEET.OPS`` runs the conditional messaging
+    service (the operations/control plane), ``QM.FLEET.HUB`` hosts the
+    :class:`TopicBroker` with every device and monitor queue.  Devices
+    subscribe to their site's command topic with their own queue and a
+    named :class:`ConditionalMessagingReceiver`, so an availability
+    check's acknowledgments count distinct recipients.
+    """
+
+    def __init__(
+        self,
+        spec: FleetSpec,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        if spec.sites < 1 or spec.devices_per_site < 1:
+            raise ValueError("a fleet needs at least one site and one device")
+        self.spec = spec
+        self.metrics = metrics
+        self._rng = random.Random(spec.seed)
+        self.clock = SimulatedClock()
+        self.scheduler = EventScheduler(self.clock)
+        self.network = MessageNetwork(scheduler=self.scheduler, seed=spec.seed)
+        self.ops = self.network.add_manager(
+            QueueManager(FLEET_OPS, self.clock, metrics=metrics)
+        )
+        self.hub = self.network.add_manager(
+            QueueManager(FLEET_HUB, self.clock, metrics=metrics)
+        )
+        self.network.connect(FLEET_OPS, FLEET_HUB, latency_ms=spec.latency_ms)
+        self.service = ConditionalMessagingService(
+            self.ops, scheduler=self.scheduler
+        )
+        self.broker = TopicBroker(
+            self.hub,
+            retain_last=spec.retain_last,
+            match_cache_size=spec.match_cache_size,
+            metrics=metrics,
+        )
+        self.devices: List[FleetDevice] = []
+        self.devices_by_site: Dict[str, List[FleetDevice]] = {}
+        self._checks: List[AvailabilityCheck] = []
+        self._churn_dropped = 0
+        self._churn_serial = 0
+        self._deployed = False
+
+    # -- population ---------------------------------------------------------
+
+    def deploy(self) -> None:
+        """Create devices, their command subscriptions, and monitors."""
+        if self._deployed:
+            return
+        self._deployed = True
+        spec = self.spec
+        index = 0
+        for site in spec.site_names():
+            self.broker.define_topic(command_topic(site))
+            site_devices: List[FleetDevice] = []
+            for _ in range(spec.devices_per_site):
+                name = f"dev{index:05d}"
+                index += 1
+                subscription = self.broker.subscribe(
+                    command_topic(site), f"cmd.{name}"
+                )
+                device = FleetDevice(
+                    site=site,
+                    name=name,
+                    command_queue=subscription.queue_name,
+                    receiver=ConditionalMessagingReceiver(
+                        self.hub, recipient_id=name
+                    ),
+                )
+                site_devices.append(device)
+                self.devices.append(device)
+            self.devices_by_site[site] = site_devices
+            for pattern in spec.site_monitor_patterns:
+                rendered = f"{FLEET_TOPIC_ROOT}.{pattern.format(site=site)}"
+                self.broker.subscribe(rendered, f"mon.{site}.{pattern}")
+        for pattern in spec.fleet_monitor_patterns:
+            self.broker.subscribe(
+                f"{FLEET_TOPIC_ROOT}.{pattern}", f"mon.fleet.{pattern}"
+            )
+
+    # -- telemetry plane ----------------------------------------------------
+
+    def schedule_telemetry(self) -> int:
+        """Schedule every sensor reading; returns the count scheduled.
+
+        Each device sensor publishes ``telemetry_rounds`` readings,
+        ``publish_interval_ms`` apart plus seeded jitter, by putting the
+        reading straight through the broker (hub-local publish — devices
+        live on the hub's manager).  Topics are *not* pre-defined: the
+        first reading of each sensor auto-registers its topic.
+        """
+        self.deploy()
+        spec = self.spec
+        scheduled = 0
+        for device in self.devices:
+            for sensor in spec.sensors:
+                topic = device_topic(device.site, device.name, sensor)
+                for round_index in range(spec.telemetry_rounds):
+                    at = (
+                        round_index * spec.publish_interval_ms
+                        + self._rng.randint(0, max(spec.device_jitter_ms, 1))
+                    )
+                    value = round(self._rng.uniform(0.0, 100.0), 3)
+                    reading = Message(
+                        body={"value": value, "round": round_index},
+                        properties={
+                            "site": device.site,
+                            "device": device.name,
+                            "sensor": sensor,
+                        },
+                    )
+                    self.scheduler.call_later(
+                        at,
+                        lambda t=topic, m=reading: self.broker.publish(t, m),
+                        label=f"telemetry {topic}",
+                    )
+                    scheduled += 1
+        return scheduled
+
+    def schedule_churn(self) -> None:
+        """Schedule the non-durable monitor churn waves."""
+        self.deploy()
+        spec = self.spec
+        for wave in range(spec.churn_waves):
+            self.scheduler.call_later(
+                (wave + 1) * spec.churn_interval_ms,
+                self._churn_wave,
+                label=f"monitor churn wave {wave}",
+            )
+
+    def _churn_wave(self) -> None:
+        """Drop every non-durable monitor, then subscribe a fresh batch."""
+        self._churn_dropped += self.broker.drop_nondurable()
+        for _ in range(self.spec.churn_monitors):
+            device = self._rng.choice(self.devices)
+            self._churn_serial += 1
+            self.broker.subscribe(
+                f"{FLEET_TOPIC_ROOT}.{device.site}.{device.name}.*",
+                f"mon.churn.{self._churn_serial}",
+                durable=False,
+            )
+
+    # -- availability conditions --------------------------------------------
+
+    def add_availability_check(
+        self,
+        site_index: int,
+        quorum_fraction: float = 0.5,
+        on_time_fraction: float = 0.9,
+        window_ms: int = 5_000,
+        at_ms: int = 100,
+    ) -> AvailabilityCheck:
+        """Plan a k-of-n availability condition on one site.
+
+        A conditional message is published (at ``at_ms``) to the site's
+        command topic; the broker fans it out to every device of the
+        site; ``round(on_time_fraction * n)`` seeded-chosen devices read
+        their copy inside the window, the rest stay silent.  The
+        condition demands ``k = max(1, round(quorum_fraction * n))``
+        distinct acknowledgments within ``window_ms``
+        (``anonymous_min_pick_up`` on the destination set), so the
+        outcome succeeds iff enough of the site answered in time.
+        """
+        self.deploy()
+        site = self.spec.site_names()[site_index]
+        site_devices = self.devices_by_site[site]
+        total = len(site_devices)
+        min_ack = max(1, round(quorum_fraction * total))
+        responders = max(0, min(total, round(on_time_fraction * total)))
+        check = AvailabilityCheck(
+            site=site,
+            at_ms=at_ms,
+            window_ms=window_ms,
+            min_ack=min_ack,
+            total=total,
+            responders=responders,
+            expect_success=responders >= min_ack,
+        )
+        self._checks.append(check)
+        chosen = self._rng.sample(site_devices, responders)
+        self.scheduler.call_later(
+            at_ms,
+            lambda: self._fire_check(check),
+            label=f"availability check {site}",
+        )
+        # Responders read inside the first half of the window, leaving
+        # headroom for channel latency + fan-out so the read timestamp is
+        # reliably inside the deadline.  Non-responders never read: their
+        # copies sit on the device queues (a real fleet's offline
+        # devices), and a failed check decides at the evaluation timeout.
+        lower = self.spec.latency_ms + 1
+        upper = max(lower + 1, window_ms // 2)
+        for device in chosen:
+            delay = self._rng.randint(lower, upper)
+            self.scheduler.call_later(
+                at_ms + delay,
+                lambda d=device: d.receiver.read_message(d.command_queue),
+                label=f"device ack {device.name}",
+            )
+        return check
+
+    def _fire_check(self, check: AvailabilityCheck) -> None:
+        condition = destination_set(
+            destination(
+                topic_queue_name(command_topic(check.site)), manager=FLEET_HUB
+            ),
+            msg_pick_up_time=check.window_ms,
+            anonymous_min_pick_up=check.min_ack,
+            evaluation_timeout=check.window_ms + 1_000,
+        )
+        check.cmid = self.service.send_message(
+            {
+                "command": "availability-ping",
+                "site": check.site,
+                "quorum": check.min_ack,
+            },
+            condition,
+        )
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, max_events: int = 5_000_000) -> FleetResult:
+        """Deploy, schedule everything, run to quiescence, collect results."""
+        self.deploy()
+        telemetry = self.schedule_telemetry()
+        self.schedule_churn()
+        events = self.scheduler.run_all(max_events=max_events)
+        outcomes: List[AvailabilityOutcome] = []
+        for check in self._checks:
+            if check.cmid is None:  # pragma: no cover - send never fired
+                raise RuntimeError(f"availability check on {check.site} never sent")
+            record = self.service.outcome(check.cmid)
+            if record is None:
+                raise RuntimeError(
+                    f"availability check {check.cmid} undecided after run_all"
+                )
+            outcomes.append(
+                AvailabilityOutcome(
+                    site=check.site,
+                    cmid=check.cmid,
+                    min_ack=check.min_ack,
+                    responders=check.responders,
+                    total=check.total,
+                    expect_success=check.expect_success,
+                    succeeded=record.succeeded,
+                    decided_at_ms=record.decided_at_ms,
+                    reasons=list(record.reasons),
+                )
+            )
+        stats = self.broker.stats
+        return FleetResult(
+            devices=len(self.devices),
+            sites=self.spec.site_names(),
+            telemetry_published=telemetry,
+            deliveries=stats.deliveries,
+            auto_registered=stats.auto_registered,
+            retained_deliveries=stats.retained_deliveries,
+            monitors_dropped=self._churn_dropped,
+            availability=outcomes,
+            events_run=events,
+            final_time_ms=self.clock.now_ms(),
+        )
+
+
+def run_fleet(
+    spec: Optional[FleetSpec] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> FleetResult:
+    """Run the canonical fleet scenario: one passing and one failing check.
+
+    The convenience entry the tests, docs, and benchmark share: site 0
+    gets a satisfiable availability condition (90% of devices answer a
+    50% quorum), the last site gets an unsatisfiable one (20% answer),
+    so a single run observes both outcome polarities end to end.
+    """
+    spec = spec or FleetSpec()
+    scenario = FleetScenario(spec, metrics=metrics)
+    scenario.add_availability_check(
+        site_index=0, quorum_fraction=0.5, on_time_fraction=0.9
+    )
+    scenario.add_availability_check(
+        site_index=spec.sites - 1, quorum_fraction=0.5, on_time_fraction=0.2
+    )
+    return scenario.run()

@@ -39,6 +39,10 @@ class TestMetricDetection:
             "speedup_10k": 3.5
         }
 
+    def test_pubsub_shape(self):
+        data = {"speedup_10k_subs": 42.0, "results": [], "scales": [100]}
+        assert extract_metrics("ps.json", data) == {"speedup_10k_subs": 42.0}
+
     def test_throughput_shape_with_multiprocess_section(self):
         data = {
             "msgs_per_sec": 500.0,

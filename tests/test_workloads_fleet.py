@@ -1,0 +1,171 @@
+"""The device-fleet telemetry workload, end to end on the virtual clock."""
+
+import pytest
+
+from repro.mq.pubsub import SUBSCRIPTION_QUEUE_PREFIX
+from repro.obs.registry import MetricsRegistry
+from repro.workloads import FleetScenario, FleetSpec, run_fleet
+from repro.workloads.fleet import command_topic, device_topic
+
+
+def small_spec(**overrides):
+    base = dict(sites=2, devices_per_site=10, telemetry_rounds=1, seed=7)
+    base.update(overrides)
+    return FleetSpec(**base)
+
+
+class TestDeployment:
+    def test_deploy_builds_devices_and_monitors(self):
+        scenario = FleetScenario(small_spec())
+        scenario.deploy()
+        assert len(scenario.devices) == 20
+        assert sorted(scenario.devices_by_site) == ["site00", "site01"]
+        # Each device has a command subscription; monitors ride on top.
+        per_site = len(scenario.spec.site_monitor_patterns)
+        fleet_wide = len(scenario.spec.fleet_monitor_patterns)
+        assert (
+            scenario.broker.subscription_count()
+            == 20 + 2 * per_site + fleet_wide
+        )
+
+    def test_deploy_is_idempotent(self):
+        scenario = FleetScenario(small_spec())
+        scenario.deploy()
+        count = scenario.broker.subscription_count()
+        scenario.deploy()
+        assert scenario.broker.subscription_count() == count
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FleetScenario(FleetSpec(sites=0))
+
+    def test_topic_helpers(self):
+        assert device_topic("site00", "dev1", "temp") == "fleet.site00.dev1.temp"
+        assert command_topic("site00") == "fleet.site00.cmd"
+
+
+class TestTelemetryPlane:
+    def test_telemetry_auto_registers_and_fans_out(self):
+        scenario = FleetScenario(small_spec())
+        result = scenario.run()
+        spec = scenario.spec
+        expected_topics = 20 * len(spec.sensors)
+        assert result.telemetry_published == expected_topics  # 1 round each
+        assert result.auto_registered == expected_topics
+        # The '#' fleet monitor saw every reading.
+        monitor = scenario.broker.subscription("mon.fleet.#")
+        assert monitor.delivered >= expected_topics
+        assert result.final_time_ms > 0
+
+    def test_churn_monitors_get_retained_catchup(self):
+        spec = small_spec(
+            telemetry_rounds=2, churn_waves=2, churn_monitors=4
+        )
+        scenario = FleetScenario(spec)
+        result = scenario.run()
+        # Waves after the first drop the previous wave's monitors.
+        assert result.monitors_dropped >= spec.churn_monitors
+        # Churn monitors joining mid-run catch up from retained state.
+        assert result.retained_deliveries > 0
+
+    def test_run_is_reproducible_from_the_seed(self):
+        first = FleetScenario(small_spec()).run()
+        second = FleetScenario(small_spec()).run()
+        assert first.deliveries == second.deliveries
+        assert first.final_time_ms == second.final_time_ms
+        assert first.events_run == second.events_run
+
+    def test_metrics_wiring(self):
+        metrics = MetricsRegistry()
+        scenario = FleetScenario(small_spec(), metrics=metrics)
+        scenario.run()
+        assert metrics.counter("pubsub.published") > 0
+        assert metrics.counter("pubsub.deliveries") > 0
+        assert metrics.gauge("pubsub.subscriptions") == (
+            scenario.broker.subscription_count()
+        )
+
+
+class TestAvailabilityConditions:
+    def test_quorum_satisfied_and_missed(self):
+        scenario = FleetScenario(small_spec())
+        good = scenario.add_availability_check(
+            site_index=0, quorum_fraction=0.5, on_time_fraction=0.9
+        )
+        bad = scenario.add_availability_check(
+            site_index=1, quorum_fraction=0.5, on_time_fraction=0.2
+        )
+        assert good.expect_success and not bad.expect_success
+        result = scenario.run()
+        outcomes = {o.site: o for o in result.availability}
+        assert outcomes["site00"].succeeded
+        assert not outcomes["site01"].succeeded
+        assert outcomes["site01"].reasons  # the violated condition names itself
+        # The failed check decides at its evaluation deadline, the
+        # satisfied one as soon as the quorum's acks are in.
+        assert outcomes["site00"].decided_at_ms < outcomes["site01"].decided_at_ms
+
+    def test_quorum_counts_distinct_devices(self):
+        # 10 devices, 50% quorum -> 5 distinct acks required; exactly 5
+        # responders is enough, 4 is not.
+        passing = FleetScenario(small_spec())
+        passing.add_availability_check(
+            site_index=0, quorum_fraction=0.5, on_time_fraction=0.5
+        )
+        assert passing.run().availability[0].succeeded
+
+        failing = FleetScenario(small_spec())
+        failing.add_availability_check(
+            site_index=0, quorum_fraction=0.5, on_time_fraction=0.4
+        )
+        assert not failing.run().availability[0].succeeded
+
+    def test_command_fanout_reaches_every_device(self):
+        scenario = FleetScenario(small_spec())
+        scenario.add_availability_check(
+            site_index=0, quorum_fraction=0.5, on_time_fraction=0.0
+        )
+        scenario.run()
+        # No device read its copy: every device still holds the original
+        # (plus the compensation the failed outcome fanned out after it).
+        originals = compensations = 0
+        for device in scenario.devices_by_site["site00"]:
+            for message in scenario.hub.browse(device.command_queue):
+                kind = message.properties.get("DS_KIND")
+                originals += kind == "original"
+                compensations += kind == "compensation"
+        assert originals == 10
+        assert compensations == 10
+
+
+class TestAtScale:
+    def test_thousand_device_fleet_end_to_end(self):
+        # The ISSUE acceptance bar: >= 1k devices, k-of-n availability
+        # conditions resolving both ways, all under the virtual clock.
+        spec = FleetSpec(
+            sites=4,
+            devices_per_site=250,
+            telemetry_rounds=2,
+            churn_waves=2,
+            churn_monitors=5,
+            seed=42,
+        )
+        result = run_fleet(spec)
+        assert result.devices == 1_000
+        assert result.telemetry_published == 1_000 * 3 * 2
+        assert result.auto_registered == 1_000 * 3
+        assert result.deliveries > result.telemetry_published  # fan-out > 1
+        satisfied, failed = result.availability
+        assert satisfied.expect_success and satisfied.succeeded
+        assert failed.expect_success is False and failed.succeeded is False
+        assert satisfied.min_ack == 125  # 50% of a 250-device site
+        # Virtual time advanced well past the evaluation window while
+        # wall time stayed interactive (the point of the simulation).
+        assert result.final_time_ms >= 6_000
+
+
+def test_workloads_package_exports_fleet():
+    import repro.workloads as workloads
+
+    for name in ("FleetSpec", "FleetScenario", "FleetResult", "run_fleet"):
+        assert name in workloads.__all__
