@@ -14,10 +14,22 @@ and check that every guarantee the paper claims still holds.
   acknowledgment correlation, D-Sphere atomicity).
 * :mod:`repro.chaos.explorer` — the seeded random-walk
   :class:`ChaosExplorer` with shrinking JSON reproducers.
+* :mod:`repro.chaos.bounded` — the exhaustive small-scope
+  :class:`BoundedExplorer`: every interleaving and crash point of a
+  declarative :class:`~repro.rules.RuleSet`, checked to fixpoint.
 
-``python -m repro.chaos --episodes 50`` runs a corpus from the CLI.
+``python -m repro.chaos --episodes 50`` runs a corpus from the CLI;
+``python -m repro.chaos --bounded`` runs the bounded checker on the
+pinned canonical configuration.
 """
 
+from repro.chaos.bounded import (
+    BoundedExplorer,
+    BoundedResult,
+    BoundedViolation,
+    RuleHarness,
+    canonical_ruleset,
+)
 from repro.chaos.explorer import (
     ChaosExplorer,
     ChaosHarness,
@@ -39,6 +51,9 @@ from repro.chaos.invariants import (
 )
 
 __all__ = [
+    "BoundedExplorer",
+    "BoundedResult",
+    "BoundedViolation",
     "ChaosContext",
     "ChaosExplorer",
     "ChaosHarness",
@@ -50,6 +65,8 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "InvariantSuite",
+    "RuleHarness",
     "SendRecord",
     "Violation",
+    "canonical_ruleset",
 ]

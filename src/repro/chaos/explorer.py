@@ -54,6 +54,7 @@ from repro.mq.persistence import (
     journal_factory_for,
 )
 from repro.obs.trace import FlightRecorder
+from repro.sim.determinism import deterministic_ids
 from repro.workloads.generator import WorkloadSpec
 from repro.workloads.scenarios import ReceiverNode, Testbed
 
@@ -227,6 +228,10 @@ class EpisodeResult:
     crashes: int = 0
     faults_fired: int = 0
     outcomes: int = 0
+    #: SHA-256 of the episode's flight-recorder timeline.  Episodes run
+    #: under deterministic ids, so replaying the same spec — in this
+    #: process or a fresh one — must reproduce this hash byte-exactly.
+    timeline_hash: str = ""
 
     @property
     def ok(self) -> bool:
@@ -602,37 +607,46 @@ class ChaosExplorer:
     # -- running -----------------------------------------------------------------
 
     def run_episode(self, spec: EpisodeSpec) -> EpisodeResult:
-        """One full episode: workload + faults, quiesce, check invariants."""
-        harness = ChaosHarness(spec, journal_dir=self.journal_dir)
-        if self.on_harness is not None:
-            self.on_harness(harness)
-        try:
-            harness.schedule_workload()
-            harness.install_faults()
-            self._drain(harness)
-            # Faults played out; repair the world and let it settle.
-            harness.injector.heal_all()
-            harness.network.redrive()
-            self._drain(harness)
-            for _ in range(FINAL_SWEEP_ROUNDS):
-                harness.sweep()
+        """One full episode: workload + faults, quiesce, check invariants.
+
+        Runs under :func:`~repro.sim.determinism.deterministic_ids` keyed
+        by the episode seed, so every id allocated — conditional message
+        ids, standard message ids — is a pure function of the spec.  A
+        reproducer therefore replays to a byte-identical flight-recorder
+        timeline in a fresh process (``EpisodeResult.timeline_hash``).
+        """
+        with deterministic_ids(spec.seed):
+            harness = ChaosHarness(spec, journal_dir=self.journal_dir)
+            if self.on_harness is not None:
+                self.on_harness(harness)
+            try:
+                harness.schedule_workload()
+                harness.install_faults()
                 self._drain(harness)
-            context = harness.context()
-            violations = self.suite.check(context)
-            return EpisodeResult(
-                spec=spec,
-                violations=violations,
-                sends=len(harness.ledger.sends),
-                crashes=len(harness.ledger.crashes),
-                faults_fired=harness.injector.fired_count(),
-                outcomes=sum(
-                    1 for _ in harness.managers[harness.sender_name].browse(
-                        "DS.OUTCOME.Q"
-                    )
-                ),
-            )
-        finally:
-            harness.close()
+                # Faults played out; repair the world and let it settle.
+                harness.injector.heal_all()
+                harness.network.redrive()
+                self._drain(harness)
+                for _ in range(FINAL_SWEEP_ROUNDS):
+                    harness.sweep()
+                    self._drain(harness)
+                context = harness.context()
+                violations = self.suite.check(context)
+                return EpisodeResult(
+                    spec=spec,
+                    violations=violations,
+                    sends=len(harness.ledger.sends),
+                    crashes=len(harness.ledger.crashes),
+                    faults_fired=harness.injector.fired_count(),
+                    outcomes=sum(
+                        1 for _ in harness.managers[harness.sender_name].browse(
+                            "DS.OUTCOME.Q"
+                        )
+                    ),
+                    timeline_hash=harness.recorder.timeline_hash(),
+                )
+            finally:
+                harness.close()
 
     def _drain(self, harness: ChaosHarness) -> None:
         """Run to quiescence, performing crash/recovery as faults fire.

@@ -42,6 +42,12 @@ class EvaluationRecord:
     acks: List[Acknowledgment] = field(default_factory=list)
     decided: Optional[OutcomeRecord] = None
     timeout_event: Optional[ScheduledEvent] = None
+    #: Registration generation stamped by the manager.  Timeout-wheel
+    #: entries and scheduler timeout events carry the generation of the
+    #: record they were armed for, so a stale entry surviving a cmid
+    #: re-registration (e.g. recovery re-driving DS.SLOG.Q) can never
+    #: fire against the newer record.
+    generation: int = 0
 
     @property
     def pending(self) -> bool:
@@ -92,14 +98,19 @@ class EvaluationManager:
         self._records: Dict[str, EvaluationRecord] = {}
         #: maintained count of undecided records — pending_count() is O(1)
         self._pending = 0
-        #: timeout wheel: min-heap of (evaluation deadline, cmid).  Between
-        #: acknowledgment arrivals a record's evaluation result can only
-        #: change when the clock crosses its evaluation deadline (the
-        #: satisfaction algorithm consults "now" exactly there), so polling
-        #: pops due deadlines instead of rescanning every in-flight record:
-        #: per tick O(log n) per decided record, O(1) when nothing is due.
-        #: Entries for already-decided records are skipped lazily.
-        self._timeout_wheel: List[Tuple[int, str]] = []
+        #: monotonic registration counter backing EvaluationRecord.generation
+        self._generations = 0
+        #: timeout wheel: min-heap of (evaluation deadline, cmid,
+        #: generation).  Between acknowledgment arrivals a record's
+        #: evaluation result can only change when the clock crosses its
+        #: evaluation deadline (the satisfaction algorithm consults "now"
+        #: exactly there), so polling pops due deadlines instead of
+        #: rescanning every in-flight record: per tick O(log n) per
+        #: decided record, O(1) when nothing is due.  Entries for
+        #: already-decided records — and entries whose generation no
+        #: longer matches the record's (the cmid was re-registered, e.g.
+        #: by recovery) — are skipped lazily.
+        self._timeout_wheel: List[Tuple[int, str, int]] = []
         self.stats = EvaluationStats()
         manager.ensure_queue(ack_queue)
         if push:
@@ -135,16 +146,25 @@ class EvaluationManager:
         The first evaluation runs immediately: a condition with no
         requirements is SATISFIED at send time.
         """
+        self._generations += 1
         record = EvaluationRecord(
             cmid=cmid,
             condition=condition,
             send_time_ms=send_time_ms,
             evaluation_timeout_ms=evaluation_timeout_ms,
+            generation=self._generations,
         )
-        if cmid in self._records and self._records[cmid].pending:
-            # Re-registration of a still-pending id (defensive): the old
-            # record is replaced, so it no longer counts as pending.
-            self._pending -= 1
+        old = self._records.get(cmid)
+        if old is not None:
+            # Re-registration of a known id (recovery re-driving the
+            # sender log, or a defensive replace): the old record's armed
+            # timeout must never fire against the new record — cancel its
+            # scheduler event; its wheel entries die by generation check.
+            if old.timeout_event is not None:
+                old.timeout_event.cancel()
+                old.timeout_event = None
+            if old.pending:
+                self._pending -= 1
         self._records[cmid] = record
         self._pending += 1
         if evaluation_timeout_ms is not None:
@@ -152,14 +172,18 @@ class EvaluationManager:
             if self.scheduler is not None:
                 record.timeout_event = self.scheduler.call_at(
                     deadline,
-                    lambda: self._on_timeout(cmid),
+                    lambda generation=record.generation: self._on_timeout(
+                        cmid, generation
+                    ),
                     label=f"eval-timeout {cmid}",
                 )
             # The wheel backs poll() in scheduler-less deployments; keeping
-            # it maintained in both modes costs two machine words per
+            # it maintained in both modes costs a few machine words per
             # record and keeps poll() correct even when a scheduler exists
             # but is not being driven.
-            heapq.heappush(self._timeout_wheel, (deadline, cmid))
+            heapq.heappush(
+                self._timeout_wheel, (deadline, cmid, record.generation)
+            )
             self._compact_wheel_if_bloated()
         self.evaluate(cmid)
         return record
@@ -271,10 +295,15 @@ class EvaluationManager:
         wheel = self._timeout_wheel
         decided = 0
         while wheel and wheel[0][0] <= now:
-            _deadline, cmid = heapq.heappop(wheel)
+            _deadline, cmid, generation = heapq.heappop(wheel)
             record = self._records.get(cmid)
             if record is None or not record.pending:
                 continue  # decided earlier (ack/force/scheduler) — stale entry
+            if record.generation != generation:
+                # The cmid was re-registered since this entry was armed
+                # (recovery re-drive): the entry belongs to a dead record
+                # whose deadline says nothing about the live one.
+                continue
             self.evaluate(cmid)
             # At or past its evaluation deadline the satisfaction
             # algorithm always resolves PENDING, so the record is decided
@@ -320,14 +349,17 @@ class EvaluationManager:
             for entry in wheel
             if (record := self._records.get(entry[1])) is not None
             and record.pending
+            and record.generation == entry[2]
         ]
         heapq.heapify(live)
         self._timeout_wheel = live
 
-    def _on_timeout(self, cmid: str) -> None:
+    def _on_timeout(self, cmid: str, generation: Optional[int] = None) -> None:
         record = self._records.get(cmid)
         if record is None or not record.pending:
             return
+        if generation is not None and record.generation != generation:
+            return  # armed for an older registration of this cmid
         self.stats.decided_by_timeout += 1
         self.evaluate(cmid)
 

@@ -8,19 +8,66 @@ uses to correlate (paper sections 2.3-2.6):
   evaluation,
 * staged compensation messages with the original they undo,
 * outcome notifications with the application's send call.
+
+By default the random fragment comes from :func:`uuid.uuid4` and the
+sequence is process-global — globally unique, but different on every run.
+Deterministic simulations (chaos replay, the bounded model checker) need
+*reproducible* ids instead: replaying one episode in a fresh process must
+allocate byte-identical ids, or flight-recorder timelines and canonical
+state hashes diverge between runs that are semantically identical.
+:func:`deterministic_cmids` swaps the generator for a seeded one scoped
+to a ``with`` block (see also
+:func:`repro.mq.message.deterministic_message_ids` and the combined
+:func:`repro.sim.determinism.deterministic_ids`).
 """
 
 from __future__ import annotations
 
 import itertools
+import random
 import uuid
+from contextlib import contextmanager
+from typing import Callable, Iterator
 
 _cm_seq = itertools.count(1)
 
 
+def _default_cmid() -> str:
+    return f"CM-{next(_cm_seq):08d}-{uuid.uuid4().hex[:12]}"
+
+
+#: The active generator; swapped by :func:`deterministic_cmids`.
+_generator: Callable[[], str] = _default_cmid
+
+
 def new_conditional_message_id() -> str:
     """Return a unique conditional message id."""
-    return f"CM-{next(_cm_seq):08d}-{uuid.uuid4().hex[:12]}"
+    return _generator()
+
+
+@contextmanager
+def deterministic_cmids(seed: int) -> Iterator[None]:
+    """Allocate seed-derived conditional message ids inside the block.
+
+    The sequence restarts at 1 and the random fragment is drawn from
+    ``random.Random(seed)``, so two runs of the same (deterministic)
+    workload under the same seed allocate identical ids — in this
+    process or a fresh one.  Scopes nest; the innermost wins.  Not
+    thread-safe (the simulation is single-threaded by design).
+    """
+    global _generator
+    rng = random.Random(seed ^ 0x5EED_C41D)
+    seq = itertools.count(1)
+
+    def _deterministic() -> str:
+        return f"CM-{next(seq):08d}-{rng.getrandbits(48):012x}"
+
+    previous = _generator
+    _generator = _deterministic
+    try:
+        yield
+    finally:
+        _generator = previous
 
 
 def is_conditional_message_id(value: str) -> bool:

@@ -505,3 +505,89 @@ def run_chaos_corpus(
             )
             summary["repro_paths"].append(path)  # type: ignore[union-attr]
     return summary
+
+
+def run_bounded_check(
+    gen_seeds: Optional[List[int]] = None,
+    crash_budget: int = 1,
+    max_schedules: int = 6_000,
+    repro_dir: Optional[str] = None,
+    baseline_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Run the exhaustive bounded checker over the CI configurations.
+
+    Enumerates every event interleaving and crash point (within
+    ``crash_budget``) of the pinned canonical rule set plus one
+    generated rule set per seed in ``gen_seeds`` (default ``[1, 2]``),
+    checking the full invariant suite at every terminal state — see
+    :class:`repro.chaos.bounded.BoundedExplorer`.
+
+    When ``baseline_path`` names an earlier report (the committed
+    ``CHAOS_bounded.json``), a *state-count collapse* gate compares
+    per-config explored-state counts: a config exploring fewer than
+    half its baseline states trips the gate — the signature of the
+    checker silently ceasing to explore (over-eager pruning, a hashing
+    bug) rather than the protocol shrinking.
+
+    Returns:
+        Summary dict shaped like the report file: per-config
+        ``configs`` (state/transition/schedule counts, completeness,
+        violations), ``failures`` (configs with violations),
+        ``violations`` (flat strings), ``repro_paths`` (written when
+        ``repro_dir`` is given), and ``gate_failures``.
+    """
+    from repro.chaos.bounded import BoundedExplorer, canonical_ruleset
+    from repro.rules import RuleSetGenerator
+
+    configs = [("canonical", canonical_ruleset())]
+    for seed in gen_seeds if gen_seeds is not None else [1, 2]:
+        ruleset = RuleSetGenerator(
+            seed, max_receivers=2, max_messages=2
+        ).generate()
+        configs.append((f"gen-{seed}", ruleset))
+
+    summary: Dict[str, object] = {
+        "crash_budget": crash_budget,
+        "configs": {},
+        "failures": 0,
+        "violations": [],
+        "repro_paths": [],
+        "gate_failures": [],
+    }
+    for name, ruleset in configs:
+        explorer = BoundedExplorer(
+            ruleset,
+            crash_budget=crash_budget,
+            max_schedules=max_schedules,
+        )
+        result = explorer.run()
+        summary["configs"][name] = result.to_dict()  # type: ignore[index]
+        if result.ok:
+            continue
+        summary["failures"] += 1  # type: ignore[operator]
+        summary["violations"].extend(  # type: ignore[union-attr]
+            f"{name} {violation}"
+            for failure in result.violations
+            for violation in failure.violations
+        )
+        if repro_dir is not None:
+            path = explorer.write_repro(
+                result.violations[0],
+                f"{repro_dir}/CHAOS_bounded_repro_{name}.json",
+            )
+            summary["repro_paths"].append(path)  # type: ignore[union-attr]
+
+    if baseline_path is not None:
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        for name, entry in summary["configs"].items():  # type: ignore[union-attr]
+            old = baseline.get("configs", {}).get(name)
+            if not old:
+                continue
+            if entry["states"] < 0.5 * old["states"]:
+                summary["gate_failures"].append(  # type: ignore[union-attr]
+                    f"{name}: explored {entry['states']} states, under"
+                    f" 50% of baseline {old['states']} — bounded checker"
+                    " stopped exploring?"
+                )
+    return summary

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 import itertools
 import os
+import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Tuple, Union
 
 from repro.errors import MQError
 
@@ -45,6 +47,14 @@ class DeliveryMode(Enum):
     PERSISTENT = "persistent"
 
 
+def _default_message_id() -> str:
+    return f"MSG-{next(_msg_seq):08d}-{os.urandom(6).hex()}"
+
+
+#: The active generator; swapped by :func:`deterministic_message_ids`.
+_id_generator: Callable[[], str] = _default_message_id
+
+
 def new_message_id() -> str:
     """Return a unique message id (``MSG-<seq>-<uuid fragment>``).
 
@@ -54,7 +64,32 @@ def new_message_id() -> str:
     full UUID object is overhead for a hex fragment) guarantees global
     uniqueness across queue managers.
     """
-    return f"MSG-{next(_msg_seq):08d}-{os.urandom(6).hex()}"
+    return _id_generator()
+
+
+@contextmanager
+def deterministic_message_ids(seed: int) -> Iterator[None]:
+    """Allocate seed-derived message ids inside the block.
+
+    Sequence restarts at 1, random fragment drawn from
+    ``random.Random(seed)`` — the same (deterministic) workload under the
+    same seed allocates identical message ids in any process.  Needed by
+    chaos replay and the bounded model checker, whose canonical state
+    hashes contain message ids.  Scopes nest; not thread-safe.
+    """
+    global _id_generator
+    rng = random.Random(seed ^ 0x5EED_3564)
+    seq = itertools.count(1)
+
+    def _deterministic() -> str:
+        return f"MSG-{next(seq):08d}-{rng.getrandbits(48):012x}"
+
+    previous = _id_generator
+    _id_generator = _deterministic
+    try:
+        yield
+    finally:
+        _id_generator = previous
 
 
 def validate_properties(properties: Mapping[str, Any]) -> Dict[str, PropertyValue]:

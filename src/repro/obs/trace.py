@@ -27,7 +27,9 @@ attribute load per potential event.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
@@ -177,6 +179,37 @@ class FlightRecorder(Tracer):
             if event.cmid is not None and event.cmid not in seen:
                 seen.append(event.cmid)
         return seen
+
+    def timeline_hash(self) -> str:
+        """SHA-256 over the canonical JSON form of every retained event.
+
+        Two runs of one deterministic episode (same seed, deterministic
+        ids — see :mod:`repro.sim.determinism`) must produce the same
+        hash in any process; chaos replay asserts exactly that, and the
+        bounded checker's state dedup rests on the same property.  The
+        encoding is canonical: sorted keys, no whitespace, ``None``
+        preserved, detail dicts included.
+        """
+        digest = hashlib.sha256()
+        for event in self._events:
+            digest.update(
+                json.dumps(
+                    [
+                        event.seq,
+                        event.at_ms,
+                        event.stage,
+                        event.cmid,
+                        event.manager,
+                        event.queue,
+                        event.message_id,
+                        event.detail,
+                    ],
+                    sort_keys=True,
+                    separators=(",", ":"),
+                    default=str,
+                ).encode("utf-8")
+            )
+        return digest.hexdigest()
 
     def clear(self) -> None:
         """Discard all retained events (the sequence keeps counting)."""

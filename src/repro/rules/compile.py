@@ -1,0 +1,87 @@
+"""Compiling declarative rules down to the condition object model.
+
+The compiler is a straight structural map — every field of a
+:class:`~repro.rules.model.DestinationRule` / ``GroupRule`` lands on the
+corresponding attribute of a :class:`~repro.core.conditions.Destination`
+/ ``DestinationSet``, built through the same
+:mod:`repro.core.builder` helpers application code uses.  Nothing
+semantic happens here; the satisfaction algorithm, the sender's fan-out,
+and validation all operate on the compiled tree, so a rule decides
+exactly like the hand-built condition it denotes (the property suite
+asserts this).
+
+Naming conventions mirror the chaos testbed: receiver ``R1`` reads queue
+``Q.R1`` on manager ``QM.R1`` under recipient id ``R1``.  Callers with a
+different topology pass their own ``queue_of`` / ``manager_of``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.builder import destination, destination_set
+from repro.core.conditions import Condition
+from repro.rules.model import DestinationRule, GroupRule, MessageRule, RuleNode
+
+__all__ = ["compile_node", "compile_message", "default_queue_of", "default_manager_of"]
+
+
+def default_queue_of(receiver: str) -> str:
+    """Conventional inbox queue of a receiver (testbed convention)."""
+    return f"Q.{receiver}"
+
+
+def default_manager_of(receiver: str) -> str:
+    """Conventional queue manager of a receiver (testbed convention)."""
+    return f"QM.{receiver}"
+
+
+def compile_node(
+    node: RuleNode,
+    queue_of: Callable[[str], str] = default_queue_of,
+    manager_of: Callable[[str], str] = default_manager_of,
+) -> Condition:
+    """Map one rule node to its condition-model equivalent."""
+    if isinstance(node, DestinationRule):
+        return destination(
+            queue_of(node.receiver),
+            manager=manager_of(node.receiver),
+            recipient=None if node.anonymous else node.receiver,
+            copies=node.copies,
+            msg_pick_up_time=node.pick_up_within_ms,
+            msg_processing_time=node.process_within_ms,
+        )
+    if isinstance(node, GroupRule):
+        return destination_set(
+            *(
+                compile_node(member, queue_of, manager_of)
+                for member in node.members
+            ),
+            msg_pick_up_time=node.pick_up_within_ms,
+            msg_processing_time=node.process_within_ms,
+            min_nr_pick_up=node.min_pick_up,
+            max_nr_pick_up=node.max_pick_up,
+            min_nr_processing=node.min_processing,
+            max_nr_processing=node.max_processing,
+            anonymous_min_pick_up=node.anonymous_min_pick_up,
+            anonymous_max_pick_up=node.anonymous_max_pick_up,
+            anonymous_min_processing=node.anonymous_min_processing,
+            anonymous_max_processing=node.anonymous_max_processing,
+        )
+    raise TypeError(f"not a rule node: {node!r}")
+
+
+def compile_message(
+    rule: MessageRule,
+    queue_of: Callable[[str], str] = default_queue_of,
+    manager_of: Callable[[str], str] = default_manager_of,
+) -> Condition:
+    """Compile one message rule's condition tree, timeout included.
+
+    The evaluation timeout lives on the root node (the only place the
+    service consults it), whether the root is a set or a bare leaf.
+    """
+    condition = compile_node(rule.condition, queue_of, manager_of)
+    if rule.evaluation_timeout_ms is not None:
+        condition.evaluation_timeout = int(rule.evaluation_timeout_ms)
+    return condition

@@ -1,0 +1,361 @@
+"""Declarative conditional-messaging rules (data, not objects).
+
+The core object model (:mod:`repro.core.conditions`) is imperative:
+application code constructs ``Destination``/``DestinationSet`` trees and
+hands them to the service.  A :class:`RuleSet` is the same information as
+*data* — plain dataclasses with a canonical JSON form — describing a
+small closed world:
+
+* which receivers exist (``receivers``),
+* which conditional messages are sent, when, under what condition tree,
+  with what evaluation timeout and compensation pairing (``messages``),
+* how each receiver reacts: after what delay, destructively or under a
+  transaction, committing or aborting, optionally gated by a JMS
+  selector *guard* evaluated against the received message
+  (``reactions``).
+
+Rules compile to the existing builder object model
+(:func:`repro.rules.compile_message`), so everything downstream — the
+sender's fan-out, the satisfaction algorithm, recovery — runs the exact
+production code path.  The bounded model checker enumerates all
+interleavings of a compiled rule set; the seeded generator
+(:class:`repro.rules.RuleSetGenerator`) produces valid rule sets small
+enough to explore exhaustively.
+
+Guard semantics: a reaction carrying a ``guard`` always reads under a
+transaction and commits only when the selector matches the delivered
+message; on a non-match the transaction aborts, leaving the message on
+the queue (SQL three-valued logic: absent properties make the guard
+unknown, and unknown does not commit).  An ``abort`` reaction rolls back
+unconditionally — the guard, if any, is irrelevant.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import SelectorError
+from repro.mq.selectors import compile_selector
+
+__all__ = [
+    "DestinationRule",
+    "GroupRule",
+    "MessageRule",
+    "ReactionRule",
+    "RuleSet",
+    "RuleValidationError",
+    "node_from_dict",
+]
+
+#: Reaction modes: destructive read, transactional read + commit,
+#: transactional read + rollback.
+REACTION_MODES = ("read", "commit", "abort")
+
+
+class RuleValidationError(ValueError):
+    """A rule set that cannot describe a runnable scenario."""
+
+
+def _require_scalar_body(name: str, body: Dict[str, Any]) -> None:
+    for key, value in body.items():
+        if not isinstance(key, str):
+            raise RuleValidationError(f"{name} body keys must be strings")
+        if not isinstance(value, (str, int, float, bool)):
+            raise RuleValidationError(
+                f"{name} body[{key!r}] must be a JMS scalar, got {value!r}"
+            )
+
+
+@dataclass
+class DestinationRule:
+    """Leaf rule: one receiver's inbox, with optional own deadlines.
+
+    ``anonymous=True`` drops the recipient filter when compiling — any
+    reader of the queue satisfies the leaf, and such readers count
+    toward the enclosing group's ``anonymous_*`` tallies.
+    """
+
+    receiver: str
+    copies: int = 1
+    pick_up_within_ms: Optional[int] = None
+    process_within_ms: Optional[int] = None
+    anonymous: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"type": "destination", "receiver": self.receiver}
+        if self.copies != 1:
+            data["copies"] = self.copies
+        if self.pick_up_within_ms is not None:
+            data["pick_up_within_ms"] = self.pick_up_within_ms
+        if self.process_within_ms is not None:
+            data["process_within_ms"] = self.process_within_ms
+        if self.anonymous:
+            data["anonymous"] = True
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DestinationRule":
+        return cls(
+            receiver=str(data["receiver"]),
+            copies=int(data.get("copies", 1)),
+            pick_up_within_ms=data.get("pick_up_within_ms"),
+            process_within_ms=data.get("process_within_ms"),
+            anonymous=bool(data.get("anonymous", False)),
+        )
+
+
+#: A node of the declarative condition tree.
+RuleNode = Union[DestinationRule, "GroupRule"]
+
+
+@dataclass
+class GroupRule:
+    """Composite rule: a destination set over member nodes.
+
+    Field names drop the ``msg_``/``nr_`` prefixes of the object model
+    but map one-to-one: ``pick_up_within_ms`` is ``msg_pick_up_time``,
+    ``min_pick_up`` is ``min_nr_pick_up``, and so on.
+    """
+
+    members: List[RuleNode] = field(default_factory=list)
+    pick_up_within_ms: Optional[int] = None
+    process_within_ms: Optional[int] = None
+    min_pick_up: Optional[int] = None
+    max_pick_up: Optional[int] = None
+    min_processing: Optional[int] = None
+    max_processing: Optional[int] = None
+    anonymous_min_pick_up: Optional[int] = None
+    anonymous_max_pick_up: Optional[int] = None
+    anonymous_min_processing: Optional[int] = None
+    anonymous_max_processing: Optional[int] = None
+
+    _OPTIONAL = (
+        "pick_up_within_ms",
+        "process_within_ms",
+        "min_pick_up",
+        "max_pick_up",
+        "min_processing",
+        "max_processing",
+        "anonymous_min_pick_up",
+        "anonymous_max_pick_up",
+        "anonymous_min_processing",
+        "anonymous_max_processing",
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "type": "group",
+            "members": [member.to_dict() for member in self.members],
+        }
+        for name in self._OPTIONAL:
+            value = getattr(self, name)
+            if value is not None:
+                data[name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GroupRule":
+        group = cls(
+            members=[node_from_dict(m) for m in data.get("members", [])]
+        )
+        for name in cls._OPTIONAL:
+            setattr(group, name, data.get(name))
+        return group
+
+
+def node_from_dict(data: Dict[str, Any]) -> RuleNode:
+    """Decode one condition-tree node by its ``type`` discriminator."""
+    kind = data.get("type")
+    if kind == "destination":
+        return DestinationRule.from_dict(data)
+    if kind == "group":
+        return GroupRule.from_dict(data)
+    raise RuleValidationError(f"unknown rule node type {kind!r}")
+
+
+@dataclass
+class MessageRule:
+    """One conditional send: when, what, under which condition."""
+
+    condition: RuleNode
+    send_at_ms: int = 0
+    body: Dict[str, Any] = field(default_factory=dict)
+    evaluation_timeout_ms: Optional[int] = None
+    #: Compensation pairing: when set, the send stages this body as the
+    #: compensation message released on a FAILURE outcome.
+    compensation: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "condition": self.condition.to_dict(),
+            "send_at_ms": self.send_at_ms,
+            "body": dict(self.body),
+        }
+        if self.evaluation_timeout_ms is not None:
+            data["evaluation_timeout_ms"] = self.evaluation_timeout_ms
+        if self.compensation is not None:
+            data["compensation"] = dict(self.compensation)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MessageRule":
+        return cls(
+            condition=node_from_dict(data["condition"]),
+            send_at_ms=int(data.get("send_at_ms", 0)),
+            body=dict(data.get("body", {})),
+            evaluation_timeout_ms=data.get("evaluation_timeout_ms"),
+            compensation=(
+                dict(data["compensation"])
+                if data.get("compensation") is not None
+                else None
+            ),
+        )
+
+
+@dataclass
+class ReactionRule:
+    """One receiver's scripted reaction: read its inbox at a set time."""
+
+    receiver: str
+    #: Virtual time, relative to scenario start, at which the reaction
+    #: attempts to read the receiver's inbox queue.
+    at_ms: int
+    mode: str = "read"
+    #: Transaction hold time between the read and commit/abort (tx modes).
+    process_ms: int = 0
+    #: JMS selector evaluated against the delivered message; forces a
+    #: transactional read that commits only on a match.
+    guard: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "receiver": self.receiver,
+            "at_ms": self.at_ms,
+            "mode": self.mode,
+        }
+        if self.process_ms:
+            data["process_ms"] = self.process_ms
+        if self.guard is not None:
+            data["guard"] = self.guard
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ReactionRule":
+        return cls(
+            receiver=str(data["receiver"]),
+            at_ms=int(data["at_ms"]),
+            mode=str(data.get("mode", "read")),
+            process_ms=int(data.get("process_ms", 0)),
+            guard=data.get("guard"),
+        )
+
+
+@dataclass
+class RuleSet:
+    """A complete declarative scenario: receivers, sends, reactions."""
+
+    receivers: List[str]
+    messages: List[MessageRule] = field(default_factory=list)
+    reactions: List[ReactionRule] = field(default_factory=list)
+    name: str = "ruleset"
+    seed: int = 0
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "receivers": list(self.receivers),
+            "messages": [m.to_dict() for m in self.messages],
+            "reactions": [r.to_dict() for r in self.reactions],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RuleSet":
+        return cls(
+            receivers=[str(r) for r in data.get("receivers", [])],
+            messages=[MessageRule.from_dict(m) for m in data.get("messages", [])],
+            reactions=[
+                ReactionRule.from_dict(r) for r in data.get("reactions", [])
+            ],
+            name=str(data.get("name", "ruleset")),
+            seed=int(data.get("seed", 0)),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RuleSet":
+        return cls.from_dict(json.loads(text))
+
+    # -- validation ------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Full static check; raises :class:`RuleValidationError`.
+
+        Structural shape, receiver references, reaction modes, guard
+        selector syntax, and — by compiling every message — the object
+        model's own condition validation.
+        """
+        from repro.rules.compile import compile_message  # circular-safe
+
+        if not self.receivers:
+            raise RuleValidationError("a rule set needs at least one receiver")
+        if len(set(self.receivers)) != len(self.receivers):
+            raise RuleValidationError("duplicate receiver names")
+        known = set(self.receivers)
+        if not self.messages:
+            raise RuleValidationError("a rule set needs at least one message")
+        for index, message in enumerate(self.messages):
+            if message.send_at_ms < 0:
+                raise RuleValidationError(
+                    f"messages[{index}].send_at_ms must be >= 0"
+                )
+            _require_scalar_body(f"messages[{index}]", message.body)
+            if message.compensation is not None:
+                _require_scalar_body(
+                    f"messages[{index}].compensation", message.compensation
+                )
+            for leaf in _leaves(message.condition):
+                if leaf.receiver not in known:
+                    raise RuleValidationError(
+                        f"messages[{index}] references unknown receiver"
+                        f" {leaf.receiver!r}"
+                    )
+            compiled = compile_message(message)
+            compiled.validate()
+        for index, reaction in enumerate(self.reactions):
+            if reaction.receiver not in known:
+                raise RuleValidationError(
+                    f"reactions[{index}] references unknown receiver"
+                    f" {reaction.receiver!r}"
+                )
+            if reaction.mode not in REACTION_MODES:
+                raise RuleValidationError(
+                    f"reactions[{index}].mode must be one of {REACTION_MODES},"
+                    f" got {reaction.mode!r}"
+                )
+            if reaction.at_ms < 0 or reaction.process_ms < 0:
+                raise RuleValidationError(
+                    f"reactions[{index}] times must be >= 0"
+                )
+            if reaction.guard is not None:
+                try:
+                    compile_selector(reaction.guard)
+                except SelectorError as exc:
+                    raise RuleValidationError(
+                        f"reactions[{index}].guard does not parse: {exc}"
+                    ) from exc
+
+
+def _leaves(node: RuleNode) -> List[DestinationRule]:
+    if isinstance(node, DestinationRule):
+        return [node]
+    found: List[DestinationRule] = []
+    for member in node.members:
+        found.extend(_leaves(member))
+    return found

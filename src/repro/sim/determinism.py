@@ -1,0 +1,37 @@
+"""Deterministic-identity scope for reproducible simulations.
+
+The production id generators (:func:`repro.core.ids.new_conditional_message_id`,
+:func:`repro.mq.message.new_message_id`) mix process-global sequences with
+OS randomness: globally unique, but different on every run.  Replay-exact
+simulation — re-running a chaos reproducer in a fresh process, or the
+bounded model checker re-executing one interleaving prefix thousands of
+times — needs identical runs to allocate identical ids, because flight
+recorder timelines and canonical state hashes embed them.
+
+:func:`deterministic_ids` scopes both generators to seeded streams at
+once::
+
+    with deterministic_ids(seed=spec.seed):
+        result = run_episode(spec)   # byte-identical timeline every run
+
+Scopes nest (innermost wins) and restore the previous generators on exit,
+so production uniqueness is untouched outside the block.  Single-threaded
+by design, like the simulation itself.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core.ids import deterministic_cmids
+from repro.mq.message import deterministic_message_ids
+
+__all__ = ["deterministic_ids"]
+
+
+@contextmanager
+def deterministic_ids(seed: int) -> Iterator[None]:
+    """Seed-derived conditional-message AND message ids inside the block."""
+    with deterministic_cmids(seed), deterministic_message_ids(seed):
+        yield

@@ -104,6 +104,37 @@ class EventScheduler:
             return None
         return self._heap[0].due_ms
 
+    def frontier(self) -> List[ScheduledEvent]:
+        """Live events due at the earliest due time, registration order.
+
+        The *frontier* is the set of events a sequential run would fire
+        next in some order: under the default stepping they fire in
+        registration order, but any permutation is a legitimate
+        concurrent schedule.  The bounded model checker
+        (:mod:`repro.chaos.bounded`) enumerates exactly these
+        permutations, firing each candidate via :meth:`fire_specific`.
+        Deterministic: same scheduler history, same frontier list.
+        """
+        self._drop_cancelled_head()
+        if not self._heap:
+            return []
+        due = self._heap[0].due_ms
+        events = [
+            e for e in self._heap if not e.cancelled and e.due_ms == due
+        ]
+        events.sort(key=lambda e: e.seq)
+        return events
+
+    def live_events(self) -> List[tuple]:
+        """``(due_ms, label)`` of every live event, sorted.
+
+        A canonical snapshot of the scheduler's future, independent of
+        registration order — part of the bounded checker's state hash.
+        """
+        return sorted(
+            (e.due_ms, e.label) for e in self._heap if not e.cancelled
+        )
+
     @property
     def events_fired(self) -> int:
         """Total callbacks executed over the scheduler's lifetime."""
@@ -158,6 +189,32 @@ class EventScheduler:
         raise RuntimeError(
             f"scheduler did not quiesce within {max_events} events"
         )
+
+    def fire_specific(self, event: ScheduledEvent) -> None:
+        """Fire one live frontier event out of heap order.
+
+        Fork support for bounded exploration: the caller picks any event
+        returned by :meth:`frontier` and fires it ahead of its heap
+        position, modelling a concurrent schedule where that callback
+        raced ahead of its same-instant peers.  The event is consumed
+        (marked cancelled) *before* the callback runs, so a callback
+        that crashes the world — e.g. raises
+        :class:`~repro.chaos.faults.CrashPoint` — never refires, exactly
+        matching :meth:`run_all` semantics where the pop precedes the
+        call.
+        """
+        if event.cancelled:
+            raise ValueError(f"event already fired or cancelled: {event.label!r}")
+        if event.due_ms < self.clock.now_ms():
+            raise ValueError(
+                f"event {event.label!r} due at {event.due_ms} is in the past "
+                f"(now={self.clock.now_ms()})"
+            )
+        event.cancelled = True
+        if event.due_ms > self.clock.now_ms():
+            self.clock.set(event.due_ms)
+        event.callback()
+        self._events_fired += 1
 
     def step(self) -> bool:
         """Fire exactly the next live event; ``False`` when idle."""

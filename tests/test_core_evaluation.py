@@ -266,6 +266,73 @@ class TestTimeoutWheel:
         assert len(evaluation._timeout_wheel) == 10  # nothing popped
 
 
+class TestGenerationGuard:
+    """Stale timers from a superseded registration must never fire
+    against the re-registered record (cmid reuse across recovery)."""
+
+    def test_stale_wheel_entry_skipped_after_reregistration(self, clock):
+        manager = QueueManager("QM.S", clock)
+        decided = []
+        evaluation = EvaluationManager(
+            manager, ACK_QUEUE, on_decided=decided.append, scheduler=None
+        )
+        evaluation.register("CM-1", simple_condition(100), 0, 150)
+        # Recovery re-registers the same cmid with a later deadline.
+        clock.advance(50)
+        evaluation.register("CM-1", simple_condition(100), 50, 150)
+        # Past the OLD deadline (150) but before the new one (200): the
+        # stale wheel entry pops but must not decide the live record.
+        clock.advance(110)  # now = 160
+        assert evaluation.poll() == 0
+        assert decided == []
+        assert evaluation.pending_count() == 1
+        # The live deadline still fires.
+        clock.advance(40)  # now = 200
+        assert evaluation.poll() == 1
+        assert decided[0].outcome is MessageOutcome.FAILURE
+
+    def test_stale_scheduler_timeout_cancelled_on_reregistration(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        evaluation.register("CM-1", simple_condition(100), 0, 150)
+        scheduler.run_until(50)
+        evaluation.register("CM-1", simple_condition(100), 50, 150)
+        scheduler.run_until(160)  # past old deadline, before new
+        assert decided == []
+        assert evaluation.stats.decided_by_timeout == 0
+        scheduler.run_until(200)
+        assert len(decided) == 1
+        assert evaluation.stats.decided_by_timeout == 1
+
+    def test_on_timeout_ignores_mismatched_generation(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        first = evaluation.register("CM-1", simple_condition(100), 0, 150)
+        evaluation.register("CM-1", simple_condition(100), 0, 500)
+        clock.advance(200)
+        # Simulate the superseded registration's timer firing anyway.
+        evaluation._on_timeout("CM-1", first.generation)
+        assert decided == []
+        assert evaluation.stats.decided_by_timeout == 0
+
+    def test_compaction_drops_mismatched_generations(self, clock):
+        manager = QueueManager("QM.S", clock)
+        evaluation = EvaluationManager(
+            manager, ACK_QUEUE, on_decided=lambda _r: None, scheduler=None
+        )
+        # Re-register one cmid many times; only the last generation's
+        # wheel entry is live, so compaction must shed the rest.
+        for _ in range(500):
+            evaluation.register("CM-1", simple_condition(1_000), 0, 2_000)
+        assert evaluation.pending_count() == 1
+        assert len(evaluation._timeout_wheel) <= 65
+
+    def test_generations_are_monotonic(self, env):
+        clock, scheduler, manager, evaluation, decided = env
+        a = evaluation.register("CM-1", simple_condition(), 0, 500)
+        b = evaluation.register("CM-2", simple_condition(), 0, 500)
+        c = evaluation.register("CM-1", simple_condition(), 0, 500)
+        assert a.generation < b.generation < c.generation
+
+
 class TestStats:
     def test_counters(self, env):
         clock, scheduler, manager, evaluation, decided = env

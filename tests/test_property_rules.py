@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) for the declarative rule language.
+
+Three properties over randomized rule trees:
+
+* JSON round-trip is the identity on the declarative form;
+* compiling before and after a round-trip yields identical condition
+  trees (via the canonical condition serialization);
+* a compiled rule decides *identically* to the hand-built condition
+  object it denotes, for random acknowledgment histories and clocks —
+  the rule language adds no semantics of its own.
+"""
+
+from typing import List
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.acks import Acknowledgment, AckKind
+from repro.core.conditions import Condition, Destination, DestinationSet
+from repro.core.satisfaction import evaluate_condition
+from repro.core.serialize import condition_to_dict
+from repro.rules import (
+    DestinationRule,
+    GroupRule,
+    MessageRule,
+    RuleSet,
+    compile_message,
+)
+
+SENDER = "QM.SENDER"
+
+
+@st.composite
+def leaf_rules(draw, index: int) -> DestinationRule:
+    return DestinationRule(
+        receiver=f"R{index}",
+        copies=draw(st.integers(min_value=1, max_value=2)),
+        pick_up_within_ms=draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=300))
+        ),
+        process_within_ms=draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=300))
+        ),
+        anonymous=draw(st.booleans()),
+    )
+
+
+@st.composite
+def rule_trees(draw) -> GroupRule:
+    """A valid random GroupRule over 1..5 distinct receivers."""
+    leaf_count = draw(st.integers(min_value=1, max_value=5))
+    leaves = [draw(leaf_rules(i)) for i in range(leaf_count)]
+    split = draw(st.integers(min_value=0, max_value=leaf_count))
+    inner, outer = leaves[:split], leaves[split:]
+    members: List[object] = list(outer)
+    if inner:
+        inner_pick = draw(
+            st.one_of(st.none(), st.integers(min_value=1, max_value=300))
+        )
+        inner_min = None
+        if inner_pick is not None and draw(st.booleans()):
+            inner_min = draw(st.integers(min_value=1, max_value=len(inner)))
+        members.append(
+            GroupRule(
+                members=inner,
+                pick_up_within_ms=inner_pick,
+                min_pick_up=inner_min,
+            )
+        )
+    root_pick = draw(
+        st.one_of(st.none(), st.integers(min_value=1, max_value=300))
+    )
+    root = GroupRule(members=members, pick_up_within_ms=root_pick)
+    if root_pick is not None and draw(st.booleans()):
+        root.min_pick_up = draw(st.integers(min_value=0, max_value=len(members)))
+    if draw(st.booleans()):
+        root.anonymous_max_pick_up = draw(st.integers(min_value=0, max_value=4))
+    return root
+
+
+@st.composite
+def message_rules(draw) -> MessageRule:
+    return MessageRule(
+        condition=draw(rule_trees()),
+        send_at_ms=draw(st.integers(min_value=0, max_value=500)),
+        body={"kind": "rules", "tag": draw(st.sampled_from(["a", "b"]))},
+        evaluation_timeout_ms=draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=900))
+        ),
+        compensation=draw(st.one_of(st.none(), st.just({"undo": 1}))),
+    )
+
+
+def hand_build(node) -> Condition:
+    """The reference construction: rule tree -> raw condition classes.
+
+    Deliberately bypasses repro.rules.compile AND repro.core.builder —
+    an independent second implementation of the denotation, so a
+    compiler bug cannot cancel itself out.
+    """
+    if isinstance(node, DestinationRule):
+        return Destination(
+            queue=f"Q.{node.receiver}",
+            manager=f"QM.{node.receiver}",
+            recipient=None if node.anonymous else node.receiver,
+            copies=node.copies,
+            msg_pick_up_time=node.pick_up_within_ms,
+            msg_processing_time=node.process_within_ms,
+        )
+    return DestinationSet(
+        members=[hand_build(member) for member in node.members],
+        min_nr_pick_up=node.min_pick_up,
+        max_nr_pick_up=node.max_pick_up,
+        min_nr_processing=node.min_processing,
+        max_nr_processing=node.max_processing,
+        anonymous_min_pick_up=node.anonymous_min_pick_up,
+        anonymous_max_pick_up=node.anonymous_max_pick_up,
+        anonymous_min_processing=node.anonymous_min_processing,
+        anonymous_max_processing=node.anonymous_max_processing,
+        msg_pick_up_time=node.pick_up_within_ms,
+        msg_processing_time=node.process_within_ms,
+    )
+
+
+@st.composite
+def ack_histories(draw, tree: Condition) -> List[Acknowledgment]:
+    acks = []
+    for leaf in tree.destinations():
+        count = draw(st.integers(min_value=0, max_value=leaf.copies))
+        for copy in range(count):
+            recipient = leaf.recipient or f"anon{draw(st.integers(0, 3))}"
+            read_ms = draw(st.integers(min_value=0, max_value=400))
+            processed = draw(st.booleans())
+            acks.append(
+                Acknowledgment(
+                    cmid="CM-RULES",
+                    kind=AckKind.PROCESSED if processed else AckKind.READ,
+                    queue=leaf.queue,
+                    manager=leaf.manager or SENDER,
+                    recipient=recipient,
+                    read_time_ms=read_ms,
+                    commit_time_ms=(
+                        read_ms + draw(st.integers(min_value=0, max_value=100))
+                        if processed
+                        else None
+                    ),
+                    original_message_id=f"m{leaf.queue}.{copy}.{read_ms}",
+                )
+            )
+    return acks
+
+
+@settings(max_examples=200, deadline=None)
+@given(message_rules())
+def test_json_round_trip_is_identity(rule):
+    ruleset = RuleSet(
+        receivers=sorted({leaf.receiver for leaf in _leaves(rule.condition)}),
+        messages=[rule],
+    )
+    again = RuleSet.from_json(ruleset.to_json())
+    assert again.to_dict() == ruleset.to_dict()
+
+
+@settings(max_examples=200, deadline=None)
+@given(message_rules())
+def test_round_trip_compiles_identically(rule):
+    direct = compile_message(rule)
+    roundtripped = compile_message(MessageRule.from_dict(rule.to_dict()))
+    assert condition_to_dict(roundtripped) == condition_to_dict(direct)
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data())
+def test_rules_decide_like_hand_built_conditions(data):
+    rule = data.draw(message_rules())
+    compiled = compile_message(rule)
+    reference = hand_build(rule.condition)
+    if rule.evaluation_timeout_ms is not None:
+        reference.evaluation_timeout = rule.evaluation_timeout_ms
+    assert condition_to_dict(compiled) == condition_to_dict(reference)
+    acks = data.draw(ack_histories(reference))
+    now = data.draw(st.integers(min_value=0, max_value=900))
+    timeout = data.draw(
+        st.one_of(st.none(), st.integers(min_value=0, max_value=800))
+    )
+    ours = evaluate_condition(
+        compiled, acks, send_time_ms=0, now_ms=now,
+        evaluation_timeout_ms=timeout, default_manager=SENDER,
+    )
+    theirs = evaluate_condition(
+        reference, acks, send_time_ms=0, now_ms=now,
+        evaluation_timeout_ms=timeout, default_manager=SENDER,
+    )
+    assert ours.state is theirs.state
+    assert ours.reasons == theirs.reasons
+
+
+def _leaves(node):
+    if isinstance(node, DestinationRule):
+        return [node]
+    found = []
+    for member in node.members:
+        found.extend(_leaves(member))
+    return found

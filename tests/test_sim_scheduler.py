@@ -93,6 +93,91 @@ class TestCancellation:
         assert sched.next_due_ms() == 20
 
 
+class TestFrontier:
+    def test_empty_scheduler_has_empty_frontier(self, sched):
+        assert sched.frontier() == []
+
+    def test_frontier_is_earliest_tie_group(self, sched):
+        a = sched.call_later(10, lambda: None, label="a")
+        b = sched.call_later(10, lambda: None, label="b")
+        sched.call_later(20, lambda: None, label="later")
+        assert sched.frontier() == [a, b]
+
+    def test_frontier_orders_by_registration(self, sched):
+        names = ["first", "second", "third"]
+        events = [sched.call_later(5, lambda: None, label=n) for n in names]
+        assert [e.label for e in sched.frontier()] == names
+        del events
+
+    def test_frontier_excludes_cancelled(self, sched):
+        a = sched.call_later(10, lambda: None, label="a")
+        b = sched.call_later(10, lambda: None, label="b")
+        a.cancel()
+        assert sched.frontier() == [b]
+
+    def test_fire_specific_runs_out_of_order(self, sched):
+        order = []
+        sched.call_later(10, lambda: order.append("a"), label="a")
+        b = sched.call_later(10, lambda: order.append("b"), label="b")
+        sched.fire_specific(b)
+        assert order == ["b"]
+        assert sched.clock.now_ms() == 10
+        sched.run_all()
+        assert order == ["b", "a"]
+
+    def test_fire_specific_consumes_event(self, sched):
+        fired = []
+        event = sched.call_later(10, lambda: fired.append(1), label="x")
+        sched.fire_specific(event)
+        sched.run_all()
+        assert fired == [1]
+        with pytest.raises(ValueError):
+            sched.fire_specific(event)
+
+    def test_fire_specific_rejects_cancelled(self, sched):
+        event = sched.call_later(10, lambda: None)
+        event.cancel()
+        with pytest.raises(ValueError):
+            sched.fire_specific(event)
+
+    def test_fire_specific_rejects_past_event(self, sched):
+        event = sched.call_later(10, lambda: None)
+        other = sched.call_later(50, lambda: None)
+        sched.fire_specific(other)  # clock jumps to 50
+        with pytest.raises(ValueError):
+            sched.fire_specific(event)
+
+    def test_fire_specific_consumed_before_callback_raises(self, sched):
+        # A crashing callback must not leave the event live (it would
+        # refire on the next drain, double-applying the crash).
+        def boom():
+            raise RuntimeError("crash point")
+
+        event = sched.call_later(10, boom, label="crash")
+        with pytest.raises(RuntimeError):
+            sched.fire_specific(event)
+        assert event.cancelled
+        assert sched.pending() == 0
+
+    def test_fire_specific_counts_toward_events_fired(self, sched):
+        event = sched.call_later(10, lambda: None)
+        sched.fire_specific(event)
+        assert sched.events_fired == 1
+
+    def test_frontier_then_default_run_agree(self, sched):
+        # Always picking frontier()[0] must reproduce the default
+        # schedule exactly.
+        order = []
+        for delay, name in [(10, "a"), (10, "b"), (20, "c"), (20, "d")]:
+            sched.call_later(delay, lambda name=name: order.append(name))
+        while True:
+            frontier = sched.frontier()
+            if not frontier:
+                break
+            sched.fire_specific(frontier[0])
+        assert order == ["a", "b", "c", "d"]
+
+
 class TestExecution:
     def test_run_until_advances_clock_even_without_events(self, sched):
         sched.run_until(12_345)
